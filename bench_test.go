@@ -1,0 +1,477 @@
+// Benchmarks regenerating every experiment in EXPERIMENTS.md (the
+// paper's claims C1..C7 and Figure 1, experiments E1..E10), plus kernel
+// microbenchmarks. Custom metrics carry the quantities of interest:
+// depth/iter (parallel-time units), simtime/iter (machine units).
+//
+// Run:  go test -bench=. -benchmem
+package vrcg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vrcg/internal/bench"
+	"vrcg/internal/collective"
+	"vrcg/internal/core"
+	"vrcg/internal/depth"
+	"vrcg/internal/krylov"
+	"vrcg/internal/machine"
+	"vrcg/internal/mat"
+	"vrcg/internal/parcg"
+	"vrcg/internal/pipecg"
+	"vrcg/internal/precond"
+	"vrcg/internal/sstep"
+	"vrcg/internal/trace"
+	"vrcg/internal/vec"
+)
+
+// --- E1: per-iteration depth, CG (c log N) vs VRCG (c log log N) ---
+
+func BenchmarkE1DepthScaling(b *testing.B) {
+	for _, lg := range []int{10, 14, 18, 22} {
+		n := 1 << lg
+		b.Run(fmt.Sprintf("CG/logN=%d", lg), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				r = depth.CGRate(n, 5)
+			}
+			b.ReportMetric(r, "depth/iter")
+		})
+		b.Run(fmt.Sprintf("VRCG/logN=%d", lg), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				r = depth.VRCGRate(n, 5, lg)
+			}
+			b.ReportMetric(r, "depth/iter")
+		})
+	}
+}
+
+// --- E2: the §3 k=1 doubling ---
+
+func BenchmarkE2DoubleSpeed(b *testing.B) {
+	for _, lg := range []int{12, 20, 28} {
+		n := 1 << lg
+		b.Run(fmt.Sprintf("logN=%d", lg), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				ratio = depth.CGRate(n, 5) / depth.VRCGRate(n, 5, 1)
+			}
+			b.ReportMetric(ratio, "speedup")
+		})
+	}
+}
+
+// --- E3: the §6 max(log d, log log N) degree sweep ---
+
+func BenchmarkE3DegreeSweep(b *testing.B) {
+	for _, d := range []int{3, 9, 27, 1024, 16384} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				r = depth.VRCGRate(1<<20, d, 20)
+			}
+			b.ReportMetric(r, "depth/iter")
+		})
+	}
+}
+
+// --- E4: sequential cost (wall-clock benchmarks of real solves) ---
+
+func benchSolve(b *testing.B, run func(*mat.CSR, vec.Vector) (int, error)) {
+	a := mat.Poisson2D(32)
+	rhs := vec.New(a.Dim())
+	vec.Random(rhs, 9)
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		it, err := run(a, rhs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = it
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}
+
+func BenchmarkE4SequentialCost(b *testing.B) {
+	b.Run("CG", func(b *testing.B) {
+		benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+			r, err := krylov.CG(a, rhs, krylov.Options{Tol: 1e-8})
+			if err != nil {
+				return 0, err
+			}
+			return r.Iterations, nil
+		})
+	})
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("VRCG/k=%d", k), func(b *testing.B) {
+			benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+				r, err := core.Solve(a, rhs, core.Options{K: k, Tol: 1e-8})
+				if err != nil {
+					return 0, err
+				}
+				return r.Iterations, nil
+			})
+		})
+	}
+	b.Run("PIPECG", func(b *testing.B) {
+		benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+			r, err := pipecg.GhyselsVanroose(a, rhs, pipecg.Options{Tol: 1e-8})
+			if err != nil {
+				return 0, err
+			}
+			return r.Iterations, nil
+		})
+	})
+	b.Run("SStep/s=4", func(b *testing.B) {
+		benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+			r, err := sstep.Solve(a, rhs, sstep.Options{S: 4, Tol: 1e-8})
+			if err != nil {
+				return 0, err
+			}
+			return r.Iterations, nil
+		})
+	})
+}
+
+// --- E5: recurrence exactness (drift measured during a real solve) ---
+
+func BenchmarkE5RecurrenceExactness(b *testing.B) {
+	a := mat.Poisson2D(16)
+	rhs := vec.New(a.Dim())
+	vec.Random(rhs, 31)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var drift float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Solve(a, rhs, core.Options{K: k, Tol: 1e-8, ValidateEvery: 1, ReanchorEvery: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				drift = r.Drift.MaxRelPAP
+			}
+			b.ReportMetric(drift, "max-rel-drift")
+		})
+	}
+}
+
+// --- E6: stability vs conditioning ---
+
+func BenchmarkE6Stability(b *testing.B) {
+	n := 256
+	for _, kappa := range []float64{10, 1000} {
+		a := mat.PrescribedSpectrum(n, kappa)
+		rhs := vec.New(n)
+		vec.Random(rhs, 17)
+		for _, k := range []int{1, 4} {
+			b.Run(fmt.Sprintf("kappa=%g/k=%d", kappa, k), func(b *testing.B) {
+				iters := 0
+				for i := 0; i < b.N; i++ {
+					r, err := core.Solve(a, rhs, core.Options{K: k, Tol: 1e-9, MaxIter: 8000})
+					if err != nil {
+						b.Skip("breakdown (documented instability)")
+					}
+					iters = r.Iterations
+				}
+				b.ReportMetric(float64(iters), "iterations")
+			})
+		}
+	}
+}
+
+// --- E7: successors on the simulated machine ---
+
+func BenchmarkE7Successors(b *testing.B) {
+	a := mat.TridiagToeplitz(4096, 4.2, -1)
+	p := 256
+	cfg := machine.Config{P: p, Alpha: 64, Beta: 0.01, FlopTime: 0.001}
+	rhs := vec.New(a.Dim())
+	vec.Random(rhs, 5)
+	opt := parcg.Options{Tol: 1e-6, MaxIter: 120}
+
+	cases := map[string]func(*machine.Machine, *parcg.DistMatrix, *parcg.Dist) (*parcg.Result, error){
+		"CG": func(m *machine.Machine, dm *parcg.DistMatrix, bb *parcg.Dist) (*parcg.Result, error) {
+			return parcg.CG(m, dm, bb, opt)
+		},
+		"PIPECG": func(m *machine.Machine, dm *parcg.DistMatrix, bb *parcg.Dist) (*parcg.Result, error) {
+			return parcg.PipeCG(m, dm, bb, opt)
+		},
+		"VRCG-k8": func(m *machine.Machine, dm *parcg.DistMatrix, bb *parcg.Dist) (*parcg.Result, error) {
+			return parcg.VRCG(m, dm, bb, parcg.VROptions{Options: opt, K: 8})
+		},
+		"SStepSem-k8": func(m *machine.Machine, dm *parcg.DistMatrix, bb *parcg.Dist) (*parcg.Result, error) {
+			return parcg.VRCG(m, dm, bb, parcg.VROptions{Options: opt, K: 8, Blocking: true})
+		},
+	}
+	for name, run := range cases {
+		b.Run(name, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				m := machine.New(cfg)
+				dm := parcg.NewDistMatrix(a, p)
+				res, err := run(m, dm, parcg.Scatter(rhs, p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = res.PerIterTime()
+			}
+			b.ReportMetric(rate, "simtime/iter")
+		})
+	}
+}
+
+// --- E8 / Figure 1: schedule construction and rendering ---
+
+func BenchmarkE8Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.VRCGSchedule(1<<16, 5, 16, 24)
+		if tr.Render(96) == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// --- whole-harness regeneration ---
+
+func BenchmarkAllExperimentTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.All()) != 9 {
+			b.Fatal("experiment tables missing")
+		}
+	}
+}
+
+// --- kernel microbenchmarks ---
+
+func BenchmarkDotSerial(b *testing.B) {
+	x := vec.New(1 << 16)
+	y := vec.New(1 << 16)
+	vec.Random(x, 1)
+	vec.Random(y, 2)
+	b.SetBytes(int64(16 * x.Len()))
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += vec.Dot(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkDotParallel(b *testing.B) {
+	x := vec.New(1 << 20)
+	y := vec.New(1 << 20)
+	vec.Random(x, 1)
+	vec.Random(y, 2)
+	b.SetBytes(int64(16 * x.Len()))
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += vec.DefaultPool.Dot(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkFusedCGUpdate(b *testing.B) {
+	n := 1 << 16
+	p := vec.New(n)
+	ap := vec.New(n)
+	x := vec.New(n)
+	r := vec.New(n)
+	vec.Random(p, 1)
+	vec.Random(ap, 2)
+	vec.Random(r, 3)
+	b.SetBytes(int64(32 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.FusedCGUpdate(1e-6, p, ap, x, r)
+	}
+}
+
+func BenchmarkMatVecCSRPoisson2D(b *testing.B) {
+	a := mat.Poisson2D(128)
+	x := vec.New(a.Dim())
+	y := vec.New(a.Dim())
+	vec.Random(x, 4)
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func BenchmarkMatVecStencil2D(b *testing.B) {
+	st := mat.NewStencil(mat.Stencil2D5, 128)
+	x := vec.New(st.Dim())
+	y := vec.New(st.Dim())
+	vec.Random(x, 4)
+	b.SetBytes(int64(8 * st.Dim() * 5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.MulVec(y, x)
+	}
+}
+
+func BenchmarkAllreduceSimulated(b *testing.B) {
+	for _, p := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			contrib := make([]float64, p)
+			for i := 0; i < b.N; i++ {
+				m := machine.New(machine.DefaultConfig(p))
+				collective.AllreduceSum(m, contrib)
+			}
+		})
+	}
+}
+
+func BenchmarkWindowStep(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			w := core.NewWindow(k)
+			for i := range w.M {
+				w.M[i] = 1 / float64(i+1)
+			}
+			for i := range w.N {
+				w.N[i] = 1 / float64(i+2)
+			}
+			for i := range w.W {
+				w.W[i] = 1 / float64(i+3)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step(0.001, 0.5, 1e-6, 1e-6, 1e-6)
+			}
+		})
+	}
+}
+
+func BenchmarkVRCGSolvePoisson(b *testing.B) {
+	a := mat.Poisson2D(48)
+	rhs := vec.New(a.Dim())
+	vec.Random(rhs, 21)
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(a, rhs, core.Options{K: k, Tol: 1e-8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E10: contraction vs window formulation depth ---
+
+func BenchmarkE10WindowForm(b *testing.B) {
+	for _, lg := range []int{14, 22} {
+		n := 1 << lg
+		b.Run(fmt.Sprintf("contract/logN=%d", lg), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				r = depth.VRCGRate(n, 5, lg)
+			}
+			b.ReportMetric(r, "depth/iter")
+		})
+		b.Run(fmt.Sprintf("window/logN=%d", lg), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				r = depth.VRCGWindowRate(n, 5, lg)
+			}
+			b.ReportMetric(r, "depth/iter")
+		})
+	}
+}
+
+// --- additional kernel microbenchmarks ---
+
+func BenchmarkMINRESSolve(b *testing.B) {
+	a := mat.Poisson2D(32)
+	rhs := vec.New(a.Dim())
+	vec.Random(rhs, 41)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := krylov.MINRES(a, rhs, krylov.Options{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIC0FactorAndApply(b *testing.B) {
+	a := mat.Poisson2D(48)
+	b.Run("factor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := precond.NewIC0(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ic, err := precond.NewIC0(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := vec.New(a.Dim())
+	vec.Random(r, 42)
+	dst := vec.New(a.Dim())
+	b.Run("apply", func(b *testing.B) {
+		b.SetBytes(int64(8 * a.Dim()))
+		for i := 0; i < b.N; i++ {
+			ic.Apply(dst, r)
+		}
+	})
+}
+
+func BenchmarkRCMOrder(b *testing.B) {
+	a := mat.Poisson2D(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.RCMOrder(a)
+	}
+}
+
+func BenchmarkRabenseifnerVsRecursiveDoubling(b *testing.B) {
+	p := 256
+	w := 1024
+	contrib := make([][]float64, p)
+	for i := range contrib {
+		contrib[i] = make([]float64, w)
+	}
+	cfg := machine.Config{P: p, Alpha: 1, Beta: 1, FlopTime: 0}
+	b.Run("recursive-doubling", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			m := machine.New(cfg)
+			collective.AllreduceVec(m, contrib)
+			t = m.MaxClock()
+		}
+		b.ReportMetric(t, "simtime")
+	})
+	b.Run("rabenseifner", func(b *testing.B) {
+		var t float64
+		for i := 0; i < b.N; i++ {
+			m := machine.New(cfg)
+			collective.AllreduceRabenseifner(m, contrib)
+			t = m.MaxClock()
+		}
+		b.ReportMetric(t, "simtime")
+	})
+}
+
+func BenchmarkCGPlainVsFused(b *testing.B) {
+	a := mat.Poisson2D(64) // n = 4096: memory traffic matters
+	rhs := vec.New(a.Dim())
+	vec.Random(rhs, 51)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := krylov.CG(a, rhs, krylov.Options{Tol: 1e-8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := krylov.CGFused(a, rhs, nil, krylov.Options{Tol: 1e-8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

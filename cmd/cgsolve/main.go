@@ -1,0 +1,209 @@
+// Command cgsolve solves generated SPD test systems with any of the
+// implemented methods, printing convergence and operation statistics.
+//
+// Examples:
+//
+//	cgsolve -problem poisson2d -m 64 -method cg
+//	cgsolve -problem poisson2d -m 64 -method vrcg -k 3
+//	cgsolve -problem poisson3d -m 16 -method pcg -precond ssor
+//	cgsolve -problem toeplitz -n 4096 -method sstep -s 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrcg/internal/core"
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/pipecg"
+	"vrcg/internal/precond"
+	"vrcg/internal/sstep"
+	"vrcg/internal/vec"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cgsolve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	problem := flag.String("problem", "poisson2d", "poisson1d|poisson2d|poisson3d|toeplitz|random|ring|spectrum")
+	matrixFile := flag.String("matrix", "", "Matrix Market .mtx file (overrides -problem)")
+	rhsFile := flag.String("rhs", "", "Matrix Market array-format right-hand side (with -matrix)")
+	m := flag.Int("m", 32, "grid side for poisson problems")
+	n := flag.Int("n", 1024, "order for non-grid problems")
+	kappa := flag.Float64("kappa", 100, "condition number for -problem spectrum")
+	method := flag.String("method", "cg", "cg|cgfused|pcg|cr|sd|minres|vrcg|pipecg|gropp|sstep")
+	pc := flag.String("precond", "jacobi", "pcg preconditioner: identity|jacobi|ssor")
+	k := flag.Int("k", 2, "look-ahead parameter for vrcg")
+	s := flag.Int("s", 4, "block size for sstep")
+	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
+	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = 10n)")
+	seed := flag.Uint64("seed", 1, "rhs/solution seed")
+	flag.Parse()
+
+	var a *mat.CSR
+	if *matrixFile != "" {
+		f, err := os.Open(*matrixFile)
+		if err != nil {
+			fatalf("open matrix: %v", err)
+		}
+		a, err = mat.ReadMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			fatalf("parse matrix: %v", err)
+		}
+		if !a.IsSymmetric(1e-12) {
+			fatalf("matrix %s is not symmetric; CG requires SPD", *matrixFile)
+		}
+		*problem = *matrixFile
+	} else {
+		switch *problem {
+		case "poisson1d":
+			a = mat.Poisson1D(*m)
+		case "poisson2d":
+			a = mat.Poisson2D(*m)
+		case "poisson3d":
+			a = mat.Poisson3D(*m)
+		case "toeplitz":
+			a = mat.TridiagToeplitz(*n, 4.2, -1)
+		case "random":
+			a = mat.RandomSPD(*n, 8, *seed)
+		case "ring":
+			a = mat.RingLaplacian(*n, 0.5)
+		case "spectrum":
+			a = mat.PrescribedSpectrum(*n, *kappa)
+		default:
+			fatalf("unknown problem %q", *problem)
+		}
+	}
+	dim := a.Dim()
+
+	// Right-hand side: from file, or manufactured from a known solution
+	// so the error is checkable.
+	var b vec.Vector
+	var xTrue vec.Vector
+	if *rhsFile != "" {
+		f, err := os.Open(*rhsFile)
+		if err != nil {
+			fatalf("open rhs: %v", err)
+		}
+		b, err = mat.ReadMatrixMarketVector(f)
+		f.Close()
+		if err != nil {
+			fatalf("parse rhs: %v", err)
+		}
+		if b.Len() != dim {
+			fatalf("rhs length %d for matrix order %d", b.Len(), dim)
+		}
+	} else {
+		xTrue = vec.New(dim)
+		vec.Random(xTrue, *seed)
+		b = vec.New(dim)
+		a.MulVec(b, xTrue)
+	}
+
+	fmt.Printf("problem=%s n=%d nnz=%d maxrow=%d method=%s\n",
+		*problem, dim, a.NNZ(), a.MaxRowNonzeros(), *method)
+
+	report := func(iters int, converged bool, trueRes float64, stats krylov.Stats, x vec.Vector) {
+		rel := trueRes / vec.Norm2(b)
+		if xTrue != nil {
+			errN := vec.New(dim)
+			vec.Sub(errN, x, xTrue)
+			fmt.Printf("converged=%v iterations=%d true-rel-residual=%.3e solution-error=%.3e\n",
+				converged, iters, rel, vec.Norm2(errN))
+		} else {
+			fmt.Printf("converged=%v iterations=%d true-rel-residual=%.3e\n", converged, iters, rel)
+		}
+		fmt.Printf("stats: %s\n", stats)
+	}
+
+	opts := krylov.Options{Tol: *tol, MaxIter: *maxIter}
+	switch *method {
+	case "cg":
+		res, err := krylov.CG(a, b, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "cgfused":
+		res, err := krylov.CGFused(a, b, nil, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "minres":
+		res, err := krylov.MINRES(a, b, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "cr":
+		res, err := krylov.CR(a, b, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "sd":
+		res, err := krylov.SteepestDescent(a, b, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "pcg":
+		var (
+			p   precond.Preconditioner
+			err error
+		)
+		switch *pc {
+		case "identity":
+			p = precond.NewIdentity(dim)
+		case "jacobi":
+			p, err = precond.NewJacobi(a)
+		case "ssor":
+			p, err = precond.NewSSOR(a, 1.5)
+		default:
+			fatalf("unknown preconditioner %q", *pc)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := krylov.PCG(a, p, b, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "vrcg":
+		res, err := core.Solve(a, b, core.Options{K: *k, Tol: *tol, MaxIter: *maxIter})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		fmt.Printf("vrcg: k=%d reanchors=%d refreshes=%d fallback-dots=%d\n",
+			res.K, res.Reanchors, res.Refreshes, res.FallbackDots)
+	case "pipecg":
+		res, err := pipecg.GhyselsVanroose(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "gropp":
+		res, err := pipecg.Gropp(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+	case "sstep":
+		res, err := sstep.Solve(a, b, sstep.Options{S: *s, Tol: *tol, MaxIter: *maxIter})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		fmt.Printf("sstep: s=%d blocks=%d\n", *s, res.Blocks)
+	default:
+		fatalf("unknown method %q", *method)
+	}
+}

@@ -1,0 +1,34 @@
+// Command figure1 renders the paper's Figure 1 ("Principal Data
+// Movement in New CG Algorithm") and, optionally, the measured pipelined
+// schedule in the dependency-depth model.
+//
+// Usage:
+//
+//	figure1 -k 4
+//	figure1 -k 16 -schedule -n 65536 -iters 24
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vrcg/internal/trace"
+)
+
+func main() {
+	k := flag.Int("k", 4, "look-ahead parameter")
+	schedule := flag.Bool("schedule", false, "also render the measured pipelined schedule")
+	n := flag.Int("n", 1<<16, "vector length for the schedule")
+	d := flag.Int("d", 5, "matrix row degree for the schedule")
+	iters := flag.Int("iters", 24, "iterations to render")
+	width := flag.Int("width", 96, "chart width in characters")
+	flag.Parse()
+
+	fmt.Print(trace.Figure1(*k))
+	if *schedule {
+		fmt.Println("\nPipelined schedule (restructured algorithm):")
+		fmt.Print(trace.VRCGSchedule(*n, *d, *k, *iters).Render(*width))
+		fmt.Println("\nSynchronous schedule (standard CG):")
+		fmt.Print(trace.StandardCGSchedule(*n, *d, *iters/3+1).Render(*width))
+	}
+}

@@ -1,0 +1,26 @@
+// Package vrcg is a reproduction of John Van Rosendale, "Minimizing
+// Inner Product Data Dependencies in Conjugate Gradient Iteration"
+// (ICASE / NASA CR-172178, ICPP 1983) — the algebraic restructuring of
+// CG that hides the c*log(N) inner-product summation fan-ins behind a
+// k-iteration-deep pipeline, reducing per-iteration parallel time to
+// c*log(log N), and the direct ancestor of today's pipelined and s-step
+// conjugate gradient methods.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core: the paper's algorithm (look-ahead CG, "VRCG")
+//   - internal/krylov, internal/precond: classic CG/PCG/CR baselines
+//   - internal/sstep, internal/pipecg: the published successor methods
+//   - internal/mat, internal/vec: sparse operators and vector kernels
+//   - internal/depth: the dependency-depth cost model of the paper
+//   - internal/machine, internal/collective, internal/parcg: a simulated
+//     distributed machine with hand-rolled collectives, and the
+//     algorithms as distributed programs on it
+//   - internal/trace: Figure 1 schedule rendering
+//   - internal/bench: the experiment harness (E1..E8)
+//
+// Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI),
+// cmd/figure1 (schedule diagrams). Runnable examples live in examples/.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package vrcg

@@ -1,0 +1,73 @@
+// Machine simulation: runs the four algorithms as distributed programs
+// on the simulated P-processor machine with hand-rolled collectives, and
+// sweeps the message latency alpha. As alpha grows, standard CG pays two
+// log(P) reductions per iteration, pipelined CG hides one, s-step
+// semantics amortize them, and the paper's k-deep pipeline hides them
+// entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrcg/internal/collective"
+	"vrcg/internal/machine"
+	"vrcg/internal/mat"
+	"vrcg/internal/parcg"
+	"vrcg/internal/vec"
+)
+
+func main() {
+	// First, the collectives themselves: cost of one allreduce vs P.
+	fmt.Println("Hand-rolled recursive-doubling allreduce (alpha=1, beta=0.01):")
+	fmt.Printf("%8s %12s %10s\n", "P", "time", "time/log2P")
+	for _, p := range []int{16, 64, 256, 1024, 4096} {
+		m := machine.New(machine.DefaultConfig(p))
+		collective.AllreduceSum(m, make([]float64, p))
+		lg := 0
+		for v := 1; v < p; v <<= 1 {
+			lg++
+		}
+		fmt.Printf("%8d %12.2f %10.2f\n", p, m.MaxClock(), m.MaxClock()/float64(lg))
+	}
+	fmt.Println("(logarithmic, as the paper's c*log(N) fan-in assumes)")
+
+	// The solver comparison.
+	a := mat.TridiagToeplitz(4096, 4.2, -1) // kappa ~ 2.6
+	p := 256
+	bs := vec.New(a.Dim())
+	vec.Random(bs, 3)
+
+	fmt.Printf("\nPer-iteration parallel time, P=%d, n=%d (kappa~2.6):\n", p, a.Dim())
+	fmt.Printf("%8s %10s %10s %12s %14s\n", "alpha", "CG", "PIPECG", "VRCG(k=8)", "blocking(k=8)")
+	for _, alpha := range []float64{1, 4, 16, 64, 256} {
+		cfg := machine.Config{P: p, Alpha: alpha, Beta: 0.01, FlopTime: 0.001}
+		opt := parcg.Options{Tol: 1e-6, MaxIter: 120}
+
+		rate := func(run func(*machine.Machine, *parcg.DistMatrix, *parcg.Dist) (*parcg.Result, error)) float64 {
+			m := machine.New(cfg)
+			dm := parcg.NewDistMatrix(a, p)
+			res, err := run(m, dm, parcg.Scatter(bs, p))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.PerIterTime()
+		}
+		cg := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
+			return parcg.CG(m, dm, b, opt)
+		})
+		pipe := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
+			return parcg.PipeCG(m, dm, b, opt)
+		})
+		vr := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
+			return parcg.VRCG(m, dm, b, parcg.VROptions{Options: opt, K: 8})
+		})
+		blk := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
+			return parcg.VRCG(m, dm, b, parcg.VROptions{Options: opt, K: 8, Blocking: true})
+		})
+		fmt.Printf("%8.0f %10.1f %10.1f %12.1f %14.1f\n", alpha, cg, pipe, vr, blk)
+	}
+	fmt.Println("\nShape: CG ~ 2*allreduce + matvec; PIPECG hides one reduction;")
+	fmt.Println("blocking (s-step) amortizes the batch; VRCG's k-deep pipeline")
+	fmt.Println("removes the reduction latency from the critical path (Figure 1).")
+}

@@ -1,0 +1,80 @@
+// Poisson study: the workload class the paper's introduction motivates —
+// large sparse SPD systems from elliptic PDEs. Solves the 3D Poisson
+// equation with every implemented method (classic, preconditioned,
+// restructured, and the published successors) and prints a comparison
+// table of iterations, work, and achieved accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrcg/internal/core"
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/pipecg"
+	"vrcg/internal/precond"
+	"vrcg/internal/sstep"
+	"vrcg/internal/vec"
+)
+
+func main() {
+	const m = 12 // 12^3 = 1728 unknowns
+	a := mat.Poisson3D(m)
+	n := a.Dim()
+	fmt.Printf("3D Poisson, %dx%dx%d grid, n=%d, nnz=%d, d=%d\n\n",
+		m, m, m, n, a.NNZ(), a.MaxRowNonzeros())
+
+	xTrue := vec.New(n)
+	vec.Random(xTrue, 7)
+	b := vec.New(n)
+	a.MulVec(b, xTrue)
+	bn := vec.Norm2(b)
+	const tol = 1e-9
+
+	fmt.Printf("%-22s %6s %10s %12s %10s\n", "method", "iters", "matvecs", "inner prods", "rel resid")
+	row := func(name string, iters, mv, ips int, trueRes float64) {
+		fmt.Printf("%-22s %6d %10d %12d %10.2e\n", name, iters, mv, ips, trueRes/bn)
+	}
+
+	if r, err := krylov.SteepestDescent(a, b, krylov.Options{Tol: tol, MaxIter: 200000}); err == nil {
+		row("steepest descent", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+	}
+	r, err := krylov.CG(a, b, krylov.Options{Tol: tol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("CG (Hestenes-Stiefel)", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+
+	if jac, err := precond.NewJacobi(a); err == nil {
+		if r, err := krylov.PCG(a, jac, b, krylov.Options{Tol: tol}); err == nil {
+			row("PCG + Jacobi", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+		}
+	}
+	if ss, err := precond.NewSSOR(a, 1.4); err == nil {
+		if r, err := krylov.PCG(a, ss, b, krylov.Options{Tol: tol}); err == nil {
+			row("PCG + SSOR(1.4)", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+		}
+	}
+	if r, err := krylov.CR(a, b, krylov.Options{Tol: tol}); err == nil {
+		row("conjugate residuals", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+	}
+	for _, k := range []int{1, 2, 4} {
+		if r, err := core.Solve(a, b, core.Options{K: k, Tol: tol}); err == nil {
+			row(fmt.Sprintf("VRCG (k=%d)", k), r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+		}
+	}
+	if r, err := pipecg.GhyselsVanroose(a, b, pipecg.Options{Tol: tol}); err == nil {
+		row("PIPECG (Ghysels-V.)", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+	}
+	if r, err := pipecg.Gropp(a, b, pipecg.Options{Tol: tol}); err == nil {
+		row("Gropp async CG", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+	}
+	if r, err := sstep.Solve(a, b, sstep.Options{S: 4, Tol: tol}); err == nil {
+		row("s-step CG (s=4)", r.Iterations, r.Stats.MatVecs, r.Stats.InnerProducts, r.TrueResidualNorm)
+	}
+
+	fmt.Println("\nAll Krylov methods take essentially the same iteration count (same")
+	fmt.Println("mathematics); they differ in how their inner-product dependencies")
+	fmt.Println("schedule on a parallel machine — see examples/depthscaling.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: solve a 2D Poisson system with the restructured conjugate
+// gradient iteration (Van Rosendale 1983) and compare against standard
+// CG. This is the minimal end-to-end use of the library's public
+// surface: problem generators (internal/mat), the classic solver
+// (internal/krylov) and the look-ahead solver (internal/core).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrcg/internal/core"
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func main() {
+	// A = 5-point Laplacian on a 32x32 grid (n = 1024), b from a known
+	// solution so the error is checkable.
+	a := mat.Poisson2D(32)
+	n := a.Dim()
+	xTrue := vec.New(n)
+	vec.Random(xTrue, 42)
+	b := vec.New(n)
+	a.MulVec(b, xTrue)
+
+	// Standard CG (the paper's §2 baseline).
+	cg, err := krylov.CG(a, b, krylov.Options{Tol: 1e-10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("standard CG : %3d iterations, true residual %.2e, %s\n",
+		cg.Iterations, cg.TrueResidualNorm, cg.Stats)
+
+	// The restructured algorithm with look-ahead k = 3: identical
+	// iterates in exact arithmetic, but every (r,r) and (p,Ap) comes
+	// from the paper's scalar recurrences — the inner-product fan-ins
+	// could be pipelined k iterations deep on a parallel machine.
+	vr, err := core.Solve(a, b, core.Options{K: 3, Tol: 1e-10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VRCG (k=3)  : %3d iterations, true residual %.2e, %s\n",
+		vr.Iterations, vr.TrueResidualNorm, vr.Stats)
+
+	diff := vec.New(n)
+	vec.Sub(diff, cg.X, vr.X)
+	fmt.Printf("solution agreement ||x_cg - x_vrcg|| = %.2e\n", vec.Norm2(diff))
+}

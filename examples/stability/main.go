@@ -1,0 +1,62 @@
+// Stability study: the part of the story the 1983 paper could not see.
+// In exact arithmetic the look-ahead recurrences reproduce CG exactly;
+// in floating point they drift, and the drift grows with the look-ahead
+// k and the conditioning. This example plots convergence histories for
+// standard CG and VRCG under three stabilization regimes, making the
+// successor-motivating behaviour visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrcg/internal/core"
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/trace"
+	"vrcg/internal/vec"
+)
+
+func main() {
+	a := mat.Poisson1D(128) // kappa ~ 6700: hard enough to expose drift
+	n := a.Dim()
+	b := vec.New(n)
+	vec.Random(b, 5)
+	const tol = 1e-10
+	maxIter := 700
+
+	series := []trace.Series{}
+
+	cg, err := krylov.CG(a, b, krylov.Options{Tol: tol, MaxIter: maxIter, RecordHistory: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	series = append(series, trace.Series{Name: fmt.Sprintf("CG (%d iters)", cg.Iterations), Values: cg.History})
+
+	runs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"VRCG k=4, no stabilization", core.Options{K: 4, Tol: tol, MaxIter: maxIter, RecordHistory: true, ReanchorEvery: -1}},
+		{"VRCG k=4, re-anchor+refresh", core.Options{K: 4, Tol: tol, MaxIter: maxIter, RecordHistory: true}},
+		{"VRCG k=4, residual replace", core.Options{K: 4, Tol: tol, MaxIter: maxIter, RecordHistory: true, ResidualReplaceEvery: 8}},
+	}
+	for _, run := range runs {
+		out, err := core.Solve(a, b, run.opts)
+		if err != nil {
+			fmt.Printf("%-32s breakdown: %v\n", run.name, err)
+			continue
+		}
+		label := fmt.Sprintf("%s (%d iters, conv=%v)", run.name, out.Iterations, out.Converged)
+		series = append(series, trace.Series{Name: label, Values: out.History})
+		fmt.Printf("%-32s iters=%-5d converged=%-5v true rel residual=%.2e\n",
+			run.name, out.Iterations, out.Converged, out.TrueResidualNorm/vec.Norm2(b))
+	}
+
+	fmt.Println()
+	fmt.Print(trace.SemilogPlot(series, 90, 22))
+	fmt.Println("\nWithout stabilization the recurrence residual plateaus or wanders —")
+	fmt.Println("the finite-precision behaviour that led to Chronopoulos–Gear (1989)")
+	fmt.Println("and Ghysels–Vanroose (2014). With stabilization the 1983 algorithm")
+	fmt.Println("tracks CG all the way down.")
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+
+	"vrcg/internal/collective"
+	"vrcg/internal/core"
+	"vrcg/internal/machine"
+	"vrcg/internal/mat"
+	"vrcg/internal/parcg"
+	"vrcg/internal/vec"
+)
+
+// Ablations for the design choices DESIGN.md calls out: each isolates
+// one mechanism of the implementation and shows what it buys.
+
+// A1ReanchorInterval sweeps the re-anchoring interval: the stabilization
+// frequency trades direct inner products against recurrence drift.
+func A1ReanchorInterval() *Table {
+	t := &Table{
+		ID:      "A1",
+		Title:   "ablation: re-anchor interval (VRCG k=3, Poisson2D 16x16, tol 1e-9)",
+		Columns: []string{"interval", "iters", "converged", "true rel residual", "drift (p,Ap)", "dots/iter"},
+	}
+	a := mat.Poisson2D(16)
+	b := vec.New(a.Dim())
+	vec.Random(b, 61)
+	bn := vec.Norm2(b)
+	for _, interval := range []int{-1, 2, 4, 8, 16, 32} {
+		res, err := core.Solve(a, b, core.Options{
+			K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: interval, ValidateEvery: 1,
+		})
+		label := fmt.Sprintf("%d", interval)
+		if interval < 0 {
+			label = "never"
+		}
+		if err != nil {
+			t.AddRow(label, "-", false, "breakdown", "-", "-")
+			continue
+		}
+		t.AddRow(label, res.Iterations, res.Converged,
+			res.TrueResidualNorm/bn, res.Drift.MaxRelPAP,
+			float64(res.Stats.InnerProducts)/float64(res.Iterations))
+	}
+	t.Notes = append(t.Notes,
+		"small intervals: more direct dots, tiny drift; large/never: drift grows, convergence degrades",
+		"the default interval is max(2, ceil(8/(k+1)))")
+	return t
+}
+
+// A2StabilizationModes contrasts the stabilization mechanisms at a fixed
+// interval: window-only re-anchoring, family refresh, and residual
+// replacement.
+func A2StabilizationModes() *Table {
+	t := &Table{
+		ID:      "A2",
+		Title:   "ablation: stabilization mode (VRCG k=3, interval 8, Poisson1D 128, tol 1e-9)",
+		Columns: []string{"mode", "iters", "converged", "true rel residual", "matvec/iter"},
+	}
+	a := mat.Poisson1D(128)
+	b := vec.New(128)
+	vec.Random(b, 62)
+	bn := vec.Norm2(b)
+
+	type mode struct {
+		name string
+		opts core.Options
+	}
+	modes := []mode{
+		{"none", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: -1}},
+		{"window-only", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: 8, WindowOnlyReanchor: true}},
+		{"family-refresh", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: 8}},
+		{"residual-replace", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ResidualReplaceEvery: 8}},
+	}
+	for _, m := range modes {
+		res, err := core.Solve(a, b, m.opts)
+		if err != nil {
+			t.AddRow(m.name, "-", false, "breakdown", "-")
+			continue
+		}
+		t.AddRow(m.name, res.Iterations, res.Converged,
+			res.TrueResidualNorm/bn,
+			float64(res.Stats.MatVecs)/float64(res.Iterations))
+	}
+	t.Notes = append(t.Notes,
+		"none/window-only: cheapest per iteration but drift-limited;",
+		"family-refresh and residual-replace pay 2k+1 matvecs per interval and stay accurate")
+	return t
+}
+
+// A3SpectralScaling isolates the Gershgorin scaling of the distributed
+// solver: without it the Gram magnitudes span ||A||^(4k).
+func A3SpectralScaling() *Table {
+	t := &Table{
+		ID:      "A3",
+		Title:   "ablation: spectral scaling in the distributed VRCG (P=8, kappa~2.6, ||A||~6e12, tol 1e-8)",
+		Columns: []string{"k", "scaling", "iters", "converged", "rel residual"},
+	}
+	// Same conditioning as the latency workload but with a physically
+	// large norm (a fine-mesh stiffness scale): unscaled Gram sequences
+	// reach ||A||^(4k) ~ 1e409 at k=8 — past double-precision overflow —
+	// while the scaled solver never sees magnitudes above O(1).
+	a := mat.TridiagToeplitz(512, 4.2e12, -1e12)
+	bs := vec.New(512)
+	vec.Random(bs, 63)
+	bn := vec.Norm2(bs)
+	for _, k := range []int{2, 4, 8} {
+		for _, noScale := range []bool{false, true} {
+			m := machine.New(machine.DefaultConfig(8))
+			dm := parcg.NewDistMatrix(a, 8)
+			res, err := parcg.VRCG(m, dm, parcg.Scatter(bs, 8), parcg.VROptions{
+				Options: parcg.Options{Tol: 1e-8, MaxIter: 600}, K: k, NoScaling: noScale,
+			})
+			label := "on"
+			if noScale {
+				label = "off"
+			}
+			if err != nil {
+				t.AddRow(k, label, "-", false, "breakdown")
+				continue
+			}
+			// True residual of the original system, computed serially
+			// from the returned solution.
+			tr := vec.New(a.Dim())
+			a.MulVec(tr, res.X)
+			vec.Sub(tr, bs, tr)
+			t.AddRow(k, label, res.Iterations, res.Converged, vec.Norm2(tr)/bn)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"unscaled Gram entries overflow double precision (||A||^(4k) ~ 1e409 at k=8);",
+		"scaling by the Gershgorin bound keeps them O(1); residual column is ||b-Ax||/||b||")
+	return t
+}
+
+// A4BatchedReductions isolates the collective-level design choice of
+// batching the 3(4k+1) base inner products into one allreduce.
+func A4BatchedReductions() *Table {
+	t := &Table{
+		ID:      "A4",
+		Title:   "ablation: batched vs separate base-product reductions (alpha=16, beta=0.01)",
+		Columns: []string{"P", "k", "words", "batched time", "separate time", "ratio"},
+	}
+	for _, p := range []int{64, 256, 1024} {
+		for _, k := range []int{2, 8} {
+			w := 3 * (4*k + 1)
+			batched := machine.New(machine.Config{P: p, Alpha: 16, Beta: 0.01, FlopTime: 0.001})
+			contrib := make([][]float64, p)
+			for i := range contrib {
+				contrib[i] = make([]float64, w)
+			}
+			collective.AllreduceVec(batched, contrib)
+
+			separate := machine.New(machine.Config{P: p, Alpha: 16, Beta: 0.01, FlopTime: 0.001})
+			for j := 0; j < w; j++ {
+				collective.AllreduceSum(separate, make([]float64, p))
+			}
+			t.AddRow(p, k, w, batched.MaxClock(), separate.MaxClock(),
+				separate.MaxClock()/batched.MaxClock())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"one batched allreduce pays the alpha*log(P) latency once; separate reductions pay it per word —",
+		"the batching is what makes the paper's 6k+O(1) base products affordable")
+	return t
+}
+
+// A5PartitionQuality isolates how the matrix ordering drives the halo
+// (communication) volume of the row-block partition: the natural grid
+// order, a random shuffle, and RCM recovery.
+func A5PartitionQuality() *Table {
+	t := &Table{
+		ID:      "A5",
+		Title:   "ablation: ordering vs halo volume (2D Poisson 24x24, P=8 row blocks)",
+		Columns: []string{"ordering", "bandwidth", "halo msgs/proc", "total halo words", "matvec time (alpha=16)"},
+	}
+	p := 8
+	natural := mat.Poisson2D(24)
+
+	// Random symmetric shuffle.
+	n := natural.Dim()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	s := uint64(99)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	shuffled, err := mat.PermuteSymmetric(natural, perm)
+	if err != nil {
+		panic(err)
+	}
+	rcmPerm := mat.RCMOrder(shuffled)
+	recovered, err := mat.PermuteSymmetric(shuffled, rcmPerm)
+	if err != nil {
+		panic(err)
+	}
+
+	for _, cs := range []struct {
+		name string
+		a    *mat.CSR
+	}{
+		{"natural grid", natural},
+		{"random shuffle", shuffled},
+		{"RCM of shuffle", recovered},
+	} {
+		dm := parcg.NewDistMatrix(cs.a, p)
+		m := machine.New(machine.Config{P: p, Alpha: 16, Beta: 0.01, FlopTime: 0.001})
+		x := parcg.NewDist(n, p)
+		dst := parcg.NewDist(n, p)
+		dm.MulVec(m, dst, x)
+		t.AddRow(cs.name, mat.Bandwidth(cs.a), dm.HaloDegree(), dm.TotalHaloWords(), m.MaxClock())
+	}
+	t.Notes = append(t.Notes,
+		"a shuffled ordering makes every processor talk to every other (halo explodes);",
+		"RCM restores a banded structure and near-natural communication volume")
+	return t
+}
+
+// Ablations runs every ablation table.
+func Ablations() []*Table {
+	return []*Table{
+		A1ReanchorInterval(),
+		A2StabilizationModes(),
+		A3SpectralScaling(),
+		A4BatchedReductions(),
+		A5PartitionQuality(),
+	}
+}

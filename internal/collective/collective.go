@@ -1,0 +1,370 @@
+// Package collective implements the reduction, broadcast, gather and
+// scan operations the paper's machine model assumes, hand-rolled on the
+// simulated machine's point-to-point primitives (Go has no MPI; these
+// are the algorithms an MPI implementation would use).
+//
+// Every collective operates on real data — a contribution per processor
+// — and returns the mathematically correct result alongside the clock
+// effects on the machine, so correctness and cost are tested together.
+// The summation fan-ins cost Theta(log P) message latencies, which is
+// exactly the c*log(N) inner-product term the paper restructures CG to
+// hide.
+package collective
+
+import (
+	"fmt"
+
+	"vrcg/internal/machine"
+)
+
+func checkContrib(m *machine.Machine, contrib []float64) {
+	if len(contrib) != m.P() {
+		panic(fmt.Sprintf("collective: %d contributions for %d processors", len(contrib), m.P()))
+	}
+}
+
+// ReduceSum combines one value per processor into their sum at the root
+// using a binomial tree: ceil(log2 P) rounds, each a message plus one
+// addition at the receiver.
+func ReduceSum(m *machine.Machine, contrib []float64, root int) float64 {
+	checkContrib(m, contrib)
+	p := m.P()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: root %d out of range", root))
+	}
+	// Work in a rotated id space where the root is 0.
+	val := make([]float64, p)
+	copy(val, contrib)
+	abs := func(r int) int { return (r + root) % p }
+	for gap := 1; gap < p; gap <<= 1 {
+		for r := 0; r+gap < p; r += 2 * gap {
+			src, dst := abs(r+gap), abs(r)
+			m.Send(src, dst, 1)
+			m.Compute(dst, 1)
+			val[dst] += val[src]
+		}
+	}
+	return val[root]
+}
+
+// Bcast distributes the root's value to all processors along a binomial
+// tree (the reverse of ReduceSum's pattern).
+func Bcast(m *machine.Machine, value float64, root int) []float64 {
+	p := m.P()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("collective: root %d out of range", root))
+	}
+	abs := func(r int) int { return (r + root) % p }
+	has := make([]bool, p)
+	has[0] = true
+	// Find the highest gap used.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	for gap := top >> 1; gap >= 1; gap >>= 1 {
+		for r := 0; r+gap < p; r += 2 * gap {
+			if has[r] && !has[r+gap] {
+				m.Send(abs(r), abs(r+gap), 1)
+				has[r+gap] = true
+			}
+		}
+	}
+	out := make([]float64, p)
+	for i := range out {
+		out[i] = value
+	}
+	return out
+}
+
+// AllreduceSum combines one value per processor into the global sum on
+// every processor using recursive doubling: ceil(log2 P) pairwise
+// exchange rounds. Non-power-of-two counts are handled by folding the
+// excess processors into the power-of-two core first and replaying the
+// result out at the end.
+func AllreduceSum(m *machine.Machine, contrib []float64) []float64 {
+	res := AllreduceVec(m, columns(contrib))
+	out := make([]float64, m.P())
+	for i := range out {
+		out[i] = res[i][0]
+	}
+	return out
+}
+
+func columns(contrib []float64) [][]float64 {
+	out := make([][]float64, len(contrib))
+	for i, v := range contrib {
+		out[i] = []float64{v}
+	}
+	return out
+}
+
+// AllreduceVec is the vector form of AllreduceSum: each processor
+// contributes a slice of w words; the elementwise global sums land on
+// every processor. One batched allreduce of w words costs
+// ceil(log2 P) * (alpha + beta*w) — batching the paper's 6k+O(1) base
+// inner products into one collective is what makes their pipelined
+// computation affordable.
+func AllreduceVec(m *machine.Machine, contrib [][]float64) [][]float64 {
+	p := m.P()
+	if len(contrib) != p {
+		panic(fmt.Sprintf("collective: %d contributions for %d processors", len(contrib), p))
+	}
+	w := len(contrib[0])
+	for i, c := range contrib {
+		if len(c) != w {
+			panic(fmt.Sprintf("collective: processor %d contributes %d words, want %d", i, len(c), w))
+		}
+	}
+	acc := make([][]float64, p)
+	for i := range acc {
+		acc[i] = append([]float64(nil), contrib[i]...)
+	}
+	// Largest power of two <= p.
+	core := 1
+	for core*2 <= p {
+		core *= 2
+	}
+	// Fold the tail into the core.
+	for i := core; i < p; i++ {
+		dst := i - core
+		m.Send(i, dst, w)
+		m.Compute(dst, w)
+		addInto(acc[dst], acc[i])
+	}
+	// Recursive doubling within the core.
+	for gap := 1; gap < core; gap <<= 1 {
+		for i := 0; i < core; i++ {
+			partner := i ^ gap
+			if partner > i {
+				m.Exchange(i, partner, w)
+				m.Compute(i, w)
+				m.Compute(partner, w)
+				sum := make([]float64, w)
+				copy(sum, acc[i])
+				addInto(sum, acc[partner])
+				acc[i] = sum
+				acc[partner] = append([]float64(nil), sum...)
+			}
+		}
+	}
+	// Replay to the folded tail.
+	for i := core; i < p; i++ {
+		src := i - core
+		m.Send(src, i, w)
+		acc[i] = append([]float64(nil), acc[src]...)
+	}
+	return acc
+}
+
+func addInto(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Handle represents a non-blocking collective in flight: the result is
+// mathematically determined at issue time, but each processor may only
+// consume it after its completion clock.
+type Handle struct {
+	// Result holds the per-processor results (as the blocking form
+	// would return them).
+	Result [][]float64
+	// Done[i] is the clock at which processor i has the result.
+	Done []float64
+}
+
+// IAllreduceVec issues a non-blocking vector allreduce: the reduction
+// proceeds on a forked timeline (modelling a communication co-processor
+// or overlapped network progress), leaving the primary clocks
+// untouched. Wait applies the completion times. This is the machinery
+// behind the paper's Figure 1: inner products issued at iteration n-k
+// complete during the following k iterations.
+func IAllreduceVec(m *machine.Machine, contrib [][]float64) *Handle {
+	f := m.Fork()
+	res := AllreduceVec(f, contrib)
+	m.AddStats(f.Stats())
+	return &Handle{Result: res, Done: f.Clocks()}
+}
+
+// Wait blocks processor i on the handle: its clock advances to the
+// completion time if the result has not yet arrived.
+func (h *Handle) Wait(m *machine.Machine, i int) []float64 {
+	m.AdvanceTo(i, h.Done[i])
+	return h.Result[i]
+}
+
+// WaitAll blocks every processor on the handle and returns the results.
+func (h *Handle) WaitAll(m *machine.Machine) [][]float64 {
+	for i := 0; i < m.P(); i++ {
+		m.AdvanceTo(i, h.Done[i])
+	}
+	return h.Result
+}
+
+// AllreduceRabenseifner performs the vector allreduce with the
+// bandwidth-optimal reduce-scatter + allgather composition (Rabenseifner
+// 2004): each of the 2*ceil(log2 P) rounds moves only w/2, w/4, ...
+// words, so total transfer is ~2w instead of recursive doubling's
+// w*log2(P). For small w (the scalar reductions of CG) recursive
+// doubling's lower round count wins; for the wide batched base-product
+// reductions of the look-ahead algorithm this form wins once
+// beta*w >> alpha. Requires a power-of-two processor count.
+func AllreduceRabenseifner(m *machine.Machine, contrib [][]float64) [][]float64 {
+	p := m.P()
+	if len(contrib) != p {
+		panic(fmt.Sprintf("collective: %d contributions for %d processors", len(contrib), p))
+	}
+	if p&(p-1) != 0 {
+		panic("collective: AllreduceRabenseifner requires power-of-two P")
+	}
+	w := len(contrib[0])
+	for i, c := range contrib {
+		if len(c) != w {
+			panic(fmt.Sprintf("collective: processor %d contributes %d words, want %d", i, len(c), w))
+		}
+	}
+	acc := make([][]float64, p)
+	for i := range acc {
+		acc[i] = append([]float64(nil), contrib[i]...)
+	}
+	if p == 1 {
+		return acc
+	}
+
+	// Reduce-scatter by recursive halving: after the rounds, processor i
+	// holds the fully reduced segment seg(i).
+	type span struct{ lo, hi int } // word range [lo, hi)
+	owned := make([]span, p)
+	for i := range owned {
+		owned[i] = span{0, w}
+	}
+	for gap := p / 2; gap >= 1; gap /= 2 {
+		for i := 0; i < p; i++ {
+			partner := i ^ gap
+			if partner < i {
+				continue
+			}
+			// Each of the pair keeps half of its current span; they
+			// exchange the halves they are giving up.
+			s := owned[i]
+			mid := (s.lo + s.hi + 1) / 2
+			words := s.hi - s.lo - (mid - s.lo)
+			if words < 0 {
+				words = 0
+			}
+			// The lower-indexed processor keeps the lower half.
+			m.Exchange(i, partner, maxInt(mid-s.lo, s.hi-mid))
+			m.Compute(i, mid-s.lo)
+			m.Compute(partner, s.hi-mid)
+			for x := s.lo; x < mid; x++ {
+				acc[i][x] += acc[partner][x]
+			}
+			for x := mid; x < s.hi; x++ {
+				acc[partner][x] += acc[i][x]
+			}
+			owned[i] = span{s.lo, mid}
+			owned[partner] = span{mid, s.hi}
+		}
+	}
+	// Now acc[i][owned[i]] holds the global sums for that segment.
+	// Allgather by recursive doubling: spans merge back.
+	for gap := 1; gap < p; gap *= 2 {
+		for i := 0; i < p; i++ {
+			partner := i ^ gap
+			if partner < i {
+				continue
+			}
+			si, sp := owned[i], owned[partner]
+			words := maxInt(si.hi-si.lo, sp.hi-sp.lo)
+			m.Exchange(i, partner, words)
+			for x := sp.lo; x < sp.hi; x++ {
+				acc[i][x] = acc[partner][x]
+			}
+			for x := si.lo; x < si.hi; x++ {
+				acc[partner][x] = acc[i][x]
+			}
+			merged := span{minInt(si.lo, sp.lo), maxInt(si.hi, sp.hi)}
+			owned[i], owned[partner] = merged, merged
+		}
+	}
+	return acc
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ScanSum computes the inclusive prefix sum across processors with the
+// Hillis–Steele pattern: ceil(log2 P) rounds of shifted sends, each
+// round's messages posted simultaneously.
+func ScanSum(m *machine.Machine, contrib []float64) []float64 {
+	checkContrib(m, contrib)
+	p := m.P()
+	acc := append([]float64(nil), contrib...)
+	for gap := 1; gap < p; gap <<= 1 {
+		next := append([]float64(nil), acc...)
+		msgs := make([]machine.Message, 0, p)
+		for i := 0; i+gap < p; i++ {
+			msgs = append(msgs, machine.Message{From: i, To: i + gap, Words: 1})
+			next[i+gap] += acc[i]
+		}
+		m.SendPhase(msgs)
+		for i := 0; i+gap < p; i++ {
+			m.Compute(i+gap, 1)
+		}
+		acc = next
+	}
+	return acc
+}
+
+// AllgatherRing collects one word from every processor onto all
+// processors via a ring pipeline: P-1 rounds of simultaneous neighbor
+// shifts.
+func AllgatherRing(m *machine.Machine, contrib []float64) [][]float64 {
+	checkContrib(m, contrib)
+	p := m.P()
+	out := make([][]float64, p)
+	for i := range out {
+		out[i] = make([]float64, p)
+		out[i][i] = contrib[i]
+	}
+	for round := 0; round < p-1; round++ {
+		msgs := make([]machine.Message, 0, p)
+		for i := 0; i < p; i++ {
+			dst := (i + 1) % p
+			idx := (i - round + p) % p // block being forwarded by i
+			msgs = append(msgs, machine.Message{From: i, To: dst, Words: 1})
+			out[dst][idx] = contrib[idx]
+		}
+		m.SendPhase(msgs)
+	}
+	return out
+}
+
+// Barrier synchronizes all processors: a reduce followed by a broadcast
+// of a zero-word token (charged as one-word messages).
+func Barrier(m *machine.Machine) {
+	if m.P() == 1 {
+		return
+	}
+	zero := make([]float64, m.P())
+	ReduceSum(m, zero, 0)
+	Bcast(m, 0, 0)
+	// All processors leave at the broadcast completion: equalize to the
+	// max clock, as a true barrier renders earlier arrival unusable.
+	mx := m.MaxClock()
+	for i := 0; i < m.P(); i++ {
+		m.AdvanceTo(i, mx)
+	}
+}

@@ -1,0 +1,436 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/machine"
+)
+
+func mk(p int) *machine.Machine {
+	return machine.New(machine.DefaultConfig(p))
+}
+
+func contribs(p int, seed uint64) []float64 {
+	out := make([]float64, p)
+	s := seed
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = float64(int64(s>>33))/float64(1<<30) - 1
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestReduceSumCorrectAllP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		m := mk(p)
+		c := contribs(p, uint64(p))
+		got := ReduceSum(m, c, 0)
+		if math.Abs(got-sum(c)) > 1e-9 {
+			t.Fatalf("P=%d: reduce %v, want %v", p, got, sum(c))
+		}
+	}
+}
+
+func TestReduceSumNonzeroRoot(t *testing.T) {
+	p := 10
+	for root := 0; root < p; root++ {
+		m := mk(p)
+		c := contribs(p, 77)
+		got := ReduceSum(m, c, root)
+		if math.Abs(got-sum(c)) > 1e-9 {
+			t.Fatalf("root=%d: reduce %v, want %v", root, got, sum(c))
+		}
+	}
+}
+
+func TestReduceLogTime(t *testing.T) {
+	// Time must grow like log2(P), not P.
+	t64 := func(p int) float64 {
+		m := mk(p)
+		ReduceSum(m, contribs(p, 5), 0)
+		return m.MaxClock()
+	}
+	r256 := t64(256)
+	r4096 := t64(4096)
+	// log2 ratio: 12/8 = 1.5; linear would be 16.
+	if ratio := r4096 / r256; ratio > 2.5 {
+		t.Fatalf("reduce not logarithmic: t(4096)/t(256) = %.2f", ratio)
+	}
+}
+
+func TestBcastDeliversEverywhere(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		m := mk(p)
+		out := Bcast(m, 3.25, p/2)
+		for i, v := range out {
+			if v != 3.25 {
+				t.Fatalf("P=%d proc %d got %v", p, i, v)
+			}
+		}
+	}
+}
+
+func TestBcastLogTime(t *testing.T) {
+	tcost := func(p int) float64 {
+		m := mk(p)
+		Bcast(m, 1, 0)
+		return m.MaxClock()
+	}
+	if ratio := tcost(4096) / tcost(256); ratio > 2.5 {
+		t.Fatalf("bcast not logarithmic: ratio %.2f", ratio)
+	}
+}
+
+func TestAllreduceSumAllProcsAgree(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8, 12, 16, 31} {
+		m := mk(p)
+		c := contribs(p, uint64(p)*3)
+		out := AllreduceSum(m, c)
+		want := sum(c)
+		for i, v := range out {
+			if math.Abs(v-want) > 1e-9 {
+				t.Fatalf("P=%d proc %d: %v want %v", p, i, v, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceVecBatched(t *testing.T) {
+	p := 8
+	w := 5
+	m := mk(p)
+	contrib := make([][]float64, p)
+	want := make([]float64, w)
+	for i := range contrib {
+		contrib[i] = contribs(w, uint64(i+1))
+		for j, v := range contrib[i] {
+			want[j] += v
+		}
+	}
+	out := AllreduceVec(m, contrib)
+	for i := range out {
+		for j := range out[i] {
+			if math.Abs(out[i][j]-want[j]) > 1e-9 {
+				t.Fatalf("proc %d word %d: %v want %v", i, j, out[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestAllreduceBatchingCheaperThanSeparate(t *testing.T) {
+	// One 16-word allreduce must beat sixteen 1-word allreduces: the
+	// latency term amortizes. This is why VRCG batches its base inner
+	// products.
+	p := 64
+	w := 16
+	batched := mk(p)
+	contrib := make([][]float64, p)
+	for i := range contrib {
+		contrib[i] = contribs(w, uint64(i))
+	}
+	AllreduceVec(batched, contrib)
+
+	separate := mk(p)
+	for j := 0; j < w; j++ {
+		c := make([]float64, p)
+		for i := range c {
+			c[i] = contrib[i][j]
+		}
+		AllreduceSum(separate, c)
+	}
+	if batched.MaxClock() >= separate.MaxClock() {
+		t.Fatalf("batched %v not cheaper than separate %v", batched.MaxClock(), separate.MaxClock())
+	}
+}
+
+func TestAllreduceLogTime(t *testing.T) {
+	tcost := func(p int) float64 {
+		m := mk(p)
+		AllreduceSum(m, contribs(p, 9))
+		return m.MaxClock()
+	}
+	if ratio := tcost(4096) / tcost(256); ratio > 2.5 {
+		t.Fatalf("allreduce not logarithmic: ratio %.2f", ratio)
+	}
+}
+
+func TestIAllreduceOverlap(t *testing.T) {
+	p := 16
+	m := mk(p)
+	contrib := columns(contribs(p, 21))
+	h := IAllreduceVec(m, contrib)
+	// Primary clocks untouched at issue.
+	if m.MaxClock() != 0 {
+		t.Fatalf("issue advanced primary clocks to %v", m.MaxClock())
+	}
+	// Overlapped local work longer than the reduction: wait is then free.
+	m.ComputeAll(10000)
+	before := m.Clocks()
+	res := h.WaitAll(m)
+	after := m.Clocks()
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("wait stalled proc %d despite overlap: %v -> %v", i, before[i], after[i])
+		}
+	}
+	want := sum(contribs(p, 21))
+	for i := range res {
+		if math.Abs(res[i][0]-want) > 1e-9 {
+			t.Fatalf("IAllreduce result wrong on proc %d", i)
+		}
+	}
+}
+
+func TestIAllreduceWaitStallsWithoutOverlap(t *testing.T) {
+	p := 16
+	m := mk(p)
+	h := IAllreduceVec(m, columns(contribs(p, 22)))
+	// No local work: waiting must advance the clocks to the reduction
+	// completion time.
+	h.WaitAll(m)
+	if m.MaxClock() == 0 {
+		t.Fatal("wait with no overlap should cost time")
+	}
+}
+
+func TestScanSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 13} {
+		m := mk(p)
+		c := contribs(p, uint64(p)+100)
+		out := ScanSum(m, c)
+		run := 0.0
+		for i := 0; i < p; i++ {
+			run += c[i]
+			if math.Abs(out[i]-run) > 1e-9 {
+				t.Fatalf("P=%d prefix %d: %v want %v", p, i, out[i], run)
+			}
+		}
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	p := 6
+	m := mk(p)
+	c := contribs(p, 55)
+	out := AllgatherRing(m, c)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if out[i][j] != c[j] {
+				t.Fatalf("proc %d slot %d: %v want %v", i, j, out[i][j], c[j])
+			}
+		}
+	}
+	// Ring allgather is linear in P by design.
+	if m.Stats().Messages != p*(p-1) {
+		t.Fatalf("messages = %d, want %d", m.Stats().Messages, p*(p-1))
+	}
+}
+
+func TestBarrierEqualizesClocks(t *testing.T) {
+	m := mk(8)
+	m.Compute(3, 100)
+	Barrier(m)
+	mn, mx := m.MinClock(), m.MaxClock()
+	if mn != mx {
+		t.Fatalf("clocks not equal after barrier: [%v, %v]", mn, mx)
+	}
+	if mx < 100 {
+		t.Fatal("barrier lost the latest clock")
+	}
+	// Single-processor barrier is a no-op.
+	one := mk(1)
+	Barrier(one)
+	if one.MaxClock() != 0 {
+		t.Fatal("P=1 barrier should be free")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	m := mk(4)
+	for _, f := range []func(){
+		func() { ReduceSum(m, make([]float64, 3), 0) },
+		func() { ReduceSum(m, make([]float64, 4), 9) },
+		func() { Bcast(m, 1, -1) },
+		func() { AllreduceVec(m, [][]float64{{1}, {1}, {1}, {1, 2}}) },
+		func() { ScanSum(m, make([]float64, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: all collectives compute correct sums for random sizes/values.
+func TestPropCollectivesCorrect(t *testing.T) {
+	f := func(pRaw uint8, seed uint64) bool {
+		p := int(pRaw)%40 + 1
+		c := contribs(p, seed)
+		want := sum(c)
+
+		if got := ReduceSum(mk(p), c, int(seed%uint64(p))); math.Abs(got-want) > 1e-9 {
+			return false
+		}
+		for _, v := range AllreduceSum(mk(p), c) {
+			if math.Abs(v-want) > 1e-9 {
+				return false
+			}
+		}
+		out := ScanSum(mk(p), c)
+		if math.Abs(out[p-1]-want) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allreduce completion time grows at most logarithmically:
+// doubling P adds at most one round's cost.
+func TestPropAllreduceLogRounds(t *testing.T) {
+	f := func(e uint8) bool {
+		exp := int(e)%8 + 2 // P = 4 .. 512
+		p := 1 << exp
+		m1 := mk(p)
+		AllreduceSum(m1, contribs(p, 1))
+		m2 := mk(2 * p)
+		AllreduceSum(m2, contribs(2*p, 1))
+		perRound := m1.MaxClock() / float64(exp)
+		return m2.MaxClock() <= m1.MaxClock()+perRound*1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRabenseifnerCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		for _, w := range []int{1, 3, 8, 33} {
+			m := mk(p)
+			contrib := make([][]float64, p)
+			want := make([]float64, w)
+			for i := range contrib {
+				contrib[i] = contribs(w, uint64(i*7+p))
+				for j, v := range contrib[i] {
+					want[j] += v
+				}
+			}
+			out := AllreduceRabenseifner(m, contrib)
+			for i := range out {
+				for j := range out[i] {
+					if math.Abs(out[i][j]-want[j]) > 1e-9 {
+						t.Fatalf("P=%d w=%d proc %d word %d: %v want %v", p, w, i, j, out[i][j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRabenseifnerRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := mk(6)
+	contrib := make([][]float64, 6)
+	for i := range contrib {
+		contrib[i] = []float64{1}
+	}
+	AllreduceRabenseifner(m, contrib)
+}
+
+func TestRabenseifnerWinsForWideMessages(t *testing.T) {
+	// With beta*w >> alpha, reduce-scatter+allgather must beat recursive
+	// doubling (it moves ~2w words instead of w*log2 P).
+	p := 64
+	w := 4096
+	cfg := machine.Config{P: p, Alpha: 1, Beta: 1, FlopTime: 0}
+	mkc := func() [][]float64 {
+		contrib := make([][]float64, p)
+		for i := range contrib {
+			contrib[i] = contribs(w, uint64(i))
+		}
+		return contrib
+	}
+	rd := machine.New(cfg)
+	AllreduceVec(rd, mkc())
+	rab := machine.New(cfg)
+	AllreduceRabenseifner(rab, mkc())
+	if rab.MaxClock() >= rd.MaxClock() {
+		t.Fatalf("Rabenseifner %v not below recursive doubling %v for wide messages",
+			rab.MaxClock(), rd.MaxClock())
+	}
+}
+
+func TestRecursiveDoublingWinsForNarrowMessages(t *testing.T) {
+	// With alpha >> beta*w, recursive doubling's log2(P) rounds beat
+	// Rabenseifner's 2*log2(P) rounds.
+	p := 64
+	w := 1
+	cfg := machine.Config{P: p, Alpha: 100, Beta: 0.001, FlopTime: 0}
+	mkc := func() [][]float64 {
+		contrib := make([][]float64, p)
+		for i := range contrib {
+			contrib[i] = contribs(w, uint64(i))
+		}
+		return contrib
+	}
+	rd := machine.New(cfg)
+	AllreduceVec(rd, mkc())
+	rab := machine.New(cfg)
+	AllreduceRabenseifner(rab, mkc())
+	if rd.MaxClock() >= rab.MaxClock() {
+		t.Fatalf("recursive doubling %v not below Rabenseifner %v for narrow messages",
+			rd.MaxClock(), rab.MaxClock())
+	}
+}
+
+// Property: Rabenseifner agrees with recursive doubling on the values.
+func TestPropRabenseifnerMatchesRecursiveDoubling(t *testing.T) {
+	f := func(seed uint64, pExp, wRaw uint8) bool {
+		p := 1 << (int(pExp)%5 + 1) // 2..32
+		w := int(wRaw)%20 + 1
+		contrib := make([][]float64, p)
+		for i := range contrib {
+			contrib[i] = contribs(w, seed+uint64(i))
+		}
+		clone := func() [][]float64 {
+			out := make([][]float64, p)
+			for i := range out {
+				out[i] = append([]float64(nil), contrib[i]...)
+			}
+			return out
+		}
+		a := AllreduceVec(mk(p), clone())
+		b := AllreduceRabenseifner(mk(p), clone())
+		for i := range a {
+			for j := range a[i] {
+				if math.Abs(a[i][j]-b[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package collective_test
+
+import (
+	"fmt"
+
+	"vrcg/internal/collective"
+	"vrcg/internal/machine"
+)
+
+// ExampleAllreduceSum sums one contribution per processor on a simulated
+// 8-processor machine; every processor receives the total, and the
+// parallel time is the log2(P) fan-in the paper's analysis assumes.
+func ExampleAllreduceSum() {
+	m := machine.New(machine.Config{P: 8, Alpha: 1, Beta: 0, FlopTime: 0})
+	contrib := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	out := collective.AllreduceSum(m, contrib)
+	fmt.Printf("sum=%v rounds=%v\n", out[0], m.MaxClock())
+	// Output: sum=36 rounds=3
+}
+
+// ExampleIAllreduceVec overlaps a reduction with local work — the
+// pipelining mechanism behind the paper's Figure 1.
+func ExampleIAllreduceVec() {
+	m := machine.New(machine.Config{P: 4, Alpha: 10, Beta: 0, FlopTime: 1})
+	contrib := [][]float64{{1}, {2}, {3}, {4}}
+	h := collective.IAllreduceVec(m, contrib)
+	m.ComputeAll(100) // local work longer than the reduction
+	before := m.MaxClock()
+	res := h.WaitAll(m) // free: the reduction finished during the work
+	fmt.Printf("sum=%v stalled=%v\n", res[0][0], m.MaxClock() != before)
+	// Output: sum=10 stalled=false
+}

@@ -1,0 +1,225 @@
+package core
+
+import "fmt"
+
+// CoeffPair represents a vector symbolically as a polynomial combination
+// of the Krylov base at some anchor iteration m:
+//
+//	v = sum_i Rho[i] A^i r(m)  +  sum_i Pi[i] A^i p(m)
+//
+// This is the representation behind the paper's equation (*): applying
+// the CG recurrences to CoeffPairs instead of vectors produces, after k
+// steps, exactly the coefficients a_i, b_i, c_i of (*) — polynomials in
+// the step parameters {a_{n-1}..a_{n-k}, lambda_{n-1}..lambda_{n-k}}.
+// The package uses it to validate the sliding-window engine and to
+// demonstrate claim C3 constructively.
+type CoeffPair struct {
+	Rho []float64 // coefficients of A^i r(m)
+	Pi  []float64 // coefficients of A^i p(m)
+}
+
+// NewCoeffR returns the representation of r(m) itself: Rho = [1].
+func NewCoeffR() CoeffPair { return CoeffPair{Rho: []float64{1}, Pi: nil} }
+
+// NewCoeffP returns the representation of p(m) itself: Pi = [1].
+func NewCoeffP() CoeffPair { return CoeffPair{Rho: nil, Pi: []float64{1}} }
+
+// Clone returns an independent copy.
+func (c CoeffPair) Clone() CoeffPair {
+	out := CoeffPair{
+		Rho: make([]float64, len(c.Rho)),
+		Pi:  make([]float64, len(c.Pi)),
+	}
+	copy(out.Rho, c.Rho)
+	copy(out.Pi, c.Pi)
+	return out
+}
+
+// Degree returns the highest power of A appearing with any coefficient
+// slot (structural degree; trailing zeros still count as allocated).
+func (c CoeffPair) Degree() int {
+	d := len(c.Rho) - 1
+	if e := len(c.Pi) - 1; e > d {
+		d = e
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// shiftA returns the representation of A*v: every power index rises by one.
+func (c CoeffPair) shiftA() CoeffPair {
+	out := CoeffPair{}
+	if len(c.Rho) > 0 {
+		out.Rho = append([]float64{0}, c.Rho...)
+	}
+	if len(c.Pi) > 0 {
+		out.Pi = append([]float64{0}, c.Pi...)
+	}
+	return out
+}
+
+// axpyCoeff returns x + s*y on coefficient vectors.
+func axpyCoeff(x, y []float64, s float64) []float64 {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	out := make([]float64, n)
+	copy(out, x)
+	for i := range y {
+		out[i] += s * y[i]
+	}
+	return out
+}
+
+// AddScaled returns c + s*other.
+func (c CoeffPair) AddScaled(s float64, other CoeffPair) CoeffPair {
+	return CoeffPair{
+		Rho: axpyCoeff(c.Rho, other.Rho, s),
+		Pi:  axpyCoeff(c.Pi, other.Pi, s),
+	}
+}
+
+// StepCGR advances the residual representation alone: r' = r - λ A p.
+// Splitting the step lets callers evaluate (r', r') — and hence alpha —
+// before committing the direction update, mirroring Families.StepR.
+func StepCGR(r, p CoeffPair, lambda float64) CoeffPair {
+	return r.AddScaled(-lambda, p.shiftA())
+}
+
+// StepCGP completes the step: p' = r' + a p.
+func StepCGP(rNew, p CoeffPair, alpha float64) CoeffPair {
+	return rNew.AddScaled(alpha, p)
+}
+
+// StepCG advances the pair of representations (r, p) by one CG iteration
+// with scalars lambda (λ_n) and alpha (a_{n+1}):
+//
+//	r' = r - λ A p,   p' = r' + a p
+//
+// returning the new pair. Degrees grow by one per step, so after k steps
+// the representations span powers 0..k — the base set the paper's
+// look-ahead uses.
+func StepCG(r, p CoeffPair, lambda, alpha float64) (rNew, pNew CoeffPair) {
+	rNew = StepCGR(r, p, lambda)
+	pNew = StepCGP(rNew, p, alpha)
+	return rNew, pNew
+}
+
+// BaseGram holds the inner products among the base Krylov vectors the
+// paper's equation (*) contracts against:
+//
+//	Mu[i]    = (r(m), A^i r(m))
+//	Nu[i]    = (r(m), A^i p(m))
+//	Omega[i] = (p(m), A^i p(m))
+//
+// Slices must extend far enough for the contraction being performed:
+// index i+j(+shift) for all coefficient degrees i, j in play.
+type BaseGram struct {
+	Mu, Nu, Omega []float64
+}
+
+// Contract evaluates (x, A^shift y) for vectors represented by x and y
+// over the base Gram sequences, using symmetry (A^a u, A^b v) = (u, A^{a+b} v):
+//
+//	(x, A^s y) = sum_{ij} xR_i yR_j Mu[i+j+s]
+//	           + sum_{ij} (xR_i yP_j + xP_i yR_j) Nu[i+j+s]
+//	           + sum_{ij} xP_i yP_j Omega[i+j+s]
+//
+// This is precisely the paper's equation (*) once x = y = r(n) (s=0) or
+// x = y = p(n) (s=1). Contract panics if the Gram sequences are too short.
+func (g BaseGram) Contract(x, y CoeffPair, shift int) float64 {
+	need := x.Degree() + y.Degree() + shift
+	if len(g.Mu) <= need && hasAny(x.Rho) && hasAny(y.Rho) {
+		panic(fmt.Sprintf("core: Mu length %d insufficient for index %d", len(g.Mu), need))
+	}
+	if len(g.Omega) <= need && hasAny(x.Pi) && hasAny(y.Pi) {
+		panic(fmt.Sprintf("core: Omega length %d insufficient for index %d", len(g.Omega), need))
+	}
+	var s float64
+	for i, xi := range x.Rho {
+		if xi == 0 {
+			continue
+		}
+		for j, yj := range y.Rho {
+			if yj != 0 {
+				s += xi * yj * g.Mu[i+j+shift]
+			}
+		}
+		for j, yj := range y.Pi {
+			if yj != 0 {
+				s += xi * yj * g.Nu[i+j+shift]
+			}
+		}
+	}
+	for i, xi := range x.Pi {
+		if xi == 0 {
+			continue
+		}
+		for j, yj := range y.Rho {
+			if yj != 0 {
+				s += xi * yj * g.Nu[i+j+shift]
+			}
+		}
+		for j, yj := range y.Pi {
+			if yj != 0 {
+				s += xi * yj * g.Omega[i+j+shift]
+			}
+		}
+	}
+	return s
+}
+
+func hasAny(c []float64) bool {
+	for _, v := range c {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StarCoefficients expands equation (*) symbolically for the r(n) inner
+// product after k steps with the given parameter history: it returns the
+// coefficient arrays (aCoef, bCoef, cCoef) such that
+//
+//	(r(n), r(n)) = sum_i aCoef[i] (r, A^i r)
+//	             + sum_i bCoef[i] (r, A^i p)
+//	             + sum_i cCoef[i] (p, A^i p)
+//
+// with r = r(n-k), p = p(n-k). lambdas[j] and alphas[j] are λ_{m+j} and
+// a_{m+j+1} for j = 0..k-1 where m = n-k. The arrays have length 2k+1,
+// realizing the paper's claim that such coefficients exist and are
+// polynomials in the parameters.
+func StarCoefficients(lambdas, alphas []float64) (aCoef, bCoef, cCoef []float64) {
+	if len(lambdas) != len(alphas) {
+		panic("core: lambdas and alphas must have equal length")
+	}
+	k := len(lambdas)
+	r := NewCoeffR()
+	p := NewCoeffP()
+	for j := 0; j < k; j++ {
+		r, p = StepCG(r, p, lambdas[j], alphas[j])
+	}
+	aCoef = make([]float64, 2*k+1)
+	bCoef = make([]float64, 2*k+1)
+	cCoef = make([]float64, 2*k+1)
+	// (r(n), r(n)) = sum_{ij} rho_i rho_j Mu_{i+j} + 2 rho_i pi_j Nu_{i+j}
+	//              + pi_i pi_j Omega_{i+j}
+	for i, ri := range r.Rho {
+		for j, rj := range r.Rho {
+			aCoef[i+j] += ri * rj
+		}
+		for j, pj := range r.Pi {
+			bCoef[i+j] += 2 * ri * pj
+		}
+	}
+	for i, pi := range r.Pi {
+		for j, pj := range r.Pi {
+			cCoef[i+j] += pi * pj
+		}
+	}
+	return aCoef, bCoef, cCoef
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+// Iterator exposes the look-ahead iteration one step at a time, for
+// callers that embed the solver in their own control loop (adaptive
+// tolerances, inner-outer schemes, instrumentation). Solve is a thin
+// wrapper over the same mechanics; Iterator trades its conveniences
+// (history, callbacks) for step-level control.
+type Iterator struct {
+	a   mat.Matrix
+	b   vec.Vector
+	opt Options
+
+	x         vec.Vector
+	fam       *Families
+	win       *Window
+	rr        float64
+	threshold float64
+	iter      int
+	done      bool
+	stats     krylov.Stats
+}
+
+// NewIterator prepares a look-ahead iteration for A x = b. The same
+// option fields as Solve apply, except history/callback/validation.
+func NewIterator(a mat.Matrix, b vec.Vector, o Options) (*Iterator, error) {
+	if a.Dim() != b.Len() {
+		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+	}
+	if o.K < 0 {
+		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0", o.K)
+	}
+	if o.X0 != nil && o.X0.Len() != a.Dim() {
+		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	}
+	n := a.Dim()
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.ReanchorEvery == 0 {
+		o.ReanchorEvery = DefaultReanchorInterval(o.K)
+	}
+
+	it := &Iterator{a: a, b: b.Clone(), opt: o}
+	if o.X0 != nil {
+		it.x = o.X0.Clone()
+	} else {
+		it.x = vec.New(n)
+	}
+	r0 := vec.New(n)
+	a.MulVec(r0, it.x)
+	vec.Sub(r0, b, r0)
+	it.stats.MatVecs++
+
+	bn := vec.Norm2(b)
+	if bn == 0 {
+		bn = 1
+	}
+	it.threshold = o.Tol * bn
+
+	it.fam = NewFamilies(a, r0, o.K)
+	it.stats.MatVecs += o.K + 1
+	it.win = NewWindow(o.K)
+	it.win.InitDirect(it.fam.R, it.fam.P)
+	it.stats.InnerProducts += (2*o.K + 1) + (2*o.K + 2) + (2*o.K + 3)
+	it.rr = it.win.RR()
+	it.done = it.resNorm() <= it.threshold
+	return it, nil
+}
+
+func (it *Iterator) resNorm() float64 { return math.Sqrt(math.Max(it.rr, 0)) }
+
+// Iteration returns the number of completed steps.
+func (it *Iterator) Iteration() int { return it.iter }
+
+// ResidualNorm returns the current recurrence residual norm.
+func (it *Iterator) ResidualNorm() float64 { return it.resNorm() }
+
+// Converged reports whether the tolerance has been met.
+func (it *Iterator) Converged() bool { return it.done }
+
+// X returns the live iterate (not a copy; mutate at your peril).
+func (it *Iterator) X() vec.Vector { return it.x }
+
+// Stats returns the work counters so far.
+func (it *Iterator) Stats() krylov.Stats { return it.stats }
+
+// Step advances one iteration. It returns false once converged (further
+// calls are no-ops) and an error on breakdown.
+func (it *Iterator) Step() (bool, error) {
+	if it.done {
+		return false, nil
+	}
+	k := it.opt.K
+
+	pap := it.win.PAP()
+	if pap <= 0 || math.IsNaN(pap) {
+		pap = vec.Dot(it.fam.Direction(), it.fam.AP())
+		it.stats.InnerProducts++
+		it.win.W[1] = pap
+	}
+	if pap <= 0 || math.IsNaN(pap) {
+		return false, fmt.Errorf("core: (p,Ap) = %g at iteration %d: %w", pap, it.iter, krylov.ErrIndefinite)
+	}
+	lambda := it.rr / pap
+
+	vec.Axpy(lambda, it.fam.Direction(), it.x)
+	it.stats.VectorUpdates++
+	it.fam.StepR(lambda)
+	it.stats.VectorUpdates += k + 1
+
+	rrNew := it.win.PeekRR(lambda)
+	fellBack := false
+	if rrNew <= 0 || math.IsNaN(rrNew) {
+		rrNew = vec.Dot(it.fam.Residual(), it.fam.Residual())
+		it.stats.InnerProducts++
+		fellBack = true
+	}
+	if it.rr == 0 {
+		return false, fmt.Errorf("core: (r,r) vanished at iteration %d: %w", it.iter, krylov.ErrBreakdown)
+	}
+	alpha := rrNew / it.rr
+
+	it.fam.StepP(it.a, alpha)
+	it.stats.VectorUpdates += k + 1
+	it.stats.MatVecs++
+
+	topN, topW1, topW2 := it.fam.DirectTops()
+	it.stats.InnerProducts += 3
+	it.win.Step(lambda, alpha, topN, topW1, topW2)
+	if fellBack {
+		it.win.M[0] = rrNew
+	}
+	it.rr = it.win.RR()
+	it.iter++
+
+	if it.opt.ReanchorEvery > 0 && it.iter%it.opt.ReanchorEvery == 0 {
+		if !it.opt.WindowOnlyReanchor {
+			for i := 1; i <= k; i++ {
+				it.a.MulVec(it.fam.R[i], it.fam.R[i-1])
+			}
+			for i := 1; i <= k+1; i++ {
+				it.a.MulVec(it.fam.P[i], it.fam.P[i-1])
+			}
+			it.stats.MatVecs += 2*k + 1
+		}
+		it.win.InitDirect(it.fam.R, it.fam.P)
+		it.stats.InnerProducts += (2*k + 1) + (2*k + 2) + (2*k + 3)
+		it.rr = it.win.RR()
+	}
+
+	if it.resNorm() <= it.threshold {
+		// Verify with a direct product before declaring convergence.
+		rrDirect := vec.Dot(it.fam.Residual(), it.fam.Residual())
+		it.stats.InnerProducts++
+		it.win.M[0] = rrDirect
+		it.rr = rrDirect
+		if it.resNorm() <= it.threshold {
+			it.done = true
+		}
+	}
+	return !it.done, nil
+}
+
+// TrueResidualNorm computes ||b - A x|| directly (one matvec).
+func (it *Iterator) TrueResidualNorm() float64 {
+	n := it.a.Dim()
+	tr := vec.New(n)
+	it.a.MulVec(tr, it.x)
+	vec.Sub(tr, it.b, tr)
+	it.stats.MatVecs++
+	return vec.Norm2(tr)
+}

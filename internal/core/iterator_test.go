@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func TestIteratorSolves(t *testing.T) {
+	a := mat.Poisson2D(8)
+	n := a.Dim()
+	xTrue := vec.New(n)
+	vec.Random(xTrue, 71)
+	b := vec.New(n)
+	a.MulVec(b, xTrue)
+
+	it, err := NewIterator(a, b, Options{K: 2, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*n; i++ {
+		more, err := it.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	if !it.Converged() {
+		t.Fatalf("iterator did not converge in %d steps (res %g)", it.Iteration(), it.ResidualNorm())
+	}
+	if it.TrueResidualNorm() > 1e-6*vec.Norm2(b) {
+		t.Fatalf("true residual %g", it.TrueResidualNorm())
+	}
+	if !it.X().EqualTol(xTrue, 1e-5) {
+		t.Fatal("iterator solution wrong")
+	}
+}
+
+func TestIteratorMatchesSolve(t *testing.T) {
+	a := mat.Poisson2D(6)
+	b := vec.New(a.Dim())
+	vec.Random(b, 72)
+	solved, err := Solve(a, b, Options{K: 2, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIterator(a, b, Options{K: 2, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		more, err := it.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	if it.Iteration() != solved.Iterations {
+		t.Fatalf("iterator took %d steps, Solve took %d", it.Iteration(), solved.Iterations)
+	}
+	if !it.X().EqualTol(solved.X, 1e-10) {
+		t.Fatal("iterator and Solve disagree")
+	}
+}
+
+func TestIteratorStepAfterConvergenceIsNoop(t *testing.T) {
+	a := mat.Poisson1D(8)
+	b := vec.New(8) // zero rhs: converged at construction
+	it, err := NewIterator(a, b, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Converged() {
+		t.Fatal("zero rhs should converge immediately")
+	}
+	more, err := it.Step()
+	if err != nil || more {
+		t.Fatalf("post-convergence Step: more=%v err=%v", more, err)
+	}
+	if it.Iteration() != 0 {
+		t.Fatal("no-op step advanced the counter")
+	}
+}
+
+func TestIteratorEarlyInspection(t *testing.T) {
+	// The point of the stepper: a caller can watch the residual and
+	// change its mind mid-solve.
+	a := mat.Poisson2D(8)
+	b := vec.New(a.Dim())
+	vec.Random(b, 73)
+	it, err := NewIterator(a, b, Options{K: 1, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := it.ResidualNorm()
+	for i := 0; i < 5; i++ {
+		if _, err := it.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if it.Iteration() != 5 {
+		t.Fatalf("iteration counter %d, want 5", it.Iteration())
+	}
+	if it.ResidualNorm() >= start {
+		t.Fatal("no residual progress in 5 steps")
+	}
+	if it.Stats().MatVecs == 0 {
+		t.Fatal("stats not accumulating")
+	}
+}
+
+func TestIteratorBadArguments(t *testing.T) {
+	a := mat.Poisson1D(5)
+	if _, err := NewIterator(a, vec.New(6), Options{K: 1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := NewIterator(a, vec.New(5), Options{K: -2}); err == nil {
+		t.Fatal("expected K error")
+	}
+	if _, err := NewIterator(a, vec.New(5), Options{K: 1, X0: vec.New(2)}); err == nil {
+		t.Fatal("expected x0 error")
+	}
+}
+
+func TestIteratorIndefinite(t *testing.T) {
+	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	it, err := NewIterator(a, vec.NewFrom([]float64{1, 1}), Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepErr error
+	for i := 0; i < 50 && stepErr == nil; i++ {
+		var more bool
+		more, stepErr = it.Step()
+		if !more && stepErr == nil {
+			break
+		}
+	}
+	if stepErr == nil && it.Converged() {
+		t.Fatal("indefinite system should not converge cleanly")
+	}
+}

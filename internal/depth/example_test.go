@@ -1,0 +1,28 @@
+package depth_test
+
+import (
+	"fmt"
+
+	"vrcg/internal/depth"
+)
+
+// ExampleCGRate computes the paper's claim C1: per-iteration parallel
+// time of standard CG is dominated by two log2(N) summation fan-ins.
+func ExampleCGRate() {
+	// d = 5 (2D stencil): rate = 2*log2(N) + log2ceil(5) + 5.
+	fmt.Printf("N=2^10: %.0f\n", depth.CGRate(1<<10, 5))
+	fmt.Printf("N=2^20: %.0f\n", depth.CGRate(1<<20, 5))
+	// Output:
+	// N=2^10: 30
+	// N=2^20: 50
+}
+
+// ExampleVRCGRate shows the restructured algorithm's near-flat rate with
+// the paper's k = log2(N) look-ahead.
+func ExampleVRCGRate() {
+	fmt.Printf("N=2^10: %.0f\n", depth.VRCGRate(1<<10, 5, 10))
+	fmt.Printf("N=2^20: %.0f\n", depth.VRCGRate(1<<20, 5, 20))
+	// Output:
+	// N=2^10: 11
+	// N=2^20: 11
+}

@@ -1,0 +1,91 @@
+package krylov
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func TestCGFusedMatchesCGSerial(t *testing.T) {
+	a, b, xTrue := poissonSystem(8, 31)
+	plain, err := CG(a, b, Options{Tol: 1e-10, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := CGFused(a, b, nil, Options{Tol: 1e-10, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Converged {
+		t.Fatal("fused CG did not converge")
+	}
+	if fused.Iterations != plain.Iterations {
+		t.Fatalf("fused iterations %d vs plain %d", fused.Iterations, plain.Iterations)
+	}
+	if !fused.X.EqualTol(xTrue, 1e-6) {
+		t.Fatal("fused solution wrong")
+	}
+	// Identical arithmetic order in the dot products: histories match
+	// tightly.
+	for i := range plain.History {
+		if relErr := (plain.History[i] - fused.History[i]) / (plain.History[i] + 1e-300); relErr > 1e-10 || relErr < -1e-10 {
+			t.Fatalf("history diverges at %d: %g vs %g", i, plain.History[i], fused.History[i])
+		}
+	}
+}
+
+func TestCGFusedWithPool(t *testing.T) {
+	a, b, xTrue := poissonSystem(10, 32)
+	pool := vec.NewPool(4)
+	pool.SetMinChunk(16)
+	res, err := CGFused(a, b, pool, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("pooled fused CG did not converge")
+	}
+	if !res.X.EqualTol(xTrue, 1e-6) {
+		t.Fatal("pooled fused solution wrong")
+	}
+}
+
+func TestCGFusedIndefinite(t *testing.T) {
+	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	if _, err := CGFused(a, vec.NewFrom([]float64{1, 1}), nil, Options{}); err == nil {
+		t.Fatal("expected indefinite error")
+	}
+}
+
+func TestCGFusedZeroRHSAndDims(t *testing.T) {
+	a := mat.Poisson1D(6)
+	res, err := CGFused(a, vec.New(6), nil, Options{})
+	if err != nil || !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs: res=%+v err=%v", res, err)
+	}
+	if _, err := CGFused(a, vec.New(7), nil, Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// Property: fused and plain CG produce the same iterates for random SPD
+// systems (the fusion is a pure scheduling change).
+func TestPropCGFusedEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 30
+		a := mat.RandomSPD(n, 4, seed)
+		b := vec.New(n)
+		vec.Random(b, seed+1)
+		plain, err1 := CG(a, b, Options{Tol: 1e-9})
+		fused, err2 := CGFused(a, b, nil, Options{Tol: 1e-9})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return plain.Iterations == fused.Iterations && plain.X.EqualTol(fused.X, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package machine provides a deterministic simulated distributed-memory
+// parallel machine: P processors with per-processor logical clocks, an
+// alpha+beta*words point-to-point message cost model, and compute-time
+// charging. There is no MPI ecosystem for Go, so the collectives the
+// paper's machine model assumes are hand-rolled on these primitives (see
+// package collective).
+//
+// All simulation is pure clock arithmetic — no goroutines, no real time
+// — so runs are exactly reproducible. Parallel time is read off as the
+// maximum clock, mirroring the paper's "parallel time" unit.
+package machine
+
+import "fmt"
+
+// Config fixes the machine parameters.
+type Config struct {
+	// P is the processor count (>= 1).
+	P int
+	// Alpha is the per-message latency (in time units).
+	Alpha float64
+	// Beta is the per-word transfer time.
+	Beta float64
+	// FlopTime is the time per floating-point operation (the paper's
+	// unit-time normalization uses 1).
+	FlopTime float64
+}
+
+// DefaultConfig mirrors the paper's idealized machine: unit flop time,
+// unit message latency, negligible bandwidth term. With these constants
+// a length-P fan-in costs ~2*log2(P), matching the c*log(N) unit.
+func DefaultConfig(p int) Config {
+	return Config{P: p, Alpha: 1, Beta: 0.01, FlopTime: 1}
+}
+
+// Stats aggregates simulated activity.
+type Stats struct {
+	Messages int
+	Words    int
+	Flops    int64
+}
+
+// Machine is a simulated P-processor distributed-memory machine.
+type Machine struct {
+	cfg    Config
+	clocks []float64
+	stats  Stats
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic(fmt.Sprintf("machine: P = %d < 1", cfg.P))
+	}
+	if cfg.Alpha < 0 || cfg.Beta < 0 || cfg.FlopTime < 0 {
+		panic("machine: negative cost parameters")
+	}
+	return &Machine{cfg: cfg, clocks: make([]float64, cfg.P)}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.cfg.P }
+
+// Clock returns processor i's logical clock.
+func (m *Machine) Clock(i int) float64 { return m.clocks[m.check(i)] }
+
+// MaxClock returns the latest clock — the parallel time so far.
+func (m *Machine) MaxClock() float64 {
+	mx := 0.0
+	for _, c := range m.clocks {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// MinClock returns the earliest clock.
+func (m *Machine) MinClock() float64 {
+	mn := m.clocks[0]
+	for _, c := range m.clocks[1:] {
+		if c < mn {
+			mn = c
+		}
+	}
+	return mn
+}
+
+// Stats returns the accumulated activity counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+func (m *Machine) check(i int) int {
+	if i < 0 || i >= m.cfg.P {
+		panic(fmt.Sprintf("machine: processor %d out of range [0,%d)", i, m.cfg.P))
+	}
+	return i
+}
+
+// Compute charges flops of local computation to processor i.
+func (m *Machine) Compute(i int, flops int) {
+	m.check(i)
+	if flops < 0 {
+		panic("machine: negative flops")
+	}
+	m.clocks[i] += float64(flops) * m.cfg.FlopTime
+	m.stats.Flops += int64(flops)
+}
+
+// ComputeAll charges the same local work to every processor (a perfectly
+// balanced data-parallel phase).
+func (m *Machine) ComputeAll(flopsPerProc int) {
+	for i := 0; i < m.cfg.P; i++ {
+		m.Compute(i, flopsPerProc)
+	}
+}
+
+// Send models a blocking message of the given number of words from
+// processor `from` to `to`: the message departs at the sender's clock,
+// occupies the sender for the latency Alpha, and is available to the
+// receiver Alpha + Beta*words after departure. The receiver's clock
+// advances to the arrival time if it was earlier (a receive that waits).
+func (m *Machine) Send(from, to, words int) {
+	m.check(from)
+	m.check(to)
+	if words < 0 {
+		panic("machine: negative message size")
+	}
+	if from == to {
+		return // local move, free under the model
+	}
+	depart := m.clocks[from]
+	m.clocks[from] = depart + m.cfg.Alpha
+	arrive := depart + m.cfg.Alpha + m.cfg.Beta*float64(words)
+	if arrive > m.clocks[to] {
+		m.clocks[to] = arrive
+	}
+	m.stats.Messages++
+	m.stats.Words += words
+}
+
+// Exchange models a simultaneous pairwise exchange (both directions in
+// flight concurrently, as in recursive doubling): both processors end at
+// max(start_a, start_b) + Alpha + Beta*words.
+func (m *Machine) Exchange(a, b, words int) {
+	m.check(a)
+	m.check(b)
+	if a == b {
+		return
+	}
+	start := m.clocks[a]
+	if m.clocks[b] > start {
+		start = m.clocks[b]
+	}
+	t := start + m.cfg.Alpha + m.cfg.Beta*float64(words)
+	m.clocks[a] = t
+	m.clocks[b] = t
+	m.stats.Messages += 2
+	m.stats.Words += 2 * words
+}
+
+// Message describes one point-to-point transfer inside a SendPhase.
+type Message struct {
+	From, To, Words int
+}
+
+// SendPhase executes a set of messages that are all posted at the same
+// program point (a halo exchange, a shift round): each sender's messages
+// depart back-to-back from its clock at phase start, and each receiver
+// advances to the latest arrival destined for it. Unlike sequential Send
+// calls, receiving inside the phase does not delay a processor's own
+// sends — the semantics of posted/nonblocking communication.
+func (m *Machine) SendPhase(msgs []Message) {
+	start := make([]float64, m.cfg.P)
+	copy(start, m.clocks)
+	sent := make([]int, m.cfg.P)
+	arrivals := make([]float64, m.cfg.P)
+	copy(arrivals, m.clocks)
+	for _, msg := range msgs {
+		m.check(msg.From)
+		m.check(msg.To)
+		if msg.Words < 0 {
+			panic("machine: negative message size")
+		}
+		if msg.From == msg.To {
+			continue
+		}
+		depart := start[msg.From] + float64(sent[msg.From])*m.cfg.Alpha
+		sent[msg.From]++
+		arrive := depart + m.cfg.Alpha + m.cfg.Beta*float64(msg.Words)
+		if arrive > arrivals[msg.To] {
+			arrivals[msg.To] = arrive
+		}
+		m.stats.Messages++
+		m.stats.Words += msg.Words
+	}
+	for i := 0; i < m.cfg.P; i++ {
+		occupied := start[i] + float64(sent[i])*m.cfg.Alpha
+		c := arrivals[i]
+		if occupied > c {
+			c = occupied
+		}
+		if c > m.clocks[i] {
+			m.clocks[i] = c
+		}
+	}
+}
+
+// AdvanceTo raises processor i's clock to at least t (used to model
+// waiting on an asynchronously completing operation).
+func (m *Machine) AdvanceTo(i int, t float64) {
+	m.check(i)
+	if t > m.clocks[i] {
+		m.clocks[i] = t
+	}
+}
+
+// Clocks returns a copy of all processor clocks.
+func (m *Machine) Clocks() []float64 {
+	out := make([]float64, len(m.clocks))
+	copy(out, m.clocks)
+	return out
+}
+
+// Fork returns a machine sharing the configuration with a copy of the
+// clocks and zeroed statistics. Collectives can be "trial run" on a fork
+// to obtain completion times without disturbing the primary timeline —
+// the mechanism behind non-blocking (pipelined) collectives.
+func (m *Machine) Fork() *Machine {
+	f := New(m.cfg)
+	copy(f.clocks, m.clocks)
+	return f
+}
+
+// AddStats merges the counters of another machine (typically a fork
+// whose activity should be accounted on the primary timeline).
+func (m *Machine) AddStats(s Stats) {
+	m.stats.Messages += s.Messages
+	m.stats.Words += s.Words
+	m.stats.Flops += s.Flops
+}

@@ -1,0 +1,286 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(Config{P: 4, Alpha: 1, Beta: 0.5, FlopTime: 1})
+	if m.P() != 4 {
+		t.Fatalf("P = %d", m.P())
+	}
+	if m.MaxClock() != 0 || m.MinClock() != 0 {
+		t.Fatal("fresh machine clocks not zero")
+	}
+	if m.Config().Beta != 0.5 {
+		t.Fatal("config not preserved")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{P: 0},
+		{P: 2, Alpha: -1},
+		{P: 2, Beta: -0.1},
+		{P: 2, FlopTime: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestCompute(t *testing.T) {
+	m := New(Config{P: 2, FlopTime: 2})
+	m.Compute(0, 5)
+	if m.Clock(0) != 10 {
+		t.Fatalf("clock = %v, want 10", m.Clock(0))
+	}
+	if m.Clock(1) != 0 {
+		t.Fatal("compute leaked to other processor")
+	}
+	if m.Stats().Flops != 5 {
+		t.Fatalf("flops = %d", m.Stats().Flops)
+	}
+	m.ComputeAll(3)
+	if m.Clock(1) != 6 {
+		t.Fatalf("ComputeAll clock = %v", m.Clock(1))
+	}
+}
+
+func TestSendSemantics(t *testing.T) {
+	m := New(Config{P: 2, Alpha: 2, Beta: 0.5, FlopTime: 1})
+	m.Compute(0, 4) // sender at t=4
+	m.Send(0, 1, 10)
+	// Departure at 4; sender occupied until 6; arrival 4 + 2 + 5 = 11.
+	if m.Clock(0) != 6 {
+		t.Fatalf("sender clock %v, want 6", m.Clock(0))
+	}
+	if m.Clock(1) != 11 {
+		t.Fatalf("receiver clock %v, want 11", m.Clock(1))
+	}
+	st := m.Stats()
+	if st.Messages != 1 || st.Words != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSendToLateReceiver(t *testing.T) {
+	m := New(Config{P: 2, Alpha: 1, Beta: 0, FlopTime: 1})
+	m.Compute(1, 100) // receiver already busy until 100
+	m.Send(0, 1, 1)
+	if m.Clock(1) != 100 {
+		t.Fatalf("receiver clock %v should stay at 100", m.Clock(1))
+	}
+}
+
+func TestSendSelfIsFree(t *testing.T) {
+	m := New(Config{P: 2, Alpha: 5, Beta: 5, FlopTime: 1})
+	m.Send(1, 1, 100)
+	if m.Clock(1) != 0 {
+		t.Fatal("self-send should be free")
+	}
+	if m.Stats().Messages != 0 {
+		t.Fatal("self-send counted as message")
+	}
+}
+
+func TestExchange(t *testing.T) {
+	m := New(Config{P: 2, Alpha: 3, Beta: 1, FlopTime: 1})
+	m.Compute(0, 2)
+	m.Compute(1, 7)
+	m.Exchange(0, 1, 4)
+	want := 7.0 + 3 + 4
+	if m.Clock(0) != want || m.Clock(1) != want {
+		t.Fatalf("exchange clocks %v %v, want %v", m.Clock(0), m.Clock(1), want)
+	}
+	if m.Stats().Messages != 2 || m.Stats().Words != 8 {
+		t.Fatalf("stats %+v", m.Stats())
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.AdvanceTo(0, 50)
+	if m.Clock(0) != 50 {
+		t.Fatal("AdvanceTo did not raise clock")
+	}
+	m.AdvanceTo(0, 10)
+	if m.Clock(0) != 50 {
+		t.Fatal("AdvanceTo lowered clock")
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.Compute(0, 5)
+	f := m.Fork()
+	f.Compute(0, 100)
+	if m.Clock(0) != 5 {
+		t.Fatal("fork mutated parent clocks")
+	}
+	if f.Clock(0) != 105 {
+		t.Fatalf("fork clock %v", f.Clock(0))
+	}
+	m.AddStats(f.Stats())
+	if m.Stats().Flops != 105 {
+		t.Fatalf("AddStats flops %d", m.Stats().Flops)
+	}
+}
+
+func TestClocksCopy(t *testing.T) {
+	m := New(DefaultConfig(3))
+	cs := m.Clocks()
+	cs[0] = 99
+	if m.Clock(0) != 0 {
+		t.Fatal("Clocks exposes internal storage")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(DefaultConfig(2))
+	for _, f := range []func(){
+		func() { m.Clock(2) },
+		func() { m.Compute(-1, 1) },
+		func() { m.Send(0, 5, 1) },
+		func() { m.Compute(0, -1) },
+		func() { m.Send(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: clocks never decrease under any operation sequence.
+func TestPropClocksMonotone(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(Config{P: 4, Alpha: 1, Beta: 0.25, FlopTime: 1})
+		prev := m.Clocks()
+		for _, op := range ops {
+			a := int(op) % 4
+			b := int(op>>2) % 4
+			switch op % 3 {
+			case 0:
+				m.Compute(a, int(op)%7)
+			case 1:
+				m.Send(a, b, int(op)%5)
+			case 2:
+				m.Exchange(a, b, int(op)%5)
+			}
+			cur := m.Clocks()
+			for i := range cur {
+				if cur[i] < prev[i] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendPhaseParallelism(t *testing.T) {
+	// Four disjoint messages posted together: every receiver sees one
+	// latency, not a cascade.
+	m := New(Config{P: 8, Alpha: 10, Beta: 1, FlopTime: 1})
+	m.SendPhase([]Message{
+		{From: 0, To: 1, Words: 2},
+		{From: 2, To: 3, Words: 2},
+		{From: 4, To: 5, Words: 2},
+		{From: 6, To: 7, Words: 2},
+	})
+	for _, i := range []int{1, 3, 5, 7} {
+		if m.Clock(i) != 12 {
+			t.Fatalf("receiver %d clock %v, want 12", i, m.Clock(i))
+		}
+	}
+	for _, i := range []int{0, 2, 4, 6} {
+		if m.Clock(i) != 10 {
+			t.Fatalf("sender %d clock %v, want 10 (one send overhead)", i, m.Clock(i))
+		}
+	}
+}
+
+func TestSendPhaseNoReceiveSendCascade(t *testing.T) {
+	// A shift pattern 0->1->2->3: with posted sends, receiving must not
+	// delay a processor's own send. All receivers end at alpha+beta.
+	m := New(Config{P: 4, Alpha: 5, Beta: 0, FlopTime: 1})
+	m.SendPhase([]Message{
+		{From: 0, To: 1, Words: 0},
+		{From: 1, To: 2, Words: 0},
+		{From: 2, To: 3, Words: 0},
+	})
+	for _, i := range []int{1, 2, 3} {
+		if m.Clock(i) != 5 {
+			t.Fatalf("proc %d clock %v, want 5 (no cascade)", i, m.Clock(i))
+		}
+	}
+}
+
+func TestSendPhaseMultipleSendsSerializeAtSender(t *testing.T) {
+	m := New(Config{P: 3, Alpha: 4, Beta: 0, FlopTime: 1})
+	m.SendPhase([]Message{
+		{From: 0, To: 1, Words: 0},
+		{From: 0, To: 2, Words: 0},
+	})
+	if m.Clock(0) != 8 {
+		t.Fatalf("sender clock %v, want 8 (two send overheads)", m.Clock(0))
+	}
+	if m.Clock(1) != 4 {
+		t.Fatalf("first receiver clock %v, want 4", m.Clock(1))
+	}
+	// Second message departs after the first send's overhead (t=4) and
+	// arrives one latency later.
+	if m.Clock(2) != 8 {
+		t.Fatalf("second receiver clock %v, want 8", m.Clock(2))
+	}
+}
+
+func TestSendPhaseSelfMessageFree(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.SendPhase([]Message{{From: 1, To: 1, Words: 100}})
+	if m.MaxClock() != 0 || m.Stats().Messages != 0 {
+		t.Fatal("self message in phase should be free")
+	}
+}
+
+func TestSendPhasePanicsOnBadMessage(t *testing.T) {
+	m := New(DefaultConfig(2))
+	for _, msgs := range [][]Message{
+		{{From: 0, To: 5, Words: 1}},
+		{{From: 0, To: 1, Words: -1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			m.SendPhase(msgs)
+		}()
+	}
+}
+
+func TestSendPhaseEmptyNoop(t *testing.T) {
+	m := New(DefaultConfig(3))
+	m.Compute(1, 7)
+	m.SendPhase(nil)
+	if m.Clock(1) != 7 || m.Clock(0) != 0 {
+		t.Fatal("empty phase changed clocks")
+	}
+}

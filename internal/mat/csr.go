@@ -1,0 +1,247 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+
+	"vrcg/internal/vec"
+)
+
+// COO is a coordinate-format builder for sparse matrices. Entries may be
+// added in any order; duplicate (i,j) entries are summed when converting
+// to CSR, matching the usual finite-element assembly convention.
+type COO struct {
+	n    int
+	rows []int
+	cols []int
+	vals []float64
+}
+
+// NewCOO returns an empty n x n coordinate builder.
+func NewCOO(n int) *COO {
+	if n <= 0 {
+		panic("mat: NewCOO requires n > 0")
+	}
+	return &COO{n: n}
+}
+
+// Dim returns the order of the matrix being assembled.
+func (c *COO) Dim() int { return c.n }
+
+// Add accumulates v into entry (i, j).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.n || j < 0 || j >= c.n {
+		panic(fmt.Sprintf("mat: COO.Add index (%d,%d) out of range for n=%d", i, j, c.n))
+	}
+	c.rows = append(c.rows, i)
+	c.cols = append(c.cols, j)
+	c.vals = append(c.vals, v)
+}
+
+// AddSym accumulates v into (i, j) and, when i != j, into (j, i).
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// Len returns the number of accumulated (possibly duplicate) entries.
+func (c *COO) Len() int { return len(c.vals) }
+
+// ToCSR converts the accumulated entries into compressed sparse row form,
+// summing duplicates and dropping entries that cancel to exactly zero.
+func (c *COO) ToCSR() *CSR {
+	type key struct{ i, j int }
+	merged := make(map[key]float64, len(c.vals))
+	for k := range c.vals {
+		merged[key{c.rows[k], c.cols[k]}] += c.vals[k]
+	}
+	rowCount := make([]int, c.n)
+	for k, v := range merged {
+		if v == 0 {
+			delete(merged, k)
+			continue
+		}
+		rowCount[k.i]++
+	}
+	csr := &CSR{
+		n:      c.n,
+		rowPtr: make([]int, c.n+1),
+	}
+	for i := 0; i < c.n; i++ {
+		csr.rowPtr[i+1] = csr.rowPtr[i] + rowCount[i]
+	}
+	nnz := csr.rowPtr[c.n]
+	csr.colIdx = make([]int, nnz)
+	csr.vals = make([]float64, nnz)
+	cursor := make([]int, c.n)
+	copy(cursor, csr.rowPtr[:c.n])
+	for k, v := range merged {
+		p := cursor[k.i]
+		csr.colIdx[p] = k.j
+		csr.vals[p] = v
+		cursor[k.i]++
+	}
+	csr.sortRows()
+	return csr
+}
+
+// CSR is a compressed sparse row matrix: for row i, the structural
+// nonzeros live at positions rowPtr[i]..rowPtr[i+1] of colIdx/vals,
+// with column indices sorted ascending within each row.
+type CSR struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+}
+
+// NewCSR builds a CSR matrix directly from its raw arrays. The arrays are
+// used without copying; rowPtr must have length n+1 and colIdx/vals must
+// have length rowPtr[n]. Rows are sorted during construction.
+func NewCSR(n int, rowPtr, colIdx []int, vals []float64) *CSR {
+	if len(rowPtr) != n+1 {
+		panic(fmt.Sprintf("mat: rowPtr length %d, want %d", len(rowPtr), n+1))
+	}
+	if len(colIdx) != rowPtr[n] || len(vals) != rowPtr[n] {
+		panic("mat: colIdx/vals length disagrees with rowPtr")
+	}
+	m := &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+	m.sortRows()
+	return m
+}
+
+func (m *CSR) sortRows() {
+	for i := 0; i < m.n; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		row := rowView{cols: m.colIdx[lo:hi], vals: m.vals[lo:hi]}
+		sort.Sort(row)
+	}
+}
+
+type rowView struct {
+	cols []int
+	vals []float64
+}
+
+func (r rowView) Len() int           { return len(r.cols) }
+func (r rowView) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r rowView) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// Dim returns the order of the matrix.
+func (m *CSR) Dim() int { return m.n }
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// MaxRowNonzeros returns the maximum number of stored entries in any row
+// (the paper's sparsity parameter d).
+func (m *CSR) MaxRowNonzeros() int {
+	maxNZ := 0
+	for i := 0; i < m.n; i++ {
+		if nz := m.rowPtr[i+1] - m.rowPtr[i]; nz > maxNZ {
+			maxNZ = nz
+		}
+	}
+	return maxNZ
+}
+
+// At returns A[i,j] (zero if the entry is not stored).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	cols := m.colIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return m.vals[lo+k]
+	}
+	return 0
+}
+
+// ScanRow calls emit for every stored entry (column, value) of row i in
+// ascending column order.
+func (m *CSR) ScanRow(i int, emit func(j int, v float64)) {
+	for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+		emit(m.colIdx[p], m.vals[p])
+	}
+}
+
+// Diag extracts the diagonal into dst (length n). Missing diagonal
+// entries are zero.
+func (m *CSR) Diag(dst vec.Vector) {
+	if dst.Len() != m.n {
+		panic("mat: Diag dimension mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		dst[i] = m.At(i, i)
+	}
+}
+
+// MulVec computes dst = A*x.
+func (m *CSR) MulVec(dst, x vec.Vector) {
+	checkMul(m, dst, x)
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.vals[p] * x[m.colIdx[p]]
+		}
+		dst[i] = s
+	}
+}
+
+// IsSymmetric reports whether every stored entry (i,j) has a matching
+// (j,i) entry equal within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			j := m.colIdx[p]
+			if diff := m.vals[p] - m.At(j, i); diff > tol || diff < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDiagonallyDominant reports whether |a_ii| >= sum_{j!=i} |a_ij| for
+// every row, a convenient sufficient condition when generating random
+// SPD test matrices.
+func (m *CSR) IsDiagonallyDominant() bool {
+	for i := 0; i < m.n; i++ {
+		var off, diag float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			v := m.vals[p]
+			if v < 0 {
+				v = -v
+			}
+			if m.colIdx[p] == i {
+				diag = v
+			} else {
+				off += v
+			}
+		}
+		if diag < off {
+			return false
+		}
+	}
+	return true
+}
+
+// ToDense expands the matrix to dense form (intended for small n in tests).
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.n)
+	for i := 0; i < m.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			d.Set(i, m.colIdx[p], m.vals[p])
+		}
+	}
+	return d
+}
+
+var (
+	_ Matrix = (*CSR)(nil)
+	_ Sparse = (*CSR)(nil)
+)

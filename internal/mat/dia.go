@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+
+	"vrcg/internal/vec"
+)
+
+// DIA is a diagonal-storage sparse matrix: each stored diagonal has a
+// fixed offset k (k=0 is the main diagonal, k>0 superdiagonals, k<0
+// subdiagonals) and a full-length value array in which only positions
+// valid for that offset are meaningful. Structured grid operators
+// (Poisson stencils) are naturally banded, making DIA both compact and
+// stride-friendly — it is the format the depth model's vectorized matvec
+// assumes.
+type DIA struct {
+	n       int
+	offsets []int       // sorted ascending
+	diags   [][]float64 // diags[d][i] multiplies x[i+offsets[d]] in row i
+}
+
+// NewDIA builds a DIA matrix of order n from offset -> diagonal values.
+// Each diagonal slice must have length n; entry i of diagonal with offset
+// k contributes A[i, i+k] when 0 <= i+k < n (values outside that range
+// are ignored).
+func NewDIA(n int, diagonals map[int][]float64) *DIA {
+	if n <= 0 {
+		panic("mat: NewDIA requires n > 0")
+	}
+	offsets := make([]int, 0, len(diagonals))
+	for k, dv := range diagonals {
+		if len(dv) != n {
+			panic(fmt.Sprintf("mat: diagonal %d has length %d, want %d", k, len(dv), n))
+		}
+		if k <= -n || k >= n {
+			panic(fmt.Sprintf("mat: diagonal offset %d out of range for n=%d", k, n))
+		}
+		offsets = append(offsets, k)
+	}
+	sort.Ints(offsets)
+	m := &DIA{n: n, offsets: offsets, diags: make([][]float64, len(offsets))}
+	for d, k := range offsets {
+		cp := make([]float64, n)
+		copy(cp, diagonals[k])
+		m.diags[d] = cp
+	}
+	return m
+}
+
+// Dim returns the order of the matrix.
+func (m *DIA) Dim() int { return m.n }
+
+// Offsets returns the stored diagonal offsets in ascending order.
+func (m *DIA) Offsets() []int {
+	out := make([]int, len(m.offsets))
+	copy(out, m.offsets)
+	return out
+}
+
+// At returns A[i,j] (zero when the diagonal j-i is not stored).
+func (m *DIA) At(i, j int) float64 {
+	k := j - i
+	d := sort.SearchInts(m.offsets, k)
+	if d < len(m.offsets) && m.offsets[d] == k {
+		return m.diags[d][i]
+	}
+	return 0
+}
+
+// MulVec computes dst = A*x diagonal by diagonal.
+func (m *DIA) MulVec(dst, x vec.Vector) {
+	checkMul(m, dst, x)
+	dst.Zero()
+	for d, k := range m.offsets {
+		dv := m.diags[d]
+		lo, hi := 0, m.n
+		if k > 0 {
+			hi = m.n - k
+		} else if k < 0 {
+			lo = -k
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] += dv[i] * x[i+k]
+		}
+	}
+}
+
+// MaxRowNonzeros returns the maximum count of structurally nonzero
+// entries in any row.
+func (m *DIA) MaxRowNonzeros() int {
+	maxNZ := 0
+	for i := 0; i < m.n; i++ {
+		nz := 0
+		for d, k := range m.offsets {
+			j := i + k
+			if j >= 0 && j < m.n && m.diags[d][i] != 0 {
+				nz++
+			}
+		}
+		if nz > maxNZ {
+			maxNZ = nz
+		}
+	}
+	return maxNZ
+}
+
+// NNZ counts the structurally valid nonzero entries.
+func (m *DIA) NNZ() int {
+	nnz := 0
+	for d, k := range m.offsets {
+		lo, hi := 0, m.n
+		if k > 0 {
+			hi = m.n - k
+		} else if k < 0 {
+			lo = -k
+		}
+		for i := lo; i < hi; i++ {
+			if m.diags[d][i] != 0 {
+				nnz++
+			}
+		}
+	}
+	return nnz
+}
+
+// ToCSR converts to CSR form.
+func (m *DIA) ToCSR() *CSR {
+	coo := NewCOO(m.n)
+	for d, k := range m.offsets {
+		lo, hi := 0, m.n
+		if k > 0 {
+			hi = m.n - k
+		} else if k < 0 {
+			lo = -k
+		}
+		for i := lo; i < hi; i++ {
+			if v := m.diags[d][i]; v != 0 {
+				coo.Add(i, i+k, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+var (
+	_ Matrix = (*DIA)(nil)
+	_ Sparse = (*DIA)(nil)
+)

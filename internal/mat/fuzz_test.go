@@ -1,0 +1,68 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket exercises the Matrix Market parser with arbitrary
+// input: it must never panic and, when it accepts input, produce a
+// well-formed matrix that survives a write/read round trip.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 4.5\n2 2 -1.25\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 4\n2 1 -1\n3 3 4\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n")
+	f.Add("garbage\nmore garbage\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if a.Dim() < 1 {
+			t.Fatalf("accepted matrix with dim %d", a.Dim())
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a, false); err != nil {
+			t.Fatalf("write of accepted matrix failed: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted matrix failed: %v", err)
+		}
+		if back.Dim() != a.Dim() || back.NNZ() != a.NNZ() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				a.Dim(), a.NNZ(), back.Dim(), back.NNZ())
+		}
+	})
+}
+
+// FuzzReadMatrixMarketVector does the same for the array-format reader.
+func FuzzReadMatrixMarketVector(f *testing.F) {
+	f.Add("%%MatrixMarket matrix array real general\n2 1\n1.5\n-2.5\n")
+	f.Add("%%MatrixMarket matrix array real general\n0 1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix array real general\n3 1\n1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := ReadMatrixMarketVector(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarketVector(&buf, v); err != nil {
+			t.Fatalf("write of accepted vector failed: %v", err)
+		}
+		back, err := ReadMatrixMarketVector(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted vector failed: %v", err)
+		}
+		if !back.EqualTol(v, 0) {
+			t.Fatal("round trip changed the vector")
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/vec"
+)
+
+func TestMatrixMarketRoundTripGeneral(t *testing.T) {
+	a := RandomSPD(20, 4, 3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != a.Dim() || back.NNZ() != a.NNZ() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.Dim(), back.NNZ(), a.Dim(), a.NNZ())
+	}
+	x := vec.New(20)
+	vec.Random(x, 1)
+	y1 := vec.New(20)
+	y2 := vec.New(20)
+	a.MulVec(y1, x)
+	back.MulVec(y2, x)
+	if !y1.EqualTol(y2, 1e-14) {
+		t.Fatal("round trip changed the operator")
+	}
+}
+
+func TestMatrixMarketRoundTripSymmetric(t *testing.T) {
+	a := Poisson2D(5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "symmetric") {
+		t.Fatal("symmetric qualifier missing")
+	}
+	back, err := ReadMatrixMarket(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() {
+		t.Fatalf("symmetric expansion wrong: %d vs %d nonzeros", back.NNZ(), a.NNZ())
+	}
+	x := vec.New(a.Dim())
+	vec.Random(x, 2)
+	y1 := vec.New(a.Dim())
+	y2 := vec.New(a.Dim())
+	a.MulVec(y1, x)
+	back.MulVec(y2, x)
+	if !y1.EqualTol(y2, 1e-14) {
+		t.Fatal("symmetric round trip changed the operator")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern symmetric
+% a triangle graph adjacency
+3 3 3
+2 1
+3 1
+3 2
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 1 || a.At(1, 0) != 1 || a.At(2, 0) != 1 {
+		t.Fatal("pattern entries not set to 1 / mirrored")
+	}
+	if a.At(0, 0) != 0 {
+		t.Fatal("unexpected diagonal entry")
+	}
+}
+
+func TestReadMatrixMarketWithComments(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment one
+% comment two
+
+2 2 2
+1 1 4.5
+2 2 -1.25
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4.5 || a.At(1, 1) != -1.25 {
+		t.Fatalf("values wrong: %v %v", a.At(0, 0), a.At(1, 1))
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%NotMatrixMarket x y z w\n1 1 1\n1 1 1\n",
+		"array format": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"skew":         "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n",
+		"rectangular":  "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1\n",
+		"short":        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"bad index":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 zzz\n",
+		"no size":      "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	v := vec.New(17)
+	vec.Random(v, 9)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarketVector(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarketVector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualTol(v, 0) {
+		t.Fatal("vector round trip lossy")
+	}
+}
+
+func TestReadVectorErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"coordinate":  "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"two columns": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"short":       "%%MatrixMarket matrix array real general\n3 1\n1\n2\n",
+		"bad value":   "%%MatrixMarket matrix array real general\n1 1\nxyz\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarketVector(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Property: write/read round trip preserves the operator action for
+// random matrices, both general and symmetric paths.
+func TestPropMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed uint64, symRaw bool, szRaw uint8) bool {
+		n := int(szRaw)%25 + 2
+		a := RandomSPD(n, 3, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a, symRaw); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		x := vec.New(n)
+		vec.Random(x, seed+1)
+		y1 := vec.New(n)
+		y2 := vec.New(n)
+		a.MulVec(y1, x)
+		back.MulVec(y2, x)
+		return y1.EqualTol(y2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/vec"
+)
+
+// shuffledPoisson returns a 2D Poisson matrix with rows/columns randomly
+// permuted, destroying its natural banded structure.
+func shuffledPoisson(side int, seed uint64) (*CSR, []int) {
+	a := Poisson2D(side)
+	n := a.Dim()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	shuffled, err := PermuteSymmetric(a, perm)
+	if err != nil {
+		panic(err)
+	}
+	return shuffled, perm
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	shuffled, _ := shuffledPoisson(10, 7)
+	before := Bandwidth(shuffled)
+	perm := RCMOrder(shuffled)
+	reordered, err := PermuteSymmetric(shuffled, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(reordered)
+	if after >= before/2 {
+		t.Fatalf("RCM did not substantially reduce bandwidth: %d -> %d", before, after)
+	}
+	// The natural 2D grid ordering has bandwidth ~side; RCM should be in
+	// the same ballpark.
+	if after > 4*10 {
+		t.Fatalf("RCM bandwidth %d too large for a 10x10 grid", after)
+	}
+}
+
+func TestRCMPermutationIsValid(t *testing.T) {
+	a := RandomSPD(40, 5, 3)
+	perm := RCMOrder(a)
+	if len(perm) != 40 {
+		t.Fatalf("permutation length %d", len(perm))
+	}
+	seen := make([]bool, 40)
+	for _, p := range perm {
+		if p < 0 || p >= 40 || seen[p] {
+			t.Fatalf("invalid permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two disjoint 3-vertex paths.
+	coo := NewCOO(6)
+	for i := 0; i < 6; i++ {
+		coo.Add(i, i, 2)
+	}
+	coo.AddSym(0, 1, -1)
+	coo.AddSym(1, 2, -1)
+	coo.AddSym(3, 4, -1)
+	coo.AddSym(4, 5, -1)
+	a := coo.ToCSR()
+	perm := RCMOrder(a)
+	seen := map[int]bool{}
+	for _, p := range perm {
+		seen[p] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("disconnected graph not fully ordered: %v", perm)
+	}
+}
+
+func TestPermuteSymmetricPreservesAction(t *testing.T) {
+	a := Poisson2D(6)
+	n := a.Dim()
+	perm := RCMOrder(a)
+	b, err := PermuteSymmetric(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B (P x) should equal P (A x) where (Px)[i] = x[perm[i]].
+	x := vec.New(n)
+	vec.Random(x, 5)
+	px, err := PermuteVector(x, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpx := vec.New(n)
+	b.MulVec(bpx, px)
+	ax := vec.New(n)
+	a.MulVec(ax, x)
+	pax, err := PermuteVector(ax, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bpx.EqualTol(pax, 1e-12) {
+		t.Fatal("permuted operator does not commute with permutation")
+	}
+}
+
+func TestPermuteUnpermuteInverse(t *testing.T) {
+	x := vec.New(12)
+	vec.Random(x, 8)
+	perm := RCMOrder(Poisson1D(12))
+	px, err := PermuteVector(x, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnpermuteVector(px, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualTol(x, 0) {
+		t.Fatal("unpermute(permute) != identity")
+	}
+}
+
+func TestPermuteErrors(t *testing.T) {
+	a := Poisson1D(4)
+	if _, err := PermuteSymmetric(a, []int{0, 1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := PermuteSymmetric(a, []int{0, 0, 1, 2}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if _, err := PermuteSymmetric(a, []int{0, 1, 2, 9}); err == nil {
+		t.Fatal("expected range error")
+	}
+	x := vec.New(4)
+	if _, err := PermuteVector(x, []int{0}); err == nil {
+		t.Fatal("expected vector length error")
+	}
+	if _, err := UnpermuteVector(x, []int{0, 1, 2, 9}); err == nil {
+		t.Fatal("expected vector range error")
+	}
+}
+
+func TestBandwidthDiagonalAndTridiag(t *testing.T) {
+	if bw := Bandwidth(DiagonalMatrix(vec.NewFrom([]float64{1, 2, 3}))); bw != 0 {
+		t.Fatalf("diagonal bandwidth %d", bw)
+	}
+	if bw := Bandwidth(Poisson1D(10)); bw != 1 {
+		t.Fatalf("tridiagonal bandwidth %d", bw)
+	}
+}
+
+// Property: RCM never increases a solve's correctness — the permuted
+// system solves to the same solution (after unpermuting).
+func TestPropRCMSolveEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		shuffled, _ := shuffledPoisson(5, seed)
+		n := shuffled.Dim()
+		xTrue := vec.New(n)
+		vec.Random(xTrue, seed+1)
+		b := vec.New(n)
+		shuffled.MulVec(b, xTrue)
+
+		perm := RCMOrder(shuffled)
+		pa, err := PermuteSymmetric(shuffled, perm)
+		if err != nil {
+			return false
+		}
+		pb, err := PermuteVector(b, perm)
+		if err != nil {
+			return false
+		}
+		// Solve the permuted system with plain CG (simple direct loop).
+		x := vec.New(n)
+		r := pb.Clone()
+		p := r.Clone()
+		ap := vec.New(n)
+		rr := vec.Dot(r, r)
+		for it := 0; it < 10*n && rr > 1e-22; it++ {
+			pa.MulVec(ap, p)
+			lam := rr / vec.Dot(p, ap)
+			vec.Axpy(lam, p, x)
+			vec.Axpy(-lam, ap, r)
+			rrN := vec.Dot(r, r)
+			vec.Xpay(r, rrN/rr, p)
+			rr = rrN
+		}
+		got, err := UnpermuteVector(x, perm)
+		if err != nil {
+			return false
+		}
+		return got.EqualTol(xTrue, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

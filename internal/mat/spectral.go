@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/vec"
+)
+
+// Spectral estimation utilities: the polynomial preconditioners and the
+// scaled look-ahead solvers need eigenvalue bounds. PowerMethod gives a
+// sharp lambda-max estimate; Lanczos gives both ends of the spectrum;
+// Gershgorin gives a cheap guaranteed upper bound.
+
+// Gershgorin returns the maximum absolute row sum of a — a guaranteed
+// upper bound on the spectral radius.
+func Gershgorin(a *CSR) float64 {
+	bound := 0.0
+	for i := 0; i < a.Dim(); i++ {
+		row := 0.0
+		a.ScanRow(i, func(_ int, v float64) {
+			row += math.Abs(v)
+		})
+		if row > bound {
+			bound = row
+		}
+	}
+	return bound
+}
+
+// PowerMethod estimates the largest eigenvalue of the symmetric operator
+// a by power iteration with the given number of steps, returning the
+// Rayleigh quotient estimate. The estimate approaches lambda-max from
+// below.
+func PowerMethod(a Matrix, steps int, seed uint64) float64 {
+	if steps < 1 {
+		panic("mat: PowerMethod needs steps >= 1")
+	}
+	n := a.Dim()
+	v := vec.New(n)
+	vec.Random(v, seed)
+	if nrm := vec.Norm2(v); nrm > 0 {
+		vec.Scale(1/nrm, v)
+	}
+	av := vec.New(n)
+	lambda := 0.0
+	for s := 0; s < steps; s++ {
+		a.MulVec(av, v)
+		lambda = vec.Dot(v, av)
+		nrm := vec.Norm2(av)
+		if nrm == 0 {
+			return 0 // v in the null space; operator is singular there
+		}
+		vec.ScaleTo(v, 1/nrm, av)
+	}
+	return lambda
+}
+
+// Lanczos runs steps of the symmetric Lanczos process (with full
+// reorthogonalization for robustness at these small step counts) and
+// returns estimates of the extreme eigenvalues of a as the extreme
+// Ritz values.
+func Lanczos(a Matrix, steps int, seed uint64) (lambdaMin, lambdaMax float64, err error) {
+	if steps < 1 {
+		return 0, 0, fmt.Errorf("mat: Lanczos needs steps >= 1")
+	}
+	n := a.Dim()
+	if steps > n {
+		steps = n
+	}
+	basis := make([]vec.Vector, 0, steps)
+	alpha := make([]float64, 0, steps)
+	beta := make([]float64, 0, steps) // beta[j] couples v_j and v_{j+1}
+
+	v := vec.New(n)
+	vec.Random(v, seed)
+	if nrm := vec.Norm2(v); nrm > 0 {
+		vec.Scale(1/nrm, v)
+	}
+	w := vec.New(n)
+	for j := 0; j < steps; j++ {
+		basis = append(basis, v.Clone())
+		a.MulVec(w, v)
+		aj := vec.Dot(v, w)
+		alpha = append(alpha, aj)
+		// w <- w - alpha_j v_j - beta_{j-1} v_{j-1}, then full reorth.
+		vec.Axpy(-aj, v, w)
+		if j > 0 {
+			vec.Axpy(-beta[j-1], basis[j-1], w)
+		}
+		for _, u := range basis {
+			vec.Axpy(-vec.Dot(u, w), u, w)
+		}
+		bj := vec.Norm2(w)
+		if bj < 1e-14 || j == steps-1 {
+			break
+		}
+		beta = append(beta, bj)
+		vec.ScaleTo(v, 1/bj, w)
+	}
+
+	evs := symTridiagEigenvalues(alpha, beta[:len(alpha)-1])
+	return evs[0], evs[len(evs)-1], nil
+}
+
+// symTridiagEigenvalues computes all eigenvalues of the symmetric
+// tridiagonal matrix with the given diagonal and off-diagonal, by
+// bisection with Sturm sequence counts. Returned ascending.
+func symTridiagEigenvalues(diag, off []float64) []float64 {
+	m := len(diag)
+	if m == 0 {
+		return nil
+	}
+	if len(off) != m-1 {
+		panic(fmt.Sprintf("mat: tridiagonal with %d diagonal, %d off-diagonal entries", m, len(off)))
+	}
+	// Gershgorin interval for the tridiagonal.
+	lo, hi := diag[0], diag[0]
+	for i := 0; i < m; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(off[i-1])
+		}
+		if i < m-1 {
+			r += math.Abs(off[i])
+		}
+		if diag[i]-r < lo {
+			lo = diag[i] - r
+		}
+		if diag[i]+r > hi {
+			hi = diag[i] + r
+		}
+	}
+	lo -= 1e-12 + 1e-12*math.Abs(lo)
+	hi += 1e-12 + 1e-12*math.Abs(hi)
+
+	// countBelow returns the number of eigenvalues < x (Sturm count).
+	countBelow := func(x float64) int {
+		count := 0
+		d := 1.0
+		for i := 0; i < m; i++ {
+			var offSq float64
+			if i > 0 {
+				offSq = off[i-1] * off[i-1]
+			}
+			if d == 0 {
+				d = 1e-300
+			}
+			d = diag[i] - x - offSq/d
+			if d < 0 {
+				count++
+			}
+		}
+		return count
+	}
+
+	out := make([]float64, m)
+	for k := 0; k < m; k++ {
+		a, b := lo, hi
+		for iter := 0; iter < 200 && b-a > 1e-13*(1+math.Abs(a)+math.Abs(b)); iter++ {
+			mid := 0.5 * (a + b)
+			if countBelow(mid) <= k {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		out[k] = 0.5 * (a + b)
+	}
+	return out
+}
+
+// ConditionEstimate returns an estimate of the spectral condition number
+// of the SPD operator a from a short Lanczos run.
+func ConditionEstimate(a Matrix, steps int, seed uint64) (float64, error) {
+	lmin, lmax, err := Lanczos(a, steps, seed)
+	if err != nil {
+		return 0, err
+	}
+	if lmin <= 0 {
+		return math.Inf(1), nil
+	}
+	return lmax / lmin, nil
+}
+
+// SymDiagScaled returns the symmetrically diagonally scaled operator
+// D^{-1/2} A D^{-1/2} (unit diagonal if A's diagonal is positive) plus
+// the scaling vector d^{-1/2}. Solving the scaled system
+// (D^{-1/2} A D^{-1/2}) y = D^{-1/2} b and setting x = D^{-1/2} y is
+// exactly Jacobi-preconditioned CG expressed as a plain CG solve — the
+// form of preconditioning directly compatible with the paper's
+// recurrences.
+func SymDiagScaled(a *CSR) (*CSR, vec.Vector, error) {
+	n := a.Dim()
+	d := vec.New(n)
+	a.Diag(d)
+	invSqrt := vec.New(n)
+	for i, v := range d {
+		if v <= 0 {
+			return nil, nil, fmt.Errorf("mat: non-positive diagonal %g at row %d", v, i)
+		}
+		invSqrt[i] = 1 / math.Sqrt(v)
+	}
+	coo := NewCOO(n)
+	for i := 0; i < n; i++ {
+		a.ScanRow(i, func(j int, v float64) {
+			coo.Add(i, j, v*invSqrt[i]*invSqrt[j])
+		})
+	}
+	return coo.ToCSR(), invSqrt, nil
+}

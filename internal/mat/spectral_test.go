@@ -1,0 +1,197 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/vec"
+)
+
+func TestGershgorinPoisson(t *testing.T) {
+	if got := Gershgorin(Poisson1D(16)); got != 4 {
+		t.Fatalf("Gershgorin = %v, want 4", got)
+	}
+	if got := Gershgorin(Poisson2D(6)); got != 8 {
+		t.Fatalf("Gershgorin 2D = %v, want 8", got)
+	}
+}
+
+func TestPowerMethodDiagonal(t *testing.T) {
+	a := DiagonalMatrix(vec.NewFrom([]float64{1, 3, 7, 2}))
+	got := PowerMethod(a, 200, 1)
+	if math.Abs(got-7) > 1e-8 {
+		t.Fatalf("PowerMethod = %v, want 7", got)
+	}
+}
+
+func TestPowerMethodPoisson1DKnownSpectrum(t *testing.T) {
+	// lambda_max = 2 - 2 cos(m pi/(m+1)).
+	m := 32
+	a := Poisson1D(m)
+	want := 2 - 2*math.Cos(float64(m)*math.Pi/float64(m+1))
+	got := PowerMethod(a, 500, 2)
+	if math.Abs(got-want) > 1e-4*want {
+		t.Fatalf("PowerMethod = %v, want %v", got, want)
+	}
+}
+
+func TestPowerMethodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PowerMethod(Poisson1D(4), 0, 1)
+}
+
+func TestSymTridiagEigenvalues(t *testing.T) {
+	// The m x m [-1 2 -1] tridiagonal has eigenvalues 2-2cos(k pi/(m+1)).
+	m := 8
+	diag := make([]float64, m)
+	off := make([]float64, m-1)
+	for i := range diag {
+		diag[i] = 2
+	}
+	for i := range off {
+		off[i] = -1
+	}
+	evs := symTridiagEigenvalues(diag, off)
+	for k := 1; k <= m; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(m+1))
+		if math.Abs(evs[k-1]-want) > 1e-8 {
+			t.Fatalf("eigenvalue %d = %v, want %v", k, evs[k-1], want)
+		}
+	}
+}
+
+func TestSymTridiagSingleEntry(t *testing.T) {
+	evs := symTridiagEigenvalues([]float64{5}, nil)
+	if len(evs) != 1 || math.Abs(evs[0]-5) > 1e-10 {
+		t.Fatalf("1x1 eigenvalue %v", evs)
+	}
+}
+
+func TestLanczosExtremesDiagonal(t *testing.T) {
+	d := vec.New(40)
+	for i := range d {
+		d[i] = 1 + float64(i) // spectrum 1..40
+	}
+	a := DiagonalMatrix(d)
+	lmin, lmax, err := Lanczos(a, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lmin-1) > 1e-6 || math.Abs(lmax-40) > 1e-6 {
+		t.Fatalf("Lanczos extremes [%v, %v], want [1, 40]", lmin, lmax)
+	}
+}
+
+func TestLanczosShortRunBrackets(t *testing.T) {
+	// Even a short Lanczos run gives Ritz values inside the spectrum,
+	// with the extreme Ritz values approaching the extreme eigenvalues.
+	a := Poisson1D(64)
+	lmin, lmax, err := Lanczos(a, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMin := 2 - 2*math.Cos(math.Pi/65)
+	trueMax := 2 - 2*math.Cos(64*math.Pi/65)
+	if lmin < trueMin-1e-10 || lmax > trueMax+1e-10 {
+		t.Fatalf("Ritz values [%v, %v] outside spectrum [%v, %v]", lmin, lmax, trueMin, trueMax)
+	}
+	if lmax < 0.9*trueMax {
+		t.Fatalf("lambda-max estimate %v too far from %v", lmax, trueMax)
+	}
+}
+
+func TestLanczosErrors(t *testing.T) {
+	if _, _, err := Lanczos(Poisson1D(4), 0, 1); err == nil {
+		t.Fatal("expected error for steps=0")
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	a := PrescribedSpectrum(50, 100)
+	kappa, err := ConditionEstimate(a, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kappa-100) > 1 {
+		t.Fatalf("condition estimate %v, want ~100", kappa)
+	}
+}
+
+func TestSymDiagScaledUnitDiagonal(t *testing.T) {
+	a := RandomSPD(25, 4, 11)
+	scaled, invSqrt, err := SymDiagScaled(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if math.Abs(scaled.At(i, i)-1) > 1e-12 {
+			t.Fatalf("scaled diagonal %v at %d", scaled.At(i, i), i)
+		}
+	}
+	if !scaled.IsSymmetric(1e-12) {
+		t.Fatal("scaling broke symmetry")
+	}
+	// Verify the similarity action: A x == D^{1/2} Ã D^{1/2} x,
+	// where D^{1/2} multiplies by 1/invSqrt componentwise.
+	x := vec.New(25)
+	vec.Random(x, 12)
+	want := vec.New(25)
+	a.MulVec(want, x)
+	tmp := vec.New(25)
+	got := vec.New(25)
+	for i := range tmp {
+		tmp[i] = x[i] / invSqrt[i]
+	}
+	scaled.MulVec(got, tmp)
+	for i := range got {
+		got[i] /= invSqrt[i]
+	}
+	if !got.EqualTol(want, 1e-10) {
+		t.Fatal("scaled operator does not reproduce A")
+	}
+}
+
+func TestSymDiagScaledRejectsBadDiagonal(t *testing.T) {
+	coo := NewCOO(2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, -2)
+	if _, _, err := SymDiagScaled(coo.ToCSR()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: PowerMethod estimate is bounded by the Gershgorin bound and
+// positive for SPD matrices.
+func TestPropPowerMethodBounds(t *testing.T) {
+	f := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw)%30 + 3
+		a := RandomSPD(n, 4, seed)
+		lam := PowerMethod(a, 60, seed+1)
+		return lam > 0 && lam <= Gershgorin(a)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lanczos Ritz extremes are inside [Rayleigh bounds] and
+// ordered.
+func TestPropLanczosOrdered(t *testing.T) {
+	f := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw)%25 + 5
+		a := RandomSPD(n, 3, seed)
+		lmin, lmax, err := Lanczos(a, n, seed+2)
+		if err != nil {
+			return false
+		}
+		return lmin > 0 && lmin <= lmax && lmax <= Gershgorin(a)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package mat
+
+import "fmt"
+
+// Variable-coefficient elliptic operators: the "large sparse linear
+// systems occurring in practice" of the paper's introduction are
+// discretized -div(c(x) grad u) problems; constant-coefficient Poisson
+// is only their best-behaved member. These generators produce the
+// harder members: jumping coefficients and anisotropy, both of which
+// raise the condition number and stress the preconditioners and the
+// look-ahead recurrences.
+
+// VarCoeffPoisson2D discretizes -div(c(x,y) grad u) = f on the unit
+// square with an m x m grid and homogeneous Dirichlet boundaries, using
+// the standard five-point flux form with harmonic averaging of the cell
+// coefficient at the faces. coef is evaluated at cell centers
+// ((i+0.5)/m, (j+0.5)/m) and must be strictly positive.
+func VarCoeffPoisson2D(m int, coef func(x, y float64) float64) (*CSR, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("mat: VarCoeffPoisson2D needs m >= 1")
+	}
+	c := make([]float64, m*m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			v := coef((float64(i)+0.5)/float64(m), (float64(j)+0.5)/float64(m))
+			if v <= 0 {
+				return nil, fmt.Errorf("mat: coefficient %g at cell (%d,%d) not positive", v, i, j)
+			}
+			c[j*m+i] = v
+		}
+	}
+	harmonic := func(a, b float64) float64 { return 2 * a * b / (a + b) }
+
+	coo := NewCOO(m * m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			idx := j*m + i
+			diag := 0.0
+			// Face coefficients: boundary faces couple to the Dirichlet
+			// wall (contributing to the diagonal only).
+			west := c[idx]
+			if i > 0 {
+				west = harmonic(c[idx], c[idx-1])
+				coo.Add(idx, idx-1, -west)
+			}
+			east := c[idx]
+			if i < m-1 {
+				east = harmonic(c[idx], c[idx+1])
+				coo.Add(idx, idx+1, -east)
+			}
+			south := c[idx]
+			if j > 0 {
+				south = harmonic(c[idx], c[idx-m])
+				coo.Add(idx, idx-m, -south)
+			}
+			north := c[idx]
+			if j < m-1 {
+				north = harmonic(c[idx], c[idx+m])
+				coo.Add(idx, idx+m, -north)
+			}
+			diag = west + east + south + north
+			coo.Add(idx, idx, diag)
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// AnisotropicPoisson2D discretizes -(eps*u_xx + u_yy) on an m x m grid:
+// the classic anisotropic model problem whose condition worsens as eps
+// departs from 1. eps must be positive.
+func AnisotropicPoisson2D(m int, eps float64) (*CSR, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("mat: AnisotropicPoisson2D needs m >= 1")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("mat: anisotropy %g must be positive", eps)
+	}
+	coo := NewCOO(m * m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			idx := j*m + i
+			coo.Add(idx, idx, 2*eps+2)
+			if i > 0 {
+				coo.Add(idx, idx-1, -eps)
+			}
+			if i < m-1 {
+				coo.Add(idx, idx+1, -eps)
+			}
+			if j > 0 {
+				coo.Add(idx, idx-m, -1)
+			}
+			if j < m-1 {
+				coo.Add(idx, idx+m, -1)
+			}
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// JumpCoefficient returns a coefficient function with value 1 on the
+// unit square except for a centered inclusion of the given contrast —
+// the standard discontinuous-coefficient stress test.
+func JumpCoefficient(contrast float64) func(x, y float64) float64 {
+	return func(x, y float64) float64 {
+		if x > 0.25 && x < 0.75 && y > 0.25 && y < 0.75 {
+			return contrast
+		}
+		return 1
+	}
+}

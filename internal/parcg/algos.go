@@ -1,0 +1,250 @@
+package parcg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vrcg/internal/collective"
+	"vrcg/internal/krylov"
+	"vrcg/internal/machine"
+	"vrcg/internal/vec"
+)
+
+// Result reports a distributed solve: the solution, convergence data,
+// and the simulated parallel-time trajectory.
+type Result struct {
+	// X is the gathered solution vector.
+	X vec.Vector
+	// Iterations performed.
+	Iterations int
+	// Converged reports whether the tolerance was met.
+	Converged bool
+	// ResidualNorm is the final recursive residual norm.
+	ResidualNorm float64
+	// IterClocks[i] is the machine MaxClock after iteration i+1 — the
+	// parallel-time trajectory whose slope is the per-iteration time.
+	IterClocks []float64
+	// Machine stats at exit.
+	Stats machine.Stats
+}
+
+// PerIterTime estimates the steady-state parallel time per iteration as
+// the median clock increment after the start-up transient. The median is
+// exact for the uniform trajectories of CG and pipelined CG, and for the
+// recurrence methods it is robust to the occasional drift-fallback
+// iteration (a blocking reduction or emergency re-anchor) that would
+// contaminate a mean — those artifacts are finite-precision repairs, not
+// part of the algorithm's schedule.
+func (r *Result) PerIterTime() float64 {
+	n := len(r.IterClocks)
+	if n < 2 {
+		return math.NaN()
+	}
+	skip := n / 4
+	if skip < 1 {
+		skip = 1
+	}
+	deltas := make([]float64, 0, n-skip)
+	for i := skip; i < n; i++ {
+		deltas = append(deltas, r.IterClocks[i]-r.IterClocks[i-1])
+	}
+	sort.Float64s(deltas)
+	m := len(deltas)
+	if m == 0 {
+		return math.NaN()
+	}
+	if m%2 == 1 {
+		return deltas[m/2]
+	}
+	return 0.5 * (deltas[m/2-1] + deltas[m/2])
+}
+
+// Options configures a distributed solve.
+type Options struct {
+	// Tol is the relative residual tolerance (default 1e-8).
+	Tol float64
+	// MaxIter bounds iterations (default 2n).
+	MaxIter int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 2 * n
+	}
+	return o
+}
+
+// CG runs the standard Hestenes–Stiefel iteration (paper §2) on the
+// machine: one matvec (halo exchange + local sweep) and two blocking
+// allreduce fan-ins per iteration — the c*log(N) dependency the paper
+// sets out to remove.
+func CG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error) {
+	n := dm.Dim()
+	o = o.withDefaults(n)
+	p := dm.P()
+	if m.P() != p || b.Parts() != p {
+		return nil, fmt.Errorf("parcg: processor count mismatch")
+	}
+
+	x := NewDist(n, p)
+	r := b.Clone()
+	pv := b.Clone()
+	ap := NewDist(n, p)
+
+	rr := sumAll(collective.AllreduceSum(m, LocalDotPartials(m, r, r)))
+	bnorm := math.Sqrt(rr)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	threshold := o.Tol * bnorm
+
+	res := &Result{}
+	for res.Iterations < o.MaxIter {
+		if math.Sqrt(rr) <= threshold {
+			res.Converged = true
+			break
+		}
+		dm.MulVec(m, ap, pv)
+		pap := sumAll(collective.AllreduceSum(m, LocalDotPartials(m, pv, ap)))
+		if pap <= 0 {
+			return nil, fmt.Errorf("parcg: curvature %g at iteration %d: %w", pap, res.Iterations, krylov.ErrIndefinite)
+		}
+		lambda := rr / pap
+		scalarAll(m, 1)
+		Axpy(m, lambda, pv, x)
+		Axpy(m, -lambda, ap, r)
+		rrNew := sumAll(collective.AllreduceSum(m, LocalDotPartials(m, r, r)))
+		alpha := rrNew / rr
+		scalarAll(m, 1)
+		Xpay(m, r, alpha, pv)
+		rr = rrNew
+		res.Iterations++
+		res.IterClocks = append(res.IterClocks, m.MaxClock())
+	}
+	if math.Sqrt(rr) <= threshold {
+		res.Converged = true
+	}
+	res.ResidualNorm = math.Sqrt(rr)
+	res.X = x.Gather()
+	res.Stats = m.Stats()
+	return res, nil
+}
+
+// sumAll extracts the (identical) allreduce result; all processors hold
+// the same value, so any representative works.
+func sumAll(values []float64) float64 { return values[0] }
+
+// scalarAll charges a replicated scalar operation on every processor
+// (each processor computes the step scalars redundantly, the standard
+// practice after an allreduce).
+func scalarAll(m *machine.Machine, flops int) {
+	for i := 0; i < m.P(); i++ {
+		m.Compute(i, flops)
+	}
+}
+
+// PipeCG runs Ghysels–Vanroose pipelined CG (2014), the modern
+// production descendant of the paper's idea (PETSc KSPPIPECG): a single
+// non-blocking allreduce per iteration, overlapped with the matvec.
+// Recurrences (unpreconditioned):
+//
+//	w = A r maintained;  n_i = A w_i  (the overlapped matvec)
+//	beta = gamma/gamma_old, alpha = gamma/(delta - beta*gamma/alpha_old)
+//	p = r + beta p;  s = w + beta s (= A p);  q = n + beta q (= A s)
+//	x += alpha p;  r -= alpha s;  w -= alpha q
+func PipeCG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error) {
+	n := dm.Dim()
+	o = o.withDefaults(n)
+	p := dm.P()
+	if m.P() != p || b.Parts() != p {
+		return nil, fmt.Errorf("parcg: processor count mismatch")
+	}
+
+	x := NewDist(n, p)
+	r := b.Clone()
+	w := NewDist(n, p)
+	dm.MulVec(m, w, r) // w = A r
+
+	pv := NewDist(n, p)
+	s := NewDist(n, p)
+	q := NewDist(n, p)
+	nv := NewDist(n, p)
+
+	// In-flight reduction of (gamma, delta) = ((r,r), (w,r)).
+	issue := func() *collective.Handle {
+		gp := LocalDotPartials(m, r, r)
+		dp := LocalDotPartials(m, w, r)
+		contrib := make([][]float64, p)
+		for i := 0; i < p; i++ {
+			contrib[i] = []float64{gp[i], dp[i]}
+		}
+		return collective.IAllreduceVec(m, contrib)
+	}
+	h := issue()
+
+	var gammaOld, alphaOld float64
+	first := true
+	bnorm := 0.0
+	threshold := 0.0
+
+	res := &Result{}
+	for res.Iterations < o.MaxIter {
+		// Overlap: the matvec n = A w proceeds while the reduction is in
+		// flight.
+		dm.MulVec(m, nv, w)
+		vals := h.WaitAll(m)
+		gamma, delta := vals[0][0], vals[0][1]
+		if first {
+			bnorm = math.Sqrt(gamma)
+			if bnorm == 0 {
+				bnorm = 1
+			}
+			threshold = o.Tol * bnorm
+		}
+		if math.Sqrt(math.Max(gamma, 0)) <= threshold {
+			res.Converged = true
+			res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
+			break
+		}
+		var beta, alpha float64
+		if first {
+			beta = 0
+			alpha = gamma / delta
+			first = false
+		} else {
+			beta = gamma / gammaOld
+			den := delta - beta*gamma/alphaOld
+			if den == 0 {
+				return nil, fmt.Errorf("parcg: pipelined CG breakdown at iteration %d: %w", res.Iterations, krylov.ErrBreakdown)
+			}
+			alpha = gamma / den
+		}
+		scalarAll(m, 4)
+
+		Xpay(m, r, beta, pv)
+		Xpay(m, w, beta, s)
+		Xpay(m, nv, beta, q)
+		Axpy(m, alpha, pv, x)
+		Axpy(m, -alpha, s, r)
+		Axpy(m, -alpha, q, w)
+
+		gammaOld, alphaOld = gamma, alpha
+		h = issue()
+		res.Iterations++
+		res.IterClocks = append(res.IterClocks, m.MaxClock())
+	}
+	if !res.Converged {
+		vals := h.WaitAll(m)
+		res.ResidualNorm = math.Sqrt(math.Max(vals[0][0], 0))
+		if res.ResidualNorm <= threshold {
+			res.Converged = true
+		}
+	}
+	res.X = x.Gather()
+	res.Stats = m.Stats()
+	return res, nil
+}

@@ -1,0 +1,275 @@
+// Package pipecg implements the pipelined conjugate gradient methods
+// that descend directly from the paper's idea and reached production
+// solvers: Ghysels–Vanroose pipelined CG (2014; PETSc's KSPPIPECG) and
+// Gropp's asynchronous two-reduction variant. Both restructure CG so
+// global reductions overlap with the matrix–vector product — a depth-one
+// version of the paper's k-deep look-ahead pipeline.
+//
+// These sequential reference implementations validate the recurrences
+// and provide convergence baselines; their parallel-time behaviour is
+// modelled in packages depth and parcg.
+package pipecg
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+// Options configures a pipelined solve.
+type Options struct {
+	// MaxIter bounds iterations; 0 means 10*n.
+	MaxIter int
+	// Tol is the relative residual tolerance; 0 means 1e-10.
+	Tol float64
+	// X0 is the initial guess; nil means zero.
+	X0 vec.Vector
+	// RecordHistory enables Result.History.
+	RecordHistory bool
+}
+
+func matvecFlops(a mat.Matrix) int64 {
+	if sp, ok := a.(mat.Sparse); ok {
+		return 2 * int64(sp.NNZ())
+	}
+	n := int64(a.Dim())
+	return 2 * n * n
+}
+
+// Result reports a pipelined solve.
+type Result struct {
+	X                vec.Vector
+	Iterations       int
+	Converged        bool
+	ResidualNorm     float64
+	TrueResidualNorm float64
+	History          []float64
+	Stats            krylov.Stats
+}
+
+func validate(a mat.Matrix, b vec.Vector, o Options) (Options, error) {
+	if a.Dim() != b.Len() {
+		return o, fmt.Errorf("pipecg: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+	}
+	if o.X0 != nil && o.X0.Len() != a.Dim() {
+		return o, fmt.Errorf("pipecg: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10 * a.Dim()
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	return o, nil
+}
+
+// GhyselsVanroose solves A x = b by the single-reduction pipelined CG.
+// Per iteration: one matvec (n = A w, overlappable with the reduction of
+// gamma = (r,r) and delta = (w,r)) and the vector recurrences
+//
+//	p = r + beta p;  s = w + beta s (= A p);  q = n + beta q (= A s)
+//	x += alpha p;  r -= alpha s;  w -= alpha q (= A r maintained)
+func GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+	o, err := validate(a, b, o)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Dim()
+	res := &Result{}
+	if o.X0 != nil {
+		res.X = o.X0.Clone()
+	} else {
+		res.X = vec.New(n)
+	}
+	r := vec.New(n)
+	a.MulVec(r, res.X)
+	vec.Sub(r, b, r)
+	res.Stats.MatVecs++
+	res.Stats.Flops += matvecFlops(a)
+
+	w := vec.New(n)
+	a.MulVec(w, r)
+	res.Stats.MatVecs++
+	res.Stats.Flops += matvecFlops(a)
+
+	p := vec.New(n)
+	s := vec.New(n)
+	q := vec.New(n)
+	nv := vec.New(n)
+
+	bnorm := vec.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	threshold := o.Tol * bnorm
+
+	gamma, delta := vec.DotPair(r, r, w)
+	res.Stats.InnerProducts += 2
+	res.Stats.Flops += 4 * int64(n)
+	var gammaOld, alphaOld float64
+	first := true
+
+	record := func() {
+		if o.RecordHistory {
+			res.History = append(res.History, math.Sqrt(math.Max(gamma, 0)))
+		}
+	}
+	record()
+
+	for res.Iterations < o.MaxIter {
+		if math.Sqrt(math.Max(gamma, 0)) <= threshold {
+			res.Converged = true
+			break
+		}
+		// The matvec below would overlap the (gamma, delta) reduction on
+		// a parallel machine; sequentially we just order them.
+		a.MulVec(nv, w)
+		res.Stats.MatVecs++
+		res.Stats.Flops += matvecFlops(a)
+
+		var beta, alpha float64
+		if first {
+			beta = 0
+			if delta == 0 {
+				return res, fmt.Errorf("pipecg: (w,r) vanished at startup: %w", krylov.ErrBreakdown)
+			}
+			alpha = gamma / delta
+			first = false
+		} else {
+			beta = gamma / gammaOld
+			den := delta - beta*gamma/alphaOld
+			if den == 0 || math.IsNaN(den) {
+				return res, fmt.Errorf("pipecg: pipelined scalar breakdown at iteration %d: %w", res.Iterations, krylov.ErrBreakdown)
+			}
+			alpha = gamma / den
+		}
+		if alpha <= 0 || math.IsNaN(alpha) {
+			return res, fmt.Errorf("pipecg: nonpositive step %g at iteration %d: %w", alpha, res.Iterations, krylov.ErrIndefinite)
+		}
+
+		vec.Xpay(r, beta, p)
+		vec.Xpay(w, beta, s)
+		vec.Xpay(nv, beta, q)
+		vec.Axpy(alpha, p, res.X)
+		vec.Axpy(-alpha, s, r)
+		vec.Axpy(-alpha, q, w)
+		res.Stats.VectorUpdates += 6
+		res.Stats.Flops += 12 * int64(n)
+
+		gammaOld, alphaOld = gamma, alpha
+		gamma, delta = vec.DotPair(r, r, w)
+		res.Stats.InnerProducts += 2
+		res.Stats.Flops += 4 * int64(n)
+		res.Iterations++
+		record()
+	}
+	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
+		res.Converged = true
+	}
+	res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
+	finish(a, b, res)
+	return res, nil
+}
+
+// Gropp solves A x = b by Gropp's asynchronous variant: two reductions
+// per iteration, each overlapped with one of the two matvec-shaped
+// operations, using the auxiliary vector s = A p.
+func Gropp(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+	o, err := validate(a, b, o)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Dim()
+	res := &Result{}
+	if o.X0 != nil {
+		res.X = o.X0.Clone()
+	} else {
+		res.X = vec.New(n)
+	}
+	r := vec.New(n)
+	a.MulVec(r, res.X)
+	vec.Sub(r, b, r)
+	res.Stats.MatVecs++
+	res.Stats.Flops += matvecFlops(a)
+
+	p := r.Clone()
+	s := vec.New(n)
+	a.MulVec(s, p)
+	res.Stats.MatVecs++
+	res.Stats.Flops += matvecFlops(a)
+
+	bnorm := vec.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	threshold := o.Tol * bnorm
+
+	gamma := vec.Dot(r, r)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * int64(n)
+
+	record := func() {
+		if o.RecordHistory {
+			res.History = append(res.History, math.Sqrt(math.Max(gamma, 0)))
+		}
+	}
+	record()
+
+	w := vec.New(n)
+	for res.Iterations < o.MaxIter {
+		if math.Sqrt(math.Max(gamma, 0)) <= threshold {
+			res.Converged = true
+			break
+		}
+		// First reduction: delta = (p, s). (In the preconditioned form
+		// it overlaps with the preconditioner solve.)
+		delta := vec.Dot(p, s)
+		res.Stats.InnerProducts++
+		res.Stats.Flops += 2 * int64(n)
+		if delta <= 0 || math.IsNaN(delta) {
+			return res, fmt.Errorf("pipecg: curvature %g at iteration %d: %w", delta, res.Iterations, krylov.ErrIndefinite)
+		}
+		alpha := gamma / delta
+		vec.Axpy(alpha, p, res.X)
+		vec.Axpy(-alpha, s, r)
+		res.Stats.VectorUpdates += 2
+		res.Stats.Flops += 4 * int64(n)
+
+		// Second reduction gamma' = (r, r) overlaps with the single
+		// matvec w = A r on a parallel machine.
+		gammaNew := vec.Dot(r, r)
+		res.Stats.InnerProducts++
+		res.Stats.Flops += 2 * int64(n)
+		a.MulVec(w, r)
+		res.Stats.MatVecs++
+		res.Stats.Flops += matvecFlops(a)
+
+		beta := gammaNew / gamma
+		vec.Xpay(r, beta, p)
+		vec.Xpay(w, beta, s) // s = A p maintained by recurrence
+		res.Stats.VectorUpdates += 2
+		res.Stats.Flops += 4 * int64(n)
+
+		gamma = gammaNew
+		res.Iterations++
+		record()
+	}
+	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
+		res.Converged = true
+	}
+	res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
+	finish(a, b, res)
+	return res, nil
+}
+
+func finish(a mat.Matrix, b vec.Vector, res *Result) {
+	tr := vec.New(a.Dim())
+	a.MulVec(tr, res.X)
+	vec.Sub(tr, b, tr)
+	res.Stats.MatVecs++
+	res.Stats.Flops += matvecFlops(a)
+	res.TrueResidualNorm = vec.Norm2(tr)
+}

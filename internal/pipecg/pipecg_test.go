@@ -1,0 +1,191 @@
+package pipecg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func testSystem(m int, seed uint64) (*mat.CSR, vec.Vector, vec.Vector) {
+	a := mat.Poisson2D(m)
+	n := a.Dim()
+	xTrue := vec.New(n)
+	vec.Random(xTrue, seed)
+	b := vec.New(n)
+	a.MulVec(b, xTrue)
+	return a, b, xTrue
+}
+
+func TestGhyselsVanrooseSolves(t *testing.T) {
+	a, b, _ := testSystem(8, 1)
+	res, err := GhyselsVanroose(a, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence in %d iterations", res.Iterations)
+	}
+	if res.TrueResidualNorm > 1e-8*vec.Norm2(b) {
+		t.Fatalf("true residual %g", res.TrueResidualNorm)
+	}
+}
+
+func TestGroppSolves(t *testing.T) {
+	a, b, _ := testSystem(8, 2)
+	res, err := Gropp(a, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence in %d iterations", res.Iterations)
+	}
+	if res.TrueResidualNorm > 1e-8*vec.Norm2(b) {
+		t.Fatalf("true residual %g", res.TrueResidualNorm)
+	}
+}
+
+func TestPipelinedMatchesCGIterationCounts(t *testing.T) {
+	// Same Krylov method, rearranged recurrences: iteration counts track
+	// standard CG closely on well-conditioned problems.
+	a, b, _ := testSystem(7, 3)
+	cg, err := krylov.CG(a, b, krylov.Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, err := GhyselsVanroose(a, b, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Gropp(a, b, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, it := range map[string]int{"GV": gv.Iterations, "Gropp": gr.Iterations} {
+		if diff := it - cg.Iterations; diff < -3 || diff > 3 {
+			t.Fatalf("%s iterations %d vs CG %d", name, it, cg.Iterations)
+		}
+	}
+	if !gv.X.EqualTol(cg.X, 1e-5) || !gr.X.EqualTol(cg.X, 1e-5) {
+		t.Fatal("pipelined solutions differ from CG")
+	}
+}
+
+func TestGhyselsVanrooseOneMatvecPerIteration(t *testing.T) {
+	a, b, _ := testSystem(6, 4)
+	res, err := GhyselsVanroose(a, b, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup: r0 (1) + w0 (1); exit: true residual (1); 1 per iteration.
+	want := res.Iterations + 3
+	if res.Stats.MatVecs != want {
+		t.Fatalf("matvecs = %d, want %d", res.Stats.MatVecs, want)
+	}
+	// One fused reduction pair per iteration.
+	if res.Stats.InnerProducts != 2*res.Iterations+2 {
+		t.Fatalf("inner products = %d, want %d", res.Stats.InnerProducts, 2*res.Iterations+2)
+	}
+}
+
+func TestGroppOneMatvecPerIteration(t *testing.T) {
+	a, b, _ := testSystem(6, 5)
+	res, err := Gropp(a, b, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Iterations + 3 // r0, s0, exit check
+	if res.Stats.MatVecs != want {
+		t.Fatalf("matvecs = %d, want %d", res.Stats.MatVecs, want)
+	}
+}
+
+func TestHistoryAndZeroRHS(t *testing.T) {
+	a := mat.Poisson1D(12)
+	res, err := GhyselsVanroose(a, vec.New(12), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatal("zero rhs should converge immediately")
+	}
+
+	b := vec.New(12)
+	vec.Random(b, 6)
+	res, err = GhyselsVanroose(a, b, Options{Tol: 1e-8, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Iterations+1 {
+		t.Fatalf("history %d entries for %d iterations", len(res.History), res.Iterations)
+	}
+}
+
+func TestRejectsBadArguments(t *testing.T) {
+	a := mat.Poisson1D(5)
+	if _, err := GhyselsVanroose(a, vec.New(6), Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := Gropp(a, vec.New(5), Options{X0: vec.New(2)}); err == nil {
+		t.Fatal("expected x0 error")
+	}
+}
+
+func TestIndefiniteDetected(t *testing.T) {
+	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	b := vec.NewFrom([]float64{1, 1})
+	if _, err := Gropp(a, b, Options{}); err == nil {
+		t.Fatal("Gropp: expected error on indefinite operator")
+	}
+	if _, err := GhyselsVanroose(a, b, Options{}); err == nil {
+		t.Fatal("GV: expected error on indefinite operator")
+	}
+}
+
+func TestPipelinedDriftVsCG(t *testing.T) {
+	// The known cost of pipelining: extra recurrences mean the true
+	// residual floor is somewhat above plain CG's. Document it holds
+	// within a couple orders of magnitude, not that it is free.
+	a, b, _ := testSystem(10, 7)
+	cg, err := krylov.CG(a, b, krylov.Options{Tol: 1e-12, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, err := GhyselsVanroose(a, b, Options{Tol: 1e-12, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv.TrueResidualNorm > 1e4*(cg.TrueResidualNorm+1e-16) {
+		t.Fatalf("GV floor %g too far above CG floor %g", gv.TrueResidualNorm, cg.TrueResidualNorm)
+	}
+}
+
+// Property: both pipelined variants solve random SPD systems.
+func TestPropPipelinedSolves(t *testing.T) {
+	f := func(seed uint64, whichGV bool) bool {
+		n := 36
+		a := mat.RandomSPD(n, 4, seed)
+		x := vec.New(n)
+		vec.Random(x, seed+1)
+		b := vec.New(n)
+		a.MulVec(b, x)
+		var (
+			res *Result
+			err error
+		)
+		if whichGV {
+			res, err = GhyselsVanroose(a, b, Options{Tol: 1e-8, MaxIter: 20 * n})
+		} else {
+			res, err = Gropp(a, b, Options{Tol: 1e-8, MaxIter: 20 * n})
+		}
+		if err != nil || !res.Converged {
+			return false
+		}
+		return res.TrueResidualNorm <= 1e-5*vec.Norm2(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+package precond
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func TestIdentityApply(t *testing.T) {
+	p := NewIdentity(3)
+	if p.Dim() != 3 {
+		t.Fatalf("Dim = %d", p.Dim())
+	}
+	r := vec.NewFrom([]float64{1, 2, 3})
+	dst := vec.New(3)
+	p.Apply(dst, r)
+	if !dst.Equal(r) {
+		t.Fatal("Identity changed the vector")
+	}
+}
+
+func TestJacobiApply(t *testing.T) {
+	a := mat.DiagonalMatrix(vec.NewFrom([]float64{2, 4, 8}))
+	p, err := NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vec.NewFrom([]float64{2, 4, 8})
+	dst := vec.New(3)
+	p.Apply(dst, r)
+	for i, v := range dst {
+		if v != 1 {
+			t.Fatalf("component %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestJacobiRejectsNonPositiveDiagonal(t *testing.T) {
+	coo := mat.NewCOO(2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, -1)
+	if _, err := NewJacobi(coo.ToCSR()); err == nil {
+		t.Fatal("expected error for negative diagonal")
+	}
+	coo2 := mat.NewCOO(2)
+	coo2.Add(0, 0, 1)
+	coo2.Add(0, 1, 1)
+	coo2.Add(1, 0, 1)
+	// missing (1,1) diagonal -> zero
+	if _, err := NewJacobi(coo2.ToCSR()); err == nil {
+		t.Fatal("expected error for zero diagonal")
+	}
+}
+
+// applyAsDense materializes the preconditioner action as a dense matrix
+// by applying it to unit vectors.
+func applyAsDense(p Preconditioner) *mat.Dense {
+	n := p.Dim()
+	d := mat.NewDense(n)
+	e := vec.New(n)
+	out := vec.New(n)
+	for j := 0; j < n; j++ {
+		e.Zero()
+		e[j] = 1
+		p.Apply(out, e)
+		for i := 0; i < n; i++ {
+			d.Set(i, j, out[i])
+		}
+	}
+	return d
+}
+
+func TestSSORSymmetricOperator(t *testing.T) {
+	a := mat.Poisson2D(4)
+	for _, w := range []float64{0.5, 1.0, 1.5} {
+		p, err := NewSSOR(a, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := applyAsDense(p)
+		if !d.IsSymmetric(1e-10) {
+			t.Fatalf("SSOR(w=%g) application is not symmetric", w)
+		}
+	}
+}
+
+func TestSSORPositiveDefinite(t *testing.T) {
+	a := mat.Poisson1D(12)
+	p, err := NewSSOR(a, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vec.New(12)
+	for trial := 0; trial < 8; trial++ {
+		r := vec.New(12)
+		vec.Random(r, uint64(trial+1))
+		p.Apply(out, r)
+		if q := vec.Dot(r, out); q <= 0 {
+			t.Fatalf("SSOR quadratic form non-positive: %v", q)
+		}
+	}
+}
+
+func TestSSORExactForDiagonal(t *testing.T) {
+	// For a diagonal matrix, SSOR with w=1 reduces to exact inversion:
+	// M = D * 1 * D^{-1} * D = D.
+	a := mat.DiagonalMatrix(vec.NewFrom([]float64{2, 5}))
+	p, err := NewSSOR(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vec.NewFrom([]float64{2, 5})
+	dst := vec.New(2)
+	p.Apply(dst, r)
+	if math.Abs(dst[0]-1) > 1e-14 || math.Abs(dst[1]-1) > 1e-14 {
+		t.Fatalf("SSOR diag apply got %v", dst)
+	}
+}
+
+func TestSSORRejectsBadOmega(t *testing.T) {
+	a := mat.Poisson1D(4)
+	for _, w := range []float64{0, -1, 2, 2.5} {
+		if _, err := NewSSOR(a, w); err == nil {
+			t.Fatalf("expected error for w=%g", w)
+		}
+	}
+}
+
+func TestSSORRejectsBadDiagonal(t *testing.T) {
+	coo := mat.NewCOO(2)
+	coo.Add(0, 0, -2)
+	coo.Add(1, 1, 1)
+	if _, err := NewSSOR(coo.ToCSR(), 1); err == nil {
+		t.Fatal("expected error for negative diagonal")
+	}
+}
+
+func TestNeumannDegreeZeroIsScaledIdentity(t *testing.T) {
+	a := mat.Poisson1D(5)
+	p, err := NewNeumann(a, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vec.NewFrom([]float64{4, 0, 0, 0, 0})
+	dst := vec.New(5)
+	p.Apply(dst, r)
+	if math.Abs(dst[0]-1) > 1e-14 {
+		t.Fatalf("degree-0 Neumann: got %v, want r/lambdaMax", dst[0])
+	}
+}
+
+func TestNeumannImprovesWithDegree(t *testing.T) {
+	// Higher-degree Neumann should reduce ||M^{-1}A x - x||.
+	a := mat.Poisson1D(16)
+	x := vec.New(16)
+	vec.Random(x, 3)
+	ax := vec.New(16)
+	a.MulVec(ax, x)
+	lambdaMax := 4.0 // 2-2cos(k pi/(m+1)) < 4
+	prevErr := math.Inf(1)
+	for _, deg := range []int{0, 2, 6, 12} {
+		p, err := NewNeumann(a, deg, lambdaMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := vec.New(16)
+		p.Apply(z, ax)
+		diff := vec.New(16)
+		vec.Sub(diff, z, x)
+		e := vec.Norm2(diff)
+		if e > prevErr*1.05 {
+			t.Fatalf("Neumann degree %d error %g did not improve on %g", deg, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 0.7*vec.Norm2(x) {
+		t.Fatalf("high-degree Neumann still poor: err=%g", prevErr)
+	}
+}
+
+func TestNeumannErrors(t *testing.T) {
+	a := mat.Poisson1D(4)
+	if _, err := NewNeumann(a, -1, 4); err == nil {
+		t.Fatal("expected degree error")
+	}
+	if _, err := NewNeumann(a, 2, 0); err == nil {
+		t.Fatal("expected lambdaMax error")
+	}
+}
+
+func TestChebyshevApproximatesInverse(t *testing.T) {
+	// On a diagonal matrix with known spectrum, Chebyshev of moderate
+	// degree should approximately invert A.
+	n := 20
+	a := mat.PrescribedSpectrum(n, 10) // eigenvalues in [1,10]
+	p, err := NewChebyshev(a, 8, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vec.New(n)
+	vec.Random(x, 11)
+	ax := vec.New(n)
+	a.MulVec(ax, x)
+	z := vec.New(n)
+	p.Apply(z, ax)
+	diff := vec.New(n)
+	vec.Sub(diff, z, x)
+	if rel := vec.Norm2(diff) / vec.Norm2(x); rel > 0.05 {
+		t.Fatalf("Chebyshev(8) relative error %g too large", rel)
+	}
+}
+
+func TestChebyshevErrors(t *testing.T) {
+	a := mat.Poisson1D(4)
+	if _, err := NewChebyshev(a, -1, 1, 2); err == nil {
+		t.Fatal("expected degree error")
+	}
+	if _, err := NewChebyshev(a, 2, 0, 2); err == nil {
+		t.Fatal("expected lambdaMin error")
+	}
+	if _, err := NewChebyshev(a, 2, 2, 2); err == nil {
+		t.Fatal("expected interval error")
+	}
+}
+
+func TestPolynomialCoeffsCopied(t *testing.T) {
+	a := mat.Poisson1D(4)
+	p, err := NewNeumann(a, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Coeffs()
+	c[0] = 999
+	if p.Coeffs()[0] == 999 {
+		t.Fatal("Coeffs exposes internal storage")
+	}
+}
+
+// Property: Jacobi preconditioning of a diagonal system is an exact solve.
+func TestPropJacobiExactOnDiagonal(t *testing.T) {
+	f := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw)%30 + 1
+		d := vec.New(n)
+		vec.Random(d, seed)
+		for i := range d {
+			d[i] = math.Abs(d[i]) + 0.5 // strictly positive
+		}
+		a := mat.DiagonalMatrix(d)
+		p, err := NewJacobi(a)
+		if err != nil {
+			return false
+		}
+		x := vec.New(n)
+		vec.Random(x, seed+1)
+		b := vec.New(n)
+		a.MulVec(b, x)
+		z := vec.New(n)
+		p.Apply(z, b)
+		return z.EqualTol(x, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SSOR application is symmetric: <M^{-1}u, v> == <u, M^{-1}v>.
+func TestPropSSORSelfAdjoint(t *testing.T) {
+	f := func(seed uint64, mRaw uint8, wRaw uint8) bool {
+		m := int(mRaw)%10 + 3
+		w := 0.2 + 1.6*float64(wRaw)/255
+		a := mat.Poisson1D(m)
+		p, err := NewSSOR(a, w)
+		if err != nil {
+			return false
+		}
+		u := vec.New(m)
+		v := vec.New(m)
+		vec.Random(u, seed)
+		vec.Random(v, seed^0x5555)
+		pu := vec.New(m)
+		pv := vec.New(m)
+		p.Apply(pu, u)
+		p.Apply(pv, v)
+		lhs := vec.Dot(pu, v)
+		rhs := vec.Dot(u, pv)
+		return math.Abs(lhs-rhs) <= 1e-10*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named convergence history for plotting.
+type Series struct {
+	Name   string
+	Values []float64 // per-iteration residual norms (positive)
+}
+
+// SemilogPlot renders residual histories on a shared log10 y-axis as an
+// ASCII chart: iterations on x, log residual on y. Values <= 0 are
+// clamped to the smallest positive value present. Each series is drawn
+// with its own marker character.
+func SemilogPlot(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(series) == 0 {
+		return "(no series)\n"
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	// Ranges.
+	maxLen := 0
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v > 0 {
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	if maxLen == 0 || math.IsInf(minV, 1) {
+		return "(no positive values)\n"
+	}
+	if minV == maxV {
+		maxV = minV * 10
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xCol := func(i int) int {
+		if maxLen == 1 {
+			return 0
+		}
+		c := i * (width - 1) / (maxLen - 1)
+		return c
+	}
+	yRow := func(v float64) int {
+		if v <= 0 {
+			v = minV
+		}
+		frac := (math.Log10(v) - logMin) / (logMax - logMin)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Values {
+			grid[yRow(v)][xCol(i)] = mark
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "residual (log10 scale %.1f .. %.1f), %d iterations\n", logMax, logMin, maxLen)
+	for r, row := range grid {
+		label := "         "
+		if r == 0 {
+			label = fmt.Sprintf("%8.1f ", logMax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.1f ", logMin)
+		}
+		sb.WriteString(label)
+		sb.WriteByte('|')
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "+\n")
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}

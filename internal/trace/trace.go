@@ -1,0 +1,252 @@
+// Package trace records and renders execution schedules of the
+// restructured CG iteration, reproducing the paper's Figure 1
+// ("Principal Data Movement in New CG Algorithm"): vector recurrences
+// flow iteration to iteration while the inner products issued on the
+// iteration n-k vectors complete just in time for iteration n's scalars.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vrcg/internal/depth"
+)
+
+// Unit identifies the functional unit an event occupies.
+type Unit string
+
+// Functional units of the schedule.
+const (
+	UnitVector Unit = "VEC"    // elementwise vector updates
+	UnitMatVec Unit = "MATVEC" // sparse matrix-vector product
+	UnitReduce Unit = "REDUCE" // inner-product summation fan-in
+	UnitScalar Unit = "SCALAR" // recurrence/coefficient scalar work
+)
+
+// Event is one occupied interval on a unit's timeline.
+type Event struct {
+	Unit  Unit
+	Label string
+	Iter  int
+	Start float64
+	End   float64
+}
+
+// Trace is an ordered collection of events.
+type Trace struct {
+	Events []Event
+}
+
+// Add appends an event (intervals may overlap across units; that is the
+// point of the pipeline).
+func (t *Trace) Add(u Unit, label string, iter int, start, end float64) {
+	if end < start {
+		panic(fmt.Sprintf("trace: event %q ends (%g) before it starts (%g)", label, end, start))
+	}
+	t.Events = append(t.Events, Event{Unit: u, Label: label, Iter: iter, Start: start, End: end})
+}
+
+// Span returns the earliest start and latest end over all events.
+func (t *Trace) Span() (float64, float64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	lo, hi := t.Events[0].Start, t.Events[0].End
+	for _, e := range t.Events[1:] {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	return lo, hi
+}
+
+// Render draws a Gantt chart: one row per unit, time scaled to the given
+// width in characters. Concurrent occupancy on one unit stacks onto
+// overflow rows.
+func (t *Trace) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := t.Span()
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := float64(width) / (hi - lo)
+	col := func(x float64) int {
+		c := int((x - lo) * scale)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	units := []Unit{UnitVector, UnitMatVec, UnitReduce, UnitScalar}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time %.0f..%.0f (one column = %.2f units)\n", lo, hi, 1/scale)
+	for _, u := range units {
+		var evs []Event
+		for _, e := range t.Events {
+			if e.Unit == u {
+				evs = append(evs, e)
+			}
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		// Greedy row packing for overlapping events.
+		var rows [][]Event
+		for _, e := range evs {
+			placed := false
+			for ri := range rows {
+				last := rows[ri][len(rows[ri])-1]
+				if e.Start >= last.End {
+					rows[ri] = append(rows[ri], e)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				rows = append(rows, []Event{e})
+			}
+		}
+		for ri, row := range rows {
+			line := []byte(strings.Repeat(".", width))
+			for _, e := range row {
+				c0, c1 := col(e.Start), col(e.End)
+				if c1 <= c0 {
+					c1 = c0 + 1
+				}
+				mark := byte('0' + byte(e.Iter%10))
+				for c := c0; c < c1 && c < width; c++ {
+					line[c] = mark
+				}
+			}
+			tag := string(u)
+			if ri > 0 {
+				tag = strings.Repeat(" ", len(tag))
+			}
+			fmt.Fprintf(&sb, "%-7s|%s|\n", tag, string(line))
+		}
+	}
+	sb.WriteString("(digits are iteration numbers mod 10)\n")
+	return sb.String()
+}
+
+// VRCGSchedule builds the pipelined schedule of the restructured
+// algorithm in the depth cost model: per iteration, the vector family
+// update and single matvec; the batch of base inner products issued on
+// the iteration's vectors whose fan-in completes k iterations later;
+// and the scalar contraction consuming the batch issued k iterations
+// earlier. It is the executable form of Figure 1.
+func VRCGSchedule(n, d, k, iters int) *Trace {
+	if iters < 1 || k < 1 {
+		panic("trace: VRCGSchedule needs iters >= 1 and k >= 1")
+	}
+	m := depth.NewModel(n, d)
+	tr := &Trace{}
+	reduceLat := float64(1 + depth.Log2Ceil(n))
+	scalarLat := float64(depth.Log2Ceil(6*k+5) + 2)
+	mvLat := float64(1 + depth.Log2Ceil(d))
+
+	// Steady-state iteration period from the simulator.
+	completions := depth.SimulateVRCG(m, k, iters+k+2)
+	period := depth.SteadyStateRate(completions)
+
+	for it := 0; it < iters; it++ {
+		t0 := float64(it) * period
+		// Scalars for iteration it consume the batch issued at it-k.
+		tr.Add(UnitScalar, fmt.Sprintf("contract(*) n=%d", it), it, t0, t0+scalarLat)
+		// Vector updates and the single matvec follow the scalars.
+		tr.Add(UnitVector, fmt.Sprintf("families n=%d", it), it, t0+scalarLat, t0+scalarLat+2)
+		tr.Add(UnitMatVec, fmt.Sprintf("A*top n=%d", it), it, t0+scalarLat+2, t0+scalarLat+2+mvLat)
+		// Base inner products issued on this iteration's vectors,
+		// fan-in completing during the next k iterations.
+		issue := t0 + scalarLat + 2 + mvLat
+		tr.Add(UnitReduce, fmt.Sprintf("baseIP n=%d (for n=%d)", it, it+k), it, issue, issue+reduceLat)
+	}
+	return tr
+}
+
+// StandardCGSchedule builds the synchronous standard-CG schedule for
+// contrast: each iteration's two reductions sit on the critical path.
+func StandardCGSchedule(n, d, iters int) *Trace {
+	if iters < 1 {
+		panic("trace: StandardCGSchedule needs iters >= 1")
+	}
+	tr := &Trace{}
+	reduceLat := float64(1 + depth.Log2Ceil(n))
+	mvLat := float64(1 + depth.Log2Ceil(d))
+	t := 0.0
+	for it := 0; it < iters; it++ {
+		tr.Add(UnitMatVec, fmt.Sprintf("Ap n=%d", it), it, t, t+mvLat)
+		t += mvLat
+		tr.Add(UnitReduce, fmt.Sprintf("(p,Ap) n=%d", it), it, t, t+reduceLat)
+		t += reduceLat
+		tr.Add(UnitScalar, fmt.Sprintf("lambda n=%d", it), it, t, t+1)
+		t++
+		tr.Add(UnitVector, fmt.Sprintf("x,r n=%d", it), it, t, t+1)
+		t++
+		tr.Add(UnitReduce, fmt.Sprintf("(r,r) n=%d", it), it, t, t+reduceLat)
+		t += reduceLat
+		tr.Add(UnitScalar, fmt.Sprintf("alpha n=%d", it), it, t, t+1)
+		t++
+		tr.Add(UnitVector, fmt.Sprintf("p n=%d", it), it, t, t+1)
+		t++
+	}
+	return tr
+}
+
+// Figure1 renders the paper's data-movement diagram for look-ahead k:
+// vector recurrences flow left to right; the inner products computed on
+// the iteration n-k column feed iteration n's scalar recurrences.
+func Figure1(k int) string {
+	if k < 1 {
+		panic("trace: Figure1 needs k >= 1")
+	}
+	cols := []string{fmt.Sprintf("n-%d", k)}
+	if k > 2 {
+		cols = append(cols, fmt.Sprintf("n-%d", k-1), "...")
+	} else if k == 2 {
+		cols = append(cols, "n-1")
+	}
+	if k > 1 {
+		cols = append(cols, "n-1")
+	}
+	cols = append(cols, "n")
+	// Deduplicate possible repeats for small k.
+	uniq := cols[:1]
+	for _, c := range cols[1:] {
+		if c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	cols = uniq
+
+	cell := func(v, c string) string { return fmt.Sprintf("%s(%s)", v, c) }
+	var sb strings.Builder
+	for _, v := range []string{"u", "p", "r"} {
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			row[i] = fmt.Sprintf("%-9s", cell(v, c))
+		}
+		sb.WriteString(strings.Join(row, " --> "))
+		sb.WriteByte('\n')
+	}
+	first := cell("r", cols[0])
+	sb.WriteString(strings.Repeat(" ", len(first)/2) + "|\n")
+	sb.WriteString(strings.Repeat(" ", len(first)/2) + "v\n")
+	sb.WriteString(fmt.Sprintf("[ inner products (r,A^i r), (r,A^i p), (p,A^i p), i=0..%d ]\n", 2*k))
+	sb.WriteString(strings.Repeat(" ", len(first)/2) +
+		fmt.Sprintf("\\---- summation fan-ins pipelined over %d iterations ----> ", k) +
+		"(r(n),r(n)), (p(n),Ap(n))\n")
+	sb.WriteString("Figure 1: principal data movement in the restructured CG algorithm\n")
+	return sb.String()
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndSpan(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(UnitVector, "a", 0, 1, 3)
+	tr.Add(UnitReduce, "b", 1, 2, 10)
+	lo, hi := tr.Span()
+	if lo != 1 || hi != 10 {
+		t.Fatalf("span [%v, %v], want [1, 10]", lo, hi)
+	}
+}
+
+func TestSpanEmpty(t *testing.T) {
+	tr := &Trace{}
+	lo, hi := tr.Span()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty span [%v, %v]", lo, hi)
+	}
+}
+
+func TestAddPanicsOnInvertedInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Trace{}).Add(UnitVector, "bad", 0, 5, 1)
+}
+
+func TestRenderContainsUnits(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(UnitVector, "v", 0, 0, 2)
+	tr.Add(UnitMatVec, "m", 0, 2, 4)
+	tr.Add(UnitReduce, "r", 0, 4, 12)
+	tr.Add(UnitScalar, "s", 1, 12, 13)
+	out := tr.Render(60)
+	for _, u := range []string{"VEC", "MATVEC", "REDUCE", "SCALAR"} {
+		if !strings.Contains(out, u) {
+			t.Fatalf("render missing unit %s:\n%s", u, out)
+		}
+	}
+}
+
+func TestRenderStacksOverlaps(t *testing.T) {
+	tr := &Trace{}
+	// Three overlapping reductions must occupy three rows.
+	tr.Add(UnitReduce, "a", 0, 0, 10)
+	tr.Add(UnitReduce, "b", 1, 1, 11)
+	tr.Add(UnitReduce, "c", 2, 2, 12)
+	out := tr.Render(40)
+	if got := strings.Count(out, "|"); got < 6 {
+		t.Fatalf("expected >= 3 reduce rows (6 pipes), got %d in:\n%s", got, out)
+	}
+}
+
+func TestVRCGScheduleOverlapsReductions(t *testing.T) {
+	// The essence of Figure 1: with k = log2(N), reductions from k
+	// consecutive iterations are simultaneously in flight.
+	tr := VRCGSchedule(1<<16, 5, 16, 40)
+	var reduces []Event
+	for _, e := range tr.Events {
+		if e.Unit == UnitReduce {
+			reduces = append(reduces, e)
+		}
+	}
+	if len(reduces) != 40 {
+		t.Fatalf("expected 40 reductions, got %d", len(reduces))
+	}
+	// Count the max number of concurrently open reductions.
+	maxOpen := 0
+	for _, e := range reduces {
+		open := 0
+		for _, f := range reduces {
+			if f.Start < e.End && e.Start < f.End {
+				open++
+			}
+		}
+		if open > maxOpen {
+			maxOpen = open
+		}
+	}
+	if maxOpen < 3 {
+		t.Fatalf("reductions not pipelined: max %d concurrent", maxOpen)
+	}
+}
+
+func TestStandardCGScheduleSerializesReductions(t *testing.T) {
+	tr := StandardCGSchedule(1<<16, 5, 10)
+	var reduces []Event
+	for _, e := range tr.Events {
+		if e.Unit == UnitReduce {
+			reduces = append(reduces, e)
+		}
+	}
+	if len(reduces) != 20 {
+		t.Fatalf("expected 20 reductions, got %d", len(reduces))
+	}
+	for i := 1; i < len(reduces); i++ {
+		if reduces[i].Start < reduces[i-1].End {
+			t.Fatal("standard CG reductions must not overlap")
+		}
+	}
+}
+
+func TestVRCGScheduleShorterThanCG(t *testing.T) {
+	iters := 30
+	_, hiVR := VRCGSchedule(1<<16, 5, 16, iters).Span()
+	_, hiCG := StandardCGSchedule(1<<16, 5, iters).Span()
+	if hiVR >= hiCG {
+		t.Fatalf("VRCG schedule (%.0f) not shorter than CG (%.0f)", hiVR, hiCG)
+	}
+}
+
+func TestFigure1Content(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 10} {
+		out := Figure1(k)
+		for _, want := range []string{"u(n)", "p(n)", "r(n)", "inner products", "Figure 1"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("k=%d: Figure1 missing %q:\n%s", k, want, out)
+			}
+		}
+		if !strings.Contains(out, "(r(n),r(n))") {
+			t.Fatalf("k=%d: missing target scalars", k)
+		}
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	for _, f := range []func(){
+		func() { VRCGSchedule(16, 3, 0, 5) },
+		func() { VRCGSchedule(16, 3, 2, 0) },
+		func() { StandardCGSchedule(16, 3, 0) },
+		func() { Figure1(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSemilogPlotBasics(t *testing.T) {
+	s := []Series{
+		{Name: "cg", Values: []float64{1, 0.1, 0.01, 0.001}},
+		{Name: "sd", Values: []float64{1, 0.5, 0.25, 0.125}},
+	}
+	out := SemilogPlot(s, 40, 10)
+	if !strings.Contains(out, "cg") || !strings.Contains(out, "sd") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestSemilogPlotDegenerate(t *testing.T) {
+	if out := SemilogPlot(nil, 40, 10); !strings.Contains(out, "no series") {
+		t.Fatalf("empty input: %q", out)
+	}
+	if out := SemilogPlot([]Series{{Name: "z", Values: []float64{0, -1}}}, 40, 10); !strings.Contains(out, "no positive") {
+		t.Fatalf("nonpositive input: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := SemilogPlot([]Series{{Name: "c", Values: []float64{5, 5, 5}}}, 40, 10)
+	if !strings.Contains(out, "c") {
+		t.Fatalf("constant series: %q", out)
+	}
+}
+
+func TestSemilogPlotClampsTinySizes(t *testing.T) {
+	out := SemilogPlot([]Series{{Name: "a", Values: []float64{1, 0.1}}}, 1, 1)
+	if out == "" {
+		t.Fatal("empty output for clamped sizes")
+	}
+}
+
+func TestSemilogPlotSinglePoint(t *testing.T) {
+	out := SemilogPlot([]Series{{Name: "p", Values: []float64{3}}}, 30, 5)
+	if !strings.Contains(out, "p") {
+		t.Fatal("single point plot failed")
+	}
+}

@@ -1,0 +1,189 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool for chunked data-parallel vector kernels.
+// A Pool with Workers == 1 degenerates to the serial kernels. The zero
+// value is not usable; construct with NewPool.
+type Pool struct {
+	workers int
+	// minChunk is the smallest slice length worth handing to a worker;
+	// below it the serial kernel runs on the calling goroutine.
+	minChunk int
+}
+
+// DefaultPool uses all available CPUs with a conservative minimum chunk.
+var DefaultPool = NewPool(runtime.GOMAXPROCS(0))
+
+// NewPool returns a pool using the given number of workers (at least 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers, minChunk: 4096}
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetMinChunk overrides the minimum per-worker slice length. Intended for
+// tests that want to force the parallel paths on small vectors.
+func (p *Pool) SetMinChunk(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.minChunk = n
+}
+
+// split partitions [0, n) into at most p.workers near-equal ranges of at
+// least minChunk elements, returning the boundary offsets.
+func (p *Pool) split(n int) []int {
+	parts := p.workers
+	if maxParts := n / p.minChunk; parts > maxParts {
+		parts = maxParts
+	}
+	if parts < 2 {
+		return nil
+	}
+	bounds := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		bounds[i] = i * n / parts
+	}
+	return bounds
+}
+
+// parallelFor runs body over the chunk ranges concurrently. body receives
+// (chunkIndex, lo, hi).
+func parallelFor(bounds []int, body func(c, lo, hi int)) {
+	var wg sync.WaitGroup
+	for c := 0; c < len(bounds)-1; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body(c, bounds[c], bounds[c+1])
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Dot computes <x, y> with chunked parallel partial sums combined in
+// chunk order, so the result is deterministic for a fixed worker count.
+func (p *Pool) Dot(x, y Vector) float64 {
+	mustSameLen2(len(x), len(y))
+	bounds := p.split(len(x))
+	if bounds == nil {
+		return Dot(x, y)
+	}
+	partial := make([]float64, len(bounds)-1)
+	parallelFor(bounds, func(c, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		partial[c] = s
+	})
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x with chunked parallelism.
+func (p *Pool) Axpy(alpha float64, x, y Vector) {
+	mustSameLen2(len(x), len(y))
+	bounds := p.split(len(x))
+	if bounds == nil {
+		Axpy(alpha, x, y)
+		return
+	}
+	parallelFor(bounds, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// Xpay computes y = x + alpha*y with chunked parallelism.
+func (p *Pool) Xpay(x Vector, alpha float64, y Vector) {
+	mustSameLen2(len(x), len(y))
+	bounds := p.split(len(x))
+	if bounds == nil {
+		Xpay(x, alpha, y)
+		return
+	}
+	parallelFor(bounds, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = x[i] + alpha*y[i]
+		}
+	})
+}
+
+// FusedCGUpdate is the parallel form of vec.FusedCGUpdate: x += alpha*p,
+// r -= alpha*ap, returning <r,r> with deterministic chunk-ordered
+// combination.
+func (p *Pool) FusedCGUpdate(alpha float64, pv, ap, x, r Vector) float64 {
+	mustSameLen2(len(pv), len(ap))
+	mustSameLen2(len(pv), len(x))
+	mustSameLen2(len(pv), len(r))
+	bounds := p.split(len(pv))
+	if bounds == nil {
+		return FusedCGUpdate(alpha, pv, ap, x, r)
+	}
+	partial := make([]float64, len(bounds)-1)
+	parallelFor(bounds, func(c, lo, hi int) {
+		var rr float64
+		for i := lo; i < hi; i++ {
+			x[i] += alpha * pv[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rr += ri * ri
+		}
+		partial[c] = rr
+	})
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// DotBatch computes dots[j] = <x, ys[j]>, parallelizing across chunks of x
+// and keeping per-chunk partials so results are deterministic.
+func (p *Pool) DotBatch(x Vector, ys []Vector, dots []float64) {
+	if len(ys) != len(dots) {
+		panic("vec: DotBatch output length mismatch")
+	}
+	bounds := p.split(len(x))
+	if bounds == nil || len(ys) == 0 {
+		DotBatch(x, ys, dots)
+		return
+	}
+	for _, y := range ys {
+		mustSameLen2(len(x), len(y))
+	}
+	nc := len(bounds) - 1
+	partial := make([][]float64, nc)
+	parallelFor(bounds, func(c, lo, hi int) {
+		row := make([]float64, len(ys))
+		for j, y := range ys {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			row[j] = s
+		}
+		partial[c] = row
+	})
+	for j := range dots {
+		dots[j] = 0
+	}
+	for _, row := range partial {
+		for j, v := range row {
+			dots[j] += v
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package vec provides dense vector kernels used throughout the conjugate
+// gradient solvers: dot products, axpy-style updates, norms, and fused
+// multi-operation kernels.
+//
+// All kernels come in a serial form and, where profitable, a chunked
+// parallel form driven by a shared worker pool (see Pool). The parallel
+// forms exist both for wall-clock speed on multicore hosts and to mirror
+// the data-parallel structure the paper assumes: elementwise operations
+// are depth-1, reductions are depth-log(N).
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrLength reports a length mismatch between vector operands.
+var ErrLength = errors.New("vec: operand length mismatch")
+
+// Vector is a dense column vector of float64 components.
+type Vector []float64
+
+// New returns a zero vector of length n.
+func New(n int) Vector { return make(Vector, n) }
+
+// NewFrom returns a vector holding a copy of the given components.
+func NewFrom(data []float64) Vector {
+	v := make(Vector, len(data))
+	copy(v, data)
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Len returns the number of components.
+func (v Vector) Len() int { return len(v) }
+
+// Zero sets every component of v to zero in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every component of v to c in place.
+func (v Vector) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// CopyFrom copies src into v. The lengths must match.
+func (v Vector) CopyFrom(src Vector) {
+	mustSameLen2(len(v), len(src))
+	copy(v, src)
+}
+
+// Equal reports whether v and w have identical length and components.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualTol reports whether v and w agree componentwise within absolute
+// tolerance tol.
+func (v Vector) EqualTol(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders short vectors fully and long vectors abbreviated.
+func (v Vector) String() string {
+	const maxShow = 8
+	if len(v) <= maxShow {
+		return fmt.Sprintf("%v", []float64(v))
+	}
+	head := []float64(v[:4])
+	tail := []float64(v[len(v)-2:])
+	return fmt.Sprintf("[%v ... %v len=%d]", head, tail, len(v))
+}
+
+func mustSameLen2(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", a, b))
+	}
+}
+
+func mustSameLen3(a, b, c int) {
+	if a != b || b != c {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d vs %d", a, b, c))
+	}
+}
+
+// Dot returns the inner product <x, y>.
+func Dot(x, y Vector) float64 {
+	mustSameLen2(len(x), len(y))
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// DotKahan returns <x, y> accumulated with Kahan compensated summation.
+// It is used where the recurrence-exactness experiments need a reference
+// inner product with reduced rounding error.
+func DotKahan(x, y Vector) float64 {
+	mustSameLen2(len(x), len(y))
+	var sum, comp float64
+	for i := range x {
+		t := x[i]*y[i] - comp
+		next := sum + t
+		comp = (next - sum) - t
+		sum = next
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow for
+// large components by scaling.
+func Norm2(x Vector) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		a := math.Abs(xi)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute component of x.
+func NormInf(x Vector) float64 {
+	var m float64
+	for _, xi := range x {
+		if a := math.Abs(xi); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute components of x.
+func Norm1(x Vector) float64 {
+	var s float64
+	for _, xi := range x {
+		s += math.Abs(xi)
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y Vector) {
+	mustSameLen2(len(x), len(y))
+	if alpha == 0 {
+		return
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// AxpyTo computes dst = y + alpha*x without touching the operands.
+func AxpyTo(dst Vector, alpha float64, x, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	for i := range x {
+		dst[i] = y[i] + alpha*x[i]
+	}
+}
+
+// Xpay computes y = x + alpha*y in place (the CG direction update
+// p = r + beta*p).
+func Xpay(x Vector, alpha float64, y Vector) {
+	mustSameLen2(len(x), len(y))
+	for i := range x {
+		y[i] = x[i] + alpha*y[i]
+	}
+}
+
+// Scale multiplies every component of x by alpha in place.
+func Scale(alpha float64, x Vector) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// ScaleTo computes dst = alpha*x.
+func ScaleTo(dst Vector, alpha float64, x Vector) {
+	mustSameLen2(len(dst), len(x))
+	for i := range x {
+		dst[i] = alpha * x[i]
+	}
+}
+
+// Add computes dst = x + y.
+func Add(dst, x, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	for i := range x {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// Sub computes dst = x - y.
+func Sub(dst, x, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// MulElem computes dst = x .* y componentwise.
+func MulElem(dst, x, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	for i := range x {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+// DivElem computes dst = x ./ y componentwise. Division by a zero
+// component yields ±Inf or NaN per IEEE semantics; callers that need
+// protection should validate y first.
+func DivElem(dst, x, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	for i := range x {
+		dst[i] = x[i] / y[i]
+	}
+}
+
+// Lincomb2 computes dst = a*x + b*y.
+func Lincomb2(dst Vector, a float64, x Vector, b float64, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	for i := range x {
+		dst[i] = a*x[i] + b*y[i]
+	}
+}
+
+// Lincomb accumulates dst = sum_j coeffs[j] * xs[j]. All vectors must share
+// dst's length. An empty coefficient list zeroes dst.
+func Lincomb(dst Vector, coeffs []float64, xs []Vector) {
+	if len(coeffs) != len(xs) {
+		panic(fmt.Sprintf("vec: %d coefficients for %d vectors", len(coeffs), len(xs)))
+	}
+	dst.Zero()
+	for j, x := range xs {
+		Axpy(coeffs[j], x, dst)
+	}
+}
+
+// FusedCGUpdate performs the three fused vector updates of one CG step:
+//
+//	x += alpha*p;  r -= alpha*ap;  returns <r,r> of the updated residual.
+//
+// Fusing them keeps a single pass over memory, which is how a depth-1
+// elementwise phase followed by one reduction would be scheduled on the
+// machine the paper assumes.
+func FusedCGUpdate(alpha float64, p, ap, x, r Vector) float64 {
+	mustSameLen2(len(p), len(ap))
+	mustSameLen2(len(p), len(x))
+	mustSameLen2(len(p), len(r))
+	var rr float64
+	for i := range p {
+		x[i] += alpha * p[i]
+		ri := r[i] - alpha*ap[i]
+		r[i] = ri
+		rr += ri * ri
+	}
+	return rr
+}
+
+// DotPair computes <x,y> and <x,z> in a single pass. The restructured CG
+// algorithms batch inner products so the machine model can merge their
+// reductions into one fan-in; the sequential kernels mirror that batching.
+func DotPair(x, y, z Vector) (xy, xz float64) {
+	mustSameLen3(len(x), len(y), len(z))
+	for i := range x {
+		xi := x[i]
+		xy += xi * y[i]
+		xz += xi * z[i]
+	}
+	return xy, xz
+}
+
+// DotBatch computes dots[j] = <x, ys[j]> for all j in a single sweep over x.
+func DotBatch(x Vector, ys []Vector, dots []float64) {
+	if len(ys) != len(dots) {
+		panic(fmt.Sprintf("vec: %d outputs for %d vectors", len(dots), len(ys)))
+	}
+	for j := range dots {
+		dots[j] = 0
+	}
+	for j, y := range ys {
+		mustSameLen2(len(x), len(y))
+		var s float64
+		for i := range x {
+			s += x[i] * y[i]
+		}
+		dots[j] = s
+	}
+}
+
+// GramBlock fills g[i][j] = <xs[i], ys[j]>. It is the kernel behind the
+// base Gram sequences mu, nu, omega of the look-ahead algorithm.
+func GramBlock(xs, ys []Vector, g [][]float64) {
+	if len(g) != len(xs) {
+		panic(fmt.Sprintf("vec: gram rows %d for %d vectors", len(g), len(xs)))
+	}
+	for i, x := range xs {
+		if len(g[i]) != len(ys) {
+			panic(fmt.Sprintf("vec: gram cols %d for %d vectors", len(g[i]), len(ys)))
+		}
+		for j, y := range ys {
+			g[i][j] = Dot(x, y)
+		}
+	}
+}
+
+// Random fills v with reproducible pseudo-random components in [-1, 1)
+// derived from seed using a SplitMix64 stream (no external dependencies,
+// deterministic across platforms).
+func Random(v Vector, seed uint64) {
+	s := seed
+	for i := range v {
+		s = splitmix64(&s)
+		// 53-bit mantissa to [0,1), then shift to [-1,1).
+		v[i] = 2*float64(s>>11)/float64(1<<53) - 1
+	}
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HasNaN reports whether any component of v is NaN.
+func HasNaN(v Vector) bool {
+	for _, x := range v {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasInf reports whether any component of v is infinite.
+func HasInf(v Vector) bool {
+	for _, x := range v {
+		if math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,444 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if a == 0 || b == 0 {
+		return d < tol
+	}
+	return d/math.Max(math.Abs(a), math.Abs(b)) < tol
+}
+
+func TestNewAndClone(t *testing.T) {
+	v := New(5)
+	if v.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", v.Len())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("component %d = %v, want 0", i, x)
+		}
+	}
+	v[2] = 3.5
+	w := v.Clone()
+	w[2] = -1
+	if v[2] != 3.5 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+func TestNewFromCopies(t *testing.T) {
+	src := []float64{1, 2, 3}
+	v := NewFrom(src)
+	src[0] = 99
+	if v[0] != 1 {
+		t.Fatal("NewFrom aliases source slice")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	v := NewFrom([]float64{1, 2, 3})
+	v.Fill(7)
+	for _, x := range v {
+		if x != 7 {
+			t.Fatalf("Fill left %v", x)
+		}
+	}
+	v.Zero()
+	for _, x := range v {
+		if x != 0 {
+			t.Fatalf("Zero left %v", x)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := New(3)
+	v.CopyFrom(NewFrom([]float64{4, 5, 6}))
+	if v[0] != 4 || v[2] != 6 {
+		t.Fatalf("CopyFrom got %v", v)
+	}
+}
+
+func TestCopyFromPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(3).CopyFrom(New(4))
+}
+
+func TestEqualAndTol(t *testing.T) {
+	a := NewFrom([]float64{1, 2})
+	b := NewFrom([]float64{1, 2})
+	if !a.Equal(b) {
+		t.Fatal("identical vectors reported unequal")
+	}
+	b[1] += 1e-12
+	if a.Equal(b) {
+		t.Fatal("different vectors reported equal")
+	}
+	if !a.EqualTol(b, 1e-9) {
+		t.Fatal("EqualTol rejected close vectors")
+	}
+	if a.EqualTol(New(3), 1) {
+		t.Fatal("EqualTol accepted different lengths")
+	}
+}
+
+func TestDotBasic(t *testing.T) {
+	x := NewFrom([]float64{1, 2, 3})
+	y := NewFrom([]float64{4, -5, 6})
+	if got := Dot(x, y); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestDotKahanMatchesDot(t *testing.T) {
+	x := New(1000)
+	y := New(1000)
+	Random(x, 1)
+	Random(y, 2)
+	if !almostEqual(Dot(x, y), DotKahan(x, y), 1e-12) {
+		t.Fatalf("Dot=%v DotKahan=%v", Dot(x, y), DotKahan(x, y))
+	}
+}
+
+func TestDotKahanPrecision(t *testing.T) {
+	// Summing many tiny values onto a large one: Kahan should be closer
+	// to the analytically known result.
+	n := 100000
+	x := New(n + 1)
+	y := New(n + 1)
+	x[0], y[0] = 1e8, 1
+	for i := 1; i <= n; i++ {
+		x[i], y[i] = 1e-8, 1
+	}
+	want := 1e8 + float64(n)*1e-8
+	if k := DotKahan(x, y); math.Abs(k-want) > math.Abs(Dot(x, y)-want) {
+		t.Fatalf("Kahan error %g exceeds naive error %g", math.Abs(k-want), math.Abs(Dot(x, y)-want))
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	v := NewFrom([]float64{3, 4})
+	if got := Norm2(v); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if Norm2(New(4)) != 0 {
+		t.Fatal("Norm2 of zero vector != 0")
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	v := NewFrom([]float64{1e200, 1e200})
+	want := 1e200 * math.Sqrt(2)
+	if got := Norm2(v); !almostEqual(got, want, 1e-14) {
+		t.Fatalf("Norm2 overflowed: %v want %v", got, want)
+	}
+}
+
+func TestNormInfNorm1(t *testing.T) {
+	v := NewFrom([]float64{-3, 2, 1})
+	if NormInf(v) != 3 {
+		t.Fatalf("NormInf = %v", NormInf(v))
+	}
+	if Norm1(v) != 6 {
+		t.Fatalf("Norm1 = %v", Norm1(v))
+	}
+}
+
+func TestAxpyFamily(t *testing.T) {
+	x := NewFrom([]float64{1, 2})
+	y := NewFrom([]float64{10, 20})
+	Axpy(2, x, y)
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("Axpy got %v", y)
+	}
+	dst := New(2)
+	AxpyTo(dst, -1, x, y)
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("AxpyTo got %v", dst)
+	}
+	Xpay(x, 0.5, y)
+	if y[0] != 1+6 || y[1] != 2+12 {
+		t.Fatalf("Xpay got %v", y)
+	}
+}
+
+func TestAxpyZeroAlphaNoop(t *testing.T) {
+	x := NewFrom([]float64{math.NaN()})
+	y := NewFrom([]float64{5})
+	Axpy(0, x, y)
+	if y[0] != 5 {
+		t.Fatal("Axpy with alpha=0 modified y")
+	}
+}
+
+func TestScaleOps(t *testing.T) {
+	x := NewFrom([]float64{1, -2})
+	Scale(3, x)
+	if x[0] != 3 || x[1] != -6 {
+		t.Fatalf("Scale got %v", x)
+	}
+	dst := New(2)
+	ScaleTo(dst, -1, x)
+	if dst[0] != -3 || dst[1] != 6 {
+		t.Fatalf("ScaleTo got %v", dst)
+	}
+}
+
+func TestAddSubMulDiv(t *testing.T) {
+	x := NewFrom([]float64{4, 9})
+	y := NewFrom([]float64{2, 3})
+	dst := New(2)
+	Add(dst, x, y)
+	if dst[0] != 6 || dst[1] != 12 {
+		t.Fatalf("Add got %v", dst)
+	}
+	Sub(dst, x, y)
+	if dst[0] != 2 || dst[1] != 6 {
+		t.Fatalf("Sub got %v", dst)
+	}
+	MulElem(dst, x, y)
+	if dst[0] != 8 || dst[1] != 27 {
+		t.Fatalf("MulElem got %v", dst)
+	}
+	DivElem(dst, x, y)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("DivElem got %v", dst)
+	}
+}
+
+func TestLincomb2(t *testing.T) {
+	x := NewFrom([]float64{1, 0})
+	y := NewFrom([]float64{0, 1})
+	dst := New(2)
+	Lincomb2(dst, 3, x, 4, y)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Lincomb2 got %v", dst)
+	}
+}
+
+func TestLincomb(t *testing.T) {
+	xs := []Vector{NewFrom([]float64{1, 0}), NewFrom([]float64{0, 1}), NewFrom([]float64{1, 1})}
+	dst := New(2)
+	Lincomb(dst, []float64{1, 2, 3}, xs)
+	if dst[0] != 4 || dst[1] != 5 {
+		t.Fatalf("Lincomb got %v", dst)
+	}
+	Lincomb(dst, nil, nil)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatal("empty Lincomb should zero dst")
+	}
+}
+
+func TestFusedCGUpdate(t *testing.T) {
+	p := NewFrom([]float64{1, 1})
+	ap := NewFrom([]float64{2, 0})
+	x := NewFrom([]float64{0, 0})
+	r := NewFrom([]float64{3, 4})
+	rr := FusedCGUpdate(0.5, p, ap, x, r)
+	// x = [0.5 0.5], r = [3-1, 4-0] = [2 4], rr = 20
+	if x[0] != 0.5 || x[1] != 0.5 {
+		t.Fatalf("x got %v", x)
+	}
+	if r[0] != 2 || r[1] != 4 {
+		t.Fatalf("r got %v", r)
+	}
+	if rr != 20 {
+		t.Fatalf("rr = %v, want 20", rr)
+	}
+}
+
+func TestDotPairAndBatch(t *testing.T) {
+	x := NewFrom([]float64{1, 2})
+	y := NewFrom([]float64{3, 4})
+	z := NewFrom([]float64{5, 6})
+	xy, xz := DotPair(x, y, z)
+	if xy != 11 || xz != 17 {
+		t.Fatalf("DotPair got %v %v", xy, xz)
+	}
+	dots := make([]float64, 2)
+	DotBatch(x, []Vector{y, z}, dots)
+	if dots[0] != 11 || dots[1] != 17 {
+		t.Fatalf("DotBatch got %v", dots)
+	}
+}
+
+func TestGramBlock(t *testing.T) {
+	xs := []Vector{NewFrom([]float64{1, 0}), NewFrom([]float64{0, 2})}
+	g := [][]float64{make([]float64, 2), make([]float64, 2)}
+	GramBlock(xs, xs, g)
+	want := [][]float64{{1, 0}, {0, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if g[i][j] != want[i][j] {
+				t.Fatalf("GramBlock[%d][%d] = %v, want %v", i, j, g[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	Random(a, 42)
+	Random(b, 42)
+	if !a.Equal(b) {
+		t.Fatal("Random not deterministic for same seed")
+	}
+	Random(b, 43)
+	if a.Equal(b) {
+		t.Fatal("Random identical for different seeds")
+	}
+	for _, x := range a {
+		if x < -1 || x >= 1 {
+			t.Fatalf("Random out of range: %v", x)
+		}
+	}
+}
+
+func TestHasNaNInf(t *testing.T) {
+	v := NewFrom([]float64{1, math.NaN()})
+	if !HasNaN(v) {
+		t.Fatal("HasNaN missed NaN")
+	}
+	if HasInf(v) {
+		t.Fatal("HasInf false positive")
+	}
+	w := NewFrom([]float64{math.Inf(1)})
+	if !HasInf(w) {
+		t.Fatal("HasInf missed Inf")
+	}
+	if HasNaN(w) {
+		t.Fatal("HasNaN false positive")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	short := NewFrom([]float64{1, 2})
+	if short.String() == "" {
+		t.Fatal("empty String for short vector")
+	}
+	long := New(100)
+	s := long.String()
+	if len(s) > 200 {
+		t.Fatalf("long vector String not abbreviated: %d chars", len(s))
+	}
+}
+
+// --- property-based tests ---
+
+func randomVecPair(seed uint64, n int) (Vector, Vector) {
+	x := New(n)
+	y := New(n)
+	Random(x, seed)
+	Random(y, seed+1)
+	return x, y
+}
+
+func TestPropDotSymmetry(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%256 + 1
+		x, y := randomVecPair(seed, n)
+		return Dot(x, y) == Dot(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDotLinearity(t *testing.T) {
+	f := func(seed uint64, sz uint8, aRaw int16) bool {
+		n := int(sz)%128 + 1
+		a := float64(aRaw) / 64
+		x, y := randomVecPair(seed, n)
+		z := New(n)
+		Random(z, seed+2)
+		// <a*x + z, y> == a*<x,y> + <z,y> up to roundoff
+		ax := x.Clone()
+		Scale(a, ax)
+		Add(ax, ax, z)
+		lhs := Dot(ax, y)
+		rhs := a*Dot(x, y) + Dot(z, y)
+		return almostEqual(lhs, rhs, 1e-10) || math.Abs(lhs-rhs) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNormDotConsistency(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%256 + 1
+		x := New(n)
+		Random(x, seed)
+		nrm := Norm2(x)
+		return almostEqual(nrm*nrm, Dot(x, x), 1e-12) || math.Abs(nrm*nrm-Dot(x, x)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCauchySchwarz(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%256 + 1
+		x, y := randomVecPair(seed, n)
+		return math.Abs(Dot(x, y)) <= Norm2(x)*Norm2(y)*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%256 + 1
+		x, y := randomVecPair(seed, n)
+		s := New(n)
+		Add(s, x, y)
+		return Norm2(s) <= Norm2(x)+Norm2(y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFusedMatchesUnfused(t *testing.T) {
+	f := func(seed uint64, sz uint8, aRaw int16) bool {
+		n := int(sz)%128 + 1
+		alpha := float64(aRaw) / 128
+		p := New(n)
+		ap := New(n)
+		Random(p, seed)
+		Random(ap, seed+1)
+		x1 := New(n)
+		r1 := New(n)
+		Random(r1, seed+2)
+		x2 := x1.Clone()
+		r2 := r1.Clone()
+
+		rr := FusedCGUpdate(alpha, p, ap, x1, r1)
+
+		Axpy(alpha, p, x2)
+		Axpy(-alpha, ap, r2)
+		if !x1.EqualTol(x2, 1e-14) || !r1.EqualTol(r2, 1e-14) {
+			return false
+		}
+		return almostEqual(rr, Dot(r2, r2), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
