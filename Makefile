@@ -1,0 +1,38 @@
+# Build / test / benchmark entry points for the vrcg repository.
+#
+# `make bench` runs the execution-engine microbenchmarks (SpMV, dot,
+# fused CG update, PCG solve) with -benchmem and writes the parsed
+# results to BENCH_engine.json so the perf trajectory is comparable
+# across PRs. BENCH_* artifacts are regenerated, not hand-edited.
+
+GO       ?= go
+BENCHPAT ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
+BENCHOUT ?= BENCH_engine.json
+
+.PHONY: all build test vet fmt bench bench-raw clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Raw benchmark text (inspect interactively).
+bench-raw:
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem .
+
+# JSON summary for the perf trajectory across PRs.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCHOUT)
+	@echo "wrote $(BENCHOUT)"
+
+clean:
+	rm -f $(BENCHOUT)

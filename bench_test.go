@@ -456,6 +456,103 @@ func BenchmarkRabenseifnerVsRecursiveDoubling(b *testing.B) {
 	})
 }
 
+// --- execution engine: serial vs pooled hot paths ---
+
+// BenchmarkSpMV compares the serial CSR product against the worker-pool
+// product with the nnz-balanced row partition, at sizes where the
+// engine matters (n = 102400 and 409600 for the Poisson grids below).
+func BenchmarkSpMV(b *testing.B) {
+	for _, m := range []int{320, 640} {
+		a := mat.Poisson2D(m)
+		n := a.Dim()
+		x := vec.New(n)
+		y := vec.New(n)
+		vec.Random(x, 4)
+		b.Run(fmt.Sprintf("serial/n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(12 * a.NNZ()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.MulVec(y, x)
+			}
+		})
+		b.Run(fmt.Sprintf("pooled/n=%d", n), func(b *testing.B) {
+			a.MulVecPool(vec.DefaultPool, y, x) // warm partition + workers
+			b.SetBytes(int64(12 * a.NNZ()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MulVecPool(vec.DefaultPool, y, x)
+			}
+		})
+	}
+}
+
+// BenchmarkPCGSolve compares per-call-allocating serial PCG against the
+// zero-allocation pooled Workspace form on a large grid (n = 102400).
+func BenchmarkPCGSolve(b *testing.B) {
+	a := mat.Poisson2D(320)
+	n := a.Dim()
+	rhs := vec.New(n)
+	vec.Random(rhs, 9)
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := krylov.Options{Tol: 1e-6, MaxIter: 60}
+
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := krylov.PCG(a, jac, rhs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace-serial", func(b *testing.B) {
+		ws := krylov.NewWorkspace(n, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.PCG(a, jac, rhs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace-pooled", func(b *testing.B) {
+		ws := krylov.NewWorkspace(n, vec.DefaultPool)
+		if _, err := ws.PCG(a, jac, rhs, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.PCG(a, jac, rhs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDotPooled measures the persistent-pool dot against the
+// serial kernel at engine scale (the old per-call-goroutine pool is
+// gone; DotParallel above uses the same persistent engine).
+func BenchmarkDotPooled(b *testing.B) {
+	n := 1 << 20
+	x := vec.New(n)
+	y := vec.New(n)
+	vec.Random(x, 1)
+	vec.Random(y, 2)
+	vec.DefaultPool.Dot(x, y)
+	b.SetBytes(int64(16 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += vec.DefaultPool.Dot(x, y)
+	}
+	_ = s
+}
+
 func BenchmarkCGPlainVsFused(b *testing.B) {
 	a := mat.Poisson2D(64) // n = 4096: memory traffic matters
 	rhs := vec.New(a.Dim())

@@ -41,6 +41,7 @@ func main() {
 		"a3":  bench.A3SpectralScaling,
 		"a4":  bench.A4BatchedReductions,
 		"a5":  bench.A5PartitionQuality,
+		"a6":  bench.A6EngineThroughput,
 	}
 
 	emit := func(t *bench.Table) {
@@ -66,7 +67,7 @@ func main() {
 	default:
 		run, ok := runners[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cgbench: unknown experiment %q (want e1..e8, a1..a4, ablations, or all)\n", *exp)
+			fmt.Fprintf(os.Stderr, "cgbench: unknown experiment %q (want e1..e10, a1..a6, ablations, or all)\n", *exp)
 			os.Exit(2)
 		}
 		emit(run())

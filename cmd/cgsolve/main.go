@@ -7,12 +7,21 @@
 //	cgsolve -problem poisson2d -m 64 -method vrcg -k 3
 //	cgsolve -problem poisson3d -m 16 -method pcg -precond ssor
 //	cgsolve -problem toeplitz -n 4096 -method sstep -s 4
+//	cgsolve -problem poisson3d -m 32 -method pcg -workers 8 -repeat 16
+//
+// The -workers flag routes the solve through the hot-path execution
+// engine: a persistent worker pool for the vector kernels plus the
+// nnz-balanced parallel SpMV (0 = all CPUs, 1 = serial kernels).
+// -repeat re-solves the same system -repeat times (reporting the last
+// solve), reusing the solver workspace for the methods that have one
+// (cg, pcg, pipecg) — the steady-state regime the engine is built for.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vrcg/internal/core"
 	"vrcg/internal/krylov"
@@ -42,7 +51,24 @@ func main() {
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = 10n)")
 	seed := flag.Uint64("seed", 1, "rhs/solution seed")
+	workers := flag.Int("workers", 0, "engine worker count (0 = all CPUs, 1 = serial kernels)")
+	repeat := flag.Int("repeat", 1, "solve the system this many times, reusing workspaces")
 	flag.Parse()
+
+	if *workers < 0 {
+		fatalf("-workers must be >= 0")
+	}
+	if *repeat < 1 {
+		fatalf("-repeat must be >= 1")
+	}
+	var pool *vec.Pool
+	if *workers != 1 {
+		if *workers == 0 {
+			pool = vec.DefaultPool
+		} else {
+			pool = vec.NewPool(*workers)
+		}
+	}
 
 	var a *mat.CSR
 	if *matrixFile != "" {
@@ -105,8 +131,12 @@ func main() {
 		a.MulVec(b, xTrue)
 	}
 
-	fmt.Printf("problem=%s n=%d nnz=%d maxrow=%d method=%s\n",
-		*problem, dim, a.NNZ(), a.MaxRowNonzeros(), *method)
+	engineWorkers := 1
+	if pool != nil {
+		engineWorkers = pool.Workers()
+	}
+	fmt.Printf("problem=%s n=%d nnz=%d maxrow=%d method=%s engine-workers=%d repeat=%d\n",
+		*problem, dim, a.NNZ(), a.MaxRowNonzeros(), *method, engineWorkers, *repeat)
 
 	report := func(iters int, converged bool, trueRes float64, stats krylov.Stats, x vec.Vector) {
 		rel := trueRes / vec.Norm2(b)
@@ -122,37 +152,75 @@ func main() {
 	}
 
 	opts := krylov.Options{Tol: *tol, MaxIter: *maxIter}
+
+	// Every method runs through the same repeat loop (reporting on the
+	// final rep only); methods with a workspace reuse it across reps.
+	runRepeated := func(solve func(last bool) error) {
+		for rep := 0; rep < *repeat; rep++ {
+			if err := solve(rep == *repeat-1); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+
+	start := time.Now()
 	switch *method {
 	case "cg":
-		res, err := krylov.CG(a, b, opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		ws := krylov.NewWorkspace(dim, pool)
+		runRepeated(func(last bool) error {
+			res, err := ws.CG(a, b, opts)
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "cgfused":
-		res, err := krylov.CGFused(a, b, nil, opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		runRepeated(func(last bool) error {
+			res, err := krylov.CGFused(a, b, pool, opts)
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "minres":
-		res, err := krylov.MINRES(a, b, opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		runRepeated(func(last bool) error {
+			res, err := krylov.MINRES(a, b, opts)
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "cr":
-		res, err := krylov.CR(a, b, opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		runRepeated(func(last bool) error {
+			res, err := krylov.CR(a, b, opts)
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "sd":
-		res, err := krylov.SteepestDescent(a, b, opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		runRepeated(func(last bool) error {
+			res, err := krylov.SteepestDescent(a, b, opts)
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "pcg":
 		var (
 			p   precond.Preconditioner
@@ -171,39 +239,68 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		res, err := krylov.PCG(a, p, b, opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		ws := krylov.NewWorkspace(dim, pool)
+		runRepeated(func(last bool) error {
+			res, err := ws.PCG(a, p, b, opts)
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "vrcg":
-		res, err := core.Solve(a, b, core.Options{K: *k, Tol: *tol, MaxIter: *maxIter})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-		fmt.Printf("vrcg: k=%d reanchors=%d refreshes=%d fallback-dots=%d\n",
-			res.K, res.Reanchors, res.Refreshes, res.FallbackDots)
+		runRepeated(func(last bool) error {
+			res, err := core.Solve(a, b, core.Options{K: *k, Tol: *tol, MaxIter: *maxIter, Pool: pool})
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+				fmt.Printf("vrcg: k=%d reanchors=%d refreshes=%d fallback-dots=%d\n",
+					res.K, res.Reanchors, res.Refreshes, res.FallbackDots)
+			}
+			return nil
+		})
 	case "pipecg":
-		res, err := pipecg.GhyselsVanroose(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		ws := pipecg.NewWorkspace(dim, pool)
+		runRepeated(func(last bool) error {
+			res, err := ws.GhyselsVanroose(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "gropp":
-		res, err := pipecg.Gropp(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+		runRepeated(func(last bool) error {
+			res, err := pipecg.Gropp(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+			}
+			return nil
+		})
 	case "sstep":
-		res, err := sstep.Solve(a, b, sstep.Options{S: *s, Tol: *tol, MaxIter: *maxIter})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-		fmt.Printf("sstep: s=%d blocks=%d\n", *s, res.Blocks)
+		runRepeated(func(last bool) error {
+			res, err := sstep.Solve(a, b, sstep.Options{S: *s, Tol: *tol, MaxIter: *maxIter, Pool: pool})
+			if err != nil {
+				return err
+			}
+			if last {
+				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
+				fmt.Printf("sstep: s=%d blocks=%d\n", *s, res.Blocks)
+			}
+			return nil
+		})
 	default:
 		fatalf("unknown method %q", *method)
 	}
+	elapsed := time.Since(start)
+	fmt.Printf("wall: total=%v per-solve=%v\n", elapsed, elapsed/time.Duration(*repeat))
 }

@@ -17,10 +17,36 @@
 //     distributed machine with hand-rolled collectives, and the
 //     algorithms as distributed programs on it
 //   - internal/trace: Figure 1 schedule rendering
-//   - internal/bench: the experiment harness (E1..E8)
+//   - internal/bench: the experiment harness (E1..E10, A1..A6)
 //
-// Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI),
-// cmd/figure1 (schedule diagrams). Runnable examples live in examples/.
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// # Execution engine
+//
+// The wall-clock hot path of every solver runs on a shared execution
+// engine with three layers, mirroring in real silicon the overhead
+// minimization the paper performs in its machine model:
+//
+//   - vec.Pool: a persistent worker pool for the vector kernels (dot,
+//     axpy, xpay, fused CG update, batched dots). Workers are long-lived
+//     goroutines woken over per-worker channels; jobs are published as
+//     opcode + operand descriptors into pool-owned fields, and
+//     per-worker partial-sum slabs are reused, so a kernel dispatch
+//     performs zero heap allocations in steady state.
+//   - mat.CSR.MulVecPool: parallel SpMV over an nnz-balanced row
+//     partition (equal work per chunk, not equal rows) precomputed at
+//     matrix construction and cached on the CSR. COO assembly itself is
+//     a sort-based two-pass build, not a hash merge.
+//   - solver workspaces: krylov.Workspace (CG/PCG) and pipecg.Workspace
+//     preallocate every solve-lifetime vector, so repeated solves
+//     against same-order operators allocate nothing in steady state;
+//     core.Options.Pool and sstep.Options.Pool route the remaining
+//     solvers through the same pooled kernels.
+//
+// See internal/core/README.md for the engine architecture and the
+// pooled-vs-serial decision guide.
+//
+// Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI,
+// -workers/-repeat exercise the engine), cmd/figure1 (schedule
+// diagrams), cmd/benchjson (bench output → BENCH_engine.json). Runnable
+// examples live in examples/. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
 package vrcg

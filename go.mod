@@ -1,0 +1,3 @@
+module vrcg
+
+go 1.24

@@ -234,5 +234,6 @@ func Ablations() []*Table {
 		A3SpectralScaling(),
 		A4BatchedReductions(),
 		A5PartitionQuality(),
+		A6EngineThroughput(),
 	}
 }

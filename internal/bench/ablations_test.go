@@ -119,7 +119,7 @@ func TestA5Shape(t *testing.T) {
 
 func TestAblationsAll(t *testing.T) {
 	tabs := Ablations()
-	if len(tabs) != 5 {
+	if len(tabs) != 6 {
 		t.Fatalf("Ablations returned %d tables", len(tabs))
 	}
 	for _, tb := range tabs {

@@ -105,7 +105,7 @@ func E4SequentialCost() *Table {
 		// matvec per iteration exactly). Large k may fail to converge
 		// under this profile — the honest finite-precision price,
 		// reported in the last column.
-		vr, err := core.Solve(a, b, core.Options{K: k, Tol: 1e-8, MaxIter: 4000, WindowOnlyReanchor: true})
+		vr, err := core.Solve(a, b, core.Options{K: k, Tol: 1e-8, MaxIter: 4000, WindowOnlyReanchor: true, Pool: TablePool})
 		if err != nil {
 			continue
 		}
@@ -114,7 +114,7 @@ func E4SequentialCost() *Table {
 			float64(vr.Stats.MatVecs)/it, float64(vr.Stats.InnerProducts)/it,
 			float64(vr.Stats.VectorUpdates)/it, float64(vr.Stats.Flops)/it, vr.Converged)
 	}
-	ss, err := sstep.Solve(a, b, sstep.Options{S: 4, Tol: 1e-8})
+	ss, err := sstep.Solve(a, b, sstep.Options{S: 4, Tol: 1e-8, Pool: TablePool})
 	if err == nil {
 		it := float64(ss.Iterations)
 		t.AddRow("s-step", 4, ss.Iterations,
@@ -150,6 +150,7 @@ func E5Exactness() *Table {
 		for _, re := range []int{-1, 4} {
 			res, err := core.Solve(a, b, core.Options{
 				K: k, Tol: 1e-8, MaxIter: 3000, ValidateEvery: 1, ReanchorEvery: re,
+				Pool: TablePool,
 			})
 			label := fmt.Sprintf("%d", re)
 			if re < 0 {
@@ -188,7 +189,7 @@ func E6Stability() *Table {
 			t.AddRow(kappa, "CG", "-", cg.Iterations, cg.TrueResidualNorm/bn, cg.Converged)
 		}
 		for _, k := range []int{1, 2, 4, 8} {
-			vr, err := core.Solve(a, b, core.Options{K: k, Tol: 1e-10, MaxIter: 8000})
+			vr, err := core.Solve(a, b, core.Options{K: k, Tol: 1e-10, MaxIter: 8000, Pool: TablePool})
 			if err != nil {
 				t.AddRow(kappa, "VRCG", k, "-", "breakdown", false)
 				continue

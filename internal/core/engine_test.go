@@ -1,0 +1,83 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+// TestSolvePooledMatchesSerial: routing VRCG through the worker-pool
+// engine must preserve convergence and the solution (up to reduction
+// reassociation, which re-anchoring keeps bounded).
+func TestSolvePooledMatchesSerial(t *testing.T) {
+	a := mat.Poisson2D(16)
+	b := vec.New(a.Dim())
+	vec.Random(b, 55)
+	for _, k := range []int{0, 2} {
+		ref, err := Solve(a, b, Options{K: k, Tol: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+			pool := vec.NewPoolMinChunk(w, 32)
+			res, err := Solve(a, b, Options{K: k, Tol: 1e-9, Pool: pool})
+			if err != nil {
+				t.Fatalf("k=%d workers=%d: %v", k, w, err)
+			}
+			if !res.Converged {
+				t.Fatalf("k=%d workers=%d: pooled solve did not converge", k, w)
+			}
+			if !res.X.EqualTol(ref.X, 1e-6) {
+				t.Fatalf("k=%d workers=%d: pooled solution differs", k, w)
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestWindowStepZeroAlloc: advancing the scalar window is now
+// allocation-free (scratch slabs swap instead of make).
+func TestWindowStepZeroAlloc(t *testing.T) {
+	w := NewWindow(4)
+	for i := range w.M {
+		w.M[i] = 1 / float64(i+1)
+	}
+	for i := range w.N {
+		w.N[i] = 1 / float64(i+2)
+	}
+	for i := range w.W {
+		w.W[i] = 1 / float64(i+3)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		w.Step(0.001, 0.5, 1e-6, 1e-6, 1e-6)
+	}); avg != 0 {
+		t.Errorf("Window.Step allocates %v per call, want 0", avg)
+	}
+}
+
+// TestIteratorPooled: the step-level API accepts the engine too.
+func TestIteratorPooled(t *testing.T) {
+	a := mat.Poisson2D(12)
+	b := vec.New(a.Dim())
+	vec.Random(b, 56)
+	pool := vec.NewPoolMinChunk(2, 32)
+	defer pool.Close()
+	it, err := NewIterator(a, b, Options{K: 1, Tol: 1e-8, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*a.Dim(); i++ {
+		more, err := it.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	if !it.Converged() {
+		t.Fatal("pooled iterator did not converge")
+	}
+}

@@ -56,7 +56,7 @@ func NewIterator(a mat.Matrix, b vec.Vector, o Options) (*Iterator, error) {
 		it.x = vec.New(n)
 	}
 	r0 := vec.New(n)
-	a.MulVec(r0, it.x)
+	mat.PooledMulVec(a, o.Pool, r0, it.x)
 	vec.Sub(r0, b, r0)
 	it.stats.MatVecs++
 
@@ -66,9 +66,10 @@ func NewIterator(a mat.Matrix, b vec.Vector, o Options) (*Iterator, error) {
 	}
 	it.threshold = o.Tol * bn
 
-	it.fam = NewFamilies(a, r0, o.K)
+	it.fam = NewFamiliesPool(a, r0, o.K, o.Pool)
 	it.stats.MatVecs += o.K + 1
 	it.win = NewWindow(o.K)
+	it.win.SetPool(o.Pool)
 	it.win.InitDirect(it.fam.R, it.fam.P)
 	it.stats.InnerProducts += (2*o.K + 1) + (2*o.K + 2) + (2*o.K + 3)
 	it.rr = it.win.RR()
@@ -103,7 +104,7 @@ func (it *Iterator) Step() (bool, error) {
 
 	pap := it.win.PAP()
 	if pap <= 0 || math.IsNaN(pap) {
-		pap = vec.Dot(it.fam.Direction(), it.fam.AP())
+		pap = pdot(it.opt.Pool, it.fam.Direction(), it.fam.AP())
 		it.stats.InnerProducts++
 		it.win.W[1] = pap
 	}
@@ -112,7 +113,7 @@ func (it *Iterator) Step() (bool, error) {
 	}
 	lambda := it.rr / pap
 
-	vec.Axpy(lambda, it.fam.Direction(), it.x)
+	paxpy(it.opt.Pool, lambda, it.fam.Direction(), it.x)
 	it.stats.VectorUpdates++
 	it.fam.StepR(lambda)
 	it.stats.VectorUpdates += k + 1
@@ -120,7 +121,7 @@ func (it *Iterator) Step() (bool, error) {
 	rrNew := it.win.PeekRR(lambda)
 	fellBack := false
 	if rrNew <= 0 || math.IsNaN(rrNew) {
-		rrNew = vec.Dot(it.fam.Residual(), it.fam.Residual())
+		rrNew = pdot(it.opt.Pool, it.fam.Residual(), it.fam.Residual())
 		it.stats.InnerProducts++
 		fellBack = true
 	}
@@ -145,10 +146,10 @@ func (it *Iterator) Step() (bool, error) {
 	if it.opt.ReanchorEvery > 0 && it.iter%it.opt.ReanchorEvery == 0 {
 		if !it.opt.WindowOnlyReanchor {
 			for i := 1; i <= k; i++ {
-				it.a.MulVec(it.fam.R[i], it.fam.R[i-1])
+				mat.PooledMulVec(it.a, it.opt.Pool, it.fam.R[i], it.fam.R[i-1])
 			}
 			for i := 1; i <= k+1; i++ {
-				it.a.MulVec(it.fam.P[i], it.fam.P[i-1])
+				mat.PooledMulVec(it.a, it.opt.Pool, it.fam.P[i], it.fam.P[i-1])
 			}
 			it.stats.MatVecs += 2*k + 1
 		}
@@ -159,7 +160,7 @@ func (it *Iterator) Step() (bool, error) {
 
 	if it.resNorm() <= it.threshold {
 		// Verify with a direct product before declaring convergence.
-		rrDirect := vec.Dot(it.fam.Residual(), it.fam.Residual())
+		rrDirect := pdot(it.opt.Pool, it.fam.Residual(), it.fam.Residual())
 		it.stats.InnerProducts++
 		it.win.M[0] = rrDirect
 		it.rr = rrDirect
@@ -174,7 +175,7 @@ func (it *Iterator) Step() (bool, error) {
 func (it *Iterator) TrueResidualNorm() float64 {
 	n := it.a.Dim()
 	tr := vec.New(n)
-	it.a.MulVec(tr, it.x)
+	mat.PooledMulVec(it.a, it.opt.Pool, tr, it.x)
 	vec.Sub(tr, it.b, tr)
 	it.stats.MatVecs++
 	return vec.Norm2(tr)

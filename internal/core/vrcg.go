@@ -56,6 +56,11 @@ type Options struct {
 	// Callback, when non-nil, is invoked after each iteration; returning
 	// false stops the solve early.
 	Callback func(iter int, resNorm float64) bool
+	// Pool, when non-nil, routes the solver's hot-path kernels — the
+	// matrix–vector product, the family axpys, and the direct inner
+	// products — through the shared worker-pool execution engine
+	// (vec.Pool + mat.CSR.MulVecPool). Nil keeps the serial kernels.
+	Pool *vec.Pool
 }
 
 // DefaultReanchorInterval returns the re-anchoring interval used when
@@ -142,7 +147,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 	// r(0) = b - A x(0).
 	r0 := vec.New(n)
-	a.MulVec(r0, res.X)
+	mat.PooledMulVec(a, o.Pool, r0, res.X)
 	vec.Sub(r0, b, r0)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
@@ -156,10 +161,11 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	// Start-up (paper: "After an initial start up"): build the Krylov
 	// vector families (k+2 matvecs including the P top) and the scalar
 	// windows (6k+6 direct inner products).
-	fam := NewFamilies(a, r0, k)
+	fam := NewFamiliesPool(a, r0, k, o.Pool)
 	res.Stats.MatVecs += k + 1
 	res.Stats.Flops += int64(k+1) * matvecFlops(a)
 	win := NewWindow(k)
+	win.SetPool(o.Pool)
 	win.InitDirect(fam.R, fam.P)
 	nDots := (2*k + 1) + (2*k + 2) + (2*k + 3)
 	res.Stats.InnerProducts += nDots
@@ -179,7 +185,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 			// The recurrence value may have drifted; verify with one
 			// direct inner product before declaring convergence, and
 			// resynchronize the window if the check fails.
-			rrDirect := vec.Dot(fam.Residual(), fam.Residual())
+			rrDirect := pdot(o.Pool, fam.Residual(), fam.Residual())
 			res.FallbackDots++
 			res.Stats.InnerProducts++
 			res.Stats.Flops += 2 * int64(n)
@@ -194,7 +200,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		if pap <= 0 || math.IsNaN(pap) {
 			// Drift symptom: fall back to the direct inner product
 			// (A p is family member P[1], so this is one dot).
-			pap = vec.Dot(fam.Direction(), fam.AP())
+			pap = pdot(o.Pool, fam.Direction(), fam.AP())
 			res.FallbackDots++
 			res.Stats.InnerProducts++
 			res.Stats.Flops += 2 * int64(n)
@@ -217,7 +223,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		lambda := rr / pap
 
 		// Iterate update (uses the live direction P[0] before StepP).
-		vec.Axpy(lambda, fam.Direction(), res.X)
+		paxpy(o.Pool, lambda, fam.Direction(), res.X)
 		res.Stats.VectorUpdates++
 		res.Stats.Flops += 2 * int64(n)
 
@@ -231,7 +237,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		if rrNew <= 0 || math.IsNaN(rrNew) {
 			// Drift pushed the recurrence nonpositive (typically at
 			// convergence); fall back to one direct inner product.
-			rrNew = vec.Dot(fam.Residual(), fam.Residual())
+			rrNew = pdot(o.Pool, fam.Residual(), fam.Residual())
 			fellBack = true
 			res.FallbackDots++
 			res.Stats.InnerProducts++
@@ -269,7 +275,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		if o.ResidualReplaceEvery > 0 && res.Iterations%o.ResidualReplaceEvery == 0 {
 			// Residual replacement: overwrite the recursive residual
 			// with b - A x, then rebuild everything from it.
-			a.MulVec(fam.R[0], res.X)
+			mat.PooledMulVec(a, o.Pool, fam.R[0], res.X)
 			vec.Sub(fam.R[0], b, fam.R[0])
 			res.Stats.MatVecs++
 			res.Stats.Flops += matvecFlops(a)
@@ -291,7 +297,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	if !res.Converged && resNorm() <= threshold {
 		// Loop exited via MaxIter or callback with a small recurrence
 		// value; trust only a direct evaluation.
-		rr = vec.Dot(fam.Residual(), fam.Residual())
+		rr = pdot(o.Pool, fam.Residual(), fam.Residual())
 		res.FallbackDots++
 		res.Stats.InnerProducts++
 		res.Stats.Flops += 2 * int64(n)
@@ -303,7 +309,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 	// True residual at exit.
 	tr := vec.New(n)
-	a.MulVec(tr, res.X)
+	mat.PooledMulVec(a, o.Pool, tr, res.X)
 	vec.Sub(tr, b, tr)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
@@ -337,10 +343,10 @@ func reanchor(a mat.Matrix, res *Result, fam *Families, win *Window, refresh boo
 	k := fam.K
 	if refresh {
 		for i := 1; i <= k; i++ {
-			a.MulVec(fam.R[i], fam.R[i-1])
+			mat.PooledMulVec(a, fam.pool, fam.R[i], fam.R[i-1])
 		}
 		for i := 1; i <= k+1; i++ {
-			a.MulVec(fam.P[i], fam.P[i-1])
+			mat.PooledMulVec(a, fam.pool, fam.P[i], fam.P[i-1])
 		}
 		res.Stats.MatVecs += 2*k + 1
 		res.Stats.Flops += int64(2*k+1) * matvecFlops(a)

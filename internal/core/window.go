@@ -39,6 +39,16 @@ import (
 	"vrcg/internal/vec"
 )
 
+// pdot, paxpy and pxpay are package-local shorthands for the shared
+// pool-or-serial dispatch helpers (vec.PoolDot and friends) — the
+// engine seam of this package: every hot-path vector operation in the
+// solver goes through one of them (or mat.PooledMulVec).
+func pdot(p *vec.Pool, x, y vec.Vector) float64 { return vec.PoolDot(p, x, y) }
+
+func paxpy(p *vec.Pool, alpha float64, x, y vec.Vector) { vec.PoolAxpy(p, alpha, x, y) }
+
+func pxpay(p *vec.Pool, x vec.Vector, alpha float64, y vec.Vector) { vec.PoolXpay(p, x, alpha, y) }
+
 // Window holds the three sliding inner-product families for look-ahead
 // parameter k. The slices are sized M: 2k+1, N: 2k+2, W: 2k+3 entries.
 type Window struct {
@@ -46,6 +56,12 @@ type Window struct {
 	M []float64 // M[i] = (r, A^i r),   i = 0..2k
 	N []float64 // N[i] = (r, A^i p),   i = 0..2k+1
 	W []float64 // W[i] = (p, A^i p),   i = 0..2k+2
+
+	// scratch slabs swapped with M/N/W by Step, so advancing the window
+	// is allocation-free.
+	m2, n2, w2 []float64
+
+	pool *vec.Pool // used by InitDirect's inner products; nil = serial
 }
 
 // NewWindow allocates a zero window for look-ahead parameter k >= 0.
@@ -54,12 +70,19 @@ func NewWindow(k int) *Window {
 		panic("core: look-ahead parameter must be >= 0")
 	}
 	return &Window{
-		K: k,
-		M: make([]float64, 2*k+1),
-		N: make([]float64, 2*k+2),
-		W: make([]float64, 2*k+3),
+		K:  k,
+		M:  make([]float64, 2*k+1),
+		N:  make([]float64, 2*k+2),
+		W:  make([]float64, 2*k+3),
+		m2: make([]float64, 2*k+1),
+		n2: make([]float64, 2*k+2),
+		w2: make([]float64, 2*k+3),
 	}
 }
+
+// SetPool routes InitDirect's inner products through the given worker
+// pool (nil restores the serial kernels).
+func (w *Window) SetPool(p *vec.Pool) { w.pool = p }
 
 // RR returns (r, r), the scalar the paper's recurrence delivers for the
 // current iteration.
@@ -89,7 +112,7 @@ func (w *Window) Clone() *Window {
 // via PeekRR.
 func (w *Window) Step(lambda, alpha, topN, topW1, topW2 float64) {
 	k := w.K
-	nM, nN, nW := make([]float64, 2*k+1), make([]float64, 2*k+2), make([]float64, 2*k+3)
+	nM, nN, nW := w.m2, w.n2, w.w2
 	for i := 0; i <= 2*k; i++ {
 		nM[i] = w.M[i] - 2*lambda*w.N[i+1] + lambda*lambda*w.W[i+2]
 	}
@@ -101,7 +124,7 @@ func (w *Window) Step(lambda, alpha, topN, topW1, topW2 float64) {
 	nN[2*k+1] = topN
 	nW[2*k+1] = topW1
 	nW[2*k+2] = topW2
-	w.M, w.N, w.W = nM, nN, nW
+	w.M, w.N, w.W, w.m2, w.n2, w.w2 = nM, nN, nW, w.M, w.N, w.W
 }
 
 // PeekRR returns what (r', r') will be after a step with the given
@@ -126,7 +149,7 @@ func (w *Window) InitDirect(rPow, pPow []vec.Vector) {
 	for i := 0; i <= 2*k; i++ {
 		a := i / 2
 		b := i - a
-		w.M[i] = vec.Dot(rPow[a], rPow[b])
+		w.M[i] = pdot(w.pool, rPow[a], rPow[b])
 	}
 	// N_i = (r, A^i p): a <= k (r side), b <= k+1.
 	for i := 0; i <= 2*k+1; i++ {
@@ -135,13 +158,13 @@ func (w *Window) InitDirect(rPow, pPow []vec.Vector) {
 			a = k
 		}
 		b := i - a
-		w.N[i] = vec.Dot(rPow[a], pPow[b])
+		w.N[i] = pdot(w.pool, rPow[a], pPow[b])
 	}
 	// W_i = (p, A^i p): a, b <= k+1.
 	for i := 0; i <= 2*k+2; i++ {
 		a := i / 2
 		b := i - a
-		w.W[i] = vec.Dot(pPow[a], pPow[b])
+		w.W[i] = pdot(w.pool, pPow[a], pPow[b])
 	}
 }
 
@@ -152,29 +175,38 @@ type Families struct {
 	K int
 	R []vec.Vector // k+1 vectors
 	P []vec.Vector // k+2 vectors
+
+	pool *vec.Pool // kernels dispatch here; nil = serial
 }
 
 // NewFamilies builds the families at start-up from r(0) = p(0) using
 // k+1 matrix–vector products (the paper's "initial start up").
 func NewFamilies(a mat.Matrix, r0 vec.Vector, k int) *Families {
+	return NewFamiliesPool(a, r0, k, nil)
+}
+
+// NewFamiliesPool is NewFamilies with the family's axpy/matvec kernels
+// routed through the given worker pool (nil = serial).
+func NewFamiliesPool(a mat.Matrix, r0 vec.Vector, k int, pool *vec.Pool) *Families {
 	if k < 0 {
 		panic("core: look-ahead parameter must be >= 0")
 	}
 	f := &Families{
-		K: k,
-		R: make([]vec.Vector, k+1),
-		P: make([]vec.Vector, k+2),
+		K:    k,
+		R:    make([]vec.Vector, k+1),
+		P:    make([]vec.Vector, k+2),
+		pool: pool,
 	}
 	f.R[0] = r0.Clone()
 	for i := 1; i <= k; i++ {
 		f.R[i] = vec.New(a.Dim())
-		a.MulVec(f.R[i], f.R[i-1])
+		mat.PooledMulVec(a, pool, f.R[i], f.R[i-1])
 	}
 	for i := 0; i <= k; i++ {
 		f.P[i] = f.R[i].Clone()
 	}
 	f.P[k+1] = vec.New(a.Dim())
-	a.MulVec(f.P[k+1], f.P[k])
+	mat.PooledMulVec(a, pool, f.P[k+1], f.P[k])
 	return f
 }
 
@@ -191,7 +223,7 @@ func (f *Families) Step(a mat.Matrix, lambda, alpha float64) {
 // residual (for example to form alpha) before calling StepP.
 func (f *Families) StepR(lambda float64) {
 	for i := 0; i <= f.K; i++ {
-		vec.Axpy(-lambda, f.P[i+1], f.R[i])
+		paxpy(f.pool, -lambda, f.P[i+1], f.R[i])
 	}
 }
 
@@ -199,9 +231,9 @@ func (f *Families) StepR(lambda float64) {
 // for i <= k, then the single matrix–vector product P'_{k+1} = A P'_k.
 func (f *Families) StepP(a mat.Matrix, alpha float64) {
 	for i := 0; i <= f.K; i++ {
-		vec.Xpay(f.R[i], alpha, f.P[i])
+		pxpay(f.pool, f.R[i], alpha, f.P[i])
 	}
-	a.MulVec(f.P[f.K+1], f.P[f.K])
+	mat.PooledMulVec(a, f.pool, f.P[f.K+1], f.P[f.K])
 }
 
 // DirectTops computes the three window-top inner products from the
@@ -212,9 +244,9 @@ func (f *Families) StepP(a mat.Matrix, alpha float64) {
 //	topW2 = (p, A^{2k+2} p) = (A^{k+1} p, A^{k+1} p)
 func (f *Families) DirectTops() (topN, topW1, topW2 float64) {
 	k := f.K
-	topN = vec.Dot(f.R[k], f.P[k+1])
-	topW1 = vec.Dot(f.P[k], f.P[k+1])
-	topW2 = vec.Dot(f.P[k+1], f.P[k+1])
+	topN = pdot(f.pool, f.R[k], f.P[k+1])
+	topW1 = pdot(f.pool, f.P[k], f.P[k+1])
+	topW2 = pdot(f.pool, f.P[k+1], f.P[k+1])
 	return topN, topW1, topW2
 }
 

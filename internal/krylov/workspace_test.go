@@ -1,0 +1,183 @@
+package krylov
+
+import (
+	"runtime"
+	"testing"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/precond"
+	"vrcg/internal/vec"
+)
+
+func testSystem(t *testing.T, m int) (*mat.CSR, vec.Vector) {
+	t.Helper()
+	a := mat.Poisson2D(m)
+	b := vec.New(a.Dim())
+	vec.Random(b, 77)
+	return a, b
+}
+
+func TestWorkspaceCGMatchesCG(t *testing.T) {
+	a, b := testSystem(t, 24)
+	ref, err := CG(a, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 1, 2, runtime.GOMAXPROCS(0)} {
+		var pool *vec.Pool
+		if w > 0 {
+			pool = vec.NewPoolMinChunk(w, 32)
+		}
+		ws := NewWorkspace(a.Dim(), pool)
+		res, err := ws.CG(a, b, Options{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Converged {
+			t.Fatalf("workers=%d: workspace CG did not converge", w)
+		}
+		if !res.X.EqualTol(ref.X, 1e-6) {
+			t.Fatalf("workers=%d: workspace CG solution differs from CG", w)
+		}
+		if pool != nil {
+			pool.Close()
+		}
+	}
+}
+
+func TestWorkspacePCGMatchesPCG(t *testing.T) {
+	a, b := testSystem(t, 24)
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := PCG(a, jac, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, runtime.GOMAXPROCS(0)} {
+		var pool *vec.Pool
+		if w > 0 {
+			pool = vec.NewPoolMinChunk(w, 32)
+		}
+		ws := NewWorkspace(a.Dim(), pool)
+		res, err := ws.PCG(a, jac, b, Options{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Converged {
+			t.Fatalf("workers=%d: workspace PCG did not converge", w)
+		}
+		if !res.X.EqualTol(ref.X, 1e-6) {
+			t.Fatalf("workers=%d: workspace PCG solution differs from PCG", w)
+		}
+		if pool != nil {
+			pool.Close()
+		}
+	}
+}
+
+// TestWorkspacePCGZeroAllocs is the acceptance-criterion test: a warm
+// Workspace-based PCG solve performs zero heap allocations, pooled or
+// serial.
+func TestWorkspacePCGZeroAllocs(t *testing.T) {
+	a, b := testSystem(t, 24) // n = 576
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Tol: 1e-8}
+
+	for _, tc := range []struct {
+		name string
+		pool *vec.Pool
+	}{
+		{"serial", nil},
+		{"pooled", vec.NewPoolMinChunk(4, 64)},
+	} {
+		ws := NewWorkspace(a.Dim(), tc.pool)
+		// Warm: spawn workers, build the partition cache.
+		if _, err := ws.PCG(a, jac, b, opts); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if _, err := ws.PCG(a, jac, b, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: warm workspace PCG solve allocates %v, want 0", tc.name, avg)
+		}
+		if tc.pool != nil {
+			tc.pool.Close()
+		}
+	}
+}
+
+func TestWorkspaceCGZeroAllocs(t *testing.T) {
+	a, b := testSystem(t, 24)
+	pool := vec.NewPoolMinChunk(4, 64)
+	defer pool.Close()
+	ws := NewWorkspace(a.Dim(), pool)
+	opts := Options{Tol: 1e-8}
+	if _, err := ws.CG(a, b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if _, err := ws.CG(a, b, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm workspace CG solve allocates %v, want 0", avg)
+	}
+}
+
+func TestWorkspaceReusedAcrossRHS(t *testing.T) {
+	a, _ := testSystem(t, 16)
+	n := a.Dim()
+	ws := NewWorkspace(n, nil)
+	for seed := uint64(1); seed <= 4; seed++ {
+		b := vec.New(n)
+		vec.Random(b, seed)
+		res, err := ws.CG(a, b, Options{Tol: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: not converged", seed)
+		}
+		// Verify against a fresh solve: stale workspace state must not leak.
+		ref, err := CG(a, b, Options{Tol: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.X.EqualTol(ref.X, 1e-6) {
+			t.Fatalf("seed %d: reused workspace diverges from fresh solve", seed)
+		}
+	}
+}
+
+func TestWorkspaceDimensionMismatch(t *testing.T) {
+	a, b := testSystem(t, 8)
+	ws := NewWorkspace(a.Dim()+1, nil)
+	if _, err := ws.CG(a, b, Options{}); err == nil {
+		t.Fatal("workspace accepted mismatched matrix order")
+	}
+}
+
+func TestWorkspaceHistoryAndX0(t *testing.T) {
+	a, b := testSystem(t, 12)
+	ws := NewWorkspace(a.Dim(), nil)
+	x0 := vec.New(a.Dim())
+	x0.Fill(0.5)
+	res, err := ws.CG(a, b, Options{Tol: 1e-9, X0: x0, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Iterations+1 {
+		t.Fatalf("history length %d for %d iterations", len(res.History), res.Iterations)
+	}
+	if x0[0] != 0.5 {
+		t.Fatal("workspace mutated caller's X0")
+	}
+}

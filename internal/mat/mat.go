@@ -34,6 +34,30 @@ type Sparse interface {
 	NNZ() int
 }
 
+// PoolMulVec is a Matrix that also offers a worker-pool-parallel
+// matrix–vector product. CSR implements it with an nnz-balanced row
+// partition; solvers route their hot-path products through PooledMulVec
+// so any operator that can parallelize, does.
+type PoolMulVec interface {
+	Matrix
+	// MulVecPool computes dst = A*x over the pool, falling back to the
+	// serial product when parallelism is not profitable.
+	MulVecPool(pool *vec.Pool, dst, x vec.Vector)
+}
+
+// PooledMulVec computes dst = a*x through the pool when the operator
+// supports it (and pool is non-nil), and serially otherwise. It is the
+// single dispatch point the solver hot paths use.
+func PooledMulVec(a Matrix, pool *vec.Pool, dst, x vec.Vector) {
+	if pool != nil {
+		if pm, ok := a.(PoolMulVec); ok {
+			pm.MulVecPool(pool, dst, x)
+			return
+		}
+	}
+	a.MulVec(dst, x)
+}
+
 // ErrDim reports a dimension mismatch between an operator and a vector.
 var ErrDim = errors.New("mat: dimension mismatch")
 

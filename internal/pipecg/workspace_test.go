@@ -1,0 +1,79 @@
+package pipecg
+
+import (
+	"runtime"
+	"testing"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func TestWorkspaceGhyselsVanrooseMatchesPackage(t *testing.T) {
+	a := mat.Poisson2D(20)
+	b := vec.New(a.Dim())
+	vec.Random(b, 33)
+	ref, err := GhyselsVanroose(a, b, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, runtime.GOMAXPROCS(0)} {
+		var pool *vec.Pool
+		if w > 0 {
+			pool = vec.NewPoolMinChunk(w, 32)
+		}
+		ws := NewWorkspace(a.Dim(), pool)
+		res, err := ws.GhyselsVanroose(a, b, Options{Tol: 1e-9})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Converged {
+			t.Fatalf("workers=%d: not converged", w)
+		}
+		if !res.X.EqualTol(ref.X, 1e-6) {
+			t.Fatalf("workers=%d: workspace solution differs", w)
+		}
+		if res.Iterations != ref.Iterations && w == 0 {
+			t.Fatalf("serial workspace iterations %d != package %d", res.Iterations, ref.Iterations)
+		}
+		if pool != nil {
+			pool.Close()
+		}
+	}
+}
+
+func TestWorkspaceGhyselsVanrooseZeroAllocs(t *testing.T) {
+	a := mat.Poisson2D(20)
+	b := vec.New(a.Dim())
+	vec.Random(b, 34)
+	pool := vec.NewPoolMinChunk(4, 64)
+	defer pool.Close()
+	ws := NewWorkspace(a.Dim(), pool)
+	opts := Options{Tol: 1e-8}
+	if _, err := ws.GhyselsVanroose(a, b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if _, err := ws.GhyselsVanroose(a, b, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm workspace pipelined solve allocates %v, want 0", avg)
+	}
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	a := mat.Poisson2D(12)
+	n := a.Dim()
+	ws := NewWorkspace(n, nil)
+	for seed := uint64(1); seed <= 3; seed++ {
+		b := vec.New(n)
+		vec.Random(b, seed)
+		res, err := ws.GhyselsVanroose(a, b, Options{Tol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: not converged", seed)
+		}
+	}
+}

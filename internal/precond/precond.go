@@ -23,6 +23,16 @@ type Preconditioner interface {
 	Apply(dst, r vec.Vector)
 }
 
+// PoolApplier is a Preconditioner that can apply itself over a worker
+// pool. Pointwise preconditioners (Identity, Jacobi) implement it;
+// triangular-solve preconditioners (SSOR, IC0) are inherently sequential
+// across rows and do not.
+type PoolApplier interface {
+	Preconditioner
+	// ApplyPool computes dst = M^{-1} r using pooled kernels.
+	ApplyPool(pool *vec.Pool, dst, r vec.Vector)
+}
+
 // Identity is the trivial preconditioner M = I.
 type Identity struct{ N int }
 
@@ -39,6 +49,9 @@ func (p *Identity) Apply(dst, r vec.Vector) {
 	}
 	dst.CopyFrom(r)
 }
+
+// ApplyPool is Apply; a copy does not benefit from the pool.
+func (p *Identity) ApplyPool(_ *vec.Pool, dst, r vec.Vector) { p.Apply(dst, r) }
 
 // Jacobi is diagonal scaling: M = diag(A).
 type Jacobi struct {
@@ -70,6 +83,15 @@ func (p *Jacobi) Apply(dst, r vec.Vector) {
 		panic("precond: Jacobi dimension mismatch")
 	}
 	vec.MulElem(dst, r, p.invDiag)
+}
+
+// ApplyPool computes dst = diag(A)^{-1} r with the pooled elementwise
+// multiply.
+func (p *Jacobi) ApplyPool(pool *vec.Pool, dst, r vec.Vector) {
+	if dst.Len() != p.Dim() || r.Len() != p.Dim() {
+		panic("precond: Jacobi dimension mismatch")
+	}
+	vec.PoolMulElem(pool, dst, r, p.invDiag)
 }
 
 // SSOR is the symmetric successive over-relaxation preconditioner
@@ -259,4 +281,6 @@ var (
 	_ Preconditioner = (*Jacobi)(nil)
 	_ Preconditioner = (*SSOR)(nil)
 	_ Preconditioner = (*Polynomial)(nil)
+	_ PoolApplier    = (*Identity)(nil)
+	_ PoolApplier    = (*Jacobi)(nil)
 )

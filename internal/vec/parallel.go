@@ -3,123 +3,399 @@ package vec
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a bounded worker pool for chunked data-parallel vector kernels.
-// A Pool with Workers == 1 degenerates to the serial kernels. The zero
-// value is not usable; construct with NewPool.
+//
+// Workers are persistent: the first parallel dispatch spawns workers-1
+// long-lived goroutines that block on per-worker wake channels. Each
+// kernel call publishes a job descriptor (an opcode plus operand slice
+// headers) into pool-owned fields, wakes exactly the workers it needs,
+// runs chunk 0 on the calling goroutine, and waits for completion
+// signals. No goroutines are spawned and no closures are created per
+// call, and per-worker partial-sum slabs are reused across calls, so a
+// kernel dispatch performs zero heap allocations in steady state.
+//
+// A single Pool serializes its kernels behind an internal mutex: one
+// parallel kernel runs at a time, and concurrent callers queue. This is
+// the natural contract for an iterative solver (kernels are data
+// dependent anyway); independent solvers wanting concurrent parallelism
+// should each own a Pool.
+//
+// A Pool with Workers == 1 degenerates to the serial kernels and never
+// spawns goroutines. The zero value is not usable; construct with
+// NewPool.
 type Pool struct {
-	workers int
-	// minChunk is the smallest slice length worth handing to a worker;
-	// below it the serial kernel runs on the calling goroutine.
-	minChunk int
+	workers  int
+	minChunk atomic.Int64
+	closed   atomic.Bool
+
+	mu    sync.Mutex // serializes dispatches; held while workers run
+	start sync.Once  // spawns the persistent workers lazily
+
+	wake []chan struct{} // wake[c] wakes the worker owning chunk c (c >= 1)
+	done chan struct{}   // workers signal chunk completion
+
+	// Current job. Valid only between begin*() and end() under mu.
+	job     job
+	nchunks int
+	bounds  []int // chunk boundaries: nchunks+1 offsets
+
+	boundsSlab []int       // backing array reused by equal splits
+	partial    []float64   // per-chunk scalar partials (reused)
+	partial2   []float64   // second partial set (DotPair)
+	rows       [][]float64 // per-chunk partial rows (DotBatch)
+}
+
+// opcode selects the kernel a worker executes over its chunk. Dispatch
+// is opcode-based rather than closure-based so publishing a job never
+// allocates: operand slice headers are copied into the pool's job field.
+type opcode uint8
+
+const (
+	opNone opcode = iota
+	opDot
+	opDotPair
+	opAxpy
+	opXpay
+	opMulElem
+	opFusedCG
+	opDotBatch
+	opCSRMulVec
+)
+
+// job carries the operands of the in-flight kernel. Slice fields are
+// headers into caller-owned storage; they are cleared at end() so the
+// pool never retains caller memory between calls.
+type job struct {
+	op    opcode
+	alpha float64
+	x     []float64
+	y     []float64
+	z     []float64
+	w     []float64
+	ys    []Vector
+	// CSR SpMV operands (row-partitioned; see CSRMulVec).
+	rowPtr []int
+	colIdx []int
+	vals   []float64
 }
 
 // DefaultPool uses all available CPUs with a conservative minimum chunk.
 var DefaultPool = NewPool(runtime.GOMAXPROCS(0))
 
+// DefaultMinChunk is the smallest per-worker slice length worth handing
+// to a parallel worker; below it the serial kernel runs on the calling
+// goroutine. Cross-core wakeup costs on the order of a few microseconds,
+// which a worker must amortize over its chunk.
+const DefaultMinChunk = 4096
+
 // NewPool returns a pool using the given number of workers (at least 1).
 func NewPool(workers int) *Pool {
+	return NewPoolMinChunk(workers, DefaultMinChunk)
+}
+
+// NewPoolMinChunk returns a pool with an explicit minimum per-worker
+// chunk length (construction-time alternative to SetMinChunk).
+func NewPoolMinChunk(workers, minChunk int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pool{workers: workers, minChunk: 4096}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	p := &Pool{workers: workers}
+	p.minChunk.Store(int64(minChunk))
+	return p
 }
 
 // Workers returns the configured worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// SetMinChunk overrides the minimum per-worker slice length. Intended for
-// tests that want to force the parallel paths on small vectors.
+// MinChunk returns the current minimum per-worker slice length.
+func (p *Pool) MinChunk() int { return int(p.minChunk.Load()) }
+
+// SetMinChunk overrides the minimum per-worker slice length. It is safe
+// to call concurrently with running kernels (the value is atomic);
+// in-flight kernels keep the split they already planned.
 func (p *Pool) SetMinChunk(n int) {
 	if n < 1 {
 		n = 1
 	}
-	p.minChunk = n
+	p.minChunk.Store(int64(n))
 }
 
-// split partitions [0, n) into at most p.workers near-equal ranges of at
-// least minChunk elements, returning the boundary offsets.
-func (p *Pool) split(n int) []int {
+// Close stops the persistent workers. Subsequent kernel calls fall back
+// to the serial forms. Close is intended for tests and short-lived
+// pools; long-lived pools (DefaultPool) never need it.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, ch := range p.wake {
+		if ch != nil {
+			close(ch)
+		}
+	}
+}
+
+// ensureWorkers lazily spawns the persistent workers. Called under mu.
+func (p *Pool) ensureWorkers() {
+	p.start.Do(func() {
+		w := p.workers
+		p.wake = make([]chan struct{}, w)
+		p.done = make(chan struct{}, w)
+		p.boundsSlab = make([]int, w+1)
+		p.partial = make([]float64, w)
+		p.partial2 = make([]float64, w)
+		p.rows = make([][]float64, w)
+		for c := 1; c < w; c++ {
+			p.wake[c] = make(chan struct{}, 1)
+			go p.workerLoop(c)
+		}
+	})
+}
+
+// workerLoop is the body of persistent worker c: sleep on the wake
+// channel, execute the published job's chunk c, signal completion.
+func (p *Pool) workerLoop(c int) {
+	for range p.wake[c] {
+		p.exec(c)
+		p.done <- struct{}{}
+	}
+}
+
+// planParts returns how many chunks an n-element kernel should use
+// (0 or 1 means: run serially).
+func (p *Pool) planParts(n int) int {
+	if p.closed.Load() {
+		return 0
+	}
 	parts := p.workers
-	if maxParts := n / p.minChunk; parts > maxParts {
+	if maxParts := n / p.MinChunk(); parts > maxParts {
 		parts = maxParts
 	}
-	if parts < 2 {
-		return nil
-	}
-	bounds := make([]int, parts+1)
-	for i := 0; i <= parts; i++ {
-		bounds[i] = i * n / parts
-	}
-	return bounds
+	return parts
 }
 
-// parallelFor runs body over the chunk ranges concurrently. body receives
-// (chunkIndex, lo, hi).
-func parallelFor(bounds []int, body func(c, lo, hi int)) {
-	var wg sync.WaitGroup
-	for c := 0; c < len(bounds)-1; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			body(c, bounds[c], bounds[c+1])
-		}(c)
+// beginEqual plans a near-equal split of [0, n) and acquires the
+// dispatch lock. It returns the chunk count, or 0 (lock not held) when
+// the kernel should run serially.
+func (p *Pool) beginEqual(n int) int {
+	parts := p.planParts(n)
+	if parts < 2 {
+		return 0
 	}
-	wg.Wait()
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return 0
+	}
+	p.ensureWorkers()
+	b := p.boundsSlab[:parts+1]
+	for i := 0; i <= parts; i++ {
+		b[i] = i * n / parts
+	}
+	p.bounds = b
+	p.nchunks = parts
+	return parts
+}
+
+// beginBounds plans a dispatch over caller-provided chunk boundaries
+// (len(bounds)-1 chunks, e.g. an nnz-balanced CSR row partition) and
+// acquires the dispatch lock. It returns the chunk count, or 0 (lock
+// not held) when the partition does not fit this pool.
+func (p *Pool) beginBounds(bounds []int) int {
+	nc := len(bounds) - 1
+	if nc < 2 || nc > p.workers || p.closed.Load() {
+		return 0
+	}
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return 0
+	}
+	p.ensureWorkers()
+	p.bounds = bounds
+	p.nchunks = nc
+	return nc
+}
+
+// run wakes workers 1..nc-1, executes chunk 0 inline, and waits for the
+// workers to finish.
+func (p *Pool) run(nc int) {
+	for c := 1; c < nc; c++ {
+		p.wake[c] <- struct{}{}
+	}
+	p.exec(0)
+	for c := 1; c < nc; c++ {
+		<-p.done
+	}
+}
+
+// end clears the job (so caller memory is not retained) and releases
+// the dispatch lock.
+func (p *Pool) end() {
+	p.job = job{}
+	p.bounds = nil
+	p.nchunks = 0
+	p.mu.Unlock()
+}
+
+// exec runs the published job's chunk c.
+func (p *Pool) exec(c int) {
+	lo, hi := p.bounds[c], p.bounds[c+1]
+	j := &p.job
+	switch j.op {
+	case opDot:
+		var s float64
+		x, y := j.x, j.y
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		p.partial[c] = s
+	case opDotPair:
+		var sy, sz float64
+		x, y, z := j.x, j.y, j.z
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			sy += xi * y[i]
+			sz += xi * z[i]
+		}
+		p.partial[c] = sy
+		p.partial2[c] = sz
+	case opAxpy:
+		a, x, y := j.alpha, j.x, j.y
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	case opXpay:
+		a, x, y := j.alpha, j.x, j.y
+		for i := lo; i < hi; i++ {
+			y[i] = x[i] + a*y[i]
+		}
+	case opMulElem:
+		d, x, y := j.z, j.x, j.y
+		for i := lo; i < hi; i++ {
+			d[i] = x[i] * y[i]
+		}
+	case opFusedCG:
+		a := j.alpha
+		pv, ap, x, r := j.x, j.y, j.z, j.w
+		var rr float64
+		for i := lo; i < hi; i++ {
+			x[i] += a * pv[i]
+			ri := r[i] - a*ap[i]
+			r[i] = ri
+			rr += ri * ri
+		}
+		p.partial[c] = rr
+	case opDotBatch:
+		x, ys := j.x, j.ys
+		row := p.rows[c]
+		if cap(row) < len(ys) {
+			row = make([]float64, len(ys))
+			p.rows[c] = row
+		}
+		row = row[:len(ys)]
+		for jj, y := range ys {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			row[jj] = s
+		}
+	case opCSRMulVec:
+		rowPtr, colIdx, vals := j.rowPtr, j.colIdx, j.vals
+		x, dst := j.x, j.z
+		for i := lo; i < hi; i++ {
+			var s float64
+			for q := rowPtr[i]; q < rowPtr[i+1]; q++ {
+				s += vals[q] * x[colIdx[q]]
+			}
+			dst[i] = s
+		}
+	}
 }
 
 // Dot computes <x, y> with chunked parallel partial sums combined in
 // chunk order, so the result is deterministic for a fixed worker count.
 func (p *Pool) Dot(x, y Vector) float64 {
 	mustSameLen2(len(x), len(y))
-	bounds := p.split(len(x))
-	if bounds == nil {
+	nc := p.beginEqual(len(x))
+	if nc == 0 {
 		return Dot(x, y)
 	}
-	partial := make([]float64, len(bounds)-1)
-	parallelFor(bounds, func(c, lo, hi int) {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += x[i] * y[i]
-		}
-		partial[c] = s
-	})
+	p.job = job{op: opDot, x: x, y: y}
+	p.run(nc)
 	var s float64
-	for _, v := range partial {
+	for _, v := range p.partial[:nc] {
 		s += v
 	}
+	p.end()
 	return s
+}
+
+// DotPair computes <x,y> and <x,z> in a single parallel sweep with
+// deterministic chunk-ordered combination (the pooled form of
+// vec.DotPair, used by the pipelined CG variants).
+func (p *Pool) DotPair(x, y, z Vector) (xy, xz float64) {
+	mustSameLen3(len(x), len(y), len(z))
+	nc := p.beginEqual(len(x))
+	if nc == 0 {
+		return DotPair(x, y, z)
+	}
+	p.job = job{op: opDotPair, x: x, y: y, z: z}
+	p.run(nc)
+	for c := 0; c < nc; c++ {
+		xy += p.partial[c]
+		xz += p.partial2[c]
+	}
+	p.end()
+	return xy, xz
 }
 
 // Axpy computes y += alpha*x with chunked parallelism.
 func (p *Pool) Axpy(alpha float64, x, y Vector) {
 	mustSameLen2(len(x), len(y))
-	bounds := p.split(len(x))
-	if bounds == nil {
+	nc := p.beginEqual(len(x))
+	if nc == 0 {
 		Axpy(alpha, x, y)
 		return
 	}
-	parallelFor(bounds, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] += alpha * x[i]
-		}
-	})
+	p.job = job{op: opAxpy, alpha: alpha, x: x, y: y}
+	p.run(nc)
+	p.end()
 }
 
 // Xpay computes y = x + alpha*y with chunked parallelism.
 func (p *Pool) Xpay(x Vector, alpha float64, y Vector) {
 	mustSameLen2(len(x), len(y))
-	bounds := p.split(len(x))
-	if bounds == nil {
+	nc := p.beginEqual(len(x))
+	if nc == 0 {
 		Xpay(x, alpha, y)
 		return
 	}
-	parallelFor(bounds, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] = x[i] + alpha*y[i]
-		}
-	})
+	p.job = job{op: opXpay, alpha: alpha, x: x, y: y}
+	p.run(nc)
+	p.end()
+}
+
+// MulElem computes dst = x .* y componentwise with chunked parallelism
+// (the pooled form of vec.MulElem, used by diagonal preconditioners).
+func (p *Pool) MulElem(dst, x, y Vector) {
+	mustSameLen3(len(dst), len(x), len(y))
+	nc := p.beginEqual(len(x))
+	if nc == 0 {
+		MulElem(dst, x, y)
+		return
+	}
+	p.job = job{op: opMulElem, x: x, y: y, z: dst}
+	p.run(nc)
+	p.end()
 }
 
 // FusedCGUpdate is the parallel form of vec.FusedCGUpdate: x += alpha*p,
@@ -129,25 +405,17 @@ func (p *Pool) FusedCGUpdate(alpha float64, pv, ap, x, r Vector) float64 {
 	mustSameLen2(len(pv), len(ap))
 	mustSameLen2(len(pv), len(x))
 	mustSameLen2(len(pv), len(r))
-	bounds := p.split(len(pv))
-	if bounds == nil {
+	nc := p.beginEqual(len(pv))
+	if nc == 0 {
 		return FusedCGUpdate(alpha, pv, ap, x, r)
 	}
-	partial := make([]float64, len(bounds)-1)
-	parallelFor(bounds, func(c, lo, hi int) {
-		var rr float64
-		for i := lo; i < hi; i++ {
-			x[i] += alpha * pv[i]
-			ri := r[i] - alpha*ap[i]
-			r[i] = ri
-			rr += ri * ri
-		}
-		partial[c] = rr
-	})
+	p.job = job{op: opFusedCG, alpha: alpha, x: pv, y: ap, z: x, w: r}
+	p.run(nc)
 	var s float64
-	for _, v := range partial {
+	for _, v := range p.partial[:nc] {
 		s += v
 	}
+	p.end()
 	return s
 }
 
@@ -157,33 +425,105 @@ func (p *Pool) DotBatch(x Vector, ys []Vector, dots []float64) {
 	if len(ys) != len(dots) {
 		panic("vec: DotBatch output length mismatch")
 	}
-	bounds := p.split(len(x))
-	if bounds == nil || len(ys) == 0 {
-		DotBatch(x, ys, dots)
-		return
-	}
 	for _, y := range ys {
 		mustSameLen2(len(x), len(y))
 	}
-	nc := len(bounds) - 1
-	partial := make([][]float64, nc)
-	parallelFor(bounds, func(c, lo, hi int) {
-		row := make([]float64, len(ys))
-		for j, y := range ys {
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += x[i] * y[i]
-			}
-			row[j] = s
-		}
-		partial[c] = row
-	})
+	nc := 0
+	if len(ys) > 0 {
+		nc = p.beginEqual(len(x))
+	}
+	if nc == 0 {
+		DotBatch(x, ys, dots)
+		return
+	}
+	p.job = job{op: opDotBatch, x: x, ys: ys}
+	p.run(nc)
 	for j := range dots {
 		dots[j] = 0
 	}
-	for _, row := range partial {
-		for j, v := range row {
+	for c := 0; c < nc; c++ {
+		for j, v := range p.rows[c][:len(ys)] {
 			dots[j] += v
 		}
 	}
+	p.end()
+}
+
+// PoolDot returns p.Dot(x, y) when p is non-nil and the serial Dot
+// otherwise. The Pool* helpers are the single pool-or-serial dispatch
+// point shared by every solver hot path.
+func PoolDot(p *Pool, x, y Vector) float64 {
+	if p != nil {
+		return p.Dot(x, y)
+	}
+	return Dot(x, y)
+}
+
+// PoolDotPair returns p.DotPair(x, y, z) when p is non-nil and the
+// serial DotPair otherwise.
+func PoolDotPair(p *Pool, x, y, z Vector) (xy, xz float64) {
+	if p != nil {
+		return p.DotPair(x, y, z)
+	}
+	return DotPair(x, y, z)
+}
+
+// PoolAxpy computes y += alpha*x on the pool when p is non-nil and
+// serially otherwise.
+func PoolAxpy(p *Pool, alpha float64, x, y Vector) {
+	if p != nil {
+		p.Axpy(alpha, x, y)
+		return
+	}
+	Axpy(alpha, x, y)
+}
+
+// PoolXpay computes y = x + alpha*y on the pool when p is non-nil and
+// serially otherwise.
+func PoolXpay(p *Pool, x Vector, alpha float64, y Vector) {
+	if p != nil {
+		p.Xpay(x, alpha, y)
+		return
+	}
+	Xpay(x, alpha, y)
+}
+
+// PoolMulElem computes dst = x .* y on the pool when p is non-nil and
+// serially otherwise.
+func PoolMulElem(p *Pool, dst, x, y Vector) {
+	if p != nil {
+		p.MulElem(dst, x, y)
+		return
+	}
+	MulElem(dst, x, y)
+}
+
+// PoolFusedCGUpdate runs the fused CG update on the pool when p is
+// non-nil and serially otherwise.
+func PoolFusedCGUpdate(p *Pool, alpha float64, pv, ap, x, r Vector) float64 {
+	if p != nil {
+		return p.FusedCGUpdate(alpha, pv, ap, x, r)
+	}
+	return FusedCGUpdate(alpha, pv, ap, x, r)
+}
+
+// CSRMulVec computes dst = A*x for a CSR matrix given by (rowPtr,
+// colIdx, vals), parallelized over the caller-provided row partition
+// bounds (len(bounds)-1 chunks; see mat.CSR.MulVecPool, which supplies
+// an nnz-balanced partition). It returns false — leaving dst untouched —
+// when the partition does not fit this pool and the caller should use
+// its serial kernel.
+//
+// The pool deliberately knows this one structured kernel: SpMV dominates
+// every solver's hot path, and routing it through the same opcode
+// dispatch keeps the parallel form allocation-free.
+func (p *Pool) CSRMulVec(bounds []int, rowPtr, colIdx []int, vals []float64, dst, x Vector) bool {
+	nc := p.beginBounds(bounds)
+	if nc == 0 {
+		return false
+	}
+	p.job = job{op: opCSRMulVec, rowPtr: rowPtr, colIdx: colIdx, vals: vals, x: x, z: dst}
+	p.run(nc)
+	p.end()
+	return true
 }
