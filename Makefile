@@ -9,7 +9,7 @@ GO       ?= go
 BENCHPAT ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
 BENCHOUT ?= BENCH_engine.json
 
-.PHONY: all build test vet fmt bench bench-raw clean
+.PHONY: all build test vet fmt check bench bench-raw clean
 
 all: build test
 
@@ -21,6 +21,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Full gate, mirrored by .github/workflows/ci.yml: vet, build, and the
+# test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 fmt:
 	gofmt -l -w .

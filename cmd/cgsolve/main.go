@@ -1,5 +1,7 @@
-// Command cgsolve solves generated SPD test systems with any of the
-// implemented methods, printing convergence and operation statistics.
+// Command cgsolve solves generated SPD test systems with any method in
+// the solve registry, printing convergence and operation statistics.
+// The -method vocabulary comes from solve.Methods() at runtime, so a
+// newly registered solver appears here without touching this file.
 //
 // Examples:
 //
@@ -8,6 +10,7 @@
 //	cgsolve -problem poisson3d -m 16 -method pcg -precond ssor
 //	cgsolve -problem toeplitz -n 4096 -method sstep -s 4
 //	cgsolve -problem poisson3d -m 32 -method pcg -workers 8 -repeat 16
+//	cgsolve -problem poisson2d -m 24 -method parcg -k 4 -procs 64
 //
 // The -workers flag routes the solve through the hot-path execution
 // engine: a persistent worker pool for the vector kernels plus the
@@ -18,18 +21,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"vrcg/internal/core"
-	"vrcg/internal/krylov"
 	"vrcg/internal/mat"
-	"vrcg/internal/pipecg"
 	"vrcg/internal/precond"
-	"vrcg/internal/sstep"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
 
 func fatalf(format string, args ...interface{}) {
@@ -44,15 +45,21 @@ func main() {
 	m := flag.Int("m", 32, "grid side for poisson problems")
 	n := flag.Int("n", 1024, "order for non-grid problems")
 	kappa := flag.Float64("kappa", 100, "condition number for -problem spectrum")
-	method := flag.String("method", "cg", "cg|cgfused|pcg|cr|sd|minres|vrcg|pipecg|gropp|sstep")
+	method := flag.String("method", "cg", "solver method: "+solve.Usage())
 	pc := flag.String("precond", "jacobi", "pcg preconditioner: identity|jacobi|ssor")
-	k := flag.Int("k", 2, "look-ahead parameter for vrcg")
+	k := flag.Int("k", 2, "look-ahead parameter for vrcg/parcg")
 	s := flag.Int("s", 4, "block size for sstep")
+	procs := flag.Int("procs", 8, "simulated processor count for the parcg methods")
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
-	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = 10n)")
+	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = method default)")
 	seed := flag.Uint64("seed", 1, "rhs/solution seed")
 	workers := flag.Int("workers", 0, "engine worker count (0 = all CPUs, 1 = serial kernels)")
 	repeat := flag.Int("repeat", 1, "solve the system this many times, reusing workspaces")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cgsolve [flags]\n\nregistered methods:\n%s\nflags:\n",
+			solve.Describe())
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *workers < 0 {
@@ -131,99 +138,26 @@ func main() {
 		a.MulVec(b, xTrue)
 	}
 
-	engineWorkers := 1
+	solver, err := solve.New(*method)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// One option set serves every method: each solver consumes what it
+	// understands and ignores the rest.
+	opts := []solve.Option{
+		solve.WithTol(*tol),
+		solve.WithMaxIter(*maxIter),
+		solve.WithLookahead(*k),
+		solve.WithBlockSize(*s),
+		solve.WithProcessors(*procs),
+	}
 	if pool != nil {
-		engineWorkers = pool.Workers()
+		opts = append(opts, solve.WithPool(pool))
 	}
-	fmt.Printf("problem=%s n=%d nnz=%d maxrow=%d method=%s engine-workers=%d repeat=%d\n",
-		*problem, dim, a.NNZ(), a.MaxRowNonzeros(), *method, engineWorkers, *repeat)
-
-	report := func(iters int, converged bool, trueRes float64, stats krylov.Stats, x vec.Vector) {
-		rel := trueRes / vec.Norm2(b)
-		if xTrue != nil {
-			errN := vec.New(dim)
-			vec.Sub(errN, x, xTrue)
-			fmt.Printf("converged=%v iterations=%d true-rel-residual=%.3e solution-error=%.3e\n",
-				converged, iters, rel, vec.Norm2(errN))
-		} else {
-			fmt.Printf("converged=%v iterations=%d true-rel-residual=%.3e\n", converged, iters, rel)
-		}
-		fmt.Printf("stats: %s\n", stats)
-	}
-
-	opts := krylov.Options{Tol: *tol, MaxIter: *maxIter}
-
-	// Every method runs through the same repeat loop (reporting on the
-	// final rep only); methods with a workspace reuse it across reps.
-	runRepeated := func(solve func(last bool) error) {
-		for rep := 0; rep < *repeat; rep++ {
-			if err := solve(rep == *repeat-1); err != nil {
-				fatalf("%v", err)
-			}
-		}
-	}
-
-	start := time.Now()
-	switch *method {
-	case "cg":
-		ws := krylov.NewWorkspace(dim, pool)
-		runRepeated(func(last bool) error {
-			res, err := ws.CG(a, b, opts)
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "cgfused":
-		runRepeated(func(last bool) error {
-			res, err := krylov.CGFused(a, b, pool, opts)
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "minres":
-		runRepeated(func(last bool) error {
-			res, err := krylov.MINRES(a, b, opts)
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "cr":
-		runRepeated(func(last bool) error {
-			res, err := krylov.CR(a, b, opts)
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "sd":
-		runRepeated(func(last bool) error {
-			res, err := krylov.SteepestDescent(a, b, opts)
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "pcg":
+	if *method == "pcg" {
 		var (
-			p   precond.Preconditioner
+			p   solve.Preconditioner
 			err error
 		)
 		switch *pc {
@@ -239,68 +173,46 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		ws := krylov.NewWorkspace(dim, pool)
-		runRepeated(func(last bool) error {
-			res, err := ws.PCG(a, p, b, opts)
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "vrcg":
-		runRepeated(func(last bool) error {
-			res, err := core.Solve(a, b, core.Options{K: *k, Tol: *tol, MaxIter: *maxIter, Pool: pool})
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-				fmt.Printf("vrcg: k=%d reanchors=%d refreshes=%d fallback-dots=%d\n",
-					res.K, res.Reanchors, res.Refreshes, res.FallbackDots)
-			}
-			return nil
-		})
-	case "pipecg":
-		ws := pipecg.NewWorkspace(dim, pool)
-		runRepeated(func(last bool) error {
-			res, err := ws.GhyselsVanroose(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "gropp":
-		runRepeated(func(last bool) error {
-			res, err := pipecg.Gropp(a, b, pipecg.Options{Tol: *tol, MaxIter: *maxIter})
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-			}
-			return nil
-		})
-	case "sstep":
-		runRepeated(func(last bool) error {
-			res, err := sstep.Solve(a, b, sstep.Options{S: *s, Tol: *tol, MaxIter: *maxIter, Pool: pool})
-			if err != nil {
-				return err
-			}
-			if last {
-				report(res.Iterations, res.Converged, res.TrueResidualNorm, res.Stats, res.X)
-				fmt.Printf("sstep: s=%d blocks=%d\n", *s, res.Blocks)
-			}
-			return nil
-		})
-	default:
-		fatalf("unknown method %q", *method)
+		opts = append(opts, solve.WithPreconditioner(p))
+	}
+
+	engineWorkers := 1
+	if pool != nil {
+		engineWorkers = pool.Workers()
+	}
+	fmt.Printf("problem=%s n=%d nnz=%d maxrow=%d method=%s engine-workers=%d repeat=%d\n",
+		*problem, dim, a.NNZ(), a.MaxRowNonzeros(), *method, engineWorkers, *repeat)
+
+	start := time.Now()
+	var res *solve.Result
+	for rep := 0; rep < *repeat; rep++ {
+		res, err = solver.Solve(a, b, opts...)
+		if err != nil && !errors.Is(err, solve.ErrNotConverged) {
+			fatalf("%v", err)
+		}
 	}
 	elapsed := time.Since(start)
+
+	rel := res.TrueResidualNorm / vec.Norm2(b)
+	if xTrue != nil && res.X != nil {
+		errN := vec.New(dim)
+		vec.Sub(errN, res.X, xTrue)
+		fmt.Printf("converged=%v iterations=%d true-rel-residual=%.3e solution-error=%.3e\n",
+			res.Converged, res.Iterations, rel, vec.Norm2(errN))
+	} else {
+		fmt.Printf("converged=%v iterations=%d true-rel-residual=%.3e\n", res.Converged, res.Iterations, rel)
+	}
+	fmt.Printf("stats: %s syncs=%d\n", res.Stats, res.Syncs)
+	if res.Drift != nil {
+		fmt.Printf("vrcg: k=%d reanchors=%d refreshes=%d fallback-dots=%d\n",
+			*k, res.Drift.Reanchors, res.Drift.Refreshes, res.Drift.FallbackDots)
+	}
+	if res.Blocks > 0 {
+		fmt.Printf("sstep: s=%d blocks=%d\n", *s, res.Blocks)
+	}
+	if len(res.Clocks) > 0 {
+		fmt.Printf("machine: P=%d per-iter-time=%.2f total-time=%.2f messages=%d words=%d\n",
+			*procs, res.PerIterTime(), res.TotalTime(), res.Machine.Messages, res.Machine.Words)
+	}
 	fmt.Printf("wall: total=%v per-solve=%v\n", elapsed, elapsed/time.Duration(*repeat))
 }

@@ -6,6 +6,38 @@
 // c*log(log N), and the direct ancestor of today's pipelined and s-step
 // conjugate gradient methods.
 //
+// # Public API: the solve package
+//
+// Package solve is the importable surface: one Solver interface, one
+// canonical Result, functional options, and a method registry covering
+// every CG variant in the repository —
+//
+//	s, err := solve.New("vrcg") // or cg, pcg, pipecg, sstep, parcg, ...
+//	res, err := s.Solve(a, b,
+//	        solve.WithTol(1e-10),
+//	        solve.WithLookahead(4),
+//	        solve.WithPool(vec.DefaultPool))
+//	fmt.Println(res.Iterations, res.Syncs, res.TrueResidualNorm)
+//
+// Result carries the paper's comparison currency directly: operation
+// counts (Stats), estimated blocking synchronization points (Syncs),
+// recurrence drift diagnostics (Drift, for "vrcg"), and the simulated
+// parallel-time trajectory (Clocks, for the distributed "parcg*"
+// methods). Non-convergence is one sentinel (solve.ErrNotConverged)
+// carrying a usable partial Result; breakdowns wrap solve.ErrIndefinite
+// / solve.ErrBreakdown; bad parameters wrap solve.ErrBadOption — all
+// errors.Is-compatible. WithContext cancels a solve mid-iteration;
+// WithMonitor observes it. See the runnable examples in
+// solve/example_test.go, one per method.
+//
+// Solvers built by solve.New own reusable workspaces: repeated solves
+// against same-order operators allocate nothing in steady state for the
+// workspace-backed methods. cmd/, examples/, and the experiment harness
+// all go through this registry — adding a method to the registry makes
+// it appear in the cgsolve CLI without touching the CLI.
+//
+// # Implementation layout
+//
 // The implementation lives under internal/:
 //
 //   - internal/core: the paper's algorithm (look-ahead CG, "VRCG")
@@ -38,15 +70,16 @@
 //   - solver workspaces: krylov.Workspace (CG/PCG) and pipecg.Workspace
 //     preallocate every solve-lifetime vector, so repeated solves
 //     against same-order operators allocate nothing in steady state;
+//     the solve registry holds these workspaces inside its Solvers, and
 //     core.Options.Pool and sstep.Options.Pool route the remaining
 //     solvers through the same pooled kernels.
 //
 // See internal/core/README.md for the engine architecture and the
 // pooled-vs-serial decision guide.
 //
-// Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI,
-// -workers/-repeat exercise the engine), cmd/figure1 (schedule
-// diagrams), cmd/benchjson (bench output → BENCH_engine.json). Runnable
-// examples live in examples/. See DESIGN.md for the system inventory
-// and EXPERIMENTS.md for paper-vs-measured results.
+// Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI over
+// the solve registry; -workers/-repeat exercise the engine), cmd/figure1
+// (schedule diagrams), cmd/benchjson (bench output → BENCH_engine.json).
+// Runnable examples live in examples/. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
 package vrcg

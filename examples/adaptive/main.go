@@ -1,19 +1,21 @@
-// Adaptive driving: uses the step-level Iterator API to embed the
-// look-ahead solver in a custom control loop (watching the residual,
-// switching problems mid-stream), and AutoK to size the look-ahead for
-// a machine instead of guessing — the constructive form of the paper's
-// "choose k = log N" prescription.
+// Adaptive driving: embeds the look-ahead solver in a custom control
+// loop through the public solve API — a Monitor watchdog that reports
+// progress milestones, a context deadline that bounds the solve — and
+// uses AutoK to size the look-ahead for a machine instead of guessing,
+// the constructive form of the paper's "choose k = log N" prescription.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"vrcg/internal/core"
 	"vrcg/internal/machine"
 	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
 
 func main() {
@@ -33,8 +35,9 @@ func main() {
 		fmt.Printf("%10.1f %8d\n", alpha, parcg.AutoK(cfg, dm, 32))
 	}
 
-	// Part 2: the Iterator — run VRCG step by step under external
-	// control, with a watchdog that reports progress milestones.
+	// Part 2: a Monitor watchdog — run VRCG under external observation,
+	// reporting each time the residual drops by two more orders of
+	// magnitude. Returning false from Observe would stop the solve.
 	prob, err := mat.VarCoeffPoisson2D(24, mat.JumpCoefficient(100))
 	if err != nil {
 		log.Fatal(err)
@@ -45,30 +48,44 @@ func main() {
 	b := vec.New(n)
 	prob.MulVec(b, xTrue)
 
-	it, err := core.NewIterator(prob, b, core.Options{K: 2, Tol: 1e-10})
+	fmt.Printf("\nMonitor on a jump-coefficient (contrast 100) 24x24 problem, n=%d:\n", n)
+	milestone := vec.Norm2(b) / 100
+	res, err := solve.MustNew("vrcg").Solve(prob, b,
+		solve.WithLookahead(2), solve.WithTol(1e-10),
+		solve.WithMonitor(solve.MonitorFunc(func(iter int, resNorm float64) bool {
+			if resNorm <= milestone {
+				fmt.Printf("  iteration %4d: residual %.2e\n", iter, resNorm)
+				milestone /= 100
+			}
+			return true
+		})))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nIterator on a jump-coefficient (contrast 100) 24x24 problem, n=%d:\n", n)
-	start := it.ResidualNorm()
-	milestone := start / 100
-	for {
-		more, err := it.Step()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if it.ResidualNorm() <= milestone {
-			fmt.Printf("  iteration %4d: residual %.2e (true %.2e)\n",
-				it.Iteration(), it.ResidualNorm(), it.TrueResidualNorm())
-			milestone /= 100
-		}
-		if !more {
-			break
-		}
-	}
-	fmt.Printf("converged in %d iterations; stats: %s\n", it.Iteration(), it.Stats())
+	fmt.Printf("converged in %d iterations; stats: %s\n", res.Iterations, res.Stats)
 
 	errV := vec.New(n)
-	vec.Sub(errV, it.X(), xTrue)
+	vec.Sub(errV, res.X, xTrue)
 	fmt.Printf("solution error ||x - x*|| = %.2e\n", vec.Norm2(errV))
+
+	// Part 3: context cancellation bounds the solve — the partial
+	// result comes back with an error wrapping context.Canceled, and
+	// the iterate is still usable as a warm start (WithX0).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial, err := solve.MustNew("cg").Solve(prob, b,
+		solve.WithTol(1e-12), solve.WithContext(ctx),
+		solve.WithMonitor(solve.MonitorFunc(func(iter int, _ float64) bool {
+			if iter == 10 {
+				cancel() // e.g. an external budget expired
+			}
+			return true
+		})))
+	fmt.Printf("\ncancellation demo: canceled=%v after %d iterations\n",
+		errors.Is(err, context.Canceled), partial.Iterations)
+	resumed, err := solve.MustNew("cg").Solve(prob, b, solve.WithTol(1e-10), solve.WithX0(partial.X))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm restart from the partial iterate: %d more iterations\n", resumed.Iterations)
 }

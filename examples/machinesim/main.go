@@ -3,18 +3,22 @@
 // sweeps the message latency alpha. As alpha grows, standard CG pays two
 // log(P) reductions per iteration, pipelined CG hides one, s-step
 // semantics amortize them, and the paper's k-deep pipeline hides them
-// entirely.
+// entirely. The solver comparison runs through the solve registry: the
+// "parcg*" methods build the machine, partition, and halo internally
+// from a machine configuration option.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"math"
 
 	"vrcg/internal/collective"
 	"vrcg/internal/machine"
 	"vrcg/internal/mat"
-	"vrcg/internal/parcg"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
 
 func main() {
@@ -42,29 +46,24 @@ func main() {
 	fmt.Printf("%8s %10s %10s %12s %14s\n", "alpha", "CG", "PIPECG", "VRCG(k=8)", "blocking(k=8)")
 	for _, alpha := range []float64{1, 4, 16, 64, 256} {
 		cfg := machine.Config{P: p, Alpha: alpha, Beta: 0.01, FlopTime: 0.001}
-		opt := parcg.Options{Tol: 1e-6, MaxIter: 120}
 
-		rate := func(run func(*machine.Machine, *parcg.DistMatrix, *parcg.Dist) (*parcg.Result, error)) float64 {
-			m := machine.New(cfg)
-			dm := parcg.NewDistMatrix(a, p)
-			res, err := run(m, dm, parcg.Scatter(bs, p))
-			if err != nil {
+		rate := func(method string, extra ...solve.Option) float64 {
+			opts := append([]solve.Option{
+				solve.WithMachineConfig(cfg), solve.WithTol(1e-6), solve.WithMaxIter(120),
+			}, extra...)
+			res, err := solve.MustNew(method).Solve(a, bs, opts...)
+			if err != nil && !errors.Is(err, solve.ErrNotConverged) {
 				log.Fatal(err)
+			}
+			if res == nil {
+				return math.NaN()
 			}
 			return res.PerIterTime()
 		}
-		cg := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.CG(m, dm, b, opt)
-		})
-		pipe := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.PipeCG(m, dm, b, opt)
-		})
-		vr := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.VRCG(m, dm, b, parcg.VROptions{Options: opt, K: 8})
-		})
-		blk := rate(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.VRCG(m, dm, b, parcg.VROptions{Options: opt, K: 8, Blocking: true})
-		})
+		cg := rate("parcg-cg")
+		pipe := rate("parcg-pipe")
+		vr := rate("parcg", solve.WithLookahead(8))
+		blk := rate("parcg", solve.WithLookahead(8), solve.WithBlocking(true))
 		fmt.Printf("%8.0f %10.1f %10.1f %12.1f %14.1f\n", alpha, cg, pipe, vr, blk)
 	}
 	fmt.Println("\nShape: CG ~ 2*allreduce + matvec; PIPECG hides one reduction;")

@@ -7,14 +7,14 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
-	"vrcg/internal/core"
-	"vrcg/internal/krylov"
 	"vrcg/internal/mat"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
 
 func main() {
@@ -27,23 +27,28 @@ func main() {
 
 	series := []trace.Series{}
 
-	cg, err := krylov.CG(a, b, krylov.Options{Tol: tol, MaxIter: maxIter, RecordHistory: true})
-	if err != nil {
+	cg, err := solve.MustNew("cg").Solve(a, b,
+		solve.WithTol(tol), solve.WithMaxIter(maxIter), solve.WithHistory(true))
+	if err != nil && !errors.Is(err, solve.ErrNotConverged) {
 		log.Fatal(err)
 	}
 	series = append(series, trace.Series{Name: fmt.Sprintf("CG (%d iters)", cg.Iterations), Values: cg.History})
 
 	runs := []struct {
 		name string
-		opts core.Options
+		opts []solve.Option
 	}{
-		{"VRCG k=4, no stabilization", core.Options{K: 4, Tol: tol, MaxIter: maxIter, RecordHistory: true, ReanchorEvery: -1}},
-		{"VRCG k=4, re-anchor+refresh", core.Options{K: 4, Tol: tol, MaxIter: maxIter, RecordHistory: true}},
-		{"VRCG k=4, residual replace", core.Options{K: 4, Tol: tol, MaxIter: maxIter, RecordHistory: true, ResidualReplaceEvery: 8}},
+		{"VRCG k=4, no stabilization", []solve.Option{solve.WithReanchorEvery(-1)}},
+		{"VRCG k=4, re-anchor+refresh", nil},
+		{"VRCG k=4, residual replace", []solve.Option{solve.WithResidualReplaceEvery(8)}},
 	}
+	vrcg := solve.MustNew("vrcg")
 	for _, run := range runs {
-		out, err := core.Solve(a, b, run.opts)
-		if err != nil {
+		opts := append([]solve.Option{
+			solve.WithLookahead(4), solve.WithTol(tol), solve.WithMaxIter(maxIter), solve.WithHistory(true),
+		}, run.opts...)
+		out, err := vrcg.Solve(a, b, opts...)
+		if err != nil && !errors.Is(err, solve.ErrNotConverged) {
 			fmt.Printf("%-32s breakdown: %v\n", run.name, err)
 			continue
 		}

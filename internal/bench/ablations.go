@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"vrcg/internal/collective"
-	"vrcg/internal/core"
 	"vrcg/internal/machine"
 	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
 
 // Ablations for the design choices DESIGN.md calls out: each isolates
@@ -27,14 +27,14 @@ func A1ReanchorInterval() *Table {
 	vec.Random(b, 61)
 	bn := vec.Norm2(b)
 	for _, interval := range []int{-1, 2, 4, 8, 16, 32} {
-		res, err := core.Solve(a, b, core.Options{
-			K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: interval, ValidateEvery: 1,
-		})
+		res, err := solve.MustNew("vrcg").Solve(a, b,
+			solve.WithLookahead(3), solve.WithTol(1e-9), solve.WithMaxIter(4000),
+			solve.WithReanchorEvery(interval), solve.WithValidateEvery(1))
 		label := fmt.Sprintf("%d", interval)
 		if interval < 0 {
 			label = "never"
 		}
-		if err != nil {
+		if !usable(err) {
 			t.AddRow(label, "-", false, "breakdown", "-", "-")
 			continue
 		}
@@ -62,19 +62,20 @@ func A2StabilizationModes() *Table {
 	vec.Random(b, 62)
 	bn := vec.Norm2(b)
 
+	base := []solve.Option{solve.WithLookahead(3), solve.WithTol(1e-9), solve.WithMaxIter(4000)}
 	type mode struct {
 		name string
-		opts core.Options
+		opts []solve.Option
 	}
 	modes := []mode{
-		{"none", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: -1}},
-		{"window-only", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: 8, WindowOnlyReanchor: true}},
-		{"family-refresh", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ReanchorEvery: 8}},
-		{"residual-replace", core.Options{K: 3, Tol: 1e-9, MaxIter: 4000, ResidualReplaceEvery: 8}},
+		{"none", []solve.Option{solve.WithReanchorEvery(-1)}},
+		{"window-only", []solve.Option{solve.WithReanchorEvery(8), solve.WithWindowOnlyReanchor(true)}},
+		{"family-refresh", []solve.Option{solve.WithReanchorEvery(8)}},
+		{"residual-replace", []solve.Option{solve.WithResidualReplaceEvery(8)}},
 	}
 	for _, m := range modes {
-		res, err := core.Solve(a, b, m.opts)
-		if err != nil {
+		res, err := solve.MustNew("vrcg").Solve(a, b, append(append([]solve.Option{}, base...), m.opts...)...)
+		if !usable(err) {
 			t.AddRow(m.name, "-", false, "breakdown", "-")
 			continue
 		}
@@ -106,25 +107,21 @@ func A3SpectralScaling() *Table {
 	bn := vec.Norm2(bs)
 	for _, k := range []int{2, 4, 8} {
 		for _, noScale := range []bool{false, true} {
-			m := machine.New(machine.DefaultConfig(8))
-			dm := parcg.NewDistMatrix(a, 8)
-			res, err := parcg.VRCG(m, dm, parcg.Scatter(bs, 8), parcg.VROptions{
-				Options: parcg.Options{Tol: 1e-8, MaxIter: 600}, K: k, NoScaling: noScale,
-			})
+			res, err := solve.MustNew("parcg").Solve(a, bs,
+				solve.WithProcessors(8), solve.WithLookahead(k),
+				solve.WithTol(1e-8), solve.WithMaxIter(600),
+				solve.WithSpectralScaling(!noScale))
 			label := "on"
 			if noScale {
 				label = "off"
 			}
-			if err != nil {
+			if !usable(err) || res.X == nil {
 				t.AddRow(k, label, "-", false, "breakdown")
 				continue
 			}
-			// True residual of the original system, computed serially
-			// from the returned solution.
-			tr := vec.New(a.Dim())
-			a.MulVec(tr, res.X)
-			vec.Sub(tr, bs, tr)
-			t.AddRow(k, label, res.Iterations, res.Converged, vec.Norm2(tr)/bn)
+			// True residual of the original system (the adapter computes
+			// it serially from the gathered solution).
+			t.AddRow(k, label, res.Iterations, res.Converged, res.TrueResidualNorm/bn)
 		}
 	}
 	t.Notes = append(t.Notes,

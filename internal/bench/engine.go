@@ -1,15 +1,21 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
 
-	"vrcg/internal/krylov"
 	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
+
+// usable reports whether a solve outcome is meaningful for
+// tabulation: clean convergence, or the honest not-converged result
+// (the tables report the converged column themselves).
+func usable(err error) bool { return err == nil || errors.Is(err, solve.ErrNotConverged) }
 
 // EnginePool is the worker pool the wall-clock ablation (A6) routes
 // kernels through: the shared default engine (all CPUs).
@@ -76,15 +82,20 @@ func A6EngineThroughput() *Table {
 	if err == nil {
 		b := vec.New(a.Dim())
 		vec.Random(b, 4)
-		opts := krylov.Options{Tol: 1e-6, MaxIter: 25}
+		// Two pcg solvers from the registry, one serial and one on the
+		// engine pool; each keeps its workspace warm across the timing
+		// loop, so this measures the steady-state regime.
+		serialOpts := []solve.Option{solve.WithPreconditioner(jac), solve.WithTol(1e-6), solve.WithMaxIter(25)}
+		pooledOpts := append([]solve.Option{solve.WithPool(EnginePool)}, serialOpts...)
+		serialSolver := solve.MustNew("pcg")
 		serialPCG := timeIt(budget, func() {
-			if _, err := krylov.PCG(a, jac, b, opts); err != nil {
+			if _, err := serialSolver.Solve(a, b, serialOpts...); !usable(err) {
 				panic(err)
 			}
 		})
-		ws := krylov.NewWorkspace(a.Dim(), EnginePool)
+		pooledSolver := solve.MustNew("pcg")
 		pooledPCG := timeIt(budget, func() {
-			if _, err := ws.PCG(a, jac, b, opts); err != nil {
+			if _, err := pooledSolver.Solve(a, b, pooledOpts...); !usable(err) {
 				panic(err)
 			}
 		})

@@ -4,16 +4,12 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/core"
 	"vrcg/internal/depth"
-	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
 	"vrcg/internal/mat"
-	"vrcg/internal/parcg"
-	"vrcg/internal/pipecg"
-	"vrcg/internal/sstep"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
+	"vrcg/solve"
 )
 
 // E1DepthScaling regenerates the headline comparison (claims C1 and C4):
@@ -93,40 +89,33 @@ func E4SequentialCost() *Table {
 	b := vec.New(n)
 	vec.Random(b, 101)
 
-	cg, err := krylov.CG(a, b, krylov.Options{Tol: 1e-8})
-	if err == nil {
-		it := float64(cg.Iterations)
-		t.AddRow("CG", "-", cg.Iterations,
-			float64(cg.Stats.MatVecs)/it, float64(cg.Stats.InnerProducts)/it,
-			float64(cg.Stats.VectorUpdates)/it, float64(cg.Stats.Flops)/it, cg.Converged)
+	row := func(name string, k interface{}, r *solve.Result) {
+		it := float64(r.Iterations)
+		t.AddRow(name, k, r.Iterations,
+			float64(r.Stats.MatVecs)/it, float64(r.Stats.InnerProducts)/it,
+			float64(r.Stats.VectorUpdates)/it, float64(r.Stats.Flops)/it, r.Converged)
+	}
+	if r, err := solve.MustNew("cg").Solve(a, b, solve.WithTol(1e-8)); usable(err) {
+		row("CG", "-", r)
 	}
 	for _, k := range []int{1, 2, 4} {
 		// Window-only re-anchoring = the paper-pure cost profile (one
 		// matvec per iteration exactly). Large k may fail to converge
 		// under this profile — the honest finite-precision price,
 		// reported in the last column.
-		vr, err := core.Solve(a, b, core.Options{K: k, Tol: 1e-8, MaxIter: 4000, WindowOnlyReanchor: true, Pool: TablePool})
-		if err != nil {
+		r, err := solve.MustNew("vrcg").Solve(a, b, solve.WithLookahead(k), solve.WithTol(1e-8),
+			solve.WithMaxIter(4000), solve.WithWindowOnlyReanchor(true), solve.WithPool(TablePool))
+		if !usable(err) {
 			continue
 		}
-		it := float64(vr.Iterations)
-		t.AddRow(fmt.Sprintf("VRCG"), k, vr.Iterations,
-			float64(vr.Stats.MatVecs)/it, float64(vr.Stats.InnerProducts)/it,
-			float64(vr.Stats.VectorUpdates)/it, float64(vr.Stats.Flops)/it, vr.Converged)
+		row("VRCG", k, r)
 	}
-	ss, err := sstep.Solve(a, b, sstep.Options{S: 4, Tol: 1e-8, Pool: TablePool})
-	if err == nil {
-		it := float64(ss.Iterations)
-		t.AddRow("s-step", 4, ss.Iterations,
-			float64(ss.Stats.MatVecs)/it, float64(ss.Stats.InnerProducts)/it,
-			float64(ss.Stats.VectorUpdates)/it, float64(ss.Stats.Flops)/it, ss.Converged)
+	if r, err := solve.MustNew("sstep").Solve(a, b, solve.WithBlockSize(4), solve.WithTol(1e-8),
+		solve.WithPool(TablePool)); usable(err) {
+		row("s-step", 4, r)
 	}
-	gv, err := pipecg.GhyselsVanroose(a, b, pipecg.Options{Tol: 1e-8})
-	if err == nil {
-		it := float64(gv.Iterations)
-		t.AddRow("PIPECG", "-", gv.Iterations,
-			float64(gv.Stats.MatVecs)/it, float64(gv.Stats.InnerProducts)/it,
-			float64(gv.Stats.VectorUpdates)/it, float64(gv.Stats.Flops)/it, gv.Converged)
+	if r, err := solve.MustNew("pipecg").Solve(a, b, solve.WithTol(1e-8)); usable(err) {
+		row("PIPECG", "-", r)
 	}
 	t.Notes = append(t.Notes,
 		"expected shape: matvec/it ~1 for CG, VRCG and PIPECG; VRCG dots/it ~3+O(1) amortized (paper claims 2 via unpublished recurrences)",
@@ -148,19 +137,18 @@ func E5Exactness() *Table {
 	vec.Random(b, 77)
 	for _, k := range []int{1, 2, 4, 6} {
 		for _, re := range []int{-1, 4} {
-			res, err := core.Solve(a, b, core.Options{
-				K: k, Tol: 1e-8, MaxIter: 3000, ValidateEvery: 1, ReanchorEvery: re,
-				Pool: TablePool,
-			})
+			res, err := solve.MustNew("vrcg").Solve(a, b,
+				solve.WithLookahead(k), solve.WithTol(1e-8), solve.WithMaxIter(3000),
+				solve.WithValidateEvery(1), solve.WithReanchorEvery(re), solve.WithPool(TablePool))
 			label := fmt.Sprintf("%d", re)
 			if re < 0 {
 				label = "never"
 			}
-			if err != nil {
+			if !usable(err) {
 				t.AddRow(k, label, "-", "breakdown", "breakdown", "-")
 				continue
 			}
-			t.AddRow(k, label, res.Iterations, res.Drift.MaxRelRR, res.Drift.MaxRelPAP, res.FallbackDots)
+			t.AddRow(k, label, res.Iterations, res.Drift.MaxRelRR, res.Drift.MaxRelPAP, res.Drift.FallbackDots)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -184,13 +172,14 @@ func E6Stability() *Table {
 		vec.Random(b, 7)
 		bn := vec.Norm2(b)
 
-		cg, err := krylov.CG(a, b, krylov.Options{Tol: 1e-10, MaxIter: 8000})
-		if err == nil {
+		cg, err := solve.MustNew("cg").Solve(a, b, solve.WithTol(1e-10), solve.WithMaxIter(8000))
+		if usable(err) {
 			t.AddRow(kappa, "CG", "-", cg.Iterations, cg.TrueResidualNorm/bn, cg.Converged)
 		}
 		for _, k := range []int{1, 2, 4, 8} {
-			vr, err := core.Solve(a, b, core.Options{K: k, Tol: 1e-10, MaxIter: 8000, Pool: TablePool})
-			if err != nil {
+			vr, err := solve.MustNew("vrcg").Solve(a, b, solve.WithLookahead(k),
+				solve.WithTol(1e-10), solve.WithMaxIter(8000), solve.WithPool(TablePool))
+			if !usable(err) {
 				t.AddRow(kappa, "VRCG", k, "-", "breakdown", false)
 				continue
 			}
@@ -219,40 +208,32 @@ func E7Successors() *Table {
 		bs := vec.New(a.Dim())
 		vec.Random(bs, 55)
 
-		run := func(f func(*machine.Machine, *parcg.DistMatrix, *parcg.Dist) (*parcg.Result, error)) *parcg.Result {
-			m := machine.New(cfg)
-			dm := parcg.NewDistMatrix(a, p)
-			res, err := f(m, dm, parcg.Scatter(bs, p))
-			if err != nil {
+		run := func(method string, extra ...solve.Option) *solve.Result {
+			opts := append([]solve.Option{
+				solve.WithMachineConfig(cfg), solve.WithTol(1e-6), solve.WithMaxIter(120),
+			}, extra...)
+			res, err := solve.MustNew(method).Solve(a, bs, opts...)
+			if !usable(err) {
 				return nil
 			}
 			return res
 		}
-		rate := func(res *parcg.Result) float64 {
+		rate := func(res *solve.Result) float64 {
 			if res == nil {
 				return math.NaN()
 			}
 			return res.PerIterTime()
 		}
-		total := func(res *parcg.Result) float64 {
-			if res == nil || len(res.IterClocks) == 0 {
+		total := func(res *solve.Result) float64 {
+			if res == nil {
 				return math.NaN()
 			}
-			return res.IterClocks[len(res.IterClocks)-1]
+			return res.TotalTime()
 		}
-		opt := parcg.Options{Tol: 1e-6, MaxIter: 120}
-		cg := rate(run(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.CG(m, dm, b, opt)
-		}))
-		pipe := rate(run(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.PipeCG(m, dm, b, opt)
-		}))
-		vrRes := run(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.VRCG(m, dm, b, parcg.VROptions{Options: opt, K: 8})
-		})
-		ssRes := run(func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist) (*parcg.Result, error) {
-			return parcg.VRCG(m, dm, b, parcg.VROptions{Options: opt, K: 8, Blocking: true})
-		})
+		cg := rate(run("parcg-cg"))
+		pipe := rate(run("parcg-pipe"))
+		vrRes := run("parcg", solve.WithLookahead(8))
+		ssRes := run("parcg", solve.WithLookahead(8), solve.WithBlocking(true))
 		t.AddRow(alpha, cg, pipe, rate(vrRes), cg/rate(vrRes), total(vrRes), total(ssRes))
 	}
 	t.Notes = append(t.Notes,

@@ -36,7 +36,7 @@ func NewIterator(a mat.Matrix, b vec.Vector, o Options) (*Iterator, error) {
 		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
 	}
 	if o.K < 0 {
-		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0", o.K)
+		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0: %w", o.K, krylov.ErrBadOption)
 	}
 	if o.X0 != nil && o.X0.Len() != a.Dim() {
 		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)

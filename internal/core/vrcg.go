@@ -124,7 +124,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
 	}
 	if o.K < 0 {
-		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0", o.K)
+		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0: %w", o.K, krylov.ErrBadOption)
 	}
 	n := a.Dim()
 	if o.MaxIter == 0 {

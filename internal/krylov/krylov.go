@@ -27,6 +27,12 @@ var ErrIndefinite = errors.New("krylov: operator not positive definite")
 // degenerate scalar and cannot continue.
 var ErrBreakdown = errors.New("krylov: iteration breakdown")
 
+// ErrBadOption is returned when solver options are invalid for the
+// method (negative look-ahead, zero block size, and the like). All
+// solver packages wrap it so callers can errors.Is against one sentinel
+// regardless of the method.
+var ErrBadOption = errors.New("krylov: invalid solver option")
+
 // Stats counts the work an iterative solve performed. Flops follow the
 // usual convention: 2n per inner product or axpy, 2*nnz per sparse
 // matrix–vector product.

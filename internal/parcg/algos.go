@@ -8,6 +8,7 @@ import (
 	"vrcg/internal/collective"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
+	"vrcg/internal/mat"
 	"vrcg/internal/vec"
 )
 
@@ -87,7 +88,8 @@ func CG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error)
 	o = o.withDefaults(n)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
-		return nil, fmt.Errorf("parcg: processor count mismatch")
+		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
+			m.P(), p, b.Parts(), mat.ErrDim)
 	}
 
 	x := NewDist(n, p)
@@ -161,7 +163,8 @@ func PipeCG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, er
 	o = o.withDefaults(n)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
-		return nil, fmt.Errorf("parcg: processor count mismatch")
+		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
+			m.P(), p, b.Parts(), mat.ErrDim)
 	}
 
 	x := NewDist(n, p)

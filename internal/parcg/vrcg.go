@@ -8,6 +8,7 @@ import (
 	"vrcg/internal/core"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
+	"vrcg/internal/mat"
 )
 
 // VROptions configures the distributed restructured CG.
@@ -94,11 +95,12 @@ func VRCG(m *machine.Machine, dm *DistMatrix, b *Dist, o VROptions) (*Result, er
 	o.Options = o.Options.withDefaults(n)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
-		return nil, fmt.Errorf("parcg: processor count mismatch")
+		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
+			m.P(), p, b.Parts(), mat.ErrDim)
 	}
 	k := o.K
 	if k < 1 {
-		return nil, fmt.Errorf("parcg: VRCG needs K >= 1, got %d", k)
+		return nil, fmt.Errorf("parcg: VRCG needs K >= 1, got %d: %w", k, krylov.ErrBadOption)
 	}
 
 	// Spectral scaling: internally solve (A/s) x = b/s with s the

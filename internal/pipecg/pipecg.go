@@ -29,6 +29,10 @@ type Options struct {
 	X0 vec.Vector
 	// RecordHistory enables Result.History.
 	RecordHistory bool
+	// Callback, when non-nil, is invoked after each iteration with the
+	// iteration number and current residual norm; returning false stops
+	// the solve early.
+	Callback func(iter int, resNorm float64) bool
 }
 
 func matvecFlops(a mat.Matrix) int64 {
@@ -165,6 +169,9 @@ func GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		res.Stats.Flops += 4 * int64(n)
 		res.Iterations++
 		record()
+		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(math.Max(gamma, 0))) {
+			break
+		}
 	}
 	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
 		res.Converged = true
@@ -256,6 +263,9 @@ func Gropp(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		gamma = gammaNew
 		res.Iterations++
 		record()
+		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(math.Max(gamma, 0))) {
+			break
+		}
 	}
 	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
 		res.Converged = true

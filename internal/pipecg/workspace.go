@@ -156,6 +156,9 @@ func (ws *Workspace) GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (Res
 		res.Stats.Flops += 4 * int64(n)
 		res.Iterations++
 		record()
+		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(math.Max(gamma, 0))) {
+			break
+		}
 	}
 	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
 		res.Converged = true

@@ -31,6 +31,11 @@ type Options struct {
 	X0 vec.Vector
 	// RecordHistory enables Result.History.
 	RecordHistory bool
+	// Callback, when non-nil, is invoked after each CG step (including
+	// the steps inside a block) with the iteration number and that
+	// step's recurrence residual norm; returning false stops the solve
+	// at the end of the current block.
+	Callback func(iter int, resNorm float64) bool
 	// Pool, when non-nil, routes the block-basis matvecs, the batched
 	// Gram inner products, and the combination axpys through the shared
 	// worker-pool execution engine. Nil keeps the serial kernels.
@@ -77,7 +82,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		return nil, fmt.Errorf("sstep: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
 	}
 	if o.S < 1 {
-		return nil, fmt.Errorf("sstep: block size S = %d must be >= 1", o.S)
+		return nil, fmt.Errorf("sstep: block size S = %d must be >= 1: %w", o.S, krylov.ErrBadOption)
 	}
 	if o.X0 != nil && o.X0.Len() != a.Dim() {
 		return nil, fmt.Errorf("sstep: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
@@ -291,17 +296,25 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		applyCombo(upd, cp)
 		p.CopyFrom(upd)
 
+		base := res.Iterations
 		res.Iterations += steps
 		res.Blocks++
-		for _, v := range stepRRs {
+		stopped := false
+		for i, v := range stepRRs {
 			rr = v
 			record()
+			if !stopped && o.Callback != nil && !o.Callback(base+i+1, math.Sqrt(math.Max(rr, 0))) {
+				stopped = true
+			}
 		}
 		// Direct residual resync once per block bounds the recurrence
 		// drift (the block-boundary stabilization the literature uses).
 		rr = pdot(o.Pool, r, r)
 		res.Stats.InnerProducts++
 		res.Stats.Flops += 2 * int64(n)
+		if stopped {
+			break
+		}
 		if broke && math.Sqrt(math.Max(rr, 0)) > threshold && steps < s {
 			// The block basis went numerically rank-deficient early;
 			// the next block restarts from the repaired r, p.

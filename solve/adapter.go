@@ -1,0 +1,40 @@
+package solve
+
+import (
+	"fmt"
+)
+
+// preflight rejects a solve whose context is already dead, before any
+// work is done.
+func (c *config) preflight(name string) error {
+	if c.ctx != nil && c.ctx.Err() != nil {
+		return fmt.Errorf("solve: %s not started: %w", name, c.ctx.Err())
+	}
+	return nil
+}
+
+// finish applies the shared exit policy every adapter funnels through:
+// internal errors pass straight out (they already wrap a sentinel from
+// errors.go), cancellation wraps ctx.Err(), an un-converged run that
+// was not deliberately stopped by a monitor wraps ErrNotConverged, and
+// a monitor stop is a clean return. res is always returned, so callers
+// inspecting a wrapped error still see the partial outcome.
+func finish(c *config, res *Result, err error, canceled, stopped bool) (*Result, error) {
+	if err != nil {
+		return res, err
+	}
+	if res.Converged {
+		// A cancellation that lands on the converging iteration does
+		// not demote the solve: the solution is done.
+		return res, nil
+	}
+	if canceled {
+		return res, fmt.Errorf("solve: %s canceled at iteration %d: %w",
+			res.Method, res.Iterations, c.ctx.Err())
+	}
+	if !stopped {
+		return res, fmt.Errorf("solve: %s stopped after %d iterations with residual %.3e: %w",
+			res.Method, res.Iterations, res.ResidualNorm, ErrNotConverged)
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package solve
+
+import (
+	"vrcg/internal/krylov"
+	"vrcg/internal/precond"
+	"vrcg/internal/vec"
+)
+
+// krylovSolver adapts the classic iterations of internal/krylov. The
+// workspace-backed methods (cg, pcg) keep a krylov.Workspace across
+// Solve calls, rebuilt only when the system order or pool changes, so
+// steady-state repeated solves allocate nothing.
+type krylovSolver struct {
+	name string
+	run  func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error)
+	ws   *krylov.Workspace
+}
+
+func (s *krylovSolver) Name() string { return s.name }
+
+func (s *krylovSolver) workspace(n int, pool *vec.Pool) *krylov.Workspace {
+	if s.ws == nil || s.ws.Dim() != n || s.ws.Pool() != pool {
+		s.ws = krylov.NewWorkspace(n, pool)
+	}
+	return s.ws
+}
+
+func (s *krylovSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+	c := newConfig(opts)
+	if err := c.preflight(s.name); err != nil {
+		return nil, err
+	}
+	var canceled, stopped bool
+	o := krylov.Options{
+		Tol:           c.tol,
+		MaxIter:       c.maxIter,
+		X0:            c.x0,
+		RecordHistory: c.history,
+		Callback:      c.callback(&canceled, &stopped),
+	}
+	kres, err := s.run(s, a, b, c, o)
+	if kres == nil {
+		return nil, err
+	}
+	res := &Result{
+		Method:           s.name,
+		X:                kres.X,
+		Iterations:       kres.Iterations,
+		Converged:        kres.Converged,
+		ResidualNorm:     kres.ResidualNorm,
+		TrueResidualNorm: kres.TrueResidualNorm,
+		History:          kres.History,
+		Stats:            kres.Stats,
+		// The classic iterations block on every inner product: each
+		// one is a completed global reduction on the machine model.
+		Syncs: kres.Stats.InnerProducts,
+	}
+	return finish(c, res, err, canceled, stopped)
+}
+
+// preconditioner resolves the pcg preconditioner: the caller's, or the
+// identity (PCG arithmetic with M = I).
+func (c *config) preconditioner(n int) precond.Preconditioner {
+	if c.precond != nil {
+		return c.precond
+	}
+	return precond.NewIdentity(n)
+}
+
+func init() {
+	Register("cg", "standard Hestenes-Stiefel CG (paper §2), workspace-backed",
+		func() Solver {
+			return &krylovSolver{name: "cg", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+				r, err := s.workspace(a.Dim(), c.pool).CG(a, b, o)
+				return &r, err
+			}}
+		})
+	Register("cgfused", "standard CG with the fused-kernel update path",
+		func() Solver {
+			return &krylovSolver{name: "cgfused", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+				return krylov.CGFused(a, b, c.pool, o)
+			}}
+		})
+	Register("pcg", "preconditioned CG (WithPreconditioner; identity default), workspace-backed",
+		func() Solver {
+			return &krylovSolver{name: "pcg", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+				r, err := s.workspace(a.Dim(), c.pool).PCG(a, c.preconditioner(a.Dim()), b, o)
+				return &r, err
+			}}
+		})
+	Register("cr", "conjugate residuals (minimizes ||b - A x||)",
+		func() Solver {
+			return &krylovSolver{name: "cr", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+				return krylov.CR(a, b, o)
+			}}
+		})
+	Register("sd", "steepest descent with exact line search (baseline)",
+		func() Solver {
+			return &krylovSolver{name: "sd", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+				return krylov.SteepestDescent(a, b, o)
+			}}
+		})
+	Register("minres", "MINRES (symmetric indefinite baseline)",
+		func() Solver {
+			return &krylovSolver{name: "minres", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+				return krylov.MINRES(a, b, o)
+			}}
+		})
+}

@@ -1,0 +1,72 @@
+package solve
+
+import (
+	"vrcg/internal/pipecg"
+	"vrcg/internal/vec"
+)
+
+// pipecgSolver adapts the pipelined successors (internal/pipecg):
+// Ghysels–Vanroose single-reduction CG (workspace-backed) and Gropp's
+// two-reduction asynchronous variant. syncsPerIter is the method's
+// blocking-reduction count per iteration (each overlapped with other
+// work, but still waited on once per iteration).
+type pipecgSolver struct {
+	name         string
+	syncsPerIter int
+	run          func(s *pipecgSolver, a Operator, b vec.Vector, c *config, o pipecg.Options) (*pipecg.Result, error)
+	ws           *pipecg.Workspace
+}
+
+func (s *pipecgSolver) Name() string { return s.name }
+
+func (s *pipecgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+	c := newConfig(opts)
+	if err := c.preflight(s.name); err != nil {
+		return nil, err
+	}
+	var canceled, stopped bool
+	o := pipecg.Options{
+		MaxIter:       c.maxIter,
+		Tol:           c.tol,
+		X0:            c.x0,
+		RecordHistory: c.history,
+		Callback:      c.callback(&canceled, &stopped),
+	}
+	pres, err := s.run(s, a, b, c, o)
+	if pres == nil {
+		return nil, err
+	}
+	res := &Result{
+		Method:           s.name,
+		X:                pres.X,
+		Iterations:       pres.Iterations,
+		Converged:        pres.Converged,
+		ResidualNorm:     pres.ResidualNorm,
+		TrueResidualNorm: pres.TrueResidualNorm,
+		History:          pres.History,
+		Stats:            pres.Stats,
+		Syncs:            s.syncsPerIter*pres.Iterations + 1,
+	}
+	return finish(c, res, err, canceled, stopped)
+}
+
+func init() {
+	Register("pipecg", "Ghysels-Vanroose pipelined CG (one fused reduction/iter), workspace-backed",
+		func() Solver {
+			return &pipecgSolver{name: "pipecg", syncsPerIter: 1,
+				run: func(s *pipecgSolver, a Operator, b vec.Vector, c *config, o pipecg.Options) (*pipecg.Result, error) {
+					if s.ws == nil || s.ws.Dim() != a.Dim() || s.ws.Pool() != c.pool {
+						s.ws = pipecg.NewWorkspace(a.Dim(), c.pool)
+					}
+					r, err := s.ws.GhyselsVanroose(a, b, o)
+					return &r, err
+				}}
+		})
+	Register("gropp", "Gropp asynchronous CG (two overlapped reductions/iter)",
+		func() Solver {
+			return &pipecgSolver{name: "gropp", syncsPerIter: 2,
+				run: func(s *pipecgSolver, a Operator, b vec.Vector, c *config, o pipecg.Options) (*pipecg.Result, error) {
+					return pipecg.Gropp(a, b, o)
+				}}
+		})
+}

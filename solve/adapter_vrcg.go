@@ -1,0 +1,71 @@
+package solve
+
+import (
+	"vrcg/internal/core"
+	"vrcg/internal/vec"
+)
+
+// vrcgSolver adapts the paper's restructured look-ahead CG
+// (internal/core). WithLookahead sets k; WithReanchorEvery,
+// WithWindowOnlyReanchor, WithValidateEvery, and
+// WithResidualReplaceEvery expose the stabilization machinery the
+// finite-precision experiments sweep. Result.Drift reports the
+// recurrence diagnostics.
+type vrcgSolver struct{}
+
+func (vrcgSolver) Name() string { return "vrcg" }
+
+func (vrcgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+	c := newConfig(opts)
+	if err := c.preflight("vrcg"); err != nil {
+		return nil, err
+	}
+	var canceled, stopped bool
+	o := core.Options{
+		K:                    c.lookahead,
+		MaxIter:              c.maxIter,
+		Tol:                  c.tol,
+		X0:                   c.x0,
+		RecordHistory:        c.history,
+		ReanchorEvery:        c.reanchorEvery,
+		WindowOnlyReanchor:   c.windowOnly,
+		ValidateEvery:        c.validateEvery,
+		ResidualReplaceEvery: c.resReplace,
+		Callback:             c.callback(&canceled, &stopped),
+		Pool:                 c.pool,
+	}
+	vres, err := core.Solve(a, b, o)
+	if vres == nil {
+		return nil, err
+	}
+	res := &Result{
+		Method:           "vrcg",
+		X:                vres.X,
+		Iterations:       vres.Iterations,
+		Converged:        vres.Converged,
+		ResidualNorm:     vres.ResidualNorm,
+		TrueResidualNorm: vres.TrueResidualNorm,
+		History:          vres.History,
+		Stats:            vres.Stats,
+		Drift: &Drift{
+			MaxRelRR:       vres.Drift.MaxRelRR,
+			MaxRelPAP:      vres.Drift.MaxRelPAP,
+			Checks:         vres.Drift.Checks,
+			Reanchors:      vres.Reanchors,
+			Refreshes:      vres.Refreshes,
+			Replacements:   vres.Replacements,
+			FallbackDots:   vres.FallbackDots,
+			ValidationDots: vres.ValidationDots,
+		},
+		// The per-iteration window tops ride the k-deep pipeline; the
+		// schedule only blocks at start-up and at each stabilization
+		// or drift-fallback event.
+		Syncs: 1 + vres.Reanchors + vres.Replacements + vres.FallbackDots,
+	}
+	return finish(c, res, err, canceled, stopped)
+}
+
+func init() {
+	Register("vrcg", "the paper's restructured look-ahead CG (WithLookahead k, §5 recurrences)",
+		func() Solver { return vrcgSolver{} })
+}

@@ -1,0 +1,44 @@
+package solve
+
+import (
+	"errors"
+
+	"vrcg/internal/krylov"
+	"vrcg/internal/mat"
+)
+
+// ErrNotConverged is returned (wrapped with per-method detail: method
+// name, iterations spent, final residual) when a solve exhausts its
+// iteration budget without meeting the tolerance. The Result returned
+// alongside it is valid — callers that consider a partial solve
+// acceptable test errors.Is(err, ErrNotConverged) and keep going.
+var ErrNotConverged = errors.New("solve: did not converge within the iteration limit")
+
+// ErrUnknownMethod is returned by New for names missing from the
+// registry.
+var ErrUnknownMethod = errors.New("solve: unknown method")
+
+// ErrUnsupportedOperator is returned when a method needs a concrete
+// operator type the caller did not supply (the distributed methods
+// need *mat.CSR to build their halo partition).
+var ErrUnsupportedOperator = errors.New("solve: operator type not supported by this method")
+
+// Sentinels from the internal solver packages, re-exported so callers
+// can errors.Is against this package alone. Every error a registered
+// method returns wraps one of the sentinels in this file, except
+// cancellation: a solve stopped through WithContext wraps ctx.Err()
+// (context.Canceled or context.DeadlineExceeded).
+var (
+	// ErrIndefinite: the operator is not positive definite (a
+	// curvature <p, Ap> <= 0 was encountered).
+	ErrIndefinite = krylov.ErrIndefinite
+	// ErrBreakdown: an iteration produced a non-finite or degenerate
+	// scalar and cannot continue.
+	ErrBreakdown = krylov.ErrBreakdown
+	// ErrBadOption: solver options invalid for the method (negative
+	// look-ahead, zero block size, ...).
+	ErrBadOption = krylov.ErrBadOption
+	// ErrDim: dimension mismatch between operator, right-hand side,
+	// initial guess, or preconditioner.
+	ErrDim = mat.ErrDim
+)

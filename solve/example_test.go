@@ -1,0 +1,144 @@
+package solve_test
+
+import (
+	"errors"
+	"fmt"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/precond"
+	"vrcg/internal/vec"
+	"vrcg/solve"
+)
+
+// system builds a small 2D Poisson problem with a manufactured
+// solution, so every example checks a system whose answer is known.
+func system(m int) (*mat.CSR, vec.Vector) {
+	a := mat.Poisson2D(m)
+	x := vec.New(a.Dim())
+	vec.Random(x, 1)
+	b := vec.New(a.Dim())
+	a.MulVec(b, x)
+	return a, b
+}
+
+// The front door: build a solver by name, run it, read one canonical
+// Result regardless of method.
+func ExampleNew() {
+	a, b := system(16)
+	s, err := solve.New("cg")
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Solve(a, b, solve.WithTol(1e-10))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s converged=%v, true residual below 1e-8: %v\n",
+		res.Method, res.Converged, res.TrueResidualNorm < 1e-8*vec.Norm2(b))
+	// Output:
+	// cg converged=true, true residual below 1e-8: true
+}
+
+// Preconditioned CG takes its preconditioner as an option; everything
+// in internal/precond satisfies solve.Preconditioner.
+func ExampleNew_pcg() {
+	a, b := system(16)
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		panic(err)
+	}
+	res, err := solve.MustNew("pcg").Solve(a, b,
+		solve.WithPreconditioner(jac), solve.WithTol(1e-10))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pcg converged=%v, preconditioner solves=%v\n",
+		res.Converged, res.Stats.PrecondSolves > 0)
+	// Output:
+	// pcg converged=true, preconditioner solves=true
+}
+
+// The paper's restructured look-ahead CG: WithLookahead sets the
+// pipeline depth k, and Result.Drift reports how the scalar
+// recurrences behaved in floating point.
+func ExampleNew_vrcg() {
+	a, b := system(16)
+	res, err := solve.MustNew("vrcg").Solve(a, b,
+		solve.WithLookahead(3), solve.WithTol(1e-10), solve.WithValidateEvery(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("vrcg converged=%v, drift checks=%v, blocking syncs < dots: %v\n",
+		res.Converged, res.Drift.Checks > 0, res.Syncs < res.Stats.InnerProducts)
+	// Output:
+	// vrcg converged=true, drift checks=true, blocking syncs < dots: true
+}
+
+// Ghysels–Vanroose pipelined CG: one fused reduction per iteration, so
+// the blocking-sync count tracks the iteration count instead of the
+// inner-product count.
+func ExampleNew_pipecg() {
+	a, b := system(16)
+	res, err := solve.MustNew("pipecg").Solve(a, b, solve.WithTol(1e-10))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pipecg converged=%v, syncs=iterations+1: %v\n",
+		res.Converged, res.Syncs == res.Iterations+1)
+	// Output:
+	// pipecg converged=true, syncs=iterations+1: true
+}
+
+// Chronopoulos–Gear s-step CG: WithBlockSize sets the block; the
+// reductions amortize across it (Result.Blocks counts blocks).
+func ExampleNew_sstep() {
+	a, b := system(16)
+	res, err := solve.MustNew("sstep").Solve(a, b,
+		solve.WithBlockSize(4), solve.WithTol(1e-10))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sstep converged=%v, blocks < iterations: %v\n",
+		res.Converged, res.Blocks < res.Iterations)
+	// Output:
+	// sstep converged=true, blocks < iterations: true
+}
+
+// The distributed methods run the same mathematics on a simulated
+// P-processor machine and report the parallel-time trajectory the
+// paper reasons about.
+func ExampleNew_parcg() {
+	a, b := system(16)
+	res, err := solve.MustNew("parcg").Solve(a, b,
+		solve.WithLookahead(2), solve.WithProcessors(8), solve.WithTol(1e-8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parcg converged=%v, has clock trajectory: %v\n",
+		res.Converged, len(res.Clocks) == res.Iterations)
+	// Output:
+	// parcg converged=true, has clock trajectory: true
+}
+
+// Solvers report non-convergence through one sentinel: the partial
+// Result stays usable behind errors.Is.
+func ExampleErrNotConverged() {
+	a, b := system(16)
+	res, err := solve.MustNew("cg").Solve(a, b, solve.WithTol(1e-12), solve.WithMaxIter(5))
+	fmt.Printf("not converged: %v after %d iterations\n",
+		errors.Is(err, solve.ErrNotConverged), res.Iterations)
+	// Output:
+	// not converged: true after 5 iterations
+}
+
+// The registry drives CLIs: method vocabulary and help text come from
+// Methods and Summary, so adding a solver never touches the CLI.
+func ExampleMethods() {
+	for _, name := range solve.Methods()[:3] {
+		fmt.Println(name)
+	}
+	// Output:
+	// cg
+	// cgfused
+	// cr
+}

@@ -1,0 +1,169 @@
+package solve
+
+import (
+	"context"
+
+	"vrcg/internal/machine"
+	"vrcg/internal/vec"
+)
+
+// Option configures a single Solve call. Options apply uniformly across
+// methods; a method ignores options it has no use for, so one option
+// set can drive every registered method in a sweep. Each option
+// documents which methods consume it.
+type Option func(*config)
+
+// config is the resolved option set one Solve call runs under.
+type config struct {
+	tol     float64
+	maxIter int
+	x0      vec.Vector
+	pool    *vec.Pool
+	precond Preconditioner
+	history bool
+	ctx     context.Context
+	monitor Monitor
+
+	lookahead     int // vrcg / parcg K
+	reanchorEvery int
+	windowOnly    bool
+	validateEvery int
+	resReplace    int
+	blockSize     int // sstep S
+
+	procs      int // parcg processor count
+	machineCfg machine.Config
+	machineSet bool
+	blocking   bool
+	noScaling  bool
+}
+
+func newConfig(opts []Option) *config {
+	c := &config{
+		lookahead: 2,
+		blockSize: 4,
+		procs:     8,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WithTol sets the relative residual tolerance ||r|| <= tol*||b||.
+// Zero selects the method default (1e-10 for the shared-memory
+// methods, 1e-8 for the distributed ones). All methods.
+func WithTol(tol float64) Option { return func(c *config) { c.tol = tol } }
+
+// WithMaxIter bounds the iteration count. Zero selects the method
+// default (10n shared-memory, 2n distributed). All methods.
+func WithMaxIter(n int) Option { return func(c *config) { c.maxIter = n } }
+
+// WithX0 sets the initial guess (nil means the zero vector). The
+// vector is not modified. All shared-memory methods; the distributed
+// methods start from zero.
+func WithX0(x0 vec.Vector) Option { return func(c *config) { c.x0 = x0 } }
+
+// WithPool routes the solver's hot-path kernels — SpMV, dots, axpys —
+// through the shared worker-pool execution engine. Nil keeps the
+// serial kernels. Workspace-backed solvers rebuild their workspace
+// when the pool changes between calls. Consumed by cg, cgfused, pcg,
+// vrcg, pipecg, and sstep; the remaining methods (cr, sd, minres,
+// gropp, and the simulated-machine parcg family) have no pooled
+// kernels and always run serially.
+func WithPool(p *vec.Pool) Option { return func(c *config) { c.pool = p } }
+
+// WithPreconditioner supplies M^{-1} for "pcg". Unset defaults to the
+// identity (plain CG arithmetic with PCG's operation count).
+func WithPreconditioner(m Preconditioner) Option { return func(c *config) { c.precond = m } }
+
+// WithHistory records per-iteration residual norms into
+// Result.History (History[0] is the initial residual). All
+// shared-memory methods; the distributed methods record Result.Clocks
+// instead.
+func WithHistory(record bool) Option { return func(c *config) { c.history = record } }
+
+// WithContext makes the solve cancelable: the context is polled every
+// iteration (every s-step block for "sstep", which finishes the block
+// in flight before stopping) and the solve returns a partial Result
+// with an error wrapping ctx.Err(). The distributed methods check it
+// only at entry.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
+// WithMonitor attaches a per-iteration observer; returning false from
+// Observe stops the solve early, without error. Shared-memory methods.
+func WithMonitor(m Monitor) Option { return func(c *config) { c.monitor = m } }
+
+// WithLookahead sets the look-ahead parameter k of the paper's
+// restructured recurrences: "vrcg" (k >= 0; the §5 window depth,
+// default 2) and "parcg" (k >= 1; the anchor pipeline depth).
+func WithLookahead(k int) Option {
+	return func(c *config) { c.lookahead = k }
+}
+
+// WithReanchorEvery sets the stabilization interval of "vrcg": every n
+// iterations the scalar windows are recomputed from direct inner
+// products. 0 selects the k-dependent default; negative disables
+// re-anchoring (the paper's pure exact-arithmetic recurrences).
+func WithReanchorEvery(n int) Option { return func(c *config) { c.reanchorEvery = n } }
+
+// WithWindowOnlyReanchor restricts "vrcg" re-anchoring to the scalar
+// windows, skipping the 2k+1 family-rebuild matvecs — the paper-pure
+// cost profile of exactly one matvec per iteration.
+func WithWindowOnlyReanchor(on bool) Option { return func(c *config) { c.windowOnly = on } }
+
+// WithValidateEvery makes "vrcg" compute diagnostic-only direct inner
+// products every n iterations, populating Result.Drift.
+func WithValidateEvery(n int) Option { return func(c *config) { c.validateEvery = n } }
+
+// WithResidualReplaceEvery makes "vrcg" replace the recursive residual
+// with the true residual b - A x every n iterations (van der Vorst–Ye
+// stabilization). 0 disables.
+func WithResidualReplaceEvery(n int) Option { return func(c *config) { c.resReplace = n } }
+
+// WithBlockSize sets the block size s of "sstep" (s >= 1; s = 1 is
+// standard CG). Default 4, the practical ceiling of the monomial
+// basis.
+func WithBlockSize(s int) Option { return func(c *config) { c.blockSize = s } }
+
+// WithProcessors sets the processor count of the simulated machine the
+// "parcg*" methods run on. Default 8. Ignored when WithMachineConfig
+// supplies a full configuration (its P wins).
+func WithProcessors(p int) Option { return func(c *config) { c.procs = p } }
+
+// WithMachineConfig supplies the full simulated-machine cost model
+// (P, message latency alpha, per-word time beta, flop time) for the
+// "parcg*" methods. Unset uses machine.DefaultConfig(P).
+func WithMachineConfig(cfg machine.Config) Option {
+	return func(c *config) { c.machineCfg = cfg; c.machineSet = true }
+}
+
+// WithBlocking makes "parcg" wait for each anchor's batched reduction
+// at issue instead of pipelining it behind k iterations — the s-step
+// (Chronopoulos–Gear) timing semantics, the paper's Figure 1 contrast.
+func WithBlocking(on bool) Option { return func(c *config) { c.blocking = on } }
+
+// WithSpectralScaling toggles the Gershgorin spectral scaling of
+// "parcg" (default on). Disabling it is the A3 ablation: unscaled Gram
+// sequences span ||A||^(4k) and overflow for deep look-ahead.
+func WithSpectralScaling(on bool) Option { return func(c *config) { c.noScaling = !on } }
+
+// callback folds the context and monitor into the per-iteration
+// callback the internal solvers accept, recording why the solve
+// stopped so finish can distinguish cancellation from a monitor stop.
+func (c *config) callback(canceled, stopped *bool) func(int, float64) bool {
+	if c.ctx == nil && c.monitor == nil {
+		return nil
+	}
+	return func(iter int, resNorm float64) bool {
+		if c.ctx != nil && c.ctx.Err() != nil {
+			*canceled = true
+			return false
+		}
+		if c.monitor != nil && !c.monitor.Observe(iter, resNorm) {
+			*stopped = true
+			return false
+		}
+		return true
+	}
+}

@@ -1,0 +1,119 @@
+package solve
+
+import (
+	"math"
+	"sort"
+
+	"vrcg/internal/krylov"
+	"vrcg/internal/machine"
+	"vrcg/internal/vec"
+)
+
+// Result is the canonical outcome of a solve, shared by every
+// registered method. Fields a method does not produce stay at their
+// zero values (Drift is nil outside "vrcg", Clocks nil outside
+// "parcg*", Blocks zero outside "sstep").
+type Result struct {
+	// Method is the registry name of the solver that produced this.
+	Method string
+	// X is the final iterate. It may alias solver-owned workspace
+	// storage: valid until the next Solve on the same Solver.
+	X vec.Vector
+	// Iterations performed.
+	Iterations int
+	// Converged reports whether the residual tolerance was met.
+	Converged bool
+	// ResidualNorm is the final (recursively updated) residual 2-norm.
+	ResidualNorm float64
+	// TrueResidualNorm is ||b - A x|| computed directly at exit.
+	TrueResidualNorm float64
+	// History holds per-iteration residual norms when WithHistory was
+	// given (History[0] is the initial residual).
+	History []float64
+	// Stats counts the arithmetic work performed (matvecs, inner
+	// products, vector updates, preconditioner solves, flops).
+	Stats krylov.Stats
+	// Syncs estimates the blocking global-synchronization points of
+	// the schedule — the reductions whose completion the iteration had
+	// to wait for. This is the quantity the paper minimizes: standard
+	// CG blocks on every inner product (Syncs ~ Stats.InnerProducts),
+	// pipelined CG on one fused reduction per iteration, s-step CG on
+	// two per block, and the restructured method only on start-up,
+	// re-anchors, and drift fallbacks — its per-iteration reductions
+	// ride k iterations behind the pipeline.
+	Syncs int
+	// Blocks is the number of s-step blocks executed ("sstep" only).
+	Blocks int
+	// Drift holds the recurrence drift diagnostics of "vrcg": how far
+	// the scalar recurrences wandered from direct inner products, and
+	// the stabilization work spent keeping them honest.
+	Drift *Drift
+	// Clocks is the simulated parallel-time trajectory of the
+	// distributed methods: Clocks[i] is the machine's max clock after
+	// iteration i+1.
+	Clocks []float64
+	// Machine holds the simulated communication totals of the
+	// distributed methods.
+	Machine *machine.Stats
+}
+
+// Drift reports how the "vrcg" scalar recurrences behaved in floating
+// point, and what stabilization they required.
+type Drift struct {
+	// MaxRelRR / MaxRelPAP are the maximum relative errors of the
+	// recurrence (r,r) and (p,Ap) against direct inner products,
+	// measured at WithValidateEvery checkpoints.
+	MaxRelRR  float64
+	MaxRelPAP float64
+	// Checks counts drift checkpoints taken.
+	Checks int
+	// Reanchors counts direct window recomputations; Refreshes counts
+	// family rebuilds (2k+1 matvecs each); Replacements counts
+	// true-residual replacements.
+	Reanchors    int
+	Refreshes    int
+	Replacements int
+	// FallbackDots counts direct inner products forced by a
+	// non-positive recurrence value (a drift symptom near
+	// convergence); ValidationDots counts diagnostic-only products.
+	FallbackDots   int
+	ValidationDots int
+}
+
+// PerIterTime estimates the steady-state simulated parallel time per
+// iteration of a distributed solve as the median clock increment after
+// the start-up transient. NaN when the result has no Clocks (the
+// shared-memory methods) or fewer than two iterations.
+func (r *Result) PerIterTime() float64 {
+	n := len(r.Clocks)
+	if n < 2 {
+		return math.NaN()
+	}
+	skip := n / 4
+	if skip < 1 {
+		skip = 1
+	}
+	deltas := make([]float64, 0, n-skip)
+	for i := skip; i < n; i++ {
+		deltas = append(deltas, r.Clocks[i]-r.Clocks[i-1])
+	}
+	sort.Float64s(deltas)
+	m := len(deltas)
+	if m == 0 {
+		return math.NaN()
+	}
+	if m%2 == 1 {
+		return deltas[m/2]
+	}
+	return 0.5 * (deltas[m/2-1] + deltas[m/2])
+}
+
+// TotalTime returns the final simulated machine clock of a distributed
+// solve — the end-to-end parallel time including start-up. NaN for the
+// shared-memory methods.
+func (r *Result) TotalTime() float64 {
+	if len(r.Clocks) == 0 {
+		return math.NaN()
+	}
+	return r.Clocks[len(r.Clocks)-1]
+}

@@ -1,0 +1,91 @@
+// Package solve is the single front door to every conjugate gradient
+// variant in this repository. It presents one Solver interface, one
+// canonical Result, and a method registry, so the paper's comparison —
+// how the five inner-product data-dependency strategies trade blocking
+// reductions for pipeline depth — is a one-line method swap:
+//
+//	s, err := solve.New("vrcg")
+//	res, err := s.Solve(a, b, solve.WithTol(1e-10), solve.WithLookahead(4))
+//
+// Registered methods (solve.Methods() lists them at runtime):
+//
+//   - "cg", "cgfused": standard Hestenes–Stiefel CG (paper §2), plain
+//     and fused-kernel forms
+//   - "pcg": preconditioned CG (pass WithPreconditioner)
+//   - "cr", "sd", "minres": conjugate residuals, steepest descent,
+//     MINRES baselines
+//   - "vrcg": the paper's restructured look-ahead CG (WithLookahead,
+//     WithReanchorEvery, ... control the §5 recurrences)
+//   - "pipecg", "gropp": Ghysels–Vanroose and Gropp pipelined CG, the
+//     production successors
+//   - "sstep": Chronopoulos–Gear s-step CG (WithBlockSize)
+//   - "parcg", "parcg-cg", "parcg-pipe": the same algorithms as
+//     distributed programs on the simulated machine (WithProcessors,
+//     WithMachineConfig), yielding parallel-time trajectories
+//
+// Configuration is by functional options. Options irrelevant to a
+// method are ignored (WithLookahead does nothing to "cg"), so one
+// option set can drive a sweep over every method. Solvers built by New
+// own reusable zero-allocation workspaces: repeated Solve calls against
+// same-order operators allocate nothing in steady state for the
+// workspace-backed methods (cg, pcg, pipecg).
+package solve
+
+import (
+	"vrcg/internal/vec"
+)
+
+// Operator is a square linear operator A; all methods need only
+// matrix–vector products, so operators may be matrix-free. Every
+// matrix type in internal/mat satisfies it. Operators that additionally
+// implement mat.PoolMulVec (CSR does) run their products on the worker
+// pool when WithPool is given; the distributed methods ("parcg*")
+// require a *mat.CSR, whose sparsity defines the halo partition.
+type Operator interface {
+	// Dim returns the order n of the (n x n) operator.
+	Dim() int
+	// MulVec computes dst = A*x. dst and x must have length Dim and
+	// must not alias each other.
+	MulVec(dst, x vec.Vector)
+}
+
+// Preconditioner applies z = M^{-1} r. Implementations must be
+// symmetric positive definite so preconditioned CG remains well
+// defined. Every preconditioner in internal/precond satisfies it.
+type Preconditioner interface {
+	// Dim returns the operator order.
+	Dim() int
+	// Apply computes dst = M^{-1} r. dst and r must not alias.
+	Apply(dst, r vec.Vector)
+}
+
+// Monitor observes an iteration in flight. Observe is called after
+// each iteration with the iteration number and the current (recursive)
+// residual norm; returning false stops the solve early without error.
+// The distributed methods ("parcg*") run to completion and do not
+// invoke monitors.
+type Monitor interface {
+	Observe(iter int, resNorm float64) bool
+}
+
+// MonitorFunc adapts a plain function to the Monitor interface.
+type MonitorFunc func(iter int, resNorm float64) bool
+
+// Observe implements Monitor.
+func (f MonitorFunc) Observe(iter int, resNorm float64) bool { return f(iter, resNorm) }
+
+// Solver is one registered method, ready to run. A Solver owns its
+// workspace: repeated Solve calls against operators of the same order
+// reuse it, so the workspace-backed methods allocate nothing in steady
+// state. Consequently a Solver is NOT safe for concurrent Solve calls
+// (use one Solver per goroutine; they are cheap), and Result.X may
+// alias solver-owned storage — it is valid until the next Solve on the
+// same Solver; Clone it to keep it longer.
+type Solver interface {
+	// Name returns the registry name the solver was built under.
+	Name() string
+	// Solve runs the method on A x = b. The returned Result is non-nil
+	// whenever iterations were performed, even when err is non-nil
+	// (ErrNotConverged in particular always carries a usable Result).
+	Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error)
+}

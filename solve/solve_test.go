@@ -1,0 +1,198 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vrcg/internal/mat"
+	"vrcg/internal/vec"
+)
+
+func testSystem(m int, seed uint64) (*mat.CSR, vec.Vector) {
+	a := mat.Poisson2D(m)
+	x := vec.New(a.Dim())
+	vec.Random(x, seed)
+	b := vec.New(a.Dim())
+	a.MulVec(b, x)
+	return a, b
+}
+
+func TestRequiredMethodsRegistered(t *testing.T) {
+	for _, name := range []string{"cg", "pcg", "vrcg", "pipecg", "sstep", "parcg"} {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, s.Name())
+		}
+		if Summary(name) == "" {
+			t.Errorf("method %q registered without a summary", name)
+		}
+	}
+}
+
+func TestMethodsSortedAndUsable(t *testing.T) {
+	names := Methods()
+	if len(names) < 6 {
+		t.Fatalf("Methods() = %v, want at least the six core methods", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Methods() not sorted: %v", names)
+		}
+	}
+	a, b := testSystem(8, 3)
+	for _, name := range names {
+		res, err := MustNew(name).Solve(a, b, WithTol(1e-8))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Converged || res.Method != name {
+			t.Errorf("%s: converged=%v method=%q", name, res.Converged, res.Method)
+		}
+		if res.TrueResidualNorm > 1e-6*vec.Norm2(b) {
+			t.Errorf("%s: true residual %g too large", name, res.TrueResidualNorm)
+		}
+	}
+}
+
+func TestNewUnknownMethod(t *testing.T) {
+	if _, err := New("no-such-method"); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("New(unknown) = %v, want ErrUnknownMethod", err)
+	}
+}
+
+func TestNotConvergedSentinel(t *testing.T) {
+	a, b := testSystem(16, 5)
+	res, err := MustNew("cg").Solve(a, b, WithTol(1e-12), WithMaxIter(3))
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+	if res == nil || res.Iterations != 3 || res.Converged {
+		t.Fatalf("partial result = %+v, want 3 un-converged iterations", res)
+	}
+}
+
+func TestBadOptionSentinel(t *testing.T) {
+	a, b := testSystem(8, 7)
+	if _, err := MustNew("vrcg").Solve(a, b, WithLookahead(-1)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("vrcg k=-1: err = %v, want ErrBadOption", err)
+	}
+	if _, err := MustNew("sstep").Solve(a, b, WithBlockSize(0)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("sstep s=0: err = %v, want ErrBadOption", err)
+	}
+	if _, err := MustNew("parcg").Solve(a, b, WithLookahead(0)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("parcg k=0: err = %v, want ErrBadOption", err)
+	}
+}
+
+func TestUnsupportedOperatorSentinel(t *testing.T) {
+	n := 16
+	d := mat.NewDense(n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, 2)
+	}
+	b := vec.New(n)
+	b.Fill(1)
+	if _, err := MustNew("parcg").Solve(d, b); !errors.Is(err, ErrUnsupportedOperator) {
+		t.Fatalf("parcg on Dense: err = %v, want ErrUnsupportedOperator", err)
+	}
+}
+
+func TestMonitorStopsWithoutError(t *testing.T) {
+	a, b := testSystem(16, 9)
+	stopAt := 5
+	res, err := MustNew("cg").Solve(a, b,
+		WithMonitor(MonitorFunc(func(iter int, _ float64) bool { return iter < stopAt })))
+	if err != nil {
+		t.Fatalf("monitor stop returned error: %v", err)
+	}
+	if res.Iterations != stopAt {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, stopAt)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	a, b := testSystem(16, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := MustNew("cg").Solve(a, b,
+		WithContext(ctx),
+		WithMonitor(MonitorFunc(func(iter int, _ float64) bool {
+			if iter == 3 {
+				cancel()
+			}
+			return true
+		})))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Iterations < 3 || res.Iterations > 4 {
+		t.Fatalf("result = %+v, want cancellation right after iteration 3", res)
+	}
+
+	cancel2ed, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := MustNew("vrcg").Solve(a, b, WithContext(cancel2ed)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestHistoryAndDrift(t *testing.T) {
+	a, b := testSystem(12, 13)
+	res, err := MustNew("vrcg").Solve(a, b, WithLookahead(2), WithHistory(true), WithValidateEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Iterations+1 {
+		t.Errorf("history length %d for %d iterations", len(res.History), res.Iterations)
+	}
+	if res.Drift == nil || res.Drift.Checks == 0 {
+		t.Errorf("drift diagnostics missing: %+v", res.Drift)
+	}
+}
+
+func TestDistributedResultFields(t *testing.T) {
+	a, b := testSystem(12, 17)
+	res, err := MustNew("parcg").Solve(a, b, WithLookahead(2), WithProcessors(4), WithTol(1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clocks) != res.Iterations {
+		t.Errorf("clock trajectory length %d for %d iterations", len(res.Clocks), res.Iterations)
+	}
+	if res.Machine == nil || res.Machine.Messages == 0 {
+		t.Errorf("machine stats missing: %+v", res.Machine)
+	}
+	if t1 := res.PerIterTime(); t1 <= 0 {
+		t.Errorf("PerIterTime = %g", t1)
+	}
+	if tt := res.TotalTime(); tt <= 0 {
+		t.Errorf("TotalTime = %g", tt)
+	}
+}
+
+func TestWorkspaceReuseAcrossSolves(t *testing.T) {
+	a, b := testSystem(16, 19)
+	s := MustNew("cg")
+	first, err := s.Solve(a, b, WithTol(1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Iterations
+	x := first.X.Clone() // Result.X aliases the workspace
+	for rep := 0; rep < 3; rep++ {
+		res, err := s.Solve(a, b, WithTol(1e-8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != want {
+			t.Fatalf("rep %d: %d iterations, want %d", rep, res.Iterations, want)
+		}
+		if !res.X.Equal(x) {
+			t.Fatalf("rep %d: workspace reuse changed the solution", rep)
+		}
+	}
+}
