@@ -1,13 +1,18 @@
 # Build / test / benchmark entry points for the vrcg repository.
 #
 # `make bench` runs the execution-engine microbenchmarks (SpMV, dot,
-# fused CG update, PCG solve) with -benchmem and writes the parsed
-# results to BENCH_engine.json so the perf trajectory is comparable
-# across PRs. BENCH_* artifacts are regenerated, not hand-edited.
+# fused CG update, PCG solve) and the public-surface serving benchmarks
+# (registry dispatch overhead, Session reuse vs fresh solver, Batch
+# throughput at 1/8/64 right-hand sides) with -benchmem, writing the
+# parsed results to BENCH_engine.json and BENCH_solve.json so the perf
+# trajectory is comparable across PRs. BENCH_* artifacts are
+# regenerated, not hand-edited.
 
 GO       ?= go
 BENCHPAT ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
 BENCHOUT ?= BENCH_engine.json
+SOLVEPAT ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkFreshSolvePerCall|BenchmarkBatch
+SOLVEOUT ?= BENCH_solve.json
 
 .PHONY: all build test vet fmt check bench bench-raw clean
 
@@ -22,24 +27,30 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Full gate, mirrored by .github/workflows/ci.yml: vet, build, and the
-# test suite under the race detector.
+# Full gate, mirrored by .github/workflows/ci.yml: formatting, vet,
+# build, the test suite under the race detector, and a one-iteration
+# benchmark smoke run so bench code cannot rot.
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 fmt:
 	gofmt -l -w .
 
 # Raw benchmark text (inspect interactively).
 bench-raw:
-	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)|$(SOLVEPAT)' -benchmem .
 
-# JSON summary for the perf trajectory across PRs.
+# JSON summaries for the perf trajectory across PRs.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
+	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SOLVEOUT)
+	@echo "wrote $(SOLVEOUT)"
 
 clean:
-	rm -f $(BENCHOUT)
+	rm -f $(BENCHOUT) $(SOLVEOUT)

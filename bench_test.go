@@ -16,13 +16,13 @@ import (
 	"vrcg/internal/depth"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/pipecg"
 	"vrcg/internal/precond"
 	"vrcg/internal/sstep"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // --- E1: per-iteration depth, CG (c log N) vs VRCG (c log log N) ---
@@ -78,8 +78,8 @@ func BenchmarkE3DegreeSweep(b *testing.B) {
 
 // --- E4: sequential cost (wall-clock benchmarks of real solves) ---
 
-func benchSolve(b *testing.B, run func(*mat.CSR, vec.Vector) (int, error)) {
-	a := mat.Poisson2D(32)
+func benchSolve(b *testing.B, run func(*sparse.CSR, vec.Vector) (int, error)) {
+	a := sparse.Poisson2D(32)
 	rhs := vec.New(a.Dim())
 	vec.Random(rhs, 9)
 	b.ResetTimer()
@@ -96,7 +96,7 @@ func benchSolve(b *testing.B, run func(*mat.CSR, vec.Vector) (int, error)) {
 
 func BenchmarkE4SequentialCost(b *testing.B) {
 	b.Run("CG", func(b *testing.B) {
-		benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+		benchSolve(b, func(a *sparse.CSR, rhs vec.Vector) (int, error) {
 			r, err := krylov.CG(a, rhs, krylov.Options{Tol: 1e-8})
 			if err != nil {
 				return 0, err
@@ -106,7 +106,7 @@ func BenchmarkE4SequentialCost(b *testing.B) {
 	})
 	for _, k := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("VRCG/k=%d", k), func(b *testing.B) {
-			benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+			benchSolve(b, func(a *sparse.CSR, rhs vec.Vector) (int, error) {
 				r, err := core.Solve(a, rhs, core.Options{K: k, Tol: 1e-8})
 				if err != nil {
 					return 0, err
@@ -116,7 +116,7 @@ func BenchmarkE4SequentialCost(b *testing.B) {
 		})
 	}
 	b.Run("PIPECG", func(b *testing.B) {
-		benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+		benchSolve(b, func(a *sparse.CSR, rhs vec.Vector) (int, error) {
 			r, err := pipecg.GhyselsVanroose(a, rhs, pipecg.Options{Tol: 1e-8})
 			if err != nil {
 				return 0, err
@@ -125,7 +125,7 @@ func BenchmarkE4SequentialCost(b *testing.B) {
 		})
 	})
 	b.Run("SStep/s=4", func(b *testing.B) {
-		benchSolve(b, func(a *mat.CSR, rhs vec.Vector) (int, error) {
+		benchSolve(b, func(a *sparse.CSR, rhs vec.Vector) (int, error) {
 			r, err := sstep.Solve(a, rhs, sstep.Options{S: 4, Tol: 1e-8})
 			if err != nil {
 				return 0, err
@@ -138,7 +138,7 @@ func BenchmarkE4SequentialCost(b *testing.B) {
 // --- E5: recurrence exactness (drift measured during a real solve) ---
 
 func BenchmarkE5RecurrenceExactness(b *testing.B) {
-	a := mat.Poisson2D(16)
+	a := sparse.Poisson2D(16)
 	rhs := vec.New(a.Dim())
 	vec.Random(rhs, 31)
 	for _, k := range []int{1, 2, 4} {
@@ -161,7 +161,7 @@ func BenchmarkE5RecurrenceExactness(b *testing.B) {
 func BenchmarkE6Stability(b *testing.B) {
 	n := 256
 	for _, kappa := range []float64{10, 1000} {
-		a := mat.PrescribedSpectrum(n, kappa)
+		a := sparse.PrescribedSpectrum(n, kappa)
 		rhs := vec.New(n)
 		vec.Random(rhs, 17)
 		for _, k := range []int{1, 4} {
@@ -183,7 +183,7 @@ func BenchmarkE6Stability(b *testing.B) {
 // --- E7: successors on the simulated machine ---
 
 func BenchmarkE7Successors(b *testing.B) {
-	a := mat.TridiagToeplitz(4096, 4.2, -1)
+	a := sparse.TridiagToeplitz(4096, 4.2, -1)
 	p := 256
 	cfg := machine.Config{P: p, Alpha: 64, Beta: 0.01, FlopTime: 0.001}
 	rhs := vec.New(a.Dim())
@@ -249,7 +249,7 @@ func BenchmarkDotSerial(b *testing.B) {
 	y := vec.New(1 << 16)
 	vec.Random(x, 1)
 	vec.Random(y, 2)
-	b.SetBytes(int64(16 * x.Len()))
+	b.SetBytes(int64(16 * len(x)))
 	b.ResetTimer()
 	var s float64
 	for i := 0; i < b.N; i++ {
@@ -263,7 +263,7 @@ func BenchmarkDotParallel(b *testing.B) {
 	y := vec.New(1 << 20)
 	vec.Random(x, 1)
 	vec.Random(y, 2)
-	b.SetBytes(int64(16 * x.Len()))
+	b.SetBytes(int64(16 * len(x)))
 	b.ResetTimer()
 	var s float64
 	for i := 0; i < b.N; i++ {
@@ -289,7 +289,7 @@ func BenchmarkFusedCGUpdate(b *testing.B) {
 }
 
 func BenchmarkMatVecCSRPoisson2D(b *testing.B) {
-	a := mat.Poisson2D(128)
+	a := sparse.Poisson2D(128)
 	x := vec.New(a.Dim())
 	y := vec.New(a.Dim())
 	vec.Random(x, 4)
@@ -301,7 +301,7 @@ func BenchmarkMatVecCSRPoisson2D(b *testing.B) {
 }
 
 func BenchmarkMatVecStencil2D(b *testing.B) {
-	st := mat.NewStencil(mat.Stencil2D5, 128)
+	st := sparse.NewStencil(sparse.Stencil2D5, 128)
 	x := vec.New(st.Dim())
 	y := vec.New(st.Dim())
 	vec.Random(x, 4)
@@ -346,7 +346,7 @@ func BenchmarkWindowStep(b *testing.B) {
 }
 
 func BenchmarkVRCGSolvePoisson(b *testing.B) {
-	a := mat.Poisson2D(48)
+	a := sparse.Poisson2D(48)
 	rhs := vec.New(a.Dim())
 	vec.Random(rhs, 21)
 	for _, k := range []int{1, 4} {
@@ -385,7 +385,7 @@ func BenchmarkE10WindowForm(b *testing.B) {
 // --- additional kernel microbenchmarks ---
 
 func BenchmarkMINRESSolve(b *testing.B) {
-	a := mat.Poisson2D(32)
+	a := sparse.Poisson2D(32)
 	rhs := vec.New(a.Dim())
 	vec.Random(rhs, 41)
 	b.ResetTimer()
@@ -397,7 +397,7 @@ func BenchmarkMINRESSolve(b *testing.B) {
 }
 
 func BenchmarkIC0FactorAndApply(b *testing.B) {
-	a := mat.Poisson2D(48)
+	a := sparse.Poisson2D(48)
 	b.Run("factor", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := precond.NewIC0(a); err != nil {
@@ -421,10 +421,10 @@ func BenchmarkIC0FactorAndApply(b *testing.B) {
 }
 
 func BenchmarkRCMOrder(b *testing.B) {
-	a := mat.Poisson2D(64)
+	a := sparse.Poisson2D(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mat.RCMOrder(a)
+		sparse.RCMOrder(a)
 	}
 }
 
@@ -463,7 +463,7 @@ func BenchmarkRabenseifnerVsRecursiveDoubling(b *testing.B) {
 // engine matters (n = 102400 and 409600 for the Poisson grids below).
 func BenchmarkSpMV(b *testing.B) {
 	for _, m := range []int{320, 640} {
-		a := mat.Poisson2D(m)
+		a := sparse.Poisson2D(m)
 		n := a.Dim()
 		x := vec.New(n)
 		y := vec.New(n)
@@ -490,7 +490,7 @@ func BenchmarkSpMV(b *testing.B) {
 // BenchmarkPCGSolve compares per-call-allocating serial PCG against the
 // zero-allocation pooled Workspace form on a large grid (n = 102400).
 func BenchmarkPCGSolve(b *testing.B) {
-	a := mat.Poisson2D(320)
+	a := sparse.Poisson2D(320)
 	n := a.Dim()
 	rhs := vec.New(n)
 	vec.Random(rhs, 9)
@@ -554,7 +554,7 @@ func BenchmarkDotPooled(b *testing.B) {
 }
 
 func BenchmarkCGPlainVsFused(b *testing.B) {
-	a := mat.Poisson2D(64) // n = 4096: memory traffic matters
+	a := sparse.Poisson2D(64) // n = 4096: memory traffic matters
 	rhs := vec.New(a.Dim())
 	vec.Random(rhs, 51)
 	b.Run("plain", func(b *testing.B) {

@@ -15,10 +15,10 @@ import (
 	"vrcg/internal/depth"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // C1: "The inner product of two vectors of length N requires time
@@ -55,16 +55,16 @@ func TestClaimC2Doubling(t *testing.T) {
 // parameter history.
 func TestClaimC3StarEquation(t *testing.T) {
 	k := 3
-	a := mat.Poisson2D(4)
+	a := sparse.Poisson2D(4)
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 33)
 
-	r := b.Clone()
-	p := r.Clone()
+	r := vec.Clone(b)
+	p := vec.Clone(r)
 	ap := vec.New(n)
 	rr := vec.Dot(r, r)
-	pows := mat.PowerApply(a, r, 2*k+1)
+	pows := sparse.PowerApply(a, r, 2*k+1)
 	g := core.BaseGram{
 		Mu:    make([]float64, 2*k+2),
 		Nu:    make([]float64, 2*k+2),
@@ -103,7 +103,7 @@ func TestClaimC4DoubleLogIteration(t *testing.T) {
 		}
 	}
 	// And the machine realization: reductions leave the critical path.
-	a := mat.TridiagToeplitz(4096, 4.2, -1)
+	a := sparse.TridiagToeplitz(4096, 4.2, -1)
 	p := 256
 	cfg := machine.Config{P: p, Alpha: 64, Beta: 0.01, FlopTime: 0.001}
 	run := func(f func(*machine.Machine, *parcg.DistMatrix, *parcg.Dist) (*parcg.Result, error)) float64 {
@@ -132,7 +132,7 @@ func TestClaimC4DoubleLogIteration(t *testing.T) {
 // C5 (§5): one matrix-vector product per iteration; O(1) direct inner
 // products; high powers of A never computed explicitly.
 func TestClaimC5OperationEconomy(t *testing.T) {
-	a := mat.Poisson2D(12)
+	a := sparse.Poisson2D(12)
 	b := vec.New(a.Dim())
 	vec.Random(b, 5)
 	k := 3
@@ -172,7 +172,7 @@ func TestClaimC6MaxBound(t *testing.T) {
 // C7 (§6): "The sequential complexity of this algorithm is essentially
 // the same as that of the usual CG algorithm."
 func TestClaimC7SequentialEquivalence(t *testing.T) {
-	a := mat.Poisson2D(16)
+	a := sparse.Poisson2D(16)
 	b := vec.New(a.Dim())
 	vec.Random(b, 7)
 	cg, err := krylov.CG(a, b, krylov.Options{Tol: 1e-8})

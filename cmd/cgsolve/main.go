@@ -12,12 +12,15 @@
 //	cgsolve -problem poisson3d -m 32 -method pcg -workers 8 -repeat 16
 //	cgsolve -problem poisson2d -m 24 -method parcg -k 4 -procs 64
 //
-// The -workers flag routes the solve through the hot-path execution
+// The -matrix flag loads a MatrixMarket .mtx system through the public
+// sparse package (with -rhs for an array-format right-hand side); the
+// -workers flag routes the solve through the hot-path execution
 // engine: a persistent worker pool for the vector kernels plus the
 // nnz-balanced parallel SpMV (0 = all CPUs, 1 = serial kernels).
 // -repeat re-solves the same system -repeat times (reporting the last
-// solve), reusing the solver workspace for the methods that have one
-// (cg, pcg, pipecg) — the steady-state regime the engine is built for.
+// solve) through one prepared solve.Session, reusing the solver
+// workspace for the methods that have one (cg, pcg, pipecg) — the
+// zero-allocation steady-state regime the serving API is built for.
 package main
 
 import (
@@ -27,10 +30,10 @@ import (
 	"os"
 	"time"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func fatalf(format string, args ...interface{}) {
@@ -68,22 +71,22 @@ func main() {
 	if *repeat < 1 {
 		fatalf("-repeat must be >= 1")
 	}
-	var pool *vec.Pool
+	var pool *sparse.Pool
 	if *workers != 1 {
 		if *workers == 0 {
-			pool = vec.DefaultPool
+			pool = sparse.DefaultPool
 		} else {
-			pool = vec.NewPool(*workers)
+			pool = sparse.NewPool(*workers)
 		}
 	}
 
-	var a *mat.CSR
+	var a *sparse.CSR
 	if *matrixFile != "" {
 		f, err := os.Open(*matrixFile)
 		if err != nil {
 			fatalf("open matrix: %v", err)
 		}
-		a, err = mat.ReadMatrixMarket(f)
+		a, err = sparse.ReadMatrixMarket(f)
 		f.Close()
 		if err != nil {
 			fatalf("parse matrix: %v", err)
@@ -95,19 +98,19 @@ func main() {
 	} else {
 		switch *problem {
 		case "poisson1d":
-			a = mat.Poisson1D(*m)
+			a = sparse.Poisson1D(*m)
 		case "poisson2d":
-			a = mat.Poisson2D(*m)
+			a = sparse.Poisson2D(*m)
 		case "poisson3d":
-			a = mat.Poisson3D(*m)
+			a = sparse.Poisson3D(*m)
 		case "toeplitz":
-			a = mat.TridiagToeplitz(*n, 4.2, -1)
+			a = sparse.TridiagToeplitz(*n, 4.2, -1)
 		case "random":
-			a = mat.RandomSPD(*n, 8, *seed)
+			a = sparse.RandomSPD(*n, 8, *seed)
 		case "ring":
-			a = mat.RingLaplacian(*n, 0.5)
+			a = sparse.RingLaplacian(*n, 0.5)
 		case "spectrum":
-			a = mat.PrescribedSpectrum(*n, *kappa)
+			a = sparse.PrescribedSpectrum(*n, *kappa)
 		default:
 			fatalf("unknown problem %q", *problem)
 		}
@@ -123,24 +126,19 @@ func main() {
 		if err != nil {
 			fatalf("open rhs: %v", err)
 		}
-		b, err = mat.ReadMatrixMarketVector(f)
+		b, err = sparse.ReadMatrixMarketVector(f)
 		f.Close()
 		if err != nil {
 			fatalf("parse rhs: %v", err)
 		}
-		if b.Len() != dim {
-			fatalf("rhs length %d for matrix order %d", b.Len(), dim)
+		if len(b) != dim {
+			fatalf("rhs length %d for matrix order %d", len(b), dim)
 		}
 	} else {
 		xTrue = vec.New(dim)
 		vec.Random(xTrue, *seed)
 		b = vec.New(dim)
 		a.MulVec(b, xTrue)
-	}
-
-	solver, err := solve.New(*method)
-	if err != nil {
-		fatalf("%v", err)
 	}
 
 	// One option set serves every method: each solver consumes what it
@@ -176,6 +174,13 @@ func main() {
 		opts = append(opts, solve.WithPreconditioner(p))
 	}
 
+	// A Session prepares (method, operator, options) once; the -repeat
+	// loop then runs the amortized serving path.
+	sess, err := solve.NewSession(*method, a, opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	engineWorkers := 1
 	if pool != nil {
 		engineWorkers = pool.Workers()
@@ -186,7 +191,7 @@ func main() {
 	start := time.Now()
 	var res *solve.Result
 	for rep := 0; rep < *repeat; rep++ {
-		res, err = solver.Solve(a, b, opts...)
+		res, err = sess.Solve(b)
 		if err != nil && !errors.Is(err, solve.ErrNotConverged) {
 			fatalf("%v", err)
 		}

@@ -6,9 +6,19 @@
 // c*log(log N), and the direct ancestor of today's pipelined and s-step
 // conjugate gradient methods.
 //
-// # Public API: the solve package
+// # Public API: the solve and sparse packages
 //
-// Package solve is the importable surface: one Solver interface, one
+// Two packages form the importable surface, both typed on plain
+// []float64 so nothing internal leaks through the boundary.
+//
+// Package sparse is the data plane: CSR/COO/DIA and matrix-free stencil
+// operators, MatrixMarket I/O, Poisson and variable-coefficient
+// generators, RCM reordering, spectral estimates, and the worker-pool
+// handle (sparse.NewPool) the parallel kernels run on. Every matrix
+// type satisfies solve.Operator, and any type with Dim/MulVec is an
+// operator too.
+//
+// Package solve is the control plane: one Solver interface, one
 // canonical Result, functional options, and a method registry covering
 // every CG variant in the repository —
 //
@@ -16,8 +26,20 @@
 //	res, err := s.Solve(a, b,
 //	        solve.WithTol(1e-10),
 //	        solve.WithLookahead(4),
-//	        solve.WithPool(vec.DefaultPool))
+//	        solve.WithPool(sparse.DefaultPool))
 //	fmt.Println(res.Iterations, res.Syncs, res.TrueResidualNorm)
+//
+// For repeated solves against one operator — the serving regime — a
+// Session prepares the (method, operator, options) triple once and
+// reuses its workspace and Result, so a warm Session.Solve performs
+// zero heap allocations for the workspace-backed methods; Batch (or
+// Session.SolveMany) fans many right-hand sides out across forked
+// sessions round-robin and aggregates the results in input order:
+//
+//	a, err := sparse.ReadMatrixMarket(f)
+//	sess, err := solve.NewSession("cg", a, solve.WithTol(1e-10))
+//	res, err := sess.Solve(b)            // zero-alloc steady state
+//	results, err := solve.Batch(sess, B) // B is [][]float64
 //
 // Result carries the paper's comparison currency directly: operation
 // counts (Stats), estimated blocking synchronization points (Syncs),
@@ -43,7 +65,9 @@
 //   - internal/core: the paper's algorithm (look-ahead CG, "VRCG")
 //   - internal/krylov, internal/precond: classic CG/PCG/CR baselines
 //   - internal/sstep, internal/pipecg: the published successor methods
-//   - internal/mat, internal/vec: sparse operators and vector kernels
+//   - sparse (public), internal/vec: sparse operators and vector
+//     kernels (internal/mat remains as a deprecated forwarding shim for
+//     the promoted sparse package)
 //   - internal/depth: the dependency-depth cost model of the paper
 //   - internal/machine, internal/collective, internal/parcg: a simulated
 //     distributed machine with hand-rolled collectives, and the
@@ -63,10 +87,12 @@
 //     opcode + operand descriptors into pool-owned fields, and
 //     per-worker partial-sum slabs are reused, so a kernel dispatch
 //     performs zero heap allocations in steady state.
-//   - mat.CSR.MulVecPool: parallel SpMV over an nnz-balanced row
+//   - sparse.CSR.MulVecPool: parallel SpMV over an nnz-balanced row
 //     partition (equal work per chunk, not equal rows) precomputed at
-//     matrix construction and cached on the CSR. COO assembly itself is
-//     a sort-based two-pass build, not a hash merge.
+//     matrix construction and cached on the CSR; sparse.DIA and
+//     sparse.Stencil parallelize by equal row splits through the same
+//     pool. COO assembly itself is a sort-based two-pass build, not a
+//     hash merge.
 //   - solver workspaces: krylov.Workspace (CG/PCG) and pipecg.Workspace
 //     preallocate every solve-lifetime vector, so repeated solves
 //     against same-order operators allocate nothing in steady state;
@@ -78,8 +104,11 @@
 // pooled-vs-serial decision guide.
 //
 // Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI over
-// the solve registry; -workers/-repeat exercise the engine), cmd/figure1
-// (schedule diagrams), cmd/benchjson (bench output → BENCH_engine.json).
-// Runnable examples live in examples/. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// the solve registry; -matrix loads MatrixMarket systems and
+// -workers/-repeat exercise the engine), cmd/figure1 (schedule
+// diagrams), cmd/benchjson (bench output → BENCH_engine.json and
+// BENCH_solve.json). Runnable examples live in examples/ (quickstart is
+// the public-surface walkthrough). See README.md for the
+// external-consumer quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
 package vrcg

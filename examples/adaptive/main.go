@@ -12,10 +12,10 @@ import (
 	"log"
 
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func main() {
@@ -25,7 +25,7 @@ func main() {
 	// (~ log2(P)*(alpha + beta*w) / (halo*alpha + flops)) rather than
 	// alpha alone: cheap-compute machines need deeper look-ahead even
 	// at low latency.
-	a := mat.TridiagToeplitz(4096, 4.2, -1)
+	a := sparse.TridiagToeplitz(4096, 4.2, -1)
 	p := 256
 	dm := parcg.NewDistMatrix(a, p)
 	fmt.Println("AutoK: look-ahead sized to the machine (P=256, n=4096, k covers the reduction):")
@@ -38,7 +38,7 @@ func main() {
 	// Part 2: a Monitor watchdog — run VRCG under external observation,
 	// reporting each time the residual drops by two more orders of
 	// magnitude. Returning false from Observe would stop the solve.
-	prob, err := mat.VarCoeffPoisson2D(24, mat.JumpCoefficient(100))
+	prob, err := sparse.VarCoeffPoisson2D(24, sparse.JumpCoefficient(100))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,9 +16,9 @@ import (
 
 	"vrcg/internal/collective"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func main() {
@@ -37,7 +37,7 @@ func main() {
 	fmt.Println("(logarithmic, as the paper's c*log(N) fan-in assumes)")
 
 	// The solver comparison.
-	a := mat.TridiagToeplitz(4096, 4.2, -1) // kappa ~ 2.6
+	a := sparse.TridiagToeplitz(4096, 4.2, -1) // kappa ~ 2.6
 	p := 256
 	bs := vec.New(a.Dim())
 	vec.Random(bs, 3)

@@ -10,15 +10,15 @@ import (
 	"fmt"
 	"log"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func main() {
 	const m = 12 // 12^3 = 1728 unknowns
-	a := mat.Poisson3D(m)
+	a := sparse.Poisson3D(m)
 	n := a.Dim()
 	fmt.Printf("3D Poisson, %dx%dx%d grid, n=%d, nnz=%d, d=%d\n\n",
 		m, m, m, n, a.NNZ(), a.MaxRowNonzeros())

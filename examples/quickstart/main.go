@@ -1,37 +1,44 @@
-// Quickstart: solve a 2D Poisson system with the restructured conjugate
-// gradient iteration (Van Rosendale 1983) and compare against standard
-// CG, through the library's public surface: problem generators
-// (internal/mat) and the solve registry — one Solver interface, one
-// Result, a method name per algorithm.
+// Quickstart: the external-consumer flow through the public surface
+// only (vrcg/sparse + vrcg/solve, no internal imports). Build a 2D
+// Poisson system, prepare a reusable Session, compare standard CG with
+// the paper's restructured iteration (Van Rosendale 1983), then serve a
+// batch of right-hand sides through the multi-RHS path.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
 
-	"vrcg/internal/mat"
-	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func main() {
 	// A = 5-point Laplacian on a 32x32 grid (n = 1024), b from a known
-	// solution so the error is checkable.
-	a := mat.Poisson2D(32)
+	// solution so the error is checkable. Everything is plain []float64.
+	a := sparse.Poisson2D(32)
 	n := a.Dim()
-	xTrue := vec.New(n)
-	vec.Random(xTrue, 42)
-	b := vec.New(n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i + 1))
+	}
+	b := make([]float64, n)
 	a.MulVec(b, xTrue)
 
-	// Standard CG (the paper's §2 baseline).
-	cg, err := solve.MustNew("cg").Solve(a, b, solve.WithTol(1e-10))
+	// A Session is the serving idiom: method + operator + options
+	// prepared once, then cheap (zero-allocation) repeated solves.
+	cgSess, err := solve.NewSession("cg", a, solve.WithTol(1e-10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg, err := cgSess.Solve(b)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("standard CG : %3d iterations, true residual %.2e, %s\n",
 		cg.Iterations, cg.TrueResidualNorm, cg.Stats)
-	xCG := cg.X.Clone() // Result.X aliases the solver workspace
+	xCG := append([]float64(nil), cg.X...) // Result.X aliases the session workspace
 
 	// The restructured algorithm with look-ahead k = 3: identical
 	// iterates in exact arithmetic, but every (r,r) and (p,Ap) comes
@@ -48,7 +55,42 @@ func main() {
 	// comparable: how often each schedule blocks on a reduction.
 	fmt.Printf("blocking syncs: CG %d vs VRCG %d\n", cg.Syncs, vr.Syncs)
 
-	diff := vec.New(n)
-	vec.Sub(diff, xCG, vr.X)
-	fmt.Printf("solution agreement ||x_cg - x_vrcg|| = %.2e\n", vec.Norm2(diff))
+	var maxDiff float64
+	for i := range xCG {
+		if d := math.Abs(xCG[i] - vr.X[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("solution agreement ||x_cg - x_vrcg||_inf = %.2e\n", maxDiff)
+
+	// Many right-hand sides against the same operator: Batch fans them
+	// out across forked sessions (one workspace per worker, round-robin
+	// scheduling) and aggregates the results in input order.
+	B := make([][]float64, 16)
+	for k := range B {
+		bk := make([]float64, n)
+		for i := range bk {
+			bk[i] = math.Sin(float64((k + 2) * (i + 1)))
+		}
+		B[k] = bk
+	}
+	results, err := solve.Batch(cgSess, B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iters := 0
+	for _, r := range results {
+		iters += r.Iterations
+	}
+	fmt.Printf("batch: %d rhs solved, %d total iterations, all converged=%v\n",
+		len(results), iters, allConverged(results))
+}
+
+func allConverged(rs []solve.Result) bool {
+	for _, r := range rs {
+		if !r.Converged {
+			return false
+		}
+	}
+	return true
 }

@@ -11,14 +11,14 @@ import (
 	"fmt"
 	"log"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func main() {
-	a := mat.Poisson1D(128) // kappa ~ 6700: hard enough to expose drift
+	a := sparse.Poisson1D(128) // kappa ~ 6700: hard enough to expose drift
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 5)

@@ -5,10 +5,10 @@ import (
 
 	"vrcg/internal/collective"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 // Ablations for the design choices DESIGN.md calls out: each isolates
@@ -22,7 +22,7 @@ func A1ReanchorInterval() *Table {
 		Title:   "ablation: re-anchor interval (VRCG k=3, Poisson2D 16x16, tol 1e-9)",
 		Columns: []string{"interval", "iters", "converged", "true rel residual", "drift (p,Ap)", "dots/iter"},
 	}
-	a := mat.Poisson2D(16)
+	a := sparse.Poisson2D(16)
 	b := vec.New(a.Dim())
 	vec.Random(b, 61)
 	bn := vec.Norm2(b)
@@ -57,7 +57,7 @@ func A2StabilizationModes() *Table {
 		Title:   "ablation: stabilization mode (VRCG k=3, interval 8, Poisson1D 128, tol 1e-9)",
 		Columns: []string{"mode", "iters", "converged", "true rel residual", "matvec/iter"},
 	}
-	a := mat.Poisson1D(128)
+	a := sparse.Poisson1D(128)
 	b := vec.New(128)
 	vec.Random(b, 62)
 	bn := vec.Norm2(b)
@@ -101,7 +101,7 @@ func A3SpectralScaling() *Table {
 	// large norm (a fine-mesh stiffness scale): unscaled Gram sequences
 	// reach ||A||^(4k) ~ 1e409 at k=8 — past double-precision overflow —
 	// while the scaled solver never sees magnitudes above O(1).
-	a := mat.TridiagToeplitz(512, 4.2e12, -1e12)
+	a := sparse.TridiagToeplitz(512, 4.2e12, -1e12)
 	bs := vec.New(512)
 	vec.Random(bs, 63)
 	bn := vec.Norm2(bs)
@@ -172,7 +172,7 @@ func A5PartitionQuality() *Table {
 		Columns: []string{"ordering", "bandwidth", "halo msgs/proc", "total halo words", "matvec time (alpha=16)"},
 	}
 	p := 8
-	natural := mat.Poisson2D(24)
+	natural := sparse.Poisson2D(24)
 
 	// Random symmetric shuffle.
 	n := natural.Dim()
@@ -192,19 +192,19 @@ func A5PartitionQuality() *Table {
 		j := int(next() % uint64(i+1))
 		perm[i], perm[j] = perm[j], perm[i]
 	}
-	shuffled, err := mat.PermuteSymmetric(natural, perm)
+	shuffled, err := sparse.PermuteSymmetric(natural, perm)
 	if err != nil {
 		panic(err)
 	}
-	rcmPerm := mat.RCMOrder(shuffled)
-	recovered, err := mat.PermuteSymmetric(shuffled, rcmPerm)
+	rcmPerm := sparse.RCMOrder(shuffled)
+	recovered, err := sparse.PermuteSymmetric(shuffled, rcmPerm)
 	if err != nil {
 		panic(err)
 	}
 
 	for _, cs := range []struct {
 		name string
-		a    *mat.CSR
+		a    *sparse.CSR
 	}{
 		{"natural grid", natural},
 		{"random shuffle", shuffled},
@@ -215,7 +215,7 @@ func A5PartitionQuality() *Table {
 		x := parcg.NewDist(n, p)
 		dst := parcg.NewDist(n, p)
 		dm.MulVec(m, dst, x)
-		t.AddRow(cs.name, mat.Bandwidth(cs.a), dm.HaloDegree(), dm.TotalHaloWords(), m.MaxClock())
+		t.AddRow(cs.name, sparse.Bandwidth(cs.a), dm.HaloDegree(), dm.TotalHaloWords(), m.MaxClock())
 	}
 	t.Notes = append(t.Notes,
 		"a shuffled ordering makes every processor talk to every other (halo explodes);",

@@ -6,10 +6,10 @@ import (
 	"runtime"
 	"time"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 // usable reports whether a solve outcome is meaningful for
@@ -70,7 +70,7 @@ func A6EngineThroughput() *Table {
 	pooledAxpy := timeIt(budget, func() { EnginePool.Axpy(1e-9, x, y) })
 	t.AddRow("axpy", n, serialAxpy, pooledAxpy, serialAxpy/pooledAxpy)
 
-	a := mat.Poisson2D(256) // n = 65536, nnz ~ 327k
+	a := sparse.Poisson2D(256) // n = 65536, nnz ~ 327k
 	ax := vec.New(a.Dim())
 	ay := vec.New(a.Dim())
 	vec.Random(ax, 3)

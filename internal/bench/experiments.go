@@ -6,10 +6,10 @@ import (
 
 	"vrcg/internal/depth"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 // E1DepthScaling regenerates the headline comparison (claims C1 and C4):
@@ -84,7 +84,7 @@ func E4SequentialCost() *Table {
 		Columns: []string{"method", "k", "iters", "matvec/it", "dots/it", "updates/it",
 			"flops/it", "converged"},
 	}
-	a := mat.Poisson2D(24)
+	a := sparse.Poisson2D(24)
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 101)
@@ -132,7 +132,7 @@ func E5Exactness() *Table {
 		Title:   "recurrence scalars vs direct inner products: max relative drift (claims C3/C5)",
 		Columns: []string{"k", "reanchor", "iters", "max drift (r,r)", "max drift (p,Ap)", "fallbacks"},
 	}
-	a := mat.Poisson2D(16)
+	a := sparse.Poisson2D(16)
 	b := vec.New(a.Dim())
 	vec.Random(b, 77)
 	for _, k := range []int{1, 2, 4, 6} {
@@ -167,7 +167,7 @@ func E6Stability() *Table {
 	}
 	n := 256
 	for _, kappa := range []float64{10, 1e3, 1e5} {
-		a := mat.PrescribedSpectrum(n, kappa)
+		a := sparse.PrescribedSpectrum(n, kappa)
 		b := vec.New(n)
 		vec.Random(b, 7)
 		bn := vec.Norm2(b)
@@ -201,7 +201,7 @@ func E7Successors() *Table {
 		Columns: []string{"alpha", "CG", "PIPECG", "VRCG(k=8)", "CG/VRCG",
 			"pipelined total", "blocking total"},
 	}
-	a := mat.TridiagToeplitz(4096, 4.2, -1)
+	a := sparse.TridiagToeplitz(4096, 4.2, -1)
 	p := 256
 	for _, alpha := range []float64{1, 8, 64, 512} {
 		cfg := machine.Config{P: p, Alpha: alpha, Beta: 0.01, FlopTime: 0.001}

@@ -6,8 +6,8 @@ import (
 	"testing/quick"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func relErrT(got, want float64) float64 {
@@ -49,7 +49,7 @@ func TestWindowClone(t *testing.T) {
 }
 
 func TestFamiliesStartup(t *testing.T) {
-	a := mat.Poisson1D(12)
+	a := sparse.Poisson1D(12)
 	r0 := vec.New(12)
 	vec.Random(r0, 1)
 	k := 3
@@ -57,7 +57,7 @@ func TestFamiliesStartup(t *testing.T) {
 	if len(fam.R) != k+1 || len(fam.P) != k+2 {
 		t.Fatalf("family sizes %d/%d", len(fam.R), len(fam.P))
 	}
-	if !fam.R[0].Equal(r0) {
+	if !vec.Equal(fam.R[0], r0) {
 		t.Fatal("R[0] != r0")
 	}
 	if maxErr, ok := fam.CheckInvariant(a, 1e-12); !ok {
@@ -66,7 +66,7 @@ func TestFamiliesStartup(t *testing.T) {
 }
 
 func TestFamiliesStepPreservesPowerInvariant(t *testing.T) {
-	a := mat.Poisson1D(16)
+	a := sparse.Poisson1D(16)
 	r0 := vec.New(16)
 	vec.Random(r0, 2)
 	fam := NewFamilies(a, r0, 2)
@@ -82,7 +82,7 @@ func TestFamiliesStepPreservesPowerInvariant(t *testing.T) {
 }
 
 func TestInitDirectMatchesBruteForce(t *testing.T) {
-	a := mat.Poisson1D(10)
+	a := sparse.Poisson1D(10)
 	r0 := vec.New(10)
 	vec.Random(r0, 3)
 	k := 2
@@ -91,7 +91,7 @@ func TestInitDirectMatchesBruteForce(t *testing.T) {
 	w.InitDirect(fam.R, fam.P)
 
 	// Brute force: materialize A^i r0 up to 2k+2 and dot directly.
-	powsR := mat.PowerApply(a, r0, 2*k+2)
+	powsR := sparse.PowerApply(a, r0, 2*k+2)
 	for i := 0; i <= 2*k; i++ {
 		want := vec.Dot(r0, powsR[i])
 		if relErrT(w.M[i], want) > 1e-12 {
@@ -127,7 +127,7 @@ func TestInitDirectSizePanics(t *testing.T) {
 // to match the directly computed inner product at every iteration.
 func TestWindowStepTracksDirectDots(t *testing.T) {
 	for _, k := range []int{0, 1, 2, 4} {
-		a := mat.Poisson2D(5) // n = 25
+		a := sparse.Poisson2D(5) // n = 25
 		n := a.Dim()
 		r := vec.New(n)
 		vec.Random(r, 7)
@@ -158,8 +158,8 @@ func TestWindowStepTracksDirectDots(t *testing.T) {
 				return relErrT(got, want) <= 1e-5 || math.Abs(got-want) <= 1e-10*scale0
 			}
 			// Every window entry must equal its direct evaluation.
-			rPows := mat.PowerApply(a, fam.Residual(), 2*k+2)
-			pPows := mat.PowerApply(a, fam.Direction(), 2*k+2)
+			rPows := sparse.PowerApply(a, fam.Residual(), 2*k+2)
+			pPows := sparse.PowerApply(a, fam.Direction(), 2*k+2)
 			for i := 0; i <= 2*k; i++ {
 				want := vec.Dot(fam.Residual(), rPows[i])
 				if !within(win.M[i], want) {
@@ -220,18 +220,18 @@ func TestStepCGDegreeGrowth(t *testing.T) {
 // true CG scalars, reconstruct r(n)/p(n) from base Krylov powers, and
 // compare to the vector iterates — claim C3's representation.
 func TestCoeffPairRepresentsIterates(t *testing.T) {
-	a := mat.Poisson1D(14)
+	a := sparse.Poisson1D(14)
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 11)
 
 	// Run standard CG manually, capturing scalars and iterates.
-	r := b.Clone()
-	p := r.Clone()
+	r := vec.Clone(b)
+	p := vec.Clone(r)
 	ap := vec.New(n)
 	rr := vec.Dot(r, r)
 	k := 4
-	rPows := mat.PowerApply(a, r, k)
+	rPows := sparse.PowerApply(a, r, k)
 	pPows := rPows // p(0) = r(0)
 
 	cr := NewCoeffR()
@@ -254,7 +254,7 @@ func TestCoeffPairRepresentsIterates(t *testing.T) {
 		for i, c := range cr.Pi {
 			vec.Axpy(c, pPows[i], recR)
 		}
-		if !recR.EqualTol(r, 1e-8*(1+vec.NormInf(r))) {
+		if !vec.EqualTol(recR, r, 1e-8*(1+vec.NormInf(r))) {
 			t.Fatalf("iteration %d: coefficient reconstruction of r diverges", it+1)
 		}
 		recP := vec.New(n)
@@ -264,7 +264,7 @@ func TestCoeffPairRepresentsIterates(t *testing.T) {
 		for i, c := range cp.Pi {
 			vec.Axpy(c, pPows[i], recP)
 		}
-		if !recP.EqualTol(p, 1e-8*(1+vec.NormInf(p))) {
+		if !vec.EqualTol(recP, p, 1e-8*(1+vec.NormInf(p))) {
 			t.Fatalf("iteration %d: coefficient reconstruction of p diverges", it+1)
 		}
 	}
@@ -275,18 +275,18 @@ func TestCoeffPairRepresentsIterates(t *testing.T) {
 // directly computed (r(n), r(n)) and (p(n), A p(n)).
 func TestStarEquation(t *testing.T) {
 	for _, k := range []int{1, 2, 3, 5} {
-		a := mat.Poisson2D(4) // n=16
+		a := sparse.Poisson2D(4) // n=16
 		n := a.Dim()
 		b := vec.New(n)
 		vec.Random(b, uint64(20+k))
 
-		r := b.Clone()
-		p := r.Clone()
+		r := vec.Clone(b)
+		p := vec.Clone(r)
 		ap := vec.New(n)
 		rr := vec.Dot(r, r)
 
 		// Base Gram sequences at iteration 0 (p = r).
-		pows := mat.PowerApply(a, r, 2*k+1)
+		pows := sparse.PowerApply(a, r, 2*k+1)
 		g := BaseGram{
 			Mu:    make([]float64, 2*k+2),
 			Nu:    make([]float64, 2*k+2),
@@ -388,7 +388,7 @@ func TestSolveMatchesCGIterates(t *testing.T) {
 	// In exact arithmetic VRCG generates the same iterates as CG; in
 	// floating point they track each other to high accuracy for
 	// well-conditioned problems.
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 31)
@@ -404,7 +404,7 @@ func TestSolveMatchesCGIterates(t *testing.T) {
 		if !vr.Converged {
 			t.Fatalf("k=%d: did not converge", k)
 		}
-		if !vr.X.EqualTol(cg.X, 1e-6) {
+		if !vec.EqualTol(vr.X, cg.X, 1e-6) {
 			t.Fatalf("k=%d: solution differs from CG", k)
 		}
 		// Residual histories should track closely while the residual is
@@ -427,14 +427,14 @@ func TestSolveMatchesCGIterates(t *testing.T) {
 func TestSolveConvergesVariousProblems(t *testing.T) {
 	problems := []struct {
 		name string
-		a    mat.Matrix
+		a    sparse.Matrix
 		seed uint64
 	}{
-		{"poisson1d", mat.Poisson1D(64), 1},
-		{"poisson2d", mat.Poisson2D(8), 2},
-		{"poisson3d", mat.Poisson3D(4), 3},
-		{"randomspd", mat.RandomSPD(80, 6, 4), 4},
-		{"ring", mat.RingLaplacian(50, 0.5), 5},
+		{"poisson1d", sparse.Poisson1D(64), 1},
+		{"poisson2d", sparse.Poisson2D(8), 2},
+		{"poisson3d", sparse.Poisson3D(4), 3},
+		{"randomspd", sparse.RandomSPD(80, 6, 4), 4},
+		{"ring", sparse.RingLaplacian(50, 0.5), 5},
 	}
 	for _, pr := range problems {
 		n := pr.a.Dim()
@@ -454,7 +454,7 @@ func TestSolveConvergesVariousProblems(t *testing.T) {
 }
 
 func TestSolveZeroRHS(t *testing.T) {
-	a := mat.Poisson1D(8)
+	a := sparse.Poisson1D(8)
 	res, err := Solve(a, vec.New(8), Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -465,7 +465,7 @@ func TestSolveZeroRHS(t *testing.T) {
 }
 
 func TestSolveRejectsBadArguments(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	if _, err := Solve(a, vec.New(6), Options{K: 1}); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -478,7 +478,7 @@ func TestSolveRejectsBadArguments(t *testing.T) {
 }
 
 func TestSolveIndefiniteDetected(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -2, 1}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{1, -2, 1}))
 	b := vec.NewFrom([]float64{1, 1, 1})
 	if _, err := Solve(a, b, Options{K: 1}); err == nil {
 		t.Fatal("expected indefinite error")
@@ -488,7 +488,7 @@ func TestSolveIndefiniteDetected(t *testing.T) {
 func TestSolveOneMatvecPerIteration(t *testing.T) {
 	// Claim C7: one matvec per iteration beyond startup and the final
 	// residual check. Startup = 1 (r0) + k+1 (families); exit = 1.
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	b := vec.New(a.Dim())
 	vec.Random(b, 17)
 	k := 3
@@ -518,7 +518,7 @@ func TestSolveDirectDotsPerIterationBounded(t *testing.T) {
 	// Claim C5/C7: O(1) direct inner products per iteration. With the
 	// published recurrences three per iteration are required, plus
 	// startup, fallbacks, and periodic re-anchoring (6k+6 each).
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	b := vec.New(a.Dim())
 	vec.Random(b, 18)
 	k := 2
@@ -541,7 +541,7 @@ func TestSolveDirectDotsPerIterationBounded(t *testing.T) {
 }
 
 func TestSolveDriftSmallWithValidation(t *testing.T) {
-	a := mat.Poisson2D(7)
+	a := sparse.Poisson2D(7)
 	b := vec.New(a.Dim())
 	vec.Random(b, 19)
 	res, err := Solve(a, b, Options{K: 2, Tol: 1e-8, ValidateEvery: 1, ReanchorEvery: 4})
@@ -566,7 +566,7 @@ func TestSolveNoReanchorDriftsMoreThanAnchored(t *testing.T) {
 	// recurrence algorithm (no re-anchoring) drifts, and stabilization
 	// by periodic direct recomputation bounds the drift — the story
 	// successor papers formalized.
-	a := mat.Poisson1D(64)
+	a := sparse.Poisson1D(64)
 	b := vec.New(64)
 	vec.Random(b, 23)
 	opts := Options{K: 4, Tol: 1e-9, MaxIter: 800, ValidateEvery: 1}
@@ -599,7 +599,7 @@ func TestSolveNoReanchorDriftsMoreThanAnchored(t *testing.T) {
 }
 
 func TestSolveCallbackEarlyStop(t *testing.T) {
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	b := vec.New(a.Dim())
 	vec.Random(b, 29)
 	res, err := Solve(a, b, Options{
@@ -615,7 +615,7 @@ func TestSolveCallbackEarlyStop(t *testing.T) {
 }
 
 func TestSolveWarmStart(t *testing.T) {
-	a := mat.Poisson2D(5)
+	a := sparse.Poisson2D(5)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, 33)
@@ -635,7 +635,7 @@ func TestPropSolveRandomSPD(t *testing.T) {
 	f := func(seed uint64, szRaw, kRaw uint8) bool {
 		n := int(szRaw)%30 + 8
 		k := int(kRaw) % 4
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		x := vec.New(n)
 		vec.Random(x, seed+1)
 		b := vec.New(n)
@@ -659,7 +659,7 @@ func TestPropRecurrenceScalarExactness(t *testing.T) {
 	f := func(seed uint64, kRaw uint8) bool {
 		k := int(kRaw)%5 + 1
 		n := 40
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		b := vec.New(n)
 		vec.Random(b, seed+2)
 		res, err := Solve(a, b, Options{K: k, Tol: 1e-6, MaxIter: 200, ValidateEvery: 1, ReanchorEvery: 4})
@@ -681,7 +681,7 @@ func TestPropRecurrenceScalarExactness(t *testing.T) {
 // (r,r) and (p,Ap) sequences up to roundoff.
 func TestWindowVsContractionEngines(t *testing.T) {
 	for _, k := range []int{1, 2, 3} {
-		a := mat.Poisson2D(4)
+		a := sparse.Poisson2D(4)
 		n := a.Dim()
 		r0 := vec.New(n)
 		vec.Random(r0, uint64(80+k))
@@ -692,7 +692,7 @@ func TestWindowVsContractionEngines(t *testing.T) {
 		win.InitDirect(fam.R, fam.P)
 
 		// Engine 2: base Gram at iteration 0 + coefficient pairs.
-		pows := mat.PowerApply(a, r0, 2*k+3)
+		pows := sparse.PowerApply(a, r0, 2*k+3)
 		width := 2*k + 4
 		g := BaseGram{
 			Mu:    make([]float64, width),

@@ -4,15 +4,15 @@ import (
 	"runtime"
 	"testing"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // TestSolvePooledMatchesSerial: routing VRCG through the worker-pool
 // engine must preserve convergence and the solution (up to reduction
 // reassociation, which re-anchoring keeps bounded).
 func TestSolvePooledMatchesSerial(t *testing.T) {
-	a := mat.Poisson2D(16)
+	a := sparse.Poisson2D(16)
 	b := vec.New(a.Dim())
 	vec.Random(b, 55)
 	for _, k := range []int{0, 2} {
@@ -29,7 +29,7 @@ func TestSolvePooledMatchesSerial(t *testing.T) {
 			if !res.Converged {
 				t.Fatalf("k=%d workers=%d: pooled solve did not converge", k, w)
 			}
-			if !res.X.EqualTol(ref.X, 1e-6) {
+			if !vec.EqualTol(res.X, ref.X, 1e-6) {
 				t.Fatalf("k=%d workers=%d: pooled solution differs", k, w)
 			}
 			pool.Close()
@@ -59,7 +59,7 @@ func TestWindowStepZeroAlloc(t *testing.T) {
 
 // TestIteratorPooled: the step-level API accepts the engine too.
 func TestIteratorPooled(t *testing.T) {
-	a := mat.Poisson2D(12)
+	a := sparse.Poisson2D(12)
 	b := vec.New(a.Dim())
 	vec.Random(b, 56)
 	pool := vec.NewPoolMinChunk(2, 32)

@@ -5,14 +5,14 @@ import (
 	"log"
 
 	"vrcg/internal/core"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // ExampleSolve demonstrates the basic solver call: the restructured CG
 // iteration with look-ahead k = 2 on a 2D Poisson system.
 func ExampleSolve() {
-	a := mat.Poisson2D(16) // 256 unknowns
+	a := sparse.Poisson2D(16) // 256 unknowns
 	xTrue := vec.New(a.Dim())
 	vec.Random(xTrue, 1)
 	b := vec.New(a.Dim())
@@ -33,7 +33,7 @@ func ExampleSolve() {
 
 // ExampleNewIterator drives the solve step by step.
 func ExampleNewIterator() {
-	a := mat.Poisson1D(32)
+	a := sparse.Poisson1D(32)
 	b := vec.New(32)
 	vec.Random(b, 2)
 

@@ -4,13 +4,13 @@ import (
 	"testing"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestResidualReplacementActivates(t *testing.T) {
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	b := vec.New(a.Dim())
 	vec.Random(b, 41)
 	res, err := Solve(a, b, Options{K: 2, Tol: 1e-9, ResidualReplaceEvery: 6, ReanchorEvery: -1})
@@ -29,7 +29,7 @@ func TestResidualReplacementTightensTrueResidual(t *testing.T) {
 	// Residual replacement ties the recursive residual to the true one;
 	// the final true residual should be at least as good as the
 	// window-only profile's (which drifts).
-	a := mat.Poisson1D(96)
+	a := sparse.Poisson1D(96)
 	b := vec.New(96)
 	vec.Random(b, 43)
 	loose, errL := Solve(a, b, Options{K: 3, Tol: 1e-10, MaxIter: 3000, WindowOnlyReanchor: true})
@@ -49,7 +49,7 @@ func TestResidualReplacementTightensTrueResidual(t *testing.T) {
 func TestSolveJacobiMatchesPCGIterations(t *testing.T) {
 	// Diagonal scaling == Jacobi preconditioning: iteration counts track
 	// PCG-Jacobi closely.
-	a := mat.RandomSPD(120, 5, 51)
+	a := sparse.RandomSPD(120, 5, 51)
 	b := vec.New(120)
 	vec.Random(b, 52)
 
@@ -84,8 +84,8 @@ func TestSolveJacobiImprovesOnPlainForBadScaling(t *testing.T) {
 	for i := range d {
 		d[i] = 1 + 1e4*float64(i%7)/6 // wildly varying diagonal
 	}
-	base := mat.TridiagToeplitz(n, 0, -0.45)
-	coo := mat.NewCOO(n)
+	base := sparse.TridiagToeplitz(n, 0, -0.45)
+	coo := sparse.NewCOO(n)
 	for i := 0; i < n; i++ {
 		base.ScanRow(i, func(j int, v float64) {
 			if i != j {
@@ -112,7 +112,7 @@ func TestSolveJacobiImprovesOnPlainForBadScaling(t *testing.T) {
 }
 
 func TestSolveJacobiWarmStart(t *testing.T) {
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, 54)
@@ -128,11 +128,11 @@ func TestSolveJacobiWarmStart(t *testing.T) {
 }
 
 func TestSolveJacobiRejectsBadInput(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	if _, err := SolveJacobi(a, vec.New(6), Options{K: 1}); err == nil {
 		t.Fatal("expected dimension error")
 	}
-	coo := mat.NewCOO(2)
+	coo := sparse.NewCOO(2)
 	coo.Add(0, 0, 1)
 	coo.Add(1, 1, -1)
 	if _, err := SolveJacobi(coo.ToCSR(), vec.New(2), Options{K: 1}); err == nil {

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Iterator exposes the look-ahead iteration one step at a time, for
@@ -15,7 +15,7 @@ import (
 // wrapper over the same mechanics; Iterator trades its conveniences
 // (history, callbacks) for step-level control.
 type Iterator struct {
-	a   mat.Matrix
+	a   sparse.Matrix
 	b   vec.Vector
 	opt Options
 
@@ -31,15 +31,15 @@ type Iterator struct {
 
 // NewIterator prepares a look-ahead iteration for A x = b. The same
 // option fields as Solve apply, except history/callback/validation.
-func NewIterator(a mat.Matrix, b vec.Vector, o Options) (*Iterator, error) {
-	if a.Dim() != b.Len() {
-		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+func NewIterator(a sparse.Matrix, b vec.Vector, o Options) (*Iterator, error) {
+	if a.Dim() != len(b) {
+		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
 	}
 	if o.K < 0 {
 		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0: %w", o.K, krylov.ErrBadOption)
 	}
-	if o.X0 != nil && o.X0.Len() != a.Dim() {
-		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	if o.X0 != nil && len(o.X0) != a.Dim() {
+		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
 	}
 	n := a.Dim()
 	if o.Tol == 0 {
@@ -49,14 +49,14 @@ func NewIterator(a mat.Matrix, b vec.Vector, o Options) (*Iterator, error) {
 		o.ReanchorEvery = DefaultReanchorInterval(o.K)
 	}
 
-	it := &Iterator{a: a, b: b.Clone(), opt: o}
+	it := &Iterator{a: a, b: vec.Clone(b), opt: o}
 	if o.X0 != nil {
-		it.x = o.X0.Clone()
+		it.x = vec.Clone(o.X0)
 	} else {
 		it.x = vec.New(n)
 	}
 	r0 := vec.New(n)
-	mat.PooledMulVec(a, o.Pool, r0, it.x)
+	sparse.PooledMulVec(a, o.Pool, r0, it.x)
 	vec.Sub(r0, b, r0)
 	it.stats.MatVecs++
 
@@ -146,10 +146,10 @@ func (it *Iterator) Step() (bool, error) {
 	if it.opt.ReanchorEvery > 0 && it.iter%it.opt.ReanchorEvery == 0 {
 		if !it.opt.WindowOnlyReanchor {
 			for i := 1; i <= k; i++ {
-				mat.PooledMulVec(it.a, it.opt.Pool, it.fam.R[i], it.fam.R[i-1])
+				sparse.PooledMulVec(it.a, it.opt.Pool, it.fam.R[i], it.fam.R[i-1])
 			}
 			for i := 1; i <= k+1; i++ {
-				mat.PooledMulVec(it.a, it.opt.Pool, it.fam.P[i], it.fam.P[i-1])
+				sparse.PooledMulVec(it.a, it.opt.Pool, it.fam.P[i], it.fam.P[i-1])
 			}
 			it.stats.MatVecs += 2*k + 1
 		}
@@ -175,7 +175,7 @@ func (it *Iterator) Step() (bool, error) {
 func (it *Iterator) TrueResidualNorm() float64 {
 	n := it.a.Dim()
 	tr := vec.New(n)
-	mat.PooledMulVec(it.a, it.opt.Pool, tr, it.x)
+	sparse.PooledMulVec(it.a, it.opt.Pool, tr, it.x)
 	vec.Sub(tr, it.b, tr)
 	it.stats.MatVecs++
 	return vec.Norm2(tr)

@@ -3,12 +3,12 @@ package core
 import (
 	"testing"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestIteratorSolves(t *testing.T) {
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, 71)
@@ -34,13 +34,13 @@ func TestIteratorSolves(t *testing.T) {
 	if it.TrueResidualNorm() > 1e-6*vec.Norm2(b) {
 		t.Fatalf("true residual %g", it.TrueResidualNorm())
 	}
-	if !it.X().EqualTol(xTrue, 1e-5) {
+	if !vec.EqualTol(it.X(), xTrue, 1e-5) {
 		t.Fatal("iterator solution wrong")
 	}
 }
 
 func TestIteratorMatchesSolve(t *testing.T) {
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	b := vec.New(a.Dim())
 	vec.Random(b, 72)
 	solved, err := Solve(a, b, Options{K: 2, Tol: 1e-9})
@@ -63,13 +63,13 @@ func TestIteratorMatchesSolve(t *testing.T) {
 	if it.Iteration() != solved.Iterations {
 		t.Fatalf("iterator took %d steps, Solve took %d", it.Iteration(), solved.Iterations)
 	}
-	if !it.X().EqualTol(solved.X, 1e-10) {
+	if !vec.EqualTol(it.X(), solved.X, 1e-10) {
 		t.Fatal("iterator and Solve disagree")
 	}
 }
 
 func TestIteratorStepAfterConvergenceIsNoop(t *testing.T) {
-	a := mat.Poisson1D(8)
+	a := sparse.Poisson1D(8)
 	b := vec.New(8) // zero rhs: converged at construction
 	it, err := NewIterator(a, b, Options{K: 1})
 	if err != nil {
@@ -90,7 +90,7 @@ func TestIteratorStepAfterConvergenceIsNoop(t *testing.T) {
 func TestIteratorEarlyInspection(t *testing.T) {
 	// The point of the stepper: a caller can watch the residual and
 	// change its mind mid-solve.
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	b := vec.New(a.Dim())
 	vec.Random(b, 73)
 	it, err := NewIterator(a, b, Options{K: 1, Tol: 1e-12})
@@ -115,7 +115,7 @@ func TestIteratorEarlyInspection(t *testing.T) {
 }
 
 func TestIteratorBadArguments(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	if _, err := NewIterator(a, vec.New(6), Options{K: 1}); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -128,7 +128,7 @@ func TestIteratorBadArguments(t *testing.T) {
 }
 
 func TestIteratorIndefinite(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
 	it, err := NewIterator(a, vec.NewFrom([]float64{1, 1}), Options{K: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // SolveJacobi runs the look-ahead iteration on the symmetrically
@@ -19,11 +19,11 @@ import (
 // a single SPD matrix, so every recurrence applies verbatim). Scaling
 // also improves the Gram-sequence magnitudes the same way the
 // distributed solver's spectral scaling does.
-func SolveJacobi(a *mat.CSR, b vec.Vector, o Options) (*Result, error) {
-	if a.Dim() != b.Len() {
-		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+func SolveJacobi(a *sparse.CSR, b vec.Vector, o Options) (*Result, error) {
+	if a.Dim() != len(b) {
+		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
 	}
-	scaled, invSqrt, err := mat.SymDiagScaled(a)
+	scaled, invSqrt, err := sparse.SymDiagScaled(a)
 	if err != nil {
 		return nil, fmt.Errorf("core: Jacobi scaling failed: %w", err)
 	}

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Options configures a VRCG solve.
@@ -59,7 +59,7 @@ type Options struct {
 	// Pool, when non-nil, routes the solver's hot-path kernels — the
 	// matrix–vector product, the family axpys, and the direct inner
 	// products — through the shared worker-pool execution engine
-	// (vec.Pool + mat.CSR.MulVecPool). Nil keeps the serial kernels.
+	// (vec.Pool + sparse.CSR.MulVecPool). Nil keeps the serial kernels.
 	Pool *vec.Pool
 }
 
@@ -116,12 +116,12 @@ type Result struct {
 // scalar recurrences from inner products computed k iterations earlier,
 // one matrix–vector product per iteration, and three direct inner
 // products per iteration replenishing the window tops.
-func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if a.Dim() != b.Len() {
-		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+func Solve(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
+	if a.Dim() != len(b) {
+		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
 	}
-	if o.X0 != nil && o.X0.Len() != a.Dim() {
-		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	if o.X0 != nil && len(o.X0) != a.Dim() {
+		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
 	}
 	if o.K < 0 {
 		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0: %w", o.K, krylov.ErrBadOption)
@@ -140,14 +140,14 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 	res := &Result{K: k}
 	if o.X0 != nil {
-		res.X = o.X0.Clone()
+		res.X = vec.Clone(o.X0)
 	} else {
 		res.X = vec.New(n)
 	}
 
 	// r(0) = b - A x(0).
 	r0 := vec.New(n)
-	mat.PooledMulVec(a, o.Pool, r0, res.X)
+	sparse.PooledMulVec(a, o.Pool, r0, res.X)
 	vec.Sub(r0, b, r0)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
@@ -275,7 +275,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		if o.ResidualReplaceEvery > 0 && res.Iterations%o.ResidualReplaceEvery == 0 {
 			// Residual replacement: overwrite the recursive residual
 			// with b - A x, then rebuild everything from it.
-			mat.PooledMulVec(a, o.Pool, fam.R[0], res.X)
+			sparse.PooledMulVec(a, o.Pool, fam.R[0], res.X)
 			vec.Sub(fam.R[0], b, fam.R[0])
 			res.Stats.MatVecs++
 			res.Stats.Flops += matvecFlops(a)
@@ -309,7 +309,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 	// True residual at exit.
 	tr := vec.New(n)
-	mat.PooledMulVec(a, o.Pool, tr, res.X)
+	sparse.PooledMulVec(a, o.Pool, tr, res.X)
 	vec.Sub(tr, b, tr)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
@@ -338,15 +338,15 @@ func relErr(got, want float64) float64 {
 	return math.Abs(got-want) / den
 }
 
-func reanchor(a mat.Matrix, res *Result, fam *Families, win *Window, refresh bool) {
+func reanchor(a sparse.Matrix, res *Result, fam *Families, win *Window, refresh bool) {
 	n := a.Dim()
 	k := fam.K
 	if refresh {
 		for i := 1; i <= k; i++ {
-			mat.PooledMulVec(a, fam.pool, fam.R[i], fam.R[i-1])
+			sparse.PooledMulVec(a, fam.pool, fam.R[i], fam.R[i-1])
 		}
 		for i := 1; i <= k+1; i++ {
-			mat.PooledMulVec(a, fam.pool, fam.P[i], fam.P[i-1])
+			sparse.PooledMulVec(a, fam.pool, fam.P[i], fam.P[i-1])
 		}
 		res.Stats.MatVecs += 2*k + 1
 		res.Stats.Flops += int64(2*k+1) * matvecFlops(a)
@@ -359,8 +359,8 @@ func reanchor(a mat.Matrix, res *Result, fam *Families, win *Window, refresh boo
 	res.Reanchors++
 }
 
-func matvecFlops(a mat.Matrix) int64 {
-	if sp, ok := a.(mat.Sparse); ok {
+func matvecFlops(a sparse.Matrix) int64 {
+	if sp, ok := a.(sparse.Sparse); ok {
 		return 2 * int64(sp.NNZ())
 	}
 	n := int64(a.Dim())

@@ -35,14 +35,14 @@ package core
 import (
 	"fmt"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // pdot, paxpy and pxpay are package-local shorthands for the shared
 // pool-or-serial dispatch helpers (vec.PoolDot and friends) — the
 // engine seam of this package: every hot-path vector operation in the
-// solver goes through one of them (or mat.PooledMulVec).
+// solver goes through one of them (or sparse.PooledMulVec).
 func pdot(p *vec.Pool, x, y vec.Vector) float64 { return vec.PoolDot(p, x, y) }
 
 func paxpy(p *vec.Pool, alpha float64, x, y vec.Vector) { vec.PoolAxpy(p, alpha, x, y) }
@@ -181,13 +181,13 @@ type Families struct {
 
 // NewFamilies builds the families at start-up from r(0) = p(0) using
 // k+1 matrix–vector products (the paper's "initial start up").
-func NewFamilies(a mat.Matrix, r0 vec.Vector, k int) *Families {
+func NewFamilies(a sparse.Matrix, r0 vec.Vector, k int) *Families {
 	return NewFamiliesPool(a, r0, k, nil)
 }
 
 // NewFamiliesPool is NewFamilies with the family's axpy/matvec kernels
 // routed through the given worker pool (nil = serial).
-func NewFamiliesPool(a mat.Matrix, r0 vec.Vector, k int, pool *vec.Pool) *Families {
+func NewFamiliesPool(a sparse.Matrix, r0 vec.Vector, k int, pool *vec.Pool) *Families {
 	if k < 0 {
 		panic("core: look-ahead parameter must be >= 0")
 	}
@@ -197,23 +197,23 @@ func NewFamiliesPool(a mat.Matrix, r0 vec.Vector, k int, pool *vec.Pool) *Famili
 		P:    make([]vec.Vector, k+2),
 		pool: pool,
 	}
-	f.R[0] = r0.Clone()
+	f.R[0] = vec.Clone(r0)
 	for i := 1; i <= k; i++ {
 		f.R[i] = vec.New(a.Dim())
-		mat.PooledMulVec(a, pool, f.R[i], f.R[i-1])
+		sparse.PooledMulVec(a, pool, f.R[i], f.R[i-1])
 	}
 	for i := 0; i <= k; i++ {
-		f.P[i] = f.R[i].Clone()
+		f.P[i] = vec.Clone(f.R[i])
 	}
 	f.P[k+1] = vec.New(a.Dim())
-	mat.PooledMulVec(a, pool, f.P[k+1], f.P[k])
+	sparse.PooledMulVec(a, pool, f.P[k+1], f.P[k])
 	return f
 }
 
 // Step advances the families by one CG iteration: R'_i = R_i - λ P_{i+1}
 // (axpys), P'_i = R'_i + a P_i for i <= k (axpys), and the single
 // matrix–vector product P'_{k+1} = A P'_k.
-func (f *Families) Step(a mat.Matrix, lambda, alpha float64) {
+func (f *Families) Step(a sparse.Matrix, lambda, alpha float64) {
 	f.StepR(lambda)
 	f.StepP(a, alpha)
 }
@@ -229,11 +229,11 @@ func (f *Families) StepR(lambda float64) {
 
 // StepP performs the direction-family half of a step: P'_i = R'_i + a P_i
 // for i <= k, then the single matrix–vector product P'_{k+1} = A P'_k.
-func (f *Families) StepP(a mat.Matrix, alpha float64) {
+func (f *Families) StepP(a sparse.Matrix, alpha float64) {
 	for i := 0; i <= f.K; i++ {
 		pxpay(f.pool, f.R[i], alpha, f.P[i])
 	}
-	mat.PooledMulVec(a, f.pool, f.P[f.K+1], f.P[f.K])
+	sparse.PooledMulVec(a, f.pool, f.P[f.K+1], f.P[f.K])
 }
 
 // DirectTops computes the three window-top inner products from the
@@ -262,7 +262,7 @@ func (f *Families) AP() vec.Vector { return f.P[1] }
 // CheckInvariant verifies that every stored power really equals A times
 // its predecessor within tol, returning the largest violation. It is a
 // test/diagnostic hook; the solver never calls it.
-func (f *Families) CheckInvariant(a mat.Matrix, tol float64) (maxErr float64, ok bool) {
+func (f *Families) CheckInvariant(a sparse.Matrix, tol float64) (maxErr float64, ok bool) {
 	n := a.Dim()
 	tmp := vec.New(n)
 	check := func(hi, lo vec.Vector) {

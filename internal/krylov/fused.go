@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // CGFused is standard CG with the x/r updates and the (r,r) reduction
@@ -14,7 +14,7 @@ import (
 // exists because the restructured algorithms batch elementwise work the
 // same way on the simulated machine, and the fused kernel is the
 // sequential analogue — one pass over memory instead of three.
-func CGFused(a mat.Matrix, b vec.Vector, pool *vec.Pool, o Options) (*Result, error) {
+func CGFused(a sparse.Matrix, b vec.Vector, pool *vec.Pool, o Options) (*Result, error) {
 	if err := checkSystem(a, b, o); err != nil {
 		return nil, err
 	}
@@ -28,7 +28,7 @@ func CGFused(a mat.Matrix, b vec.Vector, pool *vec.Pool, o Options) (*Result, er
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	p := r.Clone()
+	p := vec.Clone(r)
 	ap := vec.New(n)
 	var rr float64
 	if pool != nil {

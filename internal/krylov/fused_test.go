@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestCGFusedMatchesCGSerial(t *testing.T) {
@@ -24,7 +24,7 @@ func TestCGFusedMatchesCGSerial(t *testing.T) {
 	if fused.Iterations != plain.Iterations {
 		t.Fatalf("fused iterations %d vs plain %d", fused.Iterations, plain.Iterations)
 	}
-	if !fused.X.EqualTol(xTrue, 1e-6) {
+	if !vec.EqualTol(fused.X, xTrue, 1e-6) {
 		t.Fatal("fused solution wrong")
 	}
 	// Identical arithmetic order in the dot products: histories match
@@ -47,20 +47,20 @@ func TestCGFusedWithPool(t *testing.T) {
 	if !res.Converged {
 		t.Fatal("pooled fused CG did not converge")
 	}
-	if !res.X.EqualTol(xTrue, 1e-6) {
+	if !vec.EqualTol(res.X, xTrue, 1e-6) {
 		t.Fatal("pooled fused solution wrong")
 	}
 }
 
 func TestCGFusedIndefinite(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
 	if _, err := CGFused(a, vec.NewFrom([]float64{1, 1}), nil, Options{}); err == nil {
 		t.Fatal("expected indefinite error")
 	}
 }
 
 func TestCGFusedZeroRHSAndDims(t *testing.T) {
-	a := mat.Poisson1D(6)
+	a := sparse.Poisson1D(6)
 	res, err := CGFused(a, vec.New(6), nil, Options{})
 	if err != nil || !res.Converged || res.Iterations != 0 {
 		t.Fatalf("zero rhs: res=%+v err=%v", res, err)
@@ -75,7 +75,7 @@ func TestCGFusedZeroRHSAndDims(t *testing.T) {
 func TestPropCGFusedEquivalence(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 30
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		b := vec.New(n)
 		vec.Random(b, seed+1)
 		plain, err1 := CG(a, b, Options{Tol: 1e-9})
@@ -83,7 +83,7 @@ func TestPropCGFusedEquivalence(t *testing.T) {
 		if err1 != nil || err2 != nil {
 			return err1 != nil && err2 != nil
 		}
-		return plain.Iterations == fused.Iterations && plain.X.EqualTol(fused.X, 1e-9)
+		return plain.Iterations == fused.Iterations && vec.EqualTol(plain.X, fused.X, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // ErrIndefinite is returned when an iteration encounters a curvature
@@ -106,25 +106,25 @@ func (o Options) withDefaults(n int) Options {
 	return o
 }
 
-func checkSystem(a mat.Matrix, b vec.Vector, o Options) error {
-	if a.Dim() != b.Len() {
-		return fmt.Errorf("krylov: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+func checkSystem(a sparse.Matrix, b vec.Vector, o Options) error {
+	if a.Dim() != len(b) {
+		return fmt.Errorf("krylov: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
 	}
-	if o.X0 != nil && o.X0.Len() != a.Dim() {
-		return fmt.Errorf("krylov: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	if o.X0 != nil && len(o.X0) != a.Dim() {
+		return fmt.Errorf("krylov: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
 	}
 	return nil
 }
 
 func initialGuess(n int, o Options) vec.Vector {
 	if o.X0 != nil {
-		return o.X0.Clone()
+		return vec.Clone(o.X0)
 	}
 	return vec.New(n)
 }
 
 // trueResidual computes ||b - A x|| and charges its cost to stats.
-func trueResidual(a mat.Matrix, b, x vec.Vector, st *Stats) float64 {
+func trueResidual(a sparse.Matrix, b, x vec.Vector, st *Stats) float64 {
 	n := a.Dim()
 	r := vec.New(n)
 	a.MulVec(r, x)
@@ -134,8 +134,8 @@ func trueResidual(a mat.Matrix, b, x vec.Vector, st *Stats) float64 {
 	return vec.Norm2(r)
 }
 
-func matvecFlops(a mat.Matrix) int64 {
-	if sp, ok := a.(mat.Sparse); ok {
+func matvecFlops(a sparse.Matrix) int64 {
+	if sp, ok := a.(sparse.Sparse); ok {
 		return 2 * int64(sp.NNZ())
 	}
 	n := int64(a.Dim())
@@ -152,7 +152,7 @@ func matvecFlops(a mat.Matrix) int64 {
 //	r(n+1)  = r(n) - lambda_n A p(n)
 //	a_{n+1} = (r(n+1), r(n+1)) / (r(n), r(n))
 //	p(n+1)  = r(n+1) + a_{n+1} p(n)
-func CG(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+func CG(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
 	if err := checkSystem(a, b, o); err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func CG(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	p := r.Clone()
+	p := vec.Clone(r)
 	ap := vec.New(n)
 	rr := vec.Dot(r, r)
 	res.Stats.InnerProducts++
@@ -236,12 +236,12 @@ func CG(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 // PCG solves A x = b with a symmetric positive definite preconditioner M,
 // iterating on the M-inner-product residual (standard preconditioned CG).
-func PCG(a mat.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (*Result, error) {
+func PCG(a sparse.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (*Result, error) {
 	if err := checkSystem(a, b, o); err != nil {
 		return nil, err
 	}
 	if m.Dim() != a.Dim() {
-		return nil, fmt.Errorf("krylov: preconditioner order %d for matrix order %d: %w", m.Dim(), a.Dim(), mat.ErrDim)
+		return nil, fmt.Errorf("krylov: preconditioner order %d for matrix order %d: %w", m.Dim(), a.Dim(), sparse.ErrDim)
 	}
 	n := a.Dim()
 	o = o.withDefaults(n)
@@ -257,7 +257,7 @@ func PCG(a mat.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (*Resu
 	m.Apply(z, r)
 	res.Stats.PrecondSolves++
 
-	p := z.Clone()
+	p := vec.Clone(z)
 	ap := vec.New(n)
 	rz := vec.Dot(r, z)
 	res.Stats.InnerProducts++
@@ -338,7 +338,7 @@ func PCG(a mat.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (*Resu
 // SteepestDescent solves A x = b by gradient descent with exact line
 // search. It converges linearly at rate (kappa-1)/(kappa+1) — far slower
 // than CG — and serves as the simplest baseline.
-func SteepestDescent(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+func SteepestDescent(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
 	if err := checkSystem(a, b, o); err != nil {
 		return nil, err
 	}
@@ -410,7 +410,7 @@ func SteepestDescent(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 // ||b - A x|| over the Krylov space (CG minimizes the A-norm error).
 // It requires only symmetry, not positive definiteness, of A, though
 // positive definite systems remain its standard use.
-func CR(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+func CR(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
 	if err := checkSystem(a, b, o); err != nil {
 		return nil, err
 	}
@@ -424,12 +424,12 @@ func CR(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	p := r.Clone()
+	p := vec.Clone(r)
 	ar := vec.New(n)
 	a.MulVec(ar, r)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
-	ap := ar.Clone()
+	ap := vec.Clone(ar)
 
 	rar := vec.Dot(r, ar)
 	res.Stats.InnerProducts++

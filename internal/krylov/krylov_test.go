@@ -6,9 +6,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // solveCheck runs a solver and verifies the true residual meets a
@@ -27,8 +27,8 @@ func solveCheck(t *testing.T, name string, res *Result, err error, b vec.Vector,
 	}
 }
 
-func poissonSystem(m int, seed uint64) (*mat.CSR, vec.Vector, vec.Vector) {
-	a := mat.Poisson2D(m)
+func poissonSystem(m int, seed uint64) (*sparse.CSR, vec.Vector, vec.Vector) {
+	a := sparse.Poisson2D(m)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, seed)
@@ -41,7 +41,7 @@ func TestCGSolvesPoisson2D(t *testing.T) {
 	a, b, xTrue := poissonSystem(8, 1)
 	res, err := CG(a, b, Options{Tol: 1e-12})
 	solveCheck(t, "CG", res, err, b, 1e-10)
-	if !res.X.EqualTol(xTrue, 1e-8) {
+	if !vec.EqualTol(res.X, xTrue, 1e-8) {
 		t.Fatal("CG solution differs from truth")
 	}
 }
@@ -49,7 +49,7 @@ func TestCGSolvesPoisson2D(t *testing.T) {
 func TestCGExactTerminationSmall(t *testing.T) {
 	// In exact arithmetic CG terminates in at most n steps; for a 3x3
 	// well-conditioned system it should take <= 3 + rounding slack.
-	a := mat.TridiagToeplitz(3, 4, -1)
+	a := sparse.TridiagToeplitz(3, 4, -1)
 	b := vec.NewFrom([]float64{1, 2, 3})
 	res, err := CG(a, b, Options{Tol: 1e-13})
 	if err != nil {
@@ -61,7 +61,7 @@ func TestCGExactTerminationSmall(t *testing.T) {
 }
 
 func TestCGZeroRHS(t *testing.T) {
-	a := mat.Poisson1D(10)
+	a := sparse.Poisson1D(10)
 	b := vec.New(10)
 	res, err := CG(a, b, Options{})
 	if err != nil {
@@ -88,17 +88,17 @@ func TestCGWarmStart(t *testing.T) {
 }
 
 func TestCGDimensionMismatch(t *testing.T) {
-	a := mat.Poisson1D(5)
-	if _, err := CG(a, vec.New(6), Options{}); !errors.Is(err, mat.ErrDim) {
+	a := sparse.Poisson1D(5)
+	if _, err := CG(a, vec.New(6), Options{}); !errors.Is(err, sparse.ErrDim) {
 		t.Fatalf("want ErrDim, got %v", err)
 	}
-	if _, err := CG(a, vec.New(5), Options{X0: vec.New(4)}); !errors.Is(err, mat.ErrDim) {
+	if _, err := CG(a, vec.New(5), Options{X0: vec.New(4)}); !errors.Is(err, sparse.ErrDim) {
 		t.Fatalf("want ErrDim for x0, got %v", err)
 	}
 }
 
 func TestCGIndefiniteDetected(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
 	b := vec.NewFrom([]float64{1, 1})
 	_, err := CG(a, b, Options{})
 	if !errors.Is(err, ErrIndefinite) {
@@ -193,7 +193,7 @@ func TestPCGJacobiSolves(t *testing.T) {
 func TestPCGSSORFasterThanCGOnIllConditioned(t *testing.T) {
 	// SSOR preconditioning should cut iteration counts on a fine Poisson
 	// grid relative to plain CG.
-	a := mat.Poisson2D(24)
+	a := sparse.Poisson2D(24)
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 8)
@@ -231,15 +231,15 @@ func TestPCGIdentityMatchesCG(t *testing.T) {
 	if plain.Iterations != pre.Iterations {
 		t.Fatalf("identity PCG iterations %d != CG %d", pre.Iterations, plain.Iterations)
 	}
-	if !plain.X.EqualTol(pre.X, 1e-9) {
+	if !vec.EqualTol(plain.X, pre.X, 1e-9) {
 		t.Fatal("identity PCG solution differs from CG")
 	}
 }
 
 func TestPCGDimChecks(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	id := precond.NewIdentity(4)
-	if _, err := PCG(a, id, vec.New(5), Options{}); !errors.Is(err, mat.ErrDim) {
+	if _, err := PCG(a, id, vec.New(5), Options{}); !errors.Is(err, sparse.ErrDim) {
 		t.Fatalf("want ErrDim, got %v", err)
 	}
 }
@@ -263,7 +263,7 @@ func TestSteepestDescentConvergesSlowly(t *testing.T) {
 }
 
 func TestSteepestDescentIndefinite(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{-1, 1}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{-1, 1}))
 	if _, err := SteepestDescent(a, vec.NewFrom([]float64{1, 0}), Options{}); !errors.Is(err, ErrIndefinite) {
 		t.Fatalf("want ErrIndefinite, got %v", err)
 	}
@@ -307,7 +307,7 @@ func TestCGIterationBoundKappa(t *testing.T) {
 	// sqrt(kappa) estimate times a small constant.
 	n := 200
 	kappa := 100.0
-	a := mat.PrescribedSpectrum(n, kappa)
+	a := sparse.PrescribedSpectrum(n, kappa)
 	b := vec.New(n)
 	vec.Random(b, 13)
 	res, err := CG(a, b, Options{Tol: 1e-8})
@@ -328,7 +328,7 @@ func TestCGIterationBoundKappa(t *testing.T) {
 func TestPropCGSolvesRandomSPD(t *testing.T) {
 	f := func(seed uint64, szRaw uint8) bool {
 		n := int(szRaw)%40 + 5
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		x := vec.New(n)
 		vec.Random(x, seed+1)
 		b := vec.New(n)
@@ -349,7 +349,7 @@ func TestPropCGSolvesRandomSPD(t *testing.T) {
 func TestPropCGErrorANormMonotone(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 30
-		a := mat.RandomSPD(n, 3, seed)
+		a := sparse.RandomSPD(n, 3, seed)
 		xTrue := vec.New(n)
 		vec.Random(xTrue, seed+9)
 		b := vec.New(n)
@@ -366,8 +366,8 @@ func TestPropCGErrorANormMonotone(t *testing.T) {
 		}
 		record(xCur)
 		// Run CG manually step by step to snapshot iterates.
-		r := b.Clone()
-		p := r.Clone()
+		r := vec.Clone(b)
+		p := vec.Clone(r)
 		ap := vec.New(n)
 		rr := vec.Dot(r, r)
 		for it := 0; it < 15 && rr > 1e-24; it++ {

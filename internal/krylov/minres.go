@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // MINRES solves A x = b for symmetric (possibly indefinite) A by the
@@ -14,7 +14,7 @@ import (
 // behaves like conjugate residuals; its value here is completing the
 // symmetric-solver family (CG requires definiteness, MINRES does not),
 // which widens the substrate the comparison experiments can draw on.
-func MINRES(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+func MINRES(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
 	if err := checkSystem(a, b, o); err != nil {
 		return nil, err
 	}
@@ -54,7 +54,7 @@ func MINRES(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 	// Lanczos vectors.
 	vPrev := vec.New(n)
-	v := r.Clone()
+	v := vec.Clone(r)
 	vec.Scale(1/beta, v)
 	res.Stats.VectorUpdates++
 
@@ -109,7 +109,7 @@ func MINRES(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		// Update the solution direction and iterate.
 		// wNew = (v - delta*w - eps*wPrev)/gamma
 		wNew := vec.New(n)
-		wNew.CopyFrom(v)
+		vec.Copy(wNew, v)
 		vec.Axpy(-delta, w, wNew)
 		vec.Axpy(-eps, wPrev, wNew)
 		vec.Scale(1/gamma, wNew)
@@ -128,7 +128,7 @@ func MINRES(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 		// Advance the Lanczos recurrence.
 		if betaNext > 0 {
-			vPrev, v = v, av.Clone()
+			vPrev, v = v, vec.Clone(av)
 			vec.Scale(1/betaNext, v)
 			res.Stats.VectorUpdates++
 			res.Stats.Flops += int64(n)

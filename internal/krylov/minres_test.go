@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestMINRESSolvesSPD(t *testing.T) {
@@ -17,7 +17,7 @@ func TestMINRESSolvesSPD(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("MINRES did not converge in %d iterations (res %g)", res.Iterations, res.ResidualNorm)
 	}
-	if !res.X.EqualTol(xTrue, 1e-6) {
+	if !vec.EqualTol(res.X, xTrue, 1e-6) {
 		t.Fatal("MINRES solution wrong")
 	}
 }
@@ -31,7 +31,7 @@ func TestMINRESSolvesIndefinite(t *testing.T) {
 			d[i] = 0.5
 		}
 	}
-	a := mat.DiagonalMatrix(d)
+	a := sparse.DiagonalMatrix(d)
 	xTrue := vec.New(30)
 	vec.Random(xTrue, 22)
 	b := vec.New(30)
@@ -47,7 +47,7 @@ func TestMINRESSolvesIndefinite(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("MINRES did not converge on indefinite system (res %g)", res.ResidualNorm)
 	}
-	if !res.X.EqualTol(xTrue, 1e-5) {
+	if !vec.EqualTol(res.X, xTrue, 1e-5) {
 		t.Fatal("MINRES indefinite solution wrong")
 	}
 }
@@ -83,7 +83,7 @@ func TestMINRESMatchesCGIterationsOnSPD(t *testing.T) {
 }
 
 func TestMINRESZeroRHS(t *testing.T) {
-	a := mat.Poisson1D(10)
+	a := sparse.Poisson1D(10)
 	res, err := MINRES(a, vec.New(10), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ func TestMINRESCallbackStops(t *testing.T) {
 }
 
 func TestMINRESDimErrors(t *testing.T) {
-	a := mat.Poisson1D(4)
+	a := sparse.Poisson1D(4)
 	if _, err := MINRES(a, vec.New(5), Options{}); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -118,10 +118,10 @@ func TestMINRESDimErrors(t *testing.T) {
 func TestPropMINRESSymmetric(t *testing.T) {
 	f := func(seed uint64, shiftRaw int8) bool {
 		n := 25
-		base := mat.RandomSPD(n, 4, seed)
+		base := sparse.RandomSPD(n, 4, seed)
 		// Shift to make it indefinite sometimes.
 		shift := float64(shiftRaw) / 16
-		coo := mat.NewCOO(n)
+		coo := sparse.NewCOO(n)
 		for i := 0; i < n; i++ {
 			base.ScanRow(i, func(j int, v float64) {
 				coo.Add(i, j, v)

@@ -4,15 +4,15 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Workspace owns every vector a CG or PCG solve needs, plus the worker
 // pool its kernels run on, so repeated solves against same-order
 // operators allocate nothing in steady state: the hot loop is pooled
-// SpMV (mat.PooledMulVec), pooled dots, and pooled fused updates, all of
+// SpMV (sparse.PooledMulVec), pooled dots, and pooled fused updates, all of
 // which reuse pool-owned slabs.
 //
 // Contract: the vectors inside the workspace — including the X field of
@@ -63,8 +63,8 @@ func (ws *Workspace) fusedCGUpdate(alpha float64, p, ap, x, r vec.Vector) float6
 	return vec.PoolFusedCGUpdate(ws.pool, alpha, p, ap, x, r)
 }
 
-func (ws *Workspace) matVec(a mat.Matrix, dst, x vec.Vector) {
-	mat.PooledMulVec(a, ws.pool, dst, x)
+func (ws *Workspace) matVec(a sparse.Matrix, dst, x vec.Vector) {
+	sparse.PooledMulVec(a, ws.pool, dst, x)
 }
 
 func (ws *Workspace) applyPrecond(m precond.Preconditioner, dst, r vec.Vector) {
@@ -79,18 +79,18 @@ func (ws *Workspace) applyPrecond(m precond.Preconditioner, dst, r vec.Vector) {
 
 // setup validates the system, loads the initial guess into ws.x, forms
 // the initial residual in ws.r, and returns the convergence threshold.
-func (ws *Workspace) setup(a mat.Matrix, b vec.Vector, o *Options) (float64, error) {
+func (ws *Workspace) setup(a sparse.Matrix, b vec.Vector, o *Options) (float64, error) {
 	if a.Dim() != ws.n {
-		return 0, fmt.Errorf("krylov: workspace order %d but matrix order %d: %w", ws.n, a.Dim(), mat.ErrDim)
+		return 0, fmt.Errorf("krylov: workspace order %d but matrix order %d: %w", ws.n, a.Dim(), sparse.ErrDim)
 	}
 	if err := checkSystem(a, b, *o); err != nil {
 		return 0, err
 	}
 	*o = o.withDefaults(ws.n)
 	if o.X0 != nil {
-		ws.x.CopyFrom(o.X0)
+		vec.Copy(ws.x, o.X0)
 	} else {
-		ws.x.Zero()
+		vec.Zero(ws.x)
 	}
 	ws.matVec(a, ws.r, ws.x)
 	vec.Sub(ws.r, b, ws.r)
@@ -109,7 +109,7 @@ func (ws *Workspace) record(o Options, v float64) {
 }
 
 // trueResidual computes ||b - A x|| into ws.z and charges stats.
-func (ws *Workspace) trueResidual(a mat.Matrix, b vec.Vector, st *Stats) float64 {
+func (ws *Workspace) trueResidual(a sparse.Matrix, b vec.Vector, st *Stats) float64 {
 	ws.matVec(a, ws.z, ws.x)
 	vec.Sub(ws.z, b, ws.z)
 	st.MatVecs++
@@ -122,7 +122,7 @@ func (ws *Workspace) trueResidual(a mat.Matrix, b vec.Vector, st *Stats) float64
 // workspace, RecordHistory history capacity reached, no breakdown) a
 // call performs zero heap allocations. The returned Result aliases
 // workspace storage; see the Workspace contract.
-func (ws *Workspace) CG(a mat.Matrix, b vec.Vector, o Options) (Result, error) {
+func (ws *Workspace) CG(a sparse.Matrix, b vec.Vector, o Options) (Result, error) {
 	var res Result
 	threshold, err := ws.setup(a, b, &o)
 	if err != nil {
@@ -133,7 +133,7 @@ func (ws *Workspace) CG(a mat.Matrix, b vec.Vector, o Options) (Result, error) {
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	ws.p.CopyFrom(ws.r)
+	vec.Copy(ws.p, ws.r)
 	rr := ws.dot(ws.r, ws.r)
 	res.Stats.InnerProducts++
 	res.Stats.Flops += 2 * int64(n)
@@ -190,10 +190,10 @@ func (ws *Workspace) CG(a mat.Matrix, b vec.Vector, o Options) (Result, error) {
 // PCG solves A x = b with preconditioner M on the workspace's buffers
 // and pool. Zero steady-state heap allocations, like CG. The returned
 // Result aliases workspace storage; see the Workspace contract.
-func (ws *Workspace) PCG(a mat.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (Result, error) {
+func (ws *Workspace) PCG(a sparse.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (Result, error) {
 	var res Result
 	if m.Dim() != ws.n {
-		return res, fmt.Errorf("krylov: preconditioner order %d for workspace order %d: %w", m.Dim(), ws.n, mat.ErrDim)
+		return res, fmt.Errorf("krylov: preconditioner order %d for workspace order %d: %w", m.Dim(), ws.n, sparse.ErrDim)
 	}
 	threshold, err := ws.setup(a, b, &o)
 	if err != nil {
@@ -207,7 +207,7 @@ func (ws *Workspace) PCG(a mat.Matrix, m precond.Preconditioner, b vec.Vector, o
 	ws.applyPrecond(m, ws.z, ws.r)
 	res.Stats.PrecondSolves++
 
-	ws.p.CopyFrom(ws.z)
+	vec.Copy(ws.p, ws.z)
 	rz := ws.dot(ws.r, ws.z)
 	rr := ws.dot(ws.r, ws.r)
 	res.Stats.InnerProducts += 2

@@ -4,14 +4,14 @@ import (
 	"runtime"
 	"testing"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
-func testSystem(t *testing.T, m int) (*mat.CSR, vec.Vector) {
+func testSystem(t *testing.T, m int) (*sparse.CSR, vec.Vector) {
 	t.Helper()
-	a := mat.Poisson2D(m)
+	a := sparse.Poisson2D(m)
 	b := vec.New(a.Dim())
 	vec.Random(b, 77)
 	return a, b
@@ -36,7 +36,7 @@ func TestWorkspaceCGMatchesCG(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("workers=%d: workspace CG did not converge", w)
 		}
-		if !res.X.EqualTol(ref.X, 1e-6) {
+		if !vec.EqualTol(res.X, ref.X, 1e-6) {
 			t.Fatalf("workers=%d: workspace CG solution differs from CG", w)
 		}
 		if pool != nil {
@@ -68,7 +68,7 @@ func TestWorkspacePCGMatchesPCG(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("workers=%d: workspace PCG did not converge", w)
 		}
-		if !res.X.EqualTol(ref.X, 1e-6) {
+		if !vec.EqualTol(res.X, ref.X, 1e-6) {
 			t.Fatalf("workers=%d: workspace PCG solution differs from PCG", w)
 		}
 		if pool != nil {
@@ -151,7 +151,7 @@ func TestWorkspaceReusedAcrossRHS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !res.X.EqualTol(ref.X, 1e-6) {
+		if !vec.EqualTol(res.X, ref.X, 1e-6) {
 			t.Fatalf("seed %d: reused workspace diverges from fresh solve", seed)
 		}
 	}
@@ -169,7 +169,7 @@ func TestWorkspaceHistoryAndX0(t *testing.T) {
 	a, b := testSystem(t, 12)
 	ws := NewWorkspace(a.Dim(), nil)
 	x0 := vec.New(a.Dim())
-	x0.Fill(0.5)
+	vec.Fill(x0, 0.5)
 	res, err := ws.CG(a, b, Options{Tol: 1e-9, X0: x0, RecordHistory: true})
 	if err != nil {
 		t.Fatal(err)

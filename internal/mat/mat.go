@@ -1,166 +1,81 @@
-// Package mat provides the sparse (and small dense) symmetric positive
-// definite matrices that conjugate gradient iteration consumes: CSR, COO,
-// DIA and matrix-free stencil operators, plus generators for the model
-// problems the paper's argument is about (large sparse systems with at
-// most d nonzeros per row).
+// Package mat is a deprecated thin forwarding shim: every matrix type,
+// generator, and utility that used to live here has been promoted to
+// the public package vrcg/sparse so external callers can build and load
+// operators. All names below are aliases or forwarders with identical
+// behavior; new code should import vrcg/sparse directly. See
+// internal/core/README.md for the migration table. The shim will be
+// removed once nothing in-tree or in-flight references it.
 package mat
 
 import (
-	"errors"
-	"fmt"
-
-	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
-// Matrix is a square linear operator. All CG variants in this repository
-// need only matrix-vector products, so operators may be matrix-free.
-type Matrix interface {
-	// Dim returns the order n of the (n x n) operator.
-	Dim() int
-	// MulVec computes dst = A*x. dst and x must have length Dim and must
-	// not alias each other.
-	MulVec(dst, x vec.Vector)
-}
+// Interfaces and concrete types.
+type (
+	Matrix      = sparse.Matrix
+	Sparse      = sparse.Sparse
+	PoolMulVec  = sparse.PoolMulVec
+	Dense       = sparse.Dense
+	COO         = sparse.COO
+	CSR         = sparse.CSR
+	DIA         = sparse.DIA
+	Stencil     = sparse.Stencil
+	StencilKind = sparse.StencilKind
+	Edge        = sparse.Edge
+)
 
-// Sparse is a Matrix with explicit sparsity information, used by the
-// complexity model: the paper's parallel-time bound depends on d, the
-// maximum number of nonzeros in any row.
-type Sparse interface {
-	Matrix
-	// MaxRowNonzeros returns d, the maximum number of structural
-	// nonzeros in any row.
-	MaxRowNonzeros() int
-	// NNZ returns the total number of structural nonzeros.
-	NNZ() int
-}
-
-// PoolMulVec is a Matrix that also offers a worker-pool-parallel
-// matrix–vector product. CSR implements it with an nnz-balanced row
-// partition; solvers route their hot-path products through PooledMulVec
-// so any operator that can parallelize, does.
-type PoolMulVec interface {
-	Matrix
-	// MulVecPool computes dst = A*x over the pool, falling back to the
-	// serial product when parallelism is not profitable.
-	MulVecPool(pool *vec.Pool, dst, x vec.Vector)
-}
-
-// PooledMulVec computes dst = a*x through the pool when the operator
-// supports it (and pool is non-nil), and serially otherwise. It is the
-// single dispatch point the solver hot paths use.
-func PooledMulVec(a Matrix, pool *vec.Pool, dst, x vec.Vector) {
-	if pool != nil {
-		if pm, ok := a.(PoolMulVec); ok {
-			pm.MulVecPool(pool, dst, x)
-			return
-		}
-	}
-	a.MulVec(dst, x)
-}
+// Stencil kinds.
+const (
+	Stencil1D3  = sparse.Stencil1D3
+	Stencil2D5  = sparse.Stencil2D5
+	Stencil2D9  = sparse.Stencil2D9
+	Stencil3D7  = sparse.Stencil3D7
+	Stencil3D27 = sparse.Stencil3D27
+)
 
 // ErrDim reports a dimension mismatch between an operator and a vector.
-var ErrDim = errors.New("mat: dimension mismatch")
+var ErrDim = sparse.ErrDim
 
-func checkMul(a Matrix, dst, x vec.Vector) {
-	if dst.Len() != a.Dim() || x.Len() != a.Dim() {
-		panic(fmt.Sprintf("mat: MulVec dimension mismatch: A is %d, dst %d, x %d",
-			a.Dim(), dst.Len(), x.Len()))
-	}
-}
-
-// Dense is a dense square matrix stored row-major. It exists for small
-// reference problems and for validating sparse kernels against a direct
-// implementation; production problems use CSR/DIA/stencil operators.
-type Dense struct {
-	n    int
-	data []float64 // row-major n*n
-}
-
-// NewDense returns a zero dense n x n matrix.
-func NewDense(n int) *Dense {
-	if n <= 0 {
-		panic("mat: NewDense requires n > 0")
-	}
-	return &Dense{n: n, data: make([]float64, n*n)}
-}
-
-// NewDenseFrom builds a dense matrix from rows; all rows must have length n.
-func NewDenseFrom(rows [][]float64) *Dense {
-	n := len(rows)
-	d := NewDense(n)
-	for i, row := range rows {
-		if len(row) != n {
-			panic(fmt.Sprintf("mat: row %d has %d entries, want %d", i, len(row), n))
-		}
-		copy(d.data[i*n:(i+1)*n], row)
-	}
-	return d
-}
-
-// Dim returns the order of the matrix.
-func (d *Dense) Dim() int { return d.n }
-
-// At returns A[i,j].
-func (d *Dense) At(i, j int) float64 { return d.data[i*d.n+j] }
-
-// Set assigns A[i,j] = v.
-func (d *Dense) Set(i, j int, v float64) { d.data[i*d.n+j] = v }
-
-// MulVec computes dst = A*x.
-func (d *Dense) MulVec(dst, x vec.Vector) {
-	checkMul(d, dst, x)
-	n := d.n
-	for i := 0; i < n; i++ {
-		row := d.data[i*n : (i+1)*n]
-		var s float64
-		for j, a := range row {
-			s += a * x[j]
-		}
-		dst[i] = s
-	}
-}
-
-// MaxRowNonzeros counts the densest row's structural nonzeros.
-func (d *Dense) MaxRowNonzeros() int {
-	maxNZ := 0
-	for i := 0; i < d.n; i++ {
-		nz := 0
-		for j := 0; j < d.n; j++ {
-			if d.At(i, j) != 0 {
-				nz++
-			}
-		}
-		if nz > maxNZ {
-			maxNZ = nz
-		}
-	}
-	return maxNZ
-}
-
-// NNZ counts all structural nonzeros.
-func (d *Dense) NNZ() int {
-	nnz := 0
-	for _, v := range d.data {
-		if v != 0 {
-			nnz++
-		}
-	}
-	return nnz
-}
-
-// IsSymmetric reports whether A equals its transpose within tol.
-func (d *Dense) IsSymmetric(tol float64) bool {
-	for i := 0; i < d.n; i++ {
-		for j := i + 1; j < d.n; j++ {
-			if diff := d.At(i, j) - d.At(j, i); diff > tol || diff < -tol {
-				return false
-			}
-		}
-	}
-	return true
-}
-
+// Constructors, generators, I/O, reordering, and spectral utilities.
 var (
-	_ Matrix = (*Dense)(nil)
-	_ Sparse = (*Dense)(nil)
+	NewDense     = sparse.NewDense
+	NewDenseFrom = sparse.NewDenseFrom
+	NewCOO       = sparse.NewCOO
+	NewCSR       = sparse.NewCSR
+	NewDIA       = sparse.NewDIA
+	NewStencil   = sparse.NewStencil
+	PooledMulVec = sparse.PooledMulVec
+
+	Poisson1D          = sparse.Poisson1D
+	Poisson2D          = sparse.Poisson2D
+	Poisson3D          = sparse.Poisson3D
+	TridiagToeplitz    = sparse.TridiagToeplitz
+	RandomSPD          = sparse.RandomSPD
+	GraphLaplacian     = sparse.GraphLaplacian
+	RingLaplacian      = sparse.RingLaplacian
+	DiagonalMatrix     = sparse.DiagonalMatrix
+	PrescribedSpectrum = sparse.PrescribedSpectrum
+	PowerApply         = sparse.PowerApply
+
+	VarCoeffPoisson2D    = sparse.VarCoeffPoisson2D
+	AnisotropicPoisson2D = sparse.AnisotropicPoisson2D
+	JumpCoefficient      = sparse.JumpCoefficient
+
+	ReadMatrixMarket        = sparse.ReadMatrixMarket
+	WriteMatrixMarket       = sparse.WriteMatrixMarket
+	ReadMatrixMarketVector  = sparse.ReadMatrixMarketVector
+	WriteMatrixMarketVector = sparse.WriteMatrixMarketVector
+
+	RCMOrder         = sparse.RCMOrder
+	PermuteSymmetric = sparse.PermuteSymmetric
+	PermuteVector    = sparse.PermuteVector
+	UnpermuteVector  = sparse.UnpermuteVector
+	Bandwidth        = sparse.Bandwidth
+
+	Gershgorin        = sparse.Gershgorin
+	PowerMethod       = sparse.PowerMethod
+	Lanczos           = sparse.Lanczos
+	ConditionEstimate = sparse.ConditionEstimate
+	SymDiagScaled     = sparse.SymDiagScaled
 )

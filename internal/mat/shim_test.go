@@ -1,0 +1,27 @@
+package mat
+
+import (
+	"errors"
+	"testing"
+
+	"vrcg/sparse"
+)
+
+// TestShimForwards: the shim's aliases are the sparse package's types
+// and values, not copies — a matrix built through the shim is usable
+// anywhere a sparse type is expected, and the error sentinel is
+// errors.Is-compatible across both import paths.
+func TestShimForwards(t *testing.T) {
+	var a *sparse.CSR = Poisson2D(4)
+	if a.Dim() != 16 {
+		t.Fatalf("shim Poisson2D dim = %d, want 16", a.Dim())
+	}
+	var _ sparse.Matrix = a
+	var _ Matrix = a
+	if !errors.Is(ErrDim, sparse.ErrDim) {
+		t.Fatal("shim ErrDim is not the sparse sentinel")
+	}
+	if Stencil2D5 != sparse.Stencil2D5 {
+		t.Fatal("shim stencil kinds diverge")
+	}
+}

@@ -8,8 +8,8 @@ import (
 	"vrcg/internal/collective"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Result reports a distributed solve: the solution, convergence data,
@@ -89,7 +89,7 @@ func CG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
 		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
-			m.P(), p, b.Parts(), mat.ErrDim)
+			m.P(), p, b.Parts(), sparse.ErrDim)
 	}
 
 	x := NewDist(n, p)
@@ -164,7 +164,7 @@ func PipeCG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, er
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
 		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
-			m.P(), p, b.Parts(), mat.ErrDim)
+			m.P(), p, b.Parts(), sparse.ErrDim)
 	}
 
 	x := NewDist(n, p)

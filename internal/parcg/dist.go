@@ -10,8 +10,8 @@ import (
 	"fmt"
 
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Dist is an n-vector block-partitioned across P processors: processor i
@@ -36,7 +36,7 @@ func NewDist(n, p int) *Dist {
 
 // Scatter distributes a full vector.
 func Scatter(x vec.Vector, p int) *Dist {
-	d := NewDist(x.Len(), p)
+	d := NewDist(len(x), p)
 	for i := 0; i < p; i++ {
 		copy(d.parts[i], x[d.Lo(i):d.Hi(i)])
 	}
@@ -180,7 +180,7 @@ func LocalDotPartials(m *machine.Machine, x, y *Dist) []float64 {
 // during a matvec. For the stencil operators the halo is the familiar
 // ghost layer; for general CSR it is whatever the sparsity demands.
 type DistMatrix struct {
-	a    *mat.CSR
+	a    *sparse.CSR
 	p    int
 	lay  *Dist // layout prototype (no data of interest)
 	need [][][]int
@@ -188,7 +188,7 @@ type DistMatrix struct {
 }
 
 // NewDistMatrix partitions a over p processors by contiguous row blocks.
-func NewDistMatrix(a *mat.CSR, p int) *DistMatrix {
+func NewDistMatrix(a *sparse.CSR, p int) *DistMatrix {
 	if p < 1 {
 		panic("parcg: NewDistMatrix needs p >= 1")
 	}

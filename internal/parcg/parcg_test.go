@@ -7,8 +7,8 @@ import (
 
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func mkMachine(p int) *machine.Machine {
@@ -20,7 +20,7 @@ func TestDistScatterGather(t *testing.T) {
 	vec.Random(x, 1)
 	for _, p := range []int{1, 2, 3, 5, 17} {
 		d := Scatter(x, p)
-		if !d.Gather().Equal(x) {
+		if !vec.Equal(d.Gather(), x) {
 			t.Fatalf("p=%d: gather(scatter) != identity", p)
 		}
 		if d.Len() != 17 || d.Parts() != p {
@@ -55,15 +55,15 @@ func TestDistBlockwiseOps(t *testing.T) {
 	y := Scatter(ys, 4)
 
 	Axpy(m, 2.5, x, y)
-	want := ys.Clone()
+	want := vec.Clone(ys)
 	vec.Axpy(2.5, xs, want)
-	if !y.Gather().EqualTol(want, 1e-14) {
+	if !vec.EqualTol(y.Gather(), want, 1e-14) {
 		t.Fatal("distributed Axpy wrong")
 	}
 
 	Xpay(m, x, -0.5, y)
 	vec.Xpay(xs, -0.5, want)
-	if !y.Gather().EqualTol(want, 1e-14) {
+	if !vec.EqualTol(y.Gather(), want, 1e-14) {
 		t.Fatal("distributed Xpay wrong")
 	}
 
@@ -71,7 +71,7 @@ func TestDistBlockwiseOps(t *testing.T) {
 	Sub(m, dst, x, y)
 	wantSub := vec.New(n)
 	vec.Sub(wantSub, xs, want)
-	if !dst.Gather().EqualTol(wantSub, 1e-14) {
+	if !vec.EqualTol(dst.Gather(), wantSub, 1e-14) {
 		t.Fatal("distributed Sub wrong")
 	}
 
@@ -99,7 +99,7 @@ func TestLocalDotPartials(t *testing.T) {
 
 func TestDistMatrixMulVecMatchesSerial(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 7} {
-		a := mat.Poisson2D(6)
+		a := sparse.Poisson2D(6)
 		dm := NewDistMatrix(a, p)
 		m := mkMachine(p)
 		xs := vec.New(a.Dim())
@@ -109,7 +109,7 @@ func TestDistMatrixMulVecMatchesSerial(t *testing.T) {
 		dm.MulVec(m, dst, x)
 		want := vec.New(a.Dim())
 		a.MulVec(want, xs)
-		if !dst.Gather().EqualTol(want, 1e-12) {
+		if !vec.EqualTol(dst.Gather(), want, 1e-12) {
 			t.Fatalf("p=%d: distributed matvec differs from serial", p)
 		}
 	}
@@ -119,7 +119,7 @@ func TestDistMatrixHaloSmallForStencil(t *testing.T) {
 	// A row-partitioned 2D stencil needs only one ghost layer: the halo
 	// message is at most ~grid-side words.
 	side := 12
-	a := mat.Poisson2D(side)
+	a := sparse.Poisson2D(side)
 	dm := NewDistMatrix(a, 4)
 	if h := dm.MaxHaloWords(); h > side+2 {
 		t.Fatalf("halo %d words for side %d", h, side)
@@ -127,7 +127,7 @@ func TestDistMatrixHaloSmallForStencil(t *testing.T) {
 }
 
 func solveSystem(t *testing.T, name string, solve func(*machine.Machine, *DistMatrix, *Dist) (*Result, error),
-	a *mat.CSR, p int, seed uint64) *Result {
+	a *sparse.CSR, p int, seed uint64) *Result {
 	t.Helper()
 	n := a.Dim()
 	xTrue := vec.New(n)
@@ -154,7 +154,7 @@ func solveSystem(t *testing.T, name string, solve func(*machine.Machine, *DistMa
 }
 
 func TestMachineCGSolves(t *testing.T) {
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	for _, p := range []int{1, 2, 4, 8} {
 		solveSystem(t, "CG", func(m *machine.Machine, dm *DistMatrix, b *Dist) (*Result, error) {
 			return CG(m, dm, b, Options{Tol: 1e-9})
@@ -163,7 +163,7 @@ func TestMachineCGSolves(t *testing.T) {
 }
 
 func TestMachinePipeCGSolves(t *testing.T) {
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	for _, p := range []int{1, 3, 8} {
 		solveSystem(t, "PipeCG", func(m *machine.Machine, dm *DistMatrix, b *Dist) (*Result, error) {
 			return PipeCG(m, dm, b, Options{Tol: 1e-9})
@@ -177,7 +177,7 @@ func TestMachineVRCGSolves(t *testing.T) {
 	// for the moderately conditioned 2D Poisson grid, larger k for
 	// well-conditioned systems (see the latency tests). This boundary is
 	// the historically documented monomial s-step limitation.
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	for _, k := range []int{1, 2} {
 		for _, p := range []int{2, 8} {
 			solveSystem(t, "VRCG", func(m *machine.Machine, dm *DistMatrix, b *Dist) (*Result, error) {
@@ -197,14 +197,14 @@ func TestMachineVRCGLargeKWellConditioned(t *testing.T) {
 }
 
 func TestMachineVRCGBlockingSolves(t *testing.T) {
-	a := mat.Poisson2D(8)
+	a := sparse.Poisson2D(8)
 	solveSystem(t, "VRCG-blocking", func(m *machine.Machine, dm *DistMatrix, b *Dist) (*Result, error) {
 		return VRCG(m, dm, b, VROptions{Options: Options{Tol: 1e-8}, K: 2, Blocking: true})
 	}, a, 8, 17)
 }
 
 func TestMachineSolversAgree(t *testing.T) {
-	a := mat.Poisson2D(7)
+	a := sparse.Poisson2D(7)
 	n := a.Dim()
 	bs := vec.New(n)
 	vec.Random(bs, 19)
@@ -228,10 +228,10 @@ func TestMachineSolversAgree(t *testing.T) {
 	xVR := run(func(m *machine.Machine, dm *DistMatrix, b *Dist) (*Result, error) {
 		return VRCG(m, dm, b, VROptions{Options: Options{Tol: 1e-10}, K: 2})
 	})
-	if !xCG.EqualTol(xPipe, 1e-6) {
+	if !vec.EqualTol(xCG, xPipe, 1e-6) {
 		t.Fatal("PipeCG solution differs from CG")
 	}
-	if !xCG.EqualTol(xVR, 1e-6) {
+	if !vec.EqualTol(xCG, xVR, 1e-6) {
 		t.Fatal("VRCG solution differs from CG")
 	}
 }
@@ -242,8 +242,8 @@ func TestMachineSolversAgree(t *testing.T) {
 // sound at k = 8 (degrees to 2k-1); ill-conditioned systems need the
 // Newton/Chebyshev bases later work introduced, which is exactly the
 // instability E6 documents.
-func latencyProblem(n int) *mat.CSR {
-	return mat.TridiagToeplitz(n, 4.2, -1)
+func latencyProblem(n int) *sparse.CSR {
+	return sparse.TridiagToeplitz(n, 4.2, -1)
 }
 
 // The headline machine experiment: with latency-dominated communication
@@ -346,7 +346,7 @@ func TestBlockingVsPipelinedAnchors(t *testing.T) {
 
 func TestCGIndefiniteOnMachine(t *testing.T) {
 	d := vec.NewFrom([]float64{1, -1, 1, -1})
-	a := mat.DiagonalMatrix(d)
+	a := sparse.DiagonalMatrix(d)
 	m := mkMachine(2)
 	dm := NewDistMatrix(a, 2)
 	b := Scatter(vec.NewFrom([]float64{1, 1, 1, 1}), 2)
@@ -356,7 +356,7 @@ func TestCGIndefiniteOnMachine(t *testing.T) {
 }
 
 func TestVRCGBadK(t *testing.T) {
-	a := mat.Poisson1D(8)
+	a := sparse.Poisson1D(8)
 	m := mkMachine(2)
 	dm := NewDistMatrix(a, 2)
 	b := Scatter(vec.New(8), 2)
@@ -383,7 +383,7 @@ func TestPropDistMatVec(t *testing.T) {
 	f := func(seed uint64, pRaw uint8) bool {
 		n := 30
 		p := int(pRaw)%8 + 1
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		dm := NewDistMatrix(a, p)
 		m := mkMachine(p)
 		xs := vec.New(n)
@@ -392,7 +392,7 @@ func TestPropDistMatVec(t *testing.T) {
 		dm.MulVec(m, dst, Scatter(xs, p))
 		want := vec.New(n)
 		a.MulVec(want, xs)
-		return dst.Gather().EqualTol(want, 1e-11)
+		return vec.EqualTol(dst.Gather(), want, 1e-11)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -406,7 +406,7 @@ func TestPropMachineCGMatchesSerialIterations(t *testing.T) {
 	f := func(seed uint64, pRaw uint8) bool {
 		n := 36
 		p := int(pRaw)%6 + 1
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		bs := vec.New(n)
 		vec.Random(bs, seed+3)
 		serial, err := krylov.CG(a, bs, krylov.Options{Tol: 1e-8})
@@ -432,9 +432,9 @@ func TestDistScale(t *testing.T) {
 	vec.Random(xs, 44)
 	x := Scatter(xs, 3)
 	Scale(m, -2.5, x)
-	want := xs.Clone()
+	want := vec.Clone(xs)
 	vec.Scale(-2.5, want)
-	if !x.Gather().EqualTol(want, 0) {
+	if !vec.EqualTol(x.Gather(), want, 0) {
 		t.Fatal("distributed Scale wrong")
 	}
 	if m.Stats().Flops != 10 {
@@ -444,12 +444,12 @@ func TestDistScale(t *testing.T) {
 
 func TestGershgorinBound(t *testing.T) {
 	// Poisson1D rows sum to at most |2|+|-1|+|-1| = 4.
-	dm := NewDistMatrix(mat.Poisson1D(16), 2)
+	dm := NewDistMatrix(sparse.Poisson1D(16), 2)
 	if got := dm.GershgorinBound(); got != 4 {
 		t.Fatalf("Gershgorin bound %v, want 4", got)
 	}
 	// The bound dominates the spectral radius: ||A x|| <= bound * ||x||.
-	a := mat.RandomSPD(30, 5, 9)
+	a := sparse.RandomSPD(30, 5, 9)
 	dm2 := NewDistMatrix(a, 3)
 	bound := dm2.GershgorinBound()
 	x := vec.New(30)

@@ -8,7 +8,7 @@ import (
 	"vrcg/internal/core"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
+	"vrcg/sparse"
 )
 
 // VROptions configures the distributed restructured CG.
@@ -96,7 +96,7 @@ func VRCG(m *machine.Machine, dm *DistMatrix, b *Dist, o VROptions) (*Result, er
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
 		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
-			m.P(), p, b.Parts(), mat.ErrDim)
+			m.P(), p, b.Parts(), sparse.ErrDim)
 	}
 	k := o.K
 	if k < 1 {

@@ -15,8 +15,8 @@ import (
 	"math"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Options configures a pipelined solve.
@@ -35,8 +35,8 @@ type Options struct {
 	Callback func(iter int, resNorm float64) bool
 }
 
-func matvecFlops(a mat.Matrix) int64 {
-	if sp, ok := a.(mat.Sparse); ok {
+func matvecFlops(a sparse.Matrix) int64 {
+	if sp, ok := a.(sparse.Sparse); ok {
 		return 2 * int64(sp.NNZ())
 	}
 	n := int64(a.Dim())
@@ -54,12 +54,12 @@ type Result struct {
 	Stats            krylov.Stats
 }
 
-func validate(a mat.Matrix, b vec.Vector, o Options) (Options, error) {
-	if a.Dim() != b.Len() {
-		return o, fmt.Errorf("pipecg: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+func validate(a sparse.Matrix, b vec.Vector, o Options) (Options, error) {
+	if a.Dim() != len(b) {
+		return o, fmt.Errorf("pipecg: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
 	}
-	if o.X0 != nil && o.X0.Len() != a.Dim() {
-		return o, fmt.Errorf("pipecg: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	if o.X0 != nil && len(o.X0) != a.Dim() {
+		return o, fmt.Errorf("pipecg: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 10 * a.Dim()
@@ -76,7 +76,7 @@ func validate(a mat.Matrix, b vec.Vector, o Options) (Options, error) {
 //
 //	p = r + beta p;  s = w + beta s (= A p);  q = n + beta q (= A s)
 //	x += alpha p;  r -= alpha s;  w -= alpha q (= A r maintained)
-func GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+func GhyselsVanroose(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
 	o, err := validate(a, b, o)
 	if err != nil {
 		return nil, err
@@ -84,7 +84,7 @@ func GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	n := a.Dim()
 	res := &Result{}
 	if o.X0 != nil {
-		res.X = o.X0.Clone()
+		res.X = vec.Clone(o.X0)
 	} else {
 		res.X = vec.New(n)
 	}
@@ -184,7 +184,7 @@ func GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 // Gropp solves A x = b by Gropp's asynchronous variant: two reductions
 // per iteration, each overlapped with one of the two matvec-shaped
 // operations, using the auxiliary vector s = A p.
-func Gropp(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
+func Gropp(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
 	o, err := validate(a, b, o)
 	if err != nil {
 		return nil, err
@@ -192,7 +192,7 @@ func Gropp(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	n := a.Dim()
 	res := &Result{}
 	if o.X0 != nil {
-		res.X = o.X0.Clone()
+		res.X = vec.Clone(o.X0)
 	} else {
 		res.X = vec.New(n)
 	}
@@ -202,7 +202,7 @@ func Gropp(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	p := r.Clone()
+	p := vec.Clone(r)
 	s := vec.New(n)
 	a.MulVec(s, p)
 	res.Stats.MatVecs++
@@ -275,7 +275,7 @@ func Gropp(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	return res, nil
 }
 
-func finish(a mat.Matrix, b vec.Vector, res *Result) {
+func finish(a sparse.Matrix, b vec.Vector, res *Result) {
 	tr := vec.New(a.Dim())
 	a.MulVec(tr, res.X)
 	vec.Sub(tr, b, tr)

@@ -5,12 +5,12 @@ import (
 	"testing/quick"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
-func testSystem(m int, seed uint64) (*mat.CSR, vec.Vector, vec.Vector) {
-	a := mat.Poisson2D(m)
+func testSystem(m int, seed uint64) (*sparse.CSR, vec.Vector, vec.Vector) {
+	a := sparse.Poisson2D(m)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, seed)
@@ -68,7 +68,7 @@ func TestPipelinedMatchesCGIterationCounts(t *testing.T) {
 			t.Fatalf("%s iterations %d vs CG %d", name, it, cg.Iterations)
 		}
 	}
-	if !gv.X.EqualTol(cg.X, 1e-5) || !gr.X.EqualTol(cg.X, 1e-5) {
+	if !vec.EqualTol(gv.X, cg.X, 1e-5) || !vec.EqualTol(gr.X, cg.X, 1e-5) {
 		t.Fatal("pipelined solutions differ from CG")
 	}
 }
@@ -103,7 +103,7 @@ func TestGroppOneMatvecPerIteration(t *testing.T) {
 }
 
 func TestHistoryAndZeroRHS(t *testing.T) {
-	a := mat.Poisson1D(12)
+	a := sparse.Poisson1D(12)
 	res, err := GhyselsVanroose(a, vec.New(12), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestHistoryAndZeroRHS(t *testing.T) {
 }
 
 func TestRejectsBadArguments(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	if _, err := GhyselsVanroose(a, vec.New(6), Options{}); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -134,7 +134,7 @@ func TestRejectsBadArguments(t *testing.T) {
 }
 
 func TestIndefiniteDetected(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{1, -1}))
 	b := vec.NewFrom([]float64{1, 1})
 	if _, err := Gropp(a, b, Options{}); err == nil {
 		t.Fatal("Gropp: expected error on indefinite operator")
@@ -166,7 +166,7 @@ func TestPipelinedDriftVsCG(t *testing.T) {
 func TestPropPipelinedSolves(t *testing.T) {
 	f := func(seed uint64, whichGV bool) bool {
 		n := 36
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		x := vec.New(n)
 		vec.Random(x, seed+1)
 		b := vec.New(n)

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Workspace owns the seven vectors a Ghysels–Vanroose solve needs plus
@@ -63,10 +63,10 @@ func (ws *Workspace) xpay(x vec.Vector, alpha float64, y vec.Vector) {
 // workspace's buffers and pool (see the package-level GhyselsVanroose
 // for the recurrences). Zero steady-state heap allocations when history
 // recording is off.
-func (ws *Workspace) GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (Result, error) {
+func (ws *Workspace) GhyselsVanroose(a sparse.Matrix, b vec.Vector, o Options) (Result, error) {
 	var res Result
 	if a.Dim() != ws.n {
-		return res, fmt.Errorf("pipecg: workspace order %d but matrix order %d: %w", ws.n, a.Dim(), mat.ErrDim)
+		return res, fmt.Errorf("pipecg: workspace order %d but matrix order %d: %w", ws.n, a.Dim(), sparse.ErrDim)
 	}
 	o, err := validate(a, b, o)
 	if err != nil {
@@ -74,24 +74,24 @@ func (ws *Workspace) GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (Res
 	}
 	n := ws.n
 	if o.X0 != nil {
-		ws.x.CopyFrom(o.X0)
+		vec.Copy(ws.x, o.X0)
 	} else {
-		ws.x.Zero()
+		vec.Zero(ws.x)
 	}
 	res.X = ws.x
 
-	mat.PooledMulVec(a, ws.pool, ws.r, ws.x)
+	sparse.PooledMulVec(a, ws.pool, ws.r, ws.x)
 	vec.Sub(ws.r, b, ws.r)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	mat.PooledMulVec(a, ws.pool, ws.w, ws.r)
+	sparse.PooledMulVec(a, ws.pool, ws.w, ws.r)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
 
-	ws.p.Zero()
-	ws.s.Zero()
-	ws.q.Zero()
+	vec.Zero(ws.p)
+	vec.Zero(ws.s)
+	vec.Zero(ws.q)
 
 	bnorm := vec.Norm2(b)
 	if bnorm == 0 {
@@ -117,7 +117,7 @@ func (ws *Workspace) GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (Res
 			res.Converged = true
 			break
 		}
-		mat.PooledMulVec(a, ws.pool, ws.nv, ws.w)
+		sparse.PooledMulVec(a, ws.pool, ws.nv, ws.w)
 		res.Stats.MatVecs++
 		res.Stats.Flops += matvecFlops(a)
 
@@ -166,7 +166,7 @@ func (ws *Workspace) GhyselsVanroose(a mat.Matrix, b vec.Vector, o Options) (Res
 	res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
 
 	// True residual into nv (no longer needed this solve).
-	mat.PooledMulVec(a, ws.pool, ws.nv, ws.x)
+	sparse.PooledMulVec(a, ws.pool, ws.nv, ws.x)
 	vec.Sub(ws.nv, b, ws.nv)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)

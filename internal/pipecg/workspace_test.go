@@ -4,12 +4,12 @@ import (
 	"runtime"
 	"testing"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestWorkspaceGhyselsVanrooseMatchesPackage(t *testing.T) {
-	a := mat.Poisson2D(20)
+	a := sparse.Poisson2D(20)
 	b := vec.New(a.Dim())
 	vec.Random(b, 33)
 	ref, err := GhyselsVanroose(a, b, Options{Tol: 1e-9})
@@ -29,7 +29,7 @@ func TestWorkspaceGhyselsVanrooseMatchesPackage(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("workers=%d: not converged", w)
 		}
-		if !res.X.EqualTol(ref.X, 1e-6) {
+		if !vec.EqualTol(res.X, ref.X, 1e-6) {
 			t.Fatalf("workers=%d: workspace solution differs", w)
 		}
 		if res.Iterations != ref.Iterations && w == 0 {
@@ -42,7 +42,7 @@ func TestWorkspaceGhyselsVanrooseMatchesPackage(t *testing.T) {
 }
 
 func TestWorkspaceGhyselsVanrooseZeroAllocs(t *testing.T) {
-	a := mat.Poisson2D(20)
+	a := sparse.Poisson2D(20)
 	b := vec.New(a.Dim())
 	vec.Random(b, 34)
 	pool := vec.NewPoolMinChunk(4, 64)
@@ -62,7 +62,7 @@ func TestWorkspaceGhyselsVanrooseZeroAllocs(t *testing.T) {
 }
 
 func TestWorkspaceReuse(t *testing.T) {
-	a := mat.Poisson2D(12)
+	a := sparse.Poisson2D(12)
 	n := a.Dim()
 	ws := NewWorkspace(n, nil)
 	for seed := uint64(1); seed <= 3; seed++ {

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // IC0 is the zero-fill incomplete Cholesky preconditioner: M = L L^T
@@ -26,7 +26,7 @@ type IC0 struct {
 // definite matrix a. It returns an error if a pivot becomes non-positive
 // (the factorization does not exist for this sparsity; shift the matrix
 // or use a different preconditioner).
-func NewIC0(a *mat.CSR) (*IC0, error) {
+func NewIC0(a *sparse.CSR) (*IC0, error) {
 	n := a.Dim()
 	ic := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]int, n), tmp: vec.New(n)}
 
@@ -111,7 +111,7 @@ func (ic *IC0) Dim() int { return ic.n }
 // Apply computes dst = (L L^T)^{-1} r by forward and backward
 // substitution over the triangular factor.
 func (ic *IC0) Apply(dst, r vec.Vector) {
-	if dst.Len() != ic.n || r.Len() != ic.n {
+	if len(dst) != ic.n || len(r) != ic.n {
 		panic("precond: IC0 dimension mismatch")
 	}
 	y := ic.tmp

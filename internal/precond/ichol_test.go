@@ -6,20 +6,20 @@ import (
 	"testing"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // icDense materializes the preconditioner action as a dense matrix by
 // applying it to unit vectors.
-func icDense(p precond.Preconditioner) *mat.Dense {
+func icDense(p precond.Preconditioner) *sparse.Dense {
 	n := p.Dim()
-	d := mat.NewDense(n)
+	d := sparse.NewDense(n)
 	e := vec.New(n)
 	out := vec.New(n)
 	for j := 0; j < n; j++ {
-		e.Zero()
+		vec.Zero(e)
 		e[j] = 1
 		p.Apply(out, e)
 		for i := 0; i < n; i++ {
@@ -33,7 +33,7 @@ func TestIC0ExactForTridiagonal(t *testing.T) {
 	// A tridiagonal SPD matrix's Cholesky factor is bidiagonal, which is
 	// inside the IC(0) pattern: the "incomplete" factorization is exact
 	// and M^{-1} A = I.
-	a := mat.Poisson1D(20)
+	a := sparse.Poisson1D(20)
 	ic, err := precond.NewIC0(a)
 	if err != nil {
 		t.Fatal(err)
@@ -44,13 +44,13 @@ func TestIC0ExactForTridiagonal(t *testing.T) {
 	a.MulVec(ax, x)
 	z := vec.New(20)
 	ic.Apply(z, ax)
-	if !z.EqualTol(x, 1e-10) {
+	if !vec.EqualTol(z, x, 1e-10) {
 		t.Fatal("IC(0) on tridiagonal should invert exactly")
 	}
 }
 
 func TestIC0SymmetricPositive(t *testing.T) {
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	ic, err := precond.NewIC0(a)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestIC0SymmetricPositive(t *testing.T) {
 }
 
 func TestIC0AcceleratesPCG(t *testing.T) {
-	a := mat.Poisson2D(24)
+	a := sparse.Poisson2D(24)
 	b := vec.New(a.Dim())
 	vec.Random(b, 2)
 	plain, err := krylov.CG(a, b, krylov.Options{Tol: 1e-8})
@@ -109,7 +109,7 @@ func TestIC0AcceleratesPCG(t *testing.T) {
 func TestIC0BreaksDownGracefully(t *testing.T) {
 	// A symmetric matrix with positive diagonal that is NOT positive
 	// definite: IC(0) must report a pivot failure, not NaN silently.
-	coo := mat.NewCOO(2)
+	coo := sparse.NewCOO(2)
 	coo.Add(0, 0, 1)
 	coo.Add(1, 1, 1)
 	coo.AddSym(0, 1, 2) // eigenvalues -1 and 3
@@ -119,7 +119,7 @@ func TestIC0BreaksDownGracefully(t *testing.T) {
 }
 
 func TestIC0MissingDiagonal(t *testing.T) {
-	coo := mat.NewCOO(2)
+	coo := sparse.NewCOO(2)
 	coo.Add(0, 0, 1)
 	coo.AddSym(0, 1, 0.1)
 	// row 1 has no diagonal entry
@@ -130,7 +130,7 @@ func TestIC0MissingDiagonal(t *testing.T) {
 
 func TestIC0FactorResidualSmallOnPattern(t *testing.T) {
 	// For IC(0), (L L^T)[i][j] == A[i][j] on A's sparsity pattern.
-	a := mat.Poisson2D(5)
+	a := sparse.Poisson2D(5)
 	n := a.Dim()
 	ic, err := precond.NewIC0(a)
 	if err != nil {

@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Preconditioner applies z = M^{-1} r. Implementations must be symmetric
@@ -44,10 +44,10 @@ func (p *Identity) Dim() int { return p.N }
 
 // Apply copies r into dst.
 func (p *Identity) Apply(dst, r vec.Vector) {
-	if dst.Len() != p.N || r.Len() != p.N {
+	if len(dst) != p.N || len(r) != p.N {
 		panic("precond: Identity dimension mismatch")
 	}
-	dst.CopyFrom(r)
+	vec.Copy(dst, r)
 }
 
 // ApplyPool is Apply; a copy does not benefit from the pool.
@@ -61,7 +61,7 @@ type Jacobi struct {
 // NewJacobi extracts the diagonal of a and returns the Jacobi
 // preconditioner. It returns an error if any diagonal entry is not
 // strictly positive (A must be SPD).
-func NewJacobi(a *mat.CSR) (*Jacobi, error) {
+func NewJacobi(a *sparse.CSR) (*Jacobi, error) {
 	d := vec.New(a.Dim())
 	a.Diag(d)
 	inv := vec.New(a.Dim())
@@ -75,11 +75,11 @@ func NewJacobi(a *mat.CSR) (*Jacobi, error) {
 }
 
 // Dim returns the operator order.
-func (p *Jacobi) Dim() int { return p.invDiag.Len() }
+func (p *Jacobi) Dim() int { return len(p.invDiag) }
 
 // Apply computes dst = diag(A)^{-1} r.
 func (p *Jacobi) Apply(dst, r vec.Vector) {
-	if dst.Len() != p.Dim() || r.Len() != p.Dim() {
+	if len(dst) != p.Dim() || len(r) != p.Dim() {
 		panic("precond: Jacobi dimension mismatch")
 	}
 	vec.MulElem(dst, r, p.invDiag)
@@ -88,7 +88,7 @@ func (p *Jacobi) Apply(dst, r vec.Vector) {
 // ApplyPool computes dst = diag(A)^{-1} r with the pooled elementwise
 // multiply.
 func (p *Jacobi) ApplyPool(pool *vec.Pool, dst, r vec.Vector) {
-	if dst.Len() != p.Dim() || r.Len() != p.Dim() {
+	if len(dst) != p.Dim() || len(r) != p.Dim() {
 		panic("precond: Jacobi dimension mismatch")
 	}
 	vec.PoolMulElem(pool, dst, r, p.invDiag)
@@ -102,7 +102,7 @@ func (p *Jacobi) ApplyPool(pool *vec.Pool, dst, r vec.Vector) {
 // is a forward triangular solve, a diagonal scale, and a backward
 // triangular solve over the CSR structure.
 type SSOR struct {
-	a     *mat.CSR
+	a     *sparse.CSR
 	w     float64
 	diag  vec.Vector
 	tmp   vec.Vector
@@ -111,7 +111,7 @@ type SSOR struct {
 
 // NewSSOR builds the SSOR preconditioner for symmetric a with relaxation
 // parameter w in (0, 2).
-func NewSSOR(a *mat.CSR, w float64) (*SSOR, error) {
+func NewSSOR(a *sparse.CSR, w float64) (*SSOR, error) {
 	if w <= 0 || w >= 2 {
 		return nil, fmt.Errorf("precond: SSOR relaxation parameter %g outside (0,2)", w)
 	}
@@ -132,7 +132,7 @@ func (p *SSOR) Dim() int { return p.a.Dim() }
 // backward solve.
 func (p *SSOR) Apply(dst, r vec.Vector) {
 	n := p.Dim()
-	if dst.Len() != n || r.Len() != n {
+	if len(dst) != n || len(r) != n {
 		panic("precond: SSOR dimension mismatch")
 	}
 	w := p.w
@@ -169,7 +169,7 @@ func (p *SSOR) Apply(dst, r vec.Vector) {
 // the truncated Neumann series and Chebyshev polynomials over a spectral
 // interval.
 type Polynomial struct {
-	a      mat.Matrix
+	a      sparse.Matrix
 	coeffs []float64 // q(A) = sum_i coeffs[i] A^i
 	t1, t2 vec.Vector
 }
@@ -187,7 +187,7 @@ func (p *Polynomial) Coeffs() []float64 {
 // Apply computes dst = q(A) r by Horner's rule using two work vectors.
 func (p *Polynomial) Apply(dst, r vec.Vector) {
 	n := p.Dim()
-	if dst.Len() != n || r.Len() != n {
+	if len(dst) != n || len(r) != n {
 		panic("precond: Polynomial dimension mismatch")
 	}
 	k := len(p.coeffs) - 1
@@ -197,14 +197,14 @@ func (p *Polynomial) Apply(dst, r vec.Vector) {
 		p.a.MulVec(p.t2, p.t1)
 		vec.AxpyTo(p.t1, p.coeffs[i], r, p.t2)
 	}
-	dst.CopyFrom(p.t1)
+	vec.Copy(dst, p.t1)
 }
 
 // NewNeumann builds the truncated Neumann-series preconditioner of the
 // scaled operator: with s chosen so the spectrum of sA lies in (0,2),
 // A^{-1} ≈ s * sum_{i=0..deg} (I - sA)^i. lambdaMax must be an upper
 // bound on the largest eigenvalue of A.
-func NewNeumann(a mat.Matrix, deg int, lambdaMax float64) (*Polynomial, error) {
+func NewNeumann(a sparse.Matrix, deg int, lambdaMax float64) (*Polynomial, error) {
 	if deg < 0 {
 		return nil, fmt.Errorf("precond: Neumann degree %d < 0", deg)
 	}
@@ -234,7 +234,7 @@ func NewNeumann(a mat.Matrix, deg int, lambdaMax float64) (*Polynomial, error) {
 // NewChebyshev builds the degree-deg Chebyshev polynomial preconditioner
 // for a spectrum enclosed in [lambdaMin, lambdaMax], the minimax-optimal
 // polynomial approximation to A^{-1} on that interval.
-func NewChebyshev(a mat.Matrix, deg int, lambdaMin, lambdaMax float64) (*Polynomial, error) {
+func NewChebyshev(a sparse.Matrix, deg int, lambdaMin, lambdaMax float64) (*Polynomial, error) {
 	if deg < 0 {
 		return nil, fmt.Errorf("precond: Chebyshev degree %d < 0", deg)
 	}

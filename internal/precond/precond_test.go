@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestIdentityApply(t *testing.T) {
@@ -17,13 +17,13 @@ func TestIdentityApply(t *testing.T) {
 	r := vec.NewFrom([]float64{1, 2, 3})
 	dst := vec.New(3)
 	p.Apply(dst, r)
-	if !dst.Equal(r) {
+	if !vec.Equal(dst, r) {
 		t.Fatal("Identity changed the vector")
 	}
 }
 
 func TestJacobiApply(t *testing.T) {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{2, 4, 8}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{2, 4, 8}))
 	p, err := NewJacobi(a)
 	if err != nil {
 		t.Fatal(err)
@@ -39,13 +39,13 @@ func TestJacobiApply(t *testing.T) {
 }
 
 func TestJacobiRejectsNonPositiveDiagonal(t *testing.T) {
-	coo := mat.NewCOO(2)
+	coo := sparse.NewCOO(2)
 	coo.Add(0, 0, 1)
 	coo.Add(1, 1, -1)
 	if _, err := NewJacobi(coo.ToCSR()); err == nil {
 		t.Fatal("expected error for negative diagonal")
 	}
-	coo2 := mat.NewCOO(2)
+	coo2 := sparse.NewCOO(2)
 	coo2.Add(0, 0, 1)
 	coo2.Add(0, 1, 1)
 	coo2.Add(1, 0, 1)
@@ -57,13 +57,13 @@ func TestJacobiRejectsNonPositiveDiagonal(t *testing.T) {
 
 // applyAsDense materializes the preconditioner action as a dense matrix
 // by applying it to unit vectors.
-func applyAsDense(p Preconditioner) *mat.Dense {
+func applyAsDense(p Preconditioner) *sparse.Dense {
 	n := p.Dim()
-	d := mat.NewDense(n)
+	d := sparse.NewDense(n)
 	e := vec.New(n)
 	out := vec.New(n)
 	for j := 0; j < n; j++ {
-		e.Zero()
+		vec.Zero(e)
 		e[j] = 1
 		p.Apply(out, e)
 		for i := 0; i < n; i++ {
@@ -74,7 +74,7 @@ func applyAsDense(p Preconditioner) *mat.Dense {
 }
 
 func TestSSORSymmetricOperator(t *testing.T) {
-	a := mat.Poisson2D(4)
+	a := sparse.Poisson2D(4)
 	for _, w := range []float64{0.5, 1.0, 1.5} {
 		p, err := NewSSOR(a, w)
 		if err != nil {
@@ -88,7 +88,7 @@ func TestSSORSymmetricOperator(t *testing.T) {
 }
 
 func TestSSORPositiveDefinite(t *testing.T) {
-	a := mat.Poisson1D(12)
+	a := sparse.Poisson1D(12)
 	p, err := NewSSOR(a, 1.2)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestSSORPositiveDefinite(t *testing.T) {
 func TestSSORExactForDiagonal(t *testing.T) {
 	// For a diagonal matrix, SSOR with w=1 reduces to exact inversion:
 	// M = D * 1 * D^{-1} * D = D.
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{2, 5}))
+	a := sparse.DiagonalMatrix(vec.NewFrom([]float64{2, 5}))
 	p, err := NewSSOR(a, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestSSORExactForDiagonal(t *testing.T) {
 }
 
 func TestSSORRejectsBadOmega(t *testing.T) {
-	a := mat.Poisson1D(4)
+	a := sparse.Poisson1D(4)
 	for _, w := range []float64{0, -1, 2, 2.5} {
 		if _, err := NewSSOR(a, w); err == nil {
 			t.Fatalf("expected error for w=%g", w)
@@ -130,7 +130,7 @@ func TestSSORRejectsBadOmega(t *testing.T) {
 }
 
 func TestSSORRejectsBadDiagonal(t *testing.T) {
-	coo := mat.NewCOO(2)
+	coo := sparse.NewCOO(2)
 	coo.Add(0, 0, -2)
 	coo.Add(1, 1, 1)
 	if _, err := NewSSOR(coo.ToCSR(), 1); err == nil {
@@ -139,7 +139,7 @@ func TestSSORRejectsBadDiagonal(t *testing.T) {
 }
 
 func TestNeumannDegreeZeroIsScaledIdentity(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	p, err := NewNeumann(a, 0, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestNeumannDegreeZeroIsScaledIdentity(t *testing.T) {
 
 func TestNeumannImprovesWithDegree(t *testing.T) {
 	// Higher-degree Neumann should reduce ||M^{-1}A x - x||.
-	a := mat.Poisson1D(16)
+	a := sparse.Poisson1D(16)
 	x := vec.New(16)
 	vec.Random(x, 3)
 	ax := vec.New(16)
@@ -182,7 +182,7 @@ func TestNeumannImprovesWithDegree(t *testing.T) {
 }
 
 func TestNeumannErrors(t *testing.T) {
-	a := mat.Poisson1D(4)
+	a := sparse.Poisson1D(4)
 	if _, err := NewNeumann(a, -1, 4); err == nil {
 		t.Fatal("expected degree error")
 	}
@@ -195,7 +195,7 @@ func TestChebyshevApproximatesInverse(t *testing.T) {
 	// On a diagonal matrix with known spectrum, Chebyshev of moderate
 	// degree should approximately invert A.
 	n := 20
-	a := mat.PrescribedSpectrum(n, 10) // eigenvalues in [1,10]
+	a := sparse.PrescribedSpectrum(n, 10) // eigenvalues in [1,10]
 	p, err := NewChebyshev(a, 8, 1, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -214,7 +214,7 @@ func TestChebyshevApproximatesInverse(t *testing.T) {
 }
 
 func TestChebyshevErrors(t *testing.T) {
-	a := mat.Poisson1D(4)
+	a := sparse.Poisson1D(4)
 	if _, err := NewChebyshev(a, -1, 1, 2); err == nil {
 		t.Fatal("expected degree error")
 	}
@@ -227,7 +227,7 @@ func TestChebyshevErrors(t *testing.T) {
 }
 
 func TestPolynomialCoeffsCopied(t *testing.T) {
-	a := mat.Poisson1D(4)
+	a := sparse.Poisson1D(4)
 	p, err := NewNeumann(a, 2, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +248,7 @@ func TestPropJacobiExactOnDiagonal(t *testing.T) {
 		for i := range d {
 			d[i] = math.Abs(d[i]) + 0.5 // strictly positive
 		}
-		a := mat.DiagonalMatrix(d)
+		a := sparse.DiagonalMatrix(d)
 		p, err := NewJacobi(a)
 		if err != nil {
 			return false
@@ -259,7 +259,7 @@ func TestPropJacobiExactOnDiagonal(t *testing.T) {
 		a.MulVec(b, x)
 		z := vec.New(n)
 		p.Apply(z, b)
-		return z.EqualTol(x, 1e-12)
+		return vec.EqualTol(z, x, 1e-12)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -271,7 +271,7 @@ func TestPropSSORSelfAdjoint(t *testing.T) {
 	f := func(seed uint64, mRaw uint8, wRaw uint8) bool {
 		m := int(mRaw)%10 + 3
 		w := 0.2 + 1.6*float64(wRaw)/255
-		a := mat.Poisson1D(m)
+		a := sparse.Poisson1D(m)
 		p, err := NewSSOR(a, w)
 		if err != nil {
 			return false

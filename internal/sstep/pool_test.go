@@ -4,14 +4,14 @@ import (
 	"runtime"
 	"testing"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // TestSolvePooledMatchesSerial: routing the s-step blocks through the
 // worker-pool engine preserves convergence and the solution.
 func TestSolvePooledMatchesSerial(t *testing.T) {
-	a := mat.Poisson2D(14)
+	a := sparse.Poisson2D(14)
 	b := vec.New(a.Dim())
 	vec.Random(b, 61)
 	ref, err := Solve(a, b, Options{S: 4, Tol: 1e-9})
@@ -27,7 +27,7 @@ func TestSolvePooledMatchesSerial(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("workers=%d: pooled s-step did not converge", w)
 		}
-		if !res.X.EqualTol(ref.X, 1e-6) {
+		if !vec.EqualTol(res.X, ref.X, 1e-6) {
 			t.Fatalf("workers=%d: pooled solution differs", w)
 		}
 		pool.Close()

@@ -15,8 +15,8 @@ import (
 	"math"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Options configures an s-step solve.
@@ -47,8 +47,8 @@ func pdot(p *vec.Pool, x, y vec.Vector) float64 { return vec.PoolDot(p, x, y) }
 
 func paxpy(p *vec.Pool, alpha float64, x, y vec.Vector) { vec.PoolAxpy(p, alpha, x, y) }
 
-func matvecFlops(a mat.Matrix) int64 {
-	if sp, ok := a.(mat.Sparse); ok {
+func matvecFlops(a sparse.Matrix) int64 {
+	if sp, ok := a.(sparse.Sparse); ok {
 		return 2 * int64(sp.NNZ())
 	}
 	n := int64(a.Dim())
@@ -77,15 +77,15 @@ type Result struct {
 // coefficient updates to the vectors. Numerically the monomial basis
 // limits practical block sizes to s <~ 5, exactly the historical
 // experience with the method.
-func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if a.Dim() != b.Len() {
-		return nil, fmt.Errorf("sstep: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), mat.ErrDim)
+func Solve(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
+	if a.Dim() != len(b) {
+		return nil, fmt.Errorf("sstep: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
 	}
 	if o.S < 1 {
 		return nil, fmt.Errorf("sstep: block size S = %d must be >= 1: %w", o.S, krylov.ErrBadOption)
 	}
-	if o.X0 != nil && o.X0.Len() != a.Dim() {
-		return nil, fmt.Errorf("sstep: x0 length %d for order %d: %w", o.X0.Len(), a.Dim(), mat.ErrDim)
+	if o.X0 != nil && len(o.X0) != a.Dim() {
+		return nil, fmt.Errorf("sstep: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
 	}
 	n := a.Dim()
 	if o.MaxIter == 0 {
@@ -98,16 +98,16 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 
 	res := &Result{}
 	if o.X0 != nil {
-		res.X = o.X0.Clone()
+		res.X = vec.Clone(o.X0)
 	} else {
 		res.X = vec.New(n)
 	}
 	r := vec.New(n)
-	mat.PooledMulVec(a, o.Pool, r, res.X)
+	sparse.PooledMulVec(a, o.Pool, r, res.X)
 	vec.Sub(r, b, r)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)
-	p := r.Clone()
+	p := vec.Clone(r)
 
 	bnorm := vec.Norm2(b)
 	if bnorm == 0 {
@@ -151,13 +151,13 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 			break
 		}
 		// Build block Krylov powers: rPow[0..s], pPow[0..s+1].
-		rPow[0].CopyFrom(r)
+		vec.Copy(rPow[0], r)
 		for i := 1; i <= s; i++ {
-			mat.PooledMulVec(a, o.Pool, rPow[i], rPow[i-1])
+			sparse.PooledMulVec(a, o.Pool, rPow[i], rPow[i-1])
 		}
-		pPow[0].CopyFrom(p)
+		vec.Copy(pPow[0], p)
 		for i := 1; i <= s+1; i++ {
-			mat.PooledMulVec(a, o.Pool, pPow[i], pPow[i-1])
+			sparse.PooledMulVec(a, o.Pool, pPow[i], pPow[i-1])
 		}
 		res.Stats.MatVecs += 2*s + 1
 		res.Stats.Flops += int64(2*s+1) * matvecFlops(a)
@@ -280,7 +280,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		// Apply the block as linear combinations of the power families —
 		// the s-step economy: no per-step matvecs, 3 combination sweeps.
 		applyCombo := func(dst vec.Vector, c coeff) {
-			dst.Zero()
+			vec.Zero(dst)
 			for i, v := range c.rho {
 				paxpy(o.Pool, v, rPow[i], dst)
 			}
@@ -294,7 +294,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 		vec.Add(res.X, res.X, upd)
 		applyCombo(r, cr)
 		applyCombo(upd, cp)
-		p.CopyFrom(upd)
+		vec.Copy(p, upd)
 
 		base := res.Iterations
 		res.Iterations += steps
@@ -326,7 +326,7 @@ func Solve(a mat.Matrix, b vec.Vector, o Options) (*Result, error) {
 	}
 	res.ResidualNorm = math.Sqrt(math.Max(rr, 0))
 	tr := vec.New(n)
-	mat.PooledMulVec(a, o.Pool, tr, res.X)
+	sparse.PooledMulVec(a, o.Pool, tr, res.X)
 	vec.Sub(tr, b, tr)
 	res.Stats.MatVecs++
 	res.Stats.Flops += matvecFlops(a)

@@ -6,12 +6,12 @@ import (
 	"testing/quick"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 func TestSolveS1MatchesCG(t *testing.T) {
-	a := mat.Poisson2D(6)
+	a := sparse.Poisson2D(6)
 	n := a.Dim()
 	b := vec.New(n)
 	vec.Random(b, 1)
@@ -26,7 +26,7 @@ func TestSolveS1MatchesCG(t *testing.T) {
 	if !ss.Converged {
 		t.Fatal("s=1 did not converge")
 	}
-	if !ss.X.EqualTol(cg.X, 1e-6) {
+	if !vec.EqualTol(ss.X, cg.X, 1e-6) {
 		t.Fatal("s=1 solution differs from CG")
 	}
 	// Iteration counts agree closely (same method, batched scalars).
@@ -36,7 +36,7 @@ func TestSolveS1MatchesCG(t *testing.T) {
 }
 
 func TestSolveBlocksS4(t *testing.T) {
-	a := mat.Poisson2D(7)
+	a := sparse.Poisson2D(7)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, 2)
@@ -62,7 +62,7 @@ func TestSolveBlocksS4(t *testing.T) {
 }
 
 func TestSolveConvergenceAcrossS(t *testing.T) {
-	a := mat.TridiagToeplitz(128, 4.2, -1) // kappa ~ 2.6
+	a := sparse.TridiagToeplitz(128, 4.2, -1) // kappa ~ 2.6
 	b := vec.New(128)
 	vec.Random(b, 3)
 	base, err := Solve(a, b, Options{S: 1, Tol: 1e-8})
@@ -87,7 +87,7 @@ func TestSolveConvergenceAcrossS(t *testing.T) {
 func TestSolveMatvecEconomy(t *testing.T) {
 	// ~(2s+1)/s matvecs per iteration, far fewer reductions per
 	// iteration than CG's 2.
-	a := mat.TridiagToeplitz(96, 4.2, -1)
+	a := sparse.TridiagToeplitz(96, 4.2, -1)
 	b := vec.New(96)
 	vec.Random(b, 4)
 	s := 4
@@ -110,7 +110,7 @@ func TestSolveMatvecEconomy(t *testing.T) {
 }
 
 func TestSolveZeroRHS(t *testing.T) {
-	a := mat.Poisson1D(10)
+	a := sparse.Poisson1D(10)
 	res, err := Solve(a, vec.New(10), Options{S: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestSolveZeroRHS(t *testing.T) {
 }
 
 func TestSolveRejectsBadArguments(t *testing.T) {
-	a := mat.Poisson1D(5)
+	a := sparse.Poisson1D(5)
 	if _, err := Solve(a, vec.New(6), Options{S: 2}); err == nil {
 		t.Fatal("expected dimension error")
 	}
@@ -134,7 +134,7 @@ func TestSolveRejectsBadArguments(t *testing.T) {
 }
 
 func TestSolveHistoryRecorded(t *testing.T) {
-	a := mat.Poisson2D(5)
+	a := sparse.Poisson2D(5)
 	b := vec.New(a.Dim())
 	vec.Random(b, 7)
 	res, err := Solve(a, b, Options{S: 3, Tol: 1e-8, RecordHistory: true})
@@ -153,7 +153,7 @@ func TestSolveHistoryRecorded(t *testing.T) {
 func TestLargeSBreaksDownGracefully(t *testing.T) {
 	// On an ill-conditioned problem a large monomial block must either
 	// converge (lucky) or fail with ErrBreakdown — never hang or panic.
-	a := mat.Poisson1D(256) // kappa ~ 2.7e4
+	a := sparse.Poisson1D(256) // kappa ~ 2.7e4
 	b := vec.New(256)
 	vec.Random(b, 8)
 	res, err := Solve(a, b, Options{S: 12, Tol: 1e-9, MaxIter: 3000})
@@ -167,7 +167,7 @@ func TestLargeSBreaksDownGracefully(t *testing.T) {
 }
 
 func TestWarmStart(t *testing.T) {
-	a := mat.Poisson2D(5)
+	a := sparse.Poisson2D(5)
 	n := a.Dim()
 	xTrue := vec.New(n)
 	vec.Random(xTrue, 9)
@@ -187,7 +187,7 @@ func TestPropSolveRandomSPD(t *testing.T) {
 	f := func(seed uint64, sRaw uint8) bool {
 		s := int(sRaw)%4 + 1
 		n := 40
-		a := mat.RandomSPD(n, 4, seed)
+		a := sparse.RandomSPD(n, 4, seed)
 		x := vec.New(n)
 		vec.Random(x, seed+1)
 		b := vec.New(n)

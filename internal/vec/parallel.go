@@ -63,6 +63,7 @@ const (
 	opFusedCG
 	opDotBatch
 	opCSRMulVec
+	opRowRange
 )
 
 // job carries the operands of the in-flight kernel. Slice fields are
@@ -80,7 +81,16 @@ type job struct {
 	rowPtr []int
 	colIdx []int
 	vals   []float64
+	// fn is the row-range kernel of RowMulVec. Callers pass a cached
+	// function value (not a fresh closure) so dispatch stays
+	// allocation-free.
+	fn RowKernel
 }
+
+// RowKernel computes rows [lo, hi) of dst = A*x for a row-partitioned
+// operator. Implementations must write dst[lo:hi] only and may read all
+// of x, so disjoint chunks can run concurrently.
+type RowKernel func(lo, hi int, dst, x Vector)
 
 // DefaultPool uses all available CPUs with a conservative minimum chunk.
 var DefaultPool = NewPool(runtime.GOMAXPROCS(0))
@@ -318,6 +328,8 @@ func (p *Pool) exec(c int) {
 			}
 			dst[i] = s
 		}
+	case opRowRange:
+		j.fn(lo, hi, j.z, j.x)
 	}
 }
 
@@ -507,9 +519,29 @@ func PoolFusedCGUpdate(p *Pool, alpha float64, pv, ap, x, r Vector) float64 {
 	return FusedCGUpdate(alpha, pv, ap, x, r)
 }
 
+// RowMulVec computes dst = A*x for an operator whose rows are
+// independent, splitting the n rows into near-equal chunks and running
+// fn on each (the pooled matvec of sparse.DIA and sparse.Stencil, whose
+// per-row work is uniform enough that an equal split balances). It
+// returns false — leaving dst untouched — when the pool is closed,
+// serial, or n is below the parallel threshold, in which case the
+// caller should run its serial kernel. fn should be a function value
+// cached by the caller (e.g. a method value stored at construction) so
+// steady-state dispatch performs no allocations.
+func (p *Pool) RowMulVec(n int, dst, x Vector, fn RowKernel) bool {
+	nc := p.beginEqual(n)
+	if nc == 0 {
+		return false
+	}
+	p.job = job{op: opRowRange, fn: fn, x: x, z: dst}
+	p.run(nc)
+	p.end()
+	return true
+}
+
 // CSRMulVec computes dst = A*x for a CSR matrix given by (rowPtr,
 // colIdx, vals), parallelized over the caller-provided row partition
-// bounds (len(bounds)-1 chunks; see mat.CSR.MulVecPool, which supplies
+// bounds (len(bounds)-1 chunks; see sparse.CSR.MulVecPool, which supplies
 // an nnz-balanced partition). It returns false — leaving dst untouched —
 // when the partition does not fit this pool and the caller should use
 // its serial kernel.

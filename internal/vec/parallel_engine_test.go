@@ -41,32 +41,32 @@ func TestPooledKernelsMatchSerialAcrossWorkerCounts(t *testing.T) {
 			}
 
 			// Elementwise kernels must match bitwise.
-			y1, y2 := y.Clone(), y.Clone()
+			y1, y2 := Clone(y), Clone(y)
 			Axpy(1.25, x, y1)
 			p.Axpy(1.25, x, y2)
-			if !y1.Equal(y2) {
+			if !Equal(y1, y2) {
 				t.Fatalf("n=%d w=%d pooled Axpy differs bitwise", n, w)
 			}
 
-			y1, y2 = y.Clone(), y.Clone()
+			y1, y2 = Clone(y), Clone(y)
 			Xpay(x, -0.75, y1)
 			p.Xpay(x, -0.75, y2)
-			if !y1.Equal(y2) {
+			if !Equal(y1, y2) {
 				t.Fatalf("n=%d w=%d pooled Xpay differs bitwise", n, w)
 			}
 
 			d1, d2 := New(n), New(n)
 			MulElem(d1, x, y)
 			p.MulElem(d2, x, y)
-			if !d1.Equal(d2) {
+			if !Equal(d1, d2) {
 				t.Fatalf("n=%d w=%d pooled MulElem differs bitwise", n, w)
 			}
 
-			x1, r1 := x.Clone(), z.Clone()
-			x2, r2 := x.Clone(), z.Clone()
+			x1, r1 := Clone(x), Clone(z)
+			x2, r2 := Clone(x), Clone(z)
 			rr1 := FusedCGUpdate(0.3, y, z, x1, r1)
 			rr2 := p.FusedCGUpdate(0.3, y, z, x2, r2)
-			if !x1.Equal(x2) || !r1.Equal(r2) {
+			if !Equal(x1, x2) || !Equal(r1, r2) {
 				t.Fatalf("n=%d w=%d pooled FusedCGUpdate vectors differ bitwise", n, w)
 			}
 			if !almostEqual(rr1, rr2, 1e-11) {
@@ -219,9 +219,9 @@ func TestPoolCSRMulVecRejectsOversizedPartition(t *testing.T) {
 	colIdx := []int{0, 1, 2, 3, 4, 5}
 	vals := []float64{1, 1, 1, 1, 1, 1}
 	dst := New(n)
-	dst.Fill(-1)
+	Fill(dst, -1)
 	x := New(n)
-	x.Fill(2)
+	Fill(x, 2)
 	if p.CSRMulVec([]int{0, 2, 4, 6}, rowPtr, colIdx, vals, dst, x) {
 		t.Fatal("CSRMulVec accepted a partition wider than the pool")
 	}

@@ -60,10 +60,10 @@ func TestPoolAxpyMatchesSerial(t *testing.T) {
 	Random(x, 3)
 	y1 := New(n)
 	Random(y1, 4)
-	y2 := y1.Clone()
+	y2 := Clone(y1)
 	Axpy(1.5, x, y1)
 	forcedPool(4).Axpy(1.5, x, y2)
-	if !y1.EqualTol(y2, 0) {
+	if !EqualTol(y1, y2, 0) {
 		t.Fatal("parallel Axpy differs from serial")
 	}
 }
@@ -74,10 +74,10 @@ func TestPoolXpayMatchesSerial(t *testing.T) {
 	Random(x, 5)
 	y1 := New(n)
 	Random(y1, 6)
-	y2 := y1.Clone()
+	y2 := Clone(y1)
 	Xpay(x, -0.25, y1)
 	forcedPool(3).Xpay(x, -0.25, y2)
-	if !y1.EqualTol(y2, 0) {
+	if !EqualTol(y1, y2, 0) {
 		t.Fatal("parallel Xpay differs from serial")
 	}
 }
@@ -91,11 +91,11 @@ func TestPoolFusedCGUpdateMatchesSerial(t *testing.T) {
 	x1 := New(n)
 	r1 := New(n)
 	Random(r1, 9)
-	x2 := x1.Clone()
-	r2 := r1.Clone()
+	x2 := Clone(x1)
+	r2 := Clone(r1)
 	rr1 := FusedCGUpdate(0.7, p, ap, x1, r1)
 	rr2 := forcedPool(4).FusedCGUpdate(0.7, p, ap, x2, r2)
-	if !x1.EqualTol(x2, 0) || !r1.EqualTol(r2, 0) {
+	if !EqualTol(x1, x2, 0) || !EqualTol(r1, r2, 0) {
 		t.Fatal("parallel fused update differs from serial")
 	}
 	if !almostEqual(rr1, rr2, 1e-12) {

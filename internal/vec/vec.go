@@ -18,8 +18,12 @@ import (
 // ErrLength reports a length mismatch between vector operands.
 var ErrLength = errors.New("vec: operand length mismatch")
 
-// Vector is a dense column vector of float64 components.
-type Vector []float64
+// Vector is a dense column vector of float64 components. It is a type
+// alias, not a defined type, so the public packages (solve, sparse) can
+// state their interfaces on plain []float64 while every internal kernel
+// keeps reading vec.Vector: the two spellings are interchangeable
+// everywhere, with no conversions at the API boundary.
+type Vector = []float64
 
 // New returns a zero vector of length n.
 func New(n int) Vector { return make(Vector, n) }
@@ -32,37 +36,35 @@ func NewFrom(data []float64) Vector {
 }
 
 // Clone returns an independent copy of v.
-func (v Vector) Clone() Vector {
+func Clone(v Vector) Vector {
 	w := make(Vector, len(v))
 	copy(w, v)
 	return w
 }
 
-// Len returns the number of components.
-func (v Vector) Len() int { return len(v) }
-
 // Zero sets every component of v to zero in place.
-func (v Vector) Zero() {
+func Zero(v Vector) {
 	for i := range v {
 		v[i] = 0
 	}
 }
 
 // Fill sets every component of v to c in place.
-func (v Vector) Fill(c float64) {
+func Fill(v Vector, c float64) {
 	for i := range v {
 		v[i] = c
 	}
 }
 
-// CopyFrom copies src into v. The lengths must match.
-func (v Vector) CopyFrom(src Vector) {
-	mustSameLen2(len(v), len(src))
-	copy(v, src)
+// Copy copies src into dst. The lengths must match (unlike the built-in
+// copy, which silently truncates).
+func Copy(dst, src Vector) {
+	mustSameLen2(len(dst), len(src))
+	copy(dst, src)
 }
 
 // Equal reports whether v and w have identical length and components.
-func (v Vector) Equal(w Vector) bool {
+func Equal(v, w Vector) bool {
 	if len(v) != len(w) {
 		return false
 	}
@@ -76,7 +78,7 @@ func (v Vector) Equal(w Vector) bool {
 
 // EqualTol reports whether v and w agree componentwise within absolute
 // tolerance tol.
-func (v Vector) EqualTol(w Vector, tol float64) bool {
+func EqualTol(v, w Vector, tol float64) bool {
 	if len(v) != len(w) {
 		return false
 	}
@@ -89,14 +91,12 @@ func (v Vector) EqualTol(w Vector, tol float64) bool {
 }
 
 // String renders short vectors fully and long vectors abbreviated.
-func (v Vector) String() string {
+func String(v Vector) string {
 	const maxShow = 8
 	if len(v) <= maxShow {
-		return fmt.Sprintf("%v", []float64(v))
+		return fmt.Sprintf("%v", v)
 	}
-	head := []float64(v[:4])
-	tail := []float64(v[len(v)-2:])
-	return fmt.Sprintf("[%v ... %v len=%d]", head, tail, len(v))
+	return fmt.Sprintf("[%v ... %v len=%d]", v[:4], v[len(v)-2:], len(v))
 }
 
 func mustSameLen2(a, b int) {
@@ -272,7 +272,7 @@ func Lincomb(dst Vector, coeffs []float64, xs []Vector) {
 	if len(coeffs) != len(xs) {
 		panic(fmt.Sprintf("vec: %d coefficients for %d vectors", len(coeffs), len(xs)))
 	}
-	dst.Zero()
+	Zero(dst)
 	for j, x := range xs {
 		Axpy(coeffs[j], x, dst)
 	}

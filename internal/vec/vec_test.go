@@ -19,8 +19,8 @@ func almostEqual(a, b, tol float64) bool {
 
 func TestNewAndClone(t *testing.T) {
 	v := New(5)
-	if v.Len() != 5 {
-		t.Fatalf("Len = %d, want 5", v.Len())
+	if len(v) != 5 {
+		t.Fatalf("Len = %d, want 5", len(v))
 	}
 	for i, x := range v {
 		if x != 0 {
@@ -28,7 +28,7 @@ func TestNewAndClone(t *testing.T) {
 		}
 	}
 	v[2] = 3.5
-	w := v.Clone()
+	w := Clone(v)
 	w[2] = -1
 	if v[2] != 3.5 {
 		t.Fatal("Clone aliases original storage")
@@ -46,13 +46,13 @@ func TestNewFromCopies(t *testing.T) {
 
 func TestZeroFill(t *testing.T) {
 	v := NewFrom([]float64{1, 2, 3})
-	v.Fill(7)
+	Fill(v, 7)
 	for _, x := range v {
 		if x != 7 {
 			t.Fatalf("Fill left %v", x)
 		}
 	}
-	v.Zero()
+	Zero(v)
 	for _, x := range v {
 		if x != 0 {
 			t.Fatalf("Zero left %v", x)
@@ -62,7 +62,7 @@ func TestZeroFill(t *testing.T) {
 
 func TestCopyFrom(t *testing.T) {
 	v := New(3)
-	v.CopyFrom(NewFrom([]float64{4, 5, 6}))
+	Copy(v, NewFrom([]float64{4, 5, 6}))
 	if v[0] != 4 || v[2] != 6 {
 		t.Fatalf("CopyFrom got %v", v)
 	}
@@ -74,23 +74,23 @@ func TestCopyFromPanicsOnMismatch(t *testing.T) {
 			t.Fatal("expected panic on length mismatch")
 		}
 	}()
-	New(3).CopyFrom(New(4))
+	Copy(New(3), New(4))
 }
 
 func TestEqualAndTol(t *testing.T) {
 	a := NewFrom([]float64{1, 2})
 	b := NewFrom([]float64{1, 2})
-	if !a.Equal(b) {
+	if !Equal(a, b) {
 		t.Fatal("identical vectors reported unequal")
 	}
 	b[1] += 1e-12
-	if a.Equal(b) {
+	if Equal(a, b) {
 		t.Fatal("different vectors reported equal")
 	}
-	if !a.EqualTol(b, 1e-9) {
+	if !EqualTol(a, b, 1e-9) {
 		t.Fatal("EqualTol rejected close vectors")
 	}
-	if a.EqualTol(New(3), 1) {
+	if EqualTol(a, New(3), 1) {
 		t.Fatal("EqualTol accepted different lengths")
 	}
 }
@@ -294,11 +294,11 @@ func TestRandomDeterministic(t *testing.T) {
 	b := New(64)
 	Random(a, 42)
 	Random(b, 42)
-	if !a.Equal(b) {
+	if !Equal(a, b) {
 		t.Fatal("Random not deterministic for same seed")
 	}
 	Random(b, 43)
-	if a.Equal(b) {
+	if Equal(a, b) {
 		t.Fatal("Random identical for different seeds")
 	}
 	for _, x := range a {
@@ -327,11 +327,11 @@ func TestHasNaNInf(t *testing.T) {
 
 func TestStringForms(t *testing.T) {
 	short := NewFrom([]float64{1, 2})
-	if short.String() == "" {
+	if String(short) == "" {
 		t.Fatal("empty String for short vector")
 	}
 	long := New(100)
-	s := long.String()
+	s := String(long)
 	if len(s) > 200 {
 		t.Fatalf("long vector String not abbreviated: %d chars", len(s))
 	}
@@ -366,7 +366,7 @@ func TestPropDotLinearity(t *testing.T) {
 		z := New(n)
 		Random(z, seed+2)
 		// <a*x + z, y> == a*<x,y> + <z,y> up to roundoff
-		ax := x.Clone()
+		ax := Clone(x)
 		Scale(a, ax)
 		Add(ax, ax, z)
 		lhs := Dot(ax, y)
@@ -426,14 +426,14 @@ func TestPropFusedMatchesUnfused(t *testing.T) {
 		x1 := New(n)
 		r1 := New(n)
 		Random(r1, seed+2)
-		x2 := x1.Clone()
-		r2 := r1.Clone()
+		x2 := Clone(x1)
+		r2 := Clone(r1)
 
 		rr := FusedCGUpdate(alpha, p, ap, x1, r1)
 
 		Axpy(alpha, p, x2)
 		Axpy(-alpha, ap, r2)
-		if !x1.EqualTol(x2, 1e-14) || !r1.EqualTol(r2, 1e-14) {
+		if !EqualTol(x1, x2, 1e-14) || !EqualTol(r1, r2, 1e-14) {
 			return false
 		}
 		return almostEqual(rr, Dot(r2, r2), 1e-12)

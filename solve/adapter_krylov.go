@@ -9,10 +9,13 @@ import (
 // krylovSolver adapts the classic iterations of internal/krylov. The
 // workspace-backed methods (cg, pcg) keep a krylov.Workspace across
 // Solve calls, rebuilt only when the system order or pool changes, so
-// steady-state repeated solves allocate nothing.
+// steady-state repeated solves allocate nothing; they set fast (a
+// by-value run used by both Solve and the Session zero-allocation
+// path), the rest set run.
 type krylovSolver struct {
 	name string
-	run  func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error)
+	run  func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (*krylov.Result, error)
+	fast func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (krylov.Result, error)
 	ws   *krylov.Workspace
 }
 
@@ -25,7 +28,7 @@ func (s *krylovSolver) workspace(n int, pool *vec.Pool) *krylov.Workspace {
 	return s.ws
 }
 
-func (s *krylovSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+func (s *krylovSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
 	c := newConfig(opts)
 	if err := c.preflight(s.name); err != nil {
 		return nil, err
@@ -38,11 +41,26 @@ func (s *krylovSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result,
 		RecordHistory: c.history,
 		Callback:      c.callback(&canceled, &stopped),
 	}
-	kres, err := s.run(s, a, b, c, o)
-	if kres == nil {
-		return nil, err
+	var kres *krylov.Result
+	var err error
+	if s.fast != nil {
+		r, ferr := s.fast(s, a, b, c, o)
+		kres, err = &r, ferr
+	} else {
+		kres, err = s.run(s, a, b, c, o)
+		if kres == nil {
+			return nil, err
+		}
 	}
-	res := &Result{
+	res := &Result{}
+	s.fill(res, kres)
+	return finish(c, res, err, canceled, stopped)
+}
+
+// fill maps an internal result onto the canonical Result in place (the
+// shape shared by Solve and the Session fast path).
+func (s *krylovSolver) fill(res *Result, kres *krylov.Result) {
+	*res = Result{
 		Method:           s.name,
 		X:                kres.X,
 		Iterations:       kres.Iterations,
@@ -55,54 +73,72 @@ func (s *krylovSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result,
 		// one is a completed global reduction on the machine model.
 		Syncs: kres.Stats.InnerProducts,
 	}
-	return finish(c, res, err, canceled, stopped)
+}
+
+// solveInto is the Session zero-allocation fast path for the
+// workspace-backed methods: a pre-resolved config, a prebuilt callback,
+// and a caller-owned Result, so a warm repeated solve allocates
+// nothing.
+func (s *krylovSolver) solveInto(res *Result, a Operator, b []float64, c *config, cb func(int, float64) bool) (bool, error) {
+	if s.fast == nil {
+		return false, nil
+	}
+	o := krylov.Options{
+		Tol:           c.tol,
+		MaxIter:       c.maxIter,
+		X0:            c.x0,
+		RecordHistory: c.history,
+		Callback:      cb,
+	}
+	kres, err := s.fast(s, a, b, c, o)
+	s.fill(res, &kres)
+	return true, err
 }
 
 // preconditioner resolves the pcg preconditioner: the caller's, or the
-// identity (PCG arithmetic with M = I).
+// identity (PCG arithmetic with M = I). The resolved default is cached
+// on the config so a Session's repeated pcg solves do not rebuild it.
 func (c *config) preconditioner(n int) precond.Preconditioner {
-	if c.precond != nil {
-		return c.precond
+	if c.precond == nil {
+		c.precond = precond.NewIdentity(n)
 	}
-	return precond.NewIdentity(n)
+	return c.precond
 }
 
 func init() {
 	Register("cg", "standard Hestenes-Stiefel CG (paper §2), workspace-backed",
 		func() Solver {
-			return &krylovSolver{name: "cg", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
-				r, err := s.workspace(a.Dim(), c.pool).CG(a, b, o)
-				return &r, err
+			return &krylovSolver{name: "cg", fast: func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (krylov.Result, error) {
+				return s.workspace(a.Dim(), c.pool).CG(a, b, o)
 			}}
 		})
 	Register("cgfused", "standard CG with the fused-kernel update path",
 		func() Solver {
-			return &krylovSolver{name: "cgfused", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+			return &krylovSolver{name: "cgfused", run: func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (*krylov.Result, error) {
 				return krylov.CGFused(a, b, c.pool, o)
 			}}
 		})
 	Register("pcg", "preconditioned CG (WithPreconditioner; identity default), workspace-backed",
 		func() Solver {
-			return &krylovSolver{name: "pcg", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
-				r, err := s.workspace(a.Dim(), c.pool).PCG(a, c.preconditioner(a.Dim()), b, o)
-				return &r, err
+			return &krylovSolver{name: "pcg", fast: func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (krylov.Result, error) {
+				return s.workspace(a.Dim(), c.pool).PCG(a, c.preconditioner(a.Dim()), b, o)
 			}}
 		})
 	Register("cr", "conjugate residuals (minimizes ||b - A x||)",
 		func() Solver {
-			return &krylovSolver{name: "cr", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+			return &krylovSolver{name: "cr", run: func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (*krylov.Result, error) {
 				return krylov.CR(a, b, o)
 			}}
 		})
 	Register("sd", "steepest descent with exact line search (baseline)",
 		func() Solver {
-			return &krylovSolver{name: "sd", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+			return &krylovSolver{name: "sd", run: func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (*krylov.Result, error) {
 				return krylov.SteepestDescent(a, b, o)
 			}}
 		})
 	Register("minres", "MINRES (symmetric indefinite baseline)",
 		func() Solver {
-			return &krylovSolver{name: "minres", run: func(s *krylovSolver, a Operator, b vec.Vector, c *config, o krylov.Options) (*krylov.Result, error) {
+			return &krylovSolver{name: "minres", run: func(s *krylovSolver, a Operator, b []float64, c *config, o krylov.Options) (*krylov.Result, error) {
 				return krylov.MINRES(a, b, o)
 			}}
 		})

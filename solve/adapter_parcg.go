@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"vrcg/internal/machine"
-	"vrcg/internal/mat"
 	"vrcg/internal/parcg"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // parcgSolver adapts the distributed programs of internal/parcg: the
@@ -15,7 +15,7 @@ import (
 // Solve yields both the answer and the paper's timing story
 // (Result.Clocks, Result.PerIterTime, Result.Machine).
 //
-// The operator must be a *mat.CSR — its sparsity defines the row-block
+// The operator must be a *sparse.CSR — its sparsity defines the row-block
 // partition and halo. WithProcessors or WithMachineConfig size the
 // machine; "parcg" additionally takes WithLookahead (the anchor
 // pipeline depth k >= 1), WithBlocking (s-step anchor semantics), and
@@ -27,18 +27,18 @@ type parcgSolver struct {
 
 func (s *parcgSolver) Name() string { return s.name }
 
-func (s *parcgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+func (s *parcgSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
 	c := newConfig(opts)
 	if err := c.preflight(s.name); err != nil {
 		return nil, err
 	}
-	csr, ok := a.(*mat.CSR)
+	csr, ok := a.(*sparse.CSR)
 	if !ok {
-		return nil, fmt.Errorf("solve: %s partitions by sparsity and needs a *mat.CSR operator, got %T: %w",
+		return nil, fmt.Errorf("solve: %s partitions by sparsity and needs a *sparse.CSR operator, got %T: %w",
 			s.name, a, ErrUnsupportedOperator)
 	}
-	if a.Dim() != b.Len() {
-		return nil, fmt.Errorf("solve: matrix order %d but rhs length %d: %w", a.Dim(), b.Len(), ErrDim)
+	if a.Dim() != len(b) {
+		return nil, fmt.Errorf("solve: matrix order %d but rhs length %d: %w", a.Dim(), len(b), ErrDim)
 	}
 	cfg := c.machineCfg
 	if !c.machineSet {

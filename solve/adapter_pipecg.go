@@ -2,7 +2,6 @@ package solve
 
 import (
 	"vrcg/internal/pipecg"
-	"vrcg/internal/vec"
 )
 
 // pipecgSolver adapts the pipelined successors (internal/pipecg):
@@ -13,13 +12,14 @@ import (
 type pipecgSolver struct {
 	name         string
 	syncsPerIter int
-	run          func(s *pipecgSolver, a Operator, b vec.Vector, c *config, o pipecg.Options) (*pipecg.Result, error)
+	run          func(s *pipecgSolver, a Operator, b []float64, c *config, o pipecg.Options) (*pipecg.Result, error)
+	fast         func(s *pipecgSolver, a Operator, b []float64, c *config, o pipecg.Options) (pipecg.Result, error)
 	ws           *pipecg.Workspace
 }
 
 func (s *pipecgSolver) Name() string { return s.name }
 
-func (s *pipecgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+func (s *pipecgSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
 	c := newConfig(opts)
 	if err := c.preflight(s.name); err != nil {
 		return nil, err
@@ -32,11 +32,26 @@ func (s *pipecgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result,
 		RecordHistory: c.history,
 		Callback:      c.callback(&canceled, &stopped),
 	}
-	pres, err := s.run(s, a, b, c, o)
-	if pres == nil {
-		return nil, err
+	var pres *pipecg.Result
+	var err error
+	if s.fast != nil {
+		r, ferr := s.fast(s, a, b, c, o)
+		pres, err = &r, ferr
+	} else {
+		pres, err = s.run(s, a, b, c, o)
+		if pres == nil {
+			return nil, err
+		}
 	}
-	res := &Result{
+	res := &Result{}
+	s.fill(res, pres)
+	return finish(c, res, err, canceled, stopped)
+}
+
+// fill maps an internal result onto the canonical Result in place (the
+// shape shared by Solve and the Session fast path).
+func (s *pipecgSolver) fill(res *Result, pres *pipecg.Result) {
+	*res = Result{
 		Method:           s.name,
 		X:                pres.X,
 		Iterations:       pres.Iterations,
@@ -47,25 +62,41 @@ func (s *pipecgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result,
 		Stats:            pres.Stats,
 		Syncs:            s.syncsPerIter*pres.Iterations + 1,
 	}
-	return finish(c, res, err, canceled, stopped)
+}
+
+// solveInto is the Session zero-allocation fast path (workspace-backed
+// "pipecg" only).
+func (s *pipecgSolver) solveInto(res *Result, a Operator, b []float64, c *config, cb func(int, float64) bool) (bool, error) {
+	if s.fast == nil {
+		return false, nil
+	}
+	o := pipecg.Options{
+		MaxIter:       c.maxIter,
+		Tol:           c.tol,
+		X0:            c.x0,
+		RecordHistory: c.history,
+		Callback:      cb,
+	}
+	pres, err := s.fast(s, a, b, c, o)
+	s.fill(res, &pres)
+	return true, err
 }
 
 func init() {
 	Register("pipecg", "Ghysels-Vanroose pipelined CG (one fused reduction/iter), workspace-backed",
 		func() Solver {
 			return &pipecgSolver{name: "pipecg", syncsPerIter: 1,
-				run: func(s *pipecgSolver, a Operator, b vec.Vector, c *config, o pipecg.Options) (*pipecg.Result, error) {
+				fast: func(s *pipecgSolver, a Operator, b []float64, c *config, o pipecg.Options) (pipecg.Result, error) {
 					if s.ws == nil || s.ws.Dim() != a.Dim() || s.ws.Pool() != c.pool {
 						s.ws = pipecg.NewWorkspace(a.Dim(), c.pool)
 					}
-					r, err := s.ws.GhyselsVanroose(a, b, o)
-					return &r, err
+					return s.ws.GhyselsVanroose(a, b, o)
 				}}
 		})
 	Register("gropp", "Gropp asynchronous CG (two overlapped reductions/iter)",
 		func() Solver {
 			return &pipecgSolver{name: "gropp", syncsPerIter: 2,
-				run: func(s *pipecgSolver, a Operator, b vec.Vector, c *config, o pipecg.Options) (*pipecg.Result, error) {
+				run: func(s *pipecgSolver, a Operator, b []float64, c *config, o pipecg.Options) (*pipecg.Result, error) {
 					return pipecg.Gropp(a, b, o)
 				}}
 		})

@@ -2,7 +2,6 @@ package solve
 
 import (
 	"vrcg/internal/sstep"
-	"vrcg/internal/vec"
 )
 
 // sstepSolver adapts Chronopoulos–Gear s-step CG (internal/sstep).
@@ -13,7 +12,7 @@ type sstepSolver struct{}
 
 func (sstepSolver) Name() string { return "sstep" }
 
-func (sstepSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+func (sstepSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
 	c := newConfig(opts)
 	if err := c.preflight("sstep"); err != nil {
 		return nil, err

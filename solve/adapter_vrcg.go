@@ -2,7 +2,6 @@ package solve
 
 import (
 	"vrcg/internal/core"
-	"vrcg/internal/vec"
 )
 
 // vrcgSolver adapts the paper's restructured look-ahead CG
@@ -15,7 +14,7 @@ type vrcgSolver struct{}
 
 func (vrcgSolver) Name() string { return "vrcg" }
 
-func (vrcgSolver) Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error) {
+func (vrcgSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
 	c := newConfig(opts)
 	if err := c.preflight("vrcg"); err != nil {
 		return nil, err

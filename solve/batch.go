@@ -1,0 +1,114 @@
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vrcg/sparse"
+)
+
+// Batch solves A x = b_i for every right-hand side in B against the
+// session's prepared operator, fanning the solves out across worker
+// goroutines: each worker forks the session once (its own solver and
+// reusable workspace) and takes right-hand sides round-robin, so a
+// batch of any size costs a fixed number of workspaces. Results come
+// back aggregated, in input order, with each X independently owned
+// (cloned out of the per-worker workspace).
+//
+// Per-RHS failures do not stop the batch: the returned error joins
+// every failure wrapped with its index ("rhs 3: ..."), and errors.Is
+// still matches the usual sentinels (ErrNotConverged in particular).
+// When the session was prepared WithContext, cancellation stops every
+// worker at its next iteration; right-hand sides never started report
+// the context error.
+//
+// The worker count defaults to min(len(B), GOMAXPROCS) and can be
+// pinned with WithBatchWorkers. Extra options apply to every solve in
+// the batch.
+//
+// A pool given WithPool serializes its kernels behind one lock, so
+// sharing it across concurrent workers would serialize the batch's hot
+// paths. Batch therefore re-slices the engine: with W > 1 workers, each
+// fork gets its own pool of Workers/W workers (at least one, i.e.
+// serial kernels), closed when the batch completes — coarse-grained
+// parallelism across right-hand sides takes precedence over
+// fine-grained parallelism within one solve.
+func Batch(s *Session, B [][]float64, extra ...Option) ([]Result, error) {
+	if len(B) == 0 {
+		return nil, nil
+	}
+	baseOpts := append(append([]Option(nil), s.opts...), extra...)
+	cfg := newConfig(baseOpts)
+	nw := cfg.batchWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(B) {
+		nw = len(B)
+	}
+
+	results := make([]Result, len(B))
+	errs := make([]error, len(B))
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			workerOpts := baseOpts
+			if cfg.pool != nil && nw > 1 {
+				pw := cfg.pool.Workers() / nw
+				if pw < 1 {
+					pw = 1
+				}
+				wp := sparse.NewPoolMinChunk(pw, cfg.pool.MinChunk())
+				defer wp.Close()
+				workerOpts = append(append([]Option(nil), baseOpts...), WithPool(wp))
+			}
+			sess, err := NewSession(s.method, s.op, workerOpts...)
+			if err != nil {
+				for i := w; i < len(B); i += nw {
+					errs[i] = err
+				}
+				return
+			}
+			for i := w; i < len(B); i += nw {
+				if cfg.ctx != nil && cfg.ctx.Err() != nil {
+					errs[i] = fmt.Errorf("solve: batch rhs not started: %w", cfg.ctx.Err())
+					continue
+				}
+				res, err := sess.Solve(B[i])
+				if err != nil {
+					errs[i] = err
+				}
+				if res != nil {
+					results[i] = *res
+					// X (and History) alias the fork's workspace, which the
+					// next round-robin solve overwrites; copy them out.
+					results[i].X = append([]float64(nil), res.X...)
+					if res.History != nil {
+						results[i].History = append([]float64(nil), res.History...)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("rhs %d: %w", i, err))
+		}
+	}
+	return results, errors.Join(joined...)
+}
+
+// SolveMany is Batch as a method: it solves every right-hand side in B
+// against the session's operator and returns the aggregated results in
+// input order.
+func (s *Session) SolveMany(B [][]float64, extra ...Option) ([]Result, error) {
+	return Batch(s, B, extra...)
+}

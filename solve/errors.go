@@ -4,7 +4,7 @@ import (
 	"errors"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/mat"
+	"vrcg/sparse"
 )
 
 // ErrNotConverged is returned (wrapped with per-method detail: method
@@ -20,7 +20,7 @@ var ErrUnknownMethod = errors.New("solve: unknown method")
 
 // ErrUnsupportedOperator is returned when a method needs a concrete
 // operator type the caller did not supply (the distributed methods
-// need *mat.CSR to build their halo partition).
+// need *sparse.CSR to build their halo partition).
 var ErrUnsupportedOperator = errors.New("solve: operator type not supported by this method")
 
 // Sentinels from the internal solver packages, re-exported so callers
@@ -40,5 +40,5 @@ var (
 	ErrBadOption = krylov.ErrBadOption
 	// ErrDim: dimension mismatch between operator, right-hand side,
 	// initial guess, or preconditioner.
-	ErrDim = mat.ErrDim
+	ErrDim = sparse.ErrDim
 )

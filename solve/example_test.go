@@ -4,16 +4,16 @@ import (
 	"errors"
 	"fmt"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/precond"
 	"vrcg/internal/vec"
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 // system builds a small 2D Poisson problem with a manufactured
 // solution, so every example checks a system whose answer is known.
-func system(m int) (*mat.CSR, vec.Vector) {
-	a := mat.Poisson2D(m)
+func system(m int) (*sparse.CSR, []float64) {
+	a := sparse.Poisson2D(m)
 	x := vec.New(a.Dim())
 	vec.Random(x, 1)
 	b := vec.New(a.Dim())

@@ -4,7 +4,7 @@ import (
 	"context"
 
 	"vrcg/internal/machine"
-	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // Option configures a single Solve call. Options apply uniformly across
@@ -17,8 +17,8 @@ type Option func(*config)
 type config struct {
 	tol     float64
 	maxIter int
-	x0      vec.Vector
-	pool    *vec.Pool
+	x0      []float64
+	pool    *sparse.Pool
 	precond Preconditioner
 	history bool
 	ctx     context.Context
@@ -30,6 +30,8 @@ type config struct {
 	validateEvery int
 	resReplace    int
 	blockSize     int // sstep S
+
+	batchWorkers int // Batch/SolveMany fan-out width
 
 	procs      int // parcg processor count
 	machineCfg machine.Config
@@ -62,16 +64,16 @@ func WithMaxIter(n int) Option { return func(c *config) { c.maxIter = n } }
 // WithX0 sets the initial guess (nil means the zero vector). The
 // vector is not modified. All shared-memory methods; the distributed
 // methods start from zero.
-func WithX0(x0 vec.Vector) Option { return func(c *config) { c.x0 = x0 } }
+func WithX0(x0 []float64) Option { return func(c *config) { c.x0 = x0 } }
 
 // WithPool routes the solver's hot-path kernels — SpMV, dots, axpys —
-// through the shared worker-pool execution engine. Nil keeps the
-// serial kernels. Workspace-backed solvers rebuild their workspace
-// when the pool changes between calls. Consumed by cg, cgfused, pcg,
-// vrcg, pipecg, and sstep; the remaining methods (cr, sd, minres,
-// gropp, and the simulated-machine parcg family) have no pooled
-// kernels and always run serially.
-func WithPool(p *vec.Pool) Option { return func(c *config) { c.pool = p } }
+// through the shared worker-pool execution engine (sparse.NewPool or
+// sparse.DefaultPool). Nil keeps the serial kernels. Workspace-backed
+// solvers rebuild their workspace when the pool changes between calls.
+// Consumed by cg, cgfused, pcg, vrcg, pipecg, and sstep; the remaining
+// methods (cr, sd, minres, gropp, and the simulated-machine parcg
+// family) have no pooled kernels and always run serially.
+func WithPool(p *sparse.Pool) Option { return func(c *config) { c.pool = p } }
 
 // WithPreconditioner supplies M^{-1} for "pcg". Unset defaults to the
 // identity (plain CG arithmetic with PCG's operation count).
@@ -93,6 +95,13 @@ func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = 
 // WithMonitor attaches a per-iteration observer; returning false from
 // Observe stops the solve early, without error. Shared-memory methods.
 func WithMonitor(m Monitor) Option { return func(c *config) { c.monitor = m } }
+
+// WithBatchWorkers pins the number of concurrent worker sessions
+// Batch/SolveMany fan right-hand sides out to (each worker owns one
+// forked solver and workspace, and takes right-hand sides round-robin).
+// Zero or negative selects the default, min(len(B), GOMAXPROCS).
+// Consumed only by Batch and SolveMany.
+func WithBatchWorkers(n int) Option { return func(c *config) { c.batchWorkers = n } }
 
 // WithLookahead sets the look-ahead parameter k of the paper's
 // restructured recurrences: "vrcg" (k >= 0; the §5 window depth,

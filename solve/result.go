@@ -6,7 +6,6 @@ import (
 
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/vec"
 )
 
 // Result is the canonical outcome of a solve, shared by every
@@ -18,7 +17,7 @@ type Result struct {
 	Method string
 	// X is the final iterate. It may alias solver-owned workspace
 	// storage: valid until the next Solve on the same Solver.
-	X vec.Vector
+	X []float64
 	// Iterations performed.
 	Iterations int
 	// Converged reports whether the residual tolerance was met.

@@ -7,6 +7,17 @@
 //	s, err := solve.New("vrcg")
 //	res, err := s.Solve(a, b, solve.WithTol(1e-10), solve.WithLookahead(4))
 //
+// Operators come from the public sparse package (CSR/DIA/stencil
+// matrices, MatrixMarket I/O, Poisson generators) or from any type
+// implementing the two-method Operator interface on plain []float64.
+// For repeated solves against one operator, prepare a Session once and
+// call Session.Solve per right-hand side; for many right-hand sides,
+// Batch fans them out across workers:
+//
+//	sess, err := solve.NewSession("cg", a, solve.WithTol(1e-10))
+//	res, err := sess.Solve(b)
+//	results, err := solve.Batch(sess, manyRHS)
+//
 // Registered methods (solve.Methods() lists them at runtime):
 //
 //   - "cg", "cgfused": standard Hestenes–Stiefel CG (paper §2), plain
@@ -31,32 +42,31 @@
 // workspace-backed methods (cg, pcg, pipecg).
 package solve
 
-import (
-	"vrcg/internal/vec"
-)
-
-// Operator is a square linear operator A; all methods need only
-// matrix–vector products, so operators may be matrix-free. Every
-// matrix type in internal/mat satisfies it. Operators that additionally
-// implement mat.PoolMulVec (CSR does) run their products on the worker
-// pool when WithPool is given; the distributed methods ("parcg*")
-// require a *mat.CSR, whose sparsity defines the halo partition.
+// Operator is a square linear operator A, stated on plain []float64 so
+// any package can implement it; all methods need only matrix–vector
+// products, so operators may be matrix-free. Every matrix type in the
+// public sparse package satisfies it. Operators that additionally
+// implement sparse.PoolMulVec (CSR, DIA, and Stencil do) run their
+// products on the worker pool when WithPool is given; the distributed
+// methods ("parcg*") require a *sparse.CSR, whose sparsity defines the
+// halo partition.
 type Operator interface {
 	// Dim returns the order n of the (n x n) operator.
 	Dim() int
 	// MulVec computes dst = A*x. dst and x must have length Dim and
 	// must not alias each other.
-	MulVec(dst, x vec.Vector)
+	MulVec(dst, x []float64)
 }
 
-// Preconditioner applies z = M^{-1} r. Implementations must be
-// symmetric positive definite so preconditioned CG remains well
-// defined. Every preconditioner in internal/precond satisfies it.
+// Preconditioner applies z = M^{-1} r, stated on plain []float64.
+// Implementations must be symmetric positive definite so preconditioned
+// CG remains well defined. Every preconditioner in internal/precond
+// satisfies it.
 type Preconditioner interface {
 	// Dim returns the operator order.
 	Dim() int
 	// Apply computes dst = M^{-1} r. dst and r must not alias.
-	Apply(dst, r vec.Vector)
+	Apply(dst, r []float64)
 }
 
 // Monitor observes an iteration in flight. Observe is called after
@@ -87,5 +97,5 @@ type Solver interface {
 	// Solve runs the method on A x = b. The returned Result is non-nil
 	// whenever iterations were performed, even when err is non-nil
 	// (ErrNotConverged in particular always carries a usable Result).
-	Solve(a Operator, b vec.Vector, opts ...Option) (*Result, error)
+	Solve(a Operator, b []float64, opts ...Option) (*Result, error)
 }

@@ -5,12 +5,12 @@ import (
 	"errors"
 	"testing"
 
-	"vrcg/internal/mat"
 	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
-func testSystem(m int, seed uint64) (*mat.CSR, vec.Vector) {
-	a := mat.Poisson2D(m)
+func testSystem(m int, seed uint64) (*sparse.CSR, []float64) {
+	a := sparse.Poisson2D(m)
 	x := vec.New(a.Dim())
 	vec.Random(x, seed)
 	b := vec.New(a.Dim())
@@ -91,12 +91,12 @@ func TestBadOptionSentinel(t *testing.T) {
 
 func TestUnsupportedOperatorSentinel(t *testing.T) {
 	n := 16
-	d := mat.NewDense(n)
+	d := sparse.NewDense(n)
 	for i := 0; i < n; i++ {
 		d.Set(i, i, 2)
 	}
 	b := vec.New(n)
-	b.Fill(1)
+	vec.Fill(b, 1)
 	if _, err := MustNew("parcg").Solve(d, b); !errors.Is(err, ErrUnsupportedOperator) {
 		t.Fatalf("parcg on Dense: err = %v, want ErrUnsupportedOperator", err)
 	}
@@ -182,7 +182,7 @@ func TestWorkspaceReuseAcrossSolves(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := first.Iterations
-	x := first.X.Clone() // Result.X aliases the workspace
+	x := vec.Clone(first.X) // Result.X aliases the workspace
 	for rep := 0; rep < 3; rep++ {
 		res, err := s.Solve(a, b, WithTol(1e-8))
 		if err != nil {
@@ -191,7 +191,7 @@ func TestWorkspaceReuseAcrossSolves(t *testing.T) {
 		if res.Iterations != want {
 			t.Fatalf("rep %d: %d iterations, want %d", rep, res.Iterations, want)
 		}
-		if !res.X.Equal(x) {
+		if !vec.Equal(res.X, x) {
 			t.Fatalf("rep %d: workspace reuse changed the solution", rep)
 		}
 	}

@@ -1,0 +1,123 @@
+// Benchmarks for the public serving surface, persisted by `make bench`
+// into BENCH_solve.json: what the registry dispatch costs over a direct
+// internal call, what Session reuse saves over a fresh New per solve,
+// and how Batch throughput scales with the right-hand-side count.
+//
+// Run:  go test -bench='SolveDispatch|SessionReuse|FreshSolve|Batch' -benchmem
+package vrcg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vrcg/internal/krylov"
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// benchSystem is the shared serving-shaped workload: a mid-size Poisson
+// system solved to a loose tolerance, so per-solve framework overhead
+// is visible next to the iteration work.
+func benchSystem(m int) (*sparse.CSR, []float64) {
+	a := sparse.Poisson2D(m)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	return a, b
+}
+
+// BenchmarkSolveDispatch measures the registry-dispatch overhead: the
+// same CG solve through solve.New + Solver.Solve (per-call option
+// parsing, canonical Result) vs the direct internal workspace call.
+func BenchmarkSolveDispatch(b *testing.B) {
+	a, rhs := benchSystem(24)
+	tol := 1e-8
+
+	b.Run("registry", func(b *testing.B) {
+		s := solve.MustNew("cg")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(a, rhs, solve.WithTol(tol)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		ws := krylov.NewWorkspace(a.Dim(), nil)
+		o := krylov.Options{Tol: tol}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.CG(a, rhs, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSessionReuse is the amortized serving path: one prepared
+// Session solving the same-order system repeatedly. Steady state must
+// report 0 allocs/op (the acceptance criterion of the Session API).
+func BenchmarkSessionReuse(b *testing.B) {
+	a, rhs := benchSystem(24)
+	sess, err := solve.NewSession("cg", a, solve.WithTol(1e-8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Solve(rhs); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFreshSolvePerCall is the contrast: a fresh solver (and
+// workspace) built for every solve, the cost Session amortizes away.
+func BenchmarkFreshSolvePerCall(b *testing.B) {
+	a, rhs := benchSystem(24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := solve.MustNew("cg")
+		if _, err := s.Solve(a, rhs, solve.WithTol(1e-8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatch measures multi-RHS throughput at 1, 8, and 64
+// right-hand sides; the solves/s metric normalizes across counts so the
+// fan-out win is directly readable.
+func BenchmarkBatch(b *testing.B) {
+	a, rhs := benchSystem(24)
+	for _, nrhs := range []int{1, 8, 64} {
+		B := make([][]float64, nrhs)
+		for k := range B {
+			bk := append([]float64(nil), rhs...)
+			bk[k%len(bk)] += float64(k)
+			B[k] = bk
+		}
+		b.Run(fmt.Sprintf("rhs=%d", nrhs), func(b *testing.B) {
+			sess, err := solve.NewSession("cg", a, solve.WithTol(1e-8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solve.Batch(sess, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nrhs)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		})
+	}
+}

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"fmt"
@@ -21,7 +21,7 @@ type COO struct {
 // NewCOO returns an empty n x n coordinate builder.
 func NewCOO(n int) *COO {
 	if n <= 0 {
-		panic("mat: NewCOO requires n > 0")
+		panic("sparse: NewCOO requires n > 0")
 	}
 	return &COO{n: n}
 }
@@ -32,7 +32,7 @@ func (c *COO) Dim() int { return c.n }
 // Add accumulates v into entry (i, j).
 func (c *COO) Add(i, j int, v float64) {
 	if i < 0 || i >= c.n || j < 0 || j >= c.n {
-		panic(fmt.Sprintf("mat: COO.Add index (%d,%d) out of range for n=%d", i, j, c.n))
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range for n=%d", i, j, c.n))
 	}
 	c.rows = append(c.rows, i)
 	c.cols = append(c.cols, j)
@@ -139,10 +139,10 @@ type rowPartition struct {
 // have length rowPtr[n]. Rows are sorted during construction.
 func NewCSR(n int, rowPtr, colIdx []int, vals []float64) *CSR {
 	if len(rowPtr) != n+1 {
-		panic(fmt.Sprintf("mat: rowPtr length %d, want %d", len(rowPtr), n+1))
+		panic(fmt.Sprintf("sparse: rowPtr length %d, want %d", len(rowPtr), n+1))
 	}
 	if len(colIdx) != rowPtr[n] || len(vals) != rowPtr[n] {
-		panic("mat: colIdx/vals length disagrees with rowPtr")
+		panic("sparse: colIdx/vals length disagrees with rowPtr")
 	}
 	m := &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
 	m.sortRows()
@@ -209,9 +209,9 @@ func (m *CSR) ScanRow(i int, emit func(j int, v float64)) {
 
 // Diag extracts the diagonal into dst (length n). Missing diagonal
 // entries are zero.
-func (m *CSR) Diag(dst vec.Vector) {
-	if dst.Len() != m.n {
-		panic("mat: Diag dimension mismatch")
+func (m *CSR) Diag(dst []float64) {
+	if len(dst) != m.n {
+		panic("sparse: Diag dimension mismatch")
 	}
 	for i := 0; i < m.n; i++ {
 		dst[i] = m.At(i, i)
@@ -219,7 +219,7 @@ func (m *CSR) Diag(dst vec.Vector) {
 }
 
 // MulVec computes dst = A*x.
-func (m *CSR) MulVec(dst, x vec.Vector) {
+func (m *CSR) MulVec(dst, x []float64) {
 	checkMul(m, dst, x)
 	for i := 0; i < m.n; i++ {
 		var s float64
@@ -290,7 +290,7 @@ func nnzBalancedBounds(rowPtr []int, parts int) []int {
 // back to the serial MulVec. The result is bitwise identical to MulVec:
 // parallelism is across rows, and each row's accumulation order is
 // unchanged.
-func (m *CSR) MulVecPool(pool *vec.Pool, dst, x vec.Vector) {
+func (m *CSR) MulVecPool(pool *Pool, dst, x []float64) {
 	checkMul(m, dst, x)
 	if pool == nil || pool.Workers() < 2 || len(m.vals) < 2*pool.MinChunk() {
 		m.MulVec(dst, x)

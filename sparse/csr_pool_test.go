@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"runtime"
@@ -45,9 +45,9 @@ func TestMulVecPoolMatchesSerial(t *testing.T) {
 		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0), n + 5} {
 			pool := vec.NewPoolMinChunk(w, 1)
 			got := vec.New(n)
-			got.Fill(-123)
+			vec.Fill(got, -123)
 			a.MulVecPool(pool, got, x)
-			if !want.Equal(got) {
+			if !vec.Equal(want, got) {
 				t.Fatalf("%s n=%d workers=%d: MulVecPool differs from MulVec", name, n, w)
 			}
 			pool.Close()

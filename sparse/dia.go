@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"fmt"
@@ -18,6 +18,10 @@ type DIA struct {
 	n       int
 	offsets []int       // sorted ascending
 	diags   [][]float64 // diags[d][i] multiplies x[i+offsets[d]] in row i
+
+	// rangeFn caches the row-range kernel as a method value so pooled
+	// dispatch (MulVecPool) allocates nothing per call.
+	rangeFn vec.RowKernel
 }
 
 // NewDIA builds a DIA matrix of order n from offset -> diagonal values.
@@ -26,15 +30,15 @@ type DIA struct {
 // are ignored).
 func NewDIA(n int, diagonals map[int][]float64) *DIA {
 	if n <= 0 {
-		panic("mat: NewDIA requires n > 0")
+		panic("sparse: NewDIA requires n > 0")
 	}
 	offsets := make([]int, 0, len(diagonals))
 	for k, dv := range diagonals {
 		if len(dv) != n {
-			panic(fmt.Sprintf("mat: diagonal %d has length %d, want %d", k, len(dv), n))
+			panic(fmt.Sprintf("sparse: diagonal %d has length %d, want %d", k, len(dv), n))
 		}
 		if k <= -n || k >= n {
-			panic(fmt.Sprintf("mat: diagonal offset %d out of range for n=%d", k, n))
+			panic(fmt.Sprintf("sparse: diagonal offset %d out of range for n=%d", k, n))
 		}
 		offsets = append(offsets, k)
 	}
@@ -45,6 +49,7 @@ func NewDIA(n int, diagonals map[int][]float64) *DIA {
 		copy(cp, diagonals[k])
 		m.diags[d] = cp
 	}
+	m.rangeFn = m.mulRange
 	return m
 }
 
@@ -69,20 +74,41 @@ func (m *DIA) At(i, j int) float64 {
 }
 
 // MulVec computes dst = A*x diagonal by diagonal.
-func (m *DIA) MulVec(dst, x vec.Vector) {
+func (m *DIA) MulVec(dst, x []float64) {
 	checkMul(m, dst, x)
-	dst.Zero()
+	m.mulRange(0, m.n, dst, x)
+}
+
+// mulRange computes rows [rlo, rhi) of dst = A*x, accumulating each row
+// in ascending diagonal order (the same order for every row split, so
+// pooled and serial products are bitwise identical).
+func (m *DIA) mulRange(rlo, rhi int, dst, x []float64) {
+	for i := rlo; i < rhi; i++ {
+		dst[i] = 0
+	}
 	for d, k := range m.offsets {
 		dv := m.diags[d]
-		lo, hi := 0, m.n
-		if k > 0 {
+		lo, hi := rlo, rhi
+		if k > 0 && hi > m.n-k {
 			hi = m.n - k
-		} else if k < 0 {
+		}
+		if k < 0 && lo < -k {
 			lo = -k
 		}
 		for i := lo; i < hi; i++ {
 			dst[i] += dv[i] * x[i+k]
 		}
+	}
+}
+
+// MulVecPool computes dst = A*x in parallel over the pool by splitting
+// the rows into near-equal chunks (diagonal storage does uniform work
+// per row). Small systems, a nil pool, or a serial pool fall back to
+// the serial MulVec. The result is bitwise identical to MulVec.
+func (m *DIA) MulVecPool(pool *Pool, dst, x []float64) {
+	checkMul(m, dst, x)
+	if pool == nil || pool.Workers() < 2 || !pool.RowMulVec(m.n, dst, x, m.rangeFn) {
+		m.MulVec(dst, x)
 	}
 }
 
@@ -144,6 +170,7 @@ func (m *DIA) ToCSR() *CSR {
 }
 
 var (
-	_ Matrix = (*DIA)(nil)
-	_ Sparse = (*DIA)(nil)
+	_ Matrix     = (*DIA)(nil)
+	_ Sparse     = (*DIA)(nil)
+	_ PoolMulVec = (*DIA)(nil)
 )

@@ -1,16 +1,15 @@
-package mat_test
+package sparse_test
 
 import (
 	"fmt"
 	"strings"
 
-	"vrcg/internal/mat"
-	"vrcg/internal/vec"
+	"vrcg/sparse"
 )
 
 // ExamplePoisson2D builds the model problem and inspects its structure.
 func ExamplePoisson2D() {
-	a := mat.Poisson2D(4) // 4x4 grid, 16 unknowns
+	a := sparse.Poisson2D(4) // 4x4 grid, 16 unknowns
 	fmt.Printf("n=%d nnz=%d d=%d symmetric=%v\n",
 		a.Dim(), a.NNZ(), a.MaxRowNonzeros(), a.IsSymmetric(0))
 	// Output: n=16 nnz=64 d=5 symmetric=true
@@ -24,7 +23,7 @@ func ExampleReadMatrixMarket() {
 2 1 -1
 2 2 2
 `
-	a, err := mat.ReadMatrixMarket(strings.NewReader(src))
+	a, err := sparse.ReadMatrixMarket(strings.NewReader(src))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -35,19 +34,19 @@ func ExampleReadMatrixMarket() {
 
 // ExampleRCMOrder reduces the bandwidth of a shuffled banded matrix.
 func ExampleRCMOrder() {
-	a := mat.Poisson1D(8) // tridiagonal: bandwidth 1
-	perm := mat.RCMOrder(a)
-	b, _ := mat.PermuteSymmetric(a, perm)
-	fmt.Printf("bandwidth before=%d after-RCM=%d\n", mat.Bandwidth(a), mat.Bandwidth(b))
+	a := sparse.Poisson1D(8) // tridiagonal: bandwidth 1
+	perm := sparse.RCMOrder(a)
+	b, _ := sparse.PermuteSymmetric(a, perm)
+	fmt.Printf("bandwidth before=%d after-RCM=%d\n", sparse.Bandwidth(a), sparse.Bandwidth(b))
 	// Output: bandwidth before=1 after-RCM=1
 }
 
 // ExamplePowerApply builds the Krylov power sequence the look-ahead
 // algorithm's base inner products are computed from.
 func ExamplePowerApply() {
-	a := mat.DiagonalMatrix(vec.NewFrom([]float64{1, 2}))
-	x := vec.NewFrom([]float64{1, 1})
-	pows := mat.PowerApply(a, x, 2)
+	a := sparse.DiagonalMatrix([]float64{1, 2})
+	x := []float64{1, 1}
+	pows := sparse.PowerApply(a, x, 2)
 	fmt.Printf("A^0 x = %v, A^1 x = %v, A^2 x = %v\n", pows[0], pows[1], pows[2])
 	// Output: A^0 x = [1 1], A^1 x = [1 2], A^2 x = [1 4]
 }

@@ -1,9 +1,11 @@
-package mat
+package sparse
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"vrcg/internal/vec"
 )
 
 // FuzzReadMatrixMarket exercises the Matrix Market parser with arbitrary
@@ -61,7 +63,7 @@ func FuzzReadMatrixMarketVector(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip of accepted vector failed: %v", err)
 		}
-		if !back.EqualTol(v, 0) {
+		if !vec.EqualTol(back, v, 0) {
 			t.Fatal("round trip changed the vector")
 		}
 	})

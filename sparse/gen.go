@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"fmt"
@@ -58,7 +58,7 @@ func TridiagToeplitz(n int, diag, off float64) *CSR {
 // per row, generated deterministically from seed.
 func RandomSPD(n, nnzPerRow int, seed uint64) *CSR {
 	if nnzPerRow < 0 {
-		panic("mat: RandomSPD requires nnzPerRow >= 0")
+		panic("sparse: RandomSPD requires nnzPerRow >= 0")
 	}
 	if nnzPerRow >= n {
 		nnzPerRow = n - 1
@@ -106,16 +106,16 @@ type Edge struct {
 // GraphLaplacian assembles the shifted graph Laplacian in CSR form.
 func GraphLaplacian(n int, edges []Edge, shift float64) *CSR {
 	if shift <= 0 {
-		panic("mat: GraphLaplacian needs shift > 0 for positive definiteness")
+		panic("sparse: GraphLaplacian needs shift > 0 for positive definiteness")
 	}
 	coo := NewCOO(n)
 	deg := make([]float64, n)
 	for _, e := range edges {
 		if e.U == e.V {
-			panic(fmt.Sprintf("mat: self-loop on vertex %d", e.U))
+			panic(fmt.Sprintf("sparse: self-loop on vertex %d", e.U))
 		}
 		if e.W <= 0 {
-			panic(fmt.Sprintf("mat: non-positive edge weight %v", e.W))
+			panic(fmt.Sprintf("sparse: non-positive edge weight %v", e.W))
 		}
 		coo.Add(e.U, e.V, -e.W)
 		coo.Add(e.V, e.U, -e.W)
@@ -142,8 +142,8 @@ func RingLaplacian(n int, shift float64) *CSR {
 // DiagonalMatrix returns a diagonal matrix with the given entries, used to
 // construct problems with a prescribed spectrum (and hence prescribed CG
 // convergence behaviour).
-func DiagonalMatrix(d vec.Vector) *CSR {
-	coo := NewCOO(d.Len())
+func DiagonalMatrix(d []float64) *CSR {
+	coo := NewCOO(len(d))
 	for i, v := range d {
 		coo.Add(i, i, v)
 	}
@@ -155,7 +155,7 @@ func DiagonalMatrix(d vec.Vector) *CSR {
 // governed by sqrt(kappa), making this the canonical conditioning study.
 func PrescribedSpectrum(n int, kappa float64) *CSR {
 	if kappa < 1 {
-		panic("mat: PrescribedSpectrum requires kappa >= 1")
+		panic("sparse: PrescribedSpectrum requires kappa >= 1")
 	}
 	d := vec.New(n)
 	if n == 1 {
@@ -175,12 +175,12 @@ func PrescribedSpectrum(n int, kappa float64) *CSR {
 // allocated vectors. The look-ahead algorithm needs the Krylov sequence
 // {A^i r, A^i p}; this helper is the reference implementation tests
 // validate the recurrence-based version against.
-func PowerApply(a Matrix, x vec.Vector, k int) []vec.Vector {
+func PowerApply(a Matrix, x []float64, k int) [][]float64 {
 	if k < 0 {
-		panic("mat: PowerApply requires k >= 0")
+		panic("sparse: PowerApply requires k >= 0")
 	}
-	out := make([]vec.Vector, k+1)
-	out[0] = x.Clone()
+	out := make([][]float64, k+1)
+	out[0] = vec.Clone(x)
 	for i := 1; i <= k; i++ {
 		out[i] = vec.New(a.Dim())
 		a.MulVec(out[i], out[i-1])

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"math"
@@ -110,7 +110,7 @@ func TestCSRMulVecMatchesDense(t *testing.T) {
 	y2 := vec.New(40)
 	a.MulVec(y1, x)
 	d.MulVec(y2, x)
-	if !y1.EqualTol(y2, 1e-12) {
+	if !vec.EqualTol(y1, y2, 1e-12) {
 		t.Fatal("CSR MulVec differs from dense")
 	}
 }
@@ -162,7 +162,7 @@ func TestDIAMulVecMatchesCSR(t *testing.T) {
 	y2 := vec.New(n)
 	dia.MulVec(y1, x)
 	csr.MulVec(y2, x)
-	if !y1.EqualTol(y2, 1e-13) {
+	if !vec.EqualTol(y1, y2, 1e-13) {
 		t.Fatal("DIA MulVec differs from CSR")
 	}
 	if dia.MaxRowNonzeros() != 3 {
@@ -219,7 +219,7 @@ func TestStencilMulMatchesCSRAllKinds(t *testing.T) {
 		y2 := vec.New(st.Dim())
 		st.MulVec(y1, x)
 		csr.MulVec(y2, x)
-		if !y1.EqualTol(y2, 1e-12) {
+		if !vec.EqualTol(y1, y2, 1e-12) {
 			t.Fatalf("%v: stencil MulVec differs from CSR expansion", kind)
 		}
 		if !csr.IsSymmetric(1e-12) {
@@ -308,7 +308,7 @@ func TestRingLaplacianSpectrumEndpoint(t *testing.T) {
 	shift := 0.25
 	l := RingLaplacian(n, shift)
 	x := vec.New(n)
-	x.Fill(1)
+	vec.Fill(x, 1)
 	y := vec.New(n)
 	l.MulVec(y, x)
 	for i := range y {
@@ -350,14 +350,14 @@ func TestPowerApply(t *testing.T) {
 	if len(ps) != 4 {
 		t.Fatalf("PowerApply returned %d vectors", len(ps)) //nolint
 	}
-	if !ps[0].Equal(x) {
+	if !vec.Equal(ps[0], x) {
 		t.Fatal("A^0 x != x")
 	}
 	// Verify A * ps[i] == ps[i+1]
 	tmp := vec.New(6)
 	for i := 0; i < 3; i++ {
 		a.MulVec(tmp, ps[i])
-		if !tmp.EqualTol(ps[i+1], 1e-13) {
+		if !vec.EqualTol(tmp, ps[i+1], 1e-13) {
 			t.Fatalf("power %d mismatch", i+1)
 		}
 	}
@@ -372,7 +372,7 @@ func TestRandomSPDDeterministic(t *testing.T) {
 	yb := vec.New(25)
 	a.MulVec(ya, x)
 	b.MulVec(yb, x)
-	if !ya.Equal(yb) {
+	if !vec.Equal(ya, yb) {
 		t.Fatal("RandomSPD not deterministic")
 	}
 }
@@ -472,7 +472,7 @@ func TestPropCOOOrderInvariant(t *testing.T) {
 		yb := vec.New(n)
 		a.MulVec(ya, x)
 		b.MulVec(yb, x)
-		return ya.EqualTol(yb, 1e-12)
+		return vec.EqualTol(ya, yb, 1e-12)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"bufio"
@@ -24,27 +24,27 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 
 	if !sc.Scan() {
-		return nil, fmt.Errorf("mat: empty Matrix Market stream")
+		return nil, fmt.Errorf("sparse: empty Matrix Market stream")
 	}
 	headerLine := strings.TrimSpace(sc.Text())
 	header := strings.Fields(strings.ToLower(headerLine))
 	if len(header) < 5 || header[0] != "%%matrixmarket" {
-		return nil, fmt.Errorf("mat: bad Matrix Market header %q", headerLine)
+		return nil, fmt.Errorf("sparse: bad Matrix Market header %q", headerLine)
 	}
 	if header[1] != "matrix" || header[2] != "coordinate" {
-		return nil, fmt.Errorf("mat: only 'matrix coordinate' supported, got %q", headerLine)
+		return nil, fmt.Errorf("sparse: only 'matrix coordinate' supported, got %q", headerLine)
 	}
 	field := header[3] // real | integer | pattern
 	switch field {
 	case "real", "integer", "pattern":
 	default:
-		return nil, fmt.Errorf("mat: unsupported field type %q", field)
+		return nil, fmt.Errorf("sparse: unsupported field type %q", field)
 	}
 	sym := header[4] // general | symmetric
 	switch sym {
 	case "general", "symmetric":
 	default:
-		return nil, fmt.Errorf("mat: unsupported symmetry %q", sym)
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
 	}
 
 	// Skip comments, read the size line.
@@ -55,15 +55,15 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 			continue
 		}
 		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mat: bad size line %q: %v", line, err)
+			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
 		}
 		break
 	}
 	if rows == 0 {
-		return nil, fmt.Errorf("mat: missing size line")
+		return nil, fmt.Errorf("sparse: missing size line")
 	}
 	if rows != cols {
-		return nil, fmt.Errorf("mat: matrix is %dx%d, need square", rows, cols)
+		return nil, fmt.Errorf("sparse: matrix is %dx%d, need square", rows, cols)
 	}
 
 	coo := NewCOO(rows)
@@ -79,25 +79,25 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 			want = 2
 		}
 		if len(f) < want {
-			return nil, fmt.Errorf("mat: bad entry line %q", line)
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
 		}
 		i, err := strconv.Atoi(f[0])
 		if err != nil {
-			return nil, fmt.Errorf("mat: bad row index %q: %v", f[0], err)
+			return nil, fmt.Errorf("sparse: bad row index %q: %v", f[0], err)
 		}
 		j, err := strconv.Atoi(f[1])
 		if err != nil {
-			return nil, fmt.Errorf("mat: bad column index %q: %v", f[1], err)
+			return nil, fmt.Errorf("sparse: bad column index %q: %v", f[1], err)
 		}
 		v := 1.0
 		if field != "pattern" {
 			v, err = strconv.ParseFloat(f[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("mat: bad value %q: %v", f[2], err)
+				return nil, fmt.Errorf("sparse: bad value %q: %v", f[2], err)
 			}
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
-			return nil, fmt.Errorf("mat: entry (%d,%d) outside %dx%d", i, j, rows, cols)
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", i, j, rows, cols)
 		}
 		// Matrix Market is 1-based.
 		if sym == "symmetric" && i != j {
@@ -108,10 +108,10 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		read++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("mat: read error: %v", err)
+		return nil, fmt.Errorf("sparse: read error: %v", err)
 	}
 	if read != nnz {
-		return nil, fmt.Errorf("mat: header promised %d entries, found %d", nnz, read)
+		return nil, fmt.Errorf("sparse: header promised %d entries, found %d", nnz, read)
 	}
 	return coo.ToCSR(), nil
 }
@@ -156,15 +156,15 @@ func WriteMatrixMarket(w io.Writer, m *CSR, symmetric bool) error {
 
 // ReadMatrixMarketVector parses a Matrix Market array-format real vector
 // (one column).
-func ReadMatrixMarketVector(r io.Reader) (vec.Vector, error) {
+func ReadMatrixMarketVector(r io.Reader) ([]float64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("mat: empty vector stream")
+		return nil, fmt.Errorf("sparse: empty vector stream")
 	}
 	header := strings.Fields(strings.ToLower(strings.TrimSpace(sc.Text())))
 	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "array" {
-		return nil, fmt.Errorf("mat: expected 'matrix array' header")
+		return nil, fmt.Errorf("sparse: expected 'matrix array' header")
 	}
 	var rows, cols int
 	for sc.Scan() {
@@ -173,12 +173,12 @@ func ReadMatrixMarketVector(r io.Reader) (vec.Vector, error) {
 			continue
 		}
 		if _, err := fmt.Sscanf(line, "%d %d", &rows, &cols); err != nil {
-			return nil, fmt.Errorf("mat: bad size line %q: %v", line, err)
+			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
 		}
 		break
 	}
 	if cols != 1 {
-		return nil, fmt.Errorf("mat: vector must have one column, got %d", cols)
+		return nil, fmt.Errorf("sparse: vector must have one column, got %d", cols)
 	}
 	out := vec.New(rows)
 	idx := 0
@@ -189,22 +189,22 @@ func ReadMatrixMarketVector(r io.Reader) (vec.Vector, error) {
 		}
 		v, err := strconv.ParseFloat(line, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mat: bad vector value %q: %v", line, err)
+			return nil, fmt.Errorf("sparse: bad vector value %q: %v", line, err)
 		}
 		out[idx] = v
 		idx++
 	}
 	if idx != rows {
-		return nil, fmt.Errorf("mat: vector promised %d values, found %d", rows, idx)
+		return nil, fmt.Errorf("sparse: vector promised %d values, found %d", rows, idx)
 	}
 	return out, nil
 }
 
 // WriteMatrixMarketVector emits a vector in array real format.
-func WriteMatrixMarketVector(w io.Writer, v vec.Vector) error {
+func WriteMatrixMarketVector(w io.Writer, v []float64) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%%%%MatrixMarket matrix array real general\n")
-	fmt.Fprintf(bw, "%d 1\n", v.Len())
+	fmt.Fprintf(bw, "%d 1\n", len(v))
 	for _, x := range v {
 		if _, err := fmt.Fprintf(bw, "%.17g\n", x); err != nil {
 			return err

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"bytes"
@@ -28,7 +28,7 @@ func TestMatrixMarketRoundTripGeneral(t *testing.T) {
 	y2 := vec.New(20)
 	a.MulVec(y1, x)
 	back.MulVec(y2, x)
-	if !y1.EqualTol(y2, 1e-14) {
+	if !vec.EqualTol(y1, y2, 1e-14) {
 		t.Fatal("round trip changed the operator")
 	}
 }
@@ -56,7 +56,7 @@ func TestMatrixMarketRoundTripSymmetric(t *testing.T) {
 	y2 := vec.New(a.Dim())
 	a.MulVec(y1, x)
 	back.MulVec(y2, x)
-	if !y1.EqualTol(y2, 1e-14) {
+	if !vec.EqualTol(y1, y2, 1e-14) {
 		t.Fatal("symmetric round trip changed the operator")
 	}
 }
@@ -130,7 +130,7 @@ func TestVectorRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !back.EqualTol(v, 0) {
+	if !vec.EqualTol(back, v, 0) {
 		t.Fatal("vector round trip lossy")
 	}
 }
@@ -170,7 +170,7 @@ func TestPropMatrixMarketRoundTrip(t *testing.T) {
 		y2 := vec.New(n)
 		a.MulVec(y1, x)
 		back.MulVec(y2, x)
-		return y1.EqualTol(y2, 1e-12)
+		return vec.EqualTol(y1, y2, 1e-12)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

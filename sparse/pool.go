@@ -1,0 +1,34 @@
+package sparse
+
+import (
+	"vrcg/internal/vec"
+)
+
+// Pool is the shared worker-pool execution engine the parallel kernels
+// run on: a fixed set of persistent workers executing chunked
+// data-parallel jobs with zero steady-state allocations. It is exported
+// here (as an alias of the internal engine type) so external callers
+// can construct pools, hand them to the pool-aware operators in this
+// package, and to solve.WithPool.
+//
+// A single Pool serializes its kernels behind an internal mutex, which
+// is the natural contract for one iterative solve; independent
+// concurrent solves should each own a Pool (they are cheap until their
+// first dispatch spawns the workers).
+type Pool = vec.Pool
+
+// DefaultPool is a process-wide pool using all available CPUs.
+var DefaultPool = vec.DefaultPool
+
+// DefaultMinChunk is the smallest per-worker slice length worth handing
+// to a parallel worker; below it kernels run serially on the calling
+// goroutine.
+const DefaultMinChunk = vec.DefaultMinChunk
+
+// NewPool returns a pool with the given number of workers (at least 1;
+// 1 means every kernel runs serially and no goroutines are spawned).
+func NewPool(workers int) *Pool { return vec.NewPool(workers) }
+
+// NewPoolMinChunk returns a pool with an explicit minimum per-worker
+// chunk length (construction-time alternative to Pool.SetMinChunk).
+func NewPoolMinChunk(workers, minChunk int) *Pool { return vec.NewPoolMinChunk(workers, minChunk) }

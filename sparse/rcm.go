@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"fmt"
@@ -69,13 +69,13 @@ func RCMOrder(a *CSR) []int {
 func PermuteSymmetric(a *CSR, perm []int) (*CSR, error) {
 	n := a.Dim()
 	if len(perm) != n {
-		return nil, fmt.Errorf("mat: permutation length %d for order %d", len(perm), n)
+		return nil, fmt.Errorf("sparse: permutation length %d for order %d", len(perm), n)
 	}
 	inv := make([]int, n)
 	seen := make([]bool, n)
 	for newI, oldI := range perm {
 		if oldI < 0 || oldI >= n || seen[oldI] {
-			return nil, fmt.Errorf("mat: invalid permutation entry %d", oldI)
+			return nil, fmt.Errorf("sparse: invalid permutation entry %d", oldI)
 		}
 		seen[oldI] = true
 		inv[oldI] = newI
@@ -91,14 +91,14 @@ func PermuteSymmetric(a *CSR, perm []int) (*CSR, error) {
 
 // PermuteVector rearranges x so it corresponds to the permuted matrix:
 // out[i] = x[perm[i]].
-func PermuteVector(x vec.Vector, perm []int) (vec.Vector, error) {
-	if len(perm) != x.Len() {
-		return nil, fmt.Errorf("mat: permutation length %d for vector length %d", len(perm), x.Len())
+func PermuteVector(x []float64, perm []int) ([]float64, error) {
+	if len(perm) != len(x) {
+		return nil, fmt.Errorf("sparse: permutation length %d for vector length %d", len(perm), len(x))
 	}
-	out := vec.New(x.Len())
+	out := vec.New(len(x))
 	for i, p := range perm {
-		if p < 0 || p >= x.Len() {
-			return nil, fmt.Errorf("mat: invalid permutation entry %d", p)
+		if p < 0 || p >= len(x) {
+			return nil, fmt.Errorf("sparse: invalid permutation entry %d", p)
 		}
 		out[i] = x[p]
 	}
@@ -106,14 +106,14 @@ func PermuteVector(x vec.Vector, perm []int) (vec.Vector, error) {
 }
 
 // UnpermuteVector inverts PermuteVector: out[perm[i]] = x[i].
-func UnpermuteVector(x vec.Vector, perm []int) (vec.Vector, error) {
-	if len(perm) != x.Len() {
-		return nil, fmt.Errorf("mat: permutation length %d for vector length %d", len(perm), x.Len())
+func UnpermuteVector(x []float64, perm []int) ([]float64, error) {
+	if len(perm) != len(x) {
+		return nil, fmt.Errorf("sparse: permutation length %d for vector length %d", len(perm), len(x))
 	}
-	out := vec.New(x.Len())
+	out := vec.New(len(x))
 	for i, p := range perm {
-		if p < 0 || p >= x.Len() {
-			return nil, fmt.Errorf("mat: invalid permutation entry %d", p)
+		if p < 0 || p >= len(x) {
+			return nil, fmt.Errorf("sparse: invalid permutation entry %d", p)
 		}
 		out[p] = x[i]
 	}

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"testing"
@@ -113,7 +113,7 @@ func TestPermuteSymmetricPreservesAction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bpx.EqualTol(pax, 1e-12) {
+	if !vec.EqualTol(bpx, pax, 1e-12) {
 		t.Fatal("permuted operator does not commute with permutation")
 	}
 }
@@ -130,7 +130,7 @@ func TestPermuteUnpermuteInverse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !back.EqualTol(x, 0) {
+	if !vec.EqualTol(back, x, 0) {
 		t.Fatal("unpermute(permute) != identity")
 	}
 }
@@ -186,8 +186,8 @@ func TestPropRCMSolveEquivalence(t *testing.T) {
 		}
 		// Solve the permuted system with plain CG (simple direct loop).
 		x := vec.New(n)
-		r := pb.Clone()
-		p := r.Clone()
+		r := vec.Clone(pb)
+		p := vec.Clone(r)
 		ap := vec.New(n)
 		rr := vec.Dot(r, r)
 		for it := 0; it < 10*n && rr > 1e-22; it++ {
@@ -203,7 +203,7 @@ func TestPropRCMSolveEquivalence(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got.EqualTol(xTrue, 1e-6)
+		return vec.EqualTol(got, xTrue, 1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"fmt"
@@ -34,7 +34,7 @@ func Gershgorin(a *CSR) float64 {
 // below.
 func PowerMethod(a Matrix, steps int, seed uint64) float64 {
 	if steps < 1 {
-		panic("mat: PowerMethod needs steps >= 1")
+		panic("sparse: PowerMethod needs steps >= 1")
 	}
 	n := a.Dim()
 	v := vec.New(n)
@@ -62,13 +62,13 @@ func PowerMethod(a Matrix, steps int, seed uint64) float64 {
 // Ritz values.
 func Lanczos(a Matrix, steps int, seed uint64) (lambdaMin, lambdaMax float64, err error) {
 	if steps < 1 {
-		return 0, 0, fmt.Errorf("mat: Lanczos needs steps >= 1")
+		return 0, 0, fmt.Errorf("sparse: Lanczos needs steps >= 1")
 	}
 	n := a.Dim()
 	if steps > n {
 		steps = n
 	}
-	basis := make([]vec.Vector, 0, steps)
+	basis := make([][]float64, 0, steps)
 	alpha := make([]float64, 0, steps)
 	beta := make([]float64, 0, steps) // beta[j] couples v_j and v_{j+1}
 
@@ -79,7 +79,7 @@ func Lanczos(a Matrix, steps int, seed uint64) (lambdaMin, lambdaMax float64, er
 	}
 	w := vec.New(n)
 	for j := 0; j < steps; j++ {
-		basis = append(basis, v.Clone())
+		basis = append(basis, vec.Clone(v))
 		a.MulVec(w, v)
 		aj := vec.Dot(v, w)
 		alpha = append(alpha, aj)
@@ -112,7 +112,7 @@ func symTridiagEigenvalues(diag, off []float64) []float64 {
 		return nil
 	}
 	if len(off) != m-1 {
-		panic(fmt.Sprintf("mat: tridiagonal with %d diagonal, %d off-diagonal entries", m, len(off)))
+		panic(fmt.Sprintf("sparse: tridiagonal with %d diagonal, %d off-diagonal entries", m, len(off)))
 	}
 	// Gershgorin interval for the tridiagonal.
 	lo, hi := diag[0], diag[0]
@@ -190,14 +190,14 @@ func ConditionEstimate(a Matrix, steps int, seed uint64) (float64, error) {
 // exactly Jacobi-preconditioned CG expressed as a plain CG solve — the
 // form of preconditioning directly compatible with the paper's
 // recurrences.
-func SymDiagScaled(a *CSR) (*CSR, vec.Vector, error) {
+func SymDiagScaled(a *CSR) (*CSR, []float64, error) {
 	n := a.Dim()
 	d := vec.New(n)
 	a.Diag(d)
 	invSqrt := vec.New(n)
 	for i, v := range d {
 		if v <= 0 {
-			return nil, nil, fmt.Errorf("mat: non-positive diagonal %g at row %d", v, i)
+			return nil, nil, fmt.Errorf("sparse: non-positive diagonal %g at row %d", v, i)
 		}
 		invSqrt[i] = 1 / math.Sqrt(v)
 	}

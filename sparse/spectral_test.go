@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"math"
@@ -151,7 +151,7 @@ func TestSymDiagScaledUnitDiagonal(t *testing.T) {
 	for i := range got {
 		got[i] /= invSqrt[i]
 	}
-	if !got.EqualTol(want, 1e-10) {
+	if !vec.EqualTol(got, want, 1e-10) {
 		t.Fatal("scaled operator does not reproduce A")
 	}
 }

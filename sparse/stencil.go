@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"fmt"
@@ -58,7 +58,7 @@ func (k StencilKind) Degree() int {
 	case Stencil3D27:
 		return 27
 	default:
-		panic("mat: unknown stencil kind")
+		panic("sparse: unknown stencil kind")
 	}
 }
 
@@ -72,7 +72,7 @@ func (k StencilKind) Dims() int {
 	case Stencil3D7, Stencil3D27:
 		return 3
 	default:
-		panic("mat: unknown stencil kind")
+		panic("sparse: unknown stencil kind")
 	}
 }
 
@@ -83,18 +83,24 @@ type Stencil struct {
 	kind StencilKind
 	m    int // grid points per dimension
 	n    int // total unknowns = m^dims
+
+	// rangeFn caches the row-range kernel as a method value so pooled
+	// dispatch (MulVecPool) allocates nothing per call.
+	rangeFn vec.RowKernel
 }
 
 // NewStencil returns the stencil operator on an m-per-side grid.
 func NewStencil(kind StencilKind, m int) *Stencil {
 	if m <= 0 {
-		panic("mat: NewStencil requires m > 0")
+		panic("sparse: NewStencil requires m > 0")
 	}
 	n := m
 	for i := 1; i < kind.Dims(); i++ {
 		n *= m
 	}
-	return &Stencil{kind: kind, m: m, n: n}
+	s := &Stencil{kind: kind, m: m, n: n}
+	s.rangeFn = s.mulRange
+	return s
 }
 
 // Kind returns the stencil kind.
@@ -119,25 +125,44 @@ func (s *Stencil) NNZ() int {
 }
 
 // MulVec computes dst = A*x.
-func (s *Stencil) MulVec(dst, x vec.Vector) {
+func (s *Stencil) MulVec(dst, x []float64) {
 	checkMul(s, dst, x)
-	switch s.kind {
-	case Stencil1D3:
-		s.mul1D(dst, x)
-	case Stencil2D5:
-		s.mul2D5(dst, x)
-	case Stencil2D9:
-		s.mul2D9(dst, x)
-	case Stencil3D7:
-		s.mul3D7(dst, x)
-	case Stencil3D27:
-		s.mul3D27(dst, x)
+	s.mulRange(0, s.n, dst, x)
+}
+
+// MulVecPool computes dst = A*x in parallel over the pool by splitting
+// the rows (grid points) into near-equal chunks; a stencil does uniform
+// work per row, so an equal split balances. Small grids, a nil pool, or
+// a serial pool fall back to the serial MulVec. The result is bitwise
+// identical to MulVec.
+func (s *Stencil) MulVecPool(pool *Pool, dst, x []float64) {
+	checkMul(s, dst, x)
+	if pool == nil || pool.Workers() < 2 || !pool.RowMulVec(s.n, dst, x, s.rangeFn) {
+		s.MulVec(dst, x)
 	}
 }
 
-func (s *Stencil) mul1D(dst, x vec.Vector) {
+// mulRange computes rows [lo, hi) of dst = A*x. Each row's accumulation
+// order is independent of the split, so chunked parallel products are
+// bitwise identical to the serial one.
+func (s *Stencil) mulRange(lo, hi int, dst, x []float64) {
+	switch s.kind {
+	case Stencil1D3:
+		s.mul1D(lo, hi, dst, x)
+	case Stencil2D5:
+		s.mul2D5(lo, hi, dst, x)
+	case Stencil2D9:
+		s.mul2D9(lo, hi, dst, x)
+	case Stencil3D7:
+		s.mul3D7(lo, hi, dst, x)
+	case Stencil3D27:
+		s.mul3D27(lo, hi, dst, x)
+	}
+}
+
+func (s *Stencil) mul1D(lo, hi int, dst, x []float64) {
 	m := s.m
-	for i := 0; i < m; i++ {
+	for i := lo; i < hi; i++ {
 		v := 2 * x[i]
 		if i > 0 {
 			v -= x[i-1]
@@ -149,11 +174,18 @@ func (s *Stencil) mul1D(dst, x vec.Vector) {
 	}
 }
 
-func (s *Stencil) mul2D5(dst, x vec.Vector) {
+// mul2D5 walks [lo, hi) scanline by scanline so the inner loop stays
+// free of divisions.
+func (s *Stencil) mul2D5(lo, hi int, dst, x []float64) {
 	m := s.m
-	for j := 0; j < m; j++ {
-		for i := 0; i < m; i++ {
-			idx := j*m + i
+	for idx := lo; idx < hi; {
+		j := idx / m
+		i := idx - j*m
+		end := (j + 1) * m
+		if end > hi {
+			end = hi
+		}
+		for ; idx < end; idx, i = idx+1, i+1 {
 			v := 4 * x[idx]
 			if i > 0 {
 				v -= x[idx-1]
@@ -172,14 +204,19 @@ func (s *Stencil) mul2D5(dst, x vec.Vector) {
 	}
 }
 
-func (s *Stencil) mul2D9(dst, x vec.Vector) {
+func (s *Stencil) mul2D9(lo, hi int, dst, x []float64) {
 	// 9-point compact Laplacian: center 8/3, edge neighbors -1/3,
 	// corner neighbors -1/3 (scaled variant that stays SPD).
 	m := s.m
 	const center, edge, corner = 8.0 / 3.0, -1.0 / 3.0, -1.0 / 3.0
-	for j := 0; j < m; j++ {
-		for i := 0; i < m; i++ {
-			idx := j*m + i
+	for idx := lo; idx < hi; {
+		j := idx / m
+		i := idx - j*m
+		end := (j + 1) * m
+		if end > hi {
+			end = hi
+		}
+		for ; idx < end; idx, i = idx+1, i+1 {
 			v := center * x[idx]
 			for dj := -1; dj <= 1; dj++ {
 				for di := -1; di <= 1; di++ {
@@ -202,67 +239,76 @@ func (s *Stencil) mul2D9(dst, x vec.Vector) {
 	}
 }
 
-func (s *Stencil) mul3D7(dst, x vec.Vector) {
+func (s *Stencil) mul3D7(lo, hi int, dst, x []float64) {
 	m := s.m
 	mm := m * m
-	for k := 0; k < m; k++ {
-		for j := 0; j < m; j++ {
-			for i := 0; i < m; i++ {
-				idx := k*mm + j*m + i
-				v := 6 * x[idx]
-				if i > 0 {
-					v -= x[idx-1]
-				}
-				if i < m-1 {
-					v -= x[idx+1]
-				}
-				if j > 0 {
-					v -= x[idx-m]
-				}
-				if j < m-1 {
-					v -= x[idx+m]
-				}
-				if k > 0 {
-					v -= x[idx-mm]
-				}
-				if k < m-1 {
-					v -= x[idx+mm]
-				}
-				dst[idx] = v
+	for idx := lo; idx < hi; {
+		k := idx / mm
+		rem := idx - k*mm
+		j := rem / m
+		i := rem - j*m
+		end := k*mm + (j+1)*m
+		if end > hi {
+			end = hi
+		}
+		for ; idx < end; idx, i = idx+1, i+1 {
+			v := 6 * x[idx]
+			if i > 0 {
+				v -= x[idx-1]
 			}
+			if i < m-1 {
+				v -= x[idx+1]
+			}
+			if j > 0 {
+				v -= x[idx-m]
+			}
+			if j < m-1 {
+				v -= x[idx+m]
+			}
+			if k > 0 {
+				v -= x[idx-mm]
+			}
+			if k < m-1 {
+				v -= x[idx+mm]
+			}
+			dst[idx] = v
 		}
 	}
 }
 
-func (s *Stencil) mul3D27(dst, x vec.Vector) {
-	// 27-point Laplacian with uniform off-center weight -1/26 * 26 = center 1.
-	// Scaled so center weight is 26/26=1... use center 2, neighbors -2/26
-	// to keep strict diagonal dominance and SPD.
+func (s *Stencil) mul3D27(lo, hi int, dst, x []float64) {
+	// 27-point Laplacian with center 2, neighbors -2/26, keeping strict
+	// diagonal dominance and SPD.
 	m := s.m
 	mm := m * m
 	const center = 2.0
 	const w = -2.0 / 26.0
-	for k := 0; k < m; k++ {
-		for j := 0; j < m; j++ {
-			for i := 0; i < m; i++ {
-				idx := k*mm + j*m + i
-				v := center * x[idx]
-				for dk := -1; dk <= 1; dk++ {
-					for dj := -1; dj <= 1; dj++ {
-						for di := -1; di <= 1; di++ {
-							if di == 0 && dj == 0 && dk == 0 {
-								continue
-							}
-							ii, jj, kk := i+di, j+dj, k+dk
-							if ii < 0 || ii >= m || jj < 0 || jj >= m || kk < 0 || kk >= m {
-								continue
-							}
-							v += w * x[kk*mm+jj*m+ii]
+	for idx := lo; idx < hi; {
+		k := idx / mm
+		rem := idx - k*mm
+		j := rem / m
+		i := rem - j*m
+		end := k*mm + (j+1)*m
+		if end > hi {
+			end = hi
+		}
+		for ; idx < end; idx, i = idx+1, i+1 {
+			v := center * x[idx]
+			for dk := -1; dk <= 1; dk++ {
+				for dj := -1; dj <= 1; dj++ {
+					for di := -1; di <= 1; di++ {
+						if di == 0 && dj == 0 && dk == 0 {
+							continue
 						}
+						ii, jj, kk := i+di, j+dj, k+dk
+						if ii < 0 || ii >= m || jj < 0 || jj >= m || kk < 0 || kk >= m {
+							continue
+						}
+						v += w * x[kk*mm+jj*m+ii]
 					}
 				}
-				dst[idx] = v
 			}
+			dst[idx] = v
 		}
 	}
 }
@@ -389,6 +435,7 @@ func (s *Stencil) ToCSR() *CSR {
 }
 
 var (
-	_ Matrix = (*Stencil)(nil)
-	_ Sparse = (*Stencil)(nil)
+	_ Matrix     = (*Stencil)(nil)
+	_ Sparse     = (*Stencil)(nil)
+	_ PoolMulVec = (*Stencil)(nil)
 )

@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import "fmt"
 
@@ -17,14 +17,14 @@ import "fmt"
 // ((i+0.5)/m, (j+0.5)/m) and must be strictly positive.
 func VarCoeffPoisson2D(m int, coef func(x, y float64) float64) (*CSR, error) {
 	if m < 1 {
-		return nil, fmt.Errorf("mat: VarCoeffPoisson2D needs m >= 1")
+		return nil, fmt.Errorf("sparse: VarCoeffPoisson2D needs m >= 1")
 	}
 	c := make([]float64, m*m)
 	for j := 0; j < m; j++ {
 		for i := 0; i < m; i++ {
 			v := coef((float64(i)+0.5)/float64(m), (float64(j)+0.5)/float64(m))
 			if v <= 0 {
-				return nil, fmt.Errorf("mat: coefficient %g at cell (%d,%d) not positive", v, i, j)
+				return nil, fmt.Errorf("sparse: coefficient %g at cell (%d,%d) not positive", v, i, j)
 			}
 			c[j*m+i] = v
 		}
@@ -70,10 +70,10 @@ func VarCoeffPoisson2D(m int, coef func(x, y float64) float64) (*CSR, error) {
 // departs from 1. eps must be positive.
 func AnisotropicPoisson2D(m int, eps float64) (*CSR, error) {
 	if m < 1 {
-		return nil, fmt.Errorf("mat: AnisotropicPoisson2D needs m >= 1")
+		return nil, fmt.Errorf("sparse: AnisotropicPoisson2D needs m >= 1")
 	}
 	if eps <= 0 {
-		return nil, fmt.Errorf("mat: anisotropy %g must be positive", eps)
+		return nil, fmt.Errorf("sparse: anisotropy %g must be positive", eps)
 	}
 	coo := NewCOO(m * m)
 	for j := 0; j < m; j++ {

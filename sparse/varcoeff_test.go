@@ -1,4 +1,4 @@
-package mat
+package sparse
 
 import (
 	"testing"
@@ -19,7 +19,7 @@ func TestVarCoeffReducesToPoissonForUnitCoef(t *testing.T) {
 	y2 := vec.New(m * m)
 	a.MulVec(y1, x)
 	ref.MulVec(y2, x)
-	if !y1.EqualTol(y2, 1e-12) {
+	if !vec.EqualTol(y1, y2, 1e-12) {
 		t.Fatal("unit-coefficient operator differs from Poisson2D")
 	}
 }
@@ -90,7 +90,7 @@ func TestAnisotropicPoisson(t *testing.T) {
 	y2 := vec.New(25)
 	iso.MulVec(y1, x)
 	ref.MulVec(y2, x)
-	if !y1.EqualTol(y2, 1e-12) {
+	if !vec.EqualTol(y1, y2, 1e-12) {
 		t.Fatal("eps=1 anisotropic operator differs from Poisson2D")
 	}
 
