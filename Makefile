@@ -11,10 +11,10 @@
 GO       ?= go
 BENCHPAT ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
 BENCHOUT ?= BENCH_engine.json
-SOLVEPAT ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkFreshSolvePerCall|BenchmarkBatch
+SOLVEPAT ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
 SOLVEOUT ?= BENCH_solve.json
 
-.PHONY: all build test vet fmt check bench bench-raw clean
+.PHONY: all build test vet fmt check lint bench bench-raw clean
 
 all: build test
 
@@ -40,6 +40,26 @@ check:
 
 fmt:
 	gofmt -l -w .
+
+# Static analysis + vulnerability scan, mirrored by the staticcheck and
+# govulncheck CI jobs. Tools are installed on demand (network required
+# the first time) and invoked by their install path, so lint works even
+# when GOBIN is not on PATH; offline environments fall back to `go vet`.
+lint:
+	@bin="$$($(GO) env GOBIN)"; [ -n "$$bin" ] || bin="$$($(GO) env GOPATH)/bin"; \
+	sc="$$(command -v staticcheck || true)"; \
+	if [ -z "$$sc" ]; then \
+		$(GO) install honnef.co/go/tools/cmd/staticcheck@latest >/dev/null 2>&1 && sc="$$bin/staticcheck"; \
+	fi; \
+	if [ -n "$$sc" ] && [ -x "$$sc" ]; then "$$sc" ./...; \
+	else echo "lint: staticcheck unavailable (offline?); running go vet only"; $(GO) vet ./...; fi
+	@bin="$$($(GO) env GOBIN)"; [ -n "$$bin" ] || bin="$$($(GO) env GOPATH)/bin"; \
+	gv="$$(command -v govulncheck || true)"; \
+	if [ -z "$$gv" ]; then \
+		$(GO) install golang.org/x/vuln/cmd/govulncheck@latest >/dev/null 2>&1 && gv="$$bin/govulncheck"; \
+	fi; \
+	if [ -n "$$gv" ] && [ -x "$$gv" ]; then "$$gv" ./...; \
+	else echo "lint: govulncheck unavailable (offline?); skipped"; fi
 
 # Raw benchmark text (inspect interactively).
 bench-raw:

@@ -18,10 +18,10 @@ import (
 	"vrcg/internal/machine"
 	"vrcg/internal/parcg"
 	"vrcg/internal/pipecg"
-	"vrcg/internal/precond"
 	"vrcg/internal/sstep"
 	"vrcg/internal/trace"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/sparse"
 )
 

@@ -30,8 +30,8 @@ import (
 	"os"
 	"time"
 
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/solve"
 	"vrcg/sparse"
 )

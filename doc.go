@@ -58,28 +58,50 @@
 // all go through this registry — adding a method to the registry makes
 // it appear in the cgsolve CLI without touching the CLI.
 //
-// # Implementation layout
+// # Architecture: one iteration engine, many kernels
 //
-// The implementation lives under internal/:
+// The paper's point is that CG variants differ only in how they
+// schedule the same few kernel steps — SpMV, inner products, vector
+// updates — to hide inner-product data dependencies. The implementation
+// makes that structural fact the architecture. Every shared-memory
+// method is a Kernel implementing one four-hook contract against a
+// shared driver (internal/engine):
 //
-//   - internal/core: the paper's algorithm (look-ahead CG, "VRCG")
-//   - internal/krylov, internal/precond: classic CG/PCG/CR baselines
-//   - internal/sstep, internal/pipecg: the published successor methods
-//   - sparse (public), internal/vec: sparse operators and vector
-//     kernels (internal/mat remains as a deprecated forwarding shim for
-//     the promoted sparse package)
-//   - internal/depth: the dependency-depth cost model of the paper
-//   - internal/machine, internal/collective, internal/parcg: a simulated
-//     distributed machine with hand-rolled collectives, and the
-//     algorithms as distributed programs on it
-//   - internal/trace: Figure 1 schedule rendering
-//   - internal/bench: the experiment harness (E1..E10, A1..A6)
+//	          solve registry (13 methods)
+//	                   │ one generic adapter (solveInto fast path)
+//	     ┌─────────────┴─────────────┐
+//	     │ engine.Solve — the driver │   owns: defaults, dim checks,
+//	     │ Init / Step / Residual /  │   convergence, callbacks,
+//	     │ Finish over a Workspace   │   history, classification
+//	     └─────────────┬─────────────┘
+//	┌────────┬─────────┼──────────┬──────────┐
+//	│ krylov │ krylov  │ pipecg   │ core     │ sstep
+//	│ cg,pcg │ cr, sd, │ pipecg,  │ vrcg     │ sstep
+//	│ cgfused│ minres  │ gropp    │ (§5)     │ (C–G)
+//	└────────┴─────────┴──────────┴──────────┘
+//	                   │ engine.Workspace: size-keyed vector arena
+//	     ┌─────────────┴─────────────┐
+//	     │ vec.Pool + sparse SpMV    │   persistent workers,
+//	     │ (pooled kernel dispatch)  │   zero-alloc dispatch
+//	     └───────────────────────────┘
 //
-// # Execution engine
+// The kernel owns only the method's numerics; the driver owns
+// everything the method silos used to duplicate. Kernels draw vectors
+// from the workspace arena and cache structured state (vrcg's Krylov
+// families, sstep's Gram and coefficient buffers) across solves, which
+// is what makes every shared-memory method — cg, cgfused, pcg, cr, sd,
+// minres, vrcg, pipecg, gropp, sstep — workspace-backed: a warm
+// Session.Solve on any of them performs zero heap allocations. The
+// simulated-machine methods (parcg, parcg-cg, parcg-pipe) adapt at the
+// boundary and run the ordinary path.
 //
-// The wall-clock hot path of every solver runs on a shared execution
-// engine with three layers, mirroring in real silicon the overhead
-// minimization the paper performs in its machine model:
+// Session/Batch behavior by method family:
+//
+//	method family        warm Session.Solve   Batch fan-out
+//	engine-backed (10)   0 allocs/op          forked per-worker workspaces
+//	parcg* (3)           ordinary path        forked sessions (allocating)
+//
+// The execution layers underneath:
 //
 //   - vec.Pool: a persistent worker pool for the vector kernels (dot,
 //     axpy, xpay, fused CG update, batched dots). Workers are long-lived
@@ -93,15 +115,28 @@
 //     sparse.Stencil parallelize by equal row splits through the same
 //     pool. COO assembly itself is a sort-based two-pass build, not a
 //     hash merge.
-//   - solver workspaces: krylov.Workspace (CG/PCG) and pipecg.Workspace
-//     preallocate every solve-lifetime vector, so repeated solves
-//     against same-order operators allocate nothing in steady state;
-//     the solve registry holds these workspaces inside its Solvers, and
-//     core.Options.Pool and sstep.Options.Pool route the remaining
-//     solvers through the same pooled kernels.
 //
 // See internal/core/README.md for the engine architecture and the
 // pooled-vs-serial decision guide.
+//
+// # Implementation layout
+//
+// The implementation lives under internal/ (plus the public precond):
+//
+//   - internal/engine: the shared iteration driver, Kernel contract,
+//     and workspace arena every shared-memory method runs on
+//   - internal/core: the paper's algorithm (look-ahead CG, "VRCG")
+//   - internal/krylov: classic CG/PCG/CR/SD/MINRES kernels
+//   - precond (public): Jacobi, SSOR, IC0, and polynomial
+//     preconditioners, usable directly with solve.WithPreconditioner
+//   - internal/sstep, internal/pipecg: the published successor methods
+//   - sparse (public), internal/vec: sparse operators and vector kernels
+//   - internal/depth: the dependency-depth cost model of the paper
+//   - internal/machine, internal/collective, internal/parcg: a simulated
+//     distributed machine with hand-rolled collectives, and the
+//     algorithms as distributed programs on it
+//   - internal/trace: Figure 1 schedule rendering
+//   - internal/bench: the experiment harness (E1..E10, A1..A6)
 //
 // Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI over
 // the solve registry; -matrix loads MatrixMarket systems and

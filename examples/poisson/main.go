@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"log"
 
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/solve"
 	"vrcg/sparse"
 )

@@ -6,8 +6,8 @@ import (
 	"runtime"
 	"time"
 
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/solve"
 	"vrcg/sparse"
 )

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/engine"
+	"vrcg/internal/vec"
+)
+
+// vrcgKernel is the paper's restructured conjugate gradient iteration
+// with look-ahead parameter K, as an engine kernel: identical iterates
+// to standard CG in exact arithmetic, but with every (r,r) and (p,Ap)
+// delivered by the §4/§5 scalar recurrences from inner products
+// computed k iterations earlier, one matrix–vector product per
+// iteration, and three direct inner products per iteration replenishing
+// the window tops.
+//
+// The Krylov vector families and scalar windows are cached on the
+// kernel and rebuilt in place per solve, keyed on (order, K, pool), so
+// a warm repeated solve allocates nothing.
+type vrcgKernel struct {
+	fam *Families
+	win *Window
+	rr  float64
+
+	// cache key for the families/window.
+	n    int
+	k    int
+	pool *vec.Pool
+}
+
+// NewKernel returns the vrcg iteration kernel.
+func NewKernel() engine.Kernel { return &vrcgKernel{} }
+
+func (kn *vrcgKernel) Name() string { return "vrcg" }
+
+func (kn *vrcgKernel) resNorm() float64 { return math.Sqrt(math.Max(kn.rr, 0)) }
+
+func (kn *vrcgKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	n := ws.Dim()
+	if run.Cfg.K < 0 {
+		return 0, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0: %w", run.Cfg.K, ErrBadOption)
+	}
+	k := run.Cfg.K
+	if run.Cfg.ReanchorEvery == 0 {
+		run.Cfg.ReanchorEvery = DefaultReanchorInterval(k)
+	}
+	run.Res.K = k
+
+	x := ws.Vec(0)
+	if run.Cfg.X0 != nil {
+		vec.Copy(x, run.Cfg.X0)
+	} else {
+		vec.Zero(x)
+	}
+	run.Res.X = x
+
+	// r(0) = b - A x(0), into the arena scratch the families copy from.
+	r0 := ws.Vec(1)
+	ws.MatVec(run.A, r0, x)
+	vec.Sub(r0, run.B, r0)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	// Start-up (paper: "After an initial start up"): build the Krylov
+	// vector families (k+1 matvecs including the P top) and the scalar
+	// windows (6k+6 direct inner products). Warm kernels rebuild the
+	// cached families in place.
+	if kn.fam == nil || kn.n != n || kn.k != k || kn.pool != ws.Pool() {
+		kn.fam = NewFamiliesPool(run.A, r0, k, ws.Pool())
+		kn.win = NewWindow(k)
+		kn.win.SetPool(ws.Pool())
+		kn.n, kn.k, kn.pool = n, k, ws.Pool()
+	} else {
+		kn.fam.Rebuild(run.A, r0)
+	}
+	run.Res.Stats.MatVecs += k + 1
+	run.Res.Stats.Flops += int64(k+1) * engine.MatVecFlops(run.A)
+	kn.win.InitDirect(kn.fam.R, kn.fam.P)
+	nDots := (2*k + 1) + (2*k + 2) + (2*k + 3)
+	run.Res.Stats.InnerProducts += nDots
+	run.Res.Stats.Flops += int64(nDots) * 2 * int64(n)
+
+	kn.rr = kn.win.RR()
+	return kn.resNorm(), nil
+}
+
+// Residual sharpens the recurrence (r,r) before the driver trusts it
+// for a convergence decision: the recurrence value may have drifted, so
+// a value at or under the threshold is verified with one direct inner
+// product and the window resynchronized from it.
+func (kn *vrcgKernel) Residual(run *engine.Run) float64 {
+	rn := kn.resNorm()
+	if rn <= run.Threshold {
+		rrDirect := run.Ws.Dot(kn.fam.Residual(), kn.fam.Residual())
+		run.Res.FallbackDots++
+		run.Res.Stats.InnerProducts++
+		run.Res.Stats.Flops += 2 * int64(run.Ws.Dim())
+		kn.win.M[0] = rrDirect
+		kn.rr = rrDirect
+		rn = kn.resNorm()
+	}
+	return rn
+}
+
+func (kn *vrcgKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+	fam, win := kn.fam, kn.win
+	k := kn.k
+
+	pap := win.PAP()
+	if pap <= 0 || math.IsNaN(pap) {
+		// Drift symptom: fall back to the direct inner product
+		// (A p is family member P[1], so this is one dot).
+		pap = ws.Dot(fam.Direction(), fam.AP())
+		res.FallbackDots++
+		res.Stats.InnerProducts++
+		res.Stats.Flops += 2 * n
+		win.W[1] = pap
+	}
+	if pap <= 0 || math.IsNaN(pap) {
+		// The direct product failed too, meaning the vector families
+		// themselves drifted (P[1] is no longer A p). Emergency
+		// recovery: rebuild the families from the live r and p and
+		// re-anchor the windows. Only if the genuinely recomputed
+		// (p, A p) is still non-positive is the operator indefinite.
+		reanchor(run.A, res, fam, win, true)
+		kn.rr = win.RR()
+		pap = win.PAP()
+		if pap <= 0 || math.IsNaN(pap) {
+			return fmt.Errorf("core: (p,Ap) = %g at iteration %d: %w",
+				pap, res.Iterations, ErrIndefinite)
+		}
+	}
+	lambda := kn.rr / pap
+
+	// Iterate update (uses the live direction P[0] before StepP).
+	ws.Axpy(lambda, fam.Direction(), res.X)
+	res.Stats.VectorUpdates++
+	res.Stats.Flops += 2 * n
+
+	// Residual-family half step, then the recurrence value of (r',r').
+	fam.StepR(lambda)
+	res.Stats.VectorUpdates += k + 1
+	res.Stats.Flops += int64(k+1) * 2 * n
+
+	rrNew := win.PeekRR(lambda)
+	fellBack := false
+	if rrNew <= 0 || math.IsNaN(rrNew) {
+		// Drift pushed the recurrence nonpositive (typically at
+		// convergence); fall back to one direct inner product.
+		rrNew = ws.Dot(fam.Residual(), fam.Residual())
+		fellBack = true
+		res.FallbackDots++
+		res.Stats.InnerProducts++
+		res.Stats.Flops += 2 * n
+	}
+	if kn.rr == 0 {
+		return fmt.Errorf("core: (r,r) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	alpha := rrNew / kn.rr
+
+	// Direction-family half step: 2k+2 axpys + the single matvec.
+	fam.StepP(run.A, alpha)
+	res.Stats.VectorUpdates += k + 1
+	res.Stats.Flops += int64(k+1) * 2 * n
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	// Window advance: all-but-top entries by scalar recurrence, tops
+	// by the three direct inner products of §5.
+	topN, topW1, topW2 := fam.DirectTops()
+	res.Stats.InnerProducts += 3
+	res.Stats.Flops += 3 * 2 * n
+	win.Step(lambda, alpha, topN, topW1, topW2)
+	res.Stats.Flops += int64(6*(2*k+1) + 4) // scalar recurrence work
+	if fellBack {
+		win.M[0] = rrNew // resynchronize with the direct value
+	}
+
+	kn.rr = win.RR()
+	res.Iterations++
+
+	if run.Cfg.ValidateEvery > 0 && res.Iterations%run.Cfg.ValidateEvery == 0 {
+		validateDrift(res, fam, kn.rr, win.PAP())
+	}
+	if run.Cfg.ResidualReplaceEvery > 0 && res.Iterations%run.Cfg.ResidualReplaceEvery == 0 {
+		// Residual replacement: overwrite the recursive residual
+		// with b - A x, then rebuild everything from it.
+		ws.MatVec(run.A, fam.R[0], res.X)
+		vec.Sub(fam.R[0], run.B, fam.R[0])
+		res.Stats.MatVecs++
+		res.Stats.Flops += engine.MatVecFlops(run.A)
+		// The direction keeps its recursive value (replacing p too
+		// would discard conjugacy); powers and windows rebuild.
+		reanchor(run.A, res, fam, win, true)
+		res.Replacements++
+		kn.rr = win.RR()
+	} else if run.Cfg.ReanchorEvery > 0 && res.Iterations%run.Cfg.ReanchorEvery == 0 {
+		reanchor(run.A, res, fam, win, !run.Cfg.WindowOnlyReanchor)
+		kn.rr = win.RR()
+	}
+
+	run.Record(kn.resNorm())
+	run.Callback(res.Iterations, kn.resNorm())
+	return nil
+}
+
+func (kn *vrcgKernel) Finish(run *engine.Run) {
+	// True residual at exit, into the start-up scratch.
+	tr := run.Ws.Vec(1)
+	run.Ws.MatVec(run.A, tr, run.Res.X)
+	vec.Sub(tr, run.B, tr)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+	run.Res.TrueResidualNorm = vec.Norm2(tr)
+}

@@ -4,64 +4,39 @@ import (
 	"fmt"
 	"math"
 
-	"vrcg/internal/krylov"
+	"vrcg/internal/engine"
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// Options configures a VRCG solve.
-type Options struct {
-	// K is the look-ahead parameter (paper §5); it must be >= 0. K = 0
-	// keeps only the one-step §3 recurrence; K = 1 is the "doubling"
-	// configuration of §3; the paper's headline setting is K = log2(N).
-	K int
-	// MaxIter bounds the iteration count; 0 means 10*n.
-	MaxIter int
-	// Tol is the relative residual tolerance ||r|| <= Tol*||b||; 0 means 1e-10.
-	Tol float64
-	// X0 is the initial guess; nil means the zero vector.
-	X0 vec.Vector
-	// RecordHistory enables Result.History.
-	RecordHistory bool
-	// ReanchorEvery, when > 0, recomputes the scalar windows directly
-	// from the vector families every that many iterations. This is the
-	// stabilization successor methods later formalized; the recurrence
-	// scalars suffer catastrophic cancellation as the residual collapses
-	// (the instability that motivated Chronopoulos–Gear and
-	// Ghysels–Vanroose), and re-anchoring bounds the drift. 0 selects
-	// the default interval DefaultReanchorEvery; a negative value
-	// disables re-anchoring entirely (the paper's pure exact-arithmetic
-	// algorithm, useful for the stability experiments).
-	ReanchorEvery int
-	// WindowOnlyReanchor restricts periodic re-anchoring to the scalar
-	// windows, skipping the 2k+1 matrix–vector products that rebuild the
-	// Krylov vector families. This is the paper-pure cost profile (one
-	// matvec per iteration, exactly), but the vector families then
-	// accumulate their own drift: P[i] slowly stops being A^i p. The
-	// default (false) refreshes families at each re-anchor, which is
-	// what makes the method robust in floating point.
-	WindowOnlyReanchor bool
-	// ValidateEvery, when > 0, computes direct inner products every that
-	// many iterations purely for drift diagnostics (Result.Drift). The
-	// extra products are tallied in Result.ValidationDots, not in
-	// Stats.InnerProducts, so operation-count experiments stay clean.
-	ValidateEvery int
-	// ResidualReplaceEvery, when > 0, replaces the recursive residual
-	// with the true residual b - A x every that many iterations (one
-	// extra matvec each time) and re-anchors from it. This is the
-	// residual-replacement stabilization (van der Vorst & Ye) that the
-	// paper's successors adopted; it ties the attainable accuracy to the
-	// true residual instead of the drifting recursive one. 0 disables.
-	ResidualReplaceEvery int
-	// Callback, when non-nil, is invoked after each iteration; returning
-	// false stops the solve early.
-	Callback func(iter int, resNorm float64) bool
-	// Pool, when non-nil, routes the solver's hot-path kernels — the
-	// matrix–vector product, the family axpys, and the direct inner
-	// products — through the shared worker-pool execution engine
-	// (vec.Pool + sparse.CSR.MulVecPool). Nil keeps the serial kernels.
-	Pool *vec.Pool
-}
+// Error sentinels shared with the rest of the solver family.
+var (
+	ErrIndefinite = engine.ErrIndefinite
+	ErrBreakdown  = engine.ErrBreakdown
+	ErrBadOption  = engine.ErrBadOption
+)
+
+// Options configures a VRCG solve. It is the engine's shared Config:
+// the fields this package consumes are K (the §5 look-ahead parameter;
+// K = 0 keeps only the one-step §3 recurrence, K = 1 is the "doubling"
+// configuration, the paper's headline setting is K = log2(N)),
+// ReanchorEvery / WindowOnlyReanchor (periodic direct window
+// recomputation — the stabilization successor methods later formalized;
+// 0 selects DefaultReanchorInterval(K), negative disables),
+// ValidateEvery (diagnostic-only drift checkpoints into Result.Drift),
+// ResidualReplaceEvery (van der Vorst–Ye residual replacement), plus
+// the common Tol/MaxIter/X0/RecordHistory/Callback/Pool.
+type Options = engine.Config
+
+// DriftStats records how far the recurrence-produced scalars wandered
+// from directly computed inner products (measured only at ValidateEvery
+// checkpoints).
+type DriftStats = engine.DriftStats
+
+// Result reports a VRCG solve: the canonical engine result, whose
+// K/Reanchors/Refreshes/Replacements/ValidationDots/FallbackDots/Drift
+// fields carry the recurrence-specific diagnostics.
+type Result = engine.Result
 
 // DefaultReanchorInterval returns the re-anchoring interval used when
 // Options.ReanchorEvery is zero. Drift grows with the look-ahead k (the
@@ -76,245 +51,20 @@ func DefaultReanchorInterval(k int) int {
 	return v
 }
 
-// DriftStats records how far the recurrence-produced scalars wandered
-// from directly computed inner products (measured only at ValidateEvery
-// checkpoints).
-type DriftStats struct {
-	// MaxRelRR is the maximum relative error of the recurrence (r,r).
-	MaxRelRR float64
-	// MaxRelPAP is the maximum relative error of the recurrence (p,Ap).
-	MaxRelPAP float64
-	// Checks is the number of drift checkpoints taken.
-	Checks int
-}
-
-// Result reports a VRCG solve. It embeds the common iterative-solver
-// result and adds recurrence-specific diagnostics.
-type Result struct {
-	krylov.Result
-	// K echoes the look-ahead parameter used.
-	K int
-	// Reanchors counts direct window recomputations.
-	Reanchors int
-	// Refreshes counts family rebuilds (2k+1 matvecs each), whether
-	// periodic or emergency.
-	Refreshes int
-	// Replacements counts residual replacements (true-residual rebuilds).
-	Replacements int
-	// ValidationDots counts diagnostic-only inner products.
-	ValidationDots int
-	// Drift holds scalar drift diagnostics (see Options.ValidateEvery).
-	Drift DriftStats
-	// FallbackDots counts direct (r,r) evaluations forced by a
-	// non-positive recurrence value (a drift symptom near convergence).
-	FallbackDots int
-}
-
 // Solve runs the restructured conjugate gradient iteration of the paper
 // with look-ahead parameter o.K: identical iterates to standard CG in
 // exact arithmetic, but with every (r,r) and (p,Ap) delivered by the §4/§5
 // scalar recurrences from inner products computed k iterations earlier,
 // one matrix–vector product per iteration, and three direct inner
-// products per iteration replenishing the window tops.
+// products per iteration replenishing the window tops. See vrcgKernel
+// for the mechanics; the engine driver owns the loop.
 func Solve(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if a.Dim() != len(b) {
-		return nil, fmt.Errorf("core: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
+	if a.Dim() <= 0 {
+		return nil, fmt.Errorf("core: operator order %d must be positive: %w", a.Dim(), sparse.ErrDim)
 	}
-	if o.X0 != nil && len(o.X0) != a.Dim() {
-		return nil, fmt.Errorf("core: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
-	}
-	if o.K < 0 {
-		return nil, fmt.Errorf("core: look-ahead parameter K = %d must be >= 0: %w", o.K, krylov.ErrBadOption)
-	}
-	n := a.Dim()
-	if o.MaxIter == 0 {
-		o.MaxIter = 10 * n
-	}
-	if o.Tol == 0 {
-		o.Tol = 1e-10
-	}
-	k := o.K
-	if o.ReanchorEvery == 0 {
-		o.ReanchorEvery = DefaultReanchorInterval(k)
-	}
-
-	res := &Result{K: k}
-	if o.X0 != nil {
-		res.X = vec.Clone(o.X0)
-	} else {
-		res.X = vec.New(n)
-	}
-
-	// r(0) = b - A x(0).
-	r0 := vec.New(n)
-	sparse.PooledMulVec(a, o.Pool, r0, res.X)
-	vec.Sub(r0, b, r0)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	// Start-up (paper: "After an initial start up"): build the Krylov
-	// vector families (k+2 matvecs including the P top) and the scalar
-	// windows (6k+6 direct inner products).
-	fam := NewFamiliesPool(a, r0, k, o.Pool)
-	res.Stats.MatVecs += k + 1
-	res.Stats.Flops += int64(k+1) * matvecFlops(a)
-	win := NewWindow(k)
-	win.SetPool(o.Pool)
-	win.InitDirect(fam.R, fam.P)
-	nDots := (2*k + 1) + (2*k + 2) + (2*k + 3)
-	res.Stats.InnerProducts += nDots
-	res.Stats.Flops += int64(nDots) * 2 * int64(n)
-
-	rr := win.RR()
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	resNorm := func() float64 { return math.Sqrt(math.Max(rr, 0)) }
-	record(resNorm())
-
-	for res.Iterations < o.MaxIter {
-		if resNorm() <= threshold {
-			// The recurrence value may have drifted; verify with one
-			// direct inner product before declaring convergence, and
-			// resynchronize the window if the check fails.
-			rrDirect := pdot(o.Pool, fam.Residual(), fam.Residual())
-			res.FallbackDots++
-			res.Stats.InnerProducts++
-			res.Stats.Flops += 2 * int64(n)
-			win.M[0] = rrDirect
-			rr = rrDirect
-			if resNorm() <= threshold {
-				res.Converged = true
-				break
-			}
-		}
-		pap := win.PAP()
-		if pap <= 0 || math.IsNaN(pap) {
-			// Drift symptom: fall back to the direct inner product
-			// (A p is family member P[1], so this is one dot).
-			pap = pdot(o.Pool, fam.Direction(), fam.AP())
-			res.FallbackDots++
-			res.Stats.InnerProducts++
-			res.Stats.Flops += 2 * int64(n)
-			win.W[1] = pap
-		}
-		if pap <= 0 || math.IsNaN(pap) {
-			// The direct product failed too, meaning the vector families
-			// themselves drifted (P[1] is no longer A p). Emergency
-			// recovery: rebuild the families from the live r and p and
-			// re-anchor the windows. Only if the genuinely recomputed
-			// (p, A p) is still non-positive is the operator indefinite.
-			reanchor(a, res, fam, win, true)
-			rr = win.RR()
-			pap = win.PAP()
-			if pap <= 0 || math.IsNaN(pap) {
-				return res, fmt.Errorf("core: (p,Ap) = %g at iteration %d: %w",
-					pap, res.Iterations, krylov.ErrIndefinite)
-			}
-		}
-		lambda := rr / pap
-
-		// Iterate update (uses the live direction P[0] before StepP).
-		paxpy(o.Pool, lambda, fam.Direction(), res.X)
-		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-
-		// Residual-family half step, then the recurrence value of (r',r').
-		fam.StepR(lambda)
-		res.Stats.VectorUpdates += k + 1
-		res.Stats.Flops += int64(k+1) * 2 * int64(n)
-
-		rrNew := win.PeekRR(lambda)
-		fellBack := false
-		if rrNew <= 0 || math.IsNaN(rrNew) {
-			// Drift pushed the recurrence nonpositive (typically at
-			// convergence); fall back to one direct inner product.
-			rrNew = pdot(o.Pool, fam.Residual(), fam.Residual())
-			fellBack = true
-			res.FallbackDots++
-			res.Stats.InnerProducts++
-			res.Stats.Flops += 2 * int64(n)
-		}
-		if rr == 0 {
-			return res, fmt.Errorf("core: (r,r) vanished at iteration %d: %w", res.Iterations, krylov.ErrBreakdown)
-		}
-		alpha := rrNew / rr
-
-		// Direction-family half step: 2k+2 axpys + the single matvec.
-		fam.StepP(a, alpha)
-		res.Stats.VectorUpdates += k + 1
-		res.Stats.Flops += int64(k+1) * 2 * int64(n)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		// Window advance: all-but-top entries by scalar recurrence, tops
-		// by the three direct inner products of §5.
-		topN, topW1, topW2 := fam.DirectTops()
-		res.Stats.InnerProducts += 3
-		res.Stats.Flops += 3 * 2 * int64(n)
-		win.Step(lambda, alpha, topN, topW1, topW2)
-		res.Stats.Flops += int64(6*(2*k+1) + 4) // scalar recurrence work
-		if fellBack {
-			win.M[0] = rrNew // resynchronize with the direct value
-		}
-
-		rr = win.RR()
-		res.Iterations++
-
-		if o.ValidateEvery > 0 && res.Iterations%o.ValidateEvery == 0 {
-			validateDrift(res, fam, rr, win.PAP())
-		}
-		if o.ResidualReplaceEvery > 0 && res.Iterations%o.ResidualReplaceEvery == 0 {
-			// Residual replacement: overwrite the recursive residual
-			// with b - A x, then rebuild everything from it.
-			sparse.PooledMulVec(a, o.Pool, fam.R[0], res.X)
-			vec.Sub(fam.R[0], b, fam.R[0])
-			res.Stats.MatVecs++
-			res.Stats.Flops += matvecFlops(a)
-			// The direction keeps its recursive value (replacing p too
-			// would discard conjugacy); powers and windows rebuild.
-			reanchor(a, res, fam, win, true)
-			res.Replacements++
-			rr = win.RR()
-		} else if o.ReanchorEvery > 0 && res.Iterations%o.ReanchorEvery == 0 {
-			reanchor(a, res, fam, win, !o.WindowOnlyReanchor)
-			rr = win.RR()
-		}
-
-		record(resNorm())
-		if o.Callback != nil && !o.Callback(res.Iterations, resNorm()) {
-			break
-		}
-	}
-	if !res.Converged && resNorm() <= threshold {
-		// Loop exited via MaxIter or callback with a small recurrence
-		// value; trust only a direct evaluation.
-		rr = pdot(o.Pool, fam.Residual(), fam.Residual())
-		res.FallbackDots++
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if resNorm() <= threshold {
-			res.Converged = true
-		}
-	}
-	res.ResidualNorm = resNorm()
-
-	// True residual at exit.
-	tr := vec.New(n)
-	sparse.PooledMulVec(a, o.Pool, tr, res.X)
-	vec.Sub(tr, b, tr)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-	res.TrueResidualNorm = vec.Norm2(tr)
-	return res, nil
+	res := new(Result)
+	err := engine.Solve(NewKernel(), engine.NewWorkspace(a.Dim(), o.Pool), a, b, o, res)
+	return res, err
 }
 
 func validateDrift(res *Result, fam *Families, rrRec, papRec float64) {
@@ -360,9 +110,5 @@ func reanchor(a sparse.Matrix, res *Result, fam *Families, win *Window, refresh 
 }
 
 func matvecFlops(a sparse.Matrix) int64 {
-	if sp, ok := a.(sparse.Sparse); ok {
-		return 2 * int64(sp.NNZ())
-	}
-	n := int64(a.Dim())
-	return 2 * n * n
+	return engine.MatVecFlops(a)
 }

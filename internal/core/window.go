@@ -197,17 +197,30 @@ func NewFamiliesPool(a sparse.Matrix, r0 vec.Vector, k int, pool *vec.Pool) *Fam
 		P:    make([]vec.Vector, k+2),
 		pool: pool,
 	}
-	f.R[0] = vec.Clone(r0)
-	for i := 1; i <= k; i++ {
-		f.R[i] = vec.New(a.Dim())
-		sparse.PooledMulVec(a, pool, f.R[i], f.R[i-1])
+	n := a.Dim()
+	for i := range f.R {
+		f.R[i] = vec.New(n)
 	}
-	for i := 0; i <= k; i++ {
-		f.P[i] = vec.Clone(f.R[i])
+	for i := range f.P {
+		f.P[i] = vec.New(n)
 	}
-	f.P[k+1] = vec.New(a.Dim())
-	sparse.PooledMulVec(a, pool, f.P[k+1], f.P[k])
+	f.Rebuild(a, r0)
 	return f
+}
+
+// Rebuild refills the families in place from a fresh start-up residual
+// r0 = p0, using the same k+1 matrix–vector products as construction —
+// the warm-reuse path of the engine kernels: a persistent Families is
+// rebuilt per solve with zero allocations.
+func (f *Families) Rebuild(a sparse.Matrix, r0 vec.Vector) {
+	vec.Copy(f.R[0], r0)
+	for i := 1; i <= f.K; i++ {
+		sparse.PooledMulVec(a, f.pool, f.R[i], f.R[i-1])
+	}
+	for i := 0; i <= f.K; i++ {
+		vec.Copy(f.P[i], f.R[i])
+	}
+	sparse.PooledMulVec(a, f.pool, f.P[f.K+1], f.P[f.K])
 }
 
 // Step advances the families by one CG iteration: R'_i = R_i - λ P_{i+1}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+
+	"vrcg/internal/vec"
+	"vrcg/sparse"
+)
+
+// Kernel is the per-method iteration contract: the four hooks a CG
+// variant implements so the shared driver can run it. A kernel is a
+// long-lived object — it is reused across solves and may cache
+// structured state (Krylov families, Gram buffers) between them, keyed
+// on whatever invalidates that state (order, pool, method parameters).
+type Kernel interface {
+	// Name returns the method name, used in driver error messages.
+	Name() string
+	// Init binds the kernel to A x = b under r.Cfg (defaults already
+	// resolved), performs the method's start-up work on the (warm)
+	// workspace r.Ws, sets r.Res.X, and returns the initial residual
+	// norm, which the driver records as History[0].
+	Init(r *Run) (resNorm float64, err error)
+	// Residual returns the current residual-norm estimate. Methods
+	// whose recurrence can drift (vrcg) sharpen the estimate with a
+	// direct inner product before the driver trusts it for a
+	// convergence decision.
+	Residual(r *Run) float64
+	// Step advances the iteration by one step — one block for blocked
+	// methods — reporting each completed iteration through r.Tick (or
+	// the finer-grained Record/Callback helpers). A returned error
+	// (wrapping ErrIndefinite/ErrBreakdown) aborts the solve.
+	Step(r *Run) error
+	// Finish runs after the loop on the success path: it computes the
+	// true residual norm and publishes any method-specific diagnostics
+	// into r.Res.
+	Finish(r *Run)
+}
+
+// Run is the per-solve state the driver and kernel share: the bound
+// system, the resolved configuration, the workspace, and the outcome
+// being accumulated. It lives inside the Workspace (not on the driver's
+// stack) so handing it to kernels through the interface never forces a
+// per-solve heap allocation.
+type Run struct {
+	A   sparse.Matrix
+	B   vec.Vector
+	Cfg Config
+	Res *Result
+	Ws  *Workspace
+	// Threshold is the absolute convergence threshold Tol*||b||.
+	Threshold float64
+
+	stopped bool
+}
+
+// Record appends a residual norm to the history when recording is
+// enabled (into the workspace-owned slab, so steady state is
+// allocation-free once capacity is reached).
+func (r *Run) Record(resNorm float64) {
+	if r.Cfg.RecordHistory {
+		r.Ws.history = append(r.Ws.history, resNorm)
+	}
+}
+
+// Callback invokes the configured per-iteration callback, unless the
+// solve is already stopping. A false return from the callback stops the
+// driver loop after the current step; Callback reports whether the
+// solve should continue.
+func (r *Run) Callback(iter int, resNorm float64) bool {
+	if r.stopped {
+		return false
+	}
+	if r.Cfg.Callback != nil && !r.Cfg.Callback(iter, resNorm) {
+		r.stopped = true
+		return false
+	}
+	return true
+}
+
+// Tick reports one completed iteration: it advances the iteration
+// count, records resNorm, and runs the callback. Blocked methods call
+// it once per iteration inside a block.
+func (r *Run) Tick(resNorm float64) {
+	r.Res.Iterations++
+	r.Record(resNorm)
+	r.Callback(r.Res.Iterations, resNorm)
+}
+
+// Stop ends the driver loop after the current step without error and
+// without marking convergence (the driver still re-checks the residual
+// at exit). Kernels use it for structural termination, e.g. a MINRES
+// Krylov-space exhaustion.
+func (r *Run) Stop() { r.stopped = true }
+
+// Stopped reports whether a callback or the kernel requested an early
+// stop.
+func (r *Run) Stopped() bool { return r.stopped }
+
+// Solve is the one driver loop every engine-backed method runs under.
+// It owns what the method silos used to each reimplement: dimension
+// validation, option defaults, the convergence threshold, the
+// iteration/convergence loop, history recording, callback dispatch, and
+// the final Converged classification. The kernel owns only the
+// method's numerics.
+//
+// On a kernel error the partial Result (including recorded history) is
+// left populated and the error returned; ResidualNorm and
+// TrueResidualNorm are set only on the success path, mirroring the
+// historical per-method behavior.
+func Solve(k Kernel, ws *Workspace, a sparse.Matrix, b vec.Vector, cfg Config, res *Result) error {
+	n := a.Dim()
+	*res = Result{}
+	if len(b) != n {
+		return fmt.Errorf("%s: matrix order %d but rhs length %d: %w", k.Name(), n, len(b), sparse.ErrDim)
+	}
+	if cfg.X0 != nil && len(cfg.X0) != n {
+		return fmt.Errorf("%s: x0 length %d for order %d: %w", k.Name(), len(cfg.X0), n, sparse.ErrDim)
+	}
+	if ws == nil || ws.Dim() != n {
+		wsDim := 0
+		if ws != nil {
+			wsDim = ws.Dim()
+		}
+		return fmt.Errorf("%s: workspace order %d but matrix order %d: %w", k.Name(), wsDim, n, sparse.ErrDim)
+	}
+	cfg = cfg.withDefaults(n)
+	ws.history = ws.history[:0]
+
+	bnorm := vec.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	run := &ws.run
+	*run = Run{A: a, B: b, Cfg: cfg, Res: res, Ws: ws, Threshold: cfg.Tol * bnorm}
+
+	rn, err := k.Init(run)
+	if err != nil {
+		return err
+	}
+	run.Record(rn)
+
+	for res.Iterations < cfg.MaxIter && !run.stopped {
+		rn = k.Residual(run)
+		if rn <= run.Threshold {
+			res.Converged = true
+			break
+		}
+		if err := k.Step(run); err != nil {
+			run.publishHistory()
+			return err
+		}
+	}
+	if !res.Converged {
+		rn = k.Residual(run)
+		if rn <= run.Threshold {
+			res.Converged = true
+		}
+	}
+	res.ResidualNorm = rn
+	k.Finish(run)
+	run.publishHistory()
+	return nil
+}
+
+// publishHistory hands the workspace-owned history slab to the result
+// when recording was requested.
+func (r *Run) publishHistory() {
+	if r.Cfg.RecordHistory {
+		r.Res.History = r.Ws.history
+	}
+}

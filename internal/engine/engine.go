@@ -1,0 +1,196 @@
+// Package engine is the shared iteration-driver layer every
+// shared-memory solver in this repository runs on. The paper's point is
+// that CG variants differ only in how they schedule the same few kernel
+// steps — SpMV, inner products, vector updates — to hide inner-product
+// data dependencies; this package makes that structural fact the
+// architecture: each method is a Kernel (Init/Step/Residual/Finish over
+// a reusable Workspace), and one driver loop (Solve) owns everything the
+// methods used to duplicate — option defaults, dimension validation,
+// convergence checks, per-iteration callbacks, history recording, and
+// outcome classification.
+//
+//	      ┌────────────────────────────────────────────┐
+//	      │ engine.Solve (the driver)                  │
+//	      │   defaults · dim checks · threshold        │
+//	      │   loop: Residual ≤ tol? → Step → Tick      │
+//	      │   history · callback · Converged · Finish  │
+//	      └───────┬────────────────────────────────────┘
+//	              │ Kernel contract (Init/Step/Residual/Finish)
+//	┌─────────┬───┴─────┬──────────┬──────────┬─────────┐
+//	│ krylov  │ krylov  │ pipecg   │ core     │ sstep   │
+//	│ cg, pcg │ cr, sd, │ pipecg,  │ vrcg     │ sstep   │
+//	│ cgfused │ minres  │ gropp    │ (§5)     │ (C–G)   │
+//	└─────────┴─────────┴──────────┴──────────┴─────────┘
+//	              │ Workspace (size-keyed vector arena, pool)
+//	      ┌───────┴────────────────────────────────────┐
+//	      │ vec.Pool kernels · sparse.PooledMulVec     │
+//	      └────────────────────────────────────────────┘
+//
+// Kernels draw every vector from the Workspace arena and keep any
+// structured state (Krylov families, Gram buffers) cached across
+// solves, so a warm repeated solve on one kernel performs zero heap
+// allocations — the property the public solve.Session serves through.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"vrcg/internal/vec"
+	"vrcg/precond"
+)
+
+// ErrIndefinite is returned when an iteration encounters a curvature
+// <p, Ap> <= 0, meaning the operator is not positive definite.
+var ErrIndefinite = errors.New("krylov: operator not positive definite")
+
+// ErrBreakdown is returned when an iteration produces a non-finite or
+// degenerate scalar and cannot continue.
+var ErrBreakdown = errors.New("krylov: iteration breakdown")
+
+// ErrBadOption is returned when solver options are invalid for the
+// method (negative look-ahead, zero block size, and the like). All
+// solver packages wrap it so callers can errors.Is against one sentinel
+// regardless of the method.
+var ErrBadOption = errors.New("krylov: invalid solver option")
+
+// Stats counts the work an iterative solve performed. Flops follow the
+// usual convention: 2n per inner product or axpy, 2*nnz per sparse
+// matrix–vector product.
+type Stats struct {
+	MatVecs       int
+	InnerProducts int
+	VectorUpdates int
+	PrecondSolves int
+	Flops         int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.MatVecs += other.MatVecs
+	s.InnerProducts += other.InnerProducts
+	s.VectorUpdates += other.VectorUpdates
+	s.PrecondSolves += other.PrecondSolves
+	s.Flops += other.Flops
+}
+
+// String summarizes the counts.
+func (s Stats) String() string {
+	return fmt.Sprintf("matvecs=%d dots=%d updates=%d precond=%d flops=%d",
+		s.MatVecs, s.InnerProducts, s.VectorUpdates, s.PrecondSolves, s.Flops)
+}
+
+// Config is the one option set every engine-backed method consumes; it
+// replaces the per-package Options structs the method silos used to
+// duplicate. A method ignores fields it has no use for (S does nothing
+// to cg), so one Config can drive every kernel in a sweep.
+type Config struct {
+	// MaxIter bounds the iteration count; 0 means 10*n.
+	MaxIter int
+	// Tol is the relative residual tolerance ||r|| <= Tol*||b||;
+	// 0 means 1e-10.
+	Tol float64
+	// X0 is the initial guess; nil means the zero vector. It is read,
+	// never modified.
+	X0 vec.Vector
+	// RecordHistory enables Result.History (History[0] is the initial
+	// residual norm).
+	RecordHistory bool
+	// Callback, when non-nil, is invoked after each iteration with the
+	// iteration number and current residual norm; returning false stops
+	// the solve early (Result.Converged stays false unless the
+	// tolerance was already met).
+	Callback func(iter int, resNorm float64) bool
+	// Pool, when non-nil, routes the hot-path kernels — SpMV, dots,
+	// axpys — through the shared worker-pool execution engine. Nil
+	// keeps the serial kernels. The Workspace must have been built for
+	// the same pool.
+	Pool *vec.Pool
+	// Precond supplies M^{-1} for the preconditioned methods (pcg).
+	// Nil selects the identity.
+	Precond precond.Preconditioner
+
+	// K is the look-ahead parameter of the paper's restructured
+	// recurrences (vrcg; K >= 0).
+	K int
+	// ReanchorEvery is the vrcg stabilization interval: every n
+	// iterations the scalar windows are recomputed from direct inner
+	// products. 0 selects the K-dependent default; negative disables.
+	ReanchorEvery int
+	// WindowOnlyReanchor restricts vrcg re-anchoring to the scalar
+	// windows, skipping the 2k+1 family-rebuild matvecs.
+	WindowOnlyReanchor bool
+	// ValidateEvery makes vrcg compute diagnostic-only direct inner
+	// products every n iterations, populating Result.Drift.
+	ValidateEvery int
+	// ResidualReplaceEvery makes vrcg replace the recursive residual
+	// with the true residual b - A x every n iterations. 0 disables.
+	ResidualReplaceEvery int
+
+	// S is the s-step block size (sstep; S >= 1, S = 1 is standard CG).
+	S int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.MaxIter == 0 {
+		c.MaxIter = 10 * n
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-10
+	}
+	return c
+}
+
+// DriftStats records how far the vrcg recurrence-produced scalars
+// wandered from directly computed inner products (measured only at
+// ValidateEvery checkpoints).
+type DriftStats struct {
+	// MaxRelRR is the maximum relative error of the recurrence (r,r).
+	MaxRelRR float64
+	// MaxRelPAP is the maximum relative error of the recurrence (p,Ap).
+	MaxRelPAP float64
+	// Checks is the number of drift checkpoints taken.
+	Checks int
+}
+
+// Result is the canonical outcome of an engine solve, shared by every
+// kernel. Fields a method does not produce stay at their zero values
+// (Blocks outside sstep, the drift diagnostics outside vrcg).
+type Result struct {
+	// X is the final iterate. It aliases kernel workspace storage:
+	// valid only until the next solve on the same kernel.
+	X vec.Vector
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Converged reports whether the residual tolerance was met.
+	Converged bool
+	// ResidualNorm is the final (recursively updated) residual 2-norm.
+	ResidualNorm float64
+	// TrueResidualNorm is ||b - A x|| computed directly at exit.
+	TrueResidualNorm float64
+	// History holds per-iteration residual norms when requested
+	// (History[0] is the initial residual).
+	History []float64
+	// Stats counts the work performed.
+	Stats Stats
+
+	// Blocks is the number of s-step blocks executed (sstep only).
+	Blocks int
+
+	// K echoes the look-ahead parameter used (vrcg only).
+	K int
+	// Reanchors counts direct window recomputations (vrcg).
+	Reanchors int
+	// Refreshes counts family rebuilds, 2k+1 matvecs each (vrcg).
+	Refreshes int
+	// Replacements counts residual replacements (vrcg).
+	Replacements int
+	// ValidationDots counts diagnostic-only inner products (vrcg).
+	ValidationDots int
+	// FallbackDots counts direct (r,r) evaluations forced by a
+	// non-positive recurrence value (vrcg).
+	FallbackDots int
+	// Drift holds scalar drift diagnostics (vrcg; see
+	// Config.ValidateEvery).
+	Drift DriftStats
+}

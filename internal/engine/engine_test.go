@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"vrcg/internal/vec"
+	"vrcg/sparse"
+)
+
+// fakeKernel halves a fake residual each Step; it exercises the driver
+// loop without any linear algebra.
+type fakeKernel struct {
+	rn       float64
+	stepErr  error
+	stopAt   int
+	initErr  error
+	finished bool
+}
+
+func (k *fakeKernel) Name() string { return "fake" }
+
+func (k *fakeKernel) Init(r *Run) (float64, error) {
+	if k.initErr != nil {
+		return 0, k.initErr
+	}
+	r.Res.X = r.Ws.Vec(0)
+	return k.rn, nil
+}
+
+func (k *fakeKernel) Residual(r *Run) float64 { return k.rn }
+
+func (k *fakeKernel) Step(r *Run) error {
+	if k.stepErr != nil {
+		return k.stepErr
+	}
+	k.rn /= 2
+	r.Tick(k.rn)
+	if k.stopAt > 0 && r.Res.Iterations >= k.stopAt {
+		r.Stop()
+	}
+	return nil
+}
+
+func (k *fakeKernel) Finish(r *Run) { k.finished = true }
+
+func system(n int) (sparse.Matrix, vec.Vector) {
+	a := sparse.TridiagToeplitz(n, 2, -1)
+	b := vec.New(n)
+	vec.Fill(b, 1)
+	return a, b
+}
+
+func TestDriverConverges(t *testing.T) {
+	a, b := system(16)
+	k := &fakeKernel{rn: 1}
+	ws := NewWorkspace(16, nil)
+	var res Result
+	if err := Solve(k, ws, a, b, Config{Tol: 1e-3, RecordHistory: true}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("driver did not mark convergence")
+	}
+	if !k.finished {
+		t.Fatal("driver skipped Finish on the success path")
+	}
+	// Threshold is Tol*||b|| = 1e-3*4 = 4e-3; halving from 1 needs 8 steps.
+	if res.Iterations != 8 {
+		t.Fatalf("iterations = %d, want 8", res.Iterations)
+	}
+	if len(res.History) != res.Iterations+1 {
+		t.Fatalf("history length %d for %d iterations", len(res.History), res.Iterations)
+	}
+	if res.ResidualNorm != k.rn {
+		t.Fatalf("ResidualNorm = %g, want %g", res.ResidualNorm, k.rn)
+	}
+}
+
+func TestDriverMaxIter(t *testing.T) {
+	a, b := system(16)
+	k := &fakeKernel{rn: 1}
+	ws := NewWorkspace(16, nil)
+	var res Result
+	if err := Solve(k, ws, a, b, Config{Tol: 1e-12, MaxIter: 3}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations != 3 {
+		t.Fatalf("converged=%v iterations=%d, want false/3", res.Converged, res.Iterations)
+	}
+}
+
+func TestDriverCallbackStops(t *testing.T) {
+	a, b := system(16)
+	k := &fakeKernel{rn: 1}
+	ws := NewWorkspace(16, nil)
+	var res Result
+	calls := 0
+	cfg := Config{Tol: 1e-12, Callback: func(iter int, rn float64) bool {
+		calls++
+		return iter < 2
+	}}
+	if err := Solve(k, ws, a, b, cfg, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 2 || calls != 2 {
+		t.Fatalf("iterations=%d callbacks=%d, want 2/2", res.Iterations, calls)
+	}
+	if res.Converged {
+		t.Fatal("callback stop must not mark convergence")
+	}
+}
+
+func TestDriverKernelStop(t *testing.T) {
+	a, b := system(16)
+	k := &fakeKernel{rn: 1, stopAt: 4}
+	ws := NewWorkspace(16, nil)
+	var res Result
+	if err := Solve(k, ws, a, b, Config{Tol: 1e-12}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 4 {
+		t.Fatalf("iterations = %d, want 4 (kernel Stop)", res.Iterations)
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	a, b := system(16)
+	ws := NewWorkspace(16, nil)
+	var res Result
+
+	if err := Solve(&fakeKernel{rn: 1}, ws, a, b[:8], Config{}, &res); !errors.Is(err, sparse.ErrDim) {
+		t.Fatalf("short rhs: got %v, want ErrDim", err)
+	}
+	if err := Solve(&fakeKernel{rn: 1}, ws, a, b, Config{X0: vec.New(8)}, &res); !errors.Is(err, sparse.ErrDim) {
+		t.Fatalf("short x0: got %v, want ErrDim", err)
+	}
+	if err := Solve(&fakeKernel{rn: 1}, NewWorkspace(8, nil), a, b, Config{}, &res); !errors.Is(err, sparse.ErrDim) {
+		t.Fatalf("mis-sized workspace: got %v, want ErrDim", err)
+	}
+	boom := errors.New("boom")
+	if err := Solve(&fakeKernel{rn: 1, stepErr: boom}, ws, a, b, Config{}, &res); !errors.Is(err, boom) {
+		t.Fatalf("step error: got %v, want boom", err)
+	}
+	if err := Solve(&fakeKernel{rn: 1, initErr: boom}, ws, a, b, Config{}, &res); !errors.Is(err, boom) {
+		t.Fatalf("init error: got %v, want boom", err)
+	}
+}
+
+func TestWorkspaceArenaStable(t *testing.T) {
+	ws := NewWorkspace(8, nil)
+	v0 := ws.Vec(0)
+	v5 := ws.Vec(5)
+	if len(v0) != 8 || len(v5) != 8 {
+		t.Fatal("arena vectors mis-sized")
+	}
+	v0[3] = 42
+	if got := ws.Vec(0); got[3] != 42 {
+		t.Fatal("Vec(0) did not return the same storage")
+	}
+	if &v5[0] != &ws.Vec(5)[0] {
+		t.Fatal("Vec(5) did not return the same storage")
+	}
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"vrcg/internal/vec"
+	"vrcg/precond"
+	"vrcg/sparse"
+)
+
+// Workspace is the size-keyed vector arena every kernel draws from,
+// plus the worker pool its kernels run on. Vectors are handed out by
+// index (Vec) and grown lazily, so a warm workspace serves repeated
+// solves against same-order operators with zero heap allocations; the
+// history slab is likewise owned here and reused across solves.
+//
+// Contract: vectors obtained from the arena — including the X field of
+// a Result produced on it — are owned by the workspace and valid only
+// until the next solve on it. A Workspace is not safe for concurrent
+// solves; use one per goroutine (they are cheap).
+type Workspace struct {
+	pool *vec.Pool
+	n    int
+
+	vecs    []vec.Vector
+	history []float64
+	run     Run
+}
+
+// NewWorkspace returns a workspace for order-n systems running its
+// kernels on pool. A nil pool selects the serial kernels.
+func NewWorkspace(n int, pool *vec.Pool) *Workspace {
+	if n <= 0 {
+		panic("engine: NewWorkspace requires n > 0")
+	}
+	return &Workspace{pool: pool, n: n}
+}
+
+// Pool returns the worker pool the workspace dispatches to (nil = serial).
+func (ws *Workspace) Pool() *vec.Pool { return ws.pool }
+
+// Dim returns the system order the workspace is sized for.
+func (ws *Workspace) Dim() int { return ws.n }
+
+// Vec returns the i-th arena vector, allocating it on first use. The
+// same index always returns the same storage, so kernels name their
+// vectors by fixed indices and reuse them across solves. Contents
+// persist between solves; kernels must initialize what they read.
+func (ws *Workspace) Vec(i int) vec.Vector {
+	for len(ws.vecs) <= i {
+		ws.vecs = append(ws.vecs, vec.New(ws.n))
+	}
+	return ws.vecs[i]
+}
+
+// Reserve eagerly allocates the first count arena vectors, so a
+// constructor can keep every allocation out of the first solve —
+// latency-sensitive callers build the workspace up front precisely to
+// avoid paying it on the first request.
+func (ws *Workspace) Reserve(count int) {
+	if count > 0 {
+		ws.Vec(count - 1)
+	}
+}
+
+// Pooled kernel dispatch: every hot-path vector operation a kernel
+// performs goes through one of these (or MatVec), so pool routing is
+// decided in exactly one place.
+
+// Dot returns <x, y> on the workspace pool.
+func (ws *Workspace) Dot(x, y vec.Vector) float64 { return vec.PoolDot(ws.pool, x, y) }
+
+// DotPair returns <x, y> and <x, z> in one sweep.
+func (ws *Workspace) DotPair(x, y, z vec.Vector) (xy, xz float64) {
+	return vec.PoolDotPair(ws.pool, x, y, z)
+}
+
+// Axpy computes y += alpha*x.
+func (ws *Workspace) Axpy(alpha float64, x, y vec.Vector) { vec.PoolAxpy(ws.pool, alpha, x, y) }
+
+// Xpay computes y = x + alpha*y.
+func (ws *Workspace) Xpay(x vec.Vector, alpha float64, y vec.Vector) {
+	vec.PoolXpay(ws.pool, x, alpha, y)
+}
+
+// FusedCGUpdate performs x += alpha*p, r -= alpha*ap and returns the
+// new <r, r> in one sweep.
+func (ws *Workspace) FusedCGUpdate(alpha float64, p, ap, x, r vec.Vector) float64 {
+	return vec.PoolFusedCGUpdate(ws.pool, alpha, p, ap, x, r)
+}
+
+// MatVec computes dst = A*x on the workspace pool when the operator
+// supports pooled products.
+func (ws *Workspace) MatVec(a sparse.Matrix, dst, x vec.Vector) {
+	sparse.PooledMulVec(a, ws.pool, dst, x)
+}
+
+// ApplyPrecond computes dst = M^{-1} r, routing pointwise
+// preconditioners through the pool.
+func (ws *Workspace) ApplyPrecond(m precond.Preconditioner, dst, r vec.Vector) {
+	if ws.pool != nil {
+		if pa, ok := m.(precond.PoolApplier); ok {
+			pa.ApplyPool(ws.pool, dst, r)
+			return
+		}
+	}
+	m.Apply(dst, r)
+}
+
+// MatVecFlops returns the flop cost charged for one product with a:
+// 2*nnz for sparse operators, 2*n^2 for dense ones.
+func MatVecFlops(a sparse.Matrix) int64 {
+	if sp, ok := a.(sparse.Sparse); ok {
+		return 2 * int64(sp.NNZ())
+	}
+	n := int64(a.Dim())
+	return 2 * n * n
+}

@@ -1,9 +1,6 @@
 package krylov
 
 import (
-	"fmt"
-	"math"
-
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
@@ -13,101 +10,10 @@ import (
 // parallelized over a worker pool. Mathematically identical to CG; it
 // exists because the restructured algorithms batch elementwise work the
 // same way on the simulated machine, and the fused kernel is the
-// sequential analogue — one pass over memory instead of three.
+// sequential analogue — one pass over memory instead of three. Since
+// the engine port, CG itself runs the same fused kernel; CGFused
+// remains as the named entry point taking an explicit pool.
 func CGFused(a sparse.Matrix, b vec.Vector, pool *vec.Pool, o Options) (*Result, error) {
-	if err := checkSystem(a, b, o); err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	o = o.withDefaults(n)
-	res := &Result{X: initialGuess(n, o)}
-
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	p := vec.Clone(r)
-	ap := vec.New(n)
-	var rr float64
-	if pool != nil {
-		rr = pool.Dot(r, r)
-	} else {
-		rr = vec.Dot(r, r)
-	}
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	record(math.Sqrt(rr))
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(rr) <= threshold {
-			res.Converged = true
-			break
-		}
-		a.MulVec(ap, p)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		var pap float64
-		if pool != nil {
-			pap = pool.Dot(p, ap)
-		} else {
-			pap = vec.Dot(p, ap)
-		}
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if pap <= 0 {
-			return res, fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
-		}
-		lambda := rr / pap
-
-		// The fused sweep: x += lambda p, r -= lambda ap, rr' = (r,r).
-		var rrNew float64
-		if pool != nil {
-			rrNew = pool.FusedCGUpdate(lambda, p, ap, res.X, r)
-		} else {
-			rrNew = vec.FusedCGUpdate(lambda, p, ap, res.X, r)
-		}
-		res.Stats.VectorUpdates += 2
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 6 * int64(n)
-		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
-			return res, fmt.Errorf("krylov: non-finite residual at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-
-		alpha := rrNew / rr
-		if pool != nil {
-			pool.Xpay(r, alpha, p)
-		} else {
-			vec.Xpay(r, alpha, p)
-		}
-		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-
-		rr = rrNew
-		res.Iterations++
-		record(math.Sqrt(rr))
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(rr)) {
-			break
-		}
-	}
-	if math.Sqrt(rr) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(rr)
-	res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
-	return res, nil
+	o.Pool = pool
+	return run(NewCGFusedKernel(), a, b, o)
 }

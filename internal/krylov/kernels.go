@@ -1,0 +1,335 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/engine"
+	"vrcg/internal/vec"
+	"vrcg/precond"
+)
+
+// This file holds the engine kernels for the classic iterations: cg
+// (fused-update CG, also serving the "cgfused" registry name), pcg, cr,
+// and sd. Each kernel implements engine.Kernel — Init/Step/Residual/
+// Finish — and draws every vector from the engine workspace arena, so a
+// warm repeated solve allocates nothing. The MINRES kernel lives in
+// minres.go.
+
+// trueResidualInto computes ||b - A x|| into scratch and publishes it,
+// charging the matvec — the shared exit step of every kernel here.
+func trueResidualInto(r *engine.Run, scratch, x vec.Vector) {
+	r.Ws.MatVec(r.A, scratch, x)
+	vec.Sub(scratch, r.B, scratch)
+	r.Res.Stats.MatVecs++
+	r.Res.Stats.Flops += engine.MatVecFlops(r.A)
+	r.Res.TrueResidualNorm = vec.Norm2(scratch)
+}
+
+// initialIterate loads X0 (or zero) into x, publishes it as Res.X, and
+// forms the initial residual r = b - A x.
+func initialIterate(run *engine.Run, x, r vec.Vector) {
+	if run.Cfg.X0 != nil {
+		vec.Copy(x, run.Cfg.X0)
+	} else {
+		vec.Zero(x)
+	}
+	run.Res.X = x
+	run.Ws.MatVec(run.A, r, x)
+	vec.Sub(r, run.B, r)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+}
+
+// cgKernel is standard Hestenes–Stiefel CG (paper §2) with the x/r
+// updates and the (r,r) reduction fused into one memory sweep — one
+// pass over memory instead of three, the sequential analogue of how the
+// restructured algorithms batch elementwise work.
+type cgKernel struct {
+	label       string
+	x, r, p, ap vec.Vector
+	rr          float64
+}
+
+// NewCGKernel returns the cg iteration kernel.
+func NewCGKernel() engine.Kernel { return &cgKernel{label: "cg"} }
+
+// NewCGFusedKernel is the same fused iteration under the historical
+// "cgfused" registry name.
+func NewCGFusedKernel() engine.Kernel { return &cgKernel{label: "cgfused"} }
+
+func (k *cgKernel) Name() string { return k.label }
+
+func (k *cgKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	k.x, k.r, k.p, k.ap = ws.Vec(0), ws.Vec(1), ws.Vec(2), ws.Vec(3)
+	initialIterate(run, k.x, k.r)
+	vec.Copy(k.p, k.r)
+	k.rr = ws.Dot(k.r, k.r)
+	run.Res.Stats.InnerProducts++
+	run.Res.Stats.Flops += 2 * int64(ws.Dim())
+	return math.Sqrt(k.rr), nil
+}
+
+func (k *cgKernel) Residual(*engine.Run) float64 { return math.Sqrt(k.rr) }
+
+func (k *cgKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	ws.MatVec(run.A, k.ap, k.p)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	pap := ws.Dot(k.p, k.ap)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if pap <= 0 {
+		return fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
+	}
+	lambda := k.rr / pap
+
+	// The fused sweep: x += lambda p, r -= lambda ap, rr' = (r,r).
+	rrNew := ws.FusedCGUpdate(lambda, k.p, k.ap, k.x, k.r)
+	res.Stats.VectorUpdates += 2
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 6 * n
+	if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
+		return fmt.Errorf("krylov: non-finite residual at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+
+	alpha := rrNew / k.rr
+	ws.Xpay(k.r, alpha, k.p)
+	res.Stats.VectorUpdates++
+	res.Stats.Flops += 2 * n
+
+	k.rr = rrNew
+	run.Tick(math.Sqrt(k.rr))
+	return nil
+}
+
+func (k *cgKernel) Finish(run *engine.Run) { trueResidualInto(run, k.ap, k.x) }
+
+// pcgKernel is preconditioned CG, iterating on the M-inner-product
+// residual. A nil Config.Precond selects a kernel-cached identity (PCG
+// arithmetic with M = I).
+type pcgKernel struct {
+	x, r, p, ap, z vec.Vector
+	rr, rz         float64
+	m              precond.Preconditioner
+	ident          *precond.Identity
+}
+
+// NewPCGKernel returns the pcg iteration kernel.
+func NewPCGKernel() engine.Kernel { return &pcgKernel{} }
+
+func (k *pcgKernel) Name() string { return "pcg" }
+
+func (k *pcgKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	n := ws.Dim()
+	k.m = run.Cfg.Precond
+	if k.m == nil {
+		if k.ident == nil || k.ident.Dim() != n {
+			k.ident = precond.NewIdentity(n)
+		}
+		k.m = k.ident
+	}
+	if k.m.Dim() != n {
+		return 0, fmt.Errorf("krylov: preconditioner order %d for matrix order %d: %w", k.m.Dim(), n, ErrDim)
+	}
+	k.x, k.r, k.p, k.ap, k.z = ws.Vec(0), ws.Vec(1), ws.Vec(2), ws.Vec(3), ws.Vec(4)
+	initialIterate(run, k.x, k.r)
+
+	ws.ApplyPrecond(k.m, k.z, k.r)
+	run.Res.Stats.PrecondSolves++
+
+	vec.Copy(k.p, k.z)
+	k.rz = ws.Dot(k.r, k.z)
+	k.rr = ws.Dot(k.r, k.r)
+	run.Res.Stats.InnerProducts += 2
+	run.Res.Stats.Flops += 4 * int64(n)
+	return math.Sqrt(k.rr), nil
+}
+
+func (k *pcgKernel) Residual(*engine.Run) float64 { return math.Sqrt(k.rr) }
+
+func (k *pcgKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	ws.MatVec(run.A, k.ap, k.p)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	pap := ws.Dot(k.p, k.ap)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if pap <= 0 {
+		return fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
+	}
+	if k.rz == 0 {
+		return fmt.Errorf("krylov: (r,z) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	lambda := k.rz / pap
+
+	ws.Axpy(lambda, k.p, k.x)
+	ws.Axpy(-lambda, k.ap, k.r)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	ws.ApplyPrecond(k.m, k.z, k.r)
+	res.Stats.PrecondSolves++
+
+	rzNew := ws.Dot(k.r, k.z)
+	k.rr = ws.Dot(k.r, k.r)
+	res.Stats.InnerProducts += 2
+	res.Stats.Flops += 4 * n
+	if math.IsNaN(rzNew) || math.IsInf(rzNew, 0) {
+		return fmt.Errorf("krylov: non-finite (r,z) at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+
+	beta := rzNew / k.rz
+	ws.Xpay(k.z, beta, k.p)
+	res.Stats.VectorUpdates++
+	res.Stats.Flops += 2 * n
+
+	k.rz = rzNew
+	run.Tick(math.Sqrt(k.rr))
+	return nil
+}
+
+func (k *pcgKernel) Finish(run *engine.Run) { trueResidualInto(run, k.ap, k.x) }
+
+// crKernel is the conjugate residual method, which minimizes
+// ||b - A x|| over the Krylov space (CG minimizes the A-norm error).
+type crKernel struct {
+	x, r, p, ar, ap vec.Vector
+	rar, rnorm      float64
+}
+
+// NewCRKernel returns the cr iteration kernel.
+func NewCRKernel() engine.Kernel { return &crKernel{} }
+
+func (k *crKernel) Name() string { return "cr" }
+
+func (k *crKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	k.x, k.r, k.p, k.ar, k.ap = ws.Vec(0), ws.Vec(1), ws.Vec(2), ws.Vec(3), ws.Vec(4)
+	initialIterate(run, k.x, k.r)
+
+	vec.Copy(k.p, k.r)
+	ws.MatVec(run.A, k.ar, k.r)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+	vec.Copy(k.ap, k.ar)
+
+	k.rar = ws.Dot(k.r, k.ar)
+	run.Res.Stats.InnerProducts++
+	run.Res.Stats.Flops += 2 * int64(ws.Dim())
+	k.rnorm = vec.Norm2(k.r)
+	return k.rnorm, nil
+}
+
+func (k *crKernel) Residual(*engine.Run) float64 { return k.rnorm }
+
+func (k *crKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	apap := ws.Dot(k.ap, k.ap)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if apap == 0 {
+		return fmt.Errorf("krylov: ||Ap|| vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	alpha := k.rar / apap
+
+	ws.Axpy(alpha, k.p, k.x)
+	ws.Axpy(-alpha, k.ap, k.r)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	ws.MatVec(run.A, k.ar, k.r)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	rarNew := ws.Dot(k.r, k.ar)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if math.IsNaN(rarNew) || math.IsInf(rarNew, 0) {
+		return fmt.Errorf("krylov: non-finite (r,Ar) at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	if k.rar == 0 {
+		return fmt.Errorf("krylov: (r,Ar) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	beta := rarNew / k.rar
+
+	ws.Xpay(k.r, beta, k.p)
+	ws.Xpay(k.ar, beta, k.ap)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	k.rar = rarNew
+	k.rnorm = vec.Norm2(k.r)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	run.Tick(k.rnorm)
+	return nil
+}
+
+func (k *crKernel) Finish(run *engine.Run) { trueResidualInto(run, k.ap, k.x) }
+
+// sdKernel is steepest descent with exact line search, the simplest
+// baseline: linear convergence at rate (kappa-1)/(kappa+1).
+type sdKernel struct {
+	x, r, ar vec.Vector
+	rr       float64
+}
+
+// NewSDKernel returns the sd iteration kernel.
+func NewSDKernel() engine.Kernel { return &sdKernel{} }
+
+func (k *sdKernel) Name() string { return "sd" }
+
+func (k *sdKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	k.x, k.r, k.ar = ws.Vec(0), ws.Vec(1), ws.Vec(2)
+	initialIterate(run, k.x, k.r)
+	k.rr = ws.Dot(k.r, k.r)
+	run.Res.Stats.InnerProducts++
+	run.Res.Stats.Flops += 2 * int64(ws.Dim())
+	return math.Sqrt(k.rr), nil
+}
+
+func (k *sdKernel) Residual(*engine.Run) float64 { return math.Sqrt(k.rr) }
+
+func (k *sdKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	ws.MatVec(run.A, k.ar, k.r)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	rar := ws.Dot(k.r, k.ar)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if rar <= 0 {
+		return fmt.Errorf("krylov: curvature %g at iteration %d: %w", rar, res.Iterations, ErrIndefinite)
+	}
+	alpha := k.rr / rar
+
+	ws.Axpy(alpha, k.r, k.x)
+	ws.Axpy(-alpha, k.ar, k.r)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	k.rr = ws.Dot(k.r, k.r)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	run.Tick(math.Sqrt(k.rr))
+	return nil
+}
+
+func (k *sdKernel) Finish(run *engine.Run) { trueResidualInto(run, k.ar, k.x) }

@@ -1,7 +1,16 @@
 // Package krylov implements the classical iterative solvers the paper's
 // new algorithm is measured against: steepest descent, the standard
 // Hestenes–Stiefel conjugate gradient iteration (the "standard CG" of
-// the paper's section 2), preconditioned CG, and conjugate residuals.
+// the paper's section 2), preconditioned CG, conjugate residuals, and
+// MINRES.
+//
+// Every method is an engine kernel (internal/engine): this package owns
+// only the numerics of each iteration — Init/Step/Residual/Finish over
+// the shared workspace arena — while the engine driver owns option
+// defaults, convergence checks, callbacks, and history. The package
+// functions below (CG, PCG, ...) are thin wrappers that run a fresh
+// kernel through the driver; Workspace binds a kernel to a reusable
+// arena so repeated solves allocate nothing.
 //
 // Every solver reports operation statistics (matrix–vector products,
 // inner products, vector updates, flops) so the sequential-complexity
@@ -10,136 +19,54 @@
 package krylov
 
 import (
-	"errors"
 	"fmt"
-	"math"
 
-	"vrcg/internal/precond"
+	"vrcg/internal/engine"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/sparse"
 )
 
 // ErrIndefinite is returned when an iteration encounters a curvature
 // <p, Ap> <= 0, meaning the operator is not positive definite.
-var ErrIndefinite = errors.New("krylov: operator not positive definite")
+var ErrIndefinite = engine.ErrIndefinite
 
 // ErrBreakdown is returned when an iteration produces a non-finite or
 // degenerate scalar and cannot continue.
-var ErrBreakdown = errors.New("krylov: iteration breakdown")
+var ErrBreakdown = engine.ErrBreakdown
 
 // ErrBadOption is returned when solver options are invalid for the
 // method (negative look-ahead, zero block size, and the like). All
 // solver packages wrap it so callers can errors.Is against one sentinel
 // regardless of the method.
-var ErrBadOption = errors.New("krylov: invalid solver option")
+var ErrBadOption = engine.ErrBadOption
 
-// Stats counts the work an iterative solve performed. Flops follow the
-// usual convention: 2n per inner product or axpy, 2*nnz per sparse
-// matrix–vector product.
-type Stats struct {
-	MatVecs       int
-	InnerProducts int
-	VectorUpdates int
-	PrecondSolves int
-	Flops         int64
-}
+// ErrDim reports a dimension mismatch between an operator and a vector.
+var ErrDim = sparse.ErrDim
 
-// Add accumulates other into s.
-func (s *Stats) Add(other Stats) {
-	s.MatVecs += other.MatVecs
-	s.InnerProducts += other.InnerProducts
-	s.VectorUpdates += other.VectorUpdates
-	s.PrecondSolves += other.PrecondSolves
-	s.Flops += other.Flops
-}
+// Stats counts the work an iterative solve performed (alias of the
+// engine type; see engine.Stats).
+type Stats = engine.Stats
 
-// String summarizes the counts.
-func (s Stats) String() string {
-	return fmt.Sprintf("matvecs=%d dots=%d updates=%d precond=%d flops=%d",
-		s.MatVecs, s.InnerProducts, s.VectorUpdates, s.PrecondSolves, s.Flops)
-}
+// Result reports the outcome of an iterative solve (alias of the
+// canonical engine result; fields other methods produce — Blocks, the
+// vrcg drift diagnostics — stay zero here).
+type Result = engine.Result
 
-// Result reports the outcome of an iterative solve.
-type Result struct {
-	// X is the final iterate.
-	X vec.Vector
-	// Iterations is the number of iterations performed.
-	Iterations int
-	// Converged reports whether the residual tolerance was met.
-	Converged bool
-	// ResidualNorm is the final (recursively updated) residual 2-norm.
-	ResidualNorm float64
-	// TrueResidualNorm is ||b - A x|| computed directly at exit.
-	TrueResidualNorm float64
-	// History holds per-iteration residual norms when requested
-	// (History[0] is the initial residual).
-	History []float64
-	// Stats counts the work performed.
-	Stats Stats
-}
+// Options configures an iterative solve. It is the engine's one shared
+// Config: fields irrelevant to a method (K, S, Precond outside PCG) are
+// ignored.
+type Options = engine.Config
 
-// Options configures an iterative solve.
-type Options struct {
-	// MaxIter bounds the iteration count; 0 means 10*n.
-	MaxIter int
-	// Tol is the relative residual tolerance ||r|| <= Tol*||b||;
-	// 0 means 1e-10.
-	Tol float64
-	// X0 is the initial guess; nil means the zero vector.
-	X0 vec.Vector
-	// RecordHistory enables Result.History.
-	RecordHistory bool
-	// Callback, when non-nil, is invoked after each iteration with the
-	// iteration number and current residual norm; returning false stops
-	// the solve early (Result.Converged stays false unless the tolerance
-	// was already met).
-	Callback func(iter int, resNorm float64) bool
-}
-
-func (o Options) withDefaults(n int) Options {
-	if o.MaxIter == 0 {
-		o.MaxIter = 10 * n
+// run drives kernel k once on a fresh workspace — the one-shot package
+// entry points share it.
+func run(k engine.Kernel, a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
+	if a.Dim() <= 0 {
+		return nil, fmt.Errorf("krylov: operator order %d must be positive: %w", a.Dim(), ErrDim)
 	}
-	if o.Tol == 0 {
-		o.Tol = 1e-10
-	}
-	return o
-}
-
-func checkSystem(a sparse.Matrix, b vec.Vector, o Options) error {
-	if a.Dim() != len(b) {
-		return fmt.Errorf("krylov: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
-	}
-	if o.X0 != nil && len(o.X0) != a.Dim() {
-		return fmt.Errorf("krylov: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
-	}
-	return nil
-}
-
-func initialGuess(n int, o Options) vec.Vector {
-	if o.X0 != nil {
-		return vec.Clone(o.X0)
-	}
-	return vec.New(n)
-}
-
-// trueResidual computes ||b - A x|| and charges its cost to stats.
-func trueResidual(a sparse.Matrix, b, x vec.Vector, st *Stats) float64 {
-	n := a.Dim()
-	r := vec.New(n)
-	a.MulVec(r, x)
-	vec.Sub(r, b, r)
-	st.MatVecs++
-	st.Flops += matvecFlops(a)
-	return vec.Norm2(r)
-}
-
-func matvecFlops(a sparse.Matrix) int64 {
-	if sp, ok := a.(sparse.Sparse); ok {
-		return 2 * int64(sp.NNZ())
-	}
-	n := int64(a.Dim())
-	return 2 * n * n
+	res := new(Result)
+	err := engine.Solve(k, engine.NewWorkspace(a.Dim(), o.Pool), a, b, o, res)
+	return res, err
 }
 
 // CG solves A x = b for symmetric positive definite A by the standard
@@ -153,257 +80,21 @@ func matvecFlops(a sparse.Matrix) int64 {
 //	a_{n+1} = (r(n+1), r(n+1)) / (r(n), r(n))
 //	p(n+1)  = r(n+1) + a_{n+1} p(n)
 func CG(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if err := checkSystem(a, b, o); err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	o = o.withDefaults(n)
-	res := &Result{X: initialGuess(n, o)}
-
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	p := vec.Clone(r)
-	ap := vec.New(n)
-	rr := vec.Dot(r, r)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	record(math.Sqrt(rr))
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(rr) <= threshold {
-			res.Converged = true
-			break
-		}
-		a.MulVec(ap, p)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		pap := vec.Dot(p, ap)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if pap <= 0 {
-			return res, fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
-		}
-		lambda := rr / pap
-
-		vec.Axpy(lambda, p, res.X)
-		vec.Axpy(-lambda, ap, r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		rrNew := vec.Dot(r, r)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
-			return res, fmt.Errorf("krylov: non-finite residual at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-
-		alpha := rrNew / rr
-		vec.Xpay(r, alpha, p)
-		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-
-		rr = rrNew
-		res.Iterations++
-		record(math.Sqrt(rr))
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(rr)) {
-			break
-		}
-	}
-	if math.Sqrt(rr) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(rr)
-	res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
-	return res, nil
+	return run(NewCGKernel(), a, b, o)
 }
 
 // PCG solves A x = b with a symmetric positive definite preconditioner M,
 // iterating on the M-inner-product residual (standard preconditioned CG).
 func PCG(a sparse.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (*Result, error) {
-	if err := checkSystem(a, b, o); err != nil {
-		return nil, err
-	}
-	if m.Dim() != a.Dim() {
-		return nil, fmt.Errorf("krylov: preconditioner order %d for matrix order %d: %w", m.Dim(), a.Dim(), sparse.ErrDim)
-	}
-	n := a.Dim()
-	o = o.withDefaults(n)
-	res := &Result{X: initialGuess(n, o)}
-
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	z := vec.New(n)
-	m.Apply(z, r)
-	res.Stats.PrecondSolves++
-
-	p := vec.Clone(z)
-	ap := vec.New(n)
-	rz := vec.Dot(r, z)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-	rnorm := vec.Norm2(r)
-
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	record(rnorm)
-
-	for res.Iterations < o.MaxIter {
-		if rnorm <= threshold {
-			res.Converged = true
-			break
-		}
-		a.MulVec(ap, p)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		pap := vec.Dot(p, ap)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if pap <= 0 {
-			return res, fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
-		}
-		if rz == 0 {
-			return res, fmt.Errorf("krylov: (r,z) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-		lambda := rz / pap
-
-		vec.Axpy(lambda, p, res.X)
-		vec.Axpy(-lambda, ap, r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		m.Apply(z, r)
-		res.Stats.PrecondSolves++
-
-		rzNew := vec.Dot(r, z)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if math.IsNaN(rzNew) || math.IsInf(rzNew, 0) {
-			return res, fmt.Errorf("krylov: non-finite (r,z) at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-
-		beta := rzNew / rz
-		vec.Xpay(z, beta, p)
-		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-
-		rz = rzNew
-		rnorm = vec.Norm2(r)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		res.Iterations++
-		record(rnorm)
-		if o.Callback != nil && !o.Callback(res.Iterations, rnorm) {
-			break
-		}
-	}
-	if rnorm <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = rnorm
-	res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
-	return res, nil
+	o.Precond = m
+	return run(NewPCGKernel(), a, b, o)
 }
 
 // SteepestDescent solves A x = b by gradient descent with exact line
 // search. It converges linearly at rate (kappa-1)/(kappa+1) — far slower
 // than CG — and serves as the simplest baseline.
 func SteepestDescent(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if err := checkSystem(a, b, o); err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	o = o.withDefaults(n)
-	res := &Result{X: initialGuess(n, o)}
-
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	ar := vec.New(n)
-	rr := vec.Dot(r, r)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	record(math.Sqrt(rr))
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(rr) <= threshold {
-			res.Converged = true
-			break
-		}
-		a.MulVec(ar, r)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-		rar := vec.Dot(r, ar)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if rar <= 0 {
-			return res, fmt.Errorf("krylov: curvature %g at iteration %d: %w", rar, res.Iterations, ErrIndefinite)
-		}
-		alpha := rr / rar
-		vec.Axpy(alpha, r, res.X)
-		vec.Axpy(-alpha, ar, r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-		rr = vec.Dot(r, r)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		res.Iterations++
-		record(math.Sqrt(rr))
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(rr)) {
-			break
-		}
-	}
-	if math.Sqrt(rr) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(rr)
-	res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
-	return res, nil
+	return run(NewSDKernel(), a, b, o)
 }
 
 // CR solves A x = b by the conjugate residual method, which minimizes
@@ -411,96 +102,5 @@ func SteepestDescent(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) 
 // It requires only symmetry, not positive definiteness, of A, though
 // positive definite systems remain its standard use.
 func CR(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if err := checkSystem(a, b, o); err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	o = o.withDefaults(n)
-	res := &Result{X: initialGuess(n, o)}
-
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	p := vec.Clone(r)
-	ar := vec.New(n)
-	a.MulVec(ar, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-	ap := vec.Clone(ar)
-
-	rar := vec.Dot(r, ar)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-	rnorm := vec.Norm2(r)
-
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	record(rnorm)
-
-	for res.Iterations < o.MaxIter {
-		if rnorm <= threshold {
-			res.Converged = true
-			break
-		}
-		apap := vec.Dot(ap, ap)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if apap == 0 {
-			return res, fmt.Errorf("krylov: ||Ap|| vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-		alpha := rar / apap
-
-		vec.Axpy(alpha, p, res.X)
-		vec.Axpy(-alpha, ap, r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		a.MulVec(ar, r)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		rarNew := vec.Dot(r, ar)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if math.IsNaN(rarNew) || math.IsInf(rarNew, 0) {
-			return res, fmt.Errorf("krylov: non-finite (r,Ar) at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-		if rar == 0 {
-			return res, fmt.Errorf("krylov: (r,Ar) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-		beta := rarNew / rar
-
-		vec.Xpay(r, beta, p)
-		vec.Xpay(ar, beta, ap)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		rar = rarNew
-		rnorm = vec.Norm2(r)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		res.Iterations++
-		record(rnorm)
-		if o.Callback != nil && !o.Callback(res.Iterations, rnorm) {
-			break
-		}
-	}
-	if rnorm <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = rnorm
-	res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
-	return res, nil
+	return run(NewCRKernel(), a, b, o)
 }

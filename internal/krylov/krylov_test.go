@@ -6,8 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/sparse"
 )
 

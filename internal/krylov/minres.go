@@ -4,158 +4,155 @@ import (
 	"fmt"
 	"math"
 
+	"vrcg/internal/engine"
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// MINRES solves A x = b for symmetric (possibly indefinite) A by the
-// minimum-residual method of Paige & Saunders (1975): a Lanczos
-// tridiagonalization with on-the-fly Givens QR. For SPD systems it
-// behaves like conjugate residuals; its value here is completing the
-// symmetric-solver family (CG requires definiteness, MINRES does not),
-// which widens the substrate the comparison experiments can draw on.
-func MINRES(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if err := checkSystem(a, b, o); err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	o = o.withDefaults(n)
-	res := &Result{X: initialGuess(n, o)}
+// minresKernel is the minimum-residual method of Paige & Saunders
+// (1975): a Lanczos tridiagonalization with on-the-fly Givens QR. For
+// SPD systems it behaves like conjugate residuals; its value here is
+// completing the symmetric-solver family (CG requires definiteness,
+// MINRES does not). The historical implementation allocated a fresh
+// direction vector every iteration; the kernel rotates three fixed
+// buffers instead, so it is allocation-free like every other kernel.
+type minresKernel struct {
+	x, v, vPrev, av, w, wPrev, wTmp vec.Vector
 
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
+	phi                     float64
+	cs, sn                  float64
+	dltn, epsPrev, betaPrev float64
+}
+
+// NewMINRESKernel returns the minres iteration kernel.
+func NewMINRESKernel() engine.Kernel { return &minresKernel{} }
+
+func (k *minresKernel) Name() string { return "minres" }
+
+func (k *minresKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	n := ws.Dim()
+	k.x, k.v, k.vPrev = ws.Vec(0), ws.Vec(1), ws.Vec(2)
+	k.av, k.w, k.wPrev, k.wTmp = ws.Vec(3), ws.Vec(4), ws.Vec(5), ws.Vec(6)
+
+	// r = b - A x, formed directly in the first Lanczos vector's buffer.
+	initialIterate(run, k.x, k.v)
+
+	beta := vec.Norm2(k.v)
+	run.Res.Stats.InnerProducts++
+	run.Res.Stats.Flops += 2 * int64(n)
+	k.phi = beta
+	if k.phi <= run.Threshold {
+		// Already converged; the driver's loop-top check exits before
+		// Step, so the Lanczos state is never touched.
+		return k.phi, nil
+	}
+
+	vec.Scale(1/beta, k.v)
+	run.Res.Stats.VectorUpdates++
+	vec.Zero(k.vPrev)
+	vec.Zero(k.w)
+	vec.Zero(k.wPrev)
+
+	k.cs, k.sn = -1, 0
+	k.dltn, k.epsPrev = 0, 0
+	k.betaPrev = beta
+	return k.phi, nil
+}
+
+func (k *minresKernel) Residual(*engine.Run) float64 { return k.phi }
+
+func (k *minresKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	ws.MatVec(run.A, k.av, k.v)
 	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
+	res.Stats.Flops += engine.MatVecFlops(run.A)
 
-	beta := vec.Norm2(r)
+	alpha := ws.Dot(k.v, k.av)
 	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
+	res.Stats.Flops += 2 * n
 
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
+	// av <- av - alpha*v - betaPrev*vPrev
+	ws.Axpy(-alpha, k.v, k.av)
+	ws.Axpy(-k.betaPrev, k.vPrev, k.av)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
 
-	record := func(v float64) {
-		if o.RecordHistory {
-			res.History = append(res.History, v)
-		}
-	}
-	phi := beta // current residual norm
-	record(phi)
-	if phi <= threshold {
-		res.Converged = true
-		res.ResidualNorm = phi
-		res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
-		return res, nil
-	}
+	betaNext := vec.Norm2(k.av)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
 
-	// Lanczos vectors.
-	vPrev := vec.New(n)
-	v := vec.Clone(r)
-	vec.Scale(1/beta, v)
+	// Apply the previous rotations to the new tridiagonal column.
+	delta := k.cs*k.dltn + k.sn*alpha
+	gbar := k.sn*k.dltn - k.cs*alpha
+	eps := k.epsPrev
+	k.epsPrev = k.sn * betaNext
+	k.dltn = -k.cs * betaNext
+
+	// New rotation annihilating betaNext.
+	gamma := math.Hypot(gbar, betaNext)
+	if gamma == 0 {
+		return fmt.Errorf("krylov: MINRES breakdown at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	k.cs = gbar / gamma
+	k.sn = betaNext / gamma
+
+	// Update the solution direction and iterate:
+	// wNew = (v - delta*w - eps*wPrev)/gamma, built in the spare buffer.
+	vec.Copy(k.wTmp, k.v)
+	ws.Axpy(-delta, k.w, k.wTmp)
+	ws.Axpy(-eps, k.wPrev, k.wTmp)
+	vec.Scale(1/gamma, k.wTmp)
+	res.Stats.VectorUpdates += 3
+	res.Stats.Flops += 6 * n
+
+	ws.Axpy(k.phi*k.cs, k.wTmp, k.x)
 	res.Stats.VectorUpdates++
+	res.Stats.Flops += 2 * n
+	k.phi = math.Abs(k.phi * k.sn)
 
-	// Solution update directions.
-	w := vec.New(n)
-	wPrev := vec.New(n)
-	av := vec.New(n)
+	k.wPrev, k.w, k.wTmp = k.w, k.wTmp, k.wPrev
 
-	// Givens rotation state.
-	var cs, sn float64 = -1, 0
-	var dltn float64
-	epsPrev := 0.0
-	betaPrev := beta
-
-	// Short-recurrence MINRES (following Paige–Saunders; variable names
-	// track the standard presentation).
-	var eps float64
-	for res.Iterations < o.MaxIter {
-		a.MulVec(av, v)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		alpha := vec.Dot(v, av)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-
-		// av <- av - alpha*v - betaPrev*vPrev
-		vec.Axpy(-alpha, v, av)
-		vec.Axpy(-betaPrev, vPrev, av)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		betaNext := vec.Norm2(av)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-
-		// Apply the previous rotations to the new tridiagonal column.
-		delta := cs*dltn + sn*alpha
-		gbar := sn*dltn - cs*alpha
-		eps = epsPrev
-		epsPrev = sn * betaNext
-		dltn = -cs * betaNext
-
-		// New rotation annihilating betaNext.
-		gamma := math.Hypot(gbar, betaNext)
-		if gamma == 0 {
-			return res, fmt.Errorf("krylov: MINRES breakdown at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-		cs = gbar / gamma
-		sn = betaNext / gamma
-
-		// Update the solution direction and iterate.
-		// wNew = (v - delta*w - eps*wPrev)/gamma
-		wNew := vec.New(n)
-		vec.Copy(wNew, v)
-		vec.Axpy(-delta, w, wNew)
-		vec.Axpy(-eps, wPrev, wNew)
-		vec.Scale(1/gamma, wNew)
-		res.Stats.VectorUpdates += 3
-		res.Stats.Flops += 6 * int64(n)
-
-		vec.Axpy(phi*cs, wNew, res.X)
+	// Advance the Lanczos recurrence by rotating the three v-buffers.
+	if betaNext > 0 {
+		k.vPrev, k.v, k.av = k.v, k.av, k.vPrev
+		vec.Scale(1/betaNext, k.v)
 		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-		phi = phi * sn
-		if phi < 0 {
-			phi = -phi
-		}
-
-		wPrev, w = w, wNew
-
-		// Advance the Lanczos recurrence.
-		if betaNext > 0 {
-			vPrev, v = v, vec.Clone(av)
-			vec.Scale(1/betaNext, v)
-			res.Stats.VectorUpdates++
-			res.Stats.Flops += int64(n)
-		}
-		betaPrev = betaNext
-
-		res.Iterations++
-		record(phi)
-		if phi <= threshold {
-			res.Converged = true
-			break
-		}
-		if o.Callback != nil && !o.Callback(res.Iterations, phi) {
-			break
-		}
-		if betaNext == 0 {
-			// Krylov space exhausted: the current iterate is exact (in
-			// exact arithmetic).
-			res.Converged = phi <= threshold
-			break
-		}
+		res.Stats.Flops += n
 	}
-	res.ResidualNorm = phi
-	res.TrueResidualNorm = trueResidual(a, b, res.X, &res.Stats)
+	k.betaPrev = betaNext
+
+	res.Iterations++
+	run.Record(k.phi)
+	if k.phi <= run.Threshold {
+		// Converged: the driver's loop-top check exits; the historical
+		// code skipped the callback on the converging iteration, so the
+		// kernel does too.
+		return nil
+	}
+	if !run.Callback(res.Iterations, k.phi) {
+		return nil
+	}
+	if betaNext == 0 {
+		// Krylov space exhausted: the current iterate is exact (in
+		// exact arithmetic).
+		run.Stop()
+	}
+	return nil
+}
+
+func (k *minresKernel) Finish(run *engine.Run) {
+	trueResidualInto(run, k.wTmp, k.x)
 	// Trust the directly computed residual for the convergence flag.
-	if res.TrueResidualNorm <= threshold*1.01 {
-		res.Converged = true
+	if run.Res.TrueResidualNorm <= run.Threshold*1.01 {
+		run.Res.Converged = true
 	}
-	return res, nil
+}
+
+// MINRES solves A x = b for symmetric (possibly indefinite) A by the
+// minimum-residual method; see minresKernel.
+func MINRES(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
+	return run(NewMINRESKernel(), a, b, o)
 }

@@ -1,31 +1,28 @@
 package krylov
 
 import (
-	"fmt"
-	"math"
-
-	"vrcg/internal/precond"
+	"vrcg/internal/engine"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/sparse"
 )
 
-// Workspace owns every vector a CG or PCG solve needs, plus the worker
-// pool its kernels run on, so repeated solves against same-order
-// operators allocate nothing in steady state: the hot loop is pooled
-// SpMV (sparse.PooledMulVec), pooled dots, and pooled fused updates, all of
-// which reuse pool-owned slabs.
+// Workspace binds the cg and pcg kernels to one reusable engine
+// workspace (vector arena + worker pool), so repeated solves against
+// same-order operators allocate nothing in steady state: the hot loop
+// is pooled SpMV (sparse.PooledMulVec), pooled dots, and pooled fused
+// updates, all of which reuse pool-owned slabs.
 //
 // Contract: the vectors inside the workspace — including the X field of
 // a returned Result — are owned by the workspace and valid only until
 // the next solve on it. Callers needing the solution afterwards must
 // Clone it. A Workspace is not safe for concurrent solves; use one per
-// goroutine (they are cheap: five vectors).
+// goroutine (they are cheap).
 type Workspace struct {
-	pool *vec.Pool
-	n    int
-
-	x, r, p, ap, z vec.Vector
-	history        []float64
+	eng *engine.Workspace
+	cg  cgKernel
+	pcg pcgKernel
+	res Result
 }
 
 // NewWorkspace returns a workspace for order-n systems running its
@@ -34,250 +31,32 @@ func NewWorkspace(n int, pool *vec.Pool) *Workspace {
 	if n <= 0 {
 		panic("krylov: NewWorkspace requires n > 0")
 	}
-	return &Workspace{
-		pool: pool,
-		n:    n,
-		x:    vec.New(n),
-		r:    vec.New(n),
-		p:    vec.New(n),
-		ap:   vec.New(n),
-		z:    vec.New(n),
-	}
+	eng := engine.NewWorkspace(n, pool)
+	eng.Reserve(5) // x, r, p, ap, z — all allocations happen here, not on the first solve
+	return &Workspace{eng: eng, cg: cgKernel{label: "cg"}}
 }
 
 // Pool returns the worker pool the workspace dispatches to (nil = serial).
-func (ws *Workspace) Pool() *vec.Pool { return ws.pool }
+func (ws *Workspace) Pool() *vec.Pool { return ws.eng.Pool() }
 
 // Dim returns the system order the workspace is sized for.
-func (ws *Workspace) Dim() int { return ws.n }
-
-func (ws *Workspace) dot(x, y vec.Vector) float64 { return vec.PoolDot(ws.pool, x, y) }
-
-func (ws *Workspace) axpy(alpha float64, x, y vec.Vector) { vec.PoolAxpy(ws.pool, alpha, x, y) }
-
-func (ws *Workspace) xpay(x vec.Vector, alpha float64, y vec.Vector) {
-	vec.PoolXpay(ws.pool, x, alpha, y)
-}
-
-func (ws *Workspace) fusedCGUpdate(alpha float64, p, ap, x, r vec.Vector) float64 {
-	return vec.PoolFusedCGUpdate(ws.pool, alpha, p, ap, x, r)
-}
-
-func (ws *Workspace) matVec(a sparse.Matrix, dst, x vec.Vector) {
-	sparse.PooledMulVec(a, ws.pool, dst, x)
-}
-
-func (ws *Workspace) applyPrecond(m precond.Preconditioner, dst, r vec.Vector) {
-	if ws.pool != nil {
-		if pa, ok := m.(precond.PoolApplier); ok {
-			pa.ApplyPool(ws.pool, dst, r)
-			return
-		}
-	}
-	m.Apply(dst, r)
-}
-
-// setup validates the system, loads the initial guess into ws.x, forms
-// the initial residual in ws.r, and returns the convergence threshold.
-func (ws *Workspace) setup(a sparse.Matrix, b vec.Vector, o *Options) (float64, error) {
-	if a.Dim() != ws.n {
-		return 0, fmt.Errorf("krylov: workspace order %d but matrix order %d: %w", ws.n, a.Dim(), sparse.ErrDim)
-	}
-	if err := checkSystem(a, b, *o); err != nil {
-		return 0, err
-	}
-	*o = o.withDefaults(ws.n)
-	if o.X0 != nil {
-		vec.Copy(ws.x, o.X0)
-	} else {
-		vec.Zero(ws.x)
-	}
-	ws.matVec(a, ws.r, ws.x)
-	vec.Sub(ws.r, b, ws.r)
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	ws.history = ws.history[:0]
-	return o.Tol * bnorm, nil
-}
-
-func (ws *Workspace) record(o Options, v float64) {
-	if o.RecordHistory {
-		ws.history = append(ws.history, v)
-	}
-}
-
-// trueResidual computes ||b - A x|| into ws.z and charges stats.
-func (ws *Workspace) trueResidual(a sparse.Matrix, b vec.Vector, st *Stats) float64 {
-	ws.matVec(a, ws.z, ws.x)
-	vec.Sub(ws.z, b, ws.z)
-	st.MatVecs++
-	st.Flops += matvecFlops(a)
-	return vec.Norm2(ws.z)
-}
+func (ws *Workspace) Dim() int { return ws.eng.Dim() }
 
 // CG solves A x = b with the fused-update conjugate gradient iteration
 // on the workspace's buffers and pool. In steady state (a warm
-// workspace, RecordHistory history capacity reached, no breakdown) a
-// call performs zero heap allocations. The returned Result aliases
-// workspace storage; see the Workspace contract.
+// workspace, history capacity reached, no breakdown) a call performs
+// zero heap allocations. The returned Result aliases workspace storage;
+// see the Workspace contract.
 func (ws *Workspace) CG(a sparse.Matrix, b vec.Vector, o Options) (Result, error) {
-	var res Result
-	threshold, err := ws.setup(a, b, &o)
-	if err != nil {
-		return res, err
-	}
-	n := ws.n
-	res.X = ws.x
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	vec.Copy(ws.p, ws.r)
-	rr := ws.dot(ws.r, ws.r)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-	ws.record(o, math.Sqrt(rr))
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(rr) <= threshold {
-			res.Converged = true
-			break
-		}
-		ws.matVec(a, ws.ap, ws.p)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		pap := ws.dot(ws.p, ws.ap)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if pap <= 0 {
-			res.finishHistory(ws, o)
-			return res, fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
-		}
-		lambda := rr / pap
-
-		rrNew := ws.fusedCGUpdate(lambda, ws.p, ws.ap, ws.x, ws.r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 6 * int64(n)
-		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
-			res.finishHistory(ws, o)
-			return res, fmt.Errorf("krylov: non-finite residual at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-
-		alpha := rrNew / rr
-		ws.xpay(ws.r, alpha, ws.p)
-		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-
-		rr = rrNew
-		res.Iterations++
-		ws.record(o, math.Sqrt(rr))
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(rr)) {
-			break
-		}
-	}
-	if math.Sqrt(rr) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(rr)
-	res.TrueResidualNorm = ws.trueResidual(a, b, &res.Stats)
-	res.finishHistory(ws, o)
-	return res, nil
+	err := engine.Solve(&ws.cg, ws.eng, a, b, o, &ws.res)
+	return ws.res, err
 }
 
 // PCG solves A x = b with preconditioner M on the workspace's buffers
 // and pool. Zero steady-state heap allocations, like CG. The returned
 // Result aliases workspace storage; see the Workspace contract.
 func (ws *Workspace) PCG(a sparse.Matrix, m precond.Preconditioner, b vec.Vector, o Options) (Result, error) {
-	var res Result
-	if m.Dim() != ws.n {
-		return res, fmt.Errorf("krylov: preconditioner order %d for workspace order %d: %w", m.Dim(), ws.n, sparse.ErrDim)
-	}
-	threshold, err := ws.setup(a, b, &o)
-	if err != nil {
-		return res, err
-	}
-	n := ws.n
-	res.X = ws.x
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	ws.applyPrecond(m, ws.z, ws.r)
-	res.Stats.PrecondSolves++
-
-	vec.Copy(ws.p, ws.z)
-	rz := ws.dot(ws.r, ws.z)
-	rr := ws.dot(ws.r, ws.r)
-	res.Stats.InnerProducts += 2
-	res.Stats.Flops += 4 * int64(n)
-	ws.record(o, math.Sqrt(rr))
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(rr) <= threshold {
-			res.Converged = true
-			break
-		}
-		ws.matVec(a, ws.ap, ws.p)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		pap := ws.dot(ws.p, ws.ap)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if pap <= 0 {
-			res.finishHistory(ws, o)
-			return res, fmt.Errorf("krylov: curvature %g at iteration %d: %w", pap, res.Iterations, ErrIndefinite)
-		}
-		if rz == 0 {
-			res.finishHistory(ws, o)
-			return res, fmt.Errorf("krylov: (r,z) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-		lambda := rz / pap
-
-		ws.axpy(lambda, ws.p, ws.x)
-		ws.axpy(-lambda, ws.ap, ws.r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		ws.applyPrecond(m, ws.z, ws.r)
-		res.Stats.PrecondSolves++
-
-		rzNew := ws.dot(ws.r, ws.z)
-		rr = ws.dot(ws.r, ws.r)
-		res.Stats.InnerProducts += 2
-		res.Stats.Flops += 4 * int64(n)
-		if math.IsNaN(rzNew) || math.IsInf(rzNew, 0) {
-			res.finishHistory(ws, o)
-			return res, fmt.Errorf("krylov: non-finite (r,z) at iteration %d: %w", res.Iterations, ErrBreakdown)
-		}
-
-		beta := rzNew / rz
-		ws.xpay(ws.z, beta, ws.p)
-		res.Stats.VectorUpdates++
-		res.Stats.Flops += 2 * int64(n)
-
-		rz = rzNew
-		res.Iterations++
-		ws.record(o, math.Sqrt(rr))
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(rr)) {
-			break
-		}
-	}
-	if math.Sqrt(rr) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(rr)
-	res.TrueResidualNorm = ws.trueResidual(a, b, &res.Stats)
-	res.finishHistory(ws, o)
-	return res, nil
-}
-
-// finishHistory publishes the workspace-owned history slab into the
-// result when recording was requested.
-func (r *Result) finishHistory(ws *Workspace, o Options) {
-	if o.RecordHistory {
-		r.History = ws.history
-	}
+	o.Precond = m
+	err := engine.Solve(&ws.pcg, ws.eng, a, b, o, &ws.res)
+	return ws.res, err
 }

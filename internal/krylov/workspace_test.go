@@ -4,8 +4,8 @@ import (
 	"runtime"
 	"testing"
 
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/sparse"
 )
 

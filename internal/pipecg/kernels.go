@@ -1,0 +1,213 @@
+package pipecg
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/engine"
+	"vrcg/internal/vec"
+)
+
+// gvKernel is Ghysels–Vanroose single-reduction pipelined CG. Per
+// iteration: one matvec (n = A w, overlappable with the reduction of
+// gamma = (r,r) and delta = (w,r)) and the vector recurrences
+//
+//	p = r + beta p;  s = w + beta s (= A p);  q = n + beta q (= A s)
+//	x += alpha p;  r -= alpha s;  w -= alpha q (= A r maintained)
+type gvKernel struct {
+	x, r, w, p, s, q, nv vec.Vector
+
+	gamma, delta       float64
+	gammaOld, alphaOld float64
+	first              bool
+}
+
+// NewGVKernel returns the pipecg (Ghysels–Vanroose) iteration kernel.
+func NewGVKernel() engine.Kernel { return &gvKernel{} }
+
+func (k *gvKernel) Name() string { return "pipecg" }
+
+func (k *gvKernel) resNorm() float64 { return math.Sqrt(math.Max(k.gamma, 0)) }
+
+func (k *gvKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	n := ws.Dim()
+	k.x, k.r, k.w = ws.Vec(0), ws.Vec(1), ws.Vec(2)
+	k.p, k.s, k.q, k.nv = ws.Vec(3), ws.Vec(4), ws.Vec(5), ws.Vec(6)
+
+	if run.Cfg.X0 != nil {
+		vec.Copy(k.x, run.Cfg.X0)
+	} else {
+		vec.Zero(k.x)
+	}
+	run.Res.X = k.x
+
+	ws.MatVec(run.A, k.r, k.x)
+	vec.Sub(k.r, run.B, k.r)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	ws.MatVec(run.A, k.w, k.r)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	vec.Zero(k.p)
+	vec.Zero(k.s)
+	vec.Zero(k.q)
+
+	k.gamma, k.delta = ws.DotPair(k.r, k.r, k.w)
+	run.Res.Stats.InnerProducts += 2
+	run.Res.Stats.Flops += 4 * int64(n)
+	k.gammaOld, k.alphaOld = 0, 0
+	k.first = true
+	return k.resNorm(), nil
+}
+
+func (k *gvKernel) Residual(*engine.Run) float64 { return k.resNorm() }
+
+func (k *gvKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	// The matvec below would overlap the (gamma, delta) reduction on
+	// a parallel machine; sequentially we just order them.
+	ws.MatVec(run.A, k.nv, k.w)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	var beta, alpha float64
+	if k.first {
+		beta = 0
+		if k.delta == 0 {
+			return fmt.Errorf("pipecg: (w,r) vanished at startup: %w", ErrBreakdown)
+		}
+		alpha = k.gamma / k.delta
+		k.first = false
+	} else {
+		beta = k.gamma / k.gammaOld
+		den := k.delta - beta*k.gamma/k.alphaOld
+		if den == 0 || math.IsNaN(den) {
+			return fmt.Errorf("pipecg: pipelined scalar breakdown at iteration %d: %w", res.Iterations, ErrBreakdown)
+		}
+		alpha = k.gamma / den
+	}
+	if alpha <= 0 || math.IsNaN(alpha) {
+		return fmt.Errorf("pipecg: nonpositive step %g at iteration %d: %w", alpha, res.Iterations, ErrIndefinite)
+	}
+
+	ws.Xpay(k.r, beta, k.p)
+	ws.Xpay(k.w, beta, k.s)
+	ws.Xpay(k.nv, beta, k.q)
+	ws.Axpy(alpha, k.p, k.x)
+	ws.Axpy(-alpha, k.s, k.r)
+	ws.Axpy(-alpha, k.q, k.w)
+	res.Stats.VectorUpdates += 6
+	res.Stats.Flops += 12 * n
+
+	k.gammaOld, k.alphaOld = k.gamma, alpha
+	k.gamma, k.delta = ws.DotPair(k.r, k.r, k.w)
+	res.Stats.InnerProducts += 2
+	res.Stats.Flops += 4 * n
+	run.Tick(k.resNorm())
+	return nil
+}
+
+func (k *gvKernel) Finish(run *engine.Run) {
+	// True residual into nv (no longer needed this solve).
+	run.Ws.MatVec(run.A, k.nv, k.x)
+	vec.Sub(k.nv, run.B, k.nv)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+	run.Res.TrueResidualNorm = vec.Norm2(k.nv)
+}
+
+// groppKernel is Gropp's asynchronous variant: two reductions per
+// iteration, each overlapped with one of the two matvec-shaped
+// operations, using the auxiliary vector s = A p.
+type groppKernel struct {
+	x, r, p, s, w vec.Vector
+	gamma         float64
+}
+
+// NewGroppKernel returns the gropp iteration kernel.
+func NewGroppKernel() engine.Kernel { return &groppKernel{} }
+
+func (k *groppKernel) Name() string { return "gropp" }
+
+func (k *groppKernel) resNorm() float64 { return math.Sqrt(math.Max(k.gamma, 0)) }
+
+func (k *groppKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	n := ws.Dim()
+	k.x, k.r, k.p, k.s, k.w = ws.Vec(0), ws.Vec(1), ws.Vec(2), ws.Vec(3), ws.Vec(4)
+
+	if run.Cfg.X0 != nil {
+		vec.Copy(k.x, run.Cfg.X0)
+	} else {
+		vec.Zero(k.x)
+	}
+	run.Res.X = k.x
+
+	ws.MatVec(run.A, k.r, k.x)
+	vec.Sub(k.r, run.B, k.r)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	vec.Copy(k.p, k.r)
+	ws.MatVec(run.A, k.s, k.p)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	k.gamma = ws.Dot(k.r, k.r)
+	run.Res.Stats.InnerProducts++
+	run.Res.Stats.Flops += 2 * int64(n)
+	return k.resNorm(), nil
+}
+
+func (k *groppKernel) Residual(*engine.Run) float64 { return k.resNorm() }
+
+func (k *groppKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	// First reduction: delta = (p, s). (In the preconditioned form it
+	// overlaps with the preconditioner solve.)
+	delta := ws.Dot(k.p, k.s)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if delta <= 0 || math.IsNaN(delta) {
+		return fmt.Errorf("pipecg: curvature %g at iteration %d: %w", delta, res.Iterations, ErrIndefinite)
+	}
+	alpha := k.gamma / delta
+	ws.Axpy(alpha, k.p, k.x)
+	ws.Axpy(-alpha, k.s, k.r)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	// Second reduction gamma' = (r, r) overlaps with the single matvec
+	// w = A r on a parallel machine.
+	gammaNew := ws.Dot(k.r, k.r)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	ws.MatVec(run.A, k.w, k.r)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	beta := gammaNew / k.gamma
+	ws.Xpay(k.r, beta, k.p)
+	ws.Xpay(k.w, beta, k.s) // s = A p maintained by recurrence
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	k.gamma = gammaNew
+	run.Tick(k.resNorm())
+	return nil
+}
+
+func (k *groppKernel) Finish(run *engine.Run) {
+	run.Ws.MatVec(run.A, k.w, k.x)
+	vec.Sub(k.w, run.B, k.w)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+	run.Res.TrueResidualNorm = vec.Norm2(k.w)
+}

@@ -5,281 +5,58 @@
 // global reductions overlap with the matrix–vector product — a depth-one
 // version of the paper's k-deep look-ahead pipeline.
 //
-// These sequential reference implementations validate the recurrences
-// and provide convergence baselines; their parallel-time behaviour is
-// modelled in packages depth and parcg.
+// Both methods are engine kernels (internal/engine): this package owns
+// the pipelined recurrences; the engine driver owns options,
+// convergence, callbacks, and history. These sequential reference
+// implementations validate the recurrences and provide convergence
+// baselines; their parallel-time behaviour is modelled in packages
+// depth and parcg.
 package pipecg
 
 import (
 	"fmt"
-	"math"
 
+	"vrcg/internal/engine"
 	"vrcg/internal/krylov"
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// Options configures a pipelined solve.
-type Options struct {
-	// MaxIter bounds iterations; 0 means 10*n.
-	MaxIter int
-	// Tol is the relative residual tolerance; 0 means 1e-10.
-	Tol float64
-	// X0 is the initial guess; nil means zero.
-	X0 vec.Vector
-	// RecordHistory enables Result.History.
-	RecordHistory bool
-	// Callback, when non-nil, is invoked after each iteration with the
-	// iteration number and current residual norm; returning false stops
-	// the solve early.
-	Callback func(iter int, resNorm float64) bool
+// Error sentinels shared with the rest of the solver family.
+var (
+	ErrIndefinite = engine.ErrIndefinite
+	ErrBreakdown  = engine.ErrBreakdown
+)
+
+// Options configures a pipelined solve (the engine's shared Config;
+// fields irrelevant here — Precond, K, S — are ignored).
+type Options = engine.Config
+
+// Result reports a pipelined solve (the canonical engine result).
+type Result = engine.Result
+
+// Stats re-exports the shared work counters.
+type Stats = krylov.Stats
+
+// run drives kernel k once on a fresh workspace.
+func run(k engine.Kernel, a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
+	if a.Dim() <= 0 {
+		return nil, fmt.Errorf("pipecg: operator order %d must be positive: %w", a.Dim(), sparse.ErrDim)
+	}
+	res := new(Result)
+	err := engine.Solve(k, engine.NewWorkspace(a.Dim(), o.Pool), a, b, o, res)
+	return res, err
 }
 
-func matvecFlops(a sparse.Matrix) int64 {
-	if sp, ok := a.(sparse.Sparse); ok {
-		return 2 * int64(sp.NNZ())
-	}
-	n := int64(a.Dim())
-	return 2 * n * n
-}
-
-// Result reports a pipelined solve.
-type Result struct {
-	X                vec.Vector
-	Iterations       int
-	Converged        bool
-	ResidualNorm     float64
-	TrueResidualNorm float64
-	History          []float64
-	Stats            krylov.Stats
-}
-
-func validate(a sparse.Matrix, b vec.Vector, o Options) (Options, error) {
-	if a.Dim() != len(b) {
-		return o, fmt.Errorf("pipecg: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
-	}
-	if o.X0 != nil && len(o.X0) != a.Dim() {
-		return o, fmt.Errorf("pipecg: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
-	}
-	if o.MaxIter == 0 {
-		o.MaxIter = 10 * a.Dim()
-	}
-	if o.Tol == 0 {
-		o.Tol = 1e-10
-	}
-	return o, nil
-}
-
-// GhyselsVanroose solves A x = b by the single-reduction pipelined CG.
-// Per iteration: one matvec (n = A w, overlappable with the reduction of
-// gamma = (r,r) and delta = (w,r)) and the vector recurrences
-//
-//	p = r + beta p;  s = w + beta s (= A p);  q = n + beta q (= A s)
-//	x += alpha p;  r -= alpha s;  w -= alpha q (= A r maintained)
+// GhyselsVanroose solves A x = b by the single-reduction pipelined CG;
+// see gvKernel for the recurrences.
 func GhyselsVanroose(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	o, err := validate(a, b, o)
-	if err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	res := &Result{}
-	if o.X0 != nil {
-		res.X = vec.Clone(o.X0)
-	} else {
-		res.X = vec.New(n)
-	}
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	w := vec.New(n)
-	a.MulVec(w, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	p := vec.New(n)
-	s := vec.New(n)
-	q := vec.New(n)
-	nv := vec.New(n)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	gamma, delta := vec.DotPair(r, r, w)
-	res.Stats.InnerProducts += 2
-	res.Stats.Flops += 4 * int64(n)
-	var gammaOld, alphaOld float64
-	first := true
-
-	record := func() {
-		if o.RecordHistory {
-			res.History = append(res.History, math.Sqrt(math.Max(gamma, 0)))
-		}
-	}
-	record()
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(math.Max(gamma, 0)) <= threshold {
-			res.Converged = true
-			break
-		}
-		// The matvec below would overlap the (gamma, delta) reduction on
-		// a parallel machine; sequentially we just order them.
-		a.MulVec(nv, w)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		var beta, alpha float64
-		if first {
-			beta = 0
-			if delta == 0 {
-				return res, fmt.Errorf("pipecg: (w,r) vanished at startup: %w", krylov.ErrBreakdown)
-			}
-			alpha = gamma / delta
-			first = false
-		} else {
-			beta = gamma / gammaOld
-			den := delta - beta*gamma/alphaOld
-			if den == 0 || math.IsNaN(den) {
-				return res, fmt.Errorf("pipecg: pipelined scalar breakdown at iteration %d: %w", res.Iterations, krylov.ErrBreakdown)
-			}
-			alpha = gamma / den
-		}
-		if alpha <= 0 || math.IsNaN(alpha) {
-			return res, fmt.Errorf("pipecg: nonpositive step %g at iteration %d: %w", alpha, res.Iterations, krylov.ErrIndefinite)
-		}
-
-		vec.Xpay(r, beta, p)
-		vec.Xpay(w, beta, s)
-		vec.Xpay(nv, beta, q)
-		vec.Axpy(alpha, p, res.X)
-		vec.Axpy(-alpha, s, r)
-		vec.Axpy(-alpha, q, w)
-		res.Stats.VectorUpdates += 6
-		res.Stats.Flops += 12 * int64(n)
-
-		gammaOld, alphaOld = gamma, alpha
-		gamma, delta = vec.DotPair(r, r, w)
-		res.Stats.InnerProducts += 2
-		res.Stats.Flops += 4 * int64(n)
-		res.Iterations++
-		record()
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(math.Max(gamma, 0))) {
-			break
-		}
-	}
-	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
-	finish(a, b, res)
-	return res, nil
+	return run(NewGVKernel(), a, b, o)
 }
 
 // Gropp solves A x = b by Gropp's asynchronous variant: two reductions
 // per iteration, each overlapped with one of the two matvec-shaped
 // operations, using the auxiliary vector s = A p.
 func Gropp(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	o, err := validate(a, b, o)
-	if err != nil {
-		return nil, err
-	}
-	n := a.Dim()
-	res := &Result{}
-	if o.X0 != nil {
-		res.X = vec.Clone(o.X0)
-	} else {
-		res.X = vec.New(n)
-	}
-	r := vec.New(n)
-	a.MulVec(r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	p := vec.Clone(r)
-	s := vec.New(n)
-	a.MulVec(s, p)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	gamma := vec.Dot(r, r)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-
-	record := func() {
-		if o.RecordHistory {
-			res.History = append(res.History, math.Sqrt(math.Max(gamma, 0)))
-		}
-	}
-	record()
-
-	w := vec.New(n)
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(math.Max(gamma, 0)) <= threshold {
-			res.Converged = true
-			break
-		}
-		// First reduction: delta = (p, s). (In the preconditioned form
-		// it overlaps with the preconditioner solve.)
-		delta := vec.Dot(p, s)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if delta <= 0 || math.IsNaN(delta) {
-			return res, fmt.Errorf("pipecg: curvature %g at iteration %d: %w", delta, res.Iterations, krylov.ErrIndefinite)
-		}
-		alpha := gamma / delta
-		vec.Axpy(alpha, p, res.X)
-		vec.Axpy(-alpha, s, r)
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		// Second reduction gamma' = (r, r) overlaps with the single
-		// matvec w = A r on a parallel machine.
-		gammaNew := vec.Dot(r, r)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		a.MulVec(w, r)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		beta := gammaNew / gamma
-		vec.Xpay(r, beta, p)
-		vec.Xpay(w, beta, s) // s = A p maintained by recurrence
-		res.Stats.VectorUpdates += 2
-		res.Stats.Flops += 4 * int64(n)
-
-		gamma = gammaNew
-		res.Iterations++
-		record()
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(math.Max(gamma, 0))) {
-			break
-		}
-	}
-	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
-	finish(a, b, res)
-	return res, nil
-}
-
-func finish(a sparse.Matrix, b vec.Vector, res *Result) {
-	tr := vec.New(a.Dim())
-	a.MulVec(tr, res.X)
-	vec.Sub(tr, b, tr)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-	res.TrueResidualNorm = vec.Norm2(tr)
+	return run(NewGroppKernel(), a, b, o)
 }

@@ -1,27 +1,23 @@
 package pipecg
 
 import (
-	"fmt"
-	"math"
-
-	"vrcg/internal/krylov"
+	"vrcg/internal/engine"
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// Workspace owns the seven vectors a Ghysels–Vanroose solve needs plus
-// the worker pool its kernels run on, so repeated solves against
-// same-order operators allocate nothing in steady state — the pipelined
-// methods are exactly the ones meant to run at high call rates, where
-// per-solve allocation churn would dominate.
+// Workspace binds the Ghysels–Vanroose kernel to one reusable engine
+// workspace, so repeated solves against same-order operators allocate
+// nothing in steady state — the pipelined methods are exactly the ones
+// meant to run at high call rates, where per-solve allocation churn
+// would dominate.
 //
 // The X field of a returned Result aliases workspace storage and is
 // valid only until the next solve. Not safe for concurrent solves.
 type Workspace struct {
-	pool *vec.Pool
-	n    int
-
-	x, r, w, p, s, q, nv vec.Vector
+	eng *engine.Workspace
+	gv  gvKernel
+	res Result
 }
 
 // NewWorkspace returns a workspace for order-n systems running its
@@ -30,146 +26,22 @@ func NewWorkspace(n int, pool *vec.Pool) *Workspace {
 	if n <= 0 {
 		panic("pipecg: NewWorkspace requires n > 0")
 	}
-	return &Workspace{
-		pool: pool,
-		n:    n,
-		x:    vec.New(n),
-		r:    vec.New(n),
-		w:    vec.New(n),
-		p:    vec.New(n),
-		s:    vec.New(n),
-		q:    vec.New(n),
-		nv:   vec.New(n),
-	}
+	eng := engine.NewWorkspace(n, pool)
+	eng.Reserve(7) // x, r, w, p, s, q, nv — all allocations happen here, not on the first solve
+	return &Workspace{eng: eng}
 }
 
 // Pool returns the worker pool the workspace dispatches to (nil = serial).
-func (ws *Workspace) Pool() *vec.Pool { return ws.pool }
+func (ws *Workspace) Pool() *vec.Pool { return ws.eng.Pool() }
 
 // Dim returns the system order the workspace is sized for.
-func (ws *Workspace) Dim() int { return ws.n }
-
-func (ws *Workspace) dotPair(x, y, z vec.Vector) (xy, xz float64) {
-	return vec.PoolDotPair(ws.pool, x, y, z)
-}
-
-func (ws *Workspace) axpy(alpha float64, x, y vec.Vector) { vec.PoolAxpy(ws.pool, alpha, x, y) }
-
-func (ws *Workspace) xpay(x vec.Vector, alpha float64, y vec.Vector) {
-	vec.PoolXpay(ws.pool, x, alpha, y)
-}
+func (ws *Workspace) Dim() int { return ws.eng.Dim() }
 
 // GhyselsVanroose solves A x = b by single-reduction pipelined CG on the
 // workspace's buffers and pool (see the package-level GhyselsVanroose
 // for the recurrences). Zero steady-state heap allocations when history
 // recording is off.
 func (ws *Workspace) GhyselsVanroose(a sparse.Matrix, b vec.Vector, o Options) (Result, error) {
-	var res Result
-	if a.Dim() != ws.n {
-		return res, fmt.Errorf("pipecg: workspace order %d but matrix order %d: %w", ws.n, a.Dim(), sparse.ErrDim)
-	}
-	o, err := validate(a, b, o)
-	if err != nil {
-		return res, err
-	}
-	n := ws.n
-	if o.X0 != nil {
-		vec.Copy(ws.x, o.X0)
-	} else {
-		vec.Zero(ws.x)
-	}
-	res.X = ws.x
-
-	sparse.PooledMulVec(a, ws.pool, ws.r, ws.x)
-	vec.Sub(ws.r, b, ws.r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	sparse.PooledMulVec(a, ws.pool, ws.w, ws.r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-
-	vec.Zero(ws.p)
-	vec.Zero(ws.s)
-	vec.Zero(ws.q)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	gamma, delta := ws.dotPair(ws.r, ws.r, ws.w)
-	res.Stats.InnerProducts += 2
-	res.Stats.Flops += 4 * int64(n)
-	var gammaOld, alphaOld float64
-	first := true
-
-	record := func() {
-		if o.RecordHistory {
-			res.History = append(res.History, math.Sqrt(math.Max(gamma, 0)))
-		}
-	}
-	record()
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(math.Max(gamma, 0)) <= threshold {
-			res.Converged = true
-			break
-		}
-		sparse.PooledMulVec(a, ws.pool, ws.nv, ws.w)
-		res.Stats.MatVecs++
-		res.Stats.Flops += matvecFlops(a)
-
-		var beta, alpha float64
-		if first {
-			beta = 0
-			if delta == 0 {
-				return res, fmt.Errorf("pipecg: (w,r) vanished at startup: %w", krylov.ErrBreakdown)
-			}
-			alpha = gamma / delta
-			first = false
-		} else {
-			beta = gamma / gammaOld
-			den := delta - beta*gamma/alphaOld
-			if den == 0 || math.IsNaN(den) {
-				return res, fmt.Errorf("pipecg: pipelined scalar breakdown at iteration %d: %w", res.Iterations, krylov.ErrBreakdown)
-			}
-			alpha = gamma / den
-		}
-		if alpha <= 0 || math.IsNaN(alpha) {
-			return res, fmt.Errorf("pipecg: nonpositive step %g at iteration %d: %w", alpha, res.Iterations, krylov.ErrIndefinite)
-		}
-
-		ws.xpay(ws.r, beta, ws.p)
-		ws.xpay(ws.w, beta, ws.s)
-		ws.xpay(ws.nv, beta, ws.q)
-		ws.axpy(alpha, ws.p, ws.x)
-		ws.axpy(-alpha, ws.s, ws.r)
-		ws.axpy(-alpha, ws.q, ws.w)
-		res.Stats.VectorUpdates += 6
-		res.Stats.Flops += 12 * int64(n)
-
-		gammaOld, alphaOld = gamma, alpha
-		gamma, delta = ws.dotPair(ws.r, ws.r, ws.w)
-		res.Stats.InnerProducts += 2
-		res.Stats.Flops += 4 * int64(n)
-		res.Iterations++
-		record()
-		if o.Callback != nil && !o.Callback(res.Iterations, math.Sqrt(math.Max(gamma, 0))) {
-			break
-		}
-	}
-	if math.Sqrt(math.Max(gamma, 0)) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(math.Max(gamma, 0))
-
-	// True residual into nv (no longer needed this solve).
-	sparse.PooledMulVec(a, ws.pool, ws.nv, ws.x)
-	vec.Sub(ws.nv, b, ws.nv)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-	res.TrueResidualNorm = vec.Norm2(ws.nv)
-	return res, nil
+	err := engine.Solve(&ws.gv, ws.eng, a, b, o, &ws.res)
+	return ws.res, err
 }

@@ -1,286 +1,36 @@
-// Package precond provides the symmetric preconditioners referenced in
-// the paper's introduction ("can be quite efficient when coupled with
-// various preconditioning techniques"): Jacobi, SSOR, and matrix
-// polynomial preconditioners. All are symmetric positive definite
-// operators M^{-1}, applied as z = M^{-1} r, and therefore preserve the
-// CG theory for the preconditioned system.
+// Package precond is a deprecated thin forwarding shim: the
+// preconditioners that used to live here (Identity, Jacobi, SSOR, IC0,
+// Polynomial) are now the public package vrcg/precond, so external
+// callers can pass them to solve.WithPreconditioner without copying
+// implementations. All names below are aliases with identical behavior;
+// new code should import vrcg/precond directly.
 package precond
 
 import (
-	"fmt"
-	"math"
-
-	"vrcg/internal/vec"
-	"vrcg/sparse"
+	"vrcg/precond"
 )
 
-// Preconditioner applies z = M^{-1} r. Implementations must be symmetric
-// positive definite so preconditioned CG remains well defined.
-type Preconditioner interface {
-	// Dim returns the operator order.
-	Dim() int
-	// Apply computes dst = M^{-1} r. dst and r must not alias.
-	Apply(dst, r vec.Vector)
-}
+// Interfaces.
+type (
+	Preconditioner = precond.Preconditioner
+	PoolApplier    = precond.PoolApplier
+)
 
-// PoolApplier is a Preconditioner that can apply itself over a worker
-// pool. Pointwise preconditioners (Identity, Jacobi) implement it;
-// triangular-solve preconditioners (SSOR, IC0) are inherently sequential
-// across rows and do not.
-type PoolApplier interface {
-	Preconditioner
-	// ApplyPool computes dst = M^{-1} r using pooled kernels.
-	ApplyPool(pool *vec.Pool, dst, r vec.Vector)
-}
+// Concrete preconditioners.
+type (
+	Identity   = precond.Identity
+	Jacobi     = precond.Jacobi
+	SSOR       = precond.SSOR
+	Polynomial = precond.Polynomial
+	IC0        = precond.IC0
+)
 
-// Identity is the trivial preconditioner M = I.
-type Identity struct{ N int }
-
-// NewIdentity returns the identity preconditioner of order n.
-func NewIdentity(n int) *Identity { return &Identity{N: n} }
-
-// Dim returns the operator order.
-func (p *Identity) Dim() int { return p.N }
-
-// Apply copies r into dst.
-func (p *Identity) Apply(dst, r vec.Vector) {
-	if len(dst) != p.N || len(r) != p.N {
-		panic("precond: Identity dimension mismatch")
-	}
-	vec.Copy(dst, r)
-}
-
-// ApplyPool is Apply; a copy does not benefit from the pool.
-func (p *Identity) ApplyPool(_ *vec.Pool, dst, r vec.Vector) { p.Apply(dst, r) }
-
-// Jacobi is diagonal scaling: M = diag(A).
-type Jacobi struct {
-	invDiag vec.Vector
-}
-
-// NewJacobi extracts the diagonal of a and returns the Jacobi
-// preconditioner. It returns an error if any diagonal entry is not
-// strictly positive (A must be SPD).
-func NewJacobi(a *sparse.CSR) (*Jacobi, error) {
-	d := vec.New(a.Dim())
-	a.Diag(d)
-	inv := vec.New(a.Dim())
-	for i, v := range d {
-		if v <= 0 {
-			return nil, fmt.Errorf("precond: non-positive diagonal entry %g at row %d", v, i)
-		}
-		inv[i] = 1 / v
-	}
-	return &Jacobi{invDiag: inv}, nil
-}
-
-// Dim returns the operator order.
-func (p *Jacobi) Dim() int { return len(p.invDiag) }
-
-// Apply computes dst = diag(A)^{-1} r.
-func (p *Jacobi) Apply(dst, r vec.Vector) {
-	if len(dst) != p.Dim() || len(r) != p.Dim() {
-		panic("precond: Jacobi dimension mismatch")
-	}
-	vec.MulElem(dst, r, p.invDiag)
-}
-
-// ApplyPool computes dst = diag(A)^{-1} r with the pooled elementwise
-// multiply.
-func (p *Jacobi) ApplyPool(pool *vec.Pool, dst, r vec.Vector) {
-	if len(dst) != p.Dim() || len(r) != p.Dim() {
-		panic("precond: Jacobi dimension mismatch")
-	}
-	vec.PoolMulElem(pool, dst, r, p.invDiag)
-}
-
-// SSOR is the symmetric successive over-relaxation preconditioner
-//
-//	M = (D/w + L) * (w/(2-w)) * D^{-1} * (D/w + U)
-//
-// for A = L + D + U with relaxation parameter 0 < w < 2. Applying M^{-1}
-// is a forward triangular solve, a diagonal scale, and a backward
-// triangular solve over the CSR structure.
-type SSOR struct {
-	a     *sparse.CSR
-	w     float64
-	diag  vec.Vector
-	tmp   vec.Vector
-	scale float64 // (2-w)/w
-}
-
-// NewSSOR builds the SSOR preconditioner for symmetric a with relaxation
-// parameter w in (0, 2).
-func NewSSOR(a *sparse.CSR, w float64) (*SSOR, error) {
-	if w <= 0 || w >= 2 {
-		return nil, fmt.Errorf("precond: SSOR relaxation parameter %g outside (0,2)", w)
-	}
-	d := vec.New(a.Dim())
-	a.Diag(d)
-	for i, v := range d {
-		if v <= 0 {
-			return nil, fmt.Errorf("precond: non-positive diagonal entry %g at row %d", v, i)
-		}
-	}
-	return &SSOR{a: a, w: w, diag: d, tmp: vec.New(a.Dim()), scale: (2 - w) / w}, nil
-}
-
-// Dim returns the operator order.
-func (p *SSOR) Dim() int { return p.a.Dim() }
-
-// Apply computes dst = M^{-1} r via forward solve, diagonal scale,
-// backward solve.
-func (p *SSOR) Apply(dst, r vec.Vector) {
-	n := p.Dim()
-	if len(dst) != n || len(r) != n {
-		panic("precond: SSOR dimension mismatch")
-	}
-	w := p.w
-	y := p.tmp
-	// Forward solve (D/w + L) y = r, traversing rows in order and using
-	// only already-computed components (columns j < i).
-	for i := 0; i < n; i++ {
-		s := r[i]
-		p.a.ScanRow(i, func(j int, v float64) {
-			if j < i {
-				s -= v * y[j]
-			}
-		})
-		y[i] = s * w / p.diag[i]
-	}
-	// Scale: y <- ((2-w)/w) * D * y
-	for i := 0; i < n; i++ {
-		y[i] *= p.scale * p.diag[i]
-	}
-	// Backward solve (D/w + U) dst = y.
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		p.a.ScanRow(i, func(j int, v float64) {
-			if j > i {
-				s -= v * dst[j]
-			}
-		})
-		dst[i] = s * w / p.diag[i]
-	}
-}
-
-// Polynomial preconditions with a fixed polynomial in A:
-// M^{-1} = q(A) where q approximates A^{-1}. Supported constructions are
-// the truncated Neumann series and Chebyshev polynomials over a spectral
-// interval.
-type Polynomial struct {
-	a      sparse.Matrix
-	coeffs []float64 // q(A) = sum_i coeffs[i] A^i
-	t1, t2 vec.Vector
-}
-
-// Dim returns the operator order.
-func (p *Polynomial) Dim() int { return p.a.Dim() }
-
-// Coeffs returns a copy of the polynomial coefficients (degree ascending).
-func (p *Polynomial) Coeffs() []float64 {
-	out := make([]float64, len(p.coeffs))
-	copy(out, p.coeffs)
-	return out
-}
-
-// Apply computes dst = q(A) r by Horner's rule using two work vectors.
-func (p *Polynomial) Apply(dst, r vec.Vector) {
-	n := p.Dim()
-	if len(dst) != n || len(r) != n {
-		panic("precond: Polynomial dimension mismatch")
-	}
-	k := len(p.coeffs) - 1
-	// Horner: acc = c_k r; acc = A*acc + c_i r
-	vec.ScaleTo(p.t1, p.coeffs[k], r)
-	for i := k - 1; i >= 0; i-- {
-		p.a.MulVec(p.t2, p.t1)
-		vec.AxpyTo(p.t1, p.coeffs[i], r, p.t2)
-	}
-	vec.Copy(dst, p.t1)
-}
-
-// NewNeumann builds the truncated Neumann-series preconditioner of the
-// scaled operator: with s chosen so the spectrum of sA lies in (0,2),
-// A^{-1} ≈ s * sum_{i=0..deg} (I - sA)^i. lambdaMax must be an upper
-// bound on the largest eigenvalue of A.
-func NewNeumann(a sparse.Matrix, deg int, lambdaMax float64) (*Polynomial, error) {
-	if deg < 0 {
-		return nil, fmt.Errorf("precond: Neumann degree %d < 0", deg)
-	}
-	if lambdaMax <= 0 {
-		return nil, fmt.Errorf("precond: lambdaMax %g must be positive", lambdaMax)
-	}
-	s := 1 / lambdaMax
-	// sum_{i<=deg} (I - sA)^i expanded into coefficients of A^j:
-	// (I - sA)^i = sum_j C(i,j) (-s)^j A^j
-	coeffs := make([]float64, deg+1)
-	for i := 0; i <= deg; i++ {
-		binom := 1.0
-		pow := 1.0
-		for j := 0; j <= i; j++ {
-			coeffs[j] += binom * pow
-			// next: binom C(i,j+1) = C(i,j)*(i-j)/(j+1), pow *= (-s)
-			binom = binom * float64(i-j) / float64(j+1)
-			pow *= -s
-		}
-	}
-	for j := range coeffs {
-		coeffs[j] *= s
-	}
-	return &Polynomial{a: a, coeffs: coeffs, t1: vec.New(a.Dim()), t2: vec.New(a.Dim())}, nil
-}
-
-// NewChebyshev builds the degree-deg Chebyshev polynomial preconditioner
-// for a spectrum enclosed in [lambdaMin, lambdaMax], the minimax-optimal
-// polynomial approximation to A^{-1} on that interval.
-func NewChebyshev(a sparse.Matrix, deg int, lambdaMin, lambdaMax float64) (*Polynomial, error) {
-	if deg < 0 {
-		return nil, fmt.Errorf("precond: Chebyshev degree %d < 0", deg)
-	}
-	if lambdaMin <= 0 || lambdaMax <= lambdaMin {
-		return nil, fmt.Errorf("precond: invalid spectral interval [%g, %g]", lambdaMin, lambdaMax)
-	}
-	// Build q(x) ≈ 1/x as a polynomial interpolating 1/x at the deg+1
-	// Chebyshev nodes of [lambdaMin, lambdaMax], expressed in monomial
-	// coefficients via Newton's divided differences then expansion.
-	m := deg + 1
-	nodes := make([]float64, m)
-	for i := 0; i < m; i++ {
-		theta := math.Pi * (2*float64(i) + 1) / (2 * float64(m))
-		nodes[i] = 0.5*(lambdaMax+lambdaMin) + 0.5*(lambdaMax-lambdaMin)*math.Cos(theta)
-	}
-	// Divided differences for f(x) = 1/x.
-	dd := make([]float64, m)
-	for i := 0; i < m; i++ {
-		dd[i] = 1 / nodes[i]
-	}
-	for level := 1; level < m; level++ {
-		for i := m - 1; i >= level; i-- {
-			dd[i] = (dd[i] - dd[i-1]) / (nodes[i] - nodes[i-level])
-		}
-	}
-	// Expand Newton form to monomial coefficients.
-	coeffs := make([]float64, m)
-	// poly = dd[m-1]; then poly = poly*(x - nodes[i]) + dd[i]
-	coeffs[0] = dd[m-1]
-	degSoFar := 0
-	for i := m - 2; i >= 0; i-- {
-		// multiply by (x - nodes[i]): shift up and subtract node*coeff
-		for j := degSoFar + 1; j >= 1; j-- {
-			coeffs[j] = coeffs[j-1] - nodes[i]*coeffs[j]
-		}
-		coeffs[0] = -nodes[i]*coeffs[0] + dd[i]
-		degSoFar++
-	}
-	return &Polynomial{a: a, coeffs: coeffs, t1: vec.New(a.Dim()), t2: vec.New(a.Dim())}, nil
-}
-
+// Constructors.
 var (
-	_ Preconditioner = (*Identity)(nil)
-	_ Preconditioner = (*Jacobi)(nil)
-	_ Preconditioner = (*SSOR)(nil)
-	_ Preconditioner = (*Polynomial)(nil)
-	_ PoolApplier    = (*Identity)(nil)
-	_ PoolApplier    = (*Jacobi)(nil)
+	NewIdentity  = precond.NewIdentity
+	NewJacobi    = precond.NewJacobi
+	NewSSOR      = precond.NewSSOR
+	NewNeumann   = precond.NewNeumann
+	NewChebyshev = precond.NewChebyshev
+	NewIC0       = precond.NewIC0
 )

@@ -1,0 +1,25 @@
+package precond_test
+
+import (
+	"testing"
+
+	iprecond "vrcg/internal/precond"
+	"vrcg/precond"
+	"vrcg/sparse"
+)
+
+// TestShimForwards pins the shim contract: the aliases are the public
+// types themselves, so values built through either path are
+// interchangeable.
+func TestShimForwards(t *testing.T) {
+	a := sparse.Poisson2D(4)
+	jac, err := iprecond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p precond.Preconditioner = jac
+	if p.Dim() != a.Dim() {
+		t.Fatalf("shim Jacobi order %d, want %d", p.Dim(), a.Dim())
+	}
+	var _ iprecond.PoolApplier = jac
+}

@@ -1,335 +1,56 @@
 // Package sstep implements Chronopoulos–Gear s-step conjugate gradients
 // (1989), the first published successor of the paper's restructuring
-// idea: s CG iterations are blocked together, all 2s+1 inner products of
-// a block are computed in one batched reduction, and the step scalars
+// idea: s CG iterations are blocked together, all inner products of a
+// block are computed in one batched reduction, and the step scalars
 // within the block come from scalar recurrences over that Gram data.
 //
 // The package exists as a comparison point (novelty note: s-step CG and
 // pipelined CG descend directly from the paper): it amortizes the
 // summation fan-in across a block but does not hide it, whereas the
 // paper's look-ahead pipelines the fan-in behind k full iterations.
+//
+// The method is an engine kernel (internal/engine): this package owns
+// the block algebra; the engine driver owns options, convergence,
+// callbacks, and history.
 package sstep
 
 import (
 	"fmt"
-	"math"
 
+	"vrcg/internal/engine"
 	"vrcg/internal/krylov"
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// Options configures an s-step solve.
-type Options struct {
-	// S is the block size (>= 1). S = 1 reduces to standard CG.
-	S int
-	// MaxIter bounds the iteration count; 0 means 10*n.
-	MaxIter int
-	// Tol is the relative residual tolerance; 0 means 1e-10.
-	Tol float64
-	// X0 is the initial guess; nil means zero.
-	X0 vec.Vector
-	// RecordHistory enables Result.History.
-	RecordHistory bool
-	// Callback, when non-nil, is invoked after each CG step (including
-	// the steps inside a block) with the iteration number and that
-	// step's recurrence residual norm; returning false stops the solve
-	// at the end of the current block.
-	Callback func(iter int, resNorm float64) bool
-	// Pool, when non-nil, routes the block-basis matvecs, the batched
-	// Gram inner products, and the combination axpys through the shared
-	// worker-pool execution engine. Nil keeps the serial kernels.
-	Pool *vec.Pool
-}
+// Error sentinels shared with the rest of the solver family.
+var (
+	ErrBreakdown = engine.ErrBreakdown
+	ErrBadOption = engine.ErrBadOption
+)
 
-// pdot and paxpy shorthand the shared pool-or-serial dispatch helpers.
-func pdot(p *vec.Pool, x, y vec.Vector) float64 { return vec.PoolDot(p, x, y) }
+// Options configures an s-step solve: the engine's shared Config, of
+// which this package consumes S (the block size, >= 1; S = 1 reduces to
+// standard CG) plus the common Tol/MaxIter/X0/RecordHistory/Callback/
+// Pool. The callback is invoked after each CG step, including the steps
+// inside a block, with that step's recurrence residual norm; returning
+// false stops the solve at the end of the current block.
+type Options = engine.Config
 
-func paxpy(p *vec.Pool, alpha float64, x, y vec.Vector) { vec.PoolAxpy(p, alpha, x, y) }
+// Result reports an s-step solve (the canonical engine result; Blocks
+// counts the s-step blocks executed).
+type Result = engine.Result
 
-func matvecFlops(a sparse.Matrix) int64 {
-	if sp, ok := a.(sparse.Sparse); ok {
-		return 2 * int64(sp.NNZ())
-	}
-	n := int64(a.Dim())
-	return 2 * n * n
-}
+// Stats re-exports the shared work counters.
+type Stats = krylov.Stats
 
-// Result reports an s-step solve.
-type Result struct {
-	X                vec.Vector
-	Iterations       int
-	Blocks           int
-	Converged        bool
-	ResidualNorm     float64
-	TrueResidualNorm float64
-	History          []float64
-	Stats            krylov.Stats
-}
-
-// Solve runs s-step CG on the SPD system A x = b.
-//
-// Each block starts from the current residual r and direction p, builds
-// the monomial block basis {p, Ap, ..., A^{s}p, r, Ar, ..., A^{s-1}r}
-// implicitly through the same coefficient algebra as the paper's
-// equation (*), executes s CG steps whose scalars are contractions of
-// one batch of base inner products, and applies the accumulated
-// coefficient updates to the vectors. Numerically the monomial basis
-// limits practical block sizes to s <~ 5, exactly the historical
-// experience with the method.
+// Solve runs s-step CG on the SPD system A x = b; see sstepKernel for
+// the block mechanics.
 func Solve(a sparse.Matrix, b vec.Vector, o Options) (*Result, error) {
-	if a.Dim() != len(b) {
-		return nil, fmt.Errorf("sstep: matrix order %d but rhs length %d: %w", a.Dim(), len(b), sparse.ErrDim)
+	if a.Dim() <= 0 {
+		return nil, fmt.Errorf("sstep: operator order %d must be positive: %w", a.Dim(), sparse.ErrDim)
 	}
-	if o.S < 1 {
-		return nil, fmt.Errorf("sstep: block size S = %d must be >= 1: %w", o.S, krylov.ErrBadOption)
-	}
-	if o.X0 != nil && len(o.X0) != a.Dim() {
-		return nil, fmt.Errorf("sstep: x0 length %d for order %d: %w", len(o.X0), a.Dim(), sparse.ErrDim)
-	}
-	n := a.Dim()
-	if o.MaxIter == 0 {
-		o.MaxIter = 10 * n
-	}
-	if o.Tol == 0 {
-		o.Tol = 1e-10
-	}
-	s := o.S
-
-	res := &Result{}
-	if o.X0 != nil {
-		res.X = vec.Clone(o.X0)
-	} else {
-		res.X = vec.New(n)
-	}
-	r := vec.New(n)
-	sparse.PooledMulVec(a, o.Pool, r, res.X)
-	vec.Sub(r, b, r)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-	p := vec.Clone(r)
-
-	bnorm := vec.Norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
-	}
-	threshold := o.Tol * bnorm
-
-	rr := pdot(o.Pool, r, r)
-	res.Stats.InnerProducts++
-	res.Stats.Flops += 2 * int64(n)
-	record := func() {
-		if o.RecordHistory {
-			res.History = append(res.History, math.Sqrt(math.Max(rr, 0)))
-		}
-	}
-	record()
-
-	// Work vectors for the block basis: powers of A applied to r and p.
-	// rPow[i] = A^i r, pPow[i] = A^i p with i = 0..2s (enough for Gram
-	// indices to 4s when split by symmetry — we keep it simple and
-	// compute powers to 2s directly, 2 matvecs per basis index beyond
-	// what a production version would need; the Stats reflect the
-	// actual algorithm's count below). The buffers are allocated once
-	// per solve and refilled each block.
-	rPow := make([]vec.Vector, s+1)
-	pPow := make([]vec.Vector, s+2)
-	for i := range rPow {
-		rPow[i] = vec.New(n)
-	}
-	for i := range pPow {
-		pPow[i] = vec.New(n)
-	}
-	mu := make([]float64, 2*s+1)
-	nu := make([]float64, 2*s+2)
-	om := make([]float64, 2*s+3)
-	upd := vec.New(n)
-
-	for res.Iterations < o.MaxIter {
-		if math.Sqrt(math.Max(rr, 0)) <= threshold {
-			res.Converged = true
-			break
-		}
-		// Build block Krylov powers: rPow[0..s], pPow[0..s+1].
-		vec.Copy(rPow[0], r)
-		for i := 1; i <= s; i++ {
-			sparse.PooledMulVec(a, o.Pool, rPow[i], rPow[i-1])
-		}
-		vec.Copy(pPow[0], p)
-		for i := 1; i <= s+1; i++ {
-			sparse.PooledMulVec(a, o.Pool, pPow[i], pPow[i-1])
-		}
-		res.Stats.MatVecs += 2*s + 1
-		res.Stats.Flops += int64(2*s+1) * matvecFlops(a)
-
-		// One batched reduction: Gram sequences to index 2s+2.
-		for i := range mu {
-			x, y := i/2, i-i/2
-			mu[i] = pdot(o.Pool, rPow[x], rPow[y])
-		}
-		for i := range nu {
-			x := i / 2
-			if x > s {
-				x = s
-			}
-			nu[i] = pdot(o.Pool, rPow[x], pPow[i-x])
-		}
-		for i := range om {
-			x, y := i/2, i-i/2
-			om[i] = pdot(o.Pool, pPow[x], pPow[y])
-		}
-		res.Stats.InnerProducts += len(mu) + len(nu) + len(om)
-		res.Stats.Flops += int64(len(mu)+len(nu)+len(om)) * 2 * int64(n)
-
-		// s CG steps by coefficient recurrences over (rho, pi) relative
-		// to the block base, contracted against the Gram data — the
-		// identical algebra as the paper's (*), restricted to one block.
-		type coeff struct{ rho, pi []float64 }
-		cr := coeff{rho: []float64{1}}
-		cp := coeff{pi: []float64{1}}
-		contract := func(x, y coeff, shift int) float64 {
-			var t float64
-			for i, xv := range x.rho {
-				if xv == 0 {
-					continue
-				}
-				for j, yv := range y.rho {
-					t += xv * yv * mu[i+j+shift]
-				}
-				for j, yv := range y.pi {
-					t += xv * yv * nu[i+j+shift]
-				}
-			}
-			for i, xv := range x.pi {
-				if xv == 0 {
-					continue
-				}
-				for j, yv := range y.rho {
-					t += xv * yv * nu[i+j+shift]
-				}
-				for j, yv := range y.pi {
-					t += xv * yv * om[i+j+shift]
-				}
-			}
-			return t
-		}
-		shiftUp := func(c []float64) []float64 {
-			if len(c) == 0 {
-				return nil
-			}
-			return append([]float64{0}, c...)
-		}
-		axpyC := func(x, y []float64, sc float64) []float64 {
-			ln := len(x)
-			if len(y) > ln {
-				ln = len(y)
-			}
-			out := make([]float64, ln)
-			copy(out, x)
-			for i := range y {
-				out[i] += sc * y[i]
-			}
-			return out
-		}
-
-		// cx accumulates sum_j lambda_j * (coefficients of p_j) — the
-		// whole block's solution update as one linear combination.
-		cx := coeff{}
-		stepRRs := make([]float64, 0, s)
-		blockRR := rr
-		broke := false
-		steps := 0
-		for j := 0; j < s; j++ {
-			pap := contract(cp, cp, 1)
-			if pap <= 0 || math.IsNaN(pap) {
-				broke = true
-				break
-			}
-			lambda := blockRR / pap
-			cx = coeff{
-				rho: axpyC(cx.rho, cp.rho, lambda),
-				pi:  axpyC(cx.pi, cp.pi, lambda),
-			}
-			crNew := coeff{
-				rho: axpyC(cr.rho, shiftUp(cp.rho), -lambda),
-				pi:  axpyC(cr.pi, shiftUp(cp.pi), -lambda),
-			}
-			rrNew := contract(crNew, crNew, 0)
-			if rrNew < 0 || math.IsNaN(rrNew) {
-				broke = true
-				break
-			}
-			alpha := rrNew / blockRR
-			cp = coeff{
-				rho: axpyC(crNew.rho, cp.rho, alpha),
-				pi:  axpyC(crNew.pi, cp.pi, alpha),
-			}
-			cr = crNew
-			blockRR = rrNew
-			stepRRs = append(stepRRs, rrNew)
-			steps++
-			if math.Sqrt(math.Max(rrNew, 0)) <= threshold || res.Iterations+steps >= o.MaxIter {
-				break
-			}
-		}
-		if steps == 0 {
-			return res, fmt.Errorf("sstep: block scalar breakdown at iteration %d (block size %d too large for this conditioning): %w",
-				res.Iterations, s, krylov.ErrBreakdown)
-		}
-
-		// Apply the block as linear combinations of the power families —
-		// the s-step economy: no per-step matvecs, 3 combination sweeps.
-		applyCombo := func(dst vec.Vector, c coeff) {
-			vec.Zero(dst)
-			for i, v := range c.rho {
-				paxpy(o.Pool, v, rPow[i], dst)
-			}
-			for i, v := range c.pi {
-				paxpy(o.Pool, v, pPow[i], dst)
-			}
-			res.Stats.VectorUpdates += len(c.rho) + len(c.pi)
-			res.Stats.Flops += int64(len(c.rho)+len(c.pi)) * 2 * int64(n)
-		}
-		applyCombo(upd, cx)
-		vec.Add(res.X, res.X, upd)
-		applyCombo(r, cr)
-		applyCombo(upd, cp)
-		vec.Copy(p, upd)
-
-		base := res.Iterations
-		res.Iterations += steps
-		res.Blocks++
-		stopped := false
-		for i, v := range stepRRs {
-			rr = v
-			record()
-			if !stopped && o.Callback != nil && !o.Callback(base+i+1, math.Sqrt(math.Max(rr, 0))) {
-				stopped = true
-			}
-		}
-		// Direct residual resync once per block bounds the recurrence
-		// drift (the block-boundary stabilization the literature uses).
-		rr = pdot(o.Pool, r, r)
-		res.Stats.InnerProducts++
-		res.Stats.Flops += 2 * int64(n)
-		if stopped {
-			break
-		}
-		if broke && math.Sqrt(math.Max(rr, 0)) > threshold && steps < s {
-			// The block basis went numerically rank-deficient early;
-			// the next block restarts from the repaired r, p.
-			continue
-		}
-	}
-	if math.Sqrt(math.Max(rr, 0)) <= threshold {
-		res.Converged = true
-	}
-	res.ResidualNorm = math.Sqrt(math.Max(rr, 0))
-	tr := vec.New(n)
-	sparse.PooledMulVec(a, o.Pool, tr, res.X)
-	vec.Sub(tr, b, tr)
-	res.Stats.MatVecs++
-	res.Stats.Flops += matvecFlops(a)
-	res.TrueResidualNorm = vec.Norm2(tr)
-	return res, nil
+	res := new(Result)
+	err := engine.Solve(NewKernel(), engine.NewWorkspace(a.Dim(), o.Pool), a, b, o, res)
+	return res, err
 }

@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"vrcg/internal/krylov"
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/sparse"
 )
 

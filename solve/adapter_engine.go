@@ -1,0 +1,204 @@
+package solve
+
+import (
+	"vrcg/internal/core"
+	"vrcg/internal/engine"
+	"vrcg/internal/krylov"
+	"vrcg/internal/pipecg"
+	"vrcg/internal/sstep"
+	"vrcg/internal/vec"
+	"vrcg/precond"
+	"vrcg/sparse"
+)
+
+// engineSolver is the one adapter every shared-memory method runs
+// through: a registered engine kernel plus a reusable workspace,
+// rebuilt only when the system order or pool changes, so steady-state
+// repeated solves allocate nothing. Because the adapter is generic over
+// the kernel contract, every engine-backed method uniformly gains the
+// Session zero-allocation fast path (solveInto) and participates in
+// Batch fan-out with per-worker forked workspaces — there are no
+// per-silo adapters left to fall behind.
+type engineSolver struct {
+	name   string
+	kernel engine.Kernel
+	// syncs estimates the blocking global-synchronization points of the
+	// finished schedule (Result.Syncs) — the per-method quantity the
+	// paper's comparison is about.
+	syncs func(er *engine.Result) int
+	// drift marks the methods that publish Result.Drift (vrcg).
+	drift bool
+
+	ws *engine.Workspace
+	er engine.Result
+	dr Drift
+}
+
+func (s *engineSolver) Name() string { return s.name }
+
+func (s *engineSolver) workspace(n int, pool *vec.Pool) *engine.Workspace {
+	if n <= 0 {
+		return nil // engine.Solve rejects it with ErrDim
+	}
+	if s.ws == nil || s.ws.Dim() != n || s.ws.Pool() != pool {
+		s.ws = engine.NewWorkspace(n, pool)
+	}
+	return s.ws
+}
+
+// engineConfig maps the resolved option set onto the engine's shared
+// Config. Methods ignore fields they have no use for, so one mapping
+// serves all of them.
+func (c *config) engineConfig(cb func(int, float64) bool) engine.Config {
+	ec := engine.Config{
+		Tol:                  c.tol,
+		MaxIter:              c.maxIter,
+		X0:                   c.x0,
+		RecordHistory:        c.history,
+		Callback:             cb,
+		Pool:                 c.pool,
+		K:                    c.lookahead,
+		ReanchorEvery:        c.reanchorEvery,
+		WindowOnlyReanchor:   c.windowOnly,
+		ValidateEvery:        c.validateEvery,
+		ResidualReplaceEvery: c.resReplace,
+		S:                    c.blockSize,
+	}
+	if c.precond != nil {
+		ec.Precond = asPrecond(c.precond)
+	}
+	return ec
+}
+
+// asMatrix views a public Operator as the sparse.Matrix the engine
+// consumes. The method sets are identical (both are stated on plain
+// []float64), so the assertion always succeeds for concrete types; the
+// wrapper exists only as a compile-safe fallback.
+func asMatrix(a Operator) sparse.Matrix {
+	if m, ok := a.(sparse.Matrix); ok {
+		return m
+	}
+	return matrixShim{a}
+}
+
+type matrixShim struct{ a Operator }
+
+func (m matrixShim) Dim() int                { return m.a.Dim() }
+func (m matrixShim) MulVec(dst, x []float64) { m.a.MulVec(dst, x) }
+
+// asPrecond likewise views a public Preconditioner as the precond
+// package interface.
+func asPrecond(p Preconditioner) precond.Preconditioner {
+	if m, ok := p.(precond.Preconditioner); ok {
+		return m
+	}
+	return precondShim{p}
+}
+
+type precondShim struct{ p Preconditioner }
+
+func (m precondShim) Dim() int                { return m.p.Dim() }
+func (m precondShim) Apply(dst, r vec.Vector) { m.p.Apply(dst, r) }
+
+func (s *engineSolver) solve(a Operator, b []float64, c *config, cb func(int, float64) bool) error {
+	return engine.Solve(s.kernel, s.workspace(a.Dim(), c.pool), asMatrix(a), b, c.engineConfig(cb), &s.er)
+}
+
+// fill maps the engine result onto the canonical Result in place (the
+// shape shared by Solve and the Session fast path). The vrcg Drift
+// block is adapter-owned and reused, so the fast path stays
+// allocation-free.
+func (s *engineSolver) fill(res *Result) {
+	er := &s.er
+	*res = Result{
+		Method:           s.name,
+		X:                er.X,
+		Iterations:       er.Iterations,
+		Converged:        er.Converged,
+		ResidualNorm:     er.ResidualNorm,
+		TrueResidualNorm: er.TrueResidualNorm,
+		History:          er.History,
+		Stats:            er.Stats,
+		Blocks:           er.Blocks,
+		Syncs:            s.syncs(er),
+	}
+	if s.drift {
+		s.dr = Drift{
+			MaxRelRR:       er.Drift.MaxRelRR,
+			MaxRelPAP:      er.Drift.MaxRelPAP,
+			Checks:         er.Drift.Checks,
+			Reanchors:      er.Reanchors,
+			Refreshes:      er.Refreshes,
+			Replacements:   er.Replacements,
+			FallbackDots:   er.FallbackDots,
+			ValidationDots: er.ValidationDots,
+		}
+		res.Drift = &s.dr
+	}
+}
+
+func (s *engineSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
+	c := newConfig(opts)
+	if err := c.preflight(s.name); err != nil {
+		return nil, err
+	}
+	var canceled, stopped bool
+	err := s.solve(a, b, c, c.callback(&canceled, &stopped))
+	res := &Result{}
+	s.fill(res)
+	return finish(c, res, err, canceled, stopped)
+}
+
+// solveInto is the Session zero-allocation fast path, uniform across
+// every engine-backed method: a pre-resolved config, a prebuilt
+// callback, and a caller-owned Result, so a warm repeated solve
+// allocates nothing.
+func (s *engineSolver) solveInto(res *Result, a Operator, b []float64, c *config, cb func(int, float64) bool) (bool, error) {
+	err := s.solve(a, b, c, cb)
+	s.fill(res)
+	return true, err
+}
+
+// registerEngine registers one engine kernel under the generic adapter.
+func registerEngine(name, summary string, kf func() engine.Kernel, syncs func(*engine.Result) int, drift bool) {
+	Register(name, summary, func() Solver {
+		return &engineSolver{name: name, kernel: kf(), syncs: syncs, drift: drift}
+	})
+}
+
+func init() {
+	// The classic iterations block on every inner product: each one is
+	// a completed global reduction on the machine model.
+	blocking := func(er *engine.Result) int { return er.Stats.InnerProducts }
+
+	registerEngine("cg", "standard Hestenes-Stiefel CG (paper §2), workspace-backed",
+		krylov.NewCGKernel, blocking, false)
+	registerEngine("cgfused", "standard CG with the fused-kernel update path, workspace-backed",
+		krylov.NewCGFusedKernel, blocking, false)
+	registerEngine("pcg", "preconditioned CG (WithPreconditioner; identity default), workspace-backed",
+		krylov.NewPCGKernel, blocking, false)
+	registerEngine("cr", "conjugate residuals (minimizes ||b - A x||), workspace-backed",
+		krylov.NewCRKernel, blocking, false)
+	registerEngine("sd", "steepest descent with exact line search (baseline), workspace-backed",
+		krylov.NewSDKernel, blocking, false)
+	registerEngine("minres", "MINRES (symmetric indefinite baseline), workspace-backed",
+		krylov.NewMINRESKernel, blocking, false)
+
+	// The pipelined successors wait on one (pipecg) or two (gropp)
+	// overlapped reductions per iteration, plus start-up.
+	registerEngine("pipecg", "Ghysels-Vanroose pipelined CG (one fused reduction/iter), workspace-backed",
+		pipecg.NewGVKernel, func(er *engine.Result) int { return er.Iterations + 1 }, false)
+	registerEngine("gropp", "Gropp asynchronous CG (two overlapped reductions/iter), workspace-backed",
+		pipecg.NewGroppKernel, func(er *engine.Result) int { return 2*er.Iterations + 1 }, false)
+
+	// The per-iteration window tops ride the k-deep pipeline; the
+	// schedule only blocks at start-up and at each stabilization or
+	// drift-fallback event.
+	registerEngine("vrcg", "the paper's restructured look-ahead CG (WithLookahead k, §5 recurrences), workspace-backed",
+		core.NewKernel, func(er *engine.Result) int { return 1 + er.Reanchors + er.Replacements + er.FallbackDots }, true)
+
+	// One batched Gram reduction plus one residual resync per block,
+	// after the start-up (r,r).
+	registerEngine("sstep", "Chronopoulos-Gear s-step CG (WithBlockSize s, batched reductions), workspace-backed",
+		sstep.NewKernel, func(er *engine.Result) int { return 2*er.Blocks + 1 }, false)
+}

@@ -1,0 +1,208 @@
+package solve_test
+
+import (
+	"math"
+	"testing"
+
+	"vrcg/precond"
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// goldenCase pins one pre-refactor result: these numbers were captured
+// by running the registry methods at commit d9f0487 (the per-silo
+// implementations, before the unified iteration engine) on the systems
+// built by goldenSystem. The engine port must reproduce them within the
+// acceptance criteria: iterations ±1, residual norms within 1e-12.
+// (In practice the port is bit-identical; the tolerances are the
+// contract, not the observation.)
+type goldenCase struct {
+	system     string
+	method     string
+	iterations int
+	converged  bool
+	resNorm    float64
+	trueRes    float64
+}
+
+var goldenCases = []goldenCase{
+	{"poisson2d_20", "cg", 42, true, 1.8387398966418422e-07, 1.8387401218966797e-07},
+	{"poisson2d_20", "cgfused", 42, true, 1.8387398966418422e-07, 1.8387401218966797e-07},
+	{"poisson2d_20", "pcg", 42, true, 1.8387398966418422e-07, 1.8387401218966797e-07},
+	{"poisson2d_20", "cr", 41, true, 3.8963902768109237e-07, 3.8963898593196373e-07},
+	{"poisson2d_20", "sd", 1560, true, 4.1476297162240481e-07, 4.1476234681766068e-07},
+	{"poisson2d_20", "minres", 41, true, 3.8963902768112821e-07, 3.8963906786764379e-07},
+	{"poisson2d_20", "vrcg", 42, true, 1.8387398972936354e-07, 1.838739964084033e-07},
+	{"poisson2d_20", "pipecg", 42, true, 1.8387391332887624e-07, 1.8387432530912484e-07},
+	{"poisson2d_20", "gropp", 42, true, 1.838739896641843e-07, 1.8387405120276555e-07},
+	{"poisson2d_20", "sstep", 42, true, 1.838742397845542e-07, 1.8387423595859103e-07},
+	{"poisson2d_31", "cg", 84, true, 3.9945070346569554e-07, 3.9945072073152292e-07},
+	{"poisson2d_31", "cgfused", 84, true, 3.9945070346569554e-07, 3.9945072073152292e-07},
+	{"poisson2d_31", "pcg", 84, true, 3.9945070346569554e-07, 3.9945072073152292e-07},
+	{"poisson2d_31", "cr", 82, true, 5.7694788112040942e-07, 5.7694794176445135e-07},
+	{"poisson2d_31", "sd", 3548, true, 6.5046830306413084e-07, 6.5046883742879994e-07},
+	{"poisson2d_31", "minres", 82, true, 5.769478811198401e-07, 5.7694791949894826e-07},
+	{"poisson2d_31", "vrcg", 84, true, 3.9945070371689195e-07, 3.9945079934914506e-07},
+	{"poisson2d_31", "pipecg", 84, true, 3.9945112082615939e-07, 3.9944404697577443e-07},
+	{"poisson2d_31", "gropp", 84, true, 3.9945070346579115e-07, 3.9945065611662235e-07},
+	{"poisson2d_31", "sstep", 84, true, 3.994511687684528e-07, 3.9945111841134967e-07},
+}
+
+func goldenSystem(t *testing.T, name string) (*sparse.CSR, []float64) {
+	t.Helper()
+	m := map[string]int{"poisson2d_20": 20, "poisson2d_31": 31}[name]
+	if m == 0 {
+		t.Fatalf("unknown golden system %q", name)
+	}
+	a := sparse.Poisson2D(m)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1 + float64(i%7)/3
+	}
+	return a, b
+}
+
+// TestEnginePrePostRefactorParity is the acceptance-criterion parity
+// test: every engine-backed method reproduces its pre-refactor
+// iteration count (±1) and residual norms (within 1e-12) on fixed
+// systems. It runs under -race in CI (make check).
+func TestEnginePrePostRefactorParity(t *testing.T) {
+	systems := map[string]struct {
+		a *sparse.CSR
+		b []float64
+	}{}
+	for _, name := range []string{"poisson2d_20", "poisson2d_31"} {
+		a, b := goldenSystem(t, name)
+		systems[name] = struct {
+			a *sparse.CSR
+			b []float64
+		}{a, b}
+	}
+	for _, g := range goldenCases {
+		g := g
+		t.Run(g.system+"/"+g.method, func(t *testing.T) {
+			sys := systems[g.system]
+			opts := []solve.Option{solve.WithTol(1e-8), solve.WithMaxIter(4000)}
+			if g.method == "pcg" {
+				jac, err := precond.NewJacobi(sys.a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts = append(opts, solve.WithPreconditioner(jac))
+			}
+			res, err := solve.MustNew(g.method).Solve(sys.a, sys.b, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", g.method, err)
+			}
+			if d := res.Iterations - g.iterations; d < -1 || d > 1 {
+				t.Errorf("iterations = %d, golden %d (tolerance ±1)", res.Iterations, g.iterations)
+			}
+			if res.Converged != g.converged {
+				t.Errorf("converged = %v, golden %v", res.Converged, g.converged)
+			}
+			if d := math.Abs(res.ResidualNorm - g.resNorm); d > 1e-12 {
+				t.Errorf("ResidualNorm = %.17g, golden %.17g (|diff| = %.3g > 1e-12)",
+					res.ResidualNorm, g.resNorm, d)
+			}
+			if d := math.Abs(res.TrueResidualNorm - g.trueRes); d > 1e-12 {
+				t.Errorf("TrueResidualNorm = %.17g, golden %.17g (|diff| = %.3g > 1e-12)",
+					res.TrueResidualNorm, g.trueRes, d)
+			}
+		})
+	}
+}
+
+// engineMethods is every shared-memory registry method — the set the
+// acceptance criterion requires to be workspace-backed and
+// zero-allocation through a warm Session.
+var engineMethods = []string{"cg", "cgfused", "pcg", "cr", "sd", "minres", "vrcg", "pipecg", "gropp", "sstep"}
+
+// TestSessionZeroAllocAllMethods is the acceptance-criterion allocation
+// test: a warm Session.Solve performs zero heap allocations for every
+// engine-backed method, serial and pooled.
+func TestSessionZeroAllocAllMethods(t *testing.T) {
+	a := sparse.Poisson2D(24)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1 + float64(i%5)
+	}
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sparse.NewPool(4)
+	defer pool.Close()
+
+	for _, method := range engineMethods {
+		for _, pooled := range []bool{false, true} {
+			name := method + "/serial"
+			opts := []solve.Option{solve.WithTol(1e-8)}
+			if method == "pcg" {
+				opts = append(opts, solve.WithPreconditioner(jac))
+			}
+			if pooled {
+				name = method + "/pooled"
+				opts = append(opts, solve.WithPool(pool))
+			}
+			t.Run(name, func(t *testing.T) {
+				sess, err := solve.NewSession(method, a, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Warm: spawn workers, build workspaces and kernel caches.
+				if _, err := sess.Solve(b); err != nil {
+					t.Fatal(err)
+				}
+				avg := testing.AllocsPerRun(10, func() {
+					if _, err := sess.Solve(b); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("%s: warm Session.Solve allocates %v/op, want 0", name, avg)
+				}
+			})
+		}
+	}
+}
+
+// TestSessionResultsMatchSolve pins that the Session fast path and the
+// ordinary Solve path produce identical outcomes for every engine
+// method (same iterations, residuals, syncs, and solution).
+func TestSessionResultsMatchSolve(t *testing.T) {
+	a := sparse.Poisson2D(16)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1 + float64(i%3)
+	}
+	for _, method := range engineMethods {
+		t.Run(method, func(t *testing.T) {
+			opts := []solve.Option{solve.WithTol(1e-9)}
+			ref, err := solve.MustNew(method).Solve(a, b, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := solve.NewSession(method, a, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sess.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations != ref.Iterations || res.Converged != ref.Converged {
+				t.Fatalf("session iters/conv = %d/%v, solve %d/%v",
+					res.Iterations, res.Converged, ref.Iterations, ref.Converged)
+			}
+			if res.ResidualNorm != ref.ResidualNorm || res.Syncs != ref.Syncs {
+				t.Fatalf("session resnorm/syncs = %g/%d, solve %g/%d",
+					res.ResidualNorm, res.Syncs, ref.ResidualNorm, ref.Syncs)
+			}
+			for i := range res.X {
+				if res.X[i] != ref.X[i] {
+					t.Fatalf("X[%d] differs between session and solve path", i)
+				}
+			}
+		})
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"vrcg/internal/precond"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 	"vrcg/solve"
 	"vrcg/sparse"
 )
@@ -40,7 +40,7 @@ func ExampleNew() {
 }
 
 // Preconditioned CG takes its preconditioner as an option; everything
-// in internal/precond satisfies solve.Preconditioner.
+// in the public precond package satisfies solve.Preconditioner.
 func ExampleNew_pcg() {
 	a, b := system(16)
 	jac, err := precond.NewJacobi(a)

@@ -70,9 +70,9 @@ func WithX0(x0 []float64) Option { return func(c *config) { c.x0 = x0 } }
 // through the shared worker-pool execution engine (sparse.NewPool or
 // sparse.DefaultPool). Nil keeps the serial kernels. Workspace-backed
 // solvers rebuild their workspace when the pool changes between calls.
-// Consumed by cg, cgfused, pcg, vrcg, pipecg, and sstep; the remaining
-// methods (cr, sd, minres, gropp, and the simulated-machine parcg
-// family) have no pooled kernels and always run serially.
+// Consumed by every engine-backed method (cg, cgfused, pcg, cr, sd,
+// minres, vrcg, pipecg, gropp, sstep); the simulated-machine parcg
+// family models its own parallelism and always runs serially.
 func WithPool(p *sparse.Pool) Option { return func(c *config) { c.pool = p } }
 
 // WithPreconditioner supplies M^{-1} for "pcg". Unset defaults to the

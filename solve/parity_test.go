@@ -12,9 +12,9 @@ import (
 	"vrcg/internal/machine"
 	"vrcg/internal/parcg"
 	"vrcg/internal/pipecg"
-	"vrcg/internal/precond"
 	"vrcg/internal/sstep"
 	"vrcg/internal/vec"
+	"vrcg/precond"
 )
 
 // refResult is the slice of an internal result the parity contract

@@ -8,9 +8,10 @@ import (
 // amortized serving path for repeated solves against one system: the
 // method is resolved, the options are parsed, and the solver workspace
 // is owned once, so Session.Solve is cheap to call per right-hand side.
-// For the workspace-backed methods (cg, pcg, pipecg) a steady-state
-// Session.Solve performs zero heap allocations — the Result itself is
-// session-owned and reused.
+// For every engine-backed method (cg, cgfused, pcg, cr, sd, minres,
+// vrcg, pipecg, gropp, sstep) a steady-state Session.Solve performs
+// zero heap allocations — the Result itself is session-owned and
+// reused.
 //
 // Consequently a Session is NOT safe for concurrent Solve calls, and
 // both Result.X and the *Result returned by Solve are valid only until

@@ -36,10 +36,15 @@
 //
 // Configuration is by functional options. Options irrelevant to a
 // method are ignored (WithLookahead does nothing to "cg"), so one
-// option set can drive a sweep over every method. Solvers built by New
-// own reusable zero-allocation workspaces: repeated Solve calls against
-// same-order operators allocate nothing in steady state for the
-// workspace-backed methods (cg, pcg, pipecg).
+// option set can drive a sweep over every method.
+//
+// Every shared-memory method runs on the unified iteration engine
+// (internal/engine): one kernel contract, one driver loop, one
+// reusable workspace per solver. Solvers built by New therefore own
+// zero-allocation workspaces uniformly — repeated Solve calls against
+// same-order operators allocate nothing in steady state for all of
+// cg, cgfused, pcg, cr, sd, minres, vrcg, pipecg, gropp, and sstep,
+// and a warm Session.Solve on any of them is 0 allocs/op.
 package solve
 
 // Operator is a square linear operator A, stated on plain []float64 so
@@ -60,8 +65,8 @@ type Operator interface {
 
 // Preconditioner applies z = M^{-1} r, stated on plain []float64.
 // Implementations must be symmetric positive definite so preconditioned
-// CG remains well defined. Every preconditioner in internal/precond
-// satisfies it.
+// CG remains well defined. Every preconditioner in the public precond
+// package satisfies it.
 type Preconditioner interface {
 	// Dim returns the operator order.
 	Dim() int

@@ -7,10 +7,12 @@
 package vrcg_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	"vrcg/internal/krylov"
+	"vrcg/precond"
 	"vrcg/solve"
 	"vrcg/sparse"
 )
@@ -89,6 +91,49 @@ func BenchmarkFreshSolvePerCall(b *testing.B) {
 		if _, err := s.Solve(a, rhs, solve.WithTol(1e-8)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSessionPerMethod is the full-registry serving baseline: a
+// warm Session.Solve for every registered method, reporting ns/op and
+// allocs/op per method so BENCH_solve.json tracks the whole registry's
+// perf trajectory. The engine-backed shared-memory methods must report
+// 0 allocs/op (the unified-engine acceptance criterion); the simulated-
+// machine parcg* methods run the ordinary path and allocate.
+func BenchmarkSessionPerMethod(b *testing.B) {
+	a, rhs := benchSystem(24)
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range solve.Methods() {
+		b.Run(method, func(b *testing.B) {
+			opts := []solve.Option{solve.WithTol(1e-8)}
+			if method == "pcg" {
+				opts = append(opts, solve.WithPreconditioner(jac))
+			}
+			sess, err := solve.NewSession(method, a, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A method that runs but stops at its iteration budget (the
+			// deep-pipeline parcg on this conditioning) still yields a
+			// valid timing row; anything else is a real failure.
+			res, err := sess.Solve(rhs) // warm the workspace and kernel caches
+			if err != nil && !errors.Is(err, solve.ErrNotConverged) {
+				b.Fatal(err)
+			}
+			iters := res.Iterations
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Solve(rhs); err != nil && !errors.Is(err, solve.ErrNotConverged) {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(iters), "iters")
+		})
 	}
 }
 

@@ -26,8 +26,9 @@
 //	sess, err := solve.NewSession("cg", a, solve.WithTol(1e-10))
 //	res, err := sess.Solve(b)
 //
-// The package was promoted from internal/mat; internal/mat remains as a
-// deprecated forwarding shim.
+// The package was promoted from internal/mat; the deprecated forwarding
+// shim that briefly remained there has been removed (see
+// internal/core/README.md for the migration table).
 package sparse
 
 import (
