@@ -1,20 +1,28 @@
 # Build / test / benchmark entry points for the vrcg repository.
 #
 # `make bench` runs the execution-engine microbenchmarks (SpMV, dot,
-# fused CG update, PCG solve) and the public-surface serving benchmarks
+# fused CG update, PCG solve), the public-surface serving benchmarks
 # (registry dispatch overhead, Session reuse vs fresh solver, Batch
-# throughput at 1/8/64 right-hand sides) with -benchmem, writing the
-# parsed results to BENCH_engine.json and BENCH_solve.json so the perf
-# trajectory is comparable across PRs. BENCH_* artifacts are
-# regenerated, not hand-edited.
+# throughput at 1/8/64 right-hand sides), and the HTTP serving-layer
+# benchmarks (warm-pool /v1/solve, /v1/solve/batch fan-out) with
+# -benchmem, writing the parsed results to BENCH_engine.json,
+# BENCH_solve.json, and BENCH_server.json so the perf trajectory is
+# comparable across PRs. BENCH_* artifacts are regenerated, not
+# hand-edited.
+#
+# `make serve` boots cmd/cgserve locally with a demo operator;
+# `make docs-check` is the doc-freshness gate CI runs.
 
-GO       ?= go
-BENCHPAT ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
-BENCHOUT ?= BENCH_engine.json
-SOLVEPAT ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
-SOLVEOUT ?= BENCH_solve.json
+GO        ?= go
+BENCHPAT  ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
+BENCHOUT  ?= BENCH_engine.json
+SOLVEPAT  ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
+SOLVEOUT  ?= BENCH_solve.json
+SERVERPAT ?= BenchmarkServeSolveWarm|BenchmarkServeBatch|BenchmarkServeMetrics
+SERVEROUT ?= BENCH_server.json
+SERVEADDR ?= :8080
 
-.PHONY: all build test vet fmt check lint bench bench-raw clean
+.PHONY: all build test vet fmt check lint bench bench-raw serve docs-check clean
 
 all: build test
 
@@ -64,6 +72,7 @@ lint:
 # Raw benchmark text (inspect interactively).
 bench-raw:
 	$(GO) test -run '^$$' -bench '$(BENCHPAT)|$(SOLVEPAT)' -benchmem .
+	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server
 
 # JSON summaries for the perf trajectory across PRs.
 bench:
@@ -71,6 +80,29 @@ bench:
 	@echo "wrote $(BENCHOUT)"
 	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SOLVEOUT)
 	@echo "wrote $(SOLVEOUT)"
+	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SERVEROUT)
+	@echo "wrote $(SERVEROUT)"
+
+# Boot the solve server locally with a demo operator resident.
+serve:
+	$(GO) run ./cmd/cgserve -addr $(SERVEADDR) -preload poisson2d:64
+
+# Doc-freshness gate, mirrored by the docs CI job: formatting, vet,
+# godoc renderability of every public package, and the cross-links the
+# documentation layer promises (ARCHITECTURE.md and docs/api.md must
+# exist and be linked from README.md).
+docs-check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	@for pkg in . ./solve ./sparse ./precond ./server; do \
+		$(GO) doc $$pkg >/dev/null || exit 1; done
+	@test -f ARCHITECTURE.md || { echo "ARCHITECTURE.md missing"; exit 1; }
+	@test -f docs/api.md || { echo "docs/api.md missing"; exit 1; }
+	@grep -q 'ARCHITECTURE.md' README.md || { echo "README.md does not link ARCHITECTURE.md"; exit 1; }
+	@grep -q 'docs/api.md' README.md || { echo "README.md does not link docs/api.md"; exit 1; }
+	@grep -q 'ARCHITECTURE.md' doc.go || { echo "doc.go does not reference ARCHITECTURE.md"; exit 1; }
+	@echo "docs-check: ok"
 
 clean:
-	rm -f $(BENCHOUT) $(SOLVEOUT)
+	rm -f $(BENCHOUT) $(SOLVEOUT) $(SERVEROUT)

@@ -1,0 +1,131 @@
+// Command cgserve is the network solve server: the HTTP JSON API of
+// the server package as a daemon. Operators are uploaded once (CSR,
+// COO, or MatrixMarket wire formats), then served to any number of
+// concurrent clients from warm solve.Session pools with bounded-queue
+// backpressure and per-request deadlines. docs/api.md documents every
+// endpoint with curl examples.
+//
+//	cgserve -addr :8080
+//	cgserve -addr :8080 -max-concurrent 8 -max-queue 32 -timeout 10s
+//	cgserve -addr :8080 -preload poisson2d:64   # boot with a demo operator
+//
+// A quick smoke test against a running server:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/methods
+//
+// SIGINT/SIGTERM shut the server down gracefully: new requests get
+// 503, in-flight solves drain (bounded by -timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"vrcg/server"
+	"vrcg/sparse"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "solves allowed to run at once (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "solve requests allowed to wait beyond -max-concurrent; excess gets 429 (0 = 4x max-concurrent)")
+	maxOperators := flag.Int("max-operators", 32, "operator store capacity (LRU eviction past it)")
+	maxSessionPools := flag.Int("max-session-pools", 64, "warm-session pool cap across request shapes (oldest dropped past it)")
+	maxOrder := flag.Int("max-order", 1<<22, "largest operator order accepted by uploads")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-solve deadline ceiling (requests can only shorten it)")
+	engineWorkers := flag.Int("engine-workers", 1, "worker-pool width for solver kernels; 1 = serial kernels, best for many concurrent clients")
+	preload := flag.String("preload", "", "preload a generated operator, e.g. poisson2d:64 (also poisson1d, poisson3d)")
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		MaxOperators:    *maxOperators,
+		MaxSessionPools: *maxSessionPools,
+		MaxOrder:        *maxOrder,
+		DefaultTimeout:  *timeout,
+	}
+	if *engineWorkers > 1 {
+		cfg.EnginePool = sparse.NewPool(*engineWorkers)
+	}
+	srv := server.New(cfg)
+
+	if *preload != "" {
+		id, n, err := preloadOperator(srv, *preload)
+		if err != nil {
+			log.Fatalf("cgserve: -preload %q: %v", *preload, err)
+		}
+		log.Printf("cgserve: preloaded operator %q (n=%d)", id, n)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cgserve: serving on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("cgserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("cgserve: shutting down")
+	drain, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drain); err != nil {
+		log.Printf("cgserve: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drain); err != nil {
+		log.Printf("cgserve: %v", err)
+	}
+}
+
+// preloadOperator parses "<problem>:<m>" and installs the generated
+// operator under the problem name, so a fresh server is demo-ready
+// without an upload step.
+func preloadOperator(srv *server.Server, spec string) (string, int, error) {
+	name, sizeStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return "", 0, errors.New(`want "<problem>:<size>"`)
+	}
+	m, err := strconv.Atoi(sizeStr)
+	if err != nil || m <= 0 {
+		return "", 0, fmt.Errorf("bad size %q", sizeStr)
+	}
+	var a *sparse.CSR
+	switch name {
+	case "poisson1d":
+		a = sparse.Poisson1D(m)
+	case "poisson2d":
+		a = sparse.Poisson2D(m)
+	case "poisson3d":
+		a = sparse.Poisson3D(m)
+	default:
+		return "", 0, fmt.Errorf("unknown problem %q (want poisson1d|poisson2d|poisson3d)", name)
+	}
+	if err := srv.Preload(name, a); err != nil {
+		return "", 0, err
+	}
+	return name, a.Dim(), nil
+}

@@ -43,13 +43,13 @@ func fatalf(format string, args ...interface{}) {
 
 func main() {
 	problem := flag.String("problem", "poisson2d", "poisson1d|poisson2d|poisson3d|toeplitz|random|ring|spectrum")
-	matrixFile := flag.String("matrix", "", "Matrix Market .mtx file (overrides -problem)")
-	rhsFile := flag.String("rhs", "", "Matrix Market array-format right-hand side (with -matrix)")
+	matrixFile := flag.String("matrix", "", "MatrixMarket coordinate-format .mtx matrix file (overrides -problem)")
+	rhsFile := flag.String("rhs", "", "MatrixMarket array-format right-hand-side file (with -matrix)")
 	m := flag.Int("m", 32, "grid side for poisson problems")
 	n := flag.Int("n", 1024, "order for non-grid problems")
 	kappa := flag.Float64("kappa", 100, "condition number for -problem spectrum")
 	method := flag.String("method", "cg", "solver method: "+solve.Usage())
-	pc := flag.String("precond", "jacobi", "pcg preconditioner: identity|jacobi|ssor")
+	pc := flag.String("precond", "jacobi", "pcg preconditioner: identity|jacobi|ssor|ic0")
 	k := flag.Int("k", 2, "look-ahead parameter for vrcg/parcg")
 	s := flag.Int("s", 4, "block size for sstep")
 	procs := flag.Int("procs", 8, "simulated processor count for the parcg methods")
@@ -59,8 +59,20 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker count (0 = all CPUs, 1 = serial kernels)")
 	repeat := flag.Int("repeat", 1, "solve the system this many times, reusing workspaces")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cgsolve [flags]\n\nregistered methods:\n%s\nflags:\n",
-			solve.Describe())
+		fmt.Fprintf(flag.CommandLine.Output(), `usage: cgsolve [flags]
+
+registered methods (one-liners from solve.Describe):
+%s
+file formats (the public sparse package reader):
+  -matrix  MatrixMarket coordinate format: "%%%%MatrixMarket matrix coordinate
+           real|integer|pattern general|symmetric" headers; symmetric
+           entries are mirrored, the matrix must be square SPD.
+  -rhs     MatrixMarket array format: one real column, length equal to
+           the matrix order. Omitted: a right-hand side is manufactured
+           from a random known solution so the error is checkable.
+
+flags:
+`, solve.Describe())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -154,20 +166,7 @@ func main() {
 		opts = append(opts, solve.WithPool(pool))
 	}
 	if *method == "pcg" {
-		var (
-			p   solve.Preconditioner
-			err error
-		)
-		switch *pc {
-		case "identity":
-			p = precond.NewIdentity(dim)
-		case "jacobi":
-			p, err = precond.NewJacobi(a)
-		case "ssor":
-			p, err = precond.NewSSOR(a, 1.5)
-		default:
-			fatalf("unknown preconditioner %q", *pc)
-		}
+		p, err := precond.ByName(*pc, a)
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -6,10 +6,11 @@
 // c*log(log N), and the direct ancestor of today's pipelined and s-step
 // conjugate gradient methods.
 //
-// # Public API: the solve and sparse packages
+// # Public API: the solve, sparse, precond, and server packages
 //
-// Two packages form the importable surface, both typed on plain
+// Four packages form the importable surface, all typed on plain
 // []float64 so nothing internal leaks through the boundary.
+// ARCHITECTURE.md draws how they stack.
 //
 // Package sparse is the data plane: CSR/COO/DIA and matrix-free stencil
 // operators, MatrixMarket I/O, Poisson and variable-coefficient
@@ -40,6 +41,15 @@
 //	sess, err := solve.NewSession("cg", a, solve.WithTol(1e-10))
 //	res, err := sess.Solve(b)            // zero-alloc steady state
 //	results, err := solve.Batch(sess, B) // B is [][]float64
+//
+// For concurrent serving, solve.SessionPool keeps warm sessions on a
+// free list with per-request context injection, and solve.Params is
+// the JSON wire form of the option set. Package server builds the HTTP
+// serving layer on exactly those pieces: a ref-counted LRU operator
+// store fed by the sparse wire codec (sparse.WireMatrix), per-request-
+// shape session pools, bounded-queue backpressure, and a metrics
+// endpoint reporting the session-pool hit rate — cmd/cgserve is the
+// daemon, docs/api.md the endpoint reference.
 //
 // Result carries the paper's comparison currency directly: operation
 // counts (Stats), estimated blocking synchronization points (Syncs),
@@ -138,12 +148,14 @@
 //   - internal/trace: Figure 1 schedule rendering
 //   - internal/bench: the experiment harness (E1..E10, A1..A6)
 //
-// Executables: cmd/cgbench (experiments), cmd/cgsolve (solver CLI over
-// the solve registry; -matrix loads MatrixMarket systems and
-// -workers/-repeat exercise the engine), cmd/figure1 (schedule
-// diagrams), cmd/benchjson (bench output → BENCH_engine.json and
-// BENCH_solve.json). Runnable examples live in examples/ (quickstart is
-// the public-surface walkthrough). See README.md for the
-// external-consumer quickstart, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// Executables: cmd/cgserve (the HTTP solve server; docs/api.md),
+// cmd/cgbench (experiments), cmd/cgsolve (solver CLI over the solve
+// registry; -matrix loads MatrixMarket systems and -workers/-repeat
+// exercise the engine), cmd/figure1 (schedule diagrams), cmd/benchjson
+// (bench output → BENCH_engine.json, BENCH_solve.json, and
+// BENCH_server.json). Runnable examples live in examples/ (quickstart
+// is the public-surface walkthrough). See README.md for the
+// external-consumer quickstart and ARCHITECTURE.md for the system
+// inventory: the full layer diagram, the Kernel contract, and the
+// home of every registry method.
 package vrcg

@@ -23,6 +23,13 @@ type vrcgKernel struct {
 	fam *Families
 	win *Window
 	rr  float64
+	// r0 is the initial residual norm of the current solve, the scale
+	// the divergence guard in Step measures against; diverged records
+	// that the guard fired this solve, which is what obliges the
+	// convergence check to verify against the true residual (ordinary
+	// periodic replacements do not taint the recursive residual).
+	r0       float64
+	diverged bool
 
 	// cache key for the families/window.
 	n    int
@@ -84,13 +91,54 @@ func (kn *vrcgKernel) Init(run *engine.Run) (float64, error) {
 	run.Res.Stats.Flops += int64(nDots) * 2 * int64(n)
 
 	kn.rr = kn.win.RR()
-	return kn.resNorm(), nil
+	kn.r0 = kn.resNorm()
+	kn.diverged = false
+	return kn.r0, nil
+}
+
+// divergenceGuard is the factor over the initial residual norm past
+// which the recurrences are declared divergent and the iteration
+// restarted from the true residual. Well-behaved runs never approach
+// it (CG residuals oscillate, but not four orders of magnitude above
+// their start); a restart at this scale is still fully recoverable in
+// float64.
+const divergenceGuard = 1e4
+
+// restart abandons the drifted recurrence state entirely: the residual
+// is recomputed as b - A x, the direction reset to it (a CG restart —
+// conjugacy is already lost), the families rebuilt, and the windows
+// re-anchored directly. This is the emergency form of van der Vorst–Ye
+// residual replacement, for runs whose recursive residual has left the
+// trust region.
+func (kn *vrcgKernel) restart(run *engine.Run) {
+	ws, res, fam := run.Ws, run.Res, kn.fam
+	ws.MatVec(run.A, fam.R[0], res.X)
+	vec.Sub(fam.R[0], run.B, fam.R[0])
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+	fam.Rebuild(run.A, fam.R[0])
+	res.Stats.MatVecs += kn.k + 1
+	res.Stats.Flops += int64(kn.k+1) * engine.MatVecFlops(run.A)
+	reanchor(run.A, res, fam, kn.win, false)
+	res.Replacements++
+	kn.rr = kn.win.RR()
+	// Rebase the guard on the restarted residual: on systems whose
+	// residual legitimately sits far above its starting norm, the old
+	// scale would re-trigger a restart every Step.
+	if rn := kn.resNorm(); rn > kn.r0 {
+		kn.r0 = rn
+	}
 }
 
 // Residual sharpens the recurrence (r,r) before the driver trusts it
 // for a convergence decision: the recurrence value may have drifted, so
 // a value at or under the threshold is verified with one direct inner
-// product and the window resynchronized from it.
+// product and the window resynchronized from it. Runs that needed a
+// divergence restart get the stronger check: their recursive residual
+// vector itself is suspect, so convergence is confirmed against the
+// true residual b - A x (one matvec, only at candidate-convergence
+// iterations) — a detached recurrence can otherwise report a tiny
+// (r,r) while the iterate is nowhere near the solution.
 func (kn *vrcgKernel) Residual(run *engine.Run) float64 {
 	rn := kn.resNorm()
 	if rn <= run.Threshold {
@@ -101,6 +149,13 @@ func (kn *vrcgKernel) Residual(run *engine.Run) float64 {
 		kn.win.M[0] = rrDirect
 		kn.rr = rrDirect
 		rn = kn.resNorm()
+		if rn <= run.Threshold && kn.diverged {
+			// restart recomputes r = b - A x and re-anchors; if the
+			// true residual really is converged this is the last act
+			// of the solve, and if not, iteration continues honestly.
+			kn.restart(run)
+			rn = kn.resNorm()
+		}
 	}
 	return rn
 }
@@ -110,6 +165,17 @@ func (kn *vrcgKernel) Step(run *engine.Run) error {
 	n := int64(ws.Dim())
 	fam, win := kn.fam, kn.win
 	k := kn.k
+
+	// Divergence guard: a recurrence residual far above the solve's
+	// starting scale (or non-finite) means the scalar recurrences have
+	// detached from the vectors they describe — re-anchoring can no
+	// longer help, because the recursive residual itself is wrong.
+	// Restart from the true residual while the iterate is still
+	// recoverable.
+	if rn := kn.resNorm(); math.IsNaN(rn) || rn > divergenceGuard*kn.r0 {
+		kn.diverged = true
+		kn.restart(run)
+	}
 
 	pap := win.PAP()
 	if pap <= 0 || math.IsNaN(pap) {
@@ -131,6 +197,15 @@ func (kn *vrcgKernel) Step(run *engine.Run) error {
 		kn.rr = win.RR()
 		pap = win.PAP()
 		if pap <= 0 || math.IsNaN(pap) {
+			// A degenerate direction with the residual already at the
+			// threshold is convergence the recurrence never noticed
+			// (the iterate can land exactly on the solution, leaving
+			// p = 0 and 0/0 scalars), not indefiniteness: stop and let
+			// the driver's exit re-check classify it.
+			if kn.resNorm() <= run.Threshold {
+				run.Stop()
+				return nil
+			}
 			return fmt.Errorf("core: (p,Ap) = %g at iteration %d: %w",
 				pap, res.Iterations, ErrIndefinite)
 		}

@@ -1,0 +1,62 @@
+package precond_test
+
+import (
+	"fmt"
+
+	"vrcg/precond"
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// ExampleNewJacobi runs preconditioned CG with diagonal scaling — the
+// cheapest preconditioner, one multiply per row per application.
+func ExampleNewJacobi() {
+	a := sparse.Poisson2D(16)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1
+	}
+	m, err := precond.NewJacobi(a)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := solve.MustNew("pcg").Solve(a, b,
+		solve.WithTol(1e-10), solve.WithPreconditioner(m))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("converged=%v precond-solves=%d\n", res.Converged, res.Stats.PrecondSolves)
+	// Output: converged=true precond-solves=32
+}
+
+// ExampleNewIC0 shows why one pays for a stronger preconditioner: the
+// incomplete Cholesky factorization cuts the iteration count well
+// below plain CG on the same system.
+func ExampleNewIC0() {
+	a := sparse.Poisson2D(16)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1
+	}
+	plain, err := solve.MustNew("cg").Solve(a, b, solve.WithTol(1e-10))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := precond.NewIC0(a)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ic0, err := solve.MustNew("pcg").Solve(a, b,
+		solve.WithTol(1e-10), solve.WithPreconditioner(m))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cg=%d iterations, pcg+ic0=%d iterations, fewer=%v\n",
+		plain.Iterations, ic0.Iterations, ic0.Iterations < plain.Iterations)
+	// Output: cg=31 iterations, pcg+ic0=20 iterations, fewer=true
+}

@@ -12,17 +12,47 @@
 // preconditioners additionally implement PoolApplier and run on the
 // shared worker pool inside pooled solves.
 //
+// Concurrency: Identity and Jacobi write only dst and may be shared
+// across goroutines; SSOR and IC0 use internal scratch in Apply, so
+// one instance must not be applied concurrently — build one per
+// goroutine, or serialize Apply behind a lock when a single
+// factorization is shared (as solve.Batch workers share the options
+// they fork from).
+//
 // The package was promoted from internal/precond; internal/precond
 // remains as a deprecated alias-only shim.
 package precond
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
+
+// ErrUnknownName is returned by ByName for names it does not map.
+var ErrUnknownName = errors.New("precond: unknown preconditioner name")
+
+// ByName builds one of the standard preconditioners from a by its CLI/
+// wire name — the single vocabulary cmd/cgsolve and the solve server
+// share: "identity", "jacobi", "ssor" (w = 1.5), or "ic0". Unknown
+// names wrap ErrUnknownName.
+func ByName(name string, a *sparse.CSR) (Preconditioner, error) {
+	switch name {
+	case "identity":
+		return NewIdentity(a.Dim()), nil
+	case "jacobi":
+		return NewJacobi(a)
+	case "ssor":
+		return NewSSOR(a, 1.5)
+	case "ic0":
+		return NewIC0(a)
+	default:
+		return nil, fmt.Errorf("%w: %q (want identity|jacobi|ssor|ic0)", ErrUnknownName, name)
+	}
+}
 
 // Preconditioner applies z = M^{-1} r. Implementations must be symmetric
 // positive definite so preconditioned CG remains well defined.

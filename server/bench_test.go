@@ -1,0 +1,122 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vrcg/server"
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// Serving benchmarks, persisted by `make bench` into BENCH_server.json:
+// what one request costs end to end through the handler stack (JSON
+// decode, operator lookup, pooled warm session, JSON encode), and how
+// the batch endpoint amortizes it. Run without the network so the
+// numbers are the server's own overhead, not the kernel's loopback.
+
+func benchServer(b *testing.B, grid int) (*server.Server, []float64) {
+	b.Helper()
+	srv := server.New(server.Config{MaxQueue: 1 << 20})
+	a := sparse.Poisson2D(grid)
+	if err := srv.Preload("poisson", a); err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, a.Dim())
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%5)
+	}
+	return srv, rhs
+}
+
+func benchSolveBody(b *testing.B, rhs []float64, method string) []byte {
+	b.Helper()
+	blob, err := json.Marshal(server.SolveRequest{
+		Operator: "poisson",
+		Method:   method,
+		RHS:      rhs,
+		Params:   &solve.Params{Tol: 1e-10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blob
+}
+
+// BenchmarkServeSolveWarm measures the steady-state single-solve
+// request: every iteration after the first is a session-pool hit.
+func BenchmarkServeSolveWarm(b *testing.B) {
+	for _, method := range []string{"cg", "pipecg", "sstep"} {
+		b.Run(method, func(b *testing.B) {
+			srv, rhs := benchServer(b, 16)
+			body := benchSolveBody(b, rhs, method)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeBatch measures multi-RHS amortization through
+// /v1/solve/batch at increasing fan-out.
+func BenchmarkServeBatch(b *testing.B) {
+	for _, nrhs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("rhs%d", nrhs), func(b *testing.B) {
+			srv, rhs := benchServer(b, 16)
+			B := make([][]float64, nrhs)
+			for k := range B {
+				B[k] = rhs
+			}
+			body, err := json.Marshal(server.BatchRequest{
+				Operator: "poisson",
+				Method:   "cg",
+				RHS:      B,
+				Params:   &solve.Params{Tol: 1e-10},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/solve/batch", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.ReportMetric(float64(nrhs)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		})
+	}
+}
+
+// BenchmarkServeMetrics measures the observability endpoint, which
+// serving dashboards poll continuously.
+func BenchmarkServeMetrics(b *testing.B) {
+	srv, rhs := benchServer(b, 8)
+	body := benchSolveBody(b, rhs, "cg")
+	req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}

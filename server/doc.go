@@ -1,0 +1,40 @@
+// Package server is the network serving layer over the solve registry:
+// an HTTP JSON API that keeps uploaded operators resident and serves
+// repeated solves against them from warm solve.Session pools, so the
+// hot path stays in the zero-allocation steady state the Session API
+// was built for. It is the subsystem the ROADMAP's "heavy traffic"
+// north star asks for: operators are uploaded once, then any number of
+// clients solve against them concurrently.
+//
+// Endpoints (docs/api.md has schemas, curl examples, and the error
+// table):
+//
+//	POST /v1/operators    upload a matrix (CSR / COO / MatrixMarket
+//	                      wire formats) into the named, ref-counted
+//	                      operator store (LRU-evicted at capacity)
+//	GET  /v1/operators    list resident operators
+//	POST /v1/solve        one right-hand side through a pooled warm
+//	                      Session (zero allocations on the solver hot
+//	                      path for every engine-backed method)
+//	POST /v1/solve/batch  many right-hand sides via solve.Batch
+//	GET  /v1/methods      the solve registry, names + summaries
+//	GET  /healthz         liveness
+//	GET  /metrics         request counts, per-method latency
+//	                      histograms, session-pool hit rate
+//
+// Concurrency and backpressure: solves run under a bounded admission
+// queue (Config.MaxConcurrent running + Config.MaxQueue waiting);
+// requests beyond that are rejected immediately with 429 rather than
+// queued without bound. Each request runs under a context deadline
+// (request-supplied timeout_ms, capped by Config.DefaultTimeout) wired
+// into the solver through solve.WithContext, so a slow solve stops at
+// its next iteration when the deadline passes. Shutdown drains
+// in-flight solves; new work is refused with 503.
+//
+// Construction:
+//
+//	srv := server.New(server.Config{})       // defaults throughout
+//	http.ListenAndServe(":8080", srv.Handler())
+//
+// or use cmd/cgserve, the ready-made daemon.
+package server

@@ -1,0 +1,63 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"vrcg/server"
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// Example walks the full serving flow: boot a server, upload an
+// operator, and solve against it — the same three steps a remote client
+// performs with curl (docs/api.md has the HTTP-level equivalents).
+func Example() {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Upload the model problem in CSR wire form.
+	a := sparse.Poisson2D(8)
+	upload, _ := json.Marshal(server.OperatorUpload{
+		Name:   "poisson",
+		Matrix: *sparse.EncodeCSR(a),
+	})
+	resp, err := http.Post(ts.URL+"/v1/operators", "application/json", bytes.NewReader(upload))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var info server.OperatorInfo
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	fmt.Printf("uploaded %s: n=%d symmetric=%v\n", info.ID, info.N, info.Symmetric)
+
+	// Solve: one right-hand side through a pooled warm session.
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1
+	}
+	req, _ := json.Marshal(server.SolveRequest{
+		Operator: "poisson",
+		Method:   "cg",
+		RHS:      b,
+		Params:   &solve.Params{Tol: 1e-10},
+	})
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(req))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var res server.WireResult
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	fmt.Printf("solved with %s: converged=%v x-length=%d\n", res.Method, res.Converged, len(res.X))
+
+	// Output:
+	// uploaded poisson: n=64 symmetric=true
+	// solved with cg: converged=true x-length=64
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"vrcg/solve"
+)
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) // the client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, ErrorResponse{Code: code, Error: detail})
+}
+
+// decodeBody decodes a JSON request body, answering the request itself
+// on failure (400 for malformed JSON, 413 past the body limit).
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleOperatorUpload is POST /v1/operators: decode, validate, store,
+// and pre-partition the matrix for the engine pool so the first solve
+// against it pays no setup.
+func (s *Server) handleOperatorUpload(w http.ResponseWriter, r *http.Request) {
+	var req OperatorUpload
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	m, err := req.Matrix.DecodeLimited(s.cfg.MaxOrder)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	if p := s.cfg.EnginePool; p != nil && p.Workers() > 1 {
+		m.RowPartition(p.Workers())
+	}
+	entry, evicted, err := s.store.put(req.Name, m)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	for _, e := range evicted {
+		s.pools.dropOperator(e)
+	}
+	writeJSON(w, http.StatusCreated, entry.info)
+}
+
+// handleOperatorList is GET /v1/operators.
+func (s *Server) handleOperatorList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, OperatorList{
+		Operators: s.store.list(),
+		Capacity:  s.cfg.MaxOperators,
+	})
+}
+
+// solveSetup is the shared front half of the solve endpoints: validate
+// the request shape, pin the operator, and locate the session pool.
+// On failure the response has been written and op is nil.
+func (s *Server) solveSetup(w http.ResponseWriter, operator, method string, params *solve.Params, precondName string, rhsLens ...int) (op *storedOperator, pool *solve.SessionPool) {
+	if method == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing method")
+		return nil, nil
+	}
+	if err := params.Validate(); err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return nil, nil
+	}
+	op, err := s.store.acquire(operator)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return nil, nil
+	}
+	for i, n := range rhsLens {
+		if n != op.info.N {
+			s.store.release(op)
+			writeError(w, http.StatusBadRequest, codeDimMismatch,
+				fmt.Sprintf("rhs %d has length %d but operator %q has order %d",
+					i, n, op.info.ID, op.info.N))
+			return nil, nil
+		}
+	}
+	pool, err = s.pools.get(op, method, precondName, params)
+	if err != nil {
+		s.store.release(op)
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return nil, nil
+	}
+	return op, pool
+}
+
+// handleSolve is POST /v1/solve: one right-hand side through a warm
+// pooled session.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.RHS) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing rhs")
+		return
+	}
+	op, pool := s.solveSetup(w, req.Operator, req.Method, req.Params, req.Precond, len(req.RHS))
+	if op == nil {
+		return
+	}
+	defer s.store.release(op)
+
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.acquireSlot(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ps, err := pool.Acquire(ctx)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	start := time.Now()
+	res, err := ps.Solve(req.RHS)
+	s.met.observeSolve(req.Method, time.Since(start))
+	wres := wireResult(res, err)
+	ps.Release()
+
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, wres)
+	case errors.Is(err, solve.ErrNotConverged):
+		// The partial result is usable; ship it under the 422 status.
+		writeJSON(w, http.StatusUnprocessableEntity, wres)
+	default:
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+	}
+}
+
+// handleBatch is POST /v1/solve/batch: many right-hand sides fanned out
+// through solve.Batch from a pooled base session.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.RHS) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing rhs")
+		return
+	}
+	lens := make([]int, len(req.RHS))
+	for i, b := range req.RHS {
+		lens[i] = len(b)
+	}
+	op, pool := s.solveSetup(w, req.Operator, req.Method, req.Params, req.Precond, lens...)
+	if op == nil {
+		return
+	}
+	defer s.store.release(op)
+
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.acquireSlot(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ps, err := pool.Acquire(ctx)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	// A batch fans out internally, so its workers must come out of the
+	// same run-slot budget as everything else: the admission slot
+	// already held counts as one worker, and additional slots are
+	// taken only if free right now. Aggregate solver concurrency
+	// across all requests — single and batch — therefore never
+	// exceeds MaxConcurrent; a saturated server degrades a batch to
+	// one worker instead of oversubscribing.
+	bw := 0
+	if req.Params != nil {
+		bw = req.Params.BatchWorkers
+	}
+	if bw <= 0 || bw > s.cfg.MaxConcurrent {
+		bw = s.cfg.MaxConcurrent
+	}
+	if bw > len(req.RHS) {
+		bw = len(req.RHS)
+	}
+	extra := 0
+	for extra < bw-1 {
+		select {
+		case s.run <- struct{}{}:
+			extra++
+		default:
+			bw = extra + 1
+		}
+	}
+	start := time.Now()
+	results, err := ps.SolveMany(req.RHS, solve.WithBatchWorkers(1+extra))
+	for ; extra > 0; extra-- {
+		<-s.run
+	}
+	// Batches get their own histogram key: one observation spans the
+	// whole fan-out, a different timescale than single solves.
+	s.met.observeSolve(req.Method+"/batch", time.Since(start))
+	ps.Release()
+
+	// Batch results own their storage (Batch clones X/History out of
+	// the worker workspaces), so the response can share their slices.
+	resp := BatchResponse{Results: make([]WireResult, len(results))}
+	for i := range results {
+		resp.Results[i] = wireResultView(&results[i], nil)
+	}
+	status := http.StatusOK
+	if err != nil {
+		// Attribute each failure to its right-hand side: Batch joins
+		// *solve.RHSError values carrying the index.
+		for _, e := range joinedErrors(err) {
+			var re *solve.RHSError
+			if errors.As(e, &re) && re.Index >= 0 && re.Index < len(resp.Results) {
+				_, resp.Results[re.Index].Error = errorStatus(re.Err)
+			}
+		}
+		var code string
+		status, code = errorStatus(err)
+		resp.Error = code
+		// Partial results are still worth shipping for the solver-level
+		// failures; protocol-level ones get the plain error body.
+		if status != http.StatusUnprocessableEntity {
+			writeError(w, status, code, err.Error())
+			return
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// joinedErrors flattens an errors.Join result (one level is all Batch
+// produces); a non-joined error comes back as itself.
+func joinedErrors(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}
+
+// handleMethods is GET /v1/methods: the registry summary.
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	names := solve.Methods()
+	out := MethodList{Methods: make([]MethodInfo, len(names))}
+	for i, name := range names {
+		out.Methods[i] = MethodInfo{Name: name, Summary: solve.Summary(name)}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:  "ok",
+		UptimeS: time.Since(s.met.start).Seconds(),
+	})
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.snapshot()
+	snap.SessionPools = s.pools.stats()
+	snap.Operators = operatorGauges{Count: s.store.len(), Capacity: s.cfg.MaxOperators}
+	writeJSON(w, http.StatusOK, snap)
+}

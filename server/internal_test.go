@@ -1,0 +1,253 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// TestBackpressure429 pins the admission queue full and proves the next
+// solve request is rejected immediately — deterministically, without
+// racing real solves against each other.
+func TestBackpressure429(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	if err := s.Preload("a", sparse.Poisson1D(8)); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the one running slot and the one waiting slot.
+	s.admit <- struct{}{}
+	s.admit <- struct{}{}
+	defer func() { <-s.admit; <-s.admit }()
+
+	body := `{"operator":"a","method":"cg","rhs":[1,1,1,1,1,1,1,1]}`
+	req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), codeQueueFull) {
+		t.Fatalf("want %q in body, got %s", codeQueueFull, rec.Body.String())
+	}
+	snap := s.met.snapshot()
+	if snap.QueueRejects != 1 {
+		t.Fatalf("queue_rejects = %d, want 1", snap.QueueRejects)
+	}
+
+	// Free the queue: the same request now succeeds.
+	<-s.admit
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/solve", strings.NewReader(body)))
+	s.admit <- struct{}{} // restore for the deferred drain
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after drain: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestShutdownRefusesNewWork proves the closed flag answers everything
+// with 503 and Shutdown returns once nothing is in flight.
+func TestShutdownRefusesNewWork(t *testing.T) {
+	s := New(Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 after shutdown, got %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), codeShuttingDown) {
+		t.Fatalf("want %q in body, got %s", codeShuttingDown, rec.Body.String())
+	}
+}
+
+// TestMetricsRouteLabelBounded: unknown request paths share one
+// metrics bucket, so path-spraying cannot grow the maps without bound.
+func TestMetricsRouteLabelBounded(t *testing.T) {
+	s := New(Config{})
+	for _, p := range []string{"/a", "/b", "/v1/zzz", "/healthz"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+	}
+	snap := s.met.snapshot()
+	if snap.Requests["other"] != 3 || snap.Requests["/healthz"] != 1 {
+		t.Fatalf("route buckets: %v", snap.Requests)
+	}
+	if len(snap.Requests) != 2 {
+		t.Fatalf("metrics grew a key per unknown path: %v", snap.Requests)
+	}
+}
+
+// TestShutdownWaitsForInflight: a request that entered before Shutdown
+// is drained; Shutdown does not return while it runs.
+func TestShutdownWaitsForInflight(t *testing.T) {
+	s := New(Config{})
+	if !s.enter() {
+		t.Fatal("enter refused on an open server")
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned with a request in flight: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.leave()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionPoolsRecreateAfterDrop: dropping an operator must purge
+// its keys from the eviction order, or a pool rebuilt later under the
+// same key gets evicted by its own stale entry.
+func TestSessionPoolsRecreateAfterDrop(t *testing.T) {
+	sp := newSessionPools(nil, 2)
+	m := sparse.Poisson1D(8)
+	opA := &storedOperator{info: OperatorInfo{ID: "a", N: 8}, matrix: m, gen: 1}
+	opB := &storedOperator{info: OperatorInfo{ID: "b", N: 8}, matrix: m, gen: 2}
+	if _, err := sp.get(opA, "cg", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	sp.dropOperator(opA)
+	// Recreate under the identical key, then push the map to capacity:
+	// the recreated pool must survive (its stale order entry is gone).
+	if _, err := sp.get(opA, "cg", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.get(opB, "cg", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.get(opB, "pipecg", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	sp.mu.RLock()
+	_, live := sp.pools[poolKey(opA, "cg", "", nil)]
+	sp.mu.RUnlock()
+	if live {
+		// Capacity 2 with three shapes: the oldest ("a"/cg) should be
+		// the one evicted — if it is live, a newer pool was evicted in
+		// its place.
+		if st := sp.stats(); st.Pools != 2 {
+			t.Fatalf("capacity not enforced: %d pools", st.Pools)
+		}
+		t.Fatal("oldest pool survived past capacity at a newer pool's expense")
+	}
+}
+
+// TestBatchDegradesUnderSaturation: with all but one run slot taken, a
+// batch still succeeds on its single admission slot instead of
+// oversubscribing.
+func TestBatchDegradesUnderSaturation(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 8})
+	if err := s.Preload("a", sparse.Poisson1D(8)); err != nil {
+		t.Fatal(err)
+	}
+	s.run <- struct{}{} // saturate one of the two run slots
+	defer func() { <-s.run }()
+
+	body := `{"operator":"a","method":"cg","rhs":[[1,1,1,1,1,1,1,1],[2,2,2,2,2,2,2,2],[3,3,3,3,3,3,3,3]],"params":{"batch_workers":64}}`
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/solve/batch", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("saturated batch: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(s.run) != 1 {
+		t.Fatalf("run slots leaked: %d still held", len(s.run))
+	}
+}
+
+// TestStoreRefCountPinsAgainstEviction: an operator held by an
+// in-flight request survives an over-capacity insert; the store
+// temporarily exceeds capacity instead.
+func TestStoreRefCountPinsAgainstEviction(t *testing.T) {
+	st := newOperatorStore(1)
+	m := sparse.Poisson1D(4)
+	if _, _, err := st.put("pinned", m); err != nil {
+		t.Fatal(err)
+	}
+	held, err := st.acquire("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, evicted, err := st.put("next", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("evicted %v while pinned", evicted)
+	}
+	if st.len() != 2 {
+		t.Fatalf("store len %d, want temporary overflow of 2", st.len())
+	}
+
+	// Releasing unpins it; the next insert shrinks the store back to
+	// capacity, evicting the idle overflow oldest-first.
+	st.release(held)
+	_, evicted, err = st.put("another", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 2 || evicted[0].info.ID != "pinned" || evicted[1].info.ID != "next" {
+		t.Fatalf("evicted %v, want [pinned next]", evicted)
+	}
+	if st.len() != 1 {
+		t.Fatalf("store len %d, want capacity 1", st.len())
+	}
+	if _, err := st.acquire("pinned"); err == nil {
+		t.Fatal("evicted operator still acquirable")
+	}
+}
+
+// TestSessionPoolsDropOperator: evicting an operator drops exactly its
+// pools.
+func TestSessionPoolsDropOperator(t *testing.T) {
+	sp := newSessionPools(nil, 64)
+	m := sparse.Poisson1D(8)
+	opA := &storedOperator{info: OperatorInfo{ID: "a", N: 8}, matrix: m, gen: 1}
+	opB := &storedOperator{info: OperatorInfo{ID: "b", N: 8}, matrix: m, gen: 2}
+	if _, err := sp.get(opA, "cg", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.get(opB, "cg", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	sp.dropOperator(opA)
+	st := sp.stats()
+	if st.Pools != 1 {
+		t.Fatalf("pools after drop: %d, want 1", st.Pools)
+	}
+}
+
+// TestSessionPoolsCapacity: the pool map is bounded against a client
+// spraying distinct request shapes — oldest pools fall out past the
+// cap, and the newest request's pool always survives.
+func TestSessionPoolsCapacity(t *testing.T) {
+	sp := newSessionPools(nil, 2)
+	m := sparse.Poisson1D(8)
+	op := &storedOperator{info: OperatorInfo{ID: "a", N: 8}, matrix: m}
+	for i, tol := range []float64{1e-6, 1e-7, 1e-8, 1e-9} {
+		if _, err := sp.get(op, "cg", "", &solve.Params{Tol: tol}); err != nil {
+			t.Fatalf("shape %d: %v", i, err)
+		}
+	}
+	if st := sp.stats(); st.Pools != 2 {
+		t.Fatalf("pool map grew past capacity: %d pools", st.Pools)
+	}
+	// The newest shape must still be resident (cache hit, not rebuild):
+	before := sp.stats().Sessions
+	if _, err := sp.get(op, "cg", "", &solve.Params{Tol: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if after := sp.stats().Sessions; after != before {
+		t.Fatalf("newest shape was evicted: sessions %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metrics is the server's observability state, served as JSON by
+// GET /metrics: request counts per route and status, solve latency
+// histograms per method, queue rejections, and (joined in by the
+// handler) session-pool and operator-store gauges.
+type metrics struct {
+	start time.Time
+
+	mu           sync.Mutex
+	requests     map[string]uint64 // route → count
+	statuses     map[int]uint64    // HTTP status → count
+	latency      map[string]*histogram
+	queueRejects uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[string]uint64),
+		statuses: make(map[int]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) observeRequest(route string, status int) {
+	m.mu.Lock()
+	m.requests[route]++
+	m.statuses[status]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeSolve(method string, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	h := m.latency[method]
+	if h == nil {
+		h = newHistogram()
+		m.latency[method] = h
+	}
+	h.observe(ms)
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeQueueReject() {
+	m.mu.Lock()
+	m.queueRejects++
+	m.mu.Unlock()
+}
+
+// metricsSnapshot is the JSON shape of GET /metrics.
+type metricsSnapshot struct {
+	UptimeS      float64                      `json:"uptime_s"`
+	Requests     map[string]uint64            `json:"requests"`
+	Statuses     map[int]uint64               `json:"statuses"`
+	QueueRejects uint64                       `json:"queue_rejects"`
+	SolveLatency map[string]histogramSnapshot `json:"solve_latency_ms"`
+	SessionPools poolStats                    `json:"session_pools"`
+	Operators    operatorGauges               `json:"operators"`
+}
+
+type operatorGauges struct {
+	Count    int `json:"count"`
+	Capacity int `json:"capacity"`
+}
+
+func (m *metrics) snapshot() metricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := metricsSnapshot{
+		UptimeS:      time.Since(m.start).Seconds(),
+		Requests:     make(map[string]uint64, len(m.requests)),
+		Statuses:     make(map[int]uint64, len(m.statuses)),
+		QueueRejects: m.queueRejects,
+		SolveLatency: make(map[string]histogramSnapshot, len(m.latency)),
+	}
+	for k, v := range m.requests {
+		snap.Requests[k] = v
+	}
+	for k, v := range m.statuses {
+		snap.Statuses[k] = v
+	}
+	for k, h := range m.latency {
+		snap.SolveLatency[k] = h.snapshot()
+	}
+	return snap
+}
+
+// latencyBuckets are the histogram upper bounds in milliseconds,
+// roughly one bucket per 2.5x, spanning sub-millisecond warm solves to
+// multi-second cold ones.
+var latencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// histogram is a fixed-bucket latency histogram. Guarded by metrics.mu.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1; last is +Inf
+	count  uint64
+	sumMS  float64
+	maxMS  float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(ms float64) {
+	i := 0
+	for i < len(latencyBuckets) && ms > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sumMS += ms
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+}
+
+// histogramSnapshot is the wire form: cumulative bucket counts keyed by
+// upper bound, plus count/sum/mean/max.
+type histogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	SumMS   float64           `json:"sum_ms"`
+	MeanMS  float64           `json:"mean_ms"`
+	MaxMS   float64           `json:"max_ms"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+func (h *histogram) snapshot() histogramSnapshot {
+	snap := histogramSnapshot{
+		Count:   h.count,
+		SumMS:   h.sumMS,
+		MaxMS:   h.maxMS,
+		Buckets: make(map[string]uint64, len(h.counts)),
+	}
+	if h.count > 0 {
+		snap.MeanMS = h.sumMS / float64(h.count)
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		key := "+Inf"
+		if i < len(latencyBuckets) {
+			key = formatBound(latencyBuckets[i])
+		}
+		snap.Buckets[key] = cum
+	}
+	return snap
+}
+
+// formatBound renders a bucket bound without trailing zeros ("0.25",
+// "1", "2500").
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"vrcg/sparse"
+)
+
+// Config sizes the server. The zero value is serviceable: every field
+// has a default applied by New.
+type Config struct {
+	// MaxConcurrent is the number of solves allowed to run at once.
+	// Default: GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue is the number of additional solve requests allowed to
+	// wait for a slot; beyond MaxConcurrent+MaxQueue, requests are
+	// rejected immediately with 429. Default: 4x MaxConcurrent.
+	MaxQueue int
+	// MaxOperators caps the operator store; least-recently-used idle
+	// operators are evicted past it. Default: 32.
+	MaxOperators int
+	// MaxSessionPools caps the warm-session pool map. Pool keys are
+	// client-controlled (every distinct params/precond/method shape is
+	// one), so the cap is what bounds server memory against a client
+	// spraying unique shapes; the oldest pools are dropped past it.
+	// Default: 64.
+	MaxSessionPools int
+	// DefaultTimeout bounds each solve; a request's timeout_ms can
+	// shorten it but not extend it. Default: 30s.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (operator uploads dominate).
+	// Default: 256 MiB.
+	MaxBodyBytes int64
+	// MaxOrder bounds the order of uploaded operators. A tiny COO or
+	// MatrixMarket envelope can declare an enormous n whose CSR
+	// arrays alone would exhaust memory, so the bound is enforced
+	// before any order-sized allocation. Default: 1<<22 (~4.2M rows).
+	MaxOrder int
+	// EnginePool, when non-nil, routes every solver's SpMV and vector
+	// kernels through the worker pool. A pool serializes its kernels
+	// behind one lock, so with concurrent clients this trades
+	// cross-request throughput for per-solve latency; leave it nil
+	// (serial kernels, full cross-request parallelism) unless requests
+	// are few and large.
+	EnginePool *sparse.Pool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.MaxOperators <= 0 {
+		c.MaxOperators = 32
+	}
+	if c.MaxSessionPools <= 0 {
+		c.MaxSessionPools = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.MaxOrder <= 0 {
+		c.MaxOrder = 1 << 22
+	}
+	return c
+}
+
+// Server is the HTTP solve server: an operator store, warm session
+// pools, a bounded admission queue, and the /v1 handler set. Create
+// one with New and mount Handler on any http.Server; Shutdown drains
+// in-flight solves.
+type Server struct {
+	cfg   Config
+	store *operatorStore
+	pools *sessionPools
+	met   *metrics
+
+	// admit bounds admitted solve requests (running + waiting); a full
+	// channel is the 429 backpressure signal. run bounds actual solver
+	// concurrency; waiting on it is the queue.
+	admit chan struct{}
+	run   chan struct{}
+
+	mux *http.ServeMux
+
+	// lifecycle gate: every request enters and leaves under mu, so
+	// Shutdown observes a consistent (closed, inflight) pair — no
+	// request can slip past a drain that already returned.
+	mu       sync.Mutex
+	closed   bool
+	inflight int
+	drained  chan struct{} // created by Shutdown when inflight > 0
+}
+
+// New builds a server from cfg (zero value for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newOperatorStore(cfg.MaxOperators),
+		pools: newSessionPools(cfg.EnginePool, cfg.MaxSessionPools),
+		met:   newMetrics(),
+		admit: make(chan struct{}, cfg.MaxConcurrent+cfg.MaxQueue),
+		run:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/operators", s.handleOperatorUpload)
+	s.mux.HandleFunc("GET /v1/operators", s.handleOperatorList)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the fully instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// enter registers a request with the lifecycle gate; false means the
+// server is shutting down.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// leave undoes enter, signaling a waiting Shutdown when the last
+// request drains.
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.inflight--
+	if s.closed && s.inflight == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler with the lifecycle gate and
+// request metrics around the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := routeLabel(r.URL.Path)
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
+		s.met.observeRequest(route, http.StatusServiceUnavailable)
+		return
+	}
+	defer s.leave()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.met.observeRequest(route, rec.status)
+}
+
+// routeLabel maps a request path onto the fixed route vocabulary the
+// metrics maps are keyed by. Unknown paths share one bucket so a
+// scanner spraying random URLs cannot grow the maps without bound.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/operators", "/v1/solve", "/v1/solve/batch", "/v1/methods", "/healthz", "/metrics":
+		return path
+	default:
+		return "other"
+	}
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// acquireSlot admits one solve request through the bounded queue. It
+// returns a release function on success; otherwise the request was
+// already answered (429 on a full queue, 504 when the deadline passed
+// while waiting, 503 during shutdown).
+func (s *Server) acquireSlot(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.met.observeQueueReject()
+		writeError(w, http.StatusTooManyRequests, codeQueueFull,
+			fmt.Sprintf("solve queue full (%d running + %d waiting)", s.cfg.MaxConcurrent, s.cfg.MaxQueue))
+		return nil, false
+	}
+	select {
+	case s.run <- struct{}{}:
+	case <-ctx.Done():
+		<-s.admit
+		status, code := errorStatus(ctx.Err())
+		writeError(w, status, code, "deadline passed while waiting for a solve slot")
+		return nil, false
+	}
+	return func() {
+		<-s.run
+		<-s.admit
+	}, true
+}
+
+// solveContext derives the per-request solve context: the client's
+// timeout_ms when given, capped by the server default.
+func (s *Server) solveContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// Preload installs an operator directly (no HTTP round-trip), under
+// the given id — the embedding path cmd/cgserve's -preload flag and
+// tests use. It follows the same store semantics as POST /v1/operators.
+func (s *Server) Preload(name string, m *sparse.CSR) error {
+	if p := s.cfg.EnginePool; p != nil && p.Workers() > 1 {
+		m.RowPartition(p.Workers())
+	}
+	_, evicted, err := s.store.put(name, m)
+	for _, e := range evicted {
+		s.pools.dropOperator(e)
+	}
+	return err
+}
+
+// Shutdown refuses new requests and waits for in-flight requests to
+// drain, or for ctx to expire. (Solves themselves run under the
+// server's DefaultTimeout, so the drain is bounded.) Safe to call more
+// than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.inflight == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	drained := s.drained
+	s.mu.Unlock()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown interrupted with requests in flight: %w", ctx.Err())
+	}
+}

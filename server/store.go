@@ -1,0 +1,169 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"vrcg/sparse"
+)
+
+// operatorStore keeps uploaded operators resident under string ids,
+// each stamped with a store-unique generation so downstream caches
+// (the session pools) can key on identity rather than the reusable
+// client-chosen name,
+// ref-counted so an operator can never be evicted out from under an
+// in-flight solve, with LRU eviction once capacity is exceeded.
+// Uploads precompute the matrix's nnz-balanced row partition for the
+// server's engine pool, so the first pooled SpMV against a fresh
+// operator does no partitioning work.
+type operatorStore struct {
+	mu       sync.Mutex
+	capacity int
+	seq      int
+	gen      uint64
+	entries  map[string]*storedOperator
+	// lru orders entries most-recently-used first; every element value
+	// is a *storedOperator.
+	lru *list.List
+}
+
+// storedOperator is one resident operator plus its bookkeeping.
+type storedOperator struct {
+	info   OperatorInfo
+	matrix *sparse.CSR
+	// gen is unique across the store's lifetime: a re-upload under a
+	// previously used name gets a fresh generation, so caches keyed on
+	// (id, gen) can never serve state built for an earlier matrix.
+	gen  uint64
+	refs int
+	elem *list.Element
+}
+
+func newOperatorStore(capacity int) *operatorStore {
+	return &operatorStore{
+		capacity: capacity,
+		entries:  make(map[string]*storedOperator),
+		lru:      list.New(),
+	}
+}
+
+// maxOperatorNameLen bounds client-chosen operator ids.
+const maxOperatorNameLen = 128
+
+// validateOperatorName rejects ids that would corrupt the session-pool
+// key scheme (NUL is the key separator) or bloat listings: printable,
+// non-empty, bounded length.
+func validateOperatorName(name string) error {
+	if len(name) > maxOperatorNameLen {
+		return fmt.Errorf("%w: %d bytes exceeds the %d-byte limit", errBadOperatorName, len(name), maxOperatorNameLen)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("%w: control character %q", errBadOperatorName, r)
+		}
+	}
+	return nil
+}
+
+// put stores m under name (auto-assigned when empty), returning its
+// entry and the entries evicted to make room. Eviction only considers
+// operators with no active references; when everything is pinned the
+// store temporarily exceeds capacity rather than failing uploads.
+func (st *operatorStore) put(name string, m *sparse.CSR) (*storedOperator, []*storedOperator, error) {
+	if err := validateOperatorName(name); err != nil {
+		return nil, nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if name == "" {
+		// Skip auto ids a client has claimed explicitly.
+		for {
+			st.seq++
+			name = fmt.Sprintf("op-%d", st.seq)
+			if _, taken := st.entries[name]; !taken {
+				break
+			}
+		}
+	}
+	if _, dup := st.entries[name]; dup {
+		return nil, nil, fmt.Errorf("%w: %q", errOperatorExists, name)
+	}
+	st.gen++
+	e := &storedOperator{
+		info: OperatorInfo{
+			ID:             name,
+			N:              m.Dim(),
+			NNZ:            m.NNZ(),
+			MaxRowNonzeros: m.MaxRowNonzeros(),
+			Symmetric:      m.IsSymmetric(1e-12),
+		},
+		matrix: m,
+		gen:    st.gen,
+	}
+	e.elem = st.lru.PushFront(e)
+	st.entries[name] = e
+
+	var evicted []*storedOperator
+	for st.lru.Len() > st.capacity {
+		victim := st.oldestIdle(e)
+		if victim == nil {
+			break // everything is in use; allow temporary overflow
+		}
+		st.lru.Remove(victim.elem)
+		delete(st.entries, victim.info.ID)
+		evicted = append(evicted, victim)
+	}
+	return e, evicted, nil
+}
+
+// oldestIdle returns the least-recently-used entry with no active
+// references, or nil. The entry that triggered the eviction is never a
+// candidate — evicting what was just uploaded would turn a full store
+// into an upload black hole. Caller holds st.mu.
+func (st *operatorStore) oldestIdle(keep *storedOperator) *storedOperator {
+	for el := st.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*storedOperator); e.refs == 0 && e != keep {
+			return e
+		}
+	}
+	return nil
+}
+
+// acquire pins the named operator (bumping its recency) for the
+// duration of a request; the caller must release it.
+func (st *operatorStore) acquire(id string) (*storedOperator, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownOperator, id)
+	}
+	e.refs++
+	st.lru.MoveToFront(e.elem)
+	return e, nil
+}
+
+// release undoes one acquire.
+func (st *operatorStore) release(e *storedOperator) {
+	st.mu.Lock()
+	e.refs--
+	st.mu.Unlock()
+}
+
+// list snapshots the resident operators, most recently used first.
+func (st *operatorStore) list() []OperatorInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	infos := make([]OperatorInfo, 0, st.lru.Len())
+	for el := st.lru.Front(); el != nil; el = el.Next() {
+		infos = append(infos, el.Value.(*storedOperator).info)
+	}
+	return infos
+}
+
+func (st *operatorStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}

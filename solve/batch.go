@@ -18,15 +18,20 @@ import (
 // (cloned out of the per-worker workspace).
 //
 // Per-RHS failures do not stop the batch: the returned error joins
-// every failure wrapped with its index ("rhs 3: ..."), and errors.Is
-// still matches the usual sentinels (ErrNotConverged in particular).
+// every failure wrapped as an *RHSError carrying its index, and
+// errors.Is still matches the usual sentinels (ErrNotConverged in
+// particular); errors.As against *RHSError recovers which right-hand
+// side failed.
 // When the session was prepared WithContext, cancellation stops every
 // worker at its next iteration; right-hand sides never started report
 // the context error.
 //
 // The worker count defaults to min(len(B), GOMAXPROCS) and can be
 // pinned with WithBatchWorkers. Extra options apply to every solve in
-// the batch.
+// the batch. Option values holding state are shared across workers:
+// in particular a WithPreconditioner instance whose Apply mutates
+// internal scratch (precond.SSOR, precond.IC0) must be wrapped behind
+// a lock or built per worker — see the precond package doc.
 //
 // A pool given WithPool serializes its kernels behind one lock, so
 // sharing it across concurrent workers would serialize the batch's hot
@@ -100,11 +105,28 @@ func Batch(s *Session, B [][]float64, extra ...Option) ([]Result, error) {
 	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			joined = append(joined, fmt.Errorf("rhs %d: %w", i, err))
+			joined = append(joined, &RHSError{Index: i, Err: err})
 		}
 	}
 	return results, errors.Join(joined...)
 }
+
+// RHSError tags one right-hand side's failure with its index in B, so
+// batch callers (the server's /v1/solve/batch in particular) can
+// attribute failures without parsing messages. It wraps the underlying
+// solver error for errors.Is/As.
+type RHSError struct {
+	// Index is the position of the failed right-hand side in B.
+	Index int
+	// Err is the underlying solve error.
+	Err error
+}
+
+// Error implements error.
+func (e *RHSError) Error() string { return fmt.Sprintf("rhs %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying solver error to errors.Is/As.
+func (e *RHSError) Unwrap() error { return e.Err }
 
 // SolveMany is Batch as a method: it solves every right-hand side in B
 // against the session's operator and returns the aggregated results in

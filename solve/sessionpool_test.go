@@ -1,0 +1,217 @@
+package solve_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+func poolFixture(t *testing.T) (*sparse.CSR, []float64) {
+	t.Helper()
+	a := sparse.Poisson2D(12)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	return a, b
+}
+
+func TestSessionPoolHitsAndParity(t *testing.T) {
+	a, b := poolFixture(t)
+	p, err := solve.NewSessionPool("cg", a, solve.WithTol(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := solve.MustNew("cg").Solve(a, b, solve.WithTol(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 0; k < 3; k++ {
+		ps, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ps.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.X {
+			if d := math.Abs(res.X[i] - want.X[i]); d > 1e-12 {
+				t.Fatalf("round %d: X[%d] differs by %g", k, i, d)
+			}
+		}
+		ps.Release()
+	}
+
+	st := p.Stats()
+	if st.Hits != 3 || st.Misses != 0 {
+		t.Fatalf("sequential reuse should be all hits: %+v", st)
+	}
+	if st.Size != 1 || st.Idle != 1 {
+		t.Fatalf("pool should hold exactly the prewarmed session: %+v", st)
+	}
+	if st.HitRate() != 1 {
+		t.Fatalf("hit rate %v, want 1", st.HitRate())
+	}
+}
+
+func TestSessionPoolGrowsUnderConcurrency(t *testing.T) {
+	a, _ := poolFixture(t)
+	p, err := solve.NewSessionPool("cg", a, solve.WithTol(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold three sessions at once: one warm hit, two forced misses.
+	var held []*solve.PooledSession
+	for i := 0; i < 3; i++ {
+		ps, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, ps)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Size != 3 || st.Idle != 0 {
+		t.Fatalf("stats after 3 concurrent acquires: %+v", st)
+	}
+	for _, ps := range held {
+		ps.Release()
+	}
+	if st := p.Stats(); st.Idle != 3 {
+		t.Fatalf("all sessions should be idle after release: %+v", st)
+	}
+}
+
+func TestSessionPoolPerAcquireDeadline(t *testing.T) {
+	a, b := poolFixture(t)
+	p, err := solve.NewSessionPool("cg", a, solve.WithTol(1e-14))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dead context cancels the solve...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ps, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ps.Solve(b)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	ps.Release()
+
+	// ...and the SAME pooled session solves fine on the next acquire
+	// with a live context: the deadline is per-request, not baked in.
+	ps, err = p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ps.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence with a live context")
+	}
+	ps.Release()
+}
+
+func TestSessionPoolConcurrentClients(t *testing.T) {
+	a, b := poolFixture(t)
+	p, err := solve.NewSessionPool("pipecg", a, solve.WithTol(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solve.MustNew("pipecg").Solve(a, b, solve.WithTol(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				ps, err := p.Acquire(ctx)
+				if err != nil {
+					cancel()
+					errc <- err
+					return
+				}
+				res, err := ps.Solve(b)
+				if err != nil {
+					errc <- err
+				} else {
+					for i := range res.X {
+						if math.Abs(res.X[i]-want.X[i]) > 1e-12 {
+							errc <- errors.New("concurrent solve diverged from reference")
+							break
+						}
+					}
+				}
+				ps.Release()
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses != 64 {
+		t.Fatalf("expected 64 acquires, got %+v", st)
+	}
+	if st.Size > 8 {
+		t.Fatalf("pool grew past peak concurrency: %+v", st)
+	}
+}
+
+func TestSessionPoolBadMethod(t *testing.T) {
+	a, _ := poolFixture(t)
+	if _, err := solve.NewSessionPool("no-such-method", a); !errors.Is(err, solve.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+}
+
+// TestSessionPoolWarmSolveZeroAlloc proves the pooled serving path
+// keeps the Session zero-allocation regime: after warm-up, an acquire +
+// solve + release cycle on a background context performs at most the
+// one context-box allocation per Acquire and none in the solve itself.
+func TestSessionPoolWarmSolveZeroAlloc(t *testing.T) {
+	a, b := poolFixture(t)
+	p, err := solve.NewSessionPool("cg", a, solve.WithTol(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ps.Solve(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ps.Release()
+	if allocs != 0 {
+		t.Fatalf("warm pooled Solve allocates %v times per op, want 0", allocs)
+	}
+}

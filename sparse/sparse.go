@@ -11,7 +11,9 @@
 //     operators (1D/2D/3D Laplacians), and Dense for small reference
 //     problems.
 //   - I/O: ReadMatrixMarket / WriteMatrixMarket for coordinate-format
-//     .mtx files, plus the array-format vector variants.
+//     .mtx files, plus the array-format vector variants, and the JSON
+//     wire codec (WireMatrix, EncodeCSR) network layers use to carry
+//     matrices with full validation on decode.
 //   - Generators: Poisson1D/2D/3D, variable-coefficient and anisotropic
 //     Poisson, Toeplitz, graph Laplacians, random SPD matrices, and
 //     prescribed-spectrum test problems.
@@ -28,7 +30,8 @@
 //
 // The package was promoted from internal/mat; the deprecated forwarding
 // shim that briefly remained there has been removed (see
-// internal/core/README.md for the migration table).
+// internal/core/README.md for the migration table, and ARCHITECTURE.md
+// for where this data plane sits in the system).
 package sparse
 
 import (

@@ -1,0 +1,222 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file is the matrix wire codec: a JSON-friendly envelope
+// (WireMatrix) that carries a sparse matrix across a network boundary
+// in any of three formats, with full validation on decode — the
+// constructors in this package panic on malformed input (a programming
+// error in process), but bytes off the wire are data, not code, and
+// must fail with errors.
+
+// Wire format names accepted by WireMatrix.
+const (
+	// WireCSR carries compressed sparse row arrays directly.
+	WireCSR = "csr"
+	// WireCOO carries coordinate triplets (duplicates are summed).
+	WireCOO = "coo"
+	// WireMatrixMarket carries a MatrixMarket coordinate-format
+	// document as text.
+	WireMatrixMarket = "matrixmarket"
+)
+
+// ErrWire reports a malformed wire matrix; every Decode failure wraps
+// it.
+var ErrWire = errors.New("sparse: malformed wire matrix")
+
+// WireMatrix is the JSON envelope for a square sparse matrix. Format
+// selects which fields are meaningful:
+//
+//   - "csr": N, RowPtr (length N+1), ColIdx, Vals
+//   - "coo": N, Rows, Cols, Vals (parallel triplet arrays)
+//   - "matrixmarket": MatrixMarket (the .mtx document, verbatim)
+//
+// Decode validates and builds the CSR form; EncodeCSR produces the
+// "csr" envelope from a matrix.
+type WireMatrix struct {
+	Format string `json:"format"`
+	N      int    `json:"n,omitempty"`
+
+	// CSR fields.
+	RowPtr []int `json:"row_ptr,omitempty"`
+	ColIdx []int `json:"col_idx,omitempty"`
+
+	// COO fields (Vals is shared with the CSR form).
+	Rows []int `json:"rows,omitempty"`
+	Cols []int `json:"cols,omitempty"`
+
+	Vals []float64 `json:"vals,omitempty"`
+
+	// MatrixMarket is the verbatim .mtx text for format
+	// "matrixmarket".
+	MatrixMarket string `json:"matrix_market,omitempty"`
+}
+
+// EncodeCSR wraps a matrix in its wire envelope (format "csr"). The
+// arrays are shared with the matrix, not copied; treat the result as
+// read-only.
+func EncodeCSR(m *CSR) *WireMatrix {
+	return &WireMatrix{
+		Format: WireCSR,
+		N:      m.n,
+		RowPtr: m.rowPtr,
+		ColIdx: m.colIdx,
+		Vals:   m.vals,
+	}
+}
+
+// Decode validates the envelope and returns the matrix in CSR form.
+// All failures wrap ErrWire. The order is unbounded; network layers
+// should use DecodeLimited, since a tiny envelope can declare a huge n
+// whose CSR arrays alone would exhaust memory.
+func (w *WireMatrix) Decode() (*CSR, error) {
+	return w.DecodeLimited(0)
+}
+
+// DecodeLimited is Decode with an upper bound on the matrix order
+// (0 means unlimited). The bound is enforced before any order-sized
+// allocation happens, for every wire format — including the dimensions
+// declared inside a MatrixMarket header.
+func (w *WireMatrix) DecodeLimited(maxOrder int) (*CSR, error) {
+	switch w.Format {
+	case WireCSR:
+		if err := checkOrder(w.N, maxOrder); err != nil {
+			return nil, err
+		}
+		return w.decodeCSR()
+	case WireCOO:
+		if err := checkOrder(w.N, maxOrder); err != nil {
+			return nil, err
+		}
+		return w.decodeCOO()
+	case WireMatrixMarket:
+		if maxOrder > 0 {
+			if n, err := peekMatrixMarketOrder(w.MatrixMarket); err == nil {
+				// Parse errors fall through to the real reader for a
+				// better message.
+				if err := checkOrder(n, maxOrder); err != nil {
+					return nil, err
+				}
+			}
+		}
+		m, err := ReadMatrixMarket(strings.NewReader(w.MatrixMarket))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown format %q (want %s, %s, or %s)",
+			ErrWire, w.Format, WireCSR, WireCOO, WireMatrixMarket)
+	}
+}
+
+func checkOrder(n, maxOrder int) error {
+	if maxOrder > 0 && n > maxOrder {
+		return fmt.Errorf("%w: order %d exceeds the permitted maximum %d", ErrWire, n, maxOrder)
+	}
+	return nil
+}
+
+// peekMatrixMarketOrder reads just the size line of a MatrixMarket
+// document, so DecodeLimited can bound the order before the full parse
+// allocates anything order-sized.
+func peekMatrixMarketOrder(src string) (int, error) {
+	first := true
+	for len(src) > 0 {
+		line := src
+		if i := strings.IndexByte(src, '\n'); i >= 0 {
+			line, src = src[:i], src[i+1:]
+		} else {
+			src = ""
+		}
+		line = strings.TrimSpace(line)
+		if first {
+			first = false
+			continue // header line
+		}
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var rows, cols, nnz int
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return 0, fmt.Errorf("sparse: bad size line %q", line)
+		}
+		if cols > rows {
+			rows = cols
+		}
+		return rows, nil
+	}
+	return 0, fmt.Errorf("sparse: missing size line")
+}
+
+func (w *WireMatrix) decodeCSR() (*CSR, error) {
+	n := w.N
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: csr needs n > 0, got %d", ErrWire, n)
+	}
+	if len(w.RowPtr) != n+1 {
+		return nil, fmt.Errorf("%w: row_ptr length %d, want n+1 = %d", ErrWire, len(w.RowPtr), n+1)
+	}
+	if w.RowPtr[0] != 0 {
+		return nil, fmt.Errorf("%w: row_ptr must start at 0, got %d", ErrWire, w.RowPtr[0])
+	}
+	for i := 0; i < n; i++ {
+		if w.RowPtr[i+1] < w.RowPtr[i] {
+			return nil, fmt.Errorf("%w: row_ptr not monotone at row %d (%d then %d)",
+				ErrWire, i, w.RowPtr[i], w.RowPtr[i+1])
+		}
+	}
+	nnz := w.RowPtr[n]
+	if len(w.ColIdx) != nnz || len(w.Vals) != nnz {
+		return nil, fmt.Errorf("%w: row_ptr promises %d entries but col_idx has %d and vals has %d",
+			ErrWire, nnz, len(w.ColIdx), len(w.Vals))
+	}
+	for k, j := range w.ColIdx {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("%w: col_idx[%d] = %d outside [0,%d)", ErrWire, k, j, n)
+		}
+	}
+	// NewCSR copies nothing, so clone the arrays: wire buffers often
+	// alias decoder scratch the caller will reuse.
+	rowPtr := append([]int(nil), w.RowPtr...)
+	colIdx := append([]int(nil), w.ColIdx...)
+	vals := append([]float64(nil), w.Vals...)
+	m := NewCSR(n, rowPtr, colIdx, vals)
+	// NewCSR sorts each row but keeps duplicate columns, which would
+	// make MulVec (sums them) disagree with At/Diag (sees one). The
+	// COO path sums duplicates by design; the CSR wire form asserts
+	// the matrix is already assembled, so duplicates are an error.
+	for i := 0; i < n; i++ {
+		for p := rowPtr[i] + 1; p < rowPtr[i+1]; p++ {
+			if colIdx[p] == colIdx[p-1] {
+				return nil, fmt.Errorf("%w: duplicate entry (%d,%d) in csr form (use coo to sum duplicates)",
+					ErrWire, i, colIdx[p])
+			}
+		}
+	}
+	return m, nil
+}
+
+func (w *WireMatrix) decodeCOO() (*CSR, error) {
+	n := w.N
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: coo needs n > 0, got %d", ErrWire, n)
+	}
+	if len(w.Rows) != len(w.Cols) || len(w.Rows) != len(w.Vals) {
+		return nil, fmt.Errorf("%w: coo triplet arrays disagree: rows %d, cols %d, vals %d",
+			ErrWire, len(w.Rows), len(w.Cols), len(w.Vals))
+	}
+	coo := NewCOO(n)
+	for k := range w.Rows {
+		i, j := w.Rows[k], w.Cols[k]
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("%w: entry %d at (%d,%d) outside %dx%d", ErrWire, k, i, j, n, n)
+		}
+		coo.Add(i, j, w.Vals[k])
+	}
+	return coo.ToCSR(), nil
+}

@@ -1,0 +1,138 @@
+package sparse_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"vrcg/sparse"
+)
+
+// matEqual compares two matrices entrywise.
+func matEqual(t *testing.T, a, b *sparse.CSR) {
+	t.Helper()
+	if a.Dim() != b.Dim() {
+		t.Fatalf("dims %d vs %d", a.Dim(), b.Dim())
+	}
+	for i := 0; i < a.Dim(); i++ {
+		for j := 0; j < a.Dim(); j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("entry (%d,%d): %g vs %g", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+}
+
+func TestWireCSRRoundTrip(t *testing.T) {
+	a := sparse.Poisson2D(5)
+	blob, err := json.Marshal(sparse.EncodeCSR(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w sparse.WireMatrix
+	if err := json.Unmarshal(blob, &w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matEqual(t, a, got)
+}
+
+func TestWireCOODecode(t *testing.T) {
+	// 2x2 SPD with a duplicate entry that must be summed.
+	w := sparse.WireMatrix{
+		Format: sparse.WireCOO,
+		N:      2,
+		Rows:   []int{0, 0, 1, 1, 0},
+		Cols:   []int{0, 1, 0, 1, 0},
+		Vals:   []float64{1.5, -1, -1, 2, 0.5},
+	}
+	got, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 2 || got.At(0, 1) != -1 || got.At(1, 1) != 2 {
+		t.Fatalf("bad decode: %v %v %v", got.At(0, 0), got.At(0, 1), got.At(1, 1))
+	}
+}
+
+func TestWireMatrixMarketDecode(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 2\n2 1 -1\n2 2 2\n"
+	w := sparse.WireMatrix{Format: sparse.WireMatrixMarket, MatrixMarket: src}
+	got, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != 2 || got.At(0, 1) != -1 {
+		t.Fatalf("bad decode: n=%d a01=%v", got.Dim(), got.At(0, 1))
+	}
+}
+
+func TestWireDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]sparse.WireMatrix{
+		"unknown format": {Format: "dense", N: 2},
+		"csr bad n":      {Format: sparse.WireCSR, N: 0},
+		"csr short row_ptr": {Format: sparse.WireCSR, N: 2,
+			RowPtr: []int{0, 1}, ColIdx: []int{0}, Vals: []float64{1}},
+		"csr non-monotone": {Format: sparse.WireCSR, N: 2,
+			RowPtr: []int{0, 2, 1}, ColIdx: []int{0, 1}, Vals: []float64{1, 1}},
+		"csr col out of range": {Format: sparse.WireCSR, N: 2,
+			RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 5}, Vals: []float64{1, 1}},
+		"csr length mismatch": {Format: sparse.WireCSR, N: 2,
+			RowPtr: []int{0, 1, 3}, ColIdx: []int{0, 1}, Vals: []float64{1, 1}},
+		"csr duplicate column": {Format: sparse.WireCSR, N: 2,
+			RowPtr: []int{0, 2, 3}, ColIdx: []int{0, 0, 1}, Vals: []float64{1, 1, 2}},
+		"coo ragged": {Format: sparse.WireCOO, N: 2,
+			Rows: []int{0}, Cols: []int{0, 1}, Vals: []float64{1}},
+		"coo out of range": {Format: sparse.WireCOO, N: 2,
+			Rows: []int{2}, Cols: []int{0}, Vals: []float64{1}},
+		"mm garbage": {Format: sparse.WireMatrixMarket, MatrixMarket: "not a matrix"},
+	}
+	for name, w := range cases {
+		if _, err := w.Decode(); !errors.Is(err, sparse.ErrWire) {
+			t.Errorf("%s: want ErrWire, got %v", name, err)
+		}
+	}
+}
+
+// TestWireDecodeLimited: a tiny envelope declaring a huge order is
+// rejected before any order-sized allocation, for every format.
+func TestWireDecodeLimited(t *testing.T) {
+	huge := []sparse.WireMatrix{
+		{Format: sparse.WireCOO, N: 2_000_000_000},
+		{Format: sparse.WireCSR, N: 2_000_000_000},
+		{Format: sparse.WireMatrixMarket,
+			MatrixMarket: "%%MatrixMarket matrix coordinate real general\n2000000000 2000000000 0\n"},
+	}
+	for i, w := range huge {
+		if _, err := w.DecodeLimited(1 << 20); !errors.Is(err, sparse.ErrWire) {
+			t.Errorf("case %d: want ErrWire for oversized order, got %v", i, err)
+		}
+	}
+	// Within the limit everything still decodes.
+	ok := sparse.WireMatrix{Format: sparse.WireCOO, N: 2,
+		Rows: []int{0, 1}, Cols: []int{0, 1}, Vals: []float64{1, 1}}
+	if _, err := ok.DecodeLimited(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireDecodeCopiesArrays(t *testing.T) {
+	w := sparse.WireMatrix{
+		Format: sparse.WireCSR,
+		N:      2,
+		RowPtr: []int{0, 1, 2},
+		ColIdx: []int{0, 1},
+		Vals:   []float64{3, 4},
+	}
+	m, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Vals[0] = 99 // caller reuses its buffer; the matrix must not see it
+	if m.At(0, 0) != 3 {
+		t.Fatalf("decoded matrix aliases wire buffer: a00=%v", m.At(0, 0))
+	}
+}
