@@ -74,13 +74,16 @@ bench-raw:
 	$(GO) test -run '^$$' -bench '$(BENCHPAT)|$(SOLVEPAT)' -benchmem .
 	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server
 
-# JSON summaries for the perf trajectory across PRs.
+# JSON summaries for the perf trajectory across PRs. Fresh results are
+# diffed against the committed file (benchjson -prev prints the delta
+# table to stderr) before replacing it; the tmp-file indirection keeps
+# the shell from truncating the committed file before it is read.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCHOUT)
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -prev $(BENCHOUT) > $(BENCHOUT).tmp && mv $(BENCHOUT).tmp $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
-	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SOLVEOUT)
+	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -prev $(SOLVEOUT) > $(SOLVEOUT).tmp && mv $(SOLVEOUT).tmp $(SOLVEOUT)
 	@echo "wrote $(SOLVEOUT)"
-	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(SERVEROUT)
+	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server | tee /dev/stderr | $(GO) run ./cmd/benchjson -prev $(SERVEROUT) > $(SERVEROUT).tmp && mv $(SERVEROUT).tmp $(SERVEROUT)
 	@echo "wrote $(SERVEROUT)"
 
 # Boot the solve server locally with a demo operator resident.

@@ -250,6 +250,7 @@ func BenchmarkDotSerial(b *testing.B) {
 	vec.Random(x, 1)
 	vec.Random(y, 2)
 	b.SetBytes(int64(16 * len(x)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var s float64
 	for i := 0; i < b.N; i++ {
@@ -263,7 +264,10 @@ func BenchmarkDotParallel(b *testing.B) {
 	y := vec.New(1 << 20)
 	vec.Random(x, 1)
 	vec.Random(y, 2)
+	vec.DefaultPool.Calibrate() // one-shot: measured per-op cutoffs
+	vec.DefaultPool.Dot(x, y)   // warm the pooled path outside the timer
 	b.SetBytes(int64(16 * len(x)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var s float64
 	for i := 0; i < b.N; i++ {
@@ -458,10 +462,13 @@ func BenchmarkRabenseifnerVsRecursiveDoubling(b *testing.B) {
 
 // --- execution engine: serial vs pooled hot paths ---
 
-// BenchmarkSpMV compares the serial CSR product against the worker-pool
-// product with the nnz-balanced row partition, at sizes where the
-// engine matters (n = 102400 and 409600 for the Poisson grids below).
+// BenchmarkSpMV compares the serial CSR product against the hot path
+// the engine actually runs — format auto-selection (SELL-C-σ when
+// profitable) plus pool dispatch — at sizes where the engine matters
+// (n = 102400 and 409600 for the Poisson grids below). The sell rows
+// isolate the blocked format's serial kernel against CSR.
 func BenchmarkSpMV(b *testing.B) {
+	vec.DefaultPool.Calibrate()
 	for _, m := range []int{320, 640} {
 		a := sparse.Poisson2D(m)
 		n := a.Dim()
@@ -475,13 +482,23 @@ func BenchmarkSpMV(b *testing.B) {
 				a.MulVec(y, x)
 			}
 		})
-		b.Run(fmt.Sprintf("pooled/n=%d", n), func(b *testing.B) {
-			a.MulVecPool(vec.DefaultPool, y, x) // warm partition + workers
+		b.Run(fmt.Sprintf("sell/n=%d", n), func(b *testing.B) {
+			s := a.ToSELL()
 			b.SetBytes(int64(12 * a.NNZ()))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a.MulVecPool(vec.DefaultPool, y, x)
+				s.MulVec(y, x)
+			}
+		})
+		b.Run(fmt.Sprintf("pooled/n=%d", n), func(b *testing.B) {
+			op := sparse.TuneMulVec(a)                     // the operator engine.Solve dispatches on
+			sparse.PooledMulVec(op, vec.DefaultPool, y, x) // warm partition + workers
+			b.SetBytes(int64(12 * a.NNZ()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.PooledMulVec(op, vec.DefaultPool, y, x)
 			}
 		})
 	}
@@ -542,6 +559,7 @@ func BenchmarkDotPooled(b *testing.B) {
 	y := vec.New(n)
 	vec.Random(x, 1)
 	vec.Random(y, 2)
+	vec.DefaultPool.Calibrate()
 	vec.DefaultPool.Dot(x, y)
 	b.SetBytes(int64(16 * n))
 	b.ReportAllocs()

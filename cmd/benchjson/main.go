@@ -5,15 +5,23 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'SpMV|PCGSolve' -benchmem . | go run ./cmd/benchjson > BENCH_engine.json
+//
+// With -prev FILE, the fresh results are additionally diffed against a
+// previously committed summary and a per-benchmark delta table (ns/op,
+// MB/s, with regressions flagged) is printed to stderr — so `make
+// bench` shows at a glance what moved before the JSON is overwritten.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -40,6 +48,9 @@ type Summary struct {
 }
 
 func main() {
+	prevPath := flag.String("prev", "", "committed benchmark JSON to diff the fresh results against (delta table on stderr)")
+	flag.Parse()
+
 	sum := Summary{GeneratedAt: time.Now().UTC()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -69,12 +80,87 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
+	if *prevPath != "" {
+		diffAgainst(*prevPath, sum)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(sum); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// regressThreshold is the ns/op growth beyond which a row is flagged in
+// the delta table. It is deliberately loose: shared CI boxes routinely
+// show double-digit noise, and the table informs a human rather than
+// failing the build.
+const regressThreshold = 0.10
+
+// diffAgainst loads a previously committed summary and prints a
+// per-benchmark delta table to stderr. Missing or unreadable previous
+// files degrade to a note, never an error: the first run on a fresh
+// clone has nothing to diff.
+func diffAgainst(path string, fresh Summary) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: no previous results to diff (%v)\n", err)
+		return
+	}
+	var prev Summary
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: previous file %s unparseable (%v), skipping diff\n", path, err)
+		return
+	}
+	old := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[b.Name] = b
+	}
+
+	w := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "\nbenchmark\told ns/op\tnew ns/op\tΔ ns/op\told MB/s\tnew MB/s\t\n")
+	var regressions []string
+	for _, b := range fresh.Benchmarks {
+		p, ok := old[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%s\t\n", b.Name, b.NsPerOp, mbCell(b.MBPerS))
+			continue
+		}
+		delta := 0.0
+		if p.NsPerOp > 0 {
+			delta = (b.NsPerOp - p.NsPerOp) / p.NsPerOp
+		}
+		mark := ""
+		if delta > regressThreshold {
+			mark = "  <-- regression"
+			regressions = append(regressions, b.Name)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%%s\t%s\t%s\t\n",
+			b.Name, p.NsPerOp, b.NsPerOp, 100*delta, mark, mbCell(p.MBPerS), mbCell(b.MBPerS))
+		delete(old, b.Name)
+	}
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%s\t-\t\n", name, old[name].NsPerOp, mbCell(old[name].MBPerS))
+	}
+	w.Flush()
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchjson: %d benchmark(s) slower than %s by >%.0f%%: %s\n",
+			len(regressions), path, 100*regressThreshold, strings.Join(regressions, ", "))
+	} else {
+		fmt.Fprintf(os.Stderr, "\nbenchjson: no regressions beyond %.0f%% vs %s\n", 100*regressThreshold, path)
+	}
+}
+
+func mbCell(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 // parseLine parses one result line of the form

@@ -58,6 +58,14 @@ func main() {
 	}
 	if *engineWorkers > 1 {
 		cfg.EnginePool = sparse.NewPool(*engineWorkers)
+		// One-shot startup calibration: replace the pool's conservative
+		// default parallel cutoffs with crossovers measured on this
+		// machine. Dispatch decisions never change numerics, so this is
+		// purely a performance knob.
+		start := time.Now()
+		cfg.EnginePool.Calibrate()
+		log.Printf("cgserve: calibrated %d-worker engine pool in %v",
+			*engineWorkers, time.Since(start).Round(time.Millisecond))
 	}
 	srv := server.New(cfg)
 

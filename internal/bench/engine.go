@@ -104,8 +104,8 @@ func A6EngineThroughput() *Table {
 
 	_ = sink
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("host: %d CPU(s); pooled kernels fall back to serial when a chunk would be under %d elements",
-			runtime.GOMAXPROCS(0), EnginePool.MinChunk()),
+		fmt.Sprintf("host: %d CPU(s); pooled kernels fall back to serial below per-opcode cutoffs (dot cutoff %d elements)",
+			runtime.GOMAXPROCS(0), EnginePool.DotCutoff()),
 		"the PCG row also swaps per-solve allocation (plain PCG) for a zero-allocation Workspace")
 	return t
 }

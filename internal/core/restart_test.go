@@ -7,11 +7,13 @@ import (
 	"vrcg/sparse"
 )
 
-// TestDivergenceRestartRecovers: the exact input that used to overflow
-// the recurrences to ±Inf and error with ErrIndefinite now restarts
-// from the true residual and converges.
+// TestDivergenceRestartRecovers: an input whose recurrences used to
+// overflow to ±Inf and error with ErrIndefinite now restarts from the
+// true residual and converges. The seed is chosen so the K=0 recurrence
+// actually diverges under the current dot-product summation order; it
+// was re-picked when the vec kernels moved to blocked-tree reductions.
 func TestDivergenceRestartRecovers(t *testing.T) {
-	seed := uint64(0xf652e9a5aae69b74)
+	seed := uint64(0xca3c1ad75472635e)
 	n := 8
 	a := sparse.RandomSPD(n, 4, seed)
 	x := vec.New(n)

@@ -126,6 +126,13 @@ func Solve(k Kernel, ws *Workspace, a sparse.Matrix, b vec.Vector, cfg Config, r
 	cfg = cfg.withDefaults(n)
 	ws.history = ws.history[:0]
 
+	// Format auto-selection: run the solve's matrix-vector products on
+	// the fastest equivalent operator (e.g. a SELL-C-σ conversion of a
+	// large CSR). The decision is cached on the matrix, so warm sessions
+	// pay nothing, and the tuned operator is bitwise-identical, so
+	// results do not depend on it.
+	a = sparse.TuneMulVec(a)
+
 	bnorm := vec.Norm2(b)
 	if bnorm == 0 {
 		bnorm = 1

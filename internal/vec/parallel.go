@@ -1,6 +1,7 @@
 package vec
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,8 +15,25 @@ import (
 // headers) into pool-owned fields, wakes exactly the workers it needs,
 // runs chunk 0 on the calling goroutine, and waits for completion
 // signals. No goroutines are spawned and no closures are created per
-// call, and per-worker partial-sum slabs are reused across calls, so a
+// call, and the per-block partial slabs are reused across calls, so a
 // kernel dispatch performs zero heap allocations in steady state.
+//
+// Reductions follow the package's canonical blocked tree (see the
+// package comment): chunk boundaries are aligned to BlockLen, workers
+// publish per-block leaf partials into a reused slab (chunks start on
+// separate cache lines at sizes where it matters, so workers never
+// contend on a line), and the caller replays the fixed pairwise combine
+// over the slab. The combine shape depends only on the vector length —
+// never on the worker count — so pooled reductions are bitwise
+// identical to the serial kernels.
+//
+// Whether a kernel parallelizes at all is decided by a per-opcode
+// cutoff: the minimum total element (or nonzero) count at which handing
+// work to other cores beats running the serial kernel in place.
+// Construction installs conservative static cutoffs (reductions must
+// amortize a cross-core wakeup plus a combine; cheap elementwise
+// streams need even more length); Calibrate replaces them with measured
+// crossovers for this machine.
 //
 // A single Pool serializes its kernels behind an internal mutex: one
 // parallel kernel runs at a time, and concurrent callers queue. This is
@@ -28,11 +46,14 @@ import (
 // NewPool.
 type Pool struct {
 	workers  int
-	minChunk atomic.Int64
+	minChunk atomic.Int64       // granularity floor (legacy knob; see SetMinChunk)
+	cut      [nOps]atomic.Int64 // per-opcode parallel cutoff in elements (nnz for opCSRMulVec)
 	closed   atomic.Bool
 
-	mu    sync.Mutex // serializes dispatches; held while workers run
-	start sync.Once  // spawns the persistent workers lazily
+	mu      sync.Mutex // serializes dispatches; held while workers run
+	start   sync.Once  // spawns the persistent workers lazily
+	calOnce sync.Once  // one-shot Calibrate
+	cal     Calibration
 
 	wake []chan struct{} // wake[c] wakes the worker owning chunk c (c >= 1)
 	done chan struct{}   // workers signal chunk completion
@@ -42,11 +63,19 @@ type Pool struct {
 	nchunks int
 	bounds  []int // chunk boundaries: nchunks+1 offsets
 
-	boundsSlab []int       // backing array reused by equal splits
-	partial    []float64   // per-chunk scalar partials (reused)
-	partial2   []float64   // second partial set (DotPair)
-	rows       [][]float64 // per-chunk partial rows (DotBatch)
+	boundsSlab []int     // backing array reused by equal splits
+	blockPart  []float64 // per-block reduction partials (reused)
+	blockPart2 []float64 // second partial set (DotPair)
+	batchPart  []float64 // DotBatch partials, one padded stride per y
+	batchCap   int       // per-y stride of batchPart
 }
+
+// lineBlocks is the number of BlockLen blocks whose partials share one
+// 64-byte cache line (8 float64 cells). At sizes where parallelism
+// pays, chunk boundaries are aligned to lineBlocks*BlockLen elements so
+// each worker's slab cells occupy distinct lines — no false sharing on
+// the reduction slab.
+const lineBlocks = 8
 
 // opcode selects the kernel a worker executes over its chunk. Dispatch
 // is opcode-based rather than closure-based so publishing a job never
@@ -64,7 +93,36 @@ const (
 	opDotBatch
 	opCSRMulVec
 	opRowRange
+	nOps = iota
 )
+
+// opNames label the opcodes in Calibration reports.
+var opNames = [nOps]string{
+	opNone: "none", opDot: "dot", opDotPair: "dotpair", opAxpy: "axpy",
+	opXpay: "xpay", opMulElem: "mulelem", opFusedCG: "fusedcg",
+	opDotBatch: "dotbatch", opCSRMulVec: "csrmulvec", opRowRange: "rowrange",
+}
+
+// defaultCutoffs are the conservative fallback crossovers installed at
+// construction, used until (unless) Calibrate measures real ones. They
+// are deliberately high: a pooled kernel that dispatches below its true
+// crossover loses integer factors to wakeup latency (the old single
+// global minChunk of 4096 made pooled dots up to 20x slower than
+// serial), while one that stays serial a bit too long loses a few
+// percent at worst. Reductions pay a wakeup plus a combine, so they
+// need the most length; elementwise streams are pure bandwidth and
+// amortize faster; DotBatch amortizes one dispatch over every ys sweep.
+var defaultCutoffs = [nOps]int64{
+	opDot:       1 << 16,
+	opDotPair:   1 << 16,
+	opAxpy:      1 << 15,
+	opXpay:      1 << 15,
+	opMulElem:   1 << 15,
+	opFusedCG:   1 << 15,
+	opDotBatch:  1 << 14,
+	opCSRMulVec: 1 << 15, // in nonzeros
+	opRowRange:  1 << 15, // in rows
+}
 
 // job carries the operands of the in-flight kernel. Slice fields are
 // headers into caller-owned storage; they are cleared at end() so the
@@ -87,27 +145,36 @@ type job struct {
 	fn RowKernel
 }
 
-// RowKernel computes rows [lo, hi) of dst = A*x for a row-partitioned
-// operator. Implementations must write dst[lo:hi] only and may read all
-// of x, so disjoint chunks can run concurrently.
+// RowKernel computes range [lo, hi) of dst = A*x for a row-partitioned
+// operator. For RowMulVec the range is rows and implementations write
+// dst[lo:hi] only; for RowMulVecBounds the caller defines the units
+// (e.g. SELL chunks) and implementations must write a set of dst
+// elements disjoint from every other range's, so ranges can run
+// concurrently. All of x may be read.
 type RowKernel func(lo, hi int, dst, x Vector)
 
-// DefaultPool uses all available CPUs with a conservative minimum chunk.
+// DefaultPool uses all available CPUs with the conservative default
+// cutoffs. Long-running hosts (servers, CLIs) should DefaultPool.Calibrate()
+// once at startup to replace them with measured crossovers.
 var DefaultPool = NewPool(runtime.GOMAXPROCS(0))
 
-// DefaultMinChunk is the smallest per-worker slice length worth handing
-// to a parallel worker; below it the serial kernel runs on the calling
-// goroutine. Cross-core wakeup costs on the order of a few microseconds,
-// which a worker must amortize over its chunk.
+// DefaultMinChunk is the legacy granularity floor: the smallest
+// per-worker slice length a parallel dispatch will hand to a worker.
+// Whether a kernel parallelizes at all is governed by the per-opcode
+// cutoffs (see Calibrate); this knob only bounds chunk granularity.
 const DefaultMinChunk = 4096
 
-// NewPool returns a pool using the given number of workers (at least 1).
+// NewPool returns a pool using the given number of workers (at least 1)
+// with the conservative default per-op cutoffs.
 func NewPool(workers int) *Pool {
 	return NewPoolMinChunk(workers, DefaultMinChunk)
 }
 
 // NewPoolMinChunk returns a pool with an explicit minimum per-worker
-// chunk length (construction-time alternative to SetMinChunk).
+// chunk length. A minChunk below the default also lowers every per-op
+// cutoff to 2*minChunk (clamped to two reduction blocks), which is how
+// tests force tiny kernels onto the parallel path; a larger minChunk
+// only coarsens chunk granularity.
 func NewPoolMinChunk(workers, minChunk int) *Pool {
 	if workers < 1 {
 		workers = 1
@@ -117,23 +184,71 @@ func NewPoolMinChunk(workers, minChunk int) *Pool {
 	}
 	p := &Pool{workers: workers}
 	p.minChunk.Store(int64(minChunk))
+	for op := range p.cut {
+		p.cut[op].Store(defaultCutoffs[op])
+	}
+	if minChunk < DefaultMinChunk {
+		p.applyMinChunkCutoffs(minChunk)
+	}
 	return p
+}
+
+// applyMinChunkCutoffs maps the legacy single-knob threshold onto the
+// per-op cutoffs: parallelize anything with at least two chunks of
+// minChunk, but never below two reduction blocks (reduction chunk
+// boundaries must stay BlockLen-aligned).
+func (p *Pool) applyMinChunkCutoffs(minChunk int) {
+	c := int64(2 * minChunk)
+	if min := int64(2 * BlockLen); c < min {
+		c = min
+	}
+	for op := 1; op < nOps; op++ {
+		p.cut[op].Store(c)
+	}
 }
 
 // Workers returns the configured worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// MinChunk returns the current minimum per-worker slice length.
+// MinChunk returns the current granularity floor.
 func (p *Pool) MinChunk() int { return int(p.minChunk.Load()) }
 
-// SetMinChunk overrides the minimum per-worker slice length. It is safe
-// to call concurrently with running kernels (the value is atomic);
-// in-flight kernels keep the split they already planned.
+// SetMinChunk overrides the granularity floor and rebases every per-op
+// cutoff to 2*n (clamped to two reduction blocks). It is safe to call
+// concurrently with running kernels (the values are atomic); in-flight
+// kernels keep the split they already planned. Calibrate supersedes it:
+// prefer measured cutoffs on long-lived pools.
 func (p *Pool) SetMinChunk(n int) {
 	if n < 1 {
 		n = 1
 	}
 	p.minChunk.Store(int64(n))
+	p.applyMinChunkCutoffs(n)
+}
+
+// cutoff returns the current parallel cutoff for op.
+func (p *Pool) cutoff(op opcode) int64 { return p.cut[op].Load() }
+
+// DotCutoff returns the vector length below which pooled dot products
+// run serially. It is reporting surface (diagnostics, bench notes);
+// kernels consult their own opcode's cutoff internally.
+func (p *Pool) DotCutoff() int {
+	c := p.cutoff(opDot)
+	if c > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(c)
+}
+
+// SpMVCutoff returns the nonzero count below which pooled sparse
+// matrix-vector products run serially. sparse.CSR and sparse.SELL
+// consult it before partitioned dispatch.
+func (p *Pool) SpMVCutoff() int {
+	c := p.cutoff(opCSRMulVec)
+	if c > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(c)
 }
 
 // Close stops the persistent workers. Subsequent kernel calls fall back
@@ -159,9 +274,6 @@ func (p *Pool) ensureWorkers() {
 		p.wake = make([]chan struct{}, w)
 		p.done = make(chan struct{}, w)
 		p.boundsSlab = make([]int, w+1)
-		p.partial = make([]float64, w)
-		p.partial2 = make([]float64, w)
-		p.rows = make([][]float64, w)
 		for c := 1; c < w; c++ {
 			p.wake[c] = make(chan struct{}, 1)
 			go p.workerLoop(c)
@@ -178,24 +290,66 @@ func (p *Pool) workerLoop(c int) {
 	}
 }
 
-// planParts returns how many chunks an n-element kernel should use
-// (0 or 1 means: run serially).
-func (p *Pool) planParts(n int) int {
-	if p.closed.Load() {
-		return 0
+// growSlabs sizes the reduction slab for an n-element kernel. Called
+// under mu; allocates only when n exceeds every earlier dispatch.
+func (p *Pool) growSlabs(n int, pair bool) {
+	nb := nblocks(n)
+	if cap(p.blockPart) < nb {
+		p.blockPart = make([]float64, nb)
 	}
-	parts := p.workers
-	if maxParts := n / p.MinChunk(); parts > maxParts {
-		parts = maxParts
+	p.blockPart = p.blockPart[:nb]
+	if pair {
+		if cap(p.blockPart2) < nb {
+			p.blockPart2 = make([]float64, nb)
+		}
+		p.blockPart2 = p.blockPart2[:nb]
 	}
-	return parts
 }
 
-// beginEqual plans a near-equal split of [0, n) and acquires the
-// dispatch lock. It returns the chunk count, or 0 (lock not held) when
-// the kernel should run serially.
-func (p *Pool) beginEqual(n int) int {
-	parts := p.planParts(n)
+// growBatchSlab sizes the DotBatch slab: one stride of block partials
+// per y, strides padded to whole cache lines so worker boundary cells
+// never share a line across ys.
+func (p *Pool) growBatchSlab(n, nys int) {
+	nb := nblocks(n)
+	stride := (nb + lineBlocks - 1) / lineBlocks * lineBlocks
+	if cap(p.batchPart) < stride*nys {
+		p.batchPart = make([]float64, stride*nys)
+	}
+	p.batchPart = p.batchPart[:stride*nys]
+	p.batchCap = stride
+}
+
+// planParts returns how many chunks an n-element kernel should use and
+// the boundary alignment (0 parts means: run serially). Boundaries are
+// aligned to BlockLen so pooled reduction leaves coincide with the
+// serial tree's; once every worker has at least a cache line's worth of
+// partial cells, alignment widens to lineBlocks*BlockLen so slab cells
+// are line-private per worker.
+func (p *Pool) planParts(n int) (parts, align int) {
+	align = BlockLen
+	if n >= p.workers*lineBlocks*BlockLen {
+		align = lineBlocks * BlockLen
+	}
+	floor := align
+	if mc := p.MinChunk(); mc > floor {
+		floor = (mc + align - 1) / align * align
+	}
+	parts = p.workers
+	if u := n / floor; parts > u {
+		parts = u
+	}
+	return parts, align
+}
+
+// beginEqual plans a block-aligned near-equal split of [0, n) for op
+// and acquires the dispatch lock. It returns the chunk count, or 0
+// (lock not held) when the kernel should run serially: pool closed,
+// n below the op's cutoff, or too little work per worker.
+func (p *Pool) beginEqual(op opcode, n int) int {
+	if p.closed.Load() || p.workers < 2 || int64(n) < p.cutoff(op) {
+		return 0
+	}
+	parts, align := p.planParts(n)
 	if parts < 2 {
 		return 0
 	}
@@ -205,10 +359,12 @@ func (p *Pool) beginEqual(n int) int {
 		return 0
 	}
 	p.ensureWorkers()
+	units := n / align
 	b := p.boundsSlab[:parts+1]
-	for i := 0; i <= parts; i++ {
-		b[i] = i * n / parts
+	for i := 0; i < parts; i++ {
+		b[i] = i * units / parts * align
 	}
+	b[parts] = n
 	p.bounds = b
 	p.nchunks = parts
 	return parts
@@ -255,68 +411,72 @@ func (p *Pool) end() {
 	p.mu.Unlock()
 }
 
+// leaves evaluates one reduction leaf per BlockLen block of [lo, hi),
+// writing each partial to its global block cell. Chunk bounds are
+// BlockLen-aligned, so the only short leaf is the vector's last block —
+// exactly as in the serial tree.
+func (p *Pool) leaves(lo, hi int, leaf func(b0, b1, cell int)) {
+	for b0 := lo; b0 < hi; b0 += BlockLen {
+		b1 := b0 + BlockLen
+		if b1 > hi {
+			b1 = hi
+		}
+		leaf(b0, b1, b0/BlockLen)
+	}
+}
+
 // exec runs the published job's chunk c.
 func (p *Pool) exec(c int) {
 	lo, hi := p.bounds[c], p.bounds[c+1]
 	j := &p.job
 	switch j.op {
 	case opDot:
-		var s float64
 		x, y := j.x, j.y
-		for i := lo; i < hi; i++ {
-			s += x[i] * y[i]
+		for b0 := lo; b0 < hi; b0 += BlockLen {
+			b1 := b0 + BlockLen
+			if b1 > hi {
+				b1 = hi
+			}
+			p.blockPart[b0/BlockLen] = dotLeaf(x[b0:b1], y[b0:b1])
 		}
-		p.partial[c] = s
 	case opDotPair:
-		var sy, sz float64
 		x, y, z := j.x, j.y, j.z
-		for i := lo; i < hi; i++ {
-			xi := x[i]
-			sy += xi * y[i]
-			sz += xi * z[i]
+		for b0 := lo; b0 < hi; b0 += BlockLen {
+			b1 := b0 + BlockLen
+			if b1 > hi {
+				b1 = hi
+			}
+			xy, xz := dotPairLeaf(x[b0:b1], y[b0:b1], z[b0:b1])
+			p.blockPart[b0/BlockLen] = xy
+			p.blockPart2[b0/BlockLen] = xz
 		}
-		p.partial[c] = sy
-		p.partial2[c] = sz
 	case opAxpy:
-		a, x, y := j.alpha, j.x, j.y
-		for i := lo; i < hi; i++ {
-			y[i] += a * x[i]
-		}
+		Axpy(j.alpha, j.x[lo:hi], j.y[lo:hi])
 	case opXpay:
-		a, x, y := j.alpha, j.x, j.y
-		for i := lo; i < hi; i++ {
-			y[i] = x[i] + a*y[i]
-		}
+		Xpay(j.x[lo:hi], j.alpha, j.y[lo:hi])
 	case opMulElem:
-		d, x, y := j.z, j.x, j.y
-		for i := lo; i < hi; i++ {
-			d[i] = x[i] * y[i]
-		}
+		MulElem(j.z[lo:hi], j.x[lo:hi], j.y[lo:hi])
 	case opFusedCG:
 		a := j.alpha
 		pv, ap, x, r := j.x, j.y, j.z, j.w
-		var rr float64
-		for i := lo; i < hi; i++ {
-			x[i] += a * pv[i]
-			ri := r[i] - a*ap[i]
-			r[i] = ri
-			rr += ri * ri
+		for b0 := lo; b0 < hi; b0 += BlockLen {
+			b1 := b0 + BlockLen
+			if b1 > hi {
+				b1 = hi
+			}
+			p.blockPart[b0/BlockLen] = fusedCGLeaf(a, pv[b0:b1], ap[b0:b1], x[b0:b1], r[b0:b1])
 		}
-		p.partial[c] = rr
 	case opDotBatch:
 		x, ys := j.x, j.ys
-		row := p.rows[c]
-		if cap(row) < len(ys) {
-			row = make([]float64, len(ys))
-			p.rows[c] = row
-		}
-		row = row[:len(ys)]
 		for jj, y := range ys {
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += x[i] * y[i]
+			row := p.batchPart[jj*p.batchCap:]
+			for b0 := lo; b0 < hi; b0 += BlockLen {
+				b1 := b0 + BlockLen
+				if b1 > hi {
+					b1 = hi
+				}
+				row[b0/BlockLen] = dotLeaf(x[b0:b1], y[b0:b1])
 			}
-			row[jj] = s
 		}
 	case opCSRMulVec:
 		rowPtr, colIdx, vals := j.rowPtr, j.colIdx, j.vals
@@ -333,39 +493,36 @@ func (p *Pool) exec(c int) {
 	}
 }
 
-// Dot computes <x, y> with chunked parallel partial sums combined in
-// chunk order, so the result is deterministic for a fixed worker count.
+// Dot computes <x, y>. Pooled evaluation computes the canonical tree's
+// leaves in parallel and replays the same combine, so the result is
+// bitwise identical to the serial Dot for every worker count.
 func (p *Pool) Dot(x, y Vector) float64 {
 	mustSameLen2(len(x), len(y))
-	nc := p.beginEqual(len(x))
+	nc := p.beginEqual(opDot, len(x))
 	if nc == 0 {
 		return Dot(x, y)
 	}
+	p.growSlabs(len(x), false)
 	p.job = job{op: opDot, x: x, y: y}
 	p.run(nc)
-	var s float64
-	for _, v := range p.partial[:nc] {
-		s += v
-	}
+	s := combineTree(p.blockPart)
 	p.end()
 	return s
 }
 
-// DotPair computes <x,y> and <x,z> in a single parallel sweep with
-// deterministic chunk-ordered combination (the pooled form of
-// vec.DotPair, used by the pipelined CG variants).
+// DotPair computes <x,y> and <x,z> in a single parallel sweep, bitwise
+// identical to the serial DotPair (used by the pipelined CG variants).
 func (p *Pool) DotPair(x, y, z Vector) (xy, xz float64) {
 	mustSameLen3(len(x), len(y), len(z))
-	nc := p.beginEqual(len(x))
+	nc := p.beginEqual(opDotPair, len(x))
 	if nc == 0 {
 		return DotPair(x, y, z)
 	}
+	p.growSlabs(len(x), true)
 	p.job = job{op: opDotPair, x: x, y: y, z: z}
 	p.run(nc)
-	for c := 0; c < nc; c++ {
-		xy += p.partial[c]
-		xz += p.partial2[c]
-	}
+	xy = combineTree(p.blockPart)
+	xz = combineTree(p.blockPart2)
 	p.end()
 	return xy, xz
 }
@@ -373,7 +530,7 @@ func (p *Pool) DotPair(x, y, z Vector) (xy, xz float64) {
 // Axpy computes y += alpha*x with chunked parallelism.
 func (p *Pool) Axpy(alpha float64, x, y Vector) {
 	mustSameLen2(len(x), len(y))
-	nc := p.beginEqual(len(x))
+	nc := p.beginEqual(opAxpy, len(x))
 	if nc == 0 {
 		Axpy(alpha, x, y)
 		return
@@ -386,7 +543,7 @@ func (p *Pool) Axpy(alpha float64, x, y Vector) {
 // Xpay computes y = x + alpha*y with chunked parallelism.
 func (p *Pool) Xpay(x Vector, alpha float64, y Vector) {
 	mustSameLen2(len(x), len(y))
-	nc := p.beginEqual(len(x))
+	nc := p.beginEqual(opXpay, len(x))
 	if nc == 0 {
 		Xpay(x, alpha, y)
 		return
@@ -400,7 +557,7 @@ func (p *Pool) Xpay(x Vector, alpha float64, y Vector) {
 // (the pooled form of vec.MulElem, used by diagonal preconditioners).
 func (p *Pool) MulElem(dst, x, y Vector) {
 	mustSameLen3(len(dst), len(x), len(y))
-	nc := p.beginEqual(len(x))
+	nc := p.beginEqual(opMulElem, len(x))
 	if nc == 0 {
 		MulElem(dst, x, y)
 		return
@@ -411,28 +568,25 @@ func (p *Pool) MulElem(dst, x, y Vector) {
 }
 
 // FusedCGUpdate is the parallel form of vec.FusedCGUpdate: x += alpha*p,
-// r -= alpha*ap, returning <r,r> with deterministic chunk-ordered
-// combination.
+// r -= alpha*ap, returning <r,r> bitwise identical to the serial form.
 func (p *Pool) FusedCGUpdate(alpha float64, pv, ap, x, r Vector) float64 {
 	mustSameLen2(len(pv), len(ap))
 	mustSameLen2(len(pv), len(x))
 	mustSameLen2(len(pv), len(r))
-	nc := p.beginEqual(len(pv))
+	nc := p.beginEqual(opFusedCG, len(pv))
 	if nc == 0 {
 		return FusedCGUpdate(alpha, pv, ap, x, r)
 	}
+	p.growSlabs(len(pv), false)
 	p.job = job{op: opFusedCG, alpha: alpha, x: pv, y: ap, z: x, w: r}
 	p.run(nc)
-	var s float64
-	for _, v := range p.partial[:nc] {
-		s += v
-	}
+	s := combineTree(p.blockPart)
 	p.end()
 	return s
 }
 
-// DotBatch computes dots[j] = <x, ys[j]>, parallelizing across chunks of x
-// and keeping per-chunk partials so results are deterministic.
+// DotBatch computes dots[j] = <x, ys[j]>, parallelizing across chunks
+// of x; every dots[j] is bitwise identical to the serial DotBatch.
 func (p *Pool) DotBatch(x Vector, ys []Vector, dots []float64) {
 	if len(ys) != len(dots) {
 		panic("vec: DotBatch output length mismatch")
@@ -442,21 +596,18 @@ func (p *Pool) DotBatch(x Vector, ys []Vector, dots []float64) {
 	}
 	nc := 0
 	if len(ys) > 0 {
-		nc = p.beginEqual(len(x))
+		nc = p.beginEqual(opDotBatch, len(x))
 	}
 	if nc == 0 {
 		DotBatch(x, ys, dots)
 		return
 	}
+	p.growBatchSlab(len(x), len(ys))
 	p.job = job{op: opDotBatch, x: x, ys: ys}
 	p.run(nc)
+	nb := nblocks(len(x))
 	for j := range dots {
-		dots[j] = 0
-	}
-	for c := 0; c < nc; c++ {
-		for j, v := range p.rows[c][:len(ys)] {
-			dots[j] += v
-		}
+		dots[j] = combineTree(p.batchPart[j*p.batchCap : j*p.batchCap+nb])
 	}
 	p.end()
 }
@@ -524,12 +675,30 @@ func PoolFusedCGUpdate(p *Pool, alpha float64, pv, ap, x, r Vector) float64 {
 // fn on each (the pooled matvec of sparse.DIA and sparse.Stencil, whose
 // per-row work is uniform enough that an equal split balances). It
 // returns false — leaving dst untouched — when the pool is closed,
-// serial, or n is below the parallel threshold, in which case the
-// caller should run its serial kernel. fn should be a function value
-// cached by the caller (e.g. a method value stored at construction) so
+// serial, or n is below the row-op cutoff, in which case the caller
+// should run its serial kernel. fn should be a function value cached by
+// the caller (e.g. a method value stored at construction) so
 // steady-state dispatch performs no allocations.
 func (p *Pool) RowMulVec(n int, dst, x Vector, fn RowKernel) bool {
-	nc := p.beginEqual(n)
+	nc := p.beginEqual(opRowRange, n)
+	if nc == 0 {
+		return false
+	}
+	p.job = job{op: opRowRange, fn: fn, x: x, z: dst}
+	p.run(nc)
+	p.end()
+	return true
+}
+
+// RowMulVecBounds runs fn over a caller-provided partition (chunk c
+// covers [bounds[c], bounds[c+1]) in whatever units fn interprets, e.g.
+// SELL row-chunks weighted by nonzeros). The ranges' dst writes must be
+// pairwise disjoint but need not be contiguous — sparse.SELL writes
+// through its row permutation. It returns false — leaving dst untouched
+// — when the partition does not fit this pool and the caller should use
+// its serial kernel.
+func (p *Pool) RowMulVecBounds(bounds []int, dst, x Vector, fn RowKernel) bool {
+	nc := p.beginBounds(bounds)
 	if nc == 0 {
 		return false
 	}
@@ -543,13 +712,17 @@ func (p *Pool) RowMulVec(n int, dst, x Vector, fn RowKernel) bool {
 // colIdx, vals), parallelized over the caller-provided row partition
 // bounds (len(bounds)-1 chunks; see sparse.CSR.MulVecPool, which supplies
 // an nnz-balanced partition). It returns false — leaving dst untouched —
-// when the partition does not fit this pool and the caller should use
+// when the total nonzero count is below the SpMV cutoff or the
+// partition does not fit this pool, in which case the caller should use
 // its serial kernel.
 //
 // The pool deliberately knows this one structured kernel: SpMV dominates
 // every solver's hot path, and routing it through the same opcode
 // dispatch keeps the parallel form allocation-free.
 func (p *Pool) CSRMulVec(bounds []int, rowPtr, colIdx []int, vals []float64, dst, x Vector) bool {
+	if int64(len(vals)) < p.cutoff(opCSRMulVec) {
+		return false
+	}
 	nc := p.beginBounds(bounds)
 	if nc == 0 {
 		return false

@@ -7,6 +7,22 @@
 // forms exist both for wall-clock speed on multicore hosts and to mirror
 // the data-parallel structure the paper assumes: elementwise operations
 // are depth-1, reductions are depth-log(N).
+//
+// # Canonical blocked reductions
+//
+// Every reducing kernel (Dot, DotPair, FusedCGUpdate, DotBatch) is
+// defined — not just implemented — as a fixed reduction tree over
+// blocks of BlockLen elements: each block is accumulated by a 4-way
+// unrolled leaf (four independent accumulator chains, so the compiler
+// and the CPU overlap the floating-point adds), and block partials are
+// combined by pairwise recursion whose shape depends only on the vector
+// length. The serial kernels walk that tree directly; the pooled
+// kernels compute the same leaves on worker goroutines and replay the
+// same combine tree over the published block partials. The result is
+// the substrate's core guarantee: serial and pooled reductions are
+// BITWISE IDENTICAL for every worker count, so moving a solve on or
+// off a Pool — or recalibrating its cutoffs — can never change a
+// trajectory.
 package vec
 
 import (
@@ -111,14 +127,72 @@ func mustSameLen3(a, b, c int) {
 	}
 }
 
+// BlockLen is the leaf size of the canonical reduction tree: reducing
+// kernels accumulate BlockLen-element blocks with 4-way unrolled
+// independent chains and combine block partials pairwise. It is the
+// unit the Pool aligns its chunk boundaries to, which is what makes
+// pooled reductions bitwise identical to the serial kernels. Two
+// BlockLen operand slices fit comfortably in L1.
+const BlockLen = 1024
+
+// nblocks returns the number of reduction-tree leaves for an n-element
+// kernel (the last leaf may be short).
+func nblocks(n int) int { return (n + BlockLen - 1) / BlockLen }
+
+// treeMid returns the canonical split point of an n-element reduction:
+// half the blocks (rounded down), in elements. Both the serial
+// recursion and the pooled block-partial combine split here, which is
+// what keeps their trees congruent.
+func treeMid(n int) int { return nblocks(n) / 2 * BlockLen }
+
+// dotLeaf accumulates <x, y> over one block (len(x) <= BlockLen) with
+// four independent accumulator chains, combined as (s0+s1)+(s2+s3).
+func dotLeaf(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dotTree evaluates the canonical reduction tree over x, y.
+func dotTree(x, y []float64) float64 {
+	n := len(x)
+	if n <= BlockLen {
+		return dotLeaf(x, y)
+	}
+	mid := treeMid(n)
+	return dotTree(x[:mid], y[:mid]) + dotTree(x[mid:], y[mid:])
+}
+
+// combineTree replays the canonical combine over precomputed block
+// partials: it is dotTree with the leaves already evaluated, so a
+// pooled reduction that fills part from worker goroutines reproduces
+// the serial result bit for bit.
+func combineTree(part []float64) float64 {
+	if len(part) == 1 {
+		return part[0]
+	}
+	mid := len(part) / 2
+	return combineTree(part[:mid]) + combineTree(part[mid:])
+}
+
 // Dot returns the inner product <x, y>.
 func Dot(x, y Vector) float64 {
 	mustSameLen2(len(x), len(y))
-	var s float64
-	for i := range x {
-		s += x[i] * y[i]
+	if len(x) == 0 {
+		return 0
 	}
-	return s
+	return dotTree(x, y)
 }
 
 // DotKahan returns <x, y> accumulated with Kahan compensated summation.
@@ -187,7 +261,16 @@ func Axpy(alpha float64, x, y Vector) {
 	if alpha == 0 {
 		return
 	}
-	for i := range x {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
 		y[i] += alpha * x[i]
 	}
 }
@@ -204,7 +287,16 @@ func AxpyTo(dst Vector, alpha float64, x, y Vector) {
 // p = r + beta*p).
 func Xpay(x Vector, alpha float64, y Vector) {
 	mustSameLen2(len(x), len(y))
-	for i := range x {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] = x[i] + alpha*y[i]
+		y[i+1] = x[i+1] + alpha*y[i+1]
+		y[i+2] = x[i+2] + alpha*y[i+2]
+		y[i+3] = x[i+3] + alpha*y[i+3]
+	}
+	for ; i < n; i++ {
 		y[i] = x[i] + alpha*y[i]
 	}
 }
@@ -243,7 +335,17 @@ func Sub(dst, x, y Vector) {
 // MulElem computes dst = x .* y componentwise.
 func MulElem(dst, x, y Vector) {
 	mustSameLen3(len(dst), len(x), len(y))
-	for i := range x {
+	n := len(x)
+	y = y[:n]
+	dst = dst[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = x[i] * y[i]
+		dst[i+1] = x[i+1] * y[i+1]
+		dst[i+2] = x[i+2] * y[i+2]
+		dst[i+3] = x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
 		dst[i] = x[i] * y[i]
 	}
 }
@@ -289,14 +391,58 @@ func FusedCGUpdate(alpha float64, p, ap, x, r Vector) float64 {
 	mustSameLen2(len(p), len(ap))
 	mustSameLen2(len(p), len(x))
 	mustSameLen2(len(p), len(r))
-	var rr float64
-	for i := range p {
+	if len(p) == 0 {
+		return 0
+	}
+	return fusedCGTree(alpha, p, ap, x, r)
+}
+
+// fusedCGLeaf performs the fused update over one block and returns its
+// <r, r> partial with the canonical 4-chain accumulation.
+func fusedCGLeaf(alpha float64, p, ap, x, r []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(p)
+	ap = ap[:n]
+	x = x[:n]
+	r = r[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x[i] += alpha * p[i]
+		x[i+1] += alpha * p[i+1]
+		x[i+2] += alpha * p[i+2]
+		x[i+3] += alpha * p[i+3]
+		r0 := r[i] - alpha*ap[i]
+		r1 := r[i+1] - alpha*ap[i+1]
+		r2 := r[i+2] - alpha*ap[i+2]
+		r3 := r[i+3] - alpha*ap[i+3]
+		r[i] = r0
+		r[i+1] = r1
+		r[i+2] = r2
+		r[i+3] = r3
+		s0 += r0 * r0
+		s1 += r1 * r1
+		s2 += r2 * r2
+		s3 += r3 * r3
+	}
+	for ; i < n; i++ {
 		x[i] += alpha * p[i]
 		ri := r[i] - alpha*ap[i]
 		r[i] = ri
-		rr += ri * ri
+		s0 += ri * ri
 	}
-	return rr
+	return (s0 + s1) + (s2 + s3)
+}
+
+// fusedCGTree is the canonical reduction tree of FusedCGUpdate; the
+// elementwise updates commute, so only the <r,r> combine order matters.
+func fusedCGTree(alpha float64, p, ap, x, r []float64) float64 {
+	n := len(p)
+	if n <= BlockLen {
+		return fusedCGLeaf(alpha, p, ap, x, r)
+	}
+	mid := treeMid(n)
+	left := fusedCGTree(alpha, p[:mid], ap[:mid], x[:mid], r[:mid])
+	return left + fusedCGTree(alpha, p[mid:], ap[mid:], x[mid:], r[mid:])
 }
 
 // DotPair computes <x,y> and <x,z> in a single pass. The restructured CG
@@ -304,12 +450,43 @@ func FusedCGUpdate(alpha float64, p, ap, x, r Vector) float64 {
 // reductions into one fan-in; the sequential kernels mirror that batching.
 func DotPair(x, y, z Vector) (xy, xz float64) {
 	mustSameLen3(len(x), len(y), len(z))
-	for i := range x {
-		xi := x[i]
-		xy += xi * y[i]
-		xz += xi * z[i]
+	if len(x) == 0 {
+		return 0, 0
 	}
-	return xy, xz
+	return dotPairTree(x, y, z)
+}
+
+// dotPairLeaf accumulates <x,y> and <x,z> over one block with two
+// independent chains per sum (the three-operand traffic leaves less
+// headroom than Dot's four).
+func dotPairLeaf(x, y, z []float64) (xy, xz float64) {
+	var a0, a1, b0, b1 float64
+	n := len(x)
+	y = y[:n]
+	z = z[:n]
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		a0 += x[i] * y[i]
+		a1 += x[i+1] * y[i+1]
+		b0 += x[i] * z[i]
+		b1 += x[i+1] * z[i+1]
+	}
+	for ; i < n; i++ {
+		a0 += x[i] * y[i]
+		b0 += x[i] * z[i]
+	}
+	return a0 + a1, b0 + b1
+}
+
+func dotPairTree(x, y, z []float64) (xy, xz float64) {
+	n := len(x)
+	if n <= BlockLen {
+		return dotPairLeaf(x, y, z)
+	}
+	mid := treeMid(n)
+	ly, lz := dotPairTree(x[:mid], y[:mid], z[:mid])
+	ry, rz := dotPairTree(x[mid:], y[mid:], z[mid:])
+	return ly + ry, lz + rz
 }
 
 // DotBatch computes dots[j] = <x, ys[j]> for all j in a single sweep over x.
@@ -317,16 +494,9 @@ func DotBatch(x Vector, ys []Vector, dots []float64) {
 	if len(ys) != len(dots) {
 		panic(fmt.Sprintf("vec: %d outputs for %d vectors", len(dots), len(ys)))
 	}
-	for j := range dots {
-		dots[j] = 0
-	}
 	for j, y := range ys {
 		mustSameLen2(len(x), len(y))
-		var s float64
-		for i := range x {
-			s += x[i] * y[i]
-		}
-		dots[j] = s
+		dots[j] = Dot(x, y)
 	}
 }
 

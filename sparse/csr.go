@@ -125,6 +125,11 @@ type CSR struct {
 	// RowPartition). It is an atomic pointer so concurrent MulVecPool
 	// callers can share one matrix safely.
 	part atomic.Pointer[rowPartition]
+
+	// tuned caches the TuneMulVec decision for this matrix (a SELL
+	// conversion, or "keep CSR"), so format auto-selection runs once
+	// per matrix rather than once per solve.
+	tuned atomic.Pointer[tunedOp]
 }
 
 // rowPartition is a cached chunking of rows into parts of near-equal
@@ -285,14 +290,14 @@ func nnzBalancedBounds(rowPtr []int, parts int) []int {
 }
 
 // MulVecPool computes dst = A*x in parallel over the pool using the
-// cached nnz-balanced row partition. Small matrices (nonzeros below
-// twice the pool's minimum chunk), a nil pool, or a serial pool all fall
-// back to the serial MulVec. The result is bitwise identical to MulVec:
+// cached nnz-balanced row partition. Small matrices (nonzeros below the
+// pool's SpMV cutoff), a nil pool, or a serial pool all fall back to
+// the serial MulVec. The result is bitwise identical to MulVec:
 // parallelism is across rows, and each row's accumulation order is
 // unchanged.
 func (m *CSR) MulVecPool(pool *Pool, dst, x []float64) {
 	checkMul(m, dst, x)
-	if pool == nil || pool.Workers() < 2 || len(m.vals) < 2*pool.MinChunk() {
+	if pool == nil || pool.Workers() < 2 || len(m.vals) < pool.SpMVCutoff() {
 		m.MulVec(dst, x)
 		return
 	}

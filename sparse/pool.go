@@ -20,15 +20,24 @@ type Pool = vec.Pool
 // DefaultPool is a process-wide pool using all available CPUs.
 var DefaultPool = vec.DefaultPool
 
-// DefaultMinChunk is the smallest per-worker slice length worth handing
-// to a parallel worker; below it kernels run serially on the calling
-// goroutine.
+// DefaultMinChunk is the default granularity floor: the smallest
+// per-worker slice length a parallel dispatch will plan. Whether a call
+// parallelizes at all is decided by per-opcode cutoffs (conservative
+// defaults, replaced by measured crossovers when Pool.Calibrate is
+// called once at startup); below its opcode's cutoff a kernel runs
+// serially on the calling goroutine.
 const DefaultMinChunk = vec.DefaultMinChunk
 
 // NewPool returns a pool with the given number of workers (at least 1;
 // 1 means every kernel runs serially and no goroutines are spawned).
+// Call Calibrate on the returned pool once at process startup to
+// replace the conservative default parallel cutoffs with crossovers
+// measured on the actual machine.
 func NewPool(workers int) *Pool { return vec.NewPool(workers) }
 
-// NewPoolMinChunk returns a pool with an explicit minimum per-worker
-// chunk length (construction-time alternative to Pool.SetMinChunk).
+// NewPoolMinChunk returns a pool with an explicit per-worker chunk
+// granularity floor (construction-time alternative to
+// Pool.SetMinChunk). Lowering it below DefaultMinChunk also rebases the
+// per-opcode parallel cutoffs, which is how tests force small inputs
+// onto the parallel path.
 func NewPoolMinChunk(workers, minChunk int) *Pool { return vec.NewPoolMinChunk(workers, minChunk) }

@@ -6,7 +6,9 @@
 //
 // It provides:
 //
-//   - Formats: CSR (with an nnz-balanced parallel MulVecPool), a COO
+//   - Formats: CSR (with an nnz-balanced parallel MulVecPool), the
+//     cache-blocked SELL-C-σ format (SELL, bitwise-compatible with CSR
+//     and picked automatically by TuneMulVec when profitable), a COO
 //     assembly builder, DIA diagonal storage, matrix-free Stencil
 //     operators (1D/2D/3D Laplacians), and Dense for small reference
 //     problems.
