@@ -5,24 +5,29 @@
 # (registry dispatch overhead, Session reuse vs fresh solver, Batch
 # throughput at 1/8/64 right-hand sides), and the HTTP serving-layer
 # benchmarks (warm-pool /v1/solve, /v1/solve/batch fan-out) with
-# -benchmem, writing the parsed results to BENCH_engine.json,
-# BENCH_solve.json, and BENCH_server.json so the perf trajectory is
+# -benchmem, and the distributed-tier benchmarks (sharded vs
+# single-process solves, per-iteration reduction wait by method),
+# writing the parsed results to BENCH_engine.json, BENCH_solve.json,
+# BENCH_server.json, and BENCH_cluster.json so the perf trajectory is
 # comparable across PRs. BENCH_* artifacts are regenerated, not
 # hand-edited.
 #
 # `make serve` boots cmd/cgserve locally with a demo operator;
 # `make docs-check` is the doc-freshness gate CI runs.
 
-GO        ?= go
-BENCHPAT  ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
-BENCHOUT  ?= BENCH_engine.json
-SOLVEPAT  ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
-SOLVEOUT  ?= BENCH_solve.json
-SERVERPAT ?= BenchmarkServeSolveWarm|BenchmarkServeBatch|BenchmarkServeMetrics
-SERVEROUT ?= BENCH_server.json
-SERVEADDR ?= :8080
+GO         ?= go
+BINDIR     ?= bin
+BENCHPAT   ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
+BENCHOUT   ?= BENCH_engine.json
+SOLVEPAT   ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
+SOLVEOUT   ?= BENCH_solve.json
+SERVERPAT  ?= BenchmarkServeSolveWarm|BenchmarkServeBatch|BenchmarkServeMetrics
+SERVEROUT  ?= BENCH_server.json
+CLUSTERPAT ?= BenchmarkClusterSolve|BenchmarkClusterReduction
+CLUSTEROUT ?= BENCH_cluster.json
+SERVEADDR  ?= :8080
 
-.PHONY: all build test vet fmt check lint bench bench-raw serve docs-check clean
+.PHONY: all build test vet fmt check lint bench bench-raw bins serve docs-check clean
 
 all: build test
 
@@ -73,18 +78,27 @@ lint:
 bench-raw:
 	$(GO) test -run '^$$' -bench '$(BENCHPAT)|$(SOLVEPAT)' -benchmem .
 	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server
+	$(GO) test -run '^$$' -bench '$(CLUSTERPAT)' -benchmem ./cluster
+
+# Command binaries build into the git-ignored $(BINDIR), never the
+# package or repo root, so a stray build can no longer commit a binary.
+bins:
+	$(GO) build -o $(BINDIR)/ ./cmd/...
 
 # JSON summaries for the perf trajectory across PRs. Fresh results are
 # diffed against the committed file (benchjson -prev prints the delta
-# table to stderr) before replacing it; the tmp-file indirection keeps
-# the shell from truncating the committed file before it is read.
-bench:
-	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -prev $(BENCHOUT) > $(BENCHOUT).tmp && mv $(BENCHOUT).tmp $(BENCHOUT)
+# table to stderr) before replacing it; benchjson -o writes the summary
+# atomically (same-dir temp + rename), so no half-written BENCH_*.json
+# or stray temp file can survive an interrupted run.
+bench: bins
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(BENCHOUT) -o $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
-	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -prev $(SOLVEOUT) > $(SOLVEOUT).tmp && mv $(SOLVEOUT).tmp $(SOLVEOUT)
+	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SOLVEOUT) -o $(SOLVEOUT)
 	@echo "wrote $(SOLVEOUT)"
-	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server | tee /dev/stderr | $(GO) run ./cmd/benchjson -prev $(SERVEROUT) > $(SERVEROUT).tmp && mv $(SERVEROUT).tmp $(SERVEROUT)
+	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SERVEROUT) -o $(SERVEROUT)
 	@echo "wrote $(SERVEROUT)"
+	$(GO) test -run '^$$' -bench '$(CLUSTERPAT)' -benchtime=1x -benchmem ./cluster | tee /dev/stderr | $(BINDIR)/benchjson -prev $(CLUSTEROUT) -o $(CLUSTEROUT)
+	@echo "wrote $(CLUSTEROUT)"
 
 # Boot the solve server locally with a demo operator resident.
 serve:
@@ -98,7 +112,7 @@ docs-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
-	@for pkg in . ./solve ./sparse ./precond ./server; do \
+	@for pkg in . ./solve ./sparse ./precond ./server ./cluster ./cluster/wire; do \
 		$(GO) doc $$pkg >/dev/null || exit 1; done
 	@test -f ARCHITECTURE.md || { echo "ARCHITECTURE.md missing"; exit 1; }
 	@test -f docs/api.md || { echo "docs/api.md missing"; exit 1; }
@@ -108,4 +122,5 @@ docs-check:
 	@echo "docs-check: ok"
 
 clean:
-	rm -f $(BENCHOUT) $(SOLVEOUT) $(SERVEROUT)
+	rm -f $(BENCHOUT) $(SOLVEOUT) $(SERVEROUT) $(CLUSTEROUT)
+	rm -rf $(BINDIR)

@@ -1,0 +1,54 @@
+// Package cluster is the distributed-memory tier: it shards one
+// operator's rows across a fleet of worker processes and runs the
+// repository's CG variants as true distributed iterations, reproducing
+// the message-passing setting the paper's communication-avoiding
+// restructurings were designed for.
+//
+// # Architecture
+//
+// A Coordinator owns fleet membership and placement. Each Worker is a
+// passive process: it accepts one control connection from the
+// coordinator and peer connections from other workers, holds shards of
+// placed operators, and executes its piece of each solve.
+//
+// Placement (Coordinator.Place) partitions the operator's rows with
+// the same nnz-balanced sparse.RowPartition the shared-memory pool
+// uses, then ships each worker its shard — local CSR with columns
+// remapped to [owned | halo] — plus a fully resolved halo schedule:
+// which contiguous halo range each neighbor's message fills, and which
+// owned entries to gather for each neighbor. All structure is resolved
+// at placement; per-iteration messages carry only float64 values.
+//
+// A distributed solve (Coordinator.Solve) then runs the engine's
+// kernel math unchanged on every worker:
+//
+//   - SpMV: one batched halo message per neighbor per iteration over
+//     persistent worker-to-worker connections, then the local shard
+//     matvec.
+//   - Inner products: each worker ships its local partial sums; the
+//     coordinator combines them into one global sum per reduction and
+//     broadcasts it. Every worker sees identical scalars, so all
+//     convergence decisions stay in lockstep.
+//   - Preconditioning: block-Jacobi / zero-overlap additive Schwarz.
+//     Each worker builds the named precond local ("jacobi", "ssor",
+//     "ic0") on its diagonal block; with "jacobi" this equals the
+//     global preconditioner exactly.
+//
+// The variants keep their communication structure: cg blocks on two
+// allreduces per iteration; gropp overlaps its (r,r) reduction with
+// the w = A r matvec; pipecg's single fused [gamma, delta] reduction
+// is in flight during the next halo exchange and matvec.
+//
+// # Fault tolerance
+//
+// The coordinator heartbeats every worker. When one dies, in-flight
+// solves abort, the operator re-partitions across the survivors
+// (the coordinator retains the full matrix), and the solve retries:
+// capacity degrades, availability does not.
+//
+// # Observability
+//
+// Workers time every iteration's phases (spmv, halo, reduction wait,
+// whole iteration) into local histograms shipped once per solve; the
+// coordinator merges them fleet-wide per method for /metrics.
+package cluster

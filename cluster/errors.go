@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"vrcg/solve"
+)
+
+// Sentinel errors of the cluster tier. Numerical failures reuse the
+// solve package's sentinels so callers (and the server's error-code
+// table) classify distributed and shared-memory solves identically.
+var (
+	// ErrNoWorkers: the fleet has no live workers; nothing can be
+	// placed or solved.
+	ErrNoWorkers = errors.New("cluster: no live workers")
+
+	// ErrUnknownOperator: the named operator was never placed (or was
+	// dropped).
+	ErrUnknownOperator = errors.New("cluster: unknown operator")
+
+	// ErrOperatorExists: Place refuses to overwrite an existing name.
+	ErrOperatorExists = errors.New("cluster: operator already placed")
+
+	// ErrDegraded wraps placement failures where the fleet lost workers
+	// mid-operation and could not recover (distinct from ErrNoWorkers:
+	// some capacity remained but re-placement failed).
+	ErrDegraded = errors.New("cluster: placement degraded")
+
+	// ErrClosed: the coordinator or worker has been shut down.
+	ErrClosed = errors.New("cluster: closed")
+)
+
+// Stable wire codes for worker-side solve failures. The coordinator
+// maps them back onto solve sentinels with errFromCode.
+const (
+	codeIndefinite      = "indefinite"
+	codeBreakdown       = "breakdown"
+	codeBadOption       = "bad_option"
+	codeUnknownMethod   = "unknown_method"
+	codeUnknownOperator = "unknown_operator"
+	codeStalePlacement  = "stale_placement"
+	codeAborted         = "aborted"
+	codeInternal        = "internal"
+)
+
+// solveErr is a worker-side failure carrying its wire code.
+type solveErr struct {
+	code   string
+	detail string
+}
+
+func (e *solveErr) Error() string { return "cluster: " + e.code + ": " + e.detail }
+
+func codeFromErr(err error) (code, detail string) {
+	var se *solveErr
+	if errors.As(err, &se) {
+		return se.code, se.detail
+	}
+	switch {
+	case errors.Is(err, solve.ErrIndefinite):
+		return codeIndefinite, err.Error()
+	case errors.Is(err, solve.ErrBreakdown):
+		return codeBreakdown, err.Error()
+	case errors.Is(err, solve.ErrBadOption):
+		return codeBadOption, err.Error()
+	case errors.Is(err, solve.ErrUnknownMethod):
+		return codeUnknownMethod, err.Error()
+	}
+	return codeInternal, err.Error()
+}
+
+func errFromCode(code, detail string) error {
+	switch code {
+	case codeIndefinite:
+		return fmt.Errorf("%w (worker: %s)", solve.ErrIndefinite, detail)
+	case codeBreakdown:
+		return fmt.Errorf("%w (worker: %s)", solve.ErrBreakdown, detail)
+	case codeBadOption:
+		return fmt.Errorf("%w (worker: %s)", solve.ErrBadOption, detail)
+	case codeUnknownMethod:
+		return fmt.Errorf("%w (worker: %s)", solve.ErrUnknownMethod, detail)
+	case codeUnknownOperator, codeStalePlacement:
+		return fmt.Errorf("%w (worker: %s)", ErrUnknownOperator, detail)
+	}
+	return fmt.Errorf("cluster: worker error %s: %s", code, detail)
+}

@@ -1,0 +1,613 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"vrcg/cluster/wire"
+	"vrcg/internal/vec"
+	"vrcg/precond"
+)
+
+// This file is the worker-side distributed iteration runtime: the same
+// kernel math as the shared-memory engine (internal/krylov,
+// internal/pipecg — scalar for scalar, update for update, so a
+// distributed solve converges in exactly the iterations the serial
+// solver takes), with the engine's in-process reductions replaced by
+// the coordinator allreduce and each matvec preceded by one batched
+// halo exchange per neighbor.
+//
+// The communication-avoiding structure of the paper's variants is
+// preserved where it matters: cg blocks on two allreduces per
+// iteration; gropp overlaps its (r,r) reduction with the w = A r
+// matvec; pipecg runs its single fused [gamma, delta] reduction
+// concurrently with the halo exchange and matvec of the next step.
+
+// errAborted ends a solve silently (the coordinator initiated the
+// abort and is not waiting for a reply).
+var errAborted = errors.New("cluster: solve aborted")
+
+// distMethods names the methods the distributed runtime implements.
+func distMethodSupported(name string) bool {
+	switch name {
+	case "cg", "cgfused", "pcg", "pipecg", "gropp":
+		return true
+	}
+	return false
+}
+
+// runEnv is the per-solve execution environment on one worker.
+type runEnv struct {
+	w    *Worker
+	s    *workerSolve
+	ws   *workerShard
+	sh   *Shard
+	nl   int
+	b    []float64
+	send func(byte, *wire.Enc) error
+
+	tol     float64
+	maxIter int
+
+	haloSeq uint64
+	redSeq  uint64
+	gather  []float64
+	timer   *time.Timer
+
+	iters     int
+	converged bool
+	resNorm   float64
+	x         []float64
+	stats     runStats
+	phases    phaseSet
+}
+
+// runSolve executes one distributed solve and reports Done or Err on
+// the control connection. Aborts exit silently.
+func (w *Worker) runSolve(s *workerSolve, ws *workerShard, m *solveMsg, send func(byte, *wire.Enc) error) {
+	env := &runEnv{
+		w: w, s: s, ws: ws, sh: ws.sh, nl: ws.sh.NLocal(),
+		b: m.B, send: send,
+		tol: m.Tol, maxIter: m.MaxIter,
+	}
+	// Mirror the engine's defaults so tol/maxIter semantics match the
+	// single-process solvers.
+	if env.tol == 0 {
+		env.tol = 1e-10
+	}
+	if env.maxIter == 0 {
+		env.maxIter = 10 * ws.nGlobal
+	}
+	var err error
+	switch m.Method {
+	case "cg", "cgfused":
+		err = env.runCG()
+	case "pcg":
+		err = env.runPCG(m.Precond)
+	case "pipecg":
+		err = env.runPipeCG()
+	case "gropp":
+		err = env.runGropp()
+	default:
+		err = &solveErr{code: codeUnknownMethod, detail: m.Method}
+	}
+	if env.timer != nil {
+		env.timer.Stop()
+	}
+	if err != nil {
+		if errors.Is(err, errAborted) {
+			return
+		}
+		code, detail := codeFromErr(err)
+		ee := &errMsg{SolveID: s.id, Code: code, Detail: detail}
+		if serr := send(wire.MsgErr, ee.encode()); serr != nil {
+			w.logf("worker: report solve error: %v", serr)
+		}
+		return
+	}
+	done := &doneMsg{
+		SolveID:    s.id,
+		Iterations: env.iters,
+		Converged:  env.converged,
+		ResNorm:    env.resNorm,
+		X:          env.x,
+		Stats:      env.stats,
+		Phases:     env.phases,
+	}
+	if serr := send(wire.MsgDone, done.encode()); serr != nil {
+		w.logf("worker: report done: %v", serr)
+	}
+}
+
+// armTimer (re)arms the env's shared timeout timer.
+func (env *runEnv) armTimer(d time.Duration) {
+	if env.timer == nil {
+		env.timer = time.NewTimer(d)
+		return
+	}
+	if !env.timer.Stop() {
+		select {
+		case <-env.timer.C:
+		default:
+		}
+	}
+	env.timer.Reset(d)
+}
+
+// thresholdFrom converts the global (b,b) into the engine's absolute
+// convergence threshold tol*||b|| (with the engine's ||b||=0 → 1
+// convention).
+func (env *runEnv) thresholdFrom(bb float64) float64 {
+	bn := math.Sqrt(math.Max(bb, 0))
+	if bn == 0 {
+		bn = 1
+	}
+	return env.tol * bn
+}
+
+// reduceStart ships this worker's local inner-product contributions to
+// the coordinator. Non-blocking: pair with reduceWait.
+func (env *runEnv) reduceStart(vals ...float64) error {
+	env.redSeq++
+	m := reduceMsg{SolveID: env.s.id, Seq: env.redSeq, Vals: vals}
+	if err := env.send(wire.MsgPartials, m.encode()); err != nil {
+		return &solveErr{code: codeInternal, detail: "send partials: " + err.Error()}
+	}
+	env.stats.InnerProducts += uint64(len(vals))
+	return nil
+}
+
+// reduceWait blocks until the coordinator's combined sums arrive,
+// recording the blocked time as the reduction phase.
+func (env *runEnv) reduceWait(dst []float64) error {
+	start := time.Now()
+	env.armTimer(env.w.cfg.HaloTimeout)
+	select {
+	case vals := <-env.s.combined:
+		if len(vals) != len(dst) {
+			return &solveErr{code: codeInternal, detail: fmt.Sprintf("combined arity %d want %d", len(vals), len(dst))}
+		}
+		copy(dst, vals)
+	case <-env.s.abort:
+		return errAborted
+	case <-env.timer.C:
+		return &solveErr{code: codeInternal, detail: "allreduce timeout"}
+	}
+	env.phases[phaseReduction].Observe(time.Since(start))
+	return nil
+}
+
+// allreduce1/allreduce2 are the blocking forms.
+func (env *runEnv) allreduce1(v float64) (float64, error) {
+	if err := env.reduceStart(v); err != nil {
+		return 0, err
+	}
+	var out [1]float64
+	if err := env.reduceWait(out[:]); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+func (env *runEnv) allreduce2(a, b float64) (float64, float64, error) {
+	if err := env.reduceStart(a, b); err != nil {
+		return 0, 0, err
+	}
+	var out [2]float64
+	if err := env.reduceWait(out[:]); err != nil {
+		return 0, 0, err
+	}
+	return out[0], out[1], nil
+}
+
+// recvFrom takes the next halo frame for (this solve, current haloSeq)
+// from one peer, skipping stale frames and stashing frames addressed
+// to a newer solve.
+func (env *runEnv) recvFrom(peer string) (haloFrame, error) {
+	if f, ok := env.w.stashTake(peer, env.s.id, env.haloSeq); ok {
+		return f, nil
+	}
+	ch := env.w.inChan(peer)
+	env.armTimer(env.w.cfg.HaloTimeout)
+	for {
+		select {
+		case f := <-ch:
+			switch {
+			case f.solveID < env.s.id || (f.solveID == env.s.id && f.seq < env.haloSeq):
+				continue // stale frame from an aborted/earlier exchange
+			case f.solveID > env.s.id:
+				// A retry started on the peers while this solve drains
+				// its abort: park the frame for the successor.
+				env.w.stashPut(peer, f)
+				return haloFrame{}, errAborted
+			case f.seq != env.haloSeq:
+				return haloFrame{}, &solveErr{code: codeInternal,
+					detail: fmt.Sprintf("halo seq %d from %s, want %d", f.seq, peer, env.haloSeq)}
+			}
+			return f, nil
+		case <-env.s.abort:
+			return haloFrame{}, errAborted
+		case <-env.timer.C:
+			return haloFrame{}, &solveErr{code: codeInternal, detail: "halo timeout waiting on " + peer}
+		}
+	}
+}
+
+// halo runs one batched exchange for the matvec input x: one gathered
+// message to each neighbor, one contiguous copy from each neighbor into
+// x's halo region.
+func (env *runEnv) halo(x []float64) error {
+	if len(env.ws.sends) == 0 && len(env.ws.recvs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	env.haloSeq++
+	for i := range env.ws.sends {
+		snd := &env.ws.sends[i]
+		buf := env.gather[:0]
+		for _, li := range snd.local {
+			buf = append(buf, x[li])
+		}
+		env.gather = buf
+		m := reduceMsg{SolveID: env.s.id, Seq: env.haloSeq, Vals: buf}
+		if err := snd.link.sendHalo(&m); err != nil {
+			return &solveErr{code: codeInternal, detail: "halo send: " + err.Error()}
+		}
+	}
+	nl := env.nl
+	for _, rv := range env.ws.recvs {
+		f, err := env.recvFrom(rv.FromID)
+		if err != nil {
+			return err
+		}
+		if len(f.vals) != rv.Count {
+			return &solveErr{code: codeInternal,
+				detail: fmt.Sprintf("halo batch %d values from %s, want %d", len(f.vals), rv.FromID, rv.Count)}
+		}
+		copy(x[nl+rv.Off:nl+rv.Off+rv.Count], f.vals)
+	}
+	env.phases[phaseHalo].Observe(time.Since(start))
+	return nil
+}
+
+// spmv runs the local shard matvec under the spmv phase timer.
+func (env *runEnv) spmv(dst, x []float64) {
+	start := time.Now()
+	env.sh.MulVec(dst, x)
+	env.stats.MatVecs++
+	env.phases[phaseSpMV].Observe(time.Since(start))
+}
+
+// precondFor returns the cached block-Jacobi / additive-Schwarz local:
+// the named precond package preconditioner built on this shard's
+// diagonal block.
+func (env *runEnv) precondFor(name string) (precond.Preconditioner, error) {
+	if name == "" {
+		name = "identity"
+	}
+	if p := env.ws.pre[name]; p != nil {
+		return p, nil
+	}
+	p, err := precond.ByName(name, env.ws.diagBlock())
+	if err != nil {
+		return nil, &solveErr{code: codeBadOption, detail: err.Error()}
+	}
+	env.ws.pre[name] = p
+	return p, nil
+}
+
+// runCG mirrors the engine's fused-update Hestenes–Stiefel kernel
+// (internal/krylov cgKernel): the blocking baseline with two global
+// synchronization points per iteration.
+func (env *runEnv) runCG() error {
+	nl := env.nl
+	x := make([]float64, nl)
+	r := append([]float64(nil), env.b...)
+	p := make([]float64, nl+env.sh.HaloN)
+	ap := make([]float64, nl)
+	copy(p[:nl], r)
+
+	// x0 = 0, so (r,r) = (b,b): one startup allreduce yields both the
+	// initial residual and the convergence threshold.
+	rr, err := env.allreduce1(vec.Dot(r, r))
+	if err != nil {
+		return err
+	}
+	thr := env.thresholdFrom(rr)
+	rn := math.Sqrt(rr)
+
+	for env.iters < env.maxIter && rn > thr {
+		it := time.Now()
+		if err := env.halo(p); err != nil {
+			return err
+		}
+		env.spmv(ap, p)
+
+		pap, err := env.allreduce1(vec.Dot(p[:nl], ap))
+		if err != nil {
+			return err
+		}
+		if pap <= 0 {
+			return &solveErr{code: codeIndefinite,
+				detail: fmt.Sprintf("curvature %g at iteration %d", pap, env.iters)}
+		}
+		lambda := rr / pap
+
+		rrNew, err := env.allreduce1(vec.FusedCGUpdate(lambda, p[:nl], ap, x, r))
+		if err != nil {
+			return err
+		}
+		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
+			return &solveErr{code: codeBreakdown,
+				detail: fmt.Sprintf("non-finite residual at iteration %d", env.iters)}
+		}
+
+		alpha := rrNew / rr
+		vec.Xpay(r, alpha, p[:nl])
+		env.stats.VectorUpdates += 3
+
+		rr = rrNew
+		rn = math.Sqrt(rr)
+		env.iters++
+		env.phases[phaseIter].Observe(time.Since(it))
+	}
+	env.converged = rn <= thr
+	env.resNorm = rn
+	env.x = x
+	return nil
+}
+
+// runPCG mirrors the engine's pcg kernel with the global preconditioner
+// replaced by the block-Jacobi local on this shard's diagonal block
+// (zero-overlap additive Schwarz). With the "jacobi" local the block
+// preconditioner equals global Jacobi exactly, so pcg+jacobi matches
+// the single-process solve iteration for iteration.
+func (env *runEnv) runPCG(precondName string) error {
+	m, err := env.precondFor(precondName)
+	if err != nil {
+		return err
+	}
+	nl := env.nl
+	x := make([]float64, nl)
+	r := append([]float64(nil), env.b...)
+	z := make([]float64, nl)
+	p := make([]float64, nl+env.sh.HaloN)
+	ap := make([]float64, nl)
+
+	m.Apply(z, r)
+	env.stats.PrecondSolves++
+	copy(p[:nl], z)
+
+	rz, rr, err := env.allreduce2(vec.Dot(r, z), vec.Dot(r, r))
+	if err != nil {
+		return err
+	}
+	thr := env.thresholdFrom(rr)
+	rn := math.Sqrt(rr)
+
+	for env.iters < env.maxIter && rn > thr {
+		it := time.Now()
+		if err := env.halo(p); err != nil {
+			return err
+		}
+		env.spmv(ap, p)
+
+		pap, err := env.allreduce1(vec.Dot(p[:nl], ap))
+		if err != nil {
+			return err
+		}
+		if pap <= 0 {
+			return &solveErr{code: codeIndefinite,
+				detail: fmt.Sprintf("curvature %g at iteration %d", pap, env.iters)}
+		}
+		if rz == 0 {
+			return &solveErr{code: codeBreakdown,
+				detail: fmt.Sprintf("(r,z) vanished at iteration %d", env.iters)}
+		}
+		lambda := rz / pap
+
+		vec.Axpy(lambda, p[:nl], x)
+		vec.Axpy(-lambda, ap, r)
+		m.Apply(z, r)
+		env.stats.PrecondSolves++
+		env.stats.VectorUpdates += 2
+
+		rzNew, rrNew, err := env.allreduce2(vec.Dot(r, z), vec.Dot(r, r))
+		if err != nil {
+			return err
+		}
+		if math.IsNaN(rzNew) || math.IsInf(rzNew, 0) {
+			return &solveErr{code: codeBreakdown,
+				detail: fmt.Sprintf("non-finite (r,z) at iteration %d", env.iters)}
+		}
+
+		beta := rzNew / rz
+		vec.Xpay(z, beta, p[:nl])
+		env.stats.VectorUpdates++
+
+		rz, rr = rzNew, rrNew
+		rn = math.Sqrt(rr)
+		env.iters++
+		env.phases[phaseIter].Observe(time.Since(it))
+	}
+	env.converged = rn <= thr
+	env.resNorm = rn
+	env.x = x
+	return nil
+}
+
+// runGropp mirrors the engine's gropp kernel (internal/pipecg
+// groppKernel). The gammaNew = (r,r) reduction genuinely overlaps the
+// w = A r matvec here: partials are shipped, the halo exchange and
+// local matvec run, and only then does the worker block on the
+// combined value.
+func (env *runEnv) runGropp() error {
+	nl := env.nl
+	hn := env.sh.HaloN
+	x := make([]float64, nl)
+	r := make([]float64, nl+hn) // matvec input in the overlapped step
+	p := make([]float64, nl+hn)
+	s := make([]float64, nl)
+	w := make([]float64, nl)
+	copy(r[:nl], env.b)
+	copy(p[:nl], r[:nl])
+
+	if err := env.halo(p); err != nil {
+		return err
+	}
+	env.spmv(s, p) // s = A p
+
+	gamma, err := env.allreduce1(vec.Dot(r[:nl], r[:nl]))
+	if err != nil {
+		return err
+	}
+	thr := env.thresholdFrom(gamma)
+	rn := math.Sqrt(math.Max(gamma, 0))
+
+	for env.iters < env.maxIter && rn > thr {
+		it := time.Now()
+		delta, err := env.allreduce1(vec.Dot(p[:nl], s))
+		if err != nil {
+			return err
+		}
+		if delta <= 0 || math.IsNaN(delta) {
+			return &solveErr{code: codeIndefinite,
+				detail: fmt.Sprintf("curvature %g at iteration %d", delta, env.iters)}
+		}
+		alpha := gamma / delta
+		vec.Axpy(alpha, p[:nl], x)
+		vec.Axpy(-alpha, s, r[:nl])
+		env.stats.VectorUpdates += 2
+
+		// Overlapped region: the (r,r) reduction is in flight while the
+		// halo exchange and local w = A r matvec run.
+		if err := env.reduceStart(vec.Dot(r[:nl], r[:nl])); err != nil {
+			return err
+		}
+		if err := env.halo(r); err != nil {
+			return err
+		}
+		env.spmv(w, r)
+		var out [1]float64
+		if err := env.reduceWait(out[:]); err != nil {
+			return err
+		}
+		gammaNew := out[0]
+
+		beta := gammaNew / gamma
+		vec.Xpay(r[:nl], beta, p[:nl])
+		vec.Xpay(w, beta, s) // s = A p maintained by recurrence
+		env.stats.VectorUpdates += 2
+
+		gamma = gammaNew
+		rn = math.Sqrt(math.Max(gamma, 0))
+		env.iters++
+		env.phases[phaseIter].Observe(time.Since(it))
+	}
+	env.converged = rn <= thr
+	env.resNorm = rn
+	env.x = x
+	return nil
+}
+
+// runPipeCG mirrors the engine's Ghysels–Vanroose kernel (internal/
+// pipecg gvKernel): the single fused [gamma, delta] allreduce of each
+// iteration is started at the end of the previous one and collected
+// only after the next halo exchange and matvec — the full pipelined
+// overlap the method exists for. The price, exactly as in the serial
+// kernel's accounting, is one speculative matvec past the convergence
+// point; x is untouched by it, so the iterate matches the engine's
+// bitwise.
+func (env *runEnv) runPipeCG() error {
+	nl := env.nl
+	hn := env.sh.HaloN
+	x := make([]float64, nl)
+	r := make([]float64, nl+hn)
+	w := make([]float64, nl+hn)
+	p := make([]float64, nl)
+	s := make([]float64, nl)
+	q := make([]float64, nl)
+	nv := make([]float64, nl)
+	copy(r[:nl], env.b)
+
+	if err := env.halo(r); err != nil {
+		return err
+	}
+	env.spmv(w[:nl], r) // w = A r
+
+	if err := env.reduceStart(vec.Dot(r[:nl], r[:nl]), vec.Dot(w[:nl], r[:nl])); err != nil {
+		return err
+	}
+	var gamma, delta, gammaOld, alphaOld float64
+	first := true
+	thr := -1.0
+	var out [2]float64
+	for {
+		it := time.Now()
+		// Next step's halo + matvec run while the reduction is in
+		// flight.
+		if err := env.halo(w); err != nil {
+			return err
+		}
+		env.spmv(nv, w)
+		if err := env.reduceWait(out[:]); err != nil {
+			return err
+		}
+		gamma, delta = out[0], out[1]
+		if thr < 0 {
+			// First combined value: gamma0 = (b,b) since x0 = 0.
+			thr = env.thresholdFrom(gamma)
+		}
+		rn := math.Sqrt(math.Max(gamma, 0))
+		if rn <= thr {
+			env.converged = true
+			env.resNorm = rn
+			break
+		}
+		if env.iters >= env.maxIter {
+			env.resNorm = rn
+			break
+		}
+
+		var beta, alpha float64
+		if first {
+			beta = 0
+			if delta == 0 {
+				return &solveErr{code: codeBreakdown, detail: "(w,r) vanished at startup"}
+			}
+			alpha = gamma / delta
+			first = false
+		} else {
+			beta = gamma / gammaOld
+			den := delta - beta*gamma/alphaOld
+			if den == 0 || math.IsNaN(den) {
+				return &solveErr{code: codeBreakdown,
+					detail: fmt.Sprintf("pipelined scalar breakdown at iteration %d", env.iters)}
+			}
+			alpha = gamma / den
+		}
+		if alpha <= 0 || math.IsNaN(alpha) {
+			return &solveErr{code: codeIndefinite,
+				detail: fmt.Sprintf("nonpositive step %g at iteration %d", alpha, env.iters)}
+		}
+
+		vec.Xpay(r[:nl], beta, p)
+		vec.Xpay(w[:nl], beta, s)
+		vec.Xpay(nv, beta, q)
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, s, r[:nl])
+		vec.Axpy(-alpha, q, w[:nl])
+		env.stats.VectorUpdates += 6
+
+		gammaOld, alphaOld = gamma, alpha
+		if err := env.reduceStart(vec.Dot(r[:nl], r[:nl]), vec.Dot(w[:nl], r[:nl])); err != nil {
+			return err
+		}
+		env.iters++
+		env.phases[phaseIter].Observe(time.Since(it))
+	}
+	env.x = x
+	return nil
+}

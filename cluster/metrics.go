@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"vrcg/cluster/wire"
+)
+
+// Phase indices for per-iteration latency accounting. Workers time each
+// phase of every iteration locally (zero contention, a few nanoseconds
+// per observation) and ship the histograms once, with MsgDone; the
+// coordinator merges them fleet-wide per method. The split is the
+// paper's decomposition of iteration cost: local matvec work vs
+// neighbor communication vs global synchronization.
+const (
+	phaseSpMV      = iota // local shard matvec
+	phaseHalo             // batched neighbor exchange (send + wait)
+	phaseReduction        // blocked in allreduce wait
+	phaseIter             // whole iteration
+	numPhases
+)
+
+// phaseNames index the Phase* constants for wire and JSON output.
+var phaseNames = [numPhases]string{"spmv", "halo", "reduction", "iteration"}
+
+// phaseBucketsUS are the histogram upper bounds in microseconds, chosen
+// to straddle both in-process loopback fleets (single-digit µs) and
+// real networks (ms).
+const numPhaseBuckets = 14
+
+var phaseBucketsUS = [numPhaseBuckets]float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// PhaseHist is one latency histogram: counts per bucket (the final
+// bucket is overflow), plus count/sum/max for means and tails.
+type PhaseHist struct {
+	Count   uint64
+	SumUS   float64
+	MaxUS   float64
+	Buckets [numPhaseBuckets + 1]uint64
+}
+
+// Observe records one duration.
+func (h *PhaseHist) Observe(d time.Duration) {
+	us := float64(d.Nanoseconds()) / 1e3
+	h.Count++
+	h.SumUS += us
+	if us > h.MaxUS {
+		h.MaxUS = us
+	}
+	for i, ub := range phaseBucketsUS {
+		if us <= ub {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[numPhaseBuckets]++
+}
+
+// Merge folds other into h.
+func (h *PhaseHist) Merge(other *PhaseHist) {
+	h.Count += other.Count
+	h.SumUS += other.SumUS
+	if other.MaxUS > h.MaxUS {
+		h.MaxUS = other.MaxUS
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// MeanUS returns the mean observation in microseconds.
+func (h *PhaseHist) MeanUS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumUS / float64(h.Count)
+}
+
+// phaseSet is the per-solve bundle of one histogram per phase.
+type phaseSet [numPhases]PhaseHist
+
+func (ps *phaseSet) encode(e *wire.Enc) {
+	for i := range ps {
+		h := &ps[i]
+		e.U64(h.Count)
+		e.F64(h.SumUS)
+		e.F64(h.MaxUS)
+		e.U32(uint32(len(h.Buckets)))
+		for _, c := range h.Buckets {
+			e.U64(c)
+		}
+	}
+}
+
+func (ps *phaseSet) decode(d *wire.Dec) error {
+	for i := range ps {
+		h := &ps[i]
+		h.Count = d.U64()
+		h.SumUS = d.F64()
+		h.MaxUS = d.F64()
+		nb := int(d.U32())
+		if err := d.Err(); err != nil {
+			return err
+		}
+		for j := 0; j < nb; j++ {
+			c := d.U64()
+			if j < len(h.Buckets) {
+				h.Buckets[j] = c
+			}
+		}
+	}
+	return d.Err()
+}
+
+func (ps *phaseSet) merge(other *phaseSet) {
+	for i := range ps {
+		ps[i].Merge(&other[i])
+	}
+}
+
+// PhaseSnapshot is the JSON shape of one phase histogram in /metrics.
+type PhaseSnapshot struct {
+	Count   uint64            `json:"count"`
+	MeanUS  float64           `json:"mean_us"`
+	MaxUS   float64           `json:"max_us"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+func (h *PhaseHist) snapshot() PhaseSnapshot {
+	s := PhaseSnapshot{
+		Count:   h.Count,
+		MeanUS:  h.MeanUS(),
+		MaxUS:   h.MaxUS,
+		Buckets: make(map[string]uint64, len(h.Buckets)),
+	}
+	// Cumulative counts keyed by upper bound, Prometheus-style, matching
+	// the server's histogram rendering.
+	var cum uint64
+	for i, ub := range phaseBucketsUS {
+		cum += h.Buckets[i]
+		s.Buckets[formatBucket(ub)] = cum
+	}
+	cum += h.Buckets[numPhaseBuckets]
+	s.Buckets["+Inf"] = cum
+	return s
+}
+
+func formatBucket(us float64) string {
+	switch {
+	case us >= 1000:
+		return itoa(int(us/1000)) + "ms"
+	default:
+		return itoa(int(us)) + "us"
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// WorkerSnapshot is one fleet member's status in /metrics and the
+// workers endpoint.
+type WorkerSnapshot struct {
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+	Alive  bool   `json:"alive"`
+	Shards int    `json:"shards"`
+}
+
+// MetricsSnapshot is the coordinator's aggregate view for /metrics:
+// fleet membership, solve counters, and per-method per-phase iteration
+// latency histograms merged across every worker that participated.
+type MetricsSnapshot struct {
+	Workers      []WorkerSnapshot                    `json:"workers"`
+	Operators    int                                 `json:"operators"`
+	Solves       uint64                              `json:"solves"`
+	Failures     uint64                              `json:"failures"`
+	Retries      uint64                              `json:"retries"`
+	Replacements uint64                              `json:"replacements"`
+	PhaseLatency map[string]map[string]PhaseSnapshot `json:"phase_latency_us"`
+}
+
+// fleetMetrics accumulates coordinator-side counters and the merged
+// per-method phase histograms.
+type fleetMetrics struct {
+	mu           sync.Mutex
+	solves       uint64
+	failures     uint64
+	retries      uint64
+	replacements uint64
+	byMethod     map[string]*phaseSet
+}
+
+func newFleetMetrics() *fleetMetrics {
+	return &fleetMetrics{byMethod: make(map[string]*phaseSet)}
+}
+
+func (m *fleetMetrics) recordSolve(method string, workers []*phaseSet, retries uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solves++
+	m.retries += retries
+	ps := m.byMethod[method]
+	if ps == nil {
+		ps = &phaseSet{}
+		m.byMethod[method] = ps
+	}
+	for _, w := range workers {
+		ps.merge(w)
+	}
+}
+
+func (m *fleetMetrics) recordFailure() {
+	m.mu.Lock()
+	m.failures++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) recordReplacement() {
+	m.mu.Lock()
+	m.replacements++
+	m.mu.Unlock()
+}
+
+func (m *fleetMetrics) snapshotInto(s *MetricsSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.Solves = m.solves
+	s.Failures = m.failures
+	s.Retries = m.retries
+	s.Replacements = m.replacements
+	s.PhaseLatency = make(map[string]map[string]PhaseSnapshot, len(m.byMethod))
+	for method, ps := range m.byMethod {
+		phases := make(map[string]PhaseSnapshot, numPhases)
+		for i := range ps {
+			phases[phaseNames[i]] = ps[i].snapshot()
+		}
+		s.PhaseLatency[method] = phases
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrcg/sparse"
+)
+
+// planMulVec runs a full distributed matvec in-process: halo exchange
+// simulated by direct gathers between shard vectors, then per-shard
+// MulVec. It is the reference semantics every transport-level test
+// builds on.
+func planMulVec(t *testing.T, p *Plan, x []float64) []float64 {
+	t.Helper()
+	// Local iterate vectors [owned | halo].
+	locals := make([][]float64, len(p.Shards))
+	for s, sh := range p.Shards {
+		locals[s] = make([]float64, sh.NLocal()+sh.HaloN)
+		copy(locals[s], x[sh.Row0:sh.Row1])
+	}
+	// Halo exchange: for each sender, gather into each receiver.
+	for s, sh := range p.Shards {
+		for _, snd := range sh.Send {
+			dst := p.Shards[snd.To]
+			var rv *HaloRecv
+			for i := range dst.Recv {
+				if dst.Recv[i].From == s {
+					rv = &dst.Recv[i]
+				}
+			}
+			if rv == nil {
+				t.Fatalf("shard %d sends to %d but %d has no matching recv", s, snd.To, snd.To)
+			}
+			if rv.Count != len(snd.Local) {
+				t.Fatalf("send %d->%d: %d values for recv count %d", s, snd.To, len(snd.Local), rv.Count)
+			}
+			for i, li := range snd.Local {
+				locals[snd.To][dst.NLocal()+rv.Off+i] = locals[s][li]
+			}
+		}
+	}
+	out := make([]float64, p.N)
+	for s, sh := range p.Shards {
+		dst := make([]float64, sh.NLocal())
+		sh.MulVec(dst, locals[s])
+		copy(out[sh.Row0:sh.Row1], dst)
+	}
+	return out
+}
+
+func checkPlanMatVec(t *testing.T, a *sparse.CSR, parts int) *Plan {
+	t.Helper()
+	p, err := BuildPlan(a, parts)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, a.Dim())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.Dim())
+	a.MulVec(want, x)
+	got := planMulVec(t, p, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-13*(1+math.Abs(want[i])) {
+			t.Fatalf("parts=%d row %d: got %g want %g", parts, i, got[i], want[i])
+		}
+	}
+	return p
+}
+
+// TestPlanMatVecParity: distributed SpMV through the plan's halo
+// schedule reproduces the serial product across shard counts and
+// sparsity patterns.
+func TestPlanMatVecParity(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"poisson2d": sparse.Poisson2D(17),
+		"random":    sparse.RandomSPD(211, 6, 7),
+		"tridiag":   sparse.TridiagToeplitz(100, 4, -1),
+	}
+	for name, a := range mats {
+		for _, parts := range []int{1, 2, 3, 5, 8} {
+			t.Run(name, func(t *testing.T) { checkPlanMatVec(t, a, parts) })
+		}
+	}
+}
+
+// TestPlanSingleShard: the degenerate one-worker fleet — no halo, no
+// sends, and the shard matrix is the whole operator.
+func TestPlanSingleShard(t *testing.T) {
+	a := sparse.Poisson2D(9)
+	p := checkPlanMatVec(t, a, 1)
+	if len(p.Shards) != 1 {
+		t.Fatalf("shards: %d", len(p.Shards))
+	}
+	sh := p.Shards[0]
+	if sh.HaloN != 0 || len(sh.Recv) != 0 || len(sh.Send) != 0 {
+		t.Fatalf("single shard has halo: halo=%d recv=%d send=%d", sh.HaloN, len(sh.Recv), len(sh.Send))
+	}
+	if sh.NLocal() != a.Dim() {
+		t.Fatalf("single shard owns %d of %d rows", sh.NLocal(), a.Dim())
+	}
+}
+
+// TestPlanEmptyRows: structurally empty rows partition and multiply
+// cleanly (an empty row contributes a zero output and needs no halo).
+func TestPlanEmptyRows(t *testing.T) {
+	n := 60
+	coo := sparse.NewCOO(n)
+	for i := 0; i < n; i++ {
+		if i%3 == 1 {
+			continue // every third row empty
+		}
+		coo.Add(i, i, 4)
+		if i+3 < n && (i+3)%3 != 1 {
+			coo.AddSym(i, i+3, -1)
+		}
+	}
+	a := coo.ToCSR()
+	p := checkPlanMatVec(t, a, 4)
+	for _, sh := range p.Shards {
+		for i := 0; i < sh.NLocal(); i++ {
+			if sh.RowPtr[i+1] < sh.RowPtr[i] {
+				t.Fatalf("shard %d row %d negative width", sh.Index, i)
+			}
+		}
+	}
+}
+
+// TestPlanDenseRowCrossesEveryShard: one row coupling to every column
+// makes its shard's halo span all other shards — the worst-case
+// neighbor fan-out still yields exactly one batch per neighbor.
+func TestPlanDenseRowCrossesEveryShard(t *testing.T) {
+	n := 64
+	coo := sparse.NewCOO(n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, float64(n)+2)
+	}
+	for j := 1; j < n; j++ {
+		coo.AddSym(0, j, -1) // dense row 0 (and dense column 0)
+	}
+	a := coo.ToCSR()
+	p := checkPlanMatVec(t, a, 4)
+
+	sh0 := p.Shards[0] // owns row 0
+	if want := len(p.Shards) - 1; len(sh0.Recv) != want {
+		t.Fatalf("dense-row shard receives from %d neighbors, want %d", len(sh0.Recv), want)
+	}
+	// The halo must be every external column exactly once.
+	if sh0.HaloN != n-sh0.NLocal() {
+		t.Fatalf("dense-row halo %d, want %d", sh0.HaloN, n-sh0.NLocal())
+	}
+	// And every other shard sends to shard 0 exactly one batch.
+	for _, sh := range p.Shards[1:] {
+		sends := 0
+		for _, s := range sh.Send {
+			if s.To == 0 {
+				sends++
+			}
+		}
+		if sends != 1 {
+			t.Fatalf("shard %d has %d batches to shard 0, want 1", sh.Index, sends)
+		}
+	}
+}
+
+// TestPlanMoreWorkersThanRows: requesting more shards than rows clamps
+// to one shard per row instead of emitting empty shards.
+func TestPlanMoreWorkersThanRows(t *testing.T) {
+	a := sparse.TridiagToeplitz(5, 4, -1)
+	p, err := BuildPlan(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) > 5 {
+		t.Fatalf("%d shards for a 5-row operator", len(p.Shards))
+	}
+	for _, sh := range p.Shards {
+		if sh.NLocal() < 1 {
+			t.Fatalf("shard %d owns no rows", sh.Index)
+		}
+	}
+	checkPlanMatVec(t, a, 16)
+}
+
+// TestDiagBlock: the extracted subdomain operator is exactly the owned
+// square block, and block-Jacobi on it reproduces global Jacobi for the
+// diagonal entries.
+func TestDiagBlock(t *testing.T) {
+	a := sparse.Poisson2D(12)
+	p, err := BuildPlan(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range p.Shards {
+		blk := sh.DiagBlock()
+		if blk.Dim() != sh.NLocal() {
+			t.Fatalf("block dim %d, want %d", blk.Dim(), sh.NLocal())
+		}
+		for i := 0; i < blk.Dim(); i++ {
+			for j := 0; j < blk.Dim(); j++ {
+				if got, want := blk.At(i, j), a.At(sh.Row0+i, sh.Row0+j); got != want {
+					t.Fatalf("shard %d block (%d,%d): %g want %g", sh.Index, i, j, got, want)
+				}
+			}
+		}
+	}
+}

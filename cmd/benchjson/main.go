@@ -10,6 +10,11 @@
 // previously committed summary and a per-benchmark delta table (ns/op,
 // MB/s, with regressions flagged) is printed to stderr — so `make
 // bench` shows at a glance what moved before the JSON is overwritten.
+//
+// With -o FILE, the summary is written to FILE atomically (temp file in
+// the same directory + rename) instead of stdout, so an interrupted run
+// can never leave a truncated summary or leak a half-written temp file
+// into the repository.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +55,7 @@ type Summary struct {
 
 func main() {
 	prevPath := flag.String("prev", "", "committed benchmark JSON to diff the fresh results against (delta table on stderr)")
+	outPath := flag.String("o", "", "write the JSON summary to this file atomically (default: stdout)")
 	flag.Parse()
 
 	sum := Summary{GeneratedAt: time.Now().UTC()}
@@ -83,12 +90,46 @@ func main() {
 	if *prevPath != "" {
 		diffAgainst(*prevPath, sum)
 	}
+	if *outPath != "" {
+		if err := writeAtomic(*outPath, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(sum); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeAtomic persists the summary under path via a same-directory temp
+// file and rename, removing the temp file on any failure — a crashed or
+// interrupted run cannot leave either a truncated summary or a stray
+// temp file behind.
+func writeAtomic(path string, sum Summary) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp.*")
+	if err != nil {
+		return fmt.Errorf("create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		tmp.Close()
+		return fmt.Errorf("encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	return nil
 }
 
 // regressThreshold is the ns/op growth beyond which a row is flagged in

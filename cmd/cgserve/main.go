@@ -9,10 +9,20 @@
 //	cgserve -addr :8080 -max-concurrent 8 -max-queue 32 -timeout 10s
 //	cgserve -addr :8080 -preload poisson2d:64   # boot with a demo operator
 //
+// The same binary is also both halves of the distributed tier. A
+// worker process holds operator shards and runs its piece of each
+// distributed solve; a coordinator shards uploads across a fleet of
+// workers and exposes them through /v1/cluster/*:
+//
+//	cgserve -worker-listen 127.0.0.1:9001             # worker (no HTTP)
+//	cgserve -worker-listen 127.0.0.1:9002             # worker (no HTTP)
+//	cgserve -addr :8080 -fleet 127.0.0.1:9001,127.0.0.1:9002
+//
 // A quick smoke test against a running server:
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/methods
+//	curl localhost:8080/v1/cluster/workers   # coordinator mode only
 //
 // SIGINT/SIGTERM shut the server down gracefully: new requests get
 // 503, in-flight solves drain (bounded by -timeout), then the process
@@ -32,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"vrcg/cluster"
 	"vrcg/server"
 	"vrcg/sparse"
 )
@@ -46,7 +57,14 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-solve deadline ceiling (requests can only shorten it)")
 	engineWorkers := flag.Int("engine-workers", 1, "worker-pool width for solver kernels; 1 = serial kernels, best for many concurrent clients")
 	preload := flag.String("preload", "", "preload a generated operator, e.g. poisson2d:64 (also poisson1d, poisson3d)")
+	workerListen := flag.String("worker-listen", "", "run as a cluster worker on this address (no HTTP API); coordinator connects here")
+	fleet := flag.String("fleet", "", "run as a cluster coordinator over these comma-separated worker addresses; enables /v1/cluster/*")
 	flag.Parse()
+
+	if *workerListen != "" {
+		runWorker(*workerListen)
+		return
+	}
 
 	cfg := server.Config{
 		MaxConcurrent:   *maxConcurrent,
@@ -66,6 +84,16 @@ func main() {
 		cfg.EnginePool.Calibrate()
 		log.Printf("cgserve: calibrated %d-worker engine pool in %v",
 			*engineWorkers, time.Since(start).Round(time.Millisecond))
+	}
+	var coord *cluster.Coordinator
+	if *fleet != "" {
+		var err error
+		coord, err = dialFleet(*fleet)
+		if err != nil {
+			log.Fatalf("cgserve: -fleet: %v", err)
+		}
+		defer coord.Close()
+		cfg.Cluster = coord
 	}
 	srv := server.New(cfg)
 
@@ -107,6 +135,57 @@ func main() {
 	if err := srv.Shutdown(drain); err != nil {
 		log.Printf("cgserve: %v", err)
 	}
+}
+
+// runWorker runs the process as a passive cluster worker: it serves
+// the coordinator's control connection and peer halo traffic on addr
+// until SIGINT/SIGTERM.
+func runWorker(addr string) {
+	w, err := cluster.NewWorker(cluster.WorkerConfig{Addr: addr, Logf: log.Printf})
+	if err != nil {
+		log.Fatalf("cgserve: -worker-listen %q: %v", addr, err)
+	}
+	log.Printf("cgserve: cluster worker on %s", w.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("cgserve: worker shutting down")
+	w.Close()
+}
+
+// dialFleet builds a coordinator over the comma-separated worker
+// addresses, retrying each for a while so the fleet can boot in any
+// order (workers typically start in parallel with the coordinator).
+func dialFleet(spec string) (*cluster.Coordinator, error) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Logf: log.Printf})
+	for _, addr := range strings.Split(spec, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		var (
+			id  string
+			err error
+		)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			id, err = coord.AddWorker(addr)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		if err != nil {
+			coord.Close()
+			return nil, fmt.Errorf("worker %s: %w", addr, err)
+		}
+		log.Printf("cgserve: fleet worker %s at %s", id, addr)
+	}
+	if len(coord.Workers()) == 0 {
+		coord.Close()
+		return nil, errors.New("no workers in -fleet")
+	}
+	return coord, nil
 }
 
 // preloadOperator parses "<problem>:<m>" and installs the generated

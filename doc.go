@@ -49,7 +49,11 @@
 // store fed by the sparse wire codec (sparse.WireMatrix), per-request-
 // shape session pools, bounded-queue backpressure, and a metrics
 // endpoint reporting the session-pool hit rate — cmd/cgserve is the
-// daemon, docs/api.md the endpoint reference.
+// daemon, docs/api.md the endpoint reference. Package cluster extends
+// the same surface across worker processes: operators row-sharded over
+// a fleet, distributed CG iterations with batched halo exchange and
+// coordinator-combined inner products, exposed through the server's
+// /v1/cluster endpoints (cgserve -fleet / -worker-listen).
 //
 // Result carries the paper's comparison currency directly: operation
 // counts (Stats), estimated blocking synchronization points (Syncs),

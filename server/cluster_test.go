@@ -1,0 +1,149 @@
+package server_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"vrcg/cluster"
+	"vrcg/server"
+	"vrcg/sparse"
+)
+
+// newClusterClient boots a real in-process fleet (coordinator + n
+// loopback workers over the wire protocol) and a server fronting it.
+func newClusterClient(t *testing.T, n int) *testClient {
+	t.Helper()
+	c := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatInterval: 50 * time.Millisecond,
+		PlaceTimeout:      10 * time.Second,
+	})
+	t.Cleanup(func() { c.Close() })
+	for i := 0; i < n; i++ {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{HaloTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		if _, err := c.AddWorker(w.Addr()); err != nil {
+			t.Fatalf("register worker %d: %v", i, err)
+		}
+	}
+	return newTestClient(t, server.Config{Cluster: c})
+}
+
+func TestClusterEndpoints(t *testing.T) {
+	c := newClusterClient(t, 2)
+	a, b := testSystem(12)
+
+	// Fleet membership before any placement.
+	var fleet server.ClusterWorkers
+	if status := c.get("/v1/cluster/workers", &fleet); status != http.StatusOK {
+		t.Fatalf("workers: status %d", status)
+	}
+	if len(fleet.Workers) != 2 {
+		t.Fatalf("fleet lists %d workers, want 2", len(fleet.Workers))
+	}
+	for _, w := range fleet.Workers {
+		if !w.Alive {
+			t.Errorf("worker %s not alive", w.ID)
+		}
+	}
+
+	// Sharded upload.
+	var info server.ClusterOperatorInfo
+	status := c.post("/v1/cluster/operators", server.OperatorUpload{
+		Name:   "poisson",
+		Matrix: *sparse.EncodeCSR(a),
+	}, &info)
+	if status != http.StatusCreated {
+		t.Fatalf("cluster upload: status %d", status)
+	}
+	if info.ID != "poisson" || info.N != a.Dim() || info.Workers != 2 {
+		t.Fatalf("upload info %+v", info)
+	}
+
+	// Duplicate name conflicts.
+	var er server.ErrorResponse
+	status = c.post("/v1/cluster/operators", server.OperatorUpload{
+		Name:   "poisson",
+		Matrix: *sparse.EncodeCSR(a),
+	}, &er)
+	if status != http.StatusConflict || er.Code != "operator_exists" {
+		t.Fatalf("duplicate upload: status %d code %q", status, er.Code)
+	}
+
+	// Distributed solve.
+	var res server.ClusterSolveResult
+	status = c.post("/v1/cluster/solve", server.ClusterSolveRequest{
+		Operator: "poisson", Method: "pipecg", RHS: b, Tol: 1e-10,
+	}, &res)
+	if status != http.StatusOK {
+		t.Fatalf("cluster solve: status %d", status)
+	}
+	if !res.Converged || res.Workers != 2 {
+		t.Fatalf("solve result %+v", res)
+	}
+	if len(res.X) != a.Dim() {
+		t.Fatalf("x has length %d, want %d", len(res.X), a.Dim())
+	}
+	for _, phase := range []string{"spmv", "halo", "reduction", "iteration"} {
+		if res.Phases[phase].Count == 0 {
+			t.Errorf("phase %q missing from solve response", phase)
+		}
+	}
+
+	// Unknown operator and unknown method map to the stable codes.
+	status = c.post("/v1/cluster/solve", server.ClusterSolveRequest{
+		Operator: "nope", Method: "cg", RHS: b,
+	}, &er)
+	if status != http.StatusNotFound || er.Code != "unknown_operator" {
+		t.Fatalf("unknown operator: status %d code %q", status, er.Code)
+	}
+	status = c.post("/v1/cluster/solve", server.ClusterSolveRequest{
+		Operator: "poisson", Method: "minres", RHS: b,
+	}, &er)
+	if status != http.StatusBadRequest || er.Code != "unknown_method" {
+		t.Fatalf("unknown method: status %d code %q", status, er.Code)
+	}
+
+	// /metrics carries the fleet-aggregated cluster section with the
+	// per-phase iteration latency histograms.
+	var met struct {
+		Cluster *cluster.MetricsSnapshot `json:"cluster"`
+	}
+	if status := c.get("/metrics", &met); status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if met.Cluster == nil {
+		t.Fatal("metrics has no cluster section")
+	}
+	if met.Cluster.Solves == 0 {
+		t.Errorf("cluster metrics count no solves: %+v", met.Cluster)
+	}
+	ph := met.Cluster.PhaseLatency["pipecg"]
+	if ph == nil || ph["reduction"].Count == 0 {
+		t.Errorf("cluster metrics missing pipecg reduction histogram: %+v", met.Cluster.PhaseLatency)
+	}
+}
+
+// TestClusterEndpointsWithoutCoordinator: a plain server answers the
+// cluster routes with the stable no_cluster code instead of a bare 404.
+func TestClusterEndpointsWithoutCoordinator(t *testing.T) {
+	c := newTestClient(t, server.Config{})
+	var er server.ErrorResponse
+	if status := c.get("/v1/cluster/workers", &er); status != http.StatusNotFound || er.Code != "no_cluster" {
+		t.Fatalf("workers without fleet: status %d code %q", status, er.Code)
+	}
+	a, b := testSystem(4)
+	if status := c.post("/v1/cluster/operators", server.OperatorUpload{
+		Name: "x", Matrix: *sparse.EncodeCSR(a),
+	}, &er); status != http.StatusNotFound || er.Code != "no_cluster" {
+		t.Fatalf("upload without fleet: status %d code %q", status, er.Code)
+	}
+	if status := c.post("/v1/cluster/solve", server.ClusterSolveRequest{
+		Operator: "x", Method: "cg", RHS: b,
+	}, &er); status != http.StatusNotFound || er.Code != "no_cluster" {
+		t.Fatalf("solve without fleet: status %d code %q", status, er.Code)
+	}
+}

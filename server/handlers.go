@@ -295,5 +295,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.met.snapshot()
 	snap.SessionPools = s.pools.stats()
 	snap.Operators = operatorGauges{Count: s.store.len(), Capacity: s.cfg.MaxOperators}
+	if c := s.cfg.Cluster; c != nil {
+		cs := c.Metrics()
+		snap.Cluster = &cs
+	}
 	writeJSON(w, http.StatusOK, snap)
 }

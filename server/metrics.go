@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"vrcg/cluster"
 )
 
 // metrics is the server's observability state, served as JSON by
@@ -63,6 +65,10 @@ type metricsSnapshot struct {
 	SolveLatency map[string]histogramSnapshot `json:"solve_latency_ms"`
 	SessionPools poolStats                    `json:"session_pools"`
 	Operators    operatorGauges               `json:"operators"`
+	// Cluster is the coordinator's fleet-aggregated view (membership,
+	// solve counters, per-method per-phase iteration latency) when the
+	// server fronts a distributed tier; absent otherwise.
+	Cluster *cluster.MetricsSnapshot `json:"cluster,omitempty"`
 }
 
 type operatorGauges struct {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"vrcg/cluster"
 	"vrcg/sparse"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	// (serial kernels, full cross-request parallelism) unless requests
 	// are few and large.
 	EnginePool *sparse.Pool
+	// Cluster, when non-nil, attaches a distributed-tier coordinator
+	// and enables the /v1/cluster/* endpoints: fleet membership,
+	// sharded operator upload, and distributed solves across worker
+	// processes. Without one those endpoints answer 404 no_cluster.
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
+	s.mux.HandleFunc("POST /v1/cluster/operators", s.handleClusterUpload)
+	s.mux.HandleFunc("POST /v1/cluster/solve", s.handleClusterSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -172,7 +181,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // scanner spraying random URLs cannot grow the maps without bound.
 func routeLabel(path string) string {
 	switch path {
-	case "/v1/operators", "/v1/solve", "/v1/solve/batch", "/v1/methods", "/healthz", "/metrics":
+	case "/v1/operators", "/v1/solve", "/v1/solve/batch", "/v1/methods",
+		"/v1/cluster/workers", "/v1/cluster/operators", "/v1/cluster/solve",
+		"/healthz", "/metrics":
 		return path
 	default:
 		return "other"

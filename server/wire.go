@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"vrcg/cluster"
 	"vrcg/solve"
 	"vrcg/sparse"
 )
@@ -190,6 +191,10 @@ const (
 	codeQueueFull        = "queue_full"
 	codeShuttingDown     = "shutting_down"
 	codeInternal         = "internal"
+	// Distributed-tier codes (/v1/cluster/*).
+	codeNoCluster = "no_cluster"
+	codeNoWorkers = "no_workers"
+	codeDegraded  = "degraded"
 )
 
 // Store-level sentinels (the solver ones live in solve/errors.go).
@@ -204,10 +209,18 @@ var (
 // repository, so errors.Is suffices.
 func errorStatus(err error) (int, string) {
 	switch {
-	case errors.Is(err, errUnknownOperator):
+	case errors.Is(err, errUnknownOperator), errors.Is(err, cluster.ErrUnknownOperator):
 		return http.StatusNotFound, codeUnknownOperator
-	case errors.Is(err, errOperatorExists):
+	case errors.Is(err, errOperatorExists), errors.Is(err, cluster.ErrOperatorExists):
 		return http.StatusConflict, codeOperatorExists
+	case errors.Is(err, cluster.ErrNoWorkers):
+		// The fleet has no live workers: retryable once capacity returns.
+		return http.StatusServiceUnavailable, codeNoWorkers
+	case errors.Is(err, cluster.ErrDegraded):
+		// Placement or solve kept failing while the fleet shrank.
+		return http.StatusServiceUnavailable, codeDegraded
+	case errors.Is(err, cluster.ErrClosed):
+		return http.StatusServiceUnavailable, codeShuttingDown
 	case errors.Is(err, errBadOperatorName):
 		return http.StatusBadRequest, codeBadRequest
 	case errors.Is(err, sparse.ErrWire):
