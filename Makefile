@@ -8,6 +8,7 @@
 # -benchmem, and the distributed-tier benchmarks (sharded vs
 # single-process solves, per-iteration reduction wait by method),
 # writing the parsed results to BENCH_engine.json, BENCH_solve.json,
+# BENCH_sequence.json (cold vs warm-started sequence steps),
 # BENCH_server.json, and BENCH_cluster.json so the perf trajectory is
 # comparable across PRs. BENCH_* artifacts are regenerated, not
 # hand-edited.
@@ -21,6 +22,8 @@ BENCHPAT   ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotPar
 BENCHOUT   ?= BENCH_engine.json
 SOLVEPAT   ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
 SOLVEOUT   ?= BENCH_solve.json
+SEQPAT     ?= BenchmarkSequence
+SEQOUT     ?= BENCH_sequence.json
 SERVERPAT  ?= BenchmarkServeSolveWarm|BenchmarkServeBatch|BenchmarkServeMetrics
 SERVEROUT  ?= BENCH_server.json
 CLUSTERPAT ?= BenchmarkClusterSolve|BenchmarkClusterReduction
@@ -76,7 +79,7 @@ lint:
 
 # Raw benchmark text (inspect interactively).
 bench-raw:
-	$(GO) test -run '^$$' -bench '$(BENCHPAT)|$(SOLVEPAT)' -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)|$(SOLVEPAT)|$(SEQPAT)' -benchmem .
 	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server
 	$(GO) test -run '^$$' -bench '$(CLUSTERPAT)' -benchmem ./cluster
 
@@ -95,6 +98,8 @@ bench: bins
 	@echo "wrote $(BENCHOUT)"
 	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SOLVEOUT) -o $(SOLVEOUT)
 	@echo "wrote $(SOLVEOUT)"
+	$(GO) test -run '^$$' -bench '$(SEQPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SEQOUT) -o $(SEQOUT)
+	@echo "wrote $(SEQOUT)"
 	$(GO) test -run '^$$' -bench '$(SERVERPAT)' -benchmem ./server | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SERVEROUT) -o $(SERVEROUT)
 	@echo "wrote $(SERVEROUT)"
 	$(GO) test -run '^$$' -bench '$(CLUSTERPAT)' -benchtime=1x -benchmem ./cluster | tee /dev/stderr | $(BINDIR)/benchjson -prev $(CLUSTEROUT) -o $(CLUSTEROUT)
@@ -119,8 +124,9 @@ docs-check:
 	@grep -q 'ARCHITECTURE.md' README.md || { echo "README.md does not link ARCHITECTURE.md"; exit 1; }
 	@grep -q 'docs/api.md' README.md || { echo "README.md does not link docs/api.md"; exit 1; }
 	@grep -q 'ARCHITECTURE.md' doc.go || { echo "doc.go does not reference ARCHITECTURE.md"; exit 1; }
+	@grep -q '/v1/sequence' docs/api.md || { echo "docs/api.md does not document /v1/sequence"; exit 1; }
 	@echo "docs-check: ok"
 
 clean:
-	rm -f $(BENCHOUT) $(SOLVEOUT) $(SERVEROUT) $(CLUSTEROUT)
+	rm -f $(BENCHOUT) $(SOLVEOUT) $(SEQOUT) $(SERVEROUT) $(CLUSTEROUT)
 	rm -rf $(BINDIR)

@@ -8,6 +8,8 @@
 //	cgsolve -problem poisson2d -m 64 -method cg
 //	cgsolve -problem poisson2d -m 64 -method vrcg -k 3
 //	cgsolve -problem poisson3d -m 16 -method pcg -precond ssor
+//	cgsolve -problem ring -n 2048 -method gmres -restart 30
+//	cgsolve -matrix general.mtx -method bicgstab
 //	cgsolve -problem toeplitz -n 4096 -method sstep -s 4
 //	cgsolve -problem poisson3d -m 32 -method pcg -workers 8 -repeat 16
 //	cgsolve -problem poisson2d -m 24 -method parcg -k 4 -procs 64
@@ -52,6 +54,7 @@ func main() {
 	pc := flag.String("precond", "jacobi", "pcg preconditioner: identity|jacobi|ssor|ic0")
 	k := flag.Int("k", 2, "look-ahead parameter for vrcg/parcg")
 	s := flag.Int("s", 4, "block size for sstep")
+	restart := flag.Int("restart", 0, "gmres restart length m (0 = method default)")
 	procs := flag.Int("procs", 8, "simulated processor count for the parcg methods")
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 0, "iteration cap (0 = method default)")
@@ -103,8 +106,12 @@ flags:
 		if err != nil {
 			fatalf("parse matrix: %v", err)
 		}
-		if !a.IsSymmetric(1e-12) {
-			fatalf("matrix %s is not symmetric; CG requires SPD", *matrixFile)
+		// The CG family needs symmetry; the general-operator methods
+		// (bicgstab, gmres, cgnr, lsqr) advertise otherwise via their
+		// registry caps, so a nonsymmetric .mtx is fine for them.
+		if !solve.MethodCaps(*method).Nonsymmetric && !a.IsSymmetric(1e-12) {
+			fatalf("matrix %s is not symmetric; method %q requires SPD (pick a nonsymmetric-capable method: see -method list)",
+				*matrixFile, *method)
 		}
 		*problem = *matrixFile
 	} else {
@@ -161,6 +168,9 @@ flags:
 		solve.WithLookahead(*k),
 		solve.WithBlockSize(*s),
 		solve.WithProcessors(*procs),
+	}
+	if *restart > 0 {
+		opts = append(opts, solve.WithRestart(*restart))
 	}
 	if pool != nil {
 		opts = append(opts, solve.WithPool(pool))

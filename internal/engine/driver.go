@@ -42,7 +42,12 @@ type Kernel interface {
 // stack) so handing it to kernels through the interface never forces a
 // per-solve heap allocation.
 type Run struct {
-	A   sparse.Matrix
+	A sparse.Matrix
+	// AT provides transpose products Aᵀ*x when the operator supports
+	// them (captured before format tuning, since tuned formats may not).
+	// Nil otherwise; kernels that need it (cgnr, lsqr) fail Init with
+	// ErrUnsupportedOperator when it is missing.
+	AT  sparse.TransposeMulVec
 	B   vec.Vector
 	Cfg Config
 	Res *Result
@@ -108,23 +113,31 @@ func (r *Run) Stopped() bool { return r.stopped }
 // TrueResidualNorm are set only on the success path, mirroring the
 // historical per-method behavior.
 func Solve(k Kernel, ws *Workspace, a sparse.Matrix, b vec.Vector, cfg Config, res *Result) error {
-	n := a.Dim()
+	// rows×cols: the rhs lives in the row space, the solution (and the
+	// workspace arena) in the column space. Square operators report
+	// rows == cols == Dim, so nothing changes for them.
+	rows, cols := sparse.Dims(a)
 	*res = Result{}
-	if len(b) != n {
-		return fmt.Errorf("%s: matrix order %d but rhs length %d: %w", k.Name(), n, len(b), sparse.ErrDim)
+	if len(b) != rows {
+		return fmt.Errorf("%s: operator has %d rows but rhs length %d: %w", k.Name(), rows, len(b), sparse.ErrDim)
 	}
-	if cfg.X0 != nil && len(cfg.X0) != n {
-		return fmt.Errorf("%s: x0 length %d for order %d: %w", k.Name(), len(cfg.X0), n, sparse.ErrDim)
+	if cfg.X0 != nil && len(cfg.X0) != cols {
+		return fmt.Errorf("%s: x0 length %d for %d columns: %w", k.Name(), len(cfg.X0), cols, sparse.ErrDim)
 	}
-	if ws == nil || ws.Dim() != n {
+	if ws == nil || ws.Dim() != cols {
 		wsDim := 0
 		if ws != nil {
 			wsDim = ws.Dim()
 		}
-		return fmt.Errorf("%s: workspace order %d but matrix order %d: %w", k.Name(), wsDim, n, sparse.ErrDim)
+		return fmt.Errorf("%s: workspace order %d but operator has %d columns: %w", k.Name(), wsDim, cols, sparse.ErrDim)
 	}
-	cfg = cfg.withDefaults(n)
+	cfg = cfg.withDefaults(cols)
 	ws.history = ws.history[:0]
+
+	// Capture the transpose-product capability before tuning: tuned
+	// formats (SELL) do not carry it, and the normal-equations kernels
+	// read it off the Run.
+	at, _ := a.(sparse.TransposeMulVec)
 
 	// Format auto-selection: run the solve's matrix-vector products on
 	// the fastest equivalent operator (e.g. a SELL-C-σ conversion of a
@@ -138,7 +151,7 @@ func Solve(k Kernel, ws *Workspace, a sparse.Matrix, b vec.Vector, cfg Config, r
 		bnorm = 1
 	}
 	run := &ws.run
-	*run = Run{A: a, B: b, Cfg: cfg, Res: res, Ws: ws, Threshold: cfg.Tol * bnorm}
+	*run = Run{A: a, AT: at, B: b, Cfg: cfg, Res: res, Ws: ws, Threshold: cfg.Tol * bnorm}
 
 	rn, err := k.Init(run)
 	if err != nil {

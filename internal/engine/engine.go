@@ -35,7 +35,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
+	"vrcg/internal/machine"
 	"vrcg/internal/vec"
 	"vrcg/precond"
 )
@@ -53,6 +56,11 @@ var ErrBreakdown = errors.New("krylov: iteration breakdown")
 // solver packages wrap it so callers can errors.Is against one sentinel
 // regardless of the method.
 var ErrBadOption = errors.New("krylov: invalid solver option")
+
+// ErrUnsupportedOperator is returned when a method needs an operator
+// capability the supplied type lacks (the normal-equations methods need
+// transpose products, sparse.TransposeMulVec).
+var ErrUnsupportedOperator = errors.New("krylov: operator type not supported by this method")
 
 // Stats counts the work an iterative solve performed. Flops follow the
 // usual convention: 2n per inner product or axpy, 2*nnz per sparse
@@ -129,6 +137,10 @@ type Config struct {
 
 	// S is the s-step block size (sstep; S >= 1, S = 1 is standard CG).
 	S int
+
+	// Restart is the GMRES restart length m (gmres; 0 selects
+	// min(30, n)).
+	Restart int
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -193,4 +205,54 @@ type Result struct {
 	// Drift holds scalar drift diagnostics (vrcg; see
 	// Config.ValidateEvery).
 	Drift DriftStats
+
+	// Clocks is the simulated parallel-time trajectory of the
+	// machine-model methods (parcg family): Clocks[i] is the machine
+	// MaxClock after iteration i+1.
+	Clocks []float64
+	// Machine holds the simulated machine's communication totals
+	// (parcg family only).
+	Machine machine.Stats
+}
+
+// PerIterTime estimates the steady-state parallel time per iteration of
+// a simulated-machine solve as the median clock increment after the
+// start-up transient. The median is exact for the uniform trajectories
+// of CG and pipelined CG, and for the recurrence methods it is robust
+// to the occasional drift-fallback iteration (a blocking reduction or
+// emergency re-anchor) that would contaminate a mean. NaN when the
+// result has no Clocks (the shared-memory methods) or fewer than two
+// iterations.
+func (r *Result) PerIterTime() float64 {
+	n := len(r.Clocks)
+	if n < 2 {
+		return math.NaN()
+	}
+	skip := n / 4
+	if skip < 1 {
+		skip = 1
+	}
+	deltas := make([]float64, 0, n-skip)
+	for i := skip; i < n; i++ {
+		deltas = append(deltas, r.Clocks[i]-r.Clocks[i-1])
+	}
+	sort.Float64s(deltas)
+	m := len(deltas)
+	if m == 0 {
+		return math.NaN()
+	}
+	if m%2 == 1 {
+		return deltas[m/2]
+	}
+	return 0.5 * (deltas[m/2-1] + deltas[m/2])
+}
+
+// TotalTime returns the final simulated machine clock of a
+// machine-model solve — the end-to-end parallel time including
+// start-up. NaN for the shared-memory methods.
+func (r *Result) TotalTime() float64 {
+	if len(r.Clocks) == 0 {
+		return math.NaN()
+	}
+	return r.Clocks[len(r.Clocks)-1]
 }

@@ -20,7 +20,14 @@ type Workspace struct {
 	pool *vec.Pool
 	n    int
 
-	vecs    []vec.Vector
+	vecs []vec.Vector
+	// vecsN is the second, length-keyed arena (VecN): vectors whose
+	// length differs from the system order — the rows-length residual
+	// vectors of the rectangular least-squares kernels and the flat
+	// Hessenberg/Givens scratch of GMRES(m). Each index keeps whatever
+	// capacity its largest request needed, so warm repeated solves
+	// allocate nothing here either.
+	vecsN   []vec.Vector
 	history []float64
 	run     Run
 }
@@ -49,6 +56,23 @@ func (ws *Workspace) Vec(i int) vec.Vector {
 		ws.vecs = append(ws.vecs, vec.New(ws.n))
 	}
 	return ws.vecs[i]
+}
+
+// VecN returns the i-th vector of the length-keyed arena, sized to
+// length. Indices are independent of Vec's: VecN(0, m) and Vec(0) are
+// different storage. The same index keeps its capacity across solves
+// (growing only when a larger length is requested), so kernels that ask
+// for the same shapes every solve allocate nothing in steady state.
+// Contents persist between calls; kernels must initialize what they
+// read.
+func (ws *Workspace) VecN(i, length int) vec.Vector {
+	for len(ws.vecsN) <= i {
+		ws.vecsN = append(ws.vecsN, nil)
+	}
+	if cap(ws.vecsN[i]) < length {
+		ws.vecsN[i] = vec.New(length)
+	}
+	return ws.vecsN[i][:length]
 }
 
 // Reserve eagerly allocates the first count arena vectors, so a
@@ -91,6 +115,14 @@ func (ws *Workspace) FusedCGUpdate(alpha float64, p, ap, x, r vec.Vector) float6
 // supports pooled products.
 func (ws *Workspace) MatVec(a sparse.Matrix, dst, x vec.Vector) {
 	sparse.PooledMulVec(a, ws.pool, dst, x)
+}
+
+// MatVecT computes dst = Aᵀ*x on the workspace pool when the operator
+// supports pooled transpose products. Kernels obtain the operator from
+// Run.AT, which the driver populates only when the (pre-tuning)
+// operator supports transpose products at all.
+func (ws *Workspace) MatVecT(a sparse.TransposeMulVec, dst, x vec.Vector) {
+	sparse.PooledMulVecT(a, ws.pool, dst, x)
 }
 
 // ApplyPrecond computes dst = M^{-1} r, routing pointwise

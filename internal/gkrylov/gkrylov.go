@@ -1,0 +1,196 @@
+// Package gkrylov implements the general-operator Krylov kernels: the
+// methods that drop the SPD requirement every solver in internal/krylov
+// carries. BiCGStab and restarted GMRES(m) handle square nonsymmetric
+// systems; CGNR and LSQR solve least-squares problems min ||b - A x||
+// over rectangular operators through the sparse transpose-product path
+// (sparse.TransposeMulVec).
+//
+// Every method is an engine kernel (internal/engine) like the classic
+// iterations: the driver owns defaults, convergence, callbacks, and
+// history, while this package owns only the numerics. All vectors come
+// from the workspace arena — column-space vectors from Vec, row-space
+// and Hessenberg/Givens scratch from the length-keyed VecN arena — so a
+// warm repeated solve performs zero heap allocations, the property the
+// public solve.Session extends to these methods.
+//
+// Convergence semantics: BiCGStab and GMRES target the usual relative
+// residual ||b - A x|| <= tol*||b||. The least-squares methods
+// additionally stop at the normal-equations stationarity point
+// ||Aᵀ(b - A x)|| <= tol*||Aᵀb||, which is the correct exit for
+// inconsistent systems where ||r|| cannot reach the residual threshold.
+package gkrylov
+
+import (
+	"fmt"
+	"math"
+
+	"vrcg/internal/engine"
+	"vrcg/internal/vec"
+)
+
+// Re-exported sentinels, matching the internal/krylov convention.
+var (
+	ErrBreakdown           = engine.ErrBreakdown
+	ErrUnsupportedOperator = engine.ErrUnsupportedOperator
+)
+
+// initialIterate loads X0 (or zero) into x, publishes it as Res.X, and
+// forms the initial residual r = b - A x. r has the operator's row
+// count, x its column count; for square operators the two coincide.
+func initialIterate(run *engine.Run, x, r vec.Vector) {
+	if run.Cfg.X0 != nil {
+		vec.Copy(x, run.Cfg.X0)
+	} else {
+		vec.Zero(x)
+	}
+	run.Res.X = x
+	run.Ws.MatVec(run.A, r, x)
+	vec.Sub(r, run.B, r)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+}
+
+// trueResidualInto computes ||b - A x|| into scratch (row-space) and
+// publishes it, charging the matvec — the shared exit step.
+func trueResidualInto(r *engine.Run, scratch, x vec.Vector) {
+	r.Ws.MatVec(r.A, scratch, x)
+	vec.Sub(scratch, r.B, scratch)
+	r.Res.Stats.MatVecs++
+	r.Res.Stats.Flops += engine.MatVecFlops(r.A)
+	r.Res.TrueResidualNorm = vec.Norm2(scratch)
+}
+
+// matVecT computes dst = Aᵀ*x through the run's captured transpose
+// capability, charging it like a forward product.
+func matVecT(run *engine.Run, dst, x vec.Vector) {
+	run.Ws.MatVecT(run.AT, dst, x)
+	run.Res.Stats.MatVecs++
+	run.Res.Stats.Flops += engine.MatVecFlops(run.A)
+}
+
+// requireTranspose fails with ErrUnsupportedOperator when the operator
+// cannot apply its transpose (Run.AT is nil).
+func requireTranspose(run *engine.Run, method string) error {
+	if run.AT == nil {
+		return fmt.Errorf("gkrylov: %s needs transpose products but the operator does not implement sparse.TransposeMulVec: %w",
+			method, ErrUnsupportedOperator)
+	}
+	return nil
+}
+
+// bicgstabKernel is van der Vorst's stabilized bi-conjugate gradient
+// method for square nonsymmetric systems: two matvecs per iteration, no
+// transpose product, smooth residual decrease where plain BiCG
+// oscillates.
+type bicgstabKernel struct {
+	x, r, rhat, p, v, s, t vec.Vector
+	rho, alpha, omega      float64
+	rnorm                  float64
+}
+
+// NewBiCGStabKernel returns the bicgstab iteration kernel.
+func NewBiCGStabKernel() engine.Kernel { return &bicgstabKernel{} }
+
+func (k *bicgstabKernel) Name() string { return "bicgstab" }
+
+func (k *bicgstabKernel) Init(run *engine.Run) (float64, error) {
+	ws := run.Ws
+	k.x, k.r, k.rhat = ws.Vec(0), ws.Vec(1), ws.Vec(2)
+	k.p, k.v, k.s, k.t = ws.Vec(3), ws.Vec(4), ws.Vec(5), ws.Vec(6)
+	initialIterate(run, k.x, k.r)
+	vec.Copy(k.rhat, k.r)
+	vec.Zero(k.p)
+	vec.Zero(k.v)
+	k.rho, k.alpha, k.omega = 1, 1, 1
+	k.rnorm = vec.Norm2(k.r)
+	return k.rnorm, nil
+}
+
+func (k *bicgstabKernel) Residual(*engine.Run) float64 { return k.rnorm }
+
+func (k *bicgstabKernel) Step(run *engine.Run) error {
+	ws, res := run.Ws, run.Res
+	n := int64(ws.Dim())
+
+	rhoNew := ws.Dot(k.rhat, k.r)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if rhoNew == 0 || math.IsNaN(rhoNew) || math.IsInf(rhoNew, 0) {
+		return fmt.Errorf("gkrylov: (r̂,r) = %g at iteration %d: %w", rhoNew, res.Iterations, ErrBreakdown)
+	}
+	beta := (rhoNew / k.rho) * (k.alpha / k.omega)
+
+	// p = r + beta*(p - omega*v)
+	vec.Axpy(-k.omega, k.v, k.p)
+	ws.Xpay(k.r, beta, k.p)
+	res.Stats.VectorUpdates += 2
+	res.Stats.Flops += 4 * n
+
+	ws.MatVec(run.A, k.v, k.p)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	rhv := ws.Dot(k.rhat, k.v)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if rhv == 0 {
+		return fmt.Errorf("gkrylov: (r̂,Ap) vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	k.alpha = rhoNew / rhv
+
+	// s = r - alpha*v; the half-step iterate x + alpha*p may already
+	// satisfy the tolerance, in which case the second matvec is skipped.
+	vec.Copy(k.s, k.r)
+	vec.Axpy(-k.alpha, k.v, k.s)
+	res.Stats.VectorUpdates++
+	res.Stats.Flops += 2 * n
+	snorm := vec.Norm2(k.s)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if snorm <= run.Threshold {
+		ws.Axpy(k.alpha, k.p, k.x)
+		vec.Copy(k.r, k.s)
+		res.Stats.VectorUpdates++
+		res.Stats.Flops += 2 * n
+		k.rho = rhoNew
+		k.rnorm = snorm
+		run.Tick(k.rnorm)
+		run.Stop()
+		return nil
+	}
+
+	ws.MatVec(run.A, k.t, k.s)
+	res.Stats.MatVecs++
+	res.Stats.Flops += engine.MatVecFlops(run.A)
+
+	ts, tt := ws.DotPair(k.t, k.s, k.t)
+	res.Stats.InnerProducts += 2
+	res.Stats.Flops += 4 * n
+	if tt == 0 {
+		return fmt.Errorf("gkrylov: ||As|| vanished at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	k.omega = ts / tt
+	if k.omega == 0 || math.IsNaN(k.omega) || math.IsInf(k.omega, 0) {
+		return fmt.Errorf("gkrylov: stabilization weight %g at iteration %d: %w", k.omega, res.Iterations, ErrBreakdown)
+	}
+
+	// x += alpha*p + omega*s; r = s - omega*t.
+	ws.Axpy(k.alpha, k.p, k.x)
+	ws.Axpy(k.omega, k.s, k.x)
+	vec.Copy(k.r, k.s)
+	ws.Axpy(-k.omega, k.t, k.r)
+	res.Stats.VectorUpdates += 3
+	res.Stats.Flops += 6 * n
+
+	k.rho = rhoNew
+	k.rnorm = vec.Norm2(k.r)
+	res.Stats.InnerProducts++
+	res.Stats.Flops += 2 * n
+	if math.IsNaN(k.rnorm) || math.IsInf(k.rnorm, 0) {
+		return fmt.Errorf("gkrylov: non-finite residual at iteration %d: %w", res.Iterations, ErrBreakdown)
+	}
+	run.Tick(k.rnorm)
+	return nil
+}
+
+func (k *bicgstabKernel) Finish(run *engine.Run) { trueResidualInto(run, k.t, k.x) }

@@ -41,6 +41,11 @@ var ErrBreakdown = engine.ErrBreakdown
 // regardless of the method.
 var ErrBadOption = engine.ErrBadOption
 
+// ErrUnsupportedOperator is returned when a method needs an operator
+// capability the supplied type lacks (the normal-equations methods need
+// transpose products, sparse.TransposeMulVec).
+var ErrUnsupportedOperator = engine.ErrUnsupportedOperator
+
 // ErrDim reports a dimension mismatch between an operator and a vector.
 var ErrDim = sparse.ErrDim
 

@@ -3,73 +3,29 @@ package parcg
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"vrcg/internal/collective"
+	"vrcg/internal/engine"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
-	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// Result reports a distributed solve: the solution, convergence data,
-// and the simulated parallel-time trajectory.
-type Result struct {
-	// X is the gathered solution vector.
-	X vec.Vector
-	// Iterations performed.
-	Iterations int
-	// Converged reports whether the tolerance was met.
-	Converged bool
-	// ResidualNorm is the final recursive residual norm.
-	ResidualNorm float64
-	// IterClocks[i] is the machine MaxClock after iteration i+1 — the
-	// parallel-time trajectory whose slope is the per-iteration time.
-	IterClocks []float64
-	// Machine stats at exit.
-	Stats machine.Stats
-}
+// Result is the canonical engine result: a distributed solve populates
+// X, Iterations, Converged, ResidualNorm, and the machine-model fields
+// Clocks (the parallel-time trajectory whose slope PerIterTime reads)
+// and Machine (communication totals). This used to be a private copy;
+// aliasing it to engine.Result removed the last per-package Result type.
+type Result = engine.Result
 
-// PerIterTime estimates the steady-state parallel time per iteration as
-// the median clock increment after the start-up transient. The median is
-// exact for the uniform trajectories of CG and pipelined CG, and for the
-// recurrence methods it is robust to the occasional drift-fallback
-// iteration (a blocking reduction or emergency re-anchor) that would
-// contaminate a mean — those artifacts are finite-precision repairs, not
-// part of the algorithm's schedule.
-func (r *Result) PerIterTime() float64 {
-	n := len(r.IterClocks)
-	if n < 2 {
-		return math.NaN()
-	}
-	skip := n / 4
-	if skip < 1 {
-		skip = 1
-	}
-	deltas := make([]float64, 0, n-skip)
-	for i := skip; i < n; i++ {
-		deltas = append(deltas, r.IterClocks[i]-r.IterClocks[i-1])
-	}
-	sort.Float64s(deltas)
-	m := len(deltas)
-	if m == 0 {
-		return math.NaN()
-	}
-	if m%2 == 1 {
-		return deltas[m/2]
-	}
-	return 0.5 * (deltas[m/2-1] + deltas[m/2])
-}
+// Options is the canonical engine config; only Tol and MaxIter apply to
+// the simulated-machine solvers, with different defaults (see
+// withDefaults) because the machine model predates the engine's.
+type Options = engine.Config
 
-// Options configures a distributed solve.
-type Options struct {
-	// Tol is the relative residual tolerance (default 1e-8).
-	Tol float64
-	// MaxIter bounds iterations (default 2n).
-	MaxIter int
-}
-
-func (o Options) withDefaults(n int) Options {
+// withDefaults applies the machine-model defaults (Tol 1e-8, MaxIter
+// 2n) — a free function because methods cannot hang off a type alias.
+func withDefaults(o Options, n int) Options {
 	if o.Tol == 0 {
 		o.Tol = 1e-8
 	}
@@ -85,7 +41,7 @@ func (o Options) withDefaults(n int) Options {
 // sets out to remove.
 func CG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error) {
 	n := dm.Dim()
-	o = o.withDefaults(n)
+	o = withDefaults(o, n)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
 		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
@@ -125,14 +81,14 @@ func CG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error)
 		Xpay(m, r, alpha, pv)
 		rr = rrNew
 		res.Iterations++
-		res.IterClocks = append(res.IterClocks, m.MaxClock())
+		res.Clocks = append(res.Clocks, m.MaxClock())
 	}
 	if math.Sqrt(rr) <= threshold {
 		res.Converged = true
 	}
 	res.ResidualNorm = math.Sqrt(rr)
 	res.X = x.Gather()
-	res.Stats = m.Stats()
+	res.Machine = m.Stats()
 	return res, nil
 }
 
@@ -160,7 +116,7 @@ func scalarAll(m *machine.Machine, flops int) {
 //	x += alpha p;  r -= alpha s;  w -= alpha q
 func PipeCG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, error) {
 	n := dm.Dim()
-	o = o.withDefaults(n)
+	o = withDefaults(o, n)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
 		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
@@ -238,7 +194,7 @@ func PipeCG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, er
 		gammaOld, alphaOld = gamma, alpha
 		h = issue()
 		res.Iterations++
-		res.IterClocks = append(res.IterClocks, m.MaxClock())
+		res.Clocks = append(res.Clocks, m.MaxClock())
 	}
 	if !res.Converged {
 		vals := h.WaitAll(m)
@@ -248,6 +204,6 @@ func PipeCG(m *machine.Machine, dm *DistMatrix, b *Dist, o Options) (*Result, er
 		}
 	}
 	res.X = x.Gather()
-	res.Stats = m.Stats()
+	res.Machine = m.Stats()
 	return res, nil
 }

@@ -332,7 +332,7 @@ func TestBlockingVsPipelinedAnchors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.IterClocks[len(res.IterClocks)-1], res.Iterations
+		return res.Clocks[len(res.Clocks)-1], res.Iterations
 	}
 	pipelined, itP := total(false)
 	blocking, itB := total(true)
@@ -367,7 +367,7 @@ func TestVRCGBadK(t *testing.T) {
 
 func TestResultPerIterTime(t *testing.T) {
 	// Uniform increments: any window gives the increment.
-	r := &Result{IterClocks: []float64{10, 20, 30, 40, 50, 60, 70, 80}}
+	r := &Result{Clocks: []float64{10, 20, 30, 40, 50, 60, 70, 80}}
 	if got := r.PerIterTime(); math.Abs(got-10) > 1e-12 {
 		t.Fatalf("PerIterTime = %v, want 10", got)
 	}

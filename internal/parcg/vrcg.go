@@ -92,7 +92,7 @@ func AutoK(cfg machine.Config, dm *DistMatrix, maxK int) int {
 // path, the paper's headline result.
 func VRCG(m *machine.Machine, dm *DistMatrix, b *Dist, o VROptions) (*Result, error) {
 	n := dm.Dim()
-	o.Options = o.Options.withDefaults(n)
+	o.Options = withDefaults(o.Options, n)
 	p := dm.P()
 	if m.P() != p || b.Parts() != p {
 		return nil, fmt.Errorf("parcg: machine P=%d but partition P=%d, rhs parts=%d: %w",
@@ -267,7 +267,7 @@ func VRCG(m *machine.Machine, dm *DistMatrix, b *Dist, o VROptions) (*Result, er
 
 		rr = rrNew
 		res.Iterations++
-		res.IterClocks = append(res.IterClocks, m.MaxClock())
+		res.Clocks = append(res.Clocks, m.MaxClock())
 	}
 	// The recurrence value may have drifted; report convergence from one
 	// final direct reduction.
@@ -275,6 +275,6 @@ func VRCG(m *machine.Machine, dm *DistMatrix, b *Dist, o VROptions) (*Result, er
 	res.Converged = math.Sqrt(math.Max(rr, 0)) <= threshold
 	res.ResidualNorm = math.Sqrt(math.Max(rr, 0))
 	res.X = x.Gather()
-	res.Stats = m.Stats()
+	res.Machine = m.Stats()
 	return res, nil
 }

@@ -1,0 +1,130 @@
+// Benchmarks for the warm-started sequence tier, persisted by
+// `make bench` into BENCH_sequence.json: the iterations-per-step and
+// time-per-step gap between cold solves (fresh start every time) and a
+// solve.Sequence stepping through a slowly drifting chain of systems —
+// the outer-optimization-loop regime /v1/sequence serves.
+//
+// Run:  go test -bench=Sequence -benchmem
+package vrcg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// BenchmarkSequenceColdVsWarm pins the warm-start payoff: "cold" pays a
+// full from-zero CG solve per step, "warm" reuses the previous solution
+// as the initial guess while the right-hand side drifts by ~1e-6 per
+// step (an outer loop near its fixed point). The iters/step metric is
+// the comparison that matters — warm steps must land strictly below
+// cold ones.
+func BenchmarkSequenceColdVsWarm(b *testing.B) {
+	a, rhs := benchSystem(32)
+
+	b.Run("cold", func(b *testing.B) {
+		q, err := solve.NewSequence("cg", a, solve.WithTol(1e-8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Reset() // forget the previous solution: every step is cold
+			res, err := q.Step(rhs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += res.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/step")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		q, err := solve.NewSequence("cg", a, solve.WithTol(1e-8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the sequence: the cold first step is the setup cost the
+		// warm regime amortizes, not part of the per-step measurement.
+		if _, err := q.Step(rhs); err != nil {
+			b.Fatal(err)
+		}
+		drift := append([]float64(nil), rhs...)
+		iters := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scale := 1 + 1e-6*float64(i%7+1)
+			for j := range drift {
+				drift[j] = rhs[j] * scale
+			}
+			res, err := q.Step(drift)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += res.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/step")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+	})
+}
+
+// BenchmarkSequenceICPShaped is the registration workload the tier was
+// built for (examples/icp over HTTP, here at the library layer): a tall
+// skinny m×6 least-squares Jacobian whose values drift a little every
+// outer iteration, re-solved by a warm LSQR sequence with in-place
+// value updates. "cold" resets the sequence every step for the
+// comparison baseline.
+func BenchmarkSequenceICPShaped(b *testing.B) {
+	const rows, cols = 400, 6
+	rng := rand.New(rand.NewSource(11))
+	base := make([]float64, rows*cols)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	a := sparse.RectFromDense(rows, cols, base)
+	rhs := make([]float64, rows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	vals := append([]float64(nil), a.Values()...)
+
+	run := func(b *testing.B, cold bool) {
+		q, err := solve.NewSequence("lsqr", a, solve.WithTol(1e-10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Step(rhs); err != nil {
+			b.Fatal(err)
+		}
+		iters := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drift := 1 + 1e-8*float64(i%5+1)
+			for j := range vals {
+				vals[j] = base[j] * drift
+			}
+			if err := q.UpdateValues(vals); err != nil {
+				b.Fatal(err)
+			}
+			if cold {
+				q.Reset()
+			}
+			res, err := q.Step(rhs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters += res.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/step")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+	b.Run("warm", func(b *testing.B) { run(b, false) })
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vrcg/solve"
+	"vrcg/sparse"
 )
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -47,15 +48,13 @@ func (s *Server) handleOperatorUpload(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	m, err := req.Matrix.DecodeLimited(s.cfg.MaxOrder)
+	m, err := req.Matrix.DecodeGeneralLimited(s.cfg.MaxOrder)
 	if err != nil {
 		status, code := errorStatus(err)
 		writeError(w, status, code, err.Error())
 		return
 	}
-	if p := s.cfg.EnginePool; p != nil && p.Workers() > 1 {
-		m.RowPartition(p.Workers())
-	}
+	prewarmPartition(m, s.cfg.EnginePool)
 	entry, evicted, err := s.store.put(req.Name, m)
 	if err != nil {
 		status, code := errorStatus(err)
@@ -66,6 +65,18 @@ func (s *Server) handleOperatorUpload(w http.ResponseWriter, r *http.Request) {
 		s.pools.dropOperator(e)
 	}
 	writeJSON(w, http.StatusCreated, entry.info)
+}
+
+// prewarmPartition precomputes the nnz-balanced row partition for the
+// engine pool on operators that cache one, so the first pooled SpMV
+// against a fresh upload does no partitioning work.
+func prewarmPartition(m sparse.Matrix, p *sparse.Pool) {
+	if p == nil || p.Workers() <= 1 {
+		return
+	}
+	if rp, ok := m.(interface{ RowPartition(int) []int }); ok {
+		rp.RowPartition(p.Workers())
+	}
 }
 
 // handleOperatorList is GET /v1/operators.
@@ -95,12 +106,18 @@ func (s *Server) solveSetup(w http.ResponseWriter, operator, method string, para
 		writeError(w, status, code, err.Error())
 		return nil, nil
 	}
+	if err := checkMethodShape(method, op); err != nil {
+		s.store.release(op)
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return nil, nil
+	}
 	for i, n := range rhsLens {
-		if n != op.info.N {
+		if n != op.info.Rows {
 			s.store.release(op)
 			writeError(w, http.StatusBadRequest, codeDimMismatch,
-				fmt.Sprintf("rhs %d has length %d but operator %q has order %d",
-					i, n, op.info.ID, op.info.N))
+				fmt.Sprintf("rhs %d has length %d but operator %q has %d rows",
+					i, n, op.info.ID, op.info.Rows))
 			return nil, nil
 		}
 	}
@@ -112,6 +129,22 @@ func (s *Server) solveSetup(w http.ResponseWriter, operator, method string, para
 		return nil, nil
 	}
 	return op, pool
+}
+
+// checkMethodShape rejects operator shapes the method cannot run on,
+// keyed off the registry's capability flags. Rectangular operators need
+// a least-squares method; everything square stays permissive (symmetry
+// is the client's claim to make, as before). Unknown methods pass —
+// pool construction reports ErrUnknownMethod with the better message.
+func checkMethodShape(method string, op *storedOperator) error {
+	if op.info.Rows == op.info.Cols {
+		return nil
+	}
+	if !solve.MethodCaps(method).Rectangular {
+		return fmt.Errorf("server: method %q requires a square operator but %q is %dx%d: %w",
+			method, op.info.ID, op.info.Rows, op.info.Cols, solve.ErrUnsupportedOperator)
+	}
+	return nil
 }
 
 // handleSolve is POST /v1/solve: one right-hand side through a warm
@@ -277,7 +310,13 @@ func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 	names := solve.Methods()
 	out := MethodList{Methods: make([]MethodInfo, len(names))}
 	for i, name := range names {
-		out.Methods[i] = MethodInfo{Name: name, Summary: solve.Summary(name)}
+		caps := solve.MethodCaps(name)
+		out.Methods[i] = MethodInfo{
+			Name:         name,
+			Summary:      solve.Summary(name),
+			Nonsymmetric: caps.Nonsymmetric,
+			Rectangular:  caps.Rectangular,
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -294,6 +333,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.met.snapshot()
 	snap.SessionPools = s.pools.stats()
+	if snap.Sequences != nil {
+		snap.Sequences.Open = s.seqs.count()
+	}
 	snap.Operators = operatorGauges{Count: s.store.len(), Capacity: s.cfg.MaxOperators}
 	if c := s.cfg.Cluster; c != nil {
 		cs := c.Metrics()

@@ -20,6 +20,14 @@ type metrics struct {
 	statuses     map[int]uint64    // HTTP status → count
 	latency      map[string]*histogram
 	queueRejects uint64
+
+	// Sequence bookkeeping: lifecycle counters and iterations-per-step
+	// histograms split cold (first step) vs warm (warm-started), so the
+	// warm-start payoff is observable straight off /metrics.
+	seqCreated uint64
+	seqReused  uint64
+	seqClosed  uint64
+	seqSteps   map[string]*histogram // "cold" | "warm" → iterations
 }
 
 func newMetrics() *metrics {
@@ -28,6 +36,7 @@ func newMetrics() *metrics {
 		requests: make(map[string]uint64),
 		statuses: make(map[int]uint64),
 		latency:  make(map[string]*histogram),
+		seqSteps: make(map[string]*histogram),
 	}
 }
 
@@ -56,6 +65,39 @@ func (m *metrics) observeQueueReject() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) observeSequenceCreate(reused bool) {
+	m.mu.Lock()
+	m.seqCreated++
+	if reused {
+		m.seqReused++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeSequenceClose() {
+	m.mu.Lock()
+	m.seqClosed++
+	m.mu.Unlock()
+}
+
+// observeSequenceStep records one step's iteration count under its
+// temperature ("cold" for the first step, "warm" for warm-started
+// ones).
+func (m *metrics) observeSequenceStep(warm bool, iterations int) {
+	key := "cold"
+	if warm {
+		key = "warm"
+	}
+	m.mu.Lock()
+	h := m.seqSteps[key]
+	if h == nil {
+		h = newHistogramWith(iterationBuckets)
+		m.seqSteps[key] = h
+	}
+	h.observe(float64(iterations))
+	m.mu.Unlock()
+}
+
 // metricsSnapshot is the JSON shape of GET /metrics.
 type metricsSnapshot struct {
 	UptimeS      float64                      `json:"uptime_s"`
@@ -65,6 +107,8 @@ type metricsSnapshot struct {
 	SolveLatency map[string]histogramSnapshot `json:"solve_latency_ms"`
 	SessionPools poolStats                    `json:"session_pools"`
 	Operators    operatorGauges               `json:"operators"`
+	// Sequences is present once any /v1/sequence activity happened.
+	Sequences *sequenceMetrics `json:"sequences,omitempty"`
 	// Cluster is the coordinator's fleet-aggregated view (membership,
 	// solve counters, per-method per-phase iteration latency) when the
 	// server fronts a distributed tier; absent otherwise.
@@ -74,6 +118,19 @@ type metricsSnapshot struct {
 type operatorGauges struct {
 	Count    int `json:"count"`
 	Capacity int `json:"capacity"`
+}
+
+// sequenceMetrics is the /metrics block for the warm-start sequence
+// tier: lifecycle counters plus iterations-per-step histograms keyed
+// "cold" and "warm" — warm steps landing in strictly lower buckets is
+// the observable warm-start payoff.
+type sequenceMetrics struct {
+	Created uint64 `json:"created"`
+	Reused  uint64 `json:"reused"`
+	Closed  uint64 `json:"closed"`
+	Open    int    `json:"open"`
+
+	StepIterations map[string]histogramSnapshot `json:"step_iterations"`
 }
 
 func (m *metrics) snapshot() metricsSnapshot {
@@ -95,6 +152,18 @@ func (m *metrics) snapshot() metricsSnapshot {
 	for k, h := range m.latency {
 		snap.SolveLatency[k] = h.snapshot()
 	}
+	if m.seqCreated > 0 || len(m.seqSteps) > 0 {
+		sm := &sequenceMetrics{
+			Created:        m.seqCreated,
+			Reused:         m.seqReused,
+			Closed:         m.seqClosed,
+			StepIterations: make(map[string]histogramSnapshot, len(m.seqSteps)),
+		}
+		for k, h := range m.seqSteps {
+			sm.StepIterations[k] = h.snapshot()
+		}
+		snap.Sequences = sm
+	}
 	return snap
 }
 
@@ -103,21 +172,31 @@ func (m *metrics) snapshot() metricsSnapshot {
 // multi-second cold ones.
 var latencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
-// histogram is a fixed-bucket latency histogram. Guarded by metrics.mu.
+// iterationBuckets bound the sequence iterations-per-step histograms: a
+// warm-started step on a converged outer loop lands in the lowest
+// buckets while a cold start lands by problem difficulty.
+var iterationBuckets = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// histogram is a fixed-bucket histogram over arbitrary upper bounds
+// (latency in milliseconds, iteration counts, ...). Guarded by
+// metrics.mu.
 type histogram struct {
-	counts []uint64 // len(latencyBuckets)+1; last is +Inf
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
 	count  uint64
 	sumMS  float64
 	maxMS  float64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+func newHistogram() *histogram { return newHistogramWith(latencyBuckets) }
+
+func newHistogramWith(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
 func (h *histogram) observe(ms float64) {
 	i := 0
-	for i < len(latencyBuckets) && ms > latencyBuckets[i] {
+	for i < len(h.bounds) && ms > h.bounds[i] {
 		i++
 	}
 	h.counts[i]++
@@ -152,8 +231,8 @@ func (h *histogram) snapshot() histogramSnapshot {
 	for i, c := range h.counts {
 		cum += c
 		key := "+Inf"
-		if i < len(latencyBuckets) {
-			key = formatBound(latencyBuckets[i])
+		if i < len(h.bounds) {
+			key = formatBound(h.bounds[i])
 		}
 		snap.Buckets[key] = cum
 	}

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// This file is the /v1/sequence endpoint set: server-side warm-started
+// solve sequences for outer optimization loops (ICP-style registration,
+// trust-region updates) that solve a chain of closely-related systems.
+// Each sequence owns a private copy of the stored operator's values, so
+// its in-place updates (rescale, value replacement) never leak into
+// concurrent solves against the shared stored operator, and wraps a
+// solve.Sequence whose session workspaces persist across steps — the
+// per-step cost is the iteration work, not setup.
+
+// serverSequence is one live (or free-listed) sequence.
+type serverSequence struct {
+	id   string
+	key  string // shape key: operator gen + method + precond + params
+	info SequenceInfo
+
+	// op stays pinned in the store for the sequence's lifetime, so the
+	// operator it cloned cannot be evicted-and-replaced underneath the
+	// ids a client holds.
+	op *storedOperator
+	q  *solve.Sequence
+
+	// mu serializes steps (a solve.Sequence is single-threaded); close
+	// takes it too, so an in-flight step finishes before teardown.
+	mu sync.Mutex
+	// dirty marks sequences whose private operator values were mutated;
+	// they no longer match the stored operator and cannot be reused.
+	dirty bool
+	// base indexes the first step of the current incarnation inside
+	// q.Steps(), so a reused sequence reports only its own history.
+	base int
+}
+
+// steps returns this incarnation's per-step iteration counts.
+func (sq *serverSequence) steps() []int {
+	all := sq.q.Steps()
+	return append([]int(nil), all[sq.base:]...)
+}
+
+// sequenceRegistry tracks open sequences by id and keeps a bounded
+// free list of closed, clean ones keyed by shape, so a client loop that
+// opens and closes sequences of one shape keeps hitting hot session
+// workspaces.
+type sequenceRegistry struct {
+	mu   sync.Mutex
+	max  int
+	seq  int
+	open map[string]*serverSequence
+	free map[string][]*serverSequence
+}
+
+// maxFreePerShape bounds the free list per shape key; beyond it closed
+// sequences are simply dropped.
+const maxFreePerShape = 4
+
+func newSequenceRegistry(max int) *sequenceRegistry {
+	return &sequenceRegistry{
+		max:  max,
+		open: make(map[string]*serverSequence),
+		free: make(map[string][]*serverSequence),
+	}
+}
+
+func (r *sequenceRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// take pops a clean free-listed sequence of the given shape, or nil.
+func (r *sequenceRegistry) take(key string) *serverSequence {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.free[key]
+	if len(list) == 0 {
+		return nil
+	}
+	sq := list[len(list)-1]
+	r.free[key] = list[:len(list)-1]
+	return sq
+}
+
+// admit registers a sequence under a fresh id; errTooManySequences past
+// the cap.
+func (r *sequenceRegistry) admit(sq *serverSequence) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.open) >= r.max {
+		return fmt.Errorf("%w: %d open (cap %d); close one or raise MaxSequences",
+			errTooManySequences, len(r.open), r.max)
+	}
+	r.seq++
+	sq.id = fmt.Sprintf("seq-%d", r.seq)
+	sq.info.ID = sq.id
+	r.open[sq.id] = sq
+	return nil
+}
+
+func (r *sequenceRegistry) get(id string) (*serverSequence, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sq, ok := r.open[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownSequence, id)
+	}
+	return sq, nil
+}
+
+// remove unregisters an open sequence (close's first half).
+func (r *sequenceRegistry) remove(id string) (*serverSequence, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sq, ok := r.open[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownSequence, id)
+	}
+	delete(r.open, id)
+	return sq, nil
+}
+
+// park returns a clean closed sequence to the free list; full lists
+// drop it. Shape keys are client-controlled, so the whole free pool is
+// also bounded by the open-sequence cap to keep a key-spraying client
+// from growing server memory.
+func (r *sequenceRegistry) park(sq *serverSequence) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.free[sq.key]) >= maxFreePerShape {
+		return false
+	}
+	total := 0
+	for _, list := range r.free {
+		total += len(list)
+	}
+	if total >= r.max {
+		return false
+	}
+	r.free[sq.key] = append(r.free[sq.key], sq)
+	return true
+}
+
+// clonePrivate copies the stored operator's values into a
+// sequence-private matrix sharing the immutable structure. Both server
+// matrix types support it.
+func clonePrivate(m sparse.Matrix) (sparse.Matrix, error) {
+	switch t := m.(type) {
+	case *sparse.CSR:
+		return t.CloneValues(), nil
+	case *sparse.Rect:
+		return t.CloneValues(), nil
+	}
+	return nil, fmt.Errorf("server: operator type %T cannot back a sequence: %w", m, solve.ErrUnsupportedOperator)
+}
+
+// handleSequenceCreate is POST /v1/sequence.
+func (s *Server) handleSequenceCreate(w http.ResponseWriter, r *http.Request) {
+	var req SequenceCreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Method == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing method")
+		return
+	}
+	if err := req.Params.Validate(); err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	op, err := s.store.acquire(req.Operator)
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	if err := checkMethodShape(req.Method, op); err != nil {
+		s.store.release(op)
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+
+	key := poolKey(op, req.Method, req.Precond, req.Params)
+	reused := false
+	sq := s.seqs.take(key)
+	if sq != nil {
+		// Free-listed sequences are clean (values == stored operator) and
+		// keyed on the store generation, so the revived workspace is
+		// exactly what a fresh build would produce — minus the setup.
+		reused = true
+		sq.q.Reset()
+		sq.base = len(sq.q.Steps())
+		sq.op = op // fresh pin
+	} else {
+		sq, err = s.buildSequence(op, key, req.Method, req.Precond, req.Params)
+		if err != nil {
+			s.store.release(op)
+			status, code := errorStatus(err)
+			writeError(w, status, code, err.Error())
+			return
+		}
+	}
+	if err := s.seqs.admit(sq); err != nil {
+		s.store.release(op)
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	sq.info.Reused = reused
+	s.met.observeSequenceCreate(reused)
+	writeJSON(w, http.StatusCreated, sq.info)
+}
+
+// buildSequence constructs a fresh sequence: private operator clone,
+// options from the params, preconditioner if requested.
+func (s *Server) buildSequence(op *storedOperator, key, method, precondName string, params *solve.Params) (*serverSequence, error) {
+	private, err := clonePrivate(op.matrix)
+	if err != nil {
+		return nil, err
+	}
+	opts := params.Options()
+	if p := s.cfg.EnginePool; p != nil {
+		opts = append(opts, solve.WithPool(p))
+	}
+	if precondName != "" {
+		csr, ok := private.(*sparse.CSR)
+		if !ok {
+			return nil, fmt.Errorf("server: precond %q requires a square operator but %q is rectangular: %w",
+				precondName, op.info.ID, solve.ErrBadOption)
+		}
+		m, err := buildPrecond(precondName, csr)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, solve.WithPreconditioner(m))
+	}
+	q, err := solve.NewSequence(method, private, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &serverSequence{
+		key: key,
+		op:  op,
+		q:   q,
+		info: SequenceInfo{
+			Operator: op.info.ID,
+			Method:   method,
+			Rows:     op.info.Rows,
+			Cols:     op.info.Cols,
+		},
+	}, nil
+}
+
+// handleSequenceStep is POST /v1/sequence/{id}/step: optional in-place
+// operator update, then one warm-started solve.
+func (s *Server) handleSequenceStep(w http.ResponseWriter, r *http.Request) {
+	sq, err := s.seqs.get(r.PathValue("id"))
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	var req SequenceStepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.RHS) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing rhs")
+		return
+	}
+	if len(req.RHS) != sq.info.Rows {
+		writeError(w, http.StatusBadRequest, codeDimMismatch,
+			fmt.Sprintf("rhs has length %d but sequence %q expects %d rows", len(req.RHS), sq.id, sq.info.Rows))
+		return
+	}
+
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.acquireSlot(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+
+	// Operator updates first, so the solve runs against the new system.
+	if req.Rescale != nil {
+		if err := sq.q.Rescale(*req.Rescale); err != nil {
+			status, code := errorStatus(err)
+			writeError(w, status, code, err.Error())
+			return
+		}
+		sq.dirty = true
+	}
+	if req.Vals != nil {
+		if err := sq.q.UpdateValues(req.Vals); err != nil {
+			status, code := errorStatus(err)
+			writeError(w, status, code, err.Error())
+			return
+		}
+		sq.dirty = true
+	}
+
+	warm := sq.q.Warm()
+	start := time.Now()
+	res, err := sq.q.Step(req.RHS)
+	s.met.observeSolve(sq.info.Method+"/sequence", time.Since(start))
+	if res != nil {
+		s.met.observeSequenceStep(warm, res.Iterations)
+	}
+	resp := SequenceStepResponse{
+		WireResult: wireResult(res, err),
+		Step:       len(sq.q.Steps()) - 1 - sq.base,
+		Warm:       warm,
+	}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, solve.ErrNotConverged):
+		// Usable partial result, and it still seeds the next warm start.
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	default:
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+	}
+}
+
+// handleSequenceClose is DELETE /v1/sequence/{id}: report the step
+// history, unpin the operator, and park the sequence for reuse when its
+// operator values were never mutated.
+func (s *Server) handleSequenceClose(w http.ResponseWriter, r *http.Request) {
+	sq, err := s.seqs.remove(r.PathValue("id"))
+	if err != nil {
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	sq.mu.Lock() // wait out an in-flight step
+	steps := sq.steps()
+	id := sq.id
+	s.store.release(sq.op)
+	sq.op = nil
+	if !sq.dirty {
+		s.seqs.park(sq)
+	}
+	sq.mu.Unlock()
+	s.met.observeSequenceClose()
+	writeJSON(w, http.StatusOK, SequenceCloseResponse{ID: id, Steps: steps})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +32,12 @@ type Config struct {
 	// spraying unique shapes; the oldest pools are dropped past it.
 	// Default: 64.
 	MaxSessionPools int
+	// MaxSequences caps concurrently open /v1/sequence sessions; past
+	// it, creates are rejected with 429 until one closes. Each open
+	// sequence pins its operator and owns a private value copy plus
+	// solver workspaces, so the cap is what bounds that memory.
+	// Default: 64.
+	MaxSequences int
 	// DefaultTimeout bounds each solve; a request's timeout_ms can
 	// shorten it but not extend it. Default: 30s.
 	DefaultTimeout time.Duration
@@ -69,6 +76,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessionPools <= 0 {
 		c.MaxSessionPools = 64
 	}
+	if c.MaxSequences <= 0 {
+		c.MaxSequences = 64
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -89,6 +99,7 @@ type Server struct {
 	cfg   Config
 	store *operatorStore
 	pools *sessionPools
+	seqs  *sequenceRegistry
 	met   *metrics
 
 	// admit bounds admitted solve requests (running + waiting); a full
@@ -115,6 +126,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		store: newOperatorStore(cfg.MaxOperators),
 		pools: newSessionPools(cfg.EnginePool, cfg.MaxSessionPools),
+		seqs:  newSequenceRegistry(cfg.MaxSequences),
 		met:   newMetrics(),
 		admit: make(chan struct{}, cfg.MaxConcurrent+cfg.MaxQueue),
 		run:   make(chan struct{}, cfg.MaxConcurrent),
@@ -124,6 +136,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/operators", s.handleOperatorList)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/sequence", s.handleSequenceCreate)
+	s.mux.HandleFunc("POST /v1/sequence/{id}/step", s.handleSequenceStep)
+	s.mux.HandleFunc("DELETE /v1/sequence/{id}", s.handleSequenceClose)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	s.mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
 	s.mux.HandleFunc("POST /v1/cluster/operators", s.handleClusterUpload)
@@ -185,9 +200,13 @@ func routeLabel(path string) string {
 		"/v1/cluster/workers", "/v1/cluster/operators", "/v1/cluster/solve",
 		"/healthz", "/metrics":
 		return path
-	default:
-		return "other"
 	}
+	// The sequence ids are client-visible path segments; collapse them
+	// so the metrics maps stay bounded.
+	if path == "/v1/sequence" || strings.HasPrefix(path, "/v1/sequence/") {
+		return "/v1/sequence"
+	}
+	return "other"
 }
 
 // statusRecorder captures the response status for metrics.
@@ -243,10 +262,8 @@ func (s *Server) solveContext(r *http.Request, timeoutMS int) (context.Context, 
 // Preload installs an operator directly (no HTTP round-trip), under
 // the given id — the embedding path cmd/cgserve's -preload flag and
 // tests use. It follows the same store semantics as POST /v1/operators.
-func (s *Server) Preload(name string, m *sparse.CSR) error {
-	if p := s.cfg.EnginePool; p != nil && p.Workers() > 1 {
-		m.RowPartition(p.Workers())
-	}
+func (s *Server) Preload(name string, m sparse.Matrix) error {
+	prewarmPartition(m, s.cfg.EnginePool)
 	_, evicted, err := s.store.put(name, m)
 	for _, e := range evicted {
 		s.pools.dropOperator(e)

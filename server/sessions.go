@@ -117,7 +117,14 @@ func (sp *sessionPools) build(op *storedOperator, method, precondName string, pa
 		opts = append(opts, solve.WithPool(sp.enginePool))
 	}
 	if precondName != "" {
-		m, err := buildPrecond(precondName, op.matrix)
+		// Preconditioner construction needs the square CSR form; a
+		// rectangular operator has no meaningful M ≈ A⁻¹.
+		csr, ok := op.matrix.(*sparse.CSR)
+		if !ok {
+			return nil, fmt.Errorf("server: precond %q requires a square operator but %q is rectangular: %w",
+				precondName, op.info.ID, solve.ErrBadOption)
+		}
+		m, err := buildPrecond(precondName, csr)
 		if err != nil {
 			return nil, err
 		}

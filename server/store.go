@@ -30,8 +30,12 @@ type operatorStore struct {
 
 // storedOperator is one resident operator plus its bookkeeping.
 type storedOperator struct {
-	info   OperatorInfo
-	matrix *sparse.CSR
+	info OperatorInfo
+	// matrix is *sparse.CSR for square uploads and *sparse.Rect for
+	// rectangular (least-squares) ones; per-method shape requirements
+	// are enforced at solve time against the registry's capability
+	// flags, not here.
+	matrix sparse.Matrix
 	// gen is unique across the store's lifetime: a re-upload under a
 	// previously used name gets a fresh generation, so caches keyed on
 	// (id, gen) can never serve state built for an earlier matrix.
@@ -70,7 +74,7 @@ func validateOperatorName(name string) error {
 // entry and the entries evicted to make room. Eviction only considers
 // operators with no active references; when everything is pinned the
 // store temporarily exceeds capacity rather than failing uploads.
-func (st *operatorStore) put(name string, m *sparse.CSR) (*storedOperator, []*storedOperator, error) {
+func (st *operatorStore) put(name string, m sparse.Matrix) (*storedOperator, []*storedOperator, error) {
 	if err := validateOperatorName(name); err != nil {
 		return nil, nil, err
 	}
@@ -90,16 +94,23 @@ func (st *operatorStore) put(name string, m *sparse.CSR) (*storedOperator, []*st
 		return nil, nil, fmt.Errorf("%w: %q", errOperatorExists, name)
 	}
 	st.gen++
+	rows, cols := sparse.Dims(m)
 	e := &storedOperator{
 		info: OperatorInfo{
-			ID:             name,
-			N:              m.Dim(),
-			NNZ:            m.NNZ(),
-			MaxRowNonzeros: m.MaxRowNonzeros(),
-			Symmetric:      m.IsSymmetric(1e-12),
+			ID:   name,
+			N:    rows, // rows, for compatibility with square-era clients
+			Rows: rows,
+			Cols: cols,
 		},
 		matrix: m,
 		gen:    st.gen,
+	}
+	if sp, ok := m.(sparse.Sparse); ok {
+		e.info.NNZ = sp.NNZ()
+		e.info.MaxRowNonzeros = sp.MaxRowNonzeros()
+	}
+	if csr, ok := m.(*sparse.CSR); ok {
+		e.info.Symmetric = csr.IsSymmetric(1e-12)
 	}
 	e.elem = st.lru.PushFront(e)
 	st.entries[name] = e

@@ -27,11 +27,15 @@ type OperatorUpload struct {
 // OperatorInfo describes one stored operator (POST/GET /v1/operators
 // responses).
 type OperatorInfo struct {
-	ID             string `json:"id"`
-	N              int    `json:"n"`
-	NNZ            int    `json:"nnz"`
-	MaxRowNonzeros int    `json:"max_row_nonzeros"`
-	Symmetric      bool   `json:"symmetric"`
+	ID string `json:"id"`
+	// N is the row count — the required right-hand-side length. Kept as
+	// "n" for square-era clients; Rows/Cols carry the full shape.
+	N              int  `json:"n"`
+	Rows           int  `json:"rows"`
+	Cols           int  `json:"cols"`
+	NNZ            int  `json:"nnz"`
+	MaxRowNonzeros int  `json:"max_row_nonzeros"`
+	Symmetric      bool `json:"symmetric"`
 }
 
 // OperatorList is the GET /v1/operators response body.
@@ -109,11 +113,68 @@ type BatchResponse struct {
 type MethodInfo struct {
 	Name    string `json:"name"`
 	Summary string `json:"summary"`
+	// Nonsymmetric marks methods that accept nonsymmetric square
+	// operators; Rectangular marks the least-squares methods that also
+	// accept rectangular ones. Both false means square SPD only.
+	Nonsymmetric bool `json:"nonsymmetric,omitempty"`
+	Rectangular  bool `json:"rectangular,omitempty"`
 }
 
 // MethodList is the GET /v1/methods response body.
 type MethodList struct {
 	Methods []MethodInfo `json:"methods"`
+}
+
+// SequenceCreateRequest is the POST /v1/sequence request body: it
+// prepares a warm-started solve sequence against a private copy of the
+// stored operator's values (sequence steps may mutate them without
+// affecting other requests).
+type SequenceCreateRequest struct {
+	Operator string        `json:"operator"`
+	Method   string        `json:"method"`
+	Params   *solve.Params `json:"params,omitempty"`
+	Precond  string        `json:"precond,omitempty"`
+}
+
+// SequenceInfo is the POST /v1/sequence response body (and the shape of
+// the close response's summary).
+type SequenceInfo struct {
+	ID       string `json:"id"`
+	Operator string `json:"operator"`
+	Method   string `json:"method"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	// Reused reports that the sequence was revived from the warm free
+	// list (its session workspaces are already hot).
+	Reused bool `json:"reused,omitempty"`
+}
+
+// SequenceStepRequest is the POST /v1/sequence/{id}/step request body.
+// Rescale and Vals, when present, update the sequence's private
+// operator in place (structure unchanged) before the solve.
+type SequenceStepRequest struct {
+	RHS []float64 `json:"rhs"`
+	// Rescale multiplies every operator value by the factor first.
+	Rescale *float64 `json:"rescale,omitempty"`
+	// Vals replaces the operator's stored values (NNZ length).
+	Vals      []float64 `json:"vals,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+// SequenceStepResponse is a WireResult plus the sequence bookkeeping:
+// which step this was and whether it warm-started from the previous
+// solution.
+type SequenceStepResponse struct {
+	WireResult
+	Step int  `json:"step"`
+	Warm bool `json:"warm"`
+}
+
+// SequenceCloseResponse is the DELETE /v1/sequence/{id} response body:
+// the per-step iteration counts the sequence accumulated.
+type SequenceCloseResponse struct {
+	ID    string `json:"id"`
+	Steps []int  `json:"steps"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -186,6 +247,9 @@ const (
 	codeNotConverged     = "not_converged"
 	codeIndefinite       = "indefinite"
 	codeBreakdown        = "breakdown"
+	codeUnsupportedOp    = "unsupported_operator"
+	codeUnknownSequence  = "unknown_sequence"
+	codeTooManySequences = "too_many_sequences"
 	codeDeadlineExceeded = "deadline_exceeded"
 	codeCanceled         = "canceled"
 	codeQueueFull        = "queue_full"
@@ -199,9 +263,11 @@ const (
 
 // Store-level sentinels (the solver ones live in solve/errors.go).
 var (
-	errUnknownOperator = errors.New("server: unknown operator")
-	errOperatorExists  = errors.New("server: operator id already in use")
-	errBadOperatorName = errors.New("server: invalid operator name")
+	errUnknownOperator  = errors.New("server: unknown operator")
+	errOperatorExists   = errors.New("server: operator id already in use")
+	errBadOperatorName  = errors.New("server: invalid operator name")
+	errUnknownSequence  = errors.New("server: unknown sequence")
+	errTooManySequences = errors.New("server: too many open sequences")
 )
 
 // errorStatus is the single mapping from an error to its HTTP status
@@ -239,6 +305,14 @@ func errorStatus(err error) (int, string) {
 		return http.StatusUnprocessableEntity, codeIndefinite
 	case errors.Is(err, solve.ErrBreakdown):
 		return http.StatusUnprocessableEntity, codeBreakdown
+	case errors.Is(err, solve.ErrUnsupportedOperator):
+		// Well-formed request, but the method cannot run on this
+		// operator's shape (e.g. cg on a rectangular matrix).
+		return http.StatusUnprocessableEntity, codeUnsupportedOp
+	case errors.Is(err, errUnknownSequence):
+		return http.StatusNotFound, codeUnknownSequence
+	case errors.Is(err, errTooManySequences):
+		return http.StatusTooManyRequests, codeTooManySequences
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, codeDeadlineExceeded
 	case errors.Is(err, context.Canceled):

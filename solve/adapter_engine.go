@@ -63,6 +63,7 @@ func (c *config) engineConfig(cb func(int, float64) bool) engine.Config {
 		ValidateEvery:        c.validateEvery,
 		ResidualReplaceEvery: c.resReplace,
 		S:                    c.blockSize,
+		Restart:              c.restart,
 	}
 	if c.precond != nil {
 		ec.Precond = asPrecond(c.precond)
@@ -101,7 +102,12 @@ func (m precondShim) Dim() int                { return m.p.Dim() }
 func (m precondShim) Apply(dst, r vec.Vector) { m.p.Apply(dst, r) }
 
 func (s *engineSolver) solve(a Operator, b []float64, c *config, cb func(int, float64) bool) error {
-	return engine.Solve(s.kernel, s.workspace(a.Dim(), c.pool), asMatrix(a), b, c.engineConfig(cb), &s.er)
+	// The workspace lives in the operator's column space: for the
+	// rectangular least-squares methods the solution is cols-long while
+	// b is rows-long, and for square operators the two coincide.
+	m := asMatrix(a)
+	_, cols := sparse.Dims(m)
+	return engine.Solve(s.kernel, s.workspace(cols, c.pool), m, b, c.engineConfig(cb), &s.er)
 }
 
 // fill maps the engine result onto the canonical Result in place (the
@@ -159,11 +165,11 @@ func (s *engineSolver) solveInto(res *Result, a Operator, b []float64, c *config
 	return true, err
 }
 
-// registerEngine registers one engine kernel under the generic adapter.
+// registerEngine registers one engine kernel under the generic adapter
+// with the conservative zero Caps (square SPD operators only); the
+// general-operator methods register through registerEngineCaps.
 func registerEngine(name, summary string, kf func() engine.Kernel, syncs func(*engine.Result) int, drift bool) {
-	Register(name, summary, func() Solver {
-		return &engineSolver{name: name, kernel: kf(), syncs: syncs, drift: drift}
-	})
+	registerEngineCaps(name, summary, Caps{}, kf, syncs, drift)
 }
 
 func init() {

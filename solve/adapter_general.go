@@ -1,0 +1,34 @@
+package solve
+
+import (
+	"vrcg/internal/engine"
+	"vrcg/internal/gkrylov"
+)
+
+// registerEngineCaps registers one engine kernel under the generic
+// adapter with an explicit operator-capability declaration — the
+// general-operator tier's entry point (registerEngine delegates here
+// with zero Caps).
+func registerEngineCaps(name, summary string, caps Caps, kf func() engine.Kernel, syncs func(*engine.Result) int, drift bool) {
+	RegisterCaps(name, summary, caps, func() Solver {
+		return &engineSolver{name: name, kernel: kf(), syncs: syncs, drift: drift}
+	})
+}
+
+func init() {
+	// Like the classic iterations, every inner product in these methods
+	// is a completed global reduction on the machine model.
+	blocking := func(er *engine.Result) int { return er.Stats.InnerProducts }
+
+	nonsym := Caps{Nonsymmetric: true}
+	rect := Caps{Nonsymmetric: true, Rectangular: true}
+
+	registerEngineCaps("bicgstab", "BiCGStab for square nonsymmetric systems (van der Vorst), workspace-backed",
+		nonsym, gkrylov.NewBiCGStabKernel, blocking, false)
+	registerEngineCaps("gmres", "restarted GMRES(m) for square nonsymmetric systems (WithRestart m), workspace-backed",
+		nonsym, gkrylov.NewGMRESKernel, blocking, false)
+	registerEngineCaps("cgnr", "CG on the normal equations: least-squares min ||b-Ax|| over rectangular operators, workspace-backed",
+		rect, gkrylov.NewCGNRKernel, blocking, false)
+	registerEngineCaps("lsqr", "LSQR (Paige-Saunders bidiagonalization): stable least-squares over rectangular operators, workspace-backed",
+		rect, gkrylov.NewLSQRKernel, blocking, false)
+}

@@ -61,10 +61,10 @@ func (s *parcgSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, e
 		Iterations:   pres.Iterations,
 		Converged:    pres.Converged,
 		ResidualNorm: pres.ResidualNorm,
-		Clocks:       pres.IterClocks,
-		Machine:      &pres.Stats,
+		Clocks:       pres.Clocks,
+		Machine:      &pres.Machine,
 	}
-	res.Stats.Flops = pres.Stats.Flops
+	res.Stats.Flops = pres.Machine.Flops
 	if pres.X != nil {
 		// True residual of the gathered solution, computed serially
 		// (diagnostic only: charged to no processor).

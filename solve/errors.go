@@ -18,10 +18,13 @@ var ErrNotConverged = errors.New("solve: did not converge within the iteration l
 // registry.
 var ErrUnknownMethod = errors.New("solve: unknown method")
 
-// ErrUnsupportedOperator is returned when a method needs a concrete
-// operator type the caller did not supply (the distributed methods
-// need *sparse.CSR to build their halo partition).
-var ErrUnsupportedOperator = errors.New("solve: operator type not supported by this method")
+// ErrUnsupportedOperator is returned when a method needs an operator
+// capability the caller's type lacks (the distributed methods need
+// *sparse.CSR to build their halo partition; the least-squares methods
+// need transpose products, sparse.TransposeMulVec). Re-exported from
+// the engine so internal kernels and public wrappers share one
+// sentinel.
+var ErrUnsupportedOperator = krylov.ErrUnsupportedOperator
 
 // Sentinels from the internal solver packages, re-exported so callers
 // can errors.Is against this package alone. Every error a registered

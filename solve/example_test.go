@@ -138,7 +138,7 @@ func ExampleMethods() {
 		fmt.Println(name)
 	}
 	// Output:
+	// bicgstab
 	// cg
 	// cgfused
-	// cr
 }

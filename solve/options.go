@@ -30,6 +30,7 @@ type config struct {
 	validateEvery int
 	resReplace    int
 	blockSize     int // sstep S
+	restart       int // gmres m
 
 	batchWorkers int // Batch/SolveMany fan-out width
 
@@ -134,6 +135,12 @@ func WithResidualReplaceEvery(n int) Option { return func(c *config) { c.resRepl
 // standard CG). Default 4, the practical ceiling of the monomial
 // basis.
 func WithBlockSize(s int) Option { return func(c *config) { c.blockSize = s } }
+
+// WithRestart sets the restart length m of "gmres" (m >= 1): the
+// Krylov basis is rebuilt from the true residual every m inner
+// iterations, trading convergence speed for the m+1 basis vectors of
+// memory. Zero selects the default min(30, n).
+func WithRestart(m int) Option { return func(c *config) { c.restart = m } }
 
 // WithProcessors sets the processor count of the simulated machine the
 // "parcg*" methods run on. Default 8. Ignored when WithMachineConfig

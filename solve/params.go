@@ -41,6 +41,9 @@ type Params struct {
 	ResidualReplaceEvery int `json:"residual_replace_every,omitempty"`
 	// BlockSize is the sstep block size s (WithBlockSize).
 	BlockSize *int `json:"block_size,omitempty"`
+	// Restart is the gmres restart length m (WithRestart); nil keeps
+	// the default min(30, n).
+	Restart *int `json:"restart,omitempty"`
 
 	// Processors is the simulated machine size for the parcg methods
 	// (WithProcessors).
@@ -92,6 +95,9 @@ func (p *Params) Options() []Option {
 	if p.BlockSize != nil {
 		opts = append(opts, WithBlockSize(*p.BlockSize))
 	}
+	if p.Restart != nil {
+		opts = append(opts, WithRestart(*p.Restart))
+	}
 	if p.Processors != nil {
 		opts = append(opts, WithProcessors(*p.Processors))
 	}
@@ -123,6 +129,8 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("solve: params: lookahead must be >= 0, got %d: %w", *p.Lookahead, ErrBadOption)
 	case p.BlockSize != nil && *p.BlockSize < 1:
 		return fmt.Errorf("solve: params: block_size must be >= 1, got %d: %w", *p.BlockSize, ErrBadOption)
+	case p.Restart != nil && *p.Restart < 1:
+		return fmt.Errorf("solve: params: restart must be >= 1, got %d: %w", *p.Restart, ErrBadOption)
 	case p.Processors != nil && *p.Processors < 1:
 		return fmt.Errorf("solve: params: processors must be >= 1, got %d: %w", *p.Processors, ErrBadOption)
 	case p.BatchWorkers < 0:

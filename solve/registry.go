@@ -10,9 +10,25 @@ import (
 // Factory builds a fresh Solver for one registered method.
 type Factory func() Solver
 
+// Caps declares what operator shapes a method accepts, so validation
+// layers (CLI symmetry gates, server per-method shape checks) key off
+// the registry instead of hard-coding method lists. The zero value is
+// the historical contract — square symmetric positive definite only —
+// which is correct for every classic method.
+type Caps struct {
+	// Nonsymmetric: the method does not require a symmetric (or SPD)
+	// operator (bicgstab, gmres, cgnr, lsqr).
+	Nonsymmetric bool
+	// Rectangular: the method accepts rows != cols operators and solves
+	// the least-squares problem min ||b - A x|| (cgnr, lsqr). Implies
+	// the operator must provide transpose products.
+	Rectangular bool
+}
+
 type entry struct {
 	summary string
 	factory Factory
+	caps    Caps
 }
 
 var (
@@ -25,7 +41,15 @@ var (
 // registration is an init-time act, and a collision is a programming
 // error. External packages may register their own methods; everything
 // in this repository registers itself when the solve package loads.
+// Methods registered this way declare zero Caps (square SPD operators
+// only); use RegisterCaps to declare broader operator support.
 func Register(name, summary string, f Factory) {
+	RegisterCaps(name, summary, Caps{}, f)
+}
+
+// RegisterCaps is Register with an explicit operator-capability
+// declaration.
+func RegisterCaps(name, summary string, caps Caps, f Factory) {
 	if name == "" || f == nil {
 		panic("solve: Register requires a name and a factory")
 	}
@@ -34,7 +58,15 @@ func Register(name, summary string, f Factory) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("solve: method %q registered twice", name))
 	}
-	registry[name] = entry{summary: summary, factory: f}
+	registry[name] = entry{summary: summary, factory: f, caps: caps}
+}
+
+// MethodCaps returns the operator capabilities a method was registered
+// with (the zero Caps for unknown names, the conservative answer).
+func MethodCaps(name string) Caps {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name].caps
 }
 
 // Methods returns the registered method names, sorted. CLIs derive

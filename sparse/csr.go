@@ -130,6 +130,10 @@ type CSR struct {
 	// conversion, or "keep CSR"), so format auto-selection runs once
 	// per matrix rather than once per solve.
 	tuned atomic.Pointer[tunedOp]
+
+	// tr caches the explicit transpose for MulVecT/MulVecTPool.
+	// Invalidated (with tuned) by the value-mutating methods.
+	tr atomic.Pointer[CSR]
 }
 
 // rowPartition is a cached chunking of rows into parts of near-equal
@@ -305,6 +309,75 @@ func (m *CSR) MulVecPool(pool *Pool, dst, x []float64) {
 	if !pool.CSRMulVec(bounds, m.rowPtr, m.colIdx, m.vals, dst, x) {
 		m.MulVec(dst, x)
 	}
+}
+
+// transpose returns the cached explicit transpose, building it on first
+// use.
+func (m *CSR) transpose() *CSR {
+	if t := m.tr.Load(); t != nil {
+		return t
+	}
+	tPtr, tIdx, tVals := transposeArrays(m.n, m.n, m.rowPtr, m.colIdx, m.vals)
+	t := &CSR{n: m.n, rowPtr: tPtr, colIdx: tIdx, vals: tVals}
+	t.warmPartition()
+	m.tr.Store(t)
+	return t
+}
+
+// MulVecT computes dst = Aᵀ*x from a cached explicit transpose.
+func (m *CSR) MulVecT(dst, x []float64) {
+	m.transpose().MulVec(dst, x)
+}
+
+// MulVecTPool computes dst = Aᵀ*x over the pool — a race-free row-wise
+// gather on the cached explicit transpose, bitwise identical to MulVecT.
+func (m *CSR) MulVecTPool(pool *Pool, dst, x []float64) {
+	m.transpose().MulVecPool(pool, dst, x)
+}
+
+// Values returns the stored nonzero values in row-major CSR order. The
+// slice is the matrix's backing storage: treat it as read-only and use
+// SetValues or Scale to mutate.
+func (m *CSR) Values() []float64 { return m.vals }
+
+// SetValues replaces the stored values in place (structure unchanged);
+// vals must have length NNZ. Cached derived state (the tuned operator
+// and the explicit transpose, both of which copy values) is invalidated.
+func (m *CSR) SetValues(vals []float64) {
+	if len(vals) != len(m.vals) {
+		panic(fmt.Sprintf("sparse: SetValues length %d, want %d", len(vals), len(m.vals)))
+	}
+	copy(m.vals, vals)
+	m.invalidate()
+}
+
+// Scale multiplies every stored value by s in place, invalidating the
+// cached tuned operator and transpose.
+func (m *CSR) Scale(s float64) {
+	for i := range m.vals {
+		m.vals[i] *= s
+	}
+	m.invalidate()
+}
+
+func (m *CSR) invalidate() {
+	m.tuned.Store(nil)
+	m.tr.Store(nil)
+}
+
+// CloneValues returns a matrix sharing this one's immutable structure
+// (rowPtr/colIdx and the cached row partition) but owning a private copy
+// of the values, so the clone can be mutated (SetValues, Scale) without
+// affecting the original — the isolation a solve sequence needs over a
+// shared stored operator.
+func (m *CSR) CloneValues() *CSR {
+	vals := make([]float64, len(m.vals))
+	copy(vals, m.vals)
+	c := &CSR{n: m.n, rowPtr: m.rowPtr, colIdx: m.colIdx, vals: vals}
+	if p := m.part.Load(); p != nil {
+		c.part.Store(p)
+	}
+	return c
 }
 
 // IsSymmetric reports whether every stored entry (i,j) has a matching

@@ -150,6 +150,22 @@ func (d *Dense) MulVec(dst, x []float64) {
 	}
 }
 
+// MulVecT computes dst = Aᵀ*x.
+func (d *Dense) MulVecT(dst, x []float64) {
+	checkMul(d, dst, x)
+	n := d.n
+	for j := 0; j < n; j++ {
+		dst[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := d.data[i*n : (i+1)*n]
+		xi := x[i]
+		for j, a := range row {
+			dst[j] += a * xi
+		}
+	}
+}
+
 // MaxRowNonzeros counts the densest row's structural nonzeros.
 func (d *Dense) MaxRowNonzeros() int {
 	maxNZ := 0

@@ -3,6 +3,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -28,18 +29,26 @@ const (
 // it.
 var ErrWire = errors.New("sparse: malformed wire matrix")
 
-// WireMatrix is the JSON envelope for a square sparse matrix. Format
-// selects which fields are meaningful:
+// WireMatrix is the JSON envelope for a sparse matrix. Format selects
+// which fields are meaningful:
 //
-//   - "csr": N, RowPtr (length N+1), ColIdx, Vals
+//   - "csr": N, RowPtr (length rows+1), ColIdx, Vals
 //   - "coo": N, Rows, Cols, Vals (parallel triplet arrays)
 //   - "matrixmarket": MatrixMarket (the .mtx document, verbatim)
 //
-// Decode validates and builds the CSR form; EncodeCSR produces the
-// "csr" envelope from a matrix.
+// Square matrices declare N alone. Rectangular ones (least-squares
+// operators) declare NRows and NCols instead and must decode through
+// DecodeGeneral; the MatrixMarket form stays square-only. Decode
+// validates and builds the CSR form; EncodeCSR produces the "csr"
+// envelope from a matrix.
 type WireMatrix struct {
 	Format string `json:"format"`
 	N      int    `json:"n,omitempty"`
+
+	// NRows/NCols declare a rectangular shape for formats "csr" and
+	// "coo"; both zero means square of order N.
+	NRows int `json:"n_rows,omitempty"`
+	NCols int `json:"n_cols,omitempty"`
 
 	// CSR fields.
 	RowPtr []int `json:"row_ptr,omitempty"`
@@ -69,12 +78,74 @@ func EncodeCSR(m *CSR) *WireMatrix {
 	}
 }
 
+// EncodeRect wraps a rectangular matrix in its wire envelope (format
+// "csr" with NRows/NCols). The arrays are shared with the matrix, not
+// copied; treat the result as read-only.
+func EncodeRect(m *Rect) *WireMatrix {
+	return &WireMatrix{
+		Format: WireCSR,
+		NRows:  m.rows,
+		NCols:  m.cols,
+		RowPtr: m.rowPtr,
+		ColIdx: m.colIdx,
+		Vals:   m.vals,
+	}
+}
+
 // Decode validates the envelope and returns the matrix in CSR form.
 // All failures wrap ErrWire. The order is unbounded; network layers
 // should use DecodeLimited, since a tiny envelope can declare a huge n
-// whose CSR arrays alone would exhaust memory.
+// whose CSR arrays alone would exhaust memory. Envelopes declaring a
+// rectangular shape are rejected here — use DecodeGeneral.
 func (w *WireMatrix) Decode() (*CSR, error) {
 	return w.DecodeLimited(0)
+}
+
+// DecodeGeneral decodes either a square or a rectangular envelope,
+// returning *CSR for square shapes and *Rect for rectangular ones.
+// See DecodeGeneralLimited for the bounded variant network layers use.
+func (w *WireMatrix) DecodeGeneral() (Matrix, error) {
+	return w.DecodeGeneralLimited(0)
+}
+
+// DecodeGeneralLimited is DecodeGeneral with an upper bound on both
+// dimensions (0 means unlimited), enforced before any
+// dimension-sized allocation.
+func (w *WireMatrix) DecodeGeneralLimited(maxOrder int) (Matrix, error) {
+	if w.NRows == 0 && w.NCols == 0 {
+		return w.DecodeLimited(maxOrder)
+	}
+	rows, cols := w.NRows, w.NCols
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: rectangular shape needs n_rows > 0 and n_cols > 0, got %dx%d",
+			ErrWire, rows, cols)
+	}
+	if w.N != 0 && w.N != rows {
+		return nil, fmt.Errorf("%w: n %d disagrees with n_rows %d (declare one shape)", ErrWire, w.N, rows)
+	}
+	if err := checkOrder(rows, maxOrder); err != nil {
+		return nil, err
+	}
+	if err := checkOrder(cols, maxOrder); err != nil {
+		return nil, err
+	}
+	if rows == cols {
+		// A square general decode still yields *CSR (DecodeLimited
+		// normalizes the n_rows/n_cols spelling), so every square
+		// consumer — preconditioners, symmetry probes — keeps working.
+		return w.DecodeLimited(maxOrder)
+	}
+	switch w.Format {
+	case WireCSR:
+		return w.decodeRectCSR(rows, cols)
+	case WireCOO:
+		return w.decodeRectCOO(rows, cols)
+	case WireMatrixMarket:
+		return nil, fmt.Errorf("%w: matrixmarket wire form is square-only (use csr or coo with n_rows/n_cols)", ErrWire)
+	default:
+		return nil, fmt.Errorf("%w: unknown format %q (want %s, %s, or %s)",
+			ErrWire, w.Format, WireCSR, WireCOO, WireMatrixMarket)
+	}
 }
 
 // DecodeLimited is Decode with an upper bound on the matrix order
@@ -82,6 +153,18 @@ func (w *WireMatrix) Decode() (*CSR, error) {
 // allocation happens, for every wire format — including the dimensions
 // declared inside a MatrixMarket header.
 func (w *WireMatrix) DecodeLimited(maxOrder int) (*CSR, error) {
+	if w.NRows != 0 || w.NCols != 0 {
+		if w.NRows != w.NCols {
+			return nil, fmt.Errorf("%w: envelope declares a %dx%d rectangular shape; decode it with DecodeGeneral",
+				ErrWire, w.NRows, w.NCols)
+		}
+		if w.N != 0 && w.N != w.NRows {
+			return nil, fmt.Errorf("%w: n %d disagrees with n_rows %d (declare one shape)", ErrWire, w.N, w.NRows)
+		}
+		sq := *w
+		sq.N, sq.NRows, sq.NCols = w.NRows, 0, 0
+		w = &sq
+	}
 	switch w.Format {
 	case WireCSR:
 		if err := checkOrder(w.N, maxOrder); err != nil {
@@ -199,6 +282,96 @@ func (w *WireMatrix) decodeCSR() (*CSR, error) {
 		}
 	}
 	return m, nil
+}
+
+func (w *WireMatrix) decodeRectCSR(rows, cols int) (*Rect, error) {
+	if len(w.RowPtr) != rows+1 {
+		return nil, fmt.Errorf("%w: row_ptr length %d, want n_rows+1 = %d", ErrWire, len(w.RowPtr), rows+1)
+	}
+	if w.RowPtr[0] != 0 {
+		return nil, fmt.Errorf("%w: row_ptr must start at 0, got %d", ErrWire, w.RowPtr[0])
+	}
+	for i := 0; i < rows; i++ {
+		if w.RowPtr[i+1] < w.RowPtr[i] {
+			return nil, fmt.Errorf("%w: row_ptr not monotone at row %d (%d then %d)",
+				ErrWire, i, w.RowPtr[i], w.RowPtr[i+1])
+		}
+	}
+	nnz := w.RowPtr[rows]
+	if len(w.ColIdx) != nnz || len(w.Vals) != nnz {
+		return nil, fmt.Errorf("%w: row_ptr promises %d entries but col_idx has %d and vals has %d",
+			ErrWire, nnz, len(w.ColIdx), len(w.Vals))
+	}
+	for k, j := range w.ColIdx {
+		if j < 0 || j >= cols {
+			return nil, fmt.Errorf("%w: col_idx[%d] = %d outside [0,%d)", ErrWire, k, j, cols)
+		}
+	}
+	rowPtr := append([]int(nil), w.RowPtr...)
+	colIdx := append([]int(nil), w.ColIdx...)
+	vals := append([]float64(nil), w.Vals...)
+	m := NewRect(rows, cols, rowPtr, colIdx, vals)
+	// Same assembled-form contract as the square CSR wire form:
+	// duplicates are an error, not a summation request.
+	for i := 0; i < rows; i++ {
+		for p := rowPtr[i] + 1; p < rowPtr[i+1]; p++ {
+			if colIdx[p] == colIdx[p-1] {
+				return nil, fmt.Errorf("%w: duplicate entry (%d,%d) in csr form (use coo to sum duplicates)",
+					ErrWire, i, colIdx[p])
+			}
+		}
+	}
+	return m, nil
+}
+
+func (w *WireMatrix) decodeRectCOO(rows, cols int) (*Rect, error) {
+	if len(w.Rows) != len(w.Cols) || len(w.Rows) != len(w.Vals) {
+		return nil, fmt.Errorf("%w: coo triplet arrays disagree: rows %d, cols %d, vals %d",
+			ErrWire, len(w.Rows), len(w.Cols), len(w.Vals))
+	}
+	for k := range w.Rows {
+		i, j := w.Rows[k], w.Cols[k]
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("%w: entry %d at (%d,%d) outside %dx%d", ErrWire, k, i, j, rows, cols)
+		}
+	}
+	// Assemble by counting sort on rows, then sum duplicates within each
+	// sorted row (the COO contract), compacting in place.
+	count := make([]int, rows+1)
+	for _, i := range w.Rows {
+		count[i+1]++
+	}
+	for i := 0; i < rows; i++ {
+		count[i+1] += count[i]
+	}
+	nnz := len(w.Rows)
+	colIdx := make([]int, nnz)
+	vals := make([]float64, nnz)
+	next := append([]int(nil), count...)
+	for k := range w.Rows {
+		p := next[w.Rows[k]]
+		next[w.Rows[k]]++
+		colIdx[p] = w.Cols[k]
+		vals[p] = w.Vals[k]
+	}
+	rowPtr := make([]int, rows+1)
+	out := 0
+	for i := 0; i < rows; i++ {
+		rowPtr[i] = out
+		lo, hi := count[i], count[i+1]
+		sort.Sort(rowView{cols: colIdx[lo:hi], vals: vals[lo:hi]})
+		for p := lo; p < hi; p++ {
+			if out > rowPtr[i] && colIdx[out-1] == colIdx[p] {
+				vals[out-1] += vals[p]
+				continue
+			}
+			colIdx[out] = colIdx[p]
+			vals[out] = vals[p]
+			out++
+		}
+	}
+	rowPtr[rows] = out
+	return NewRect(rows, cols, rowPtr, colIdx[:out], vals[:out]), nil
 }
 
 func (w *WireMatrix) decodeCOO() (*CSR, error) {

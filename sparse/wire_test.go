@@ -136,3 +136,105 @@ func TestWireDecodeCopiesArrays(t *testing.T) {
 		t.Fatalf("decoded matrix aliases wire buffer: a00=%v", m.At(0, 0))
 	}
 }
+
+// TestWireRectRoundTrip: rectangular envelopes survive JSON and decode
+// back through DecodeGeneral to an identical *Rect.
+func TestWireRectRoundTrip(t *testing.T) {
+	m := sparse.RectFromDense(3, 2, []float64{
+		1, 0,
+		0, 2,
+		3, 4,
+	})
+	raw, err := json.Marshal(sparse.EncodeRect(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w sparse.WireMatrix
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.DecodeGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got.(*sparse.Rect)
+	if !ok {
+		t.Fatalf("DecodeGeneral returned %T, want *sparse.Rect", got)
+	}
+	if r.Rows() != 3 || r.Cols() != 2 {
+		t.Fatalf("shape %dx%d, want 3x2", r.Rows(), r.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if r.At(i, j) != m.At(i, j) {
+				t.Fatalf("entry (%d,%d): %g vs %g", i, j, r.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+// TestWireRectCOO: the triplet form sums duplicates and sorts rows for
+// rectangular shapes too.
+func TestWireRectCOO(t *testing.T) {
+	w := sparse.WireMatrix{
+		Format: sparse.WireCOO,
+		NRows:  2, NCols: 3,
+		Rows: []int{1, 0, 1, 1},
+		Cols: []int{2, 1, 0, 2},
+		Vals: []float64{5, 7, 1, 6},
+	}
+	got, err := w.DecodeGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*sparse.Rect)
+	if r.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (duplicates summed)", r.NNZ())
+	}
+	if r.At(0, 1) != 7 || r.At(1, 0) != 1 || r.At(1, 2) != 11 {
+		t.Fatalf("decoded entries wrong: At(0,1)=%g At(1,0)=%g At(1,2)=%g", r.At(0, 1), r.At(1, 0), r.At(1, 2))
+	}
+}
+
+// TestWireGeneralShapes: DecodeGeneral keeps *CSR for square shapes,
+// Decode rejects rectangular envelopes, and shape declarations must be
+// coherent.
+func TestWireGeneralShapes(t *testing.T) {
+	sq := sparse.EncodeCSR(sparse.Poisson1D(4))
+
+	got, err := sq.DecodeGeneral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.(*sparse.CSR); !ok {
+		t.Fatalf("square DecodeGeneral returned %T, want *sparse.CSR", got)
+	}
+
+	rect := sparse.EncodeRect(sparse.RectFromDense(3, 2, []float64{1, 0, 0, 2, 3, 4}))
+	if _, err := rect.Decode(); !errors.Is(err, sparse.ErrWire) {
+		t.Errorf("Decode of a rectangular envelope = %v, want ErrWire", err)
+	}
+
+	// n_rows/n_cols spelling of a square shape still decodes to CSR.
+	sq2 := *sq
+	sq2.NRows, sq2.NCols, sq2.N = sq.N, sq.N, 0
+	if _, err := sq2.Decode(); err != nil {
+		t.Errorf("square-by-n_rows Decode: %v", err)
+	}
+
+	bad := *sq
+	bad.NRows, bad.NCols = sq.N+1, sq.N+1 // disagrees with N
+	if _, err := bad.Decode(); !errors.Is(err, sparse.ErrWire) {
+		t.Errorf("conflicting shape Decode = %v, want ErrWire", err)
+	}
+
+	mm := sparse.WireMatrix{Format: sparse.WireMatrixMarket, NRows: 3, NCols: 2}
+	if _, err := mm.DecodeGeneral(); !errors.Is(err, sparse.ErrWire) {
+		t.Errorf("rectangular matrixmarket DecodeGeneral = %v, want ErrWire", err)
+	}
+
+	// The dimension bound applies to both dimensions.
+	if _, err := rect.DecodeGeneralLimited(2); !errors.Is(err, sparse.ErrWire) {
+		t.Errorf("DecodeGeneralLimited(2) on 3x2 = %v, want ErrWire", err)
+	}
+}
