@@ -261,6 +261,19 @@ func (d *Dec) Str() string {
 	return string(d.take(n, "string"))
 }
 
+// StrBytes reads a length-prefixed string as a view into the payload —
+// no copy, no allocation. The bytes alias the frame buffer, so they are
+// valid only until the payload is released (PutBuf) or reused; callers
+// that outlive the frame must copy.
+func (d *Dec) StrBytes() []byte {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.b) {
+		d.fail("string")
+		return nil
+	}
+	return d.take(n, "string")
+}
+
 // lenPrefix reads a u64 element count and validates it against the
 // remaining payload at elemSize bytes per element.
 func (d *Dec) lenPrefix(elemSize int, what string) int {

@@ -54,6 +54,7 @@ func main() {
 	maxOperators := flag.Int("max-operators", 32, "operator store capacity (LRU eviction past it)")
 	maxSessionPools := flag.Int("max-session-pools", 64, "warm-session pool cap across request shapes (oldest dropped past it)")
 	maxOrder := flag.Int("max-order", 1<<22, "largest operator order accepted by uploads")
+	maxBodyMB := flag.Int("max-body-mb", 256, "largest request body in MiB (operator uploads and wide binary batches dominate)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-solve deadline ceiling (requests can only shorten it)")
 	engineWorkers := flag.Int("engine-workers", 1, "worker-pool width for solver kernels; 1 = serial kernels, best for many concurrent clients")
 	preload := flag.String("preload", "", "preload a generated operator, e.g. poisson2d:64 (also poisson1d, poisson3d)")
@@ -72,6 +73,7 @@ func main() {
 		MaxOperators:    *maxOperators,
 		MaxSessionPools: *maxSessionPools,
 		MaxOrder:        *maxOrder,
+		MaxBodyBytes:    int64(*maxBodyMB) << 20,
 		DefaultTimeout:  *timeout,
 	}
 	if *engineWorkers > 1 {

@@ -1,0 +1,261 @@
+package block
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vrcg/internal/engine"
+	"vrcg/internal/krylov"
+	"vrcg/internal/vec"
+	"vrcg/precond"
+	"vrcg/sparse"
+)
+
+func testRHS(n, s int) []vec.Vector {
+	bs := make([]vec.Vector, s)
+	for j := 0; j < s; j++ {
+		bs[j] = vec.New(n)
+		vec.Random(bs[j], uint64(7*n+j+1))
+	}
+	return bs
+}
+
+func blockSolve(t *testing.T, kn *Kernel, a sparse.Matrix, bs []vec.Vector, cfg engine.Config) (*engine.Result, error) {
+	t.Helper()
+	ws := engine.NewWorkspace(a.Dim(), cfg.Pool)
+	kn.SetExtraRHS(bs[1:])
+	var res engine.Result
+	err := engine.Solve(kn, ws, a, bs[0], cfg, &res)
+	return &res, err
+}
+
+// TestBlockCGMatchesIndependentSolves is the parity satellite: every
+// block column must match the corresponding independent single-RHS
+// engine solve to 1e-12 relative accuracy, and — sharing one Krylov
+// space across a shared-spectrum block — converge in no more
+// iterations than the slowest independent solve.
+func TestBlockCGMatchesIndependentSolves(t *testing.T) {
+	// Well-conditioned so a 1e-13 residual tolerance pins the iterates
+	// to ~1e-13 relative accuracy: the 1e-12 parity bound then compares
+	// solutions, not solver noise.
+	a := sparse.TridiagToeplitz(500, 4, -1)
+	n := a.Dim()
+	jac, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		kernel func() *Kernel
+		single func() engine.Kernel
+		m      precond.Preconditioner
+	}{
+		{"blockcg", NewCGKernel, krylov.NewCGKernel, nil},
+		{"blockpcg", NewPCGKernel, krylov.NewPCGKernel, jac},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := 5
+			bs := testRHS(n, s)
+			cfg := engine.Config{Tol: 1e-13, Precond: tc.m}
+
+			maxSingleIters := 0
+			want := make([]vec.Vector, s)
+			for j := 0; j < s; j++ {
+				ws := engine.NewWorkspace(n, nil)
+				var res engine.Result
+				if err := engine.Solve(tc.single(), ws, a, bs[j], cfg, &res); err != nil {
+					t.Fatalf("single solve %d: %v", j, err)
+				}
+				if !res.Converged {
+					t.Fatalf("single solve %d did not converge", j)
+				}
+				if res.Iterations > maxSingleIters {
+					maxSingleIters = res.Iterations
+				}
+				want[j] = vec.Clone(res.X)
+			}
+
+			kn := tc.kernel()
+			res, err := blockSolve(t, kn, a, bs, cfg)
+			if err != nil {
+				t.Fatalf("block solve: %v", err)
+			}
+			if !res.Converged {
+				t.Fatalf("block solve did not converge: rn=%g", res.ResidualNorm)
+			}
+			if res.Iterations > maxSingleIters {
+				t.Errorf("block used %d iterations, independent max %d — the shared block space must not be slower",
+					res.Iterations, maxSingleIters)
+			}
+			for j := 0; j < s; j++ {
+				if !kn.ColumnConverged(j) {
+					t.Fatalf("column %d not converged", j)
+				}
+				x := kn.ColumnX(j)
+				diff := 0.0
+				norm := 0.0
+				for i := range x {
+					d := x[i] - want[j][i]
+					diff += d * d
+					norm += want[j][i] * want[j][i]
+				}
+				if rel := math.Sqrt(diff / norm); rel > 1e-12 {
+					t.Errorf("column %d relative error %.3g > 1e-12", j, rel)
+				}
+				if kn.ColumnTrueResidual(j) > 1e-9*vec.Norm2(bs[j]) {
+					t.Errorf("column %d true residual %g too large", j, kn.ColumnTrueResidual(j))
+				}
+			}
+		})
+	}
+}
+
+// TestBlockCGDuplicateRHS: exactly duplicated right-hand sides make the
+// block Gram rank-1 at the very first iteration. The pivoted-Cholesky
+// basic solution must carry both columns to the identical answer rather
+// than breaking down.
+func TestBlockCGDuplicateRHS(t *testing.T) {
+	a := sparse.Poisson2D(16)
+	n := a.Dim()
+	b := vec.New(n)
+	vec.Random(b, 3)
+	bs := []vec.Vector{b, vec.Clone(b), vec.Clone(b)}
+
+	kn := NewCGKernel()
+	res, err := blockSolve(t, kn, a, bs, engine.Config{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("duplicate-RHS block solve: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("duplicate-RHS block solve did not converge")
+	}
+	x0 := kn.ColumnX(0)
+	for j := 1; j < 3; j++ {
+		if !vec.Equal(x0, kn.ColumnX(j)) {
+			t.Errorf("duplicate column %d differs from column 0", j)
+		}
+	}
+}
+
+// TestBlockCGMixedConvergence: columns with wildly different scales
+// deflate at different iterations, and late columns keep converging
+// after early ones retire.
+func TestBlockCGMixedConvergence(t *testing.T) {
+	a := sparse.Poisson2D(16)
+	n := a.Dim()
+	bs := testRHS(n, 3)
+	// Column 1 is trivially converged from the start.
+	vec.Zero(bs[1])
+
+	kn := NewCGKernel()
+	res, err := blockSolve(t, kn, a, bs, engine.Config{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("block solve: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("block solve did not converge")
+	}
+	if kn.ColumnIterations(1) != 0 {
+		t.Errorf("zero-rhs column used %d iterations, want 0", kn.ColumnIterations(1))
+	}
+	for _, j := range []int{0, 2} {
+		if !kn.ColumnConverged(j) || vec.Norm2(kn.ColumnX(j)) == 0 {
+			t.Errorf("column %d did not converge to a nonzero solution", j)
+		}
+	}
+}
+
+// TestBlockCGIndefinite: a negative-definite operator trips the
+// negative-curvature check with engine.ErrIndefinite.
+func TestBlockCGIndefinite(t *testing.T) {
+	a := sparse.TridiagToeplitz(50, -4, 1) // negative definite
+	bs := testRHS(50, 2)
+	_, err := blockSolve(t, NewCGKernel(), a, bs, engine.Config{Tol: 1e-10})
+	if !errors.Is(err, engine.ErrIndefinite) {
+		t.Fatalf("err = %v, want ErrIndefinite", err)
+	}
+}
+
+// TestBlockCGBreakdown: the zero operator yields a wholly
+// rank-deficient curvature Gram — engine.ErrBreakdown, not a hang or
+// a panic.
+func TestBlockCGBreakdown(t *testing.T) {
+	coo := sparse.NewCOO(8)
+	a := coo.ToCSR() // all-zero matrix
+	bs := testRHS(8, 2)
+	_, err := blockSolve(t, NewCGKernel(), a, bs, engine.Config{Tol: 1e-10})
+	if !errors.Is(err, engine.ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+}
+
+// TestBlockWarmZeroAlloc: a warm block solve on a reused workspace
+// allocates nothing — the property the serving layer's session pools
+// rely on. Runs under -race in CI.
+func TestBlockWarmZeroAlloc(t *testing.T) {
+	a := sparse.Poisson2D(16)
+	n := a.Dim()
+	s := 4
+	bs := testRHS(n, s)
+	extras := bs[1:]
+	cfg := engine.Config{Tol: 1e-10}
+	ws := engine.NewWorkspace(n, nil)
+	var res engine.Result
+
+	for _, tc := range []struct {
+		name string
+		kn   *Kernel
+	}{
+		{"blockcg", NewCGKernel()},
+		{"blockpcg", NewPCGKernel()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm: size caches, arena vectors, partition.
+			tc.kn.SetExtraRHS(extras)
+			if err := engine.Solve(tc.kn, ws, a, bs[0], cfg, &res); err != nil {
+				t.Fatalf("warmup solve: %v", err)
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				tc.kn.SetExtraRHS(extras)
+				if err := engine.Solve(tc.kn, ws, a, bs[0], cfg, &res); err != nil {
+					t.Fatalf("warm solve: %v", err)
+				}
+			}); avg != 0 {
+				t.Errorf("warm %s solve allocates %v per run, want 0", tc.kn.Name(), avg)
+			}
+		})
+	}
+}
+
+// TestBlockSingleRHSDegenerates: with no extra columns the block kernel
+// is plain (P)CG — it must converge and match CG's iterate closely.
+func TestBlockSingleRHSDegenerates(t *testing.T) {
+	a := sparse.Poisson2D(16)
+	n := a.Dim()
+	b := vec.New(n)
+	vec.Random(b, 11)
+
+	ws := engine.NewWorkspace(n, nil)
+	var ref engine.Result
+	if err := engine.Solve(krylov.NewCGKernel(), ws, a, b, engine.Config{Tol: 1e-10}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	kn := NewCGKernel()
+	res, err := blockSolve(t, kn, a, []vec.Vector{b}, engine.Config{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("single-RHS block solve did not converge")
+	}
+	diff, norm := 0.0, 0.0
+	for i := range ref.X {
+		d := res.X[i] - ref.X[i]
+		diff += d * d
+		norm += ref.X[i] * ref.X[i]
+	}
+	if rel := math.Sqrt(diff / norm); rel > 1e-10 {
+		t.Errorf("single-RHS block iterate differs from CG by %.3g", rel)
+	}
+}

@@ -117,6 +117,25 @@ func (ws *Workspace) MatVec(a sparse.Matrix, dst, x vec.Vector) {
 	sparse.PooledMulVec(a, ws.pool, dst, x)
 }
 
+// MatVecs computes dsts[j] = A*xs[j] for every column on the workspace
+// pool, using the operator's one-pass multi-vector product when it
+// offers one (see sparse.MultiMulVec) and per-column products otherwise.
+func (ws *Workspace) MatVecs(a sparse.Matrix, dsts, xs []vec.Vector) {
+	sparse.PooledMulVecs(a, ws.pool, dsts, xs)
+}
+
+// DotBlock fills out[i*len(ys)+j] = <xs[i], ys[j]> — the s×s block Gram
+// reduction — in one pooled dispatch.
+func (ws *Workspace) DotBlock(xs, ys []vec.Vector, out []float64) {
+	vec.PoolDotBlock(ws.pool, xs, ys, out)
+}
+
+// AxpyBlock accumulates ys[j] += sum_i coef[i*len(ys)+j]*xs[i] in one
+// pooled dispatch.
+func (ws *Workspace) AxpyBlock(coef []float64, xs, ys []vec.Vector) {
+	vec.PoolAxpyBlock(ws.pool, coef, xs, ys)
+}
+
 // MatVecT computes dst = Aᵀ*x on the workspace pool when the operator
 // supports pooled transpose products. Kernels obtain the operator from
 // Run.AT, which the driver populates only when the (pre-tuning)

@@ -84,6 +84,9 @@ func (p *Pool) calibrate() Calibration {
 	}
 	var sink float64
 	dots := make([]float64, 4)
+	// Tiny coefficients keep the AxpyBlock probe's accumulating
+	// destinations finite across arbitrarily many timing reps.
+	tinyCoef := [4]float64{1e-9, -1e-9, 1e-9, -1e-9}
 
 	probes := []struct {
 		op     opcode
@@ -111,6 +114,12 @@ func (p *Pool) calibrate() Calibration {
 		{opDotBatch,
 			func(n int) { DotBatch(x[:n], []Vector{y[:n], z[:n], w[:n], y[:n]}, dots) },
 			func(n int) { p.DotBatch(x[:n], []Vector{y[:n], z[:n], w[:n], y[:n]}, dots) }},
+		{opDotBlock,
+			func(n int) { DotBlock([]Vector{x[:n], y[:n]}, []Vector{z[:n], w[:n]}, dots) },
+			func(n int) { p.DotBlock([]Vector{x[:n], y[:n]}, []Vector{z[:n], w[:n]}, dots) }},
+		{opAxpyBlock,
+			func(n int) { AxpyBlock(tinyCoef[:], []Vector{x[:n], y[:n]}, []Vector{z[:n], w[:n]}) },
+			func(n int) { p.AxpyBlock(tinyCoef[:], []Vector{x[:n], y[:n]}, []Vector{z[:n], w[:n]}) }},
 	}
 	for _, pr := range probes {
 		cal.Cutoffs[opNames[pr.op]] = p.crossover(pr.op, sizes, pr.serial, pr.pooled)
@@ -172,10 +181,15 @@ func (p *Pool) calibrate() Calibration {
 	cal.Cutoffs[opNames[opCSRMulVec]] = cut
 	// rowrange kernels do comparable per-row work; reuse the SpMV
 	// crossover converted from nonzeros to rows (5 nnz per band row).
+	// The multi-vector SpMV does strictly more work per row than the
+	// single-vector form at the same nnz, so it crosses over no later —
+	// reuse the measured single-vector crossover directly.
 	if cut == math.MaxInt64 {
 		cal.Cutoffs[opNames[opRowRange]] = math.MaxInt64
+		cal.Cutoffs[opNames[opCSRMulVecs]] = math.MaxInt64
 	} else {
 		cal.Cutoffs[opNames[opRowRange]] = cut / 5
+		cal.Cutoffs[opNames[opCSRMulVecs]] = cut
 	}
 
 	_ = sink

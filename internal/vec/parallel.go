@@ -93,6 +93,9 @@ const (
 	opDotBatch
 	opCSRMulVec
 	opRowRange
+	opDotBlock
+	opAxpyBlock
+	opCSRMulVecs
 	nOps = iota
 )
 
@@ -101,6 +104,7 @@ var opNames = [nOps]string{
 	opNone: "none", opDot: "dot", opDotPair: "dotpair", opAxpy: "axpy",
 	opXpay: "xpay", opMulElem: "mulelem", opFusedCG: "fusedcg",
 	opDotBatch: "dotbatch", opCSRMulVec: "csrmulvec", opRowRange: "rowrange",
+	opDotBlock: "dotblock", opAxpyBlock: "axpyblock", opCSRMulVecs: "csrmulvecs",
 }
 
 // defaultCutoffs are the conservative fallback crossovers installed at
@@ -122,6 +126,11 @@ var defaultCutoffs = [nOps]int64{
 	opDotBatch:  1 << 14,
 	opCSRMulVec: 1 << 15, // in nonzeros
 	opRowRange:  1 << 15, // in rows
+	// The block multi-RHS kernels amortize one dispatch over s (or s^2)
+	// operand sweeps, so they cross over at DotBatch-like sizes.
+	opDotBlock:   1 << 14,
+	opAxpyBlock:  1 << 14,
+	opCSRMulVecs: 1 << 15, // in nonzeros (shared across the s outputs)
 }
 
 // job carries the operands of the in-flight kernel. Slice fields are
@@ -135,6 +144,10 @@ type job struct {
 	z     []float64
 	w     []float64
 	ys    []Vector
+	// ds is the second vector set of the block multi-RHS kernels
+	// (destinations for opAxpyBlock/opCSRMulVecs, the right-hand operand
+	// family for opDotBlock).
+	ds []Vector
 	// CSR SpMV operands (row-partitioned; see CSRMulVec).
 	rowPtr []int
 	colIdx []int
@@ -490,6 +503,25 @@ func (p *Pool) exec(c int) {
 		}
 	case opRowRange:
 		j.fn(lo, hi, j.z, j.x)
+	case opDotBlock:
+		xs, ys := j.ys, j.ds
+		ny := len(ys)
+		for ii, x := range xs {
+			for jj, y := range ys {
+				row := p.batchPart[(ii*ny+jj)*p.batchCap:]
+				for b0 := lo; b0 < hi; b0 += BlockLen {
+					b1 := b0 + BlockLen
+					if b1 > hi {
+						b1 = hi
+					}
+					row[b0/BlockLen] = dotLeaf(x[b0:b1], y[b0:b1])
+				}
+			}
+		}
+	case opAxpyBlock:
+		axpyBlockRange(j.x, j.ys, j.ds, lo, hi)
+	case opCSRMulVecs:
+		CSRMulVecsRows(j.rowPtr, j.colIdx, j.vals, j.ds, j.ys, lo, hi)
 	}
 }
 
@@ -612,6 +644,86 @@ func (p *Pool) DotBatch(x Vector, ys []Vector, dots []float64) {
 	p.end()
 }
 
+// DotBlock fills out[i*len(ys)+j] = <xs[i], ys[j]>, parallelizing
+// across element chunks with one dispatch for all len(xs)*len(ys)
+// pairs; every output is bitwise identical to the serial DotBlock.
+func (p *Pool) DotBlock(xs, ys []Vector, out []float64) {
+	if len(out) != len(xs)*len(ys) {
+		panic("vec: DotBlock output length mismatch")
+	}
+	nc := 0
+	if len(xs) > 0 && len(ys) > 0 {
+		n := len(xs[0])
+		for _, x := range xs {
+			mustSameLen2(n, len(x))
+		}
+		for _, y := range ys {
+			mustSameLen2(n, len(y))
+		}
+		nc = p.beginEqual(opDotBlock, n)
+	}
+	if nc == 0 {
+		DotBlock(xs, ys, out)
+		return
+	}
+	n := len(xs[0])
+	p.growBatchSlab(n, len(xs)*len(ys))
+	p.job = job{op: opDotBlock, ys: xs, ds: ys}
+	p.run(nc)
+	nb := nblocks(n)
+	for k := range out {
+		out[k] = combineTree(p.batchPart[k*p.batchCap : k*p.batchCap+nb])
+	}
+	p.end()
+}
+
+// AxpyBlock accumulates ys[j] += sum_i coef[i*len(ys)+j]*xs[i] with
+// chunked parallelism (the block-CG multi-axpy); elementwise, so pooled
+// results are bitwise identical to the serial AxpyBlock.
+func (p *Pool) AxpyBlock(coef []float64, xs, ys []Vector) {
+	if len(coef) != len(xs)*len(ys) {
+		panic("vec: AxpyBlock coefficient length mismatch")
+	}
+	if len(xs) == 0 || len(ys) == 0 {
+		return
+	}
+	n := len(ys[0])
+	for _, x := range xs {
+		mustSameLen2(n, len(x))
+	}
+	for _, y := range ys {
+		mustSameLen2(n, len(y))
+	}
+	nc := p.beginEqual(opAxpyBlock, n)
+	if nc == 0 {
+		axpyBlockRange(coef, xs, ys, 0, n)
+		return
+	}
+	p.job = job{op: opAxpyBlock, x: coef, ys: xs, ds: ys}
+	p.run(nc)
+	p.end()
+}
+
+// PoolDotBlock runs DotBlock on the pool when p is non-nil and serially
+// otherwise.
+func PoolDotBlock(p *Pool, xs, ys []Vector, out []float64) {
+	if p != nil {
+		p.DotBlock(xs, ys, out)
+		return
+	}
+	DotBlock(xs, ys, out)
+}
+
+// PoolAxpyBlock runs AxpyBlock on the pool when p is non-nil and
+// serially otherwise.
+func PoolAxpyBlock(p *Pool, coef []float64, xs, ys []Vector) {
+	if p != nil {
+		p.AxpyBlock(coef, xs, ys)
+		return
+	}
+	AxpyBlock(coef, xs, ys)
+}
+
 // PoolDot returns p.Dot(x, y) when p is non-nil and the serial Dot
 // otherwise. The Pool* helpers are the single pool-or-serial dispatch
 // point shared by every solver hot path.
@@ -728,6 +840,61 @@ func (p *Pool) CSRMulVec(bounds []int, rowPtr, colIdx []int, vals []float64, dst
 		return false
 	}
 	p.job = job{op: opCSRMulVec, rowPtr: rowPtr, colIdx: colIdx, vals: vals, x: x, z: dst}
+	p.run(nc)
+	p.end()
+	return true
+}
+
+// CSRMulVecsRows computes dsts[j][lo:hi] = (A*xs[j])[lo:hi] for every
+// column j in one pass over the row data: each row's (value, column)
+// stream is read once per group of four columns instead of once per
+// column, which is where the multi-RHS bandwidth win comes from. Each
+// column's accumulation order matches the single-vector CSR loop
+// exactly, so every output column is bitwise identical to MulVec.
+func CSRMulVecsRows(rowPtr, colIdx []int, vals []float64, dsts, xs []Vector, lo, hi int) {
+	s := len(xs)
+	j := 0
+	for ; j+4 <= s; j += 4 {
+		x0, x1, x2, x3 := xs[j], xs[j+1], xs[j+2], xs[j+3]
+		d0, d1, d2, d3 := dsts[j], dsts[j+1], dsts[j+2], dsts[j+3]
+		for i := lo; i < hi; i++ {
+			var s0, s1, s2, s3 float64
+			for q := rowPtr[i]; q < rowPtr[i+1]; q++ {
+				v, c := vals[q], colIdx[q]
+				s0 += v * x0[c]
+				s1 += v * x1[c]
+				s2 += v * x2[c]
+				s3 += v * x3[c]
+			}
+			d0[i], d1[i], d2[i], d3[i] = s0, s1, s2, s3
+		}
+	}
+	for ; j < s; j++ {
+		x, d := xs[j], dsts[j]
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for q := rowPtr[i]; q < rowPtr[i+1]; q++ {
+				acc += vals[q] * x[colIdx[q]]
+			}
+			d[i] = acc
+		}
+	}
+}
+
+// CSRMulVecs computes dsts[j] = A*xs[j] for all columns in one
+// parallelized row pass over the caller-provided partition (see
+// CSRMulVec for the partition contract). It returns false — leaving the
+// destinations untouched — when the nonzero count is below the
+// multi-vector SpMV cutoff or the partition does not fit this pool.
+func (p *Pool) CSRMulVecs(bounds []int, rowPtr, colIdx []int, vals []float64, dsts, xs []Vector) bool {
+	if int64(len(vals)) < p.cutoff(opCSRMulVecs) {
+		return false
+	}
+	nc := p.beginBounds(bounds)
+	if nc == 0 {
+		return false
+	}
+	p.job = job{op: opCSRMulVecs, rowPtr: rowPtr, colIdx: colIdx, vals: vals, ds: dsts, ys: xs}
 	p.run(nc)
 	p.end()
 	return true

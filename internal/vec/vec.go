@@ -500,6 +500,63 @@ func DotBatch(x Vector, ys []Vector, dots []float64) {
 	}
 }
 
+// DotBlock fills out[i*len(ys)+j] = <xs[i], ys[j]> for every pair — the
+// s×s Gram reduction of the block multi-RHS methods, batched so the
+// whole block costs one synchronization on the pooled path. Each pair is
+// defined by the canonical reduction tree, so the pooled form is bitwise
+// identical to this serial one.
+func DotBlock(xs, ys []Vector, out []float64) {
+	if len(out) != len(xs)*len(ys) {
+		panic(fmt.Sprintf("vec: DotBlock output length %d for %dx%d pairs", len(out), len(xs), len(ys)))
+	}
+	for i, x := range xs {
+		for j, y := range ys {
+			mustSameLen2(len(x), len(y))
+			out[i*len(ys)+j] = Dot(x, y)
+		}
+	}
+}
+
+// AxpyBlock accumulates ys[j] += sum_i coef[i*len(ys)+j] * xs[i] for
+// every output column — the block-CG update X += P·Λ as one kernel. The
+// sweep is blocked so each BlockLen segment of every operand is touched
+// while cache-resident; per element the accumulation order over i is
+// fixed, so the pooled (chunked) form is bitwise identical.
+func AxpyBlock(coef []float64, xs, ys []Vector) {
+	if len(coef) != len(xs)*len(ys) {
+		panic(fmt.Sprintf("vec: AxpyBlock coefficient length %d for %dx%d pairs", len(coef), len(xs), len(ys)))
+	}
+	if len(xs) == 0 || len(ys) == 0 {
+		return
+	}
+	n := len(ys[0])
+	for _, x := range xs {
+		mustSameLen2(n, len(x))
+	}
+	for _, y := range ys {
+		mustSameLen2(n, len(y))
+	}
+	axpyBlockRange(coef, xs, ys, 0, n)
+}
+
+// axpyBlockRange is the shared serial/pooled body of AxpyBlock over
+// element range [lo, hi).
+func axpyBlockRange(coef []float64, xs, ys []Vector, lo, hi int) {
+	s := len(ys)
+	for b0 := lo; b0 < hi; b0 += BlockLen {
+		b1 := b0 + BlockLen
+		if b1 > hi {
+			b1 = hi
+		}
+		for j, y := range ys {
+			yb := y[b0:b1]
+			for i, x := range xs {
+				Axpy(coef[i*s+j], x[b0:b1], yb)
+			}
+		}
+	}
+}
+
 // GramBlock fills g[i][j] = <xs[i], ys[j]>. It is the kernel behind the
 // base Gram sequences mu, nu, omega of the look-ahead algorithm.
 func GramBlock(xs, ys []Vector, g [][]float64) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"vrcg/server"
@@ -69,36 +70,134 @@ func BenchmarkServeSolveWarm(b *testing.B) {
 }
 
 // BenchmarkServeBatch measures multi-RHS amortization through
-// /v1/solve/batch at increasing fan-out.
+// /v1/solve/batch over the binary content type — the transport the
+// batch path is built around: one frame decode and one frame encode
+// per request, pooled buffers, no per-float text formatting. Columns
+// are distinct (the block route must not be flattered by linearly
+// dependent right-hand sides), and allocs/rhs tracks how per-request
+// overhead amortizes. The JSON batch path stays covered by
+// BenchmarkServeBatchJSONRhs64, the rung where its per-float encode
+// cost peaks.
 func BenchmarkServeBatch(b *testing.B) {
-	for _, nrhs := range []int{1, 8, 64} {
+	for _, nrhs := range []int{1, 8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("rhs%d", nrhs), func(b *testing.B) {
 			srv, rhs := benchServer(b, 16)
 			B := make([][]float64, nrhs)
 			for k := range B {
-				B[k] = rhs
+				col := make([]float64, len(rhs))
+				for i := range col {
+					col[i] = rhs[i] + float64(k)
+				}
+				B[k] = col
 			}
-			body, err := json.Marshal(server.BatchRequest{
-				Operator: "poisson",
-				Method:   "cg",
-				RHS:      B,
-				Params:   &solve.Params{Tol: 1e-10},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
+			body := binSolveBody("poisson", "cg", "", &solve.Params{Tol: 1e-10}, 0, B...)
+			rb := &replayBody{}
+			req := httptest.NewRequest("POST", "/v1/solve/batch", nil)
+			req.Header.Set("Content-Type", server.BinaryContentType)
+			req.ContentLength = int64(len(body))
+			req.Body = rb
+			w := &discardWriter{h: make(http.Header)}
 			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				req := httptest.NewRequest("POST", "/v1/solve/batch", bytes.NewReader(body))
-				rec := httptest.NewRecorder()
-				srv.ServeHTTP(rec, req)
-				if rec.Code != http.StatusOK {
-					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				rb.Reset(body)
+				w.code = 0
+				srv.ServeHTTP(w, req)
+				if w.code != http.StatusOK {
+					b.Fatalf("status %d", w.code)
 				}
 			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
 			b.ReportMetric(float64(nrhs)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N)/float64(nrhs), "allocs/rhs")
 		})
+	}
+}
+
+// BenchmarkServeBatchJSONRhs64 pins the JSON batch path at its widest
+// rung, where decoding 64 float arrays and formatting 64 solution
+// vectors dominate; the pooled request scratch keeps its allocation
+// count bounded.
+func BenchmarkServeBatchJSONRhs64(b *testing.B) {
+	const nrhs = 64
+	srv, rhs := benchServer(b, 16)
+	B := make([][]float64, nrhs)
+	for k := range B {
+		col := make([]float64, len(rhs))
+		for i := range col {
+			col[i] = rhs[i] + float64(k)
+		}
+		B[k] = col
+	}
+	body, err := json.Marshal(server.BatchRequest{
+		Operator: "poisson",
+		Method:   "cg",
+		RHS:      B,
+		Params:   &solve.Params{Tol: 1e-10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/solve/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(nrhs)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+}
+
+// discardWriter is a zero-allocation ResponseWriter so the binary
+// solve bench measures the server path, not httptest's recorder.
+type discardWriter struct {
+	h    http.Header
+	code int
+}
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(code int)        { d.code = code }
+
+// replayBody is a rewindable no-alloc request body.
+type replayBody struct{ bytes.Reader }
+
+func (*replayBody) Close() error { return nil }
+
+// BenchmarkServeSolveWarmBinary measures the steady-state single solve
+// over the binary content type: pooled frame decode, affinity-cached
+// operator resolution, warm session, binary encode. The request and
+// response writer are reused so the reported allocations are the
+// server's own.
+func BenchmarkServeSolveWarmBinary(b *testing.B) {
+	srv, rhs := benchServer(b, 16)
+	body := binSolveBody("poisson", "cg", "", &solve.Params{Tol: 1e-10}, 0, rhs)
+	rb := &replayBody{}
+	req := httptest.NewRequest("POST", "/v1/solve", nil)
+	req.Header.Set("Content-Type", server.BinaryContentType)
+	req.ContentLength = int64(len(body))
+	req.Body = rb
+	w := &discardWriter{h: make(http.Header)}
+	rb.Reset(body)
+	srv.ServeHTTP(w, req)
+	if w.code != http.StatusOK {
+		b.Fatalf("warmup status %d", w.code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Reset(body)
+		w.code = 0
+		srv.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
+		}
 	}
 }
 

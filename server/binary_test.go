@@ -1,0 +1,268 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"vrcg/cluster/wire"
+	"vrcg/server"
+	"vrcg/solve"
+)
+
+// binSolveBody frames one binary request (shared by /v1/solve with one
+// rhs and /v1/solve/batch with many).
+func binSolveBody(operator, method, precond string, params *solve.Params, timeoutMS int, rhs ...[]float64) []byte {
+	enc := wire.NewEnc(64)
+	enc.U8(1)
+	enc.Str(operator)
+	enc.Str(method)
+	enc.Str(precond)
+	if params != nil {
+		blob, err := json.Marshal(params)
+		if err != nil {
+			panic(err)
+		}
+		enc.Str(string(blob))
+	} else {
+		enc.Str("")
+	}
+	enc.U32(uint32(timeoutMS))
+	enc.U32(uint32(len(rhs)))
+	for _, b := range rhs {
+		enc.F64s(b)
+	}
+	out := append([]byte(nil), enc.B...)
+	enc.Release()
+	return out
+}
+
+// binResult is one decoded response section.
+type binResult struct {
+	code             string
+	method           string
+	converged        bool
+	iterations       int
+	residualNorm     float64
+	trueResidualNorm float64
+	x                []float64
+}
+
+// decodeBinResponse parses a binary response frame.
+func decodeBinResponse(t *testing.T, body []byte) (topCode string, results []binResult) {
+	t.Helper()
+	d := wire.NewDec(body)
+	if v := d.U8(); v != 1 {
+		t.Fatalf("binary response version %d", v)
+	}
+	topCode = d.Str()
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		var r binResult
+		r.code = d.Str()
+		r.method = d.Str()
+		r.converged = d.U8() == 1
+		r.iterations = int(d.U32())
+		r.residualNorm = d.F64()
+		r.trueResidualNorm = d.F64()
+		r.x = d.F64s(nil)
+		results = append(results, r)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("binary response decode: %v", err)
+	}
+	return topCode, results
+}
+
+func (c *testClient) postBin(path string, body []byte) (*http.Response, []byte) {
+	c.t.Helper()
+	resp, err := http.Post(c.srv.URL+path, server.BinaryContentType, bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp, blob
+}
+
+// TestBinarySolveBitIdenticalToJSON: the binary transport is a pure
+// encoding change — the solution vector must match the JSON path bit
+// for bit, since both run the identical warm-session solve.
+func TestBinarySolveBitIdenticalToJSON(t *testing.T) {
+	a, b := testSystem(12)
+	c := newTestClient(t, server.Config{})
+	c.upload("poisson", a)
+	params := &solve.Params{Tol: 1e-10}
+
+	var jres server.WireResult
+	if status := c.post("/v1/solve", server.SolveRequest{
+		Operator: "poisson", Method: "cg", RHS: b, Params: params,
+	}, &jres); status != http.StatusOK {
+		t.Fatalf("json solve status %d", status)
+	}
+
+	resp, blob := c.postBin("/v1/solve", binSolveBody("poisson", "cg", "", params, 0, b))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary solve status %d: %s", resp.StatusCode, blob)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != server.BinaryContentType {
+		t.Fatalf("binary response content type %q", ct)
+	}
+	topCode, results := decodeBinResponse(t, blob)
+	if topCode != "" || len(results) != 1 {
+		t.Fatalf("top code %q, %d results", topCode, len(results))
+	}
+	r := results[0]
+	if !r.converged || r.method != "cg" || r.code != "" {
+		t.Fatalf("binary result: %+v", r)
+	}
+	if len(r.x) != len(jres.X) {
+		t.Fatalf("x length %d vs json %d", len(r.x), len(jres.X))
+	}
+	for i := range r.x {
+		if r.x[i] != jres.X[i] {
+			t.Fatalf("x[%d] = %x over binary, %x over JSON — transports must be bit-identical",
+				i, r.x[i], jres.X[i])
+		}
+	}
+	if r.iterations != jres.Iterations || r.residualNorm != jres.ResidualNorm {
+		t.Fatalf("metadata drifted: binary %+v vs json %+v", r, jres)
+	}
+}
+
+// TestBinarySolveAffinityWarm: repeated binary solves over one client
+// keep working (and stay correct) once the affinity cache is hot, and
+// a re-upload under the same operator name invalidates it.
+func TestBinarySolveAffinityWarm(t *testing.T) {
+	a, b := testSystem(8)
+	c := newTestClient(t, server.Config{})
+	c.upload("poisson", a)
+	body := binSolveBody("poisson", "cg", "", &solve.Params{Tol: 1e-10}, 0, b)
+
+	var first []float64
+	for i := 0; i < 5; i++ {
+		resp, blob := c.postBin("/v1/solve", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d status %d: %s", i, resp.StatusCode, blob)
+		}
+		_, results := decodeBinResponse(t, blob)
+		if i == 0 {
+			first = results[0].x
+			continue
+		}
+		for j := range first {
+			if results[0].x[j] != first[j] {
+				t.Fatalf("solve %d diverged from the first at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestBinaryBatch: the batch endpoint over the binary transport, wide
+// enough to take the block route end to end.
+func TestBinaryBatch(t *testing.T) {
+	a, b := testSystem(8)
+	c := newTestClient(t, server.Config{})
+	c.upload("poisson", a)
+	n := len(b)
+	B := make([][]float64, 6)
+	for k := range B {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = b[i] + float64(k)
+		}
+		B[k] = col
+	}
+	resp, blob := c.postBin("/v1/solve/batch", binSolveBody("poisson", "cg", "", &solve.Params{Tol: 1e-10}, 0, B...))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, blob)
+	}
+	topCode, results := decodeBinResponse(t, blob)
+	if topCode != "" || len(results) != len(B) {
+		t.Fatalf("top code %q, %d results", topCode, len(results))
+	}
+	for k, r := range results {
+		if !r.converged || r.code != "" {
+			t.Fatalf("rhs %d: %+v", k, r)
+		}
+		var jres server.WireResult
+		if status := c.post("/v1/solve", server.SolveRequest{
+			Operator: "poisson", Method: "cg", RHS: B[k], Params: &solve.Params{Tol: 1e-10},
+		}, &jres); status != http.StatusOK {
+			t.Fatalf("json solve %d status %d", k, status)
+		}
+		diff := 0.0
+		for i := range r.x {
+			d := r.x[i] - jres.X[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > diff {
+				diff = d
+			}
+		}
+		if diff > 1e-8 {
+			t.Fatalf("rhs %d differs from json solve by %g", k, diff)
+		}
+	}
+}
+
+// TestBinaryErrors: protocol failures answer as ordinary JSON errors
+// under the usual codes, and a malformed frame cannot take the
+// handler down.
+func TestBinaryErrors(t *testing.T) {
+	a, b := testSystem(8)
+	c := newTestClient(t, server.Config{})
+	c.upload("poisson", a)
+
+	// Unknown operator.
+	resp, blob := c.postBin("/v1/solve", binSolveBody("nope", "cg", "", nil, 0, b))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown operator status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error content type %q", ct)
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(blob, &er); err != nil || er.Code != "unknown_operator" {
+		t.Fatalf("error body %s (err %v)", blob, err)
+	}
+
+	// Truncated frame.
+	whole := binSolveBody("poisson", "cg", "", nil, 0, b)
+	resp, blob = c.postBin("/v1/solve", whole[:len(whole)/2])
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated frame status %d: %s", resp.StatusCode, blob)
+	}
+
+	// Wrong rhs length.
+	resp, _ = c.postBin("/v1/solve", binSolveBody("poisson", "cg", "", nil, 0, b[:4]))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short rhs status %d", resp.StatusCode)
+	}
+
+	// Wrong rhs length again on the now-warm affinity path.
+	resp, _ = c.postBin("/v1/solve", binSolveBody("poisson", "cg", "", nil, 0, b))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid solve status %d", resp.StatusCode)
+	}
+	resp, _ = c.postBin("/v1/solve", binSolveBody("poisson", "cg", "", nil, 0, b[:4]))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short rhs on warm path status %d", resp.StatusCode)
+	}
+
+	// Not converged still ships the partial result, binary-framed.
+	resp, blob = c.postBin("/v1/solve", binSolveBody("poisson", "cg", "", &solve.Params{Tol: 1e-14, MaxIter: 2}, 0, b))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("not-converged status %d", resp.StatusCode)
+	}
+	topCode, results := decodeBinResponse(t, blob)
+	if topCode != "not_converged" || len(results) != 1 || results[0].converged {
+		t.Fatalf("not-converged frame: code %q results %+v", topCode, results)
+	}
+}

@@ -1,21 +1,36 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"vrcg/solve"
 	"vrcg/sparse"
 )
 
+// jsonBufs pools response-encoding buffers: one Write per response
+// instead of the encoder's chunked writes, and the buffer's growth is
+// amortized across requests.
+var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(body); err != nil {
+		buf.Reset()
+		buf.WriteString(`{"code":"internal","error":"response encoding failed"}` + "\n")
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(body) // the client went away; nothing to do
+	_, _ = w.Write(buf.Bytes()) // the client went away; nothing to do
+	jsonBufs.Put(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, code, detail string) {
@@ -148,8 +163,13 @@ func checkMethodShape(method string, op *storedOperator) error {
 }
 
 // handleSolve is POST /v1/solve: one right-hand side through a warm
-// pooled session.
+// pooled session. The binary content type selects the framed
+// transport (binary.go); JSON stays the default.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleSolveBin(w, r)
+		return
+	}
 	var req SolveRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -196,21 +216,49 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// lenScratch pools the per-batch rhs-length slices.
+var lenScratch = sync.Pool{New: func() any { s := make([]int, 0, 64); return &s }}
+
+// batchScratch pools the decoded batch request across requests:
+// encoding/json reuses slice capacity when decoding into non-nil
+// slices, so a warm scratch decodes a 64-column batch without
+// reallocating the outer slice or any column. Every field is reset
+// before decoding — absent JSON fields leave Go values untouched, and
+// stale ones must not leak between requests.
+type batchScratch struct {
+	req    BatchRequest
+	params solve.Params
+}
+
+var batchScratches = sync.Pool{New: func() any { return new(batchScratch) }}
+
 // handleBatch is POST /v1/solve/batch: many right-hand sides fanned out
-// through solve.Batch from a pooled base session.
+// through solve.Batch from a pooled base session. The binary content
+// type selects the framed transport (binary.go).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !decodeBody(w, r, &req) {
+	if isBinary(r) {
+		s.handleBatchBin(w, r)
+		return
+	}
+	sc := batchScratches.Get().(*batchScratch)
+	defer batchScratches.Put(sc)
+	sc.params = solve.Params{}
+	req := &sc.req
+	*req = BatchRequest{RHS: req.RHS[:0], Params: &sc.params}
+	if !decodeBody(w, r, req) {
 		return
 	}
 	if len(req.RHS) == 0 {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "missing rhs")
 		return
 	}
-	lens := make([]int, len(req.RHS))
-	for i, b := range req.RHS {
-		lens[i] = len(b)
+	lensp := lenScratch.Get().(*[]int)
+	defer lenScratch.Put(lensp)
+	lens := (*lensp)[:0]
+	for _, b := range req.RHS {
+		lens = append(lens, len(b))
 	}
+	*lensp = lens[:0]
 	op, pool := s.solveSetup(w, req.Operator, req.Method, req.Params, req.Precond, lens...)
 	if op == nil {
 		return
@@ -242,21 +290,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Params != nil {
 		bw = req.Params.BatchWorkers
 	}
-	if bw <= 0 || bw > s.cfg.MaxConcurrent {
-		bw = s.cfg.MaxConcurrent
-	}
-	if bw > len(req.RHS) {
-		bw = len(req.RHS)
-	}
-	extra := 0
-	for extra < bw-1 {
-		select {
-		case s.run <- struct{}{}:
-			extra++
-		default:
-			bw = extra + 1
-		}
-	}
+	extra := s.widenBatch(bw, len(req.RHS))
 	start := time.Now()
 	results, err := ps.SolveMany(req.RHS, solve.WithBatchWorkers(1+extra))
 	for ; extra > 0; extra-- {
@@ -316,6 +350,7 @@ func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 			Summary:      solve.Summary(name),
 			Nonsymmetric: caps.Nonsymmetric,
 			Rectangular:  caps.Rectangular,
+			Block:        caps.Block,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -329,17 +364,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics is GET /metrics.
+// handleMetrics is GET /metrics, rendered by hand into a pooled
+// buffer (see metrics.go): dashboards poll it continuously, and the
+// reflective encoder burned ~100 allocations per scrape on snapshot
+// maps alone. The rare cluster block still goes through encoding/json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.met.snapshot()
-	snap.SessionPools = s.pools.stats()
-	if snap.Sequences != nil {
-		snap.Sequences.Open = s.seqs.count()
-	}
-	snap.Operators = operatorGauges{Count: s.store.len(), Capacity: s.cfg.MaxOperators}
+	pools := s.pools.stats()
+	ops := operatorGauges{Count: s.store.len(), Capacity: s.cfg.MaxOperators}
+	var clusterBlob []byte
 	if c := s.cfg.Cluster; c != nil {
 		cs := c.Metrics()
-		snap.Cluster = &cs
+		clusterBlob, _ = json.Marshal(cs)
 	}
-	writeJSON(w, http.StatusOK, snap)
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	s.met.render(buf, pools, ops, s.seqs.count(), clusterBlob)
+	buf.WriteByte('\n') // parity with the Encoder-based responses
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+	jsonBufs.Put(buf)
 }

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"bytes"
+	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -28,6 +31,11 @@ type metrics struct {
 	seqReused  uint64
 	seqClosed  uint64
 	seqSteps   map[string]*histogram // "cold" | "warm" → iterations
+
+	// keyScratch is the reused sorted-key slice of the manual /metrics
+	// renderer (guarded by mu like everything else here).
+	keyScratch []string
+	intScratch []int
 }
 
 func newMetrics() *metrics {
@@ -243,4 +251,240 @@ func (h *histogram) snapshot() histogramSnapshot {
 // "1", "2500").
 func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// The manual /metrics renderer. Dashboards scrape the endpoint
+// continuously, and encoding/json paid ~100 allocations per scrape
+// building snapshot maps just to reflect over them. The renderer
+// writes the identical JSON (same field names, same map-key ordering
+// — keys sorted as encoding/json sorts them) straight into a pooled
+// buffer from the live state, with the bucket label strings
+// precomputed once per bucket vocabulary. snapshot() stays for tests
+// and programmatic use.
+
+// bucketKeys precomputes one bucket vocabulary's JSON key strings in
+// the order encoding/json would emit them (lexically sorted), with
+// idx mapping each key back to its counts slot.
+type bucketKeys struct {
+	keys []string
+	idx  []int
+}
+
+func makeBucketKeys(bounds []float64) *bucketKeys {
+	keys := make([]string, len(bounds)+1)
+	for i, b := range bounds {
+		keys[i] = formatBound(b)
+	}
+	keys[len(bounds)] = "+Inf"
+	bk := &bucketKeys{keys: keys, idx: make([]int, len(keys))}
+	for i := range bk.idx {
+		bk.idx[i] = i
+	}
+	sort.Slice(bk.idx, func(i, j int) bool { return keys[bk.idx[i]] < keys[bk.idx[j]] })
+	sorted := make([]string, len(keys))
+	for i, o := range bk.idx {
+		sorted[i] = keys[o]
+	}
+	bk.keys = sorted
+	return bk
+}
+
+var (
+	latencyKeys   = makeBucketKeys(latencyBuckets)
+	iterationKeys = makeBucketKeys(iterationBuckets)
+)
+
+// keysFor maps a bounds slice to its precomputed key table.
+func keysFor(bounds []float64) *bucketKeys {
+	switch {
+	case len(bounds) == len(latencyBuckets) && &bounds[0] == &latencyBuckets[0]:
+		return latencyKeys
+	case len(bounds) == len(iterationBuckets) && &bounds[0] == &iterationBuckets[0]:
+		return iterationKeys
+	}
+	return makeBucketKeys(bounds)
+}
+
+// jsonUint writes an unsigned integer.
+func jsonUint(buf *bytes.Buffer, v uint64) {
+	var tmp [20]byte
+	buf.Write(strconv.AppendUint(tmp[:0], v, 10))
+}
+
+// jsonIntVal writes a signed integer.
+func jsonIntVal(buf *bytes.Buffer, v int) {
+	var tmp [20]byte
+	buf.Write(strconv.AppendInt(tmp[:0], int64(v), 10))
+}
+
+// jsonFloat writes a float the way encoding/json does: shortest 'f'
+// form, switching to 'e' (with the two-digit exponent's leading zero
+// trimmed) only for very large or very small magnitudes.
+func jsonFloat(buf *bytes.Buffer, v float64) {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	var tmp [32]byte
+	b := strconv.AppendFloat(tmp[:0], v, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	buf.Write(b)
+}
+
+// render writes one histogram as its histogramSnapshot JSON.
+func (h *histogram) render(buf *bytes.Buffer) {
+	buf.WriteString(`{"count":`)
+	jsonUint(buf, h.count)
+	buf.WriteString(`,"sum_ms":`)
+	jsonFloat(buf, h.sumMS)
+	buf.WriteString(`,"mean_ms":`)
+	mean := 0.0
+	if h.count > 0 {
+		mean = h.sumMS / float64(h.count)
+	}
+	jsonFloat(buf, mean)
+	buf.WriteString(`,"max_ms":`)
+	jsonFloat(buf, h.maxMS)
+	buf.WriteString(`,"buckets":{`)
+	var cum [32]uint64
+	c := uint64(0)
+	for i, v := range h.counts {
+		c += v
+		cum[i] = c
+	}
+	bk := keysFor(h.bounds)
+	for i, key := range bk.keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(key)
+		buf.WriteString(`":`)
+		jsonUint(buf, cum[bk.idx[i]])
+	}
+	buf.WriteString("}}")
+}
+
+// render writes the full /metrics document (sans trailing newline).
+// The out-of-band gauges (session pools, operators, open sequences,
+// marshaled cluster block) are collected by the caller before taking
+// m.mu, so no two locks are ever held together. Route and method
+// names are a fixed safe vocabulary, written unescaped.
+func (m *metrics) render(buf *bytes.Buffer, pools poolStats, ops operatorGauges, seqOpen int, clusterBlob []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	buf.WriteString(`{"uptime_s":`)
+	jsonFloat(buf, time.Since(m.start).Seconds())
+
+	buf.WriteString(`,"requests":{`)
+	keys := m.keyScratch[:0]
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(k)
+		buf.WriteString(`":`)
+		jsonUint(buf, m.requests[k])
+	}
+
+	buf.WriteString(`},"statuses":{`)
+	ints := m.intScratch[:0]
+	for k := range m.statuses {
+		ints = append(ints, k)
+	}
+	sort.Ints(ints)
+	for i, k := range ints {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		jsonIntVal(buf, k)
+		buf.WriteString(`":`)
+		jsonUint(buf, m.statuses[k])
+	}
+	m.intScratch = ints[:0]
+
+	buf.WriteString(`},"queue_rejects":`)
+	jsonUint(buf, m.queueRejects)
+
+	buf.WriteString(`,"solve_latency_ms":{`)
+	keys = keys[:0]
+	for k := range m.latency {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(k)
+		buf.WriteString(`":`)
+		m.latency[k].render(buf)
+	}
+
+	buf.WriteString(`},"session_pools":{"pools":`)
+	jsonIntVal(buf, pools.Pools)
+	buf.WriteString(`,"sessions":`)
+	jsonIntVal(buf, pools.Sessions)
+	buf.WriteString(`,"idle":`)
+	jsonIntVal(buf, pools.Idle)
+	buf.WriteString(`,"hits":`)
+	jsonUint(buf, pools.Hits)
+	buf.WriteString(`,"misses":`)
+	jsonUint(buf, pools.Misses)
+	buf.WriteString(`,"hit_rate":`)
+	jsonFloat(buf, pools.HitRate)
+
+	buf.WriteString(`},"operators":{"count":`)
+	jsonIntVal(buf, ops.Count)
+	buf.WriteString(`,"capacity":`)
+	jsonIntVal(buf, ops.Capacity)
+	buf.WriteByte('}')
+
+	if m.seqCreated > 0 || len(m.seqSteps) > 0 {
+		buf.WriteString(`,"sequences":{"created":`)
+		jsonUint(buf, m.seqCreated)
+		buf.WriteString(`,"reused":`)
+		jsonUint(buf, m.seqReused)
+		buf.WriteString(`,"closed":`)
+		jsonUint(buf, m.seqClosed)
+		buf.WriteString(`,"open":`)
+		jsonIntVal(buf, seqOpen)
+		buf.WriteString(`,"step_iterations":{`)
+		keys = keys[:0]
+		for k := range m.seqSteps {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteByte('"')
+			buf.WriteString(k)
+			buf.WriteString(`":`)
+			m.seqSteps[k].render(buf)
+		}
+		buf.WriteString("}}")
+	}
+
+	if clusterBlob != nil {
+		buf.WriteString(`,"cluster":`)
+		buf.Write(clusterBlob)
+	}
+	buf.WriteByte('}')
+	m.keyScratch = keys[:0]
 }

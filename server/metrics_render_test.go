@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMetricsRenderMatchesEncodingJSON: the hand-written /metrics
+// renderer must be semantically identical to marshaling the snapshot —
+// same fields, same values, valid JSON — across every block it covers,
+// including sequences.
+func TestMetricsRenderMatchesEncodingJSON(t *testing.T) {
+	m := newMetrics()
+	m.observeRequest("/v1/solve", 200)
+	m.observeRequest("/v1/solve", 422)
+	m.observeRequest("/metrics", 200)
+	m.observeRequest("other", 404)
+	m.observeSolve("cg", 750*time.Microsecond)
+	m.observeSolve("cg", 3*time.Millisecond)
+	m.observeSolve("pcg/batch", 40*time.Millisecond)
+	m.observeQueueReject()
+	m.observeSequenceCreate(false)
+	m.observeSequenceCreate(true)
+	m.observeSequenceStep(false, 37)
+	m.observeSequenceStep(true, 2)
+	m.observeSequenceClose()
+
+	pools := poolStats{Pools: 2, Sessions: 5, Idle: 3, Hits: 41, Misses: 5, HitRate: 41.0 / 46.0}
+	ops := operatorGauges{Count: 1, Capacity: 32}
+
+	var buf bytes.Buffer
+	m.render(&buf, pools, ops, 1, nil)
+
+	snap := m.snapshot()
+	snap.SessionPools = pools
+	snap.Operators = ops
+	snap.Sequences.Open = 1
+	want, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got, exp map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("rendered metrics are not valid JSON: %v\n%s", err, buf.String())
+	}
+	if err := json.Unmarshal(want, &exp); err != nil {
+		t.Fatal(err)
+	}
+	// Uptime is read at two different instants; everything else must
+	// agree exactly.
+	delete(got, "uptime_s")
+	delete(exp, "uptime_s")
+	if !reflect.DeepEqual(got, exp) {
+		t.Fatalf("rendered metrics differ from encoding/json:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONFloatMatchesEncoder: the float formatter must reproduce
+// encoding/json's output byte for byte across its regimes.
+func TestJSONFloatMatchesEncoder(t *testing.T) {
+	for _, v := range []float64{
+		0, 1, -1, 0.25, 1e-7, -2.5e-8, 1e21, 3.7e22, 123456.789,
+		41.0 / 46.0, 1e-6, 999999999999999999999.0, 0.1,
+	} {
+		var buf bytes.Buffer
+		jsonFloat(&buf, v)
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != string(want) {
+			t.Errorf("jsonFloat(%g) = %s, encoding/json = %s", v, buf.String(), want)
+		}
+	}
+}

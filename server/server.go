@@ -101,6 +101,10 @@ type Server struct {
 	pools *sessionPools
 	seqs  *sequenceRegistry
 	met   *metrics
+	// aff is the binary transport's connection-persistent affinity
+	// cache (binary.go): repeat callers on one connection skip the
+	// session-pool lookup entirely.
+	aff affinity
 
 	// admit bounds admitted solve requests (running + waiting); a full
 	// channel is the 429 backpressure signal. run bounds actual solver
@@ -185,11 +189,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.leave()
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	// A declared in-bounds Content-Length needs no guard reader: the
+	// transport already bounds the body, and skipping the wrapper keeps
+	// the hot path allocation-free. Unknown or oversized lengths get
+	// the usual 413-on-read protection.
+	if r.ContentLength < 0 || r.ContentLength > s.cfg.MaxBodyBytes {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	rec := recorders.Get().(*statusRecorder)
+	rec.ResponseWriter, rec.status = w, http.StatusOK
 	s.mux.ServeHTTP(rec, r)
-	s.met.observeRequest(route, rec.status)
+	status := rec.status
+	rec.ResponseWriter = nil
+	recorders.Put(rec)
+	s.met.observeRequest(route, status)
 }
+
+// recorders pools the per-request status recorders.
+var recorders = sync.Pool{New: func() any { return new(statusRecorder) }}
 
 // routeLabel maps a request path onto the fixed route vocabulary the
 // metrics maps are keyed by. Unknown paths share one bucket so a

@@ -118,6 +118,10 @@ type MethodInfo struct {
 	// accept rectangular ones. Both false means square SPD only.
 	Nonsymmetric bool `json:"nonsymmetric,omitempty"`
 	Rectangular  bool `json:"rectangular,omitempty"`
+	// Block marks the multi-RHS methods that iterate a whole panel of
+	// right-hand sides through one shared Krylov space; /v1/solve/batch
+	// routes wide shared-operator batches through them automatically.
+	Block bool `json:"block,omitempty"`
 }
 
 // MethodList is the GET /v1/methods response body.

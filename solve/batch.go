@@ -46,6 +46,30 @@ func Batch(s *Session, B [][]float64, extra ...Option) ([]Result, error) {
 	}
 	baseOpts := append(append([]Option(nil), s.opts...), extra...)
 	cfg := newConfig(baseOpts)
+
+	// Shared-operator batches of a blockable method route through its
+	// block twin: one solve iterates a whole panel of right-hand sides,
+	// amortizing every SpMV row pass and fusing the per-column inner
+	// products into single block reductions. The route is gated on a
+	// multi-worker pool because that is the regime the block method is
+	// for: a block iteration costs a fixed number of kernel dispatches
+	// (reduction barriers) regardless of width, where independent solves
+	// pay O(width) of them per iteration. On serial kernels the trade
+	// reverses — the block's O(width²·n) Gram and update flops lose to
+	// warm independent solves at every width and size measured
+	// (BenchmarkBatchBlockVsIndependent: ~1.6-2.2x slower at widths 2-8,
+	// n 256-9216), so batches without a pooled backend stay on the
+	// generic fan-out. History recording and monitors also stay on the
+	// independent path — their per-RHS semantics have no block
+	// equivalent.
+	if tw, ok := blockTwin[s.method]; ok && len(B) >= blockRouteThreshold &&
+		cfg.pool != nil && cfg.pool.Workers() >= blockRoutePoolWorkers &&
+		!cfg.history && cfg.monitor == nil {
+		if results, err, handled := blockBatch(s, tw, B, baseOpts, cfg); handled {
+			return results, err
+		}
+	}
+
 	nw := cfg.batchWorkers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
@@ -109,6 +133,128 @@ func Batch(s *Session, B [][]float64, extra ...Option) ([]Result, error) {
 		}
 	}
 	return results, errors.Join(joined...)
+}
+
+// blockBatch routes a shared-operator batch through the block twin of
+// the session's method: the batch is cut into panels of at most
+// blockPanelWidth columns, each panel solved by one block solve, and
+// panels fan out across the batch workers exactly like the generic
+// path (round-robin, per-worker forked pools). The third return
+// reports whether the route handled the batch at all — false sends the
+// caller to the generic per-RHS fan-out.
+//
+// A panel whose block iteration fails structurally (Gram breakdown,
+// indefinite operator) degrades to independent single-RHS solves of
+// the session's original method, so the block route never turns a
+// solvable batch into an error the generic path would not produce.
+func blockBatch(s *Session, twin string, B [][]float64, baseOpts []Option, cfg *config) ([]Result, error, bool) {
+	if sol, err := New(twin); err != nil {
+		return nil, nil, false
+	} else if _, ok := sol.(*blockSolver); !ok {
+		return nil, nil, false
+	}
+	if err := cfg.preflight(twin); err != nil {
+		return nil, nil, false
+	}
+
+	npanels := (len(B) + blockPanelWidth - 1) / blockPanelWidth
+	nw := cfg.batchWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > npanels {
+		nw = npanels
+	}
+
+	results := make([]Result, len(B))
+	errs := make([]error, len(B))
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcfg := cfg
+			workerOpts := baseOpts
+			if cfg.pool != nil && nw > 1 {
+				pw := cfg.pool.Workers() / nw
+				if pw < 1 {
+					pw = 1
+				}
+				wp := sparse.NewPoolMinChunk(pw, cfg.pool.MinChunk())
+				defer wp.Close()
+				workerOpts = append(append([]Option(nil), baseOpts...), WithPool(wp))
+				wcfg = newConfig(workerOpts)
+			}
+			sol, err := New(twin)
+			if err != nil {
+				for pi := w; pi < npanels; pi += nw {
+					lo, hi := panelBounds(pi, len(B))
+					for i := lo; i < hi; i++ {
+						errs[i] = err
+					}
+				}
+				return
+			}
+			bs := sol.(*blockSolver)
+			var fallback *Session
+			for pi := w; pi < npanels; pi += nw {
+				lo, hi := panelBounds(pi, len(B))
+				if wcfg.ctx != nil && wcfg.ctx.Err() != nil {
+					for i := lo; i < hi; i++ {
+						errs[i] = fmt.Errorf("solve: batch rhs not started: %w", wcfg.ctx.Err())
+					}
+					continue
+				}
+				if err := bs.solvePanel(s.op, B[lo:hi], wcfg, results[lo:hi], errs[lo:hi]); err == nil {
+					continue
+				}
+				// The block iteration failed before producing per-column
+				// outcomes; solve this panel's columns independently with
+				// the session's own method instead.
+				if fallback == nil {
+					fs, err := NewSession(s.method, s.op, workerOpts...)
+					if err != nil {
+						for i := lo; i < hi; i++ {
+							errs[i] = err
+						}
+						continue
+					}
+					fallback = fs
+				}
+				for i := lo; i < hi; i++ {
+					res, err := fallback.Solve(B[i])
+					if err != nil {
+						errs[i] = err
+					}
+					if res != nil {
+						results[i] = *res
+						results[i].X = append([]float64(nil), res.X...)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, &RHSError{Index: i, Err: err})
+		}
+	}
+	return results, errors.Join(joined...), true
+}
+
+// panelBounds returns the half-open column range of panel pi in a
+// batch of n right-hand sides.
+func panelBounds(pi, n int) (lo, hi int) {
+	lo = pi * blockPanelWidth
+	hi = lo + blockPanelWidth
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // RHSError tags one right-hand side's failure with its index in B, so

@@ -134,11 +134,12 @@ func ExampleErrNotConverged() {
 // The registry drives CLIs: method vocabulary and help text come from
 // Methods and Summary, so adding a solver never touches the CLI.
 func ExampleMethods() {
-	for _, name := range solve.Methods()[:3] {
+	for _, name := range solve.Methods()[:4] {
 		fmt.Println(name)
 	}
 	// Output:
 	// bicgstab
+	// blockcg
+	// blockpcg
 	// cg
-	// cgfused
 }

@@ -23,6 +23,10 @@ type Caps struct {
 	// the least-squares problem min ||b - A x|| (cgnr, lsqr). Implies
 	// the operator must provide transpose products.
 	Rectangular bool
+	// Block: the method iterates multiple right-hand sides through one
+	// shared Krylov space per solve (blockcg, blockpcg); Batch routes
+	// shared-operator multi-RHS workloads through these methods.
+	Block bool
 }
 
 type entry struct {

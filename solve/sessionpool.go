@@ -180,6 +180,11 @@ func (ps *PooledSession) Release() {
 // callback across requests with different deadlines.
 type swapContext struct {
 	inner atomic.Pointer[contextBox]
+	// box is the one reused container: set is only ever called by the
+	// session's current owner (Acquire before handing it out, Release
+	// after the last read), so mutating the box between checkouts is
+	// unobservable and the per-request allocation disappears.
+	box contextBox
 }
 
 // contextBox lifts the Context interface value into a concrete type
@@ -189,9 +194,11 @@ type contextBox struct{ ctx context.Context }
 func (s *swapContext) set(ctx context.Context) {
 	if ctx == nil {
 		s.inner.Store(nil)
+		s.box.ctx = nil // drop the request context reference
 		return
 	}
-	s.inner.Store(&contextBox{ctx: ctx})
+	s.box.ctx = ctx
+	s.inner.Store(&s.box)
 }
 
 func (s *swapContext) current() context.Context {

@@ -311,6 +311,32 @@ func (m *CSR) MulVecPool(pool *Pool, dst, x []float64) {
 	}
 }
 
+// MulVecs computes dsts[j] = A*xs[j] for every column in one pass over
+// the row data, reading each row's (value, column) stream once per
+// group of four columns instead of once per column. Each output column
+// is bitwise identical to MulVec on the same input. dsts and xs must
+// have equal length, with every vector of length Dim; no dst may alias
+// any x.
+func (m *CSR) MulVecs(dsts, xs [][]float64) {
+	checkMulVecs(m, dsts, xs)
+	vec.CSRMulVecsRows(m.rowPtr, m.colIdx, m.vals, dsts, xs, 0, m.n)
+}
+
+// MulVecsPool computes dsts[j] = A*xs[j] in parallel over the pool
+// using the cached nnz-balanced row partition, with the same serial
+// fallbacks and the same bitwise-identity guarantee as MulVecPool.
+func (m *CSR) MulVecsPool(pool *Pool, dsts, xs [][]float64) {
+	checkMulVecs(m, dsts, xs)
+	if pool == nil || pool.Workers() < 2 || len(m.vals) < pool.SpMVCutoff() {
+		vec.CSRMulVecsRows(m.rowPtr, m.colIdx, m.vals, dsts, xs, 0, m.n)
+		return
+	}
+	bounds := m.RowPartition(pool.Workers())
+	if !pool.CSRMulVecs(bounds, m.rowPtr, m.colIdx, m.vals, dsts, xs) {
+		vec.CSRMulVecsRows(m.rowPtr, m.colIdx, m.vals, dsts, xs, 0, m.n)
+	}
+}
+
 // transpose returns the cached explicit transpose, building it on first
 // use.
 func (m *CSR) transpose() *CSR {
