@@ -20,7 +20,7 @@ GO         ?= go
 BINDIR     ?= bin
 BENCHPAT   ?= BenchmarkSpMV|BenchmarkPCGSolve|BenchmarkDotSerial|BenchmarkDotParallel|BenchmarkDotPooled|BenchmarkFusedCGUpdate|BenchmarkMatVecCSR|BenchmarkCGPlainVsFused
 BENCHOUT   ?= BENCH_engine.json
-SOLVEPAT   ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch
+SOLVEPAT   ?= BenchmarkSolveDispatch|BenchmarkSessionReuse|BenchmarkSessionPerMethod|BenchmarkFreshSolvePerCall|BenchmarkBatch|BenchmarkParcgFamily
 SOLVEOUT   ?= BENCH_solve.json
 SEQPAT     ?= BenchmarkSequence
 SEQOUT     ?= BENCH_sequence.json
@@ -92,11 +92,15 @@ bins:
 # diffed against the committed file (benchjson -prev prints the delta
 # table to stderr) before replacing it; benchjson -o writes the summary
 # atomically (same-dir temp + rename), so no half-written BENCH_*.json
-# or stray temp file can survive an interrupted run.
+# or stray temp file can survive an interrupted run. The solve surface
+# additionally runs under -gate-allocs: any benchmark allocating more
+# per op than its committed BENCH_solve.json value fails the target
+# (allocation counts are deterministic, so the gate tolerates no noise)
+# and leaves the committed file untouched.
 bench: bins
 	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(BENCHOUT) -o $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
-	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SOLVEOUT) -o $(SOLVEOUT)
+	$(GO) test -run '^$$' -bench '$(SOLVEPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SOLVEOUT) -gate-allocs -o $(SOLVEOUT)
 	@echo "wrote $(SOLVEOUT)"
 	$(GO) test -run '^$$' -bench '$(SEQPAT)' -benchmem . | tee /dev/stderr | $(BINDIR)/benchjson -prev $(SEQOUT) -o $(SEQOUT)
 	@echo "wrote $(SEQOUT)"

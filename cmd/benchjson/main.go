@@ -56,6 +56,7 @@ type Summary struct {
 func main() {
 	prevPath := flag.String("prev", "", "committed benchmark JSON to diff the fresh results against (delta table on stderr)")
 	outPath := flag.String("o", "", "write the JSON summary to this file atomically (default: stdout)")
+	gateAllocs := flag.Bool("gate-allocs", false, "fail (exit 1, previous file left in place) if any benchmark's allocs/op exceeds its value in -prev")
 	flag.Parse()
 
 	sum := Summary{GeneratedAt: time.Now().UTC()}
@@ -89,6 +90,16 @@ func main() {
 	}
 	if *prevPath != "" {
 		diffAgainst(*prevPath, sum)
+		if *gateAllocs {
+			if bad := allocRegressions(*prevPath, sum); len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: allocs/op regressions vs %s:\n", *prevPath)
+				for _, line := range bad {
+					fmt.Fprintf(os.Stderr, "  %s\n", line)
+				}
+				fmt.Fprintf(os.Stderr, "benchjson: refusing to overwrite %s; fix the allocations or re-baseline deliberately\n", *prevPath)
+				os.Exit(1)
+			}
+		}
 	}
 	if *outPath != "" {
 		if err := writeAtomic(*outPath, sum); err != nil {
@@ -195,6 +206,33 @@ func diffAgainst(path string, fresh Summary) {
 	} else {
 		fmt.Fprintf(os.Stderr, "\nbenchjson: no regressions beyond %.0f%% vs %s\n", 100*regressThreshold, path)
 	}
+}
+
+// allocRegressions compares fresh allocs/op against the committed
+// summary: any benchmark allocating more than its committed value is a
+// hard failure (unlike the informational ns/op table, allocation counts
+// are deterministic, so the gate has no noise to tolerate). Benchmarks
+// absent from the committed file are new and pass.
+func allocRegressions(path string, fresh Summary) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // first run: nothing committed to gate against
+	}
+	var prev Summary
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil
+	}
+	old := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[b.Name] = b
+	}
+	var bad []string
+	for _, b := range fresh.Benchmarks {
+		if p, ok := old[b.Name]; ok && b.AllocsPerOp > p.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op, committed %d", b.Name, b.AllocsPerOp, p.AllocsPerOp))
+		}
+	}
+	return bad
 }
 
 func mbCell(v float64) string {

@@ -57,9 +57,11 @@
 //
 // Result carries the paper's comparison currency directly: operation
 // counts (Stats), estimated blocking synchronization points (Syncs),
-// recurrence drift diagnostics (Drift, for "vrcg"), and the simulated
-// parallel-time trajectory (Clocks, for the distributed "parcg*"
-// methods). Non-convergence is one sentinel (solve.ErrNotConverged)
+// recurrence drift diagnostics (Drift, for "vrcg"), measured
+// per-iteration phase latencies (Phases, for the real-parallel "parcg*"
+// methods), and — in the opt-in machine-replay mode (WithProcessors) —
+// the simulated parallel-time trajectory (Clocks). Non-convergence is
+// one sentinel (solve.ErrNotConverged)
 // carrying a usable partial Result; breakdowns wrap solve.ErrIndefinite
 // / solve.ErrBreakdown; bad parameters wrap solve.ErrBadOption — all
 // errors.Is-compatible. WithContext cancels a solve mid-iteration;
@@ -104,16 +106,15 @@
 // from the workspace arena and cache structured state (vrcg's Krylov
 // families, sstep's Gram and coefficient buffers) across solves, which
 // is what makes every shared-memory method — cg, cgfused, pcg, cr, sd,
-// minres, vrcg, pipecg, gropp, sstep — workspace-backed: a warm
-// Session.Solve on any of them performs zero heap allocations. The
-// simulated-machine methods (parcg, parcg-cg, parcg-pipe) adapt at the
-// boundary and run the ordinary path.
+// minres, vrcg, pipecg, gropp, sstep, and the real-parallel parcg,
+// parcg-cg, parcg-pipe — workspace-backed: a warm Session.Solve on any
+// of them performs zero heap allocations (the parcg kernels' background
+// reduction goroutines are persistent, created once per session).
 //
 // Session/Batch behavior by method family:
 //
 //	method family        warm Session.Solve   Batch fan-out
-//	engine-backed (10)   0 allocs/op          forked per-worker workspaces
-//	parcg* (3)           ordinary path        forked sessions (allocating)
+//	engine-backed (13)   0 allocs/op          forked per-worker workspaces
 //
 // The execution layers underneath:
 //
@@ -146,9 +147,11 @@
 //   - internal/sstep, internal/pipecg: the published successor methods
 //   - sparse (public), internal/vec: sparse operators and vector kernels
 //   - internal/depth: the dependency-depth cost model of the paper
-//   - internal/machine, internal/collective, internal/parcg: a simulated
-//     distributed machine with hand-rolled collectives, and the
-//     algorithms as distributed programs on it
+//   - internal/parcg: the paper's schedules as real-parallel engine
+//     kernels, reductions overlapped on background goroutines
+//   - internal/machine, internal/collective: a simulated distributed
+//     machine with hand-rolled collectives, now the parcg methods'
+//     opt-in replay monitor (WithProcessors)
 //   - internal/trace: Figure 1 schedule rendering
 //   - internal/bench: the experiment harness (E1..E10, A1..A6)
 //

@@ -135,6 +135,16 @@ type Config struct {
 	// with the true residual b - A x every n iterations. 0 disables.
 	ResidualReplaceEvery int
 
+	// NoScaling disables the Gershgorin spectral scaling of the parcg
+	// look-ahead kernel (the A3 ablation: unscaled Gram sequences span
+	// ||A||^(4k) and overflow for deep look-ahead).
+	NoScaling bool
+	// Blocking makes the parcg look-ahead kernel evaluate each anchor's
+	// base-product batch at issue instead of overlapping it with the
+	// following SpMV (s-step/Chronopoulos–Gear timing semantics;
+	// numerically identical).
+	Blocking bool
+
 	// S is the s-step block size (sstep; S >= 1, S = 1 is standard CG).
 	S int
 
@@ -206,9 +216,15 @@ type Result struct {
 	// Config.ValidateEvery).
 	Drift DriftStats
 
+	// Phases holds the per-iteration phase latency histograms of the
+	// real-parallel kernels (parcg family): wall time split into SpMV,
+	// reduction wait, and vector updates, measured on actual hardware.
+	// Zero (Phases.Empty()) for the non-instrumented methods.
+	Phases PhaseSet
+
 	// Clocks is the simulated parallel-time trajectory of the
-	// machine-model methods (parcg family): Clocks[i] is the machine
-	// MaxClock after iteration i+1.
+	// machine-model methods (parcg family, instrumented machine mode):
+	// Clocks[i] is the machine MaxClock after iteration i+1.
 	Clocks []float64
 	// Machine holds the simulated machine's communication totals
 	// (parcg family only).

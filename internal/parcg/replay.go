@@ -1,0 +1,224 @@
+package parcg
+
+import (
+	"vrcg/internal/collective"
+	"vrcg/internal/engine"
+	"vrcg/internal/machine"
+	"vrcg/sparse"
+)
+
+// Cost-model replay: the instrumented machine mode of the parcg family.
+// The real-parallel kernels (kernels.go) do the numerics; when a solve
+// asks for the simulated Clocks/Machine trajectory (WithMachineConfig),
+// the adapter replays the machine solver's exact charge sequence — halo
+// exchanges, local sweeps, blocking and non-blocking collectives — for
+// the iteration count the real solve performed. Every machine charge is
+// data-independent (only time is simulated), so replaying on zero
+// vectors reproduces the clocks the retired simulated solvers produced,
+// now layered as a monitor instead of being the execution engine.
+//
+// The replay models the clean pipelined trajectory: drift fallbacks and
+// emergency re-anchors (data-dependent recovery paths) are not
+// replayed.
+
+// Replay charges the machine-model cost schedule of the named parcg
+// method for the observed result: iters iterations on matrix a over
+// procs processors, with res.Converged selecting the early-exit shape.
+// It fills res.Clocks and res.Machine in place.
+func Replay(cfg machine.Config, a *sparse.CSR, method string, blocking bool, res *engine.Result) {
+	cfg.P = maxProcs(cfg.P, a.Dim())
+	m := machine.New(cfg)
+	dm := NewDistMatrix(a, cfg.P)
+	res.Clocks = res.Clocks[:0]
+	switch method {
+	case "parcg-cg":
+		replayCG(m, dm, res)
+	case "parcg-pipe":
+		replayPipe(m, dm, res)
+	default:
+		replayVRCG(m, dm, blocking, res)
+	}
+	res.Machine = m.Stats()
+}
+
+func maxProcs(p, n int) int {
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// replayCG mirrors CG in algos.go: per iteration one distributed matvec
+// and two blocking allreduce fan-ins, plus the start-up (r,r).
+func replayCG(m *machine.Machine, dm *DistMatrix, res *engine.Result) {
+	n, p := dm.Dim(), dm.P()
+	x, r, pv, ap := NewDist(n, p), NewDist(n, p), NewDist(n, p), NewDist(n, p)
+
+	collective.AllreduceSum(m, LocalDotPartials(m, r, r))
+	for it := 0; it < res.Iterations; it++ {
+		dm.MulVec(m, ap, pv)
+		collective.AllreduceSum(m, LocalDotPartials(m, pv, ap))
+		scalarAll(m, 1)
+		Axpy(m, 0, pv, x)
+		Axpy(m, 0, ap, r)
+		collective.AllreduceSum(m, LocalDotPartials(m, r, r))
+		scalarAll(m, 1)
+		Xpay(m, r, 0, pv)
+		res.Clocks = append(res.Clocks, m.MaxClock())
+	}
+}
+
+// replayPipe mirrors PipeCG in algos.go: one matvec per iteration with
+// the fused (gamma, delta) allreduce in flight behind it. A converged
+// solve breaks right after the final wait, charging one extra
+// matvec+wait beyond the counted iterations, exactly like the original
+// loop.
+func replayPipe(m *machine.Machine, dm *DistMatrix, res *engine.Result) {
+	n, p := dm.Dim(), dm.P()
+	x, r, w := NewDist(n, p), NewDist(n, p), NewDist(n, p)
+	pv, s, q, nv := NewDist(n, p), NewDist(n, p), NewDist(n, p), NewDist(n, p)
+
+	dm.MulVec(m, w, r)
+	issue := func() *collective.Handle {
+		gp := LocalDotPartials(m, r, r)
+		dp := LocalDotPartials(m, w, r)
+		contrib := make([][]float64, p)
+		for i := 0; i < p; i++ {
+			contrib[i] = []float64{gp[i], dp[i]}
+		}
+		return collective.IAllreduceVec(m, contrib)
+	}
+	h := issue()
+	for it := 0; it < res.Iterations; it++ {
+		dm.MulVec(m, nv, w)
+		h.WaitAll(m)
+		scalarAll(m, 4)
+		Xpay(m, r, 0, pv)
+		Xpay(m, w, 0, s)
+		Xpay(m, nv, 0, q)
+		Axpy(m, 0, pv, x)
+		Axpy(m, 0, s, r)
+		Axpy(m, 0, q, w)
+		h = issue()
+		res.Clocks = append(res.Clocks, m.MaxClock())
+	}
+	if res.Converged {
+		dm.MulVec(m, nv, w)
+		h.WaitAll(m)
+	}
+}
+
+// replayVRCG mirrors VRCG in vrcg.go: the anchored look-ahead schedule
+// with one batched non-blocking base reduction per k iterations. The
+// coefficient degrees (which set the replicated contraction flops) are
+// advanced with the same recurrences the real tracks follow.
+func replayVRCG(m *machine.Machine, dm *DistMatrix, blocking bool, res *engine.Result) {
+	n, p := dm.Dim(), dm.P()
+	k := res.K
+	if k < 1 {
+		k = 1
+	}
+
+	x := NewDist(n, p)
+	R := make([]*Dist, 2*k+1)
+	P := make([]*Dist, 2*k+2)
+	for i := range R {
+		R[i] = NewDist(n, p)
+	}
+	for i := range P {
+		P[i] = NewDist(n, p)
+	}
+	mulScaled := func(dst, src *Dist) {
+		dm.MulVec(m, dst, src)
+		Scale(m, 1, dst)
+	}
+
+	// Start-up: Gershgorin bound, family construction, anchor 0.
+	m.ComputeAll(2 * dm.a.NNZ() / p)
+	collective.AllreduceSum(m, make([]float64, p))
+	Scale(m, 1, R[0])
+	for i := 1; i <= 2*k; i++ {
+		mulScaled(R[i], R[i-1])
+	}
+	mulScaled(P[2*k+1], P[2*k])
+
+	issueBase := func() *collective.Handle {
+		width := 3 * (4*k + 1)
+		contrib := make([][]float64, p)
+		for i := range contrib {
+			contrib[i] = make([]float64, 0, width)
+		}
+		appendDots := func(xs, ys []*Dist, count int) {
+			for s := 0; s < count; s++ {
+				a := s / 2
+				if a >= len(xs) {
+					a = len(xs) - 1
+				}
+				partials := LocalDotPartials(m, xs[a], ys[s-a])
+				for i := range contrib {
+					contrib[i] = append(contrib[i], partials[i])
+				}
+			}
+		}
+		appendDots(R, R, 4*k+1)
+		appendDots(R, P, 4*k+1)
+		appendDots(P, P, 4*k+1)
+		return collective.IAllreduceVec(m, contrib)
+	}
+	contractCost := func(q int) int { return 6 * (q + 1) * (q + 1) }
+
+	h := issueBase()
+	h.WaitAll(m)
+
+	// Coefficient degrees of the active (ra, pa) and building (rb, pb)
+	// tracks, advanced like core.StepCGR/StepCGP advance them.
+	ra, pa, rb, pb := 0, 0, 0, 0
+	promote := func() {
+		h.WaitAll(m)
+		ra, pa = rb, pb
+		h = issueBase()
+		if blocking {
+			h.WaitAll(m)
+		}
+		rb, pb = 0, 0
+	}
+	for it := 0; it < res.Iterations; it++ {
+		if it > 0 && it%k == 0 {
+			promote()
+		}
+		scalarAll(m, contractCost(pa)+1)
+		Axpy(m, 0, P[0], x)
+		for i := 0; i <= 2*k; i++ {
+			Axpy(m, 0, P[i+1], R[i])
+		}
+		raNew := ra
+		if pa+1 > raNew {
+			raNew = pa + 1
+		}
+		scalarAll(m, contractCost(raNew))
+		for i := 0; i <= 2*k; i++ {
+			Xpay(m, R[i], 0, P[i])
+		}
+		mulScaled(P[2*k+1], P[2*k])
+		ra = raNew
+		if ra > pa {
+			pa = ra
+		}
+		if pb+1 > rb {
+			rb = pb + 1
+		}
+		if rb > pb {
+			pb = rb
+		}
+		res.Clocks = append(res.Clocks, m.MaxClock())
+	}
+	// A convergence exit at an anchor boundary promotes before breaking.
+	if res.Converged && res.Iterations > 0 && res.Iterations%k == 0 {
+		promote()
+	}
+	// Final direct (r,r) confirmation.
+	collective.AllreduceSum(m, LocalDotPartials(m, R[0], R[0]))
+}

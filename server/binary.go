@@ -339,6 +339,9 @@ func (s *Server) handleSolveBin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := ps.Solve(st.rhs[0])
 	s.met.observeSolve(method, time.Since(start))
+	if res != nil {
+		s.met.observeSolvePhases(method, res.Phases)
+	}
 
 	if err != nil && !errors.Is(err, solve.ErrNotConverged) {
 		ps.Release()

@@ -201,6 +201,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := ps.Solve(req.RHS)
 	s.met.observeSolve(req.Method, time.Since(start))
+	if res != nil {
+		s.met.observeSolvePhases(req.Method, res.Phases)
+	}
 	wres := wireResult(res, err)
 	ps.Release()
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vrcg/cluster"
+	"vrcg/internal/engine"
 )
 
 // metrics is the server's observability state, served as JSON by
@@ -23,6 +24,14 @@ type metrics struct {
 	statuses     map[int]uint64    // HTTP status → count
 	latency      map[string]*histogram
 	queueRejects uint64
+
+	// solvePhases merges the per-iteration phase histograms the
+	// instrumented kernels (the parcg family) attach to their results:
+	// method → SpMV / reduction-wait / update latency, in the cluster
+	// workers' µs bucket vocabulary, so the SpMV/reduction overlap is
+	// observable straight off /metrics for in-process solves exactly as
+	// it is for fleet ones.
+	solvePhases map[string]*engine.PhaseSet
 
 	// Sequence bookkeeping: lifecycle counters and iterations-per-step
 	// histograms split cold (first step) vs warm (warm-started), so the
@@ -40,11 +49,12 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:    time.Now(),
-		requests: make(map[string]uint64),
-		statuses: make(map[int]uint64),
-		latency:  make(map[string]*histogram),
-		seqSteps: make(map[string]*histogram),
+		start:       time.Now(),
+		requests:    make(map[string]uint64),
+		statuses:    make(map[int]uint64),
+		latency:     make(map[string]*histogram),
+		solvePhases: make(map[string]*engine.PhaseSet),
+		seqSteps:    make(map[string]*histogram),
 	}
 }
 
@@ -64,6 +74,23 @@ func (m *metrics) observeSolve(method string, d time.Duration) {
 		m.latency[method] = h
 	}
 	h.observe(ms)
+	m.mu.Unlock()
+}
+
+// observeSolvePhases folds one solve's measured phase histograms into
+// the per-method aggregate. Results from the non-instrumented methods
+// carry no phases and are a no-op.
+func (m *metrics) observeSolvePhases(method string, ps *engine.PhaseSet) {
+	if ps == nil || ps.Empty() {
+		return
+	}
+	m.mu.Lock()
+	dst := m.solvePhases[method]
+	if dst == nil {
+		dst = new(engine.PhaseSet)
+		m.solvePhases[method] = dst
+	}
+	dst.Merge(ps)
 	m.mu.Unlock()
 }
 
@@ -113,8 +140,14 @@ type metricsSnapshot struct {
 	Statuses     map[int]uint64               `json:"statuses"`
 	QueueRejects uint64                       `json:"queue_rejects"`
 	SolveLatency map[string]histogramSnapshot `json:"solve_latency_ms"`
-	SessionPools poolStats                    `json:"session_pools"`
-	Operators    operatorGauges               `json:"operators"`
+	// SolvePhases is the in-process solvers' per-method per-phase
+	// iteration latency (the parcg family's measured SpMV/reduction
+	// overlap), in the cluster workers' µs bucket vocabulary so fleet
+	// and shared-memory numbers read on one scale. Absent until an
+	// instrumented method has solved.
+	SolvePhases  map[string]map[string]cluster.PhaseSnapshot `json:"solve_phase_latency_us,omitempty"`
+	SessionPools poolStats                                   `json:"session_pools"`
+	Operators    operatorGauges                              `json:"operators"`
 	// Sequences is present once any /v1/sequence activity happened.
 	Sequences *sequenceMetrics `json:"sequences,omitempty"`
 	// Cluster is the coordinator's fleet-aggregated view (membership,
@@ -159,6 +192,16 @@ func (m *metrics) snapshot() metricsSnapshot {
 	}
 	for k, h := range m.latency {
 		snap.SolveLatency[k] = h.snapshot()
+	}
+	if len(m.solvePhases) > 0 {
+		snap.SolvePhases = make(map[string]map[string]cluster.PhaseSnapshot, len(m.solvePhases))
+		for method, ps := range m.solvePhases {
+			phases := make(map[string]cluster.PhaseSnapshot, engine.NumPhases)
+			for p := engine.Phase(0); p < engine.NumPhases; p++ {
+				phases[p.Name()] = phaseSnapshot(&ps[p])
+			}
+			snap.SolvePhases[method] = phases
+		}
 	}
 	if m.seqCreated > 0 || len(m.seqSteps) > 0 {
 		sm := &sequenceMetrics{
@@ -253,6 +296,35 @@ func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// phaseBound renders a µs bucket bound the way the cluster tier's
+// phase histograms do ("250us", "2ms"), so both phase vocabularies
+// read identically off /metrics.
+func phaseBound(us float64) string {
+	if us >= 1000 {
+		return strconv.Itoa(int(us/1000)) + "ms"
+	}
+	return strconv.Itoa(int(us)) + "us"
+}
+
+// phaseSnapshot converts one engine phase histogram to the cluster
+// tier's wire shape: cumulative counts keyed by upper bound.
+func phaseSnapshot(h *engine.PhaseHist) cluster.PhaseSnapshot {
+	s := cluster.PhaseSnapshot{
+		Count:   h.Count,
+		MeanUS:  h.MeanUS(),
+		MaxUS:   h.MaxUS,
+		Buckets: make(map[string]uint64, len(h.Buckets)),
+	}
+	var cum uint64
+	for i, ub := range engine.PhaseBucketsUS {
+		cum += h.Buckets[i]
+		s.Buckets[phaseBound(ub)] = cum
+	}
+	cum += h.Buckets[engine.NumPhaseBuckets]
+	s.Buckets["+Inf"] = cum
+	return s
+}
+
 // The manual /metrics renderer. Dashboards scrape the endpoint
 // continuously, and encoding/json paid ~100 allocations per scrape
 // building snapshot maps just to reflect over them. The renderer
@@ -276,6 +348,11 @@ func makeBucketKeys(bounds []float64) *bucketKeys {
 		keys[i] = formatBound(b)
 	}
 	keys[len(bounds)] = "+Inf"
+	return makeKeyTable(keys)
+}
+
+// makeKeyTable sorts pre-rendered bucket keys into emission order.
+func makeKeyTable(keys []string) *bucketKeys {
 	bk := &bucketKeys{keys: keys, idx: make([]int, len(keys))}
 	for i := range bk.idx {
 		bk.idx[i] = i
@@ -292,6 +369,28 @@ func makeBucketKeys(bounds []float64) *bucketKeys {
 var (
 	latencyKeys   = makeBucketKeys(latencyBuckets)
 	iterationKeys = makeBucketKeys(iterationBuckets)
+
+	// phaseKeys is the µs phase vocabulary's table; slot
+	// engine.NumPhaseBuckets is overflow.
+	phaseKeys = func() *bucketKeys {
+		keys := make([]string, engine.NumPhaseBuckets+1)
+		for i, ub := range engine.PhaseBucketsUS {
+			keys[i] = phaseBound(ub)
+		}
+		keys[engine.NumPhaseBuckets] = "+Inf"
+		return makeKeyTable(keys)
+	}()
+
+	// phaseRenderOrder lists the engine phases by lexically sorted
+	// name — the order encoding/json emits map keys.
+	phaseRenderOrder = func() []engine.Phase {
+		ps := make([]engine.Phase, engine.NumPhases)
+		for i := range ps {
+			ps[i] = engine.Phase(i)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Name() < ps[j].Name() })
+		return ps
+	}()
 )
 
 // keysFor maps a bounds slice to its precomputed key table.
@@ -371,6 +470,34 @@ func (h *histogram) render(buf *bytes.Buffer) {
 	buf.WriteString("}}")
 }
 
+// renderPhaseHist writes one engine phase histogram as its
+// cluster.PhaseSnapshot JSON.
+func renderPhaseHist(buf *bytes.Buffer, h *engine.PhaseHist) {
+	buf.WriteString(`{"count":`)
+	jsonUint(buf, h.Count)
+	buf.WriteString(`,"mean_us":`)
+	jsonFloat(buf, h.MeanUS())
+	buf.WriteString(`,"max_us":`)
+	jsonFloat(buf, h.MaxUS)
+	buf.WriteString(`,"buckets":{`)
+	var cum [engine.NumPhaseBuckets + 1]uint64
+	c := uint64(0)
+	for i := range cum {
+		c += h.Buckets[i]
+		cum[i] = c
+	}
+	for i, key := range phaseKeys.keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(key)
+		buf.WriteString(`":`)
+		jsonUint(buf, cum[phaseKeys.idx[i]])
+	}
+	buf.WriteString("}}")
+}
+
 // render writes the full /metrics document (sans trailing newline).
 // The out-of-band gauges (session pools, operators, open sequences,
 // marshaled cluster block) are collected by the caller before taking
@@ -434,8 +561,38 @@ func (m *metrics) render(buf *bytes.Buffer, pools poolStats, ops operatorGauges,
 		buf.WriteString(`":`)
 		m.latency[k].render(buf)
 	}
+	buf.WriteByte('}')
 
-	buf.WriteString(`},"session_pools":{"pools":`)
+	if len(m.solvePhases) > 0 {
+		buf.WriteString(`,"solve_phase_latency_us":{`)
+		keys = keys[:0]
+		for k := range m.solvePhases {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteByte('"')
+			buf.WriteString(k)
+			buf.WriteString(`":{`)
+			ps := m.solvePhases[k]
+			for j, p := range phaseRenderOrder {
+				if j > 0 {
+					buf.WriteByte(',')
+				}
+				buf.WriteByte('"')
+				buf.WriteString(p.Name())
+				buf.WriteString(`":`)
+				renderPhaseHist(buf, &ps[p])
+			}
+			buf.WriteByte('}')
+		}
+		buf.WriteByte('}')
+	}
+
+	buf.WriteString(`,"session_pools":{"pools":`)
 	jsonIntVal(buf, pools.Pools)
 	buf.WriteString(`,"sessions":`)
 	jsonIntVal(buf, pools.Sessions)

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"vrcg/internal/engine"
 )
 
 // TestMetricsRenderMatchesEncodingJSON: the hand-written /metrics
@@ -22,6 +24,14 @@ func TestMetricsRenderMatchesEncodingJSON(t *testing.T) {
 	m.observeSolve("cg", 3*time.Millisecond)
 	m.observeSolve("pcg/batch", 40*time.Millisecond)
 	m.observeQueueReject()
+	var ps engine.PhaseSet
+	ps.Observe(engine.PhaseSpMV, 120*time.Microsecond)
+	ps.Observe(engine.PhaseReduction, 7*time.Microsecond)
+	ps.Observe(engine.PhaseUpdate, 48*time.Microsecond)
+	ps.Observe(engine.PhaseSpMV, 300*time.Millisecond) // overflow bucket
+	m.observeSolvePhases("parcg", &ps)
+	m.observeSolvePhases("parcg", &ps) // merge path
+	m.observeSolvePhases("parcg-pipe", &ps)
 	m.observeSequenceCreate(false)
 	m.observeSequenceCreate(true)
 	m.observeSequenceStep(false, 37)

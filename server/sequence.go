@@ -321,6 +321,7 @@ func (s *Server) handleSequenceStep(w http.ResponseWriter, r *http.Request) {
 	s.met.observeSolve(sq.info.Method+"/sequence", time.Since(start))
 	if res != nil {
 		s.met.observeSequenceStep(warm, res.Iterations)
+		s.met.observeSolvePhases(sq.info.Method, res.Phases)
 	}
 	resp := SequenceStepResponse{
 		WireResult: wireResult(res, err),

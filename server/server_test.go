@@ -306,6 +306,47 @@ func TestMetricsReportPoolHitRate(t *testing.T) {
 	}
 }
 
+// TestMetricsReportSolvePhases: a solve on an instrumented method (the
+// real-parallel parcg family) surfaces its measured per-iteration phase
+// histograms under solve_phase_latency_us; plain cg contributes none.
+func TestMetricsReportSolvePhases(t *testing.T) {
+	a, b := testSystem(8)
+	c := newTestClient(t, server.Config{})
+	c.upload("poisson", a)
+	for _, method := range []string{"parcg-pipe", "cg"} {
+		req := server.SolveRequest{Operator: "poisson", Method: method, RHS: b}
+		if status := c.post("/v1/solve", req, nil); status != http.StatusOK {
+			t.Fatalf("%s solve: status %d", method, status)
+		}
+	}
+	var snap struct {
+		SolvePhases map[string]map[string]struct {
+			Count   uint64            `json:"count"`
+			MeanUS  float64           `json:"mean_us"`
+			Buckets map[string]uint64 `json:"buckets"`
+		} `json:"solve_phase_latency_us"`
+	}
+	if status := c.get("/metrics", &snap); status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	phases, ok := snap.SolvePhases["parcg-pipe"]
+	if !ok {
+		t.Fatalf("no parcg-pipe block in solve_phase_latency_us: %v", snap.SolvePhases)
+	}
+	for _, phase := range []string{"spmv", "reduction_wait", "update"} {
+		h, ok := phases[phase]
+		if !ok || h.Count == 0 {
+			t.Errorf("phase %q missing or empty: %+v", phase, h)
+		}
+		if h.Buckets["+Inf"] != h.Count {
+			t.Errorf("phase %q: cumulative +Inf bucket %d != count %d", phase, h.Buckets["+Inf"], h.Count)
+		}
+	}
+	if _, ok := snap.SolvePhases["cg"]; ok {
+		t.Error("cg has no phase instrumentation but appears in solve_phase_latency_us")
+	}
+}
+
 func TestDeadlineCancelsSolve(t *testing.T) {
 	a, b := testSystem(64) // n=4096: far more than 1ms of iteration at tol 1e-300
 	c := newTestClient(t, server.Config{})

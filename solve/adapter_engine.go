@@ -26,12 +26,20 @@ type engineSolver struct {
 	// finished schedule (Result.Syncs) — the per-method quantity the
 	// paper's comparison is about.
 	syncs func(er *engine.Result) int
-	// drift marks the methods that publish Result.Drift (vrcg).
+	// drift marks the methods that publish Result.Drift (vrcg, parcg).
 	drift bool
+	// phases marks the methods that publish Result.Phases (the
+	// real-parallel parcg family).
+	phases bool
+	// post, when non-nil, runs after fill on both solve paths — the
+	// parcg family's machine-mode replay hook. A returned error stands
+	// in for the kernel's when the kernel itself succeeded.
+	post func(s *engineSolver, c *config, a Operator, res *Result) error
 
 	ws *engine.Workspace
 	er engine.Result
 	dr Drift
+	ph PhaseSet
 }
 
 func (s *engineSolver) Name() string { return s.name }
@@ -62,6 +70,8 @@ func (c *config) engineConfig(cb func(int, float64) bool) engine.Config {
 		WindowOnlyReanchor:   c.windowOnly,
 		ValidateEvery:        c.validateEvery,
 		ResidualReplaceEvery: c.resReplace,
+		NoScaling:            c.noScaling,
+		Blocking:             c.blocking,
 		S:                    c.blockSize,
 		Restart:              c.restart,
 	}
@@ -141,6 +151,22 @@ func (s *engineSolver) fill(res *Result) {
 		}
 		res.Drift = &s.dr
 	}
+	if s.phases && !er.Phases.Empty() {
+		s.ph = er.Phases
+		res.Phases = &s.ph
+	}
+}
+
+// runPost invokes the optional post hook, letting its error stand when
+// the solve itself produced none.
+func (s *engineSolver) runPost(c *config, a Operator, res *Result, err error) error {
+	if s.post == nil {
+		return err
+	}
+	if perr := s.post(s, c, a, res); perr != nil && err == nil {
+		return perr
+	}
+	return err
 }
 
 func (s *engineSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
@@ -152,6 +178,7 @@ func (s *engineSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, 
 	err := s.solve(a, b, c, c.callback(&canceled, &stopped))
 	res := &Result{}
 	s.fill(res)
+	err = s.runPost(c, a, res, err)
 	return finish(c, res, err, canceled, stopped)
 }
 
@@ -162,6 +189,7 @@ func (s *engineSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, 
 func (s *engineSolver) solveInto(res *Result, a Operator, b []float64, c *config, cb func(int, float64) bool) (bool, error) {
 	err := s.solve(a, b, c, cb)
 	s.fill(res)
+	err = s.runPost(c, a, res, err)
 	return true, err
 }
 

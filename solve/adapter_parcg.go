@@ -3,118 +3,82 @@ package solve
 import (
 	"fmt"
 
+	"vrcg/internal/engine"
 	"vrcg/internal/machine"
 	"vrcg/internal/parcg"
-	"vrcg/internal/vec"
 	"vrcg/sparse"
 )
 
-// parcgSolver adapts the distributed programs of internal/parcg: the
-// algorithms run with real vector data on a simulated P-processor
-// machine whose every operation charges its parallel-time cost, so one
-// Solve yields both the answer and the paper's timing story
-// (Result.Clocks, Result.PerIterTime, Result.Machine).
+// The parcg family — the paper's three schedules, now real-parallel
+// engine kernels (internal/parcg/kernels.go): per-iteration reductions
+// run on a background goroutine overlapped with the SpMV they hide
+// behind, with measured phase latencies on Result.Phases. Registration
+// goes through the generic engine adapter, so the family shares the
+// Session/Batch zero-allocation fast paths with every other method;
+// this file is only the options shim plus the instrumented machine
+// mode.
 //
-// The operator must be a *sparse.CSR — its sparsity defines the row-block
-// partition and halo. WithProcessors or WithMachineConfig size the
-// machine; "parcg" additionally takes WithLookahead (the anchor
-// pipeline depth k >= 1), WithBlocking (s-step anchor semantics), and
-// WithSpectralScaling.
-type parcgSolver struct {
-	name string
-	run  func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist, c *config) (*parcg.Result, error)
-}
+// Machine mode: WithProcessors / WithMachineConfig layer the retired
+// simulated-machine cost model over the real solve as a monitor — the
+// adapter replays the machine solvers' exact charge sequence for the
+// observed iteration count (parcg.Replay), filling Result.Clocks and
+// Result.Machine. The replay needs the sparsity partition, so it
+// requires a *sparse.CSR operator; the real solve itself takes any
+// Operator.
 
-func (s *parcgSolver) Name() string { return s.name }
-
-func (s *parcgSolver) Solve(a Operator, b []float64, opts ...Option) (*Result, error) {
-	c := newConfig(opts)
-	if err := c.preflight(s.name); err != nil {
-		return nil, err
+// parcgPost is the shared post hook: machine-mode replay and the
+// blocking-anchor sync count.
+func parcgPost(s *engineSolver, c *config, a Operator, res *Result) error {
+	if s.name == "parcg" && c.blocking {
+		// s-step anchor semantics: each promoted batch is waited for at
+		// issue instead of riding the pipeline.
+		res.Syncs += s.er.Reanchors
+	}
+	if !c.machineSet && !c.procsSet {
+		return nil
 	}
 	csr, ok := a.(*sparse.CSR)
 	if !ok {
-		return nil, fmt.Errorf("solve: %s partitions by sparsity and needs a *sparse.CSR operator, got %T: %w",
+		return fmt.Errorf("solve: %s machine mode partitions by sparsity and needs a *sparse.CSR operator, got %T: %w",
 			s.name, a, ErrUnsupportedOperator)
-	}
-	if a.Dim() != len(b) {
-		return nil, fmt.Errorf("solve: matrix order %d but rhs length %d: %w", a.Dim(), len(b), ErrDim)
 	}
 	cfg := c.machineCfg
 	if !c.machineSet {
 		cfg = machine.DefaultConfig(c.procs)
 	}
 	if cfg.P < 1 || cfg.P > a.Dim() {
-		return nil, fmt.Errorf("solve: %s with P=%d processors for an order-%d system: %w",
+		return fmt.Errorf("solve: %s with P=%d processors for an order-%d system: %w",
 			s.name, cfg.P, a.Dim(), ErrBadOption)
 	}
+	parcg.Replay(cfg, csr, s.name, c.blocking, &s.er)
+	res.Clocks = s.er.Clocks
+	res.Machine = &s.er.Machine
+	return nil
+}
 
-	m := machine.New(cfg)
-	dm := parcg.NewDistMatrix(csr, cfg.P)
-	pres, err := s.run(m, dm, parcg.Scatter(b, cfg.P), c)
-	if pres == nil {
-		return nil, err
-	}
-	res := &Result{
-		Method:       s.name,
-		X:            pres.X,
-		Iterations:   pres.Iterations,
-		Converged:    pres.Converged,
-		ResidualNorm: pres.ResidualNorm,
-		Clocks:       pres.Clocks,
-		Machine:      &pres.Machine,
-	}
-	res.Stats.Flops = pres.Machine.Flops
-	if pres.X != nil {
-		// True residual of the gathered solution, computed serially
-		// (diagnostic only: charged to no processor).
-		tr := vec.New(a.Dim())
-		csr.MulVec(tr, pres.X)
-		vec.Sub(tr, b, tr)
-		res.TrueResidualNorm = vec.Norm2(tr)
-	}
-	switch s.name {
-	case "parcg-cg":
-		// Two blocking allreduce fan-ins per iteration — the c*log(N)
-		// dependency the paper sets out to remove.
-		res.Syncs = 2*pres.Iterations + 1
-	case "parcg-pipe":
-		// One in-flight reduction waited on per iteration.
-		res.Syncs = pres.Iterations + 1
-	default:
-		// The anchors ride k iterations behind the pipeline; only
-		// start-up and the final convergence check block — unless
-		// WithBlocking(true) restores the s-step stall at each anchor.
-		res.Syncs = 2
-		if c.blocking && c.lookahead > 0 {
-			res.Syncs += pres.Iterations / c.lookahead
-		}
-	}
-	return finish(c, res, err, false, false)
+// registerParcg registers one parcg kernel with phases exposure and the
+// machine-mode post hook.
+func registerParcg(name, summary string, kf func() engine.Kernel, syncs func(*engine.Result) int, drift bool) {
+	Register(name, summary, func() Solver {
+		return &engineSolver{name: name, kernel: kf(), syncs: syncs, drift: drift,
+			phases: true, post: parcgPost}
+	})
 }
 
 func init() {
-	Register("parcg", "the paper's VRCG as a distributed program on the simulated machine (pipelined anchors)",
-		func() Solver {
-			return &parcgSolver{name: "parcg", run: func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist, c *config) (*parcg.Result, error) {
-				return parcg.VRCG(m, dm, b, parcg.VROptions{
-					Options:   parcg.Options{Tol: c.tol, MaxIter: c.maxIter},
-					K:         c.lookahead,
-					Blocking:  c.blocking,
-					NoScaling: c.noScaling,
-				})
-			}}
-		})
-	Register("parcg-cg", "standard CG as a distributed program (two blocking reductions/iter)",
-		func() Solver {
-			return &parcgSolver{name: "parcg-cg", run: func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist, c *config) (*parcg.Result, error) {
-				return parcg.CG(m, dm, b, parcg.Options{Tol: c.tol, MaxIter: c.maxIter})
-			}}
-		})
-	Register("parcg-pipe", "Ghysels-Vanroose pipelined CG as a distributed program (one overlapped reduction/iter)",
-		func() Solver {
-			return &parcgSolver{name: "parcg-pipe", run: func(m *machine.Machine, dm *parcg.DistMatrix, b *parcg.Dist, c *config) (*parcg.Result, error) {
-				return parcg.PipeCG(m, dm, b, parcg.Options{Tol: c.tol, MaxIter: c.maxIter})
-			}}
-		})
+	registerParcg("parcg", "the paper's VRCG with real-parallel pipelined anchors (WithLookahead k), workspace-backed",
+		parcg.NewLookaheadKernel,
+		// The anchors ride k iterations behind the pipeline; only
+		// start-up, the final convergence check, and drift fallbacks
+		// block (WithBlocking adds a stall per anchor; see parcgPost).
+		func(er *engine.Result) int { return 2 + er.FallbackDots }, true)
+	registerParcg("parcg-cg", "standard CG with two real blocking reductions per iteration (the paper's baseline), workspace-backed",
+		parcg.NewCGKernel,
+		// Two blocking reduction waits per iteration — the c*log(N)
+		// dependency the paper sets out to remove.
+		func(er *engine.Result) int { return 2*er.Iterations + 1 }, false)
+	registerParcg("parcg-pipe", "Ghysels-Vanroose pipelined CG with the reduction genuinely in flight behind the matvec, workspace-backed",
+		parcg.NewPipeKernel,
+		// One in-flight reduction waited on per iteration.
+		func(er *engine.Result) int { return er.Iterations + 1 }, false)
 }

@@ -34,7 +34,8 @@ type config struct {
 
 	batchWorkers int // Batch/SolveMany fan-out width
 
-	procs      int // parcg processor count
+	procs      int  // parcg machine-mode processor count
+	procsSet   bool // WithProcessors given: opt into the machine replay
 	machineCfg machine.Config
 	machineSet bool
 	blocking   bool
@@ -54,26 +55,24 @@ func newConfig(opts []Option) *config {
 }
 
 // WithTol sets the relative residual tolerance ||r|| <= tol*||b||.
-// Zero selects the method default (1e-10 for the shared-memory
-// methods, 1e-8 for the distributed ones). All methods.
+// Zero selects the engine default 1e-10. All methods.
 func WithTol(tol float64) Option { return func(c *config) { c.tol = tol } }
 
-// WithMaxIter bounds the iteration count. Zero selects the method
-// default (10n shared-memory, 2n distributed). All methods.
+// WithMaxIter bounds the iteration count. Zero selects the engine
+// default 10n. All methods.
 func WithMaxIter(n int) Option { return func(c *config) { c.maxIter = n } }
 
 // WithX0 sets the initial guess (nil means the zero vector). The
-// vector is not modified. All shared-memory methods; the distributed
-// methods start from zero.
+// vector is not modified. All methods.
 func WithX0(x0 []float64) Option { return func(c *config) { c.x0 = x0 } }
 
 // WithPool routes the solver's hot-path kernels — SpMV, dots, axpys —
 // through the shared worker-pool execution engine (sparse.NewPool or
 // sparse.DefaultPool). Nil keeps the serial kernels. Workspace-backed
 // solvers rebuild their workspace when the pool changes between calls.
-// Consumed by every engine-backed method (cg, cgfused, pcg, cr, sd,
-// minres, vrcg, pipecg, gropp, sstep); the simulated-machine parcg
-// family models its own parallelism and always runs serially.
+// Consumed by every engine-backed method, the parcg family included
+// (its background reduction goroutine composes with the pool: pooled
+// and serial reductions are bitwise-identical).
 func WithPool(p *sparse.Pool) Option { return func(c *config) { c.pool = p } }
 
 // WithPreconditioner supplies M^{-1} for "pcg". Unset defaults to the
@@ -81,16 +80,13 @@ func WithPool(p *sparse.Pool) Option { return func(c *config) { c.pool = p } }
 func WithPreconditioner(m Preconditioner) Option { return func(c *config) { c.precond = m } }
 
 // WithHistory records per-iteration residual norms into
-// Result.History (History[0] is the initial residual). All
-// shared-memory methods; the distributed methods record Result.Clocks
-// instead.
+// Result.History (History[0] is the initial residual). All methods.
 func WithHistory(record bool) Option { return func(c *config) { c.history = record } }
 
 // WithContext makes the solve cancelable: the context is polled every
 // iteration (every s-step block for "sstep", which finishes the block
 // in flight before stopping) and the solve returns a partial Result
-// with an error wrapping ctx.Err(). The distributed methods check it
-// only at entry.
+// with an error wrapping ctx.Err(). All methods.
 func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // WithMonitor attaches a per-iteration observer; returning false from
@@ -142,14 +138,19 @@ func WithBlockSize(s int) Option { return func(c *config) { c.blockSize = s } }
 // memory. Zero selects the default min(30, n).
 func WithRestart(m int) Option { return func(c *config) { c.restart = m } }
 
-// WithProcessors sets the processor count of the simulated machine the
-// "parcg*" methods run on. Default 8. Ignored when WithMachineConfig
-// supplies a full configuration (its P wins).
-func WithProcessors(p int) Option { return func(c *config) { c.procs = p } }
+// WithProcessors opts the "parcg*" methods into the instrumented
+// machine mode with a P-processor simulated machine
+// (machine.DefaultConfig(p)): the real-parallel solve runs unchanged
+// and the machine cost model is replayed over its iteration count,
+// filling Result.Clocks and Result.Machine. Requires a *sparse.CSR
+// operator (the replay partitions by sparsity). Ignored when
+// WithMachineConfig supplies a full configuration (its P wins).
+func WithProcessors(p int) Option { return func(c *config) { c.procs = p; c.procsSet = true } }
 
 // WithMachineConfig supplies the full simulated-machine cost model
 // (P, message latency alpha, per-word time beta, flop time) for the
-// "parcg*" methods. Unset uses machine.DefaultConfig(P).
+// "parcg*" methods' instrumented machine mode — like WithProcessors,
+// a monitor layered over the real-parallel solve.
 func WithMachineConfig(cfg machine.Config) Option {
 	return func(c *config) { c.machineCfg = cfg; c.machineSet = true }
 }

@@ -1,0 +1,278 @@
+package solve_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrcg/precond"
+	"vrcg/solve"
+	"vrcg/sparse"
+)
+
+// Property-based sweep: every registry method on randomized systems of
+// the shapes it declares support for, under every preconditioner name.
+// The properties are the ones every solver owes regardless of method:
+//
+//   - no panic and no unclassified error;
+//   - Iterations never exceeds the iteration budget;
+//   - a converged result's TRUE residual actually meets the tolerance
+//     (with a drift allowance for the recurrence-based methods);
+//   - a warm Session re-solve is bit-identical to its own cold solve —
+//     workspace reuse is state, not memory.
+
+// randSPD builds a random symmetric diagonally dominant (hence SPD)
+// sparse system with a manufactured solution.
+func randSPD(rng *rand.Rand, n int) (*sparse.CSR, []float64) {
+	coo := sparse.NewCOO(n)
+	off := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, d := range []int{1, 4, 9} {
+			j := i + d
+			if j >= n {
+				continue
+			}
+			if rng.Float64() < 0.3 {
+				continue // irregular sparsity, not a fixed stencil
+			}
+			v := rng.NormFloat64()
+			coo.AddSym(i, j, v)
+			off[i] += math.Abs(v)
+			off[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, off[i]+0.5+rng.Float64())
+	}
+	a := coo.ToCSR()
+	xref := make([]float64, n)
+	for i := range xref {
+		xref[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xref)
+	return a, b
+}
+
+// randRect builds a random full-column-rank rows×cols least-squares
+// system (rows > cols).
+func randRect(rng *rand.Rand, rows, cols int) (*sparse.Rect, []float64) {
+	rowPtr := make([]int, 1, rows+1)
+	var colIdx []int
+	var vals []float64
+	for i := 0; i < rows; i++ {
+		seen := map[int]bool{}
+		// Guarantee coverage of every column across the first rows.
+		if i < cols {
+			seen[i] = true
+			colIdx = append(colIdx, i)
+			vals = append(vals, 2+rng.Float64())
+		}
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(cols)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			colIdx = append(colIdx, j)
+			vals = append(vals, rng.NormFloat64())
+		}
+		rowPtr = append(rowPtr, len(colIdx))
+	}
+	b := make([]float64, rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return sparse.NewRect(rows, cols, rowPtr, colIdx, vals), b
+}
+
+// preconditioner builds the named preconditioner for a, nil for "none".
+func preconditioner(t *testing.T, name string, a *sparse.CSR) solve.Preconditioner {
+	t.Helper()
+	var (
+		p   solve.Preconditioner
+		err error
+	)
+	switch name {
+	case "none":
+		return nil
+	case "jacobi":
+		p, err = precond.NewJacobi(a)
+	case "ssor":
+		p, err = precond.NewSSOR(a, 1.2)
+	case "ic0":
+		p, err = precond.NewIC0(a)
+	default:
+		t.Fatalf("unknown preconditioner %q", name)
+	}
+	if err != nil {
+		t.Fatalf("precond %s: %v", name, err)
+	}
+	return p
+}
+
+// knownSentinel reports whether an error is one of the classified
+// outcomes a solve may legitimately end with.
+func knownSentinel(err error) bool {
+	return errors.Is(err, solve.ErrNotConverged) ||
+		errors.Is(err, solve.ErrBreakdown) ||
+		errors.Is(err, solve.ErrIndefinite)
+}
+
+// driftSlack is the per-method allowance multiplied into the
+// true-residual acceptance threshold: the recurrence-tracked methods
+// certify convergence through scalar recurrences that drift from the
+// true residual in finite precision.
+func driftSlack(method string) float64 {
+	switch method {
+	case "vrcg", "parcg", "sstep":
+		return 1e3
+	case "pipecg", "gropp", "parcg-pipe", "bicgstab":
+		return 50
+	default:
+		return 10
+	}
+}
+
+func TestPropertyAllMethodsRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	preconds := []string{"none", "jacobi", "ssor", "ic0"}
+	const (
+		tol     = 1e-7
+		maxIter = 3000
+	)
+	for _, method := range solve.Methods() {
+		caps := solve.MethodCaps(method)
+		for _, pname := range preconds {
+			for trial := 0; trial < 2; trial++ {
+				n := 40 + rng.Intn(80)
+				var (
+					a  solve.Operator
+					b  []float64
+					mp solve.Preconditioner
+				)
+				switch {
+				case caps.Rectangular:
+					a, b = randRect(rng, n+n/2, n)
+				case caps.Nonsymmetric:
+					a = nonsymmetricCSR(rng, n)
+					bb := make([]float64, n)
+					for i := range bb {
+						bb[i] = rng.NormFloat64()
+					}
+					b = bb
+				default:
+					var csr *sparse.CSR
+					csr, b = randSPD(rng, n)
+					a = csr
+					mp = preconditioner(t, pname, csr)
+				}
+				name := method + "/" + pname
+				t.Run(name, func(t *testing.T) {
+					opts := []solve.Option{solve.WithTol(tol), solve.WithMaxIter(maxIter)}
+					if mp != nil {
+						opts = append(opts, solve.WithPreconditioner(mp))
+					}
+					res, err := solve.MustNew(method).Solve(a, b, opts...)
+					if err != nil && !knownSentinel(err) {
+						t.Fatalf("unclassified error: %v", err)
+					}
+					if res == nil {
+						t.Fatal("nil result with a classified error")
+					}
+					if res.Iterations > maxIter {
+						t.Errorf("Iterations = %d > MaxIter %d", res.Iterations, maxIter)
+					}
+					if res.Converged && !caps.Rectangular {
+						bn := 0.0
+						for _, v := range b {
+							bn += v * v
+						}
+						bn = math.Sqrt(bn)
+						if limit := tol * bn * driftSlack(method); res.TrueResidualNorm > limit {
+							t.Errorf("converged but true residual %.3g > %.3g (tol*||b||*slack)",
+								res.TrueResidualNorm, limit)
+						}
+					}
+					if res.Converged && res.X != nil {
+						for i, v := range res.X {
+							if math.IsNaN(v) || math.IsInf(v, 0) {
+								t.Fatalf("X[%d] = %v in a converged solution", i, v)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPropertyWarmSessionBitIdentical pins workspace-reuse determinism
+// across the whole registry: on one random system per method, a cold
+// Solve, a fresh Session's first solve, and the same Session's warm
+// re-solve must agree bit-for-bit.
+func TestPropertyWarmSessionBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const maxIter = 3000
+	for _, method := range solve.Methods() {
+		caps := solve.MethodCaps(method)
+		t.Run(method, func(t *testing.T) {
+			n := 60 + rng.Intn(40)
+			var (
+				a solve.Operator
+				b []float64
+			)
+			switch {
+			case caps.Rectangular:
+				a, b = randRect(rng, n+n/2, n)
+			case caps.Nonsymmetric:
+				a = nonsymmetricCSR(rng, n)
+				bb := make([]float64, n)
+				for i := range bb {
+					bb[i] = rng.NormFloat64()
+				}
+				b = bb
+			default:
+				a, b = randSPD(rng, n)
+			}
+			// A tolerance every method reaches on these well-conditioned
+			// systems, loose enough for the drift-tracked recurrences.
+			opts := []solve.Option{solve.WithTol(1e-6), solve.WithMaxIter(maxIter)}
+			cold, err := solve.MustNew(method).Solve(a, b, opts...)
+			if err != nil && !knownSentinel(err) {
+				t.Fatalf("cold solve: %v", err)
+			}
+			sess, err := solve.NewSession(method, a, opts...)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			first, err := sess.Solve(b)
+			if err != nil && !knownSentinel(err) {
+				t.Fatalf("session first solve: %v", err)
+			}
+			firstX := append([]float64(nil), first.X...)
+			firstIters, firstRes := first.Iterations, first.ResidualNorm
+			warm, err := sess.Solve(b)
+			if err != nil && !knownSentinel(err) {
+				t.Fatalf("session warm solve: %v", err)
+			}
+			if cold.Iterations != firstIters || cold.ResidualNorm != firstRes {
+				t.Errorf("cold (%d, %.17g) != session first (%d, %.17g)",
+					cold.Iterations, cold.ResidualNorm, firstIters, firstRes)
+			}
+			if warm.Iterations != firstIters || warm.ResidualNorm != firstRes {
+				t.Errorf("warm (%d, %.17g) != session first (%d, %.17g)",
+					warm.Iterations, warm.ResidualNorm, firstIters, firstRes)
+			}
+			for i := range firstX {
+				if warm.X[i] != firstX[i] {
+					t.Fatalf("warm X[%d] differs from first session solve", i)
+				}
+				if cold.X[i] != firstX[i] {
+					t.Fatalf("cold X[%d] differs from session solve", i)
+				}
+			}
+		})
+	}
+}

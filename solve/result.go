@@ -4,9 +4,16 @@ import (
 	"math"
 	"sort"
 
+	"vrcg/internal/engine"
 	"vrcg/internal/krylov"
 	"vrcg/internal/machine"
 )
+
+// PhaseSet is the per-iteration phase latency histogram bundle of the
+// real-parallel methods: wall time split into spmv / reduction_wait /
+// update, one 14-bucket microsecond histogram per phase (the cluster
+// workers' bucket vocabulary). See Result.Phases.
+type PhaseSet = engine.PhaseSet
 
 // Result is the canonical outcome of a solve, shared by every
 // registered method. Fields a method does not produce stay at their
@@ -47,9 +54,19 @@ type Result struct {
 	// the scalar recurrences wandered from direct inner products, and
 	// the stabilization work spent keeping them honest.
 	Drift *Drift
+	// Phases holds the measured per-iteration phase latency histograms
+	// of the real-parallel parcg family: wall time split into SpMV,
+	// reduction wait, and vector updates on actual hardware, so the
+	// overlap the paper is about shows up as a small reduction_wait
+	// against a large spmv. Nil for the other methods. Aliases
+	// solver-owned storage: valid until the next Solve on the same
+	// Solver.
+	Phases *PhaseSet
 	// Clocks is the simulated parallel-time trajectory of the
-	// distributed methods: Clocks[i] is the machine's max clock after
-	// iteration i+1.
+	// instrumented machine mode of the parcg family (WithProcessors /
+	// WithMachineConfig): Clocks[i] is the machine's max clock after
+	// iteration i+1, replayed from the machine cost model over the real
+	// solve's iteration count. Nil otherwise.
 	Clocks []float64
 	// Machine holds the simulated communication totals of the
 	// distributed methods.

@@ -30,9 +30,15 @@
 //   - "pipecg", "gropp": Ghysels–Vanroose and Gropp pipelined CG, the
 //     production successors
 //   - "sstep": Chronopoulos–Gear s-step CG (WithBlockSize)
-//   - "parcg", "parcg-cg", "parcg-pipe": the same algorithms as
-//     distributed programs on the simulated machine (WithProcessors,
-//     WithMachineConfig), yielding parallel-time trajectories
+//   - "parcg", "parcg-cg", "parcg-pipe": the look-ahead, blocking, and
+//     pipelined schedules as real-parallel kernels — inner-product
+//     reductions overlapped on background goroutines, per-iteration
+//     phase latencies on Result.Phases, and a divergence guard that
+//     restarts the look-ahead recurrences from the true residual when
+//     they drift (periodically audited, best iterate retained);
+//     WithProcessors/WithMachineConfig additionally replay the
+//     simulated-machine cost model over the solve, yielding
+//     parallel-time trajectories (Result.Clocks)
 //
 // Configuration is by functional options. Options irrelevant to a
 // method are ignored (WithLookahead does nothing to "cg"), so one
@@ -77,8 +83,6 @@ type Preconditioner interface {
 // Monitor observes an iteration in flight. Observe is called after
 // each iteration with the iteration number and the current (recursive)
 // residual norm; returning false stops the solve early without error.
-// The distributed methods ("parcg*") run to completion and do not
-// invoke monitors.
 type Monitor interface {
 	Observe(iter int, resNorm float64) bool
 }

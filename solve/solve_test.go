@@ -97,8 +97,13 @@ func TestUnsupportedOperatorSentinel(t *testing.T) {
 	}
 	b := vec.New(n)
 	vec.Fill(b, 1)
-	if _, err := MustNew("parcg").Solve(d, b); !errors.Is(err, ErrUnsupportedOperator) {
-		t.Fatalf("parcg on Dense: err = %v, want ErrUnsupportedOperator", err)
+	// The real-parallel parcg kernels take any Operator; only the
+	// instrumented machine mode needs the CSR sparsity partition.
+	if _, err := MustNew("parcg").Solve(d, b); err != nil {
+		t.Fatalf("parcg on Dense: %v, want success", err)
+	}
+	if _, err := MustNew("parcg").Solve(d, b, WithProcessors(4)); !errors.Is(err, ErrUnsupportedOperator) {
+		t.Fatalf("parcg machine mode on Dense: err = %v, want ErrUnsupportedOperator", err)
 	}
 }
 
